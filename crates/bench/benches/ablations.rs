@@ -1,0 +1,87 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **Symbolic assumptions** (NW): strip the `n = q·b + 1` relation and
+//!    the non-overlap proof fails conservatively — measuring exactly what
+//!    the paper's §III-D says failure costs (1.1–1.5×, never wrong
+//!    results).
+//! 2. **Mapnest in-place construction** (LBM): disable §V-A(e) and every
+//!    cell row goes through a private buffer + copy again.
+//! 3. **Allocation hoisting** (Hotspot): disable the hoisting pass and
+//!    safety property 2 fails at the concat — no part can be built in the
+//!    result grid.
+
+use arraymem_core::{compile, Options};
+use arraymem_exec::{run_program, Mode};
+use arraymem_symbolic::Env;
+use arraymem_workloads as w;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn run(case: &w::Case, opts: &Options) -> std::time::Duration {
+    let compiled = compile(&case.program, opts).unwrap();
+    let (_, stats) = run_program(
+        &compiled.program,
+        &case.inputs,
+        &case.kernels,
+        Mode::Memory,
+        1,
+    )
+    .unwrap();
+    stats.total_time
+}
+
+fn bench(c: &mut Criterion) {
+    // 1. NW with vs without the shape relation feeding the prover.
+    let nw = w::nw::case("ablation", 16, 16, 2);
+    let full = Options {
+        short_circuit: true,
+        env: nw.env.clone(),
+        ..Options::default()
+    };
+    let no_env = Options {
+        short_circuit: true,
+        env: Env::new(),
+        ..Options::default()
+    };
+    let mut g = c.benchmark_group("ablation/nw_assumptions");
+    g.sample_size(10);
+    g.bench_function("with_shape_relation", |b| b.iter(|| run(&nw, &full)));
+    g.bench_function("without_shape_relation", |b| b.iter(|| run(&nw, &no_env)));
+    g.finish();
+
+    // 2. LBM with vs without the mapnest in-place rule.
+    let lbm = w::lbm::case("ablation", (16, 16, 8), 4, 2);
+    let full = Options {
+        short_circuit: true,
+        env: lbm.env.clone(),
+        ..Options::default()
+    };
+    let no_mapnest = Options {
+        mapnest_in_place: false,
+        ..full.clone()
+    };
+    let mut g = c.benchmark_group("ablation/lbm_mapnest");
+    g.sample_size(10);
+    g.bench_function("in_place_rows", |b| b.iter(|| run(&lbm, &full)));
+    g.bench_function("private_row_copies", |b| b.iter(|| run(&lbm, &no_mapnest)));
+    g.finish();
+
+    // 3. Hotspot with vs without allocation hoisting.
+    let hs = w::hotspot::case("ablation", 128, 8, 2);
+    let full = Options {
+        short_circuit: true,
+        env: hs.env.clone(),
+        ..Options::default()
+    };
+    let no_hoist = Options {
+        hoist: false,
+        ..full.clone()
+    };
+    let mut g = c.benchmark_group("ablation/hotspot_hoisting");
+    g.sample_size(10);
+    g.bench_function("hoisted_allocations", |b| b.iter(|| run(&hs, &full)));
+    g.bench_function("no_hoisting", |b| b.iter(|| run(&hs, &no_hoist)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Shared criterion scaffolding: benchmark one paper table.
+
+use arraymem_bench::tables::table_cases;
+use criterion::Criterion;
+
+/// Register ref/unopt/opt benchmark functions for every (quick-sized)
+/// dataset of one table's benchmark.
+pub fn bench_table(c: &mut Criterion, benchmark: &'static str) {
+    for case in table_cases(benchmark, true) {
+        let unopt = case.compile(false);
+        let opt = case.compile(true);
+        let mut group = c.benchmark_group(format!("{}/{}", case.name, case.dataset));
+        group.sample_size(10);
+        group.bench_function("reference", |b| {
+            b.iter(|| std::hint::black_box((case.reference)(&case.inputs)))
+        });
+        group.bench_function("unopt_futhark", |b| {
+            b.iter(|| std::hint::black_box(case.run(&unopt)))
+        });
+        group.bench_function("opt_futhark", |b| {
+            b.iter(|| std::hint::black_box(case.run(&opt)))
+        });
+        group.finish();
+    }
+}

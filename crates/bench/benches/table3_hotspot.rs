@@ -1,0 +1,12 @@
+//! Criterion bench regenerating the rows of the paper's Table 3 (hotspot).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    common::bench_table(c, "hotspot");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

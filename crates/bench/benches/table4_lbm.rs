@@ -1,0 +1,12 @@
+//! Criterion bench regenerating the rows of the paper's Table 4 (lbm).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    common::bench_table(c, "lbm");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Criterion bench regenerating the rows of the paper's Table 5 (optionpricing).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    common::bench_table(c, "optionpricing");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

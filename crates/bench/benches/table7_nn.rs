@@ -1,0 +1,12 @@
+//! Criterion bench regenerating the rows of the paper's Table 7 (nn).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    common::bench_table(c, "nn");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Regenerate the paper's tables and figure artifacts.
+//!
+//! ```text
+//! tables                 # all seven tables, full (scaled) datasets
+//! tables --quick         # tiny datasets, smoke run
+//! tables --table N       # one table
+//! tables --figures       # print the figure artifacts instead
+//! ```
+
+use arraymem_bench::tables::{all_tables, run_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for (i, a) in args.iter().enumerate() {
+        let is_table_arg = i > 0 && args[i - 1] == "--table";
+        if !is_table_arg && !matches!(a.as_str(), "--quick" | "--figures" | "--table") {
+            eprintln!("error: unknown argument {a:?}");
+            eprintln!("usage: tables [--quick] [--table N] [--figures]");
+            std::process::exit(2);
+        }
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--figures") {
+        println!("{}", arraymem_bench::figures::fig2_nw_pattern(4, 3, 2));
+        println!("{}", arraymem_bench::figures::fig3_chain());
+        println!("{}", arraymem_bench::figures::fig9_proof());
+        println!("{}", arraymem_bench::figures::fig10_patterns());
+        return;
+    }
+    let only: Option<usize> = args
+        .iter()
+        .position(|a| a == "--table")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok());
+    if let Some(t) = only {
+        if !(1..=7).contains(&t) {
+            eprintln!("error: no table {t}; the paper has tables 1-7");
+            std::process::exit(2);
+        }
+    }
+    for spec in all_tables() {
+        if let Some(t) = only {
+            if spec.number != t {
+                continue;
+            }
+        }
+        println!("{}", run_table(&spec, quick));
+    }
+}

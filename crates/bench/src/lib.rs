@@ -1,0 +1,7 @@
+//! Benchmark & table harness: regenerates the paper's Tables I-VII and
+//! the figure artifacts (access-pattern dumps, the Fig. 9 proof trace).
+
+pub mod figures;
+pub mod tables;
+
+pub use tables::{all_tables, render_table, table_cases, TableSpec};

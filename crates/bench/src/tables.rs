@@ -1,0 +1,158 @@
+//! Table definitions and rendering in the paper's format.
+
+use arraymem_workloads::{measure_case, Case, Measurement};
+
+/// One paper table: its number, benchmark, and dataset builder.
+pub struct TableSpec {
+    pub number: usize,
+    pub title: &'static str,
+    pub benchmark: &'static str,
+    pub paper_runs: usize,
+}
+
+/// All seven tables of the paper's §VI.
+pub fn all_tables() -> Vec<TableSpec> {
+    vec![
+        TableSpec { number: 1, title: "NW performance", benchmark: "nw", paper_runs: 1000 },
+        TableSpec { number: 2, title: "LUD performance", benchmark: "lud", paper_runs: 10 },
+        TableSpec { number: 3, title: "Hotspot performance", benchmark: "hotspot", paper_runs: 10 },
+        TableSpec { number: 4, title: "LBM performance", benchmark: "lbm", paper_runs: 100 },
+        TableSpec { number: 5, title: "OptionPricing performance", benchmark: "optionpricing", paper_runs: 1000 },
+        TableSpec { number: 6, title: "LocVolCalib performance", benchmark: "locvolcalib", paper_runs: 10 },
+        TableSpec { number: 7, title: "NN performance", benchmark: "nn", paper_runs: 100 },
+    ]
+}
+
+/// Build the cases (all datasets) for one table. `quick` shrinks datasets
+/// for smoke runs.
+pub fn table_cases(benchmark: &str, quick: bool) -> Vec<Case> {
+    use arraymem_workloads as w;
+    match benchmark {
+        "nw" => {
+            if quick {
+                vec![w::nw::case("256", 16, 16, 2)]
+            } else {
+                w::nw::datasets()
+                    .into_iter()
+                    .map(|(l, q, b, r)| w::nw::case(l, q, b, r))
+                    .collect()
+            }
+        }
+        "lud" => {
+            if quick {
+                vec![w::lud::case("128", 8, 16, 2)]
+            } else {
+                w::lud::datasets()
+                    .into_iter()
+                    .map(|(l, q, b, r)| w::lud::case(l, q, b, r))
+                    .collect()
+            }
+        }
+        "hotspot" => {
+            if quick {
+                vec![w::hotspot::case("128", 128, 8, 2)]
+            } else {
+                w::hotspot::datasets()
+                    .into_iter()
+                    .map(|(l, n, s, r)| w::hotspot::case(l, n, s, r))
+                    .collect()
+            }
+        }
+        "lbm" => {
+            if quick {
+                vec![w::lbm::case("short", (16, 16, 8), 3, 2)]
+            } else {
+                w::lbm::datasets()
+                    .into_iter()
+                    .map(|(l, d, s, r)| w::lbm::case(l, d, s, r))
+                    .collect()
+            }
+        }
+        "optionpricing" => {
+            if quick {
+                vec![w::optionpricing::case("medium", 2048, 32, 2)]
+            } else {
+                w::optionpricing::datasets()
+                    .into_iter()
+                    .map(|(l, n, s, r)| w::optionpricing::case(l, n, s, r))
+                    .collect()
+            }
+        }
+        "locvolcalib" => {
+            if quick {
+                vec![w::locvolcalib::case("small", 16, 64, 16, 2)]
+            } else {
+                w::locvolcalib::datasets()
+                    .into_iter()
+                    .map(|(l, o, x, t, r)| w::locvolcalib::case(l, o, x, t, r))
+                    .collect()
+            }
+        }
+        "nn" => {
+            if quick {
+                vec![w::nn::case("8552", 8552, 8, 2)]
+            } else {
+                w::nn::datasets()
+                    .into_iter()
+                    .map(|(l, n, k, r)| w::nn::case(l, n, k, r))
+                    .collect()
+            }
+        }
+        other => panic!("unknown benchmark {other}"),
+    }
+}
+
+/// Render measurements in the paper's column format:
+/// Dataset | Ref. | Unopt. Futhark | Opt. Futhark | Opt. Impact.
+pub fn render_table(spec: &TableSpec, rows: &[Measurement]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "TABLE {} — {} ({} runs in the paper; CPU-scaled datasets)\n",
+        roman(spec.number),
+        spec.title,
+        spec.paper_runs
+    ));
+    s.push_str(&format!(
+        "{:<10} {:>12} {:>16} {:>14} {:>12}\n",
+        "Dataset", "Ref.", "Unopt. Futhark", "Opt. Futhark", "Opt. Impact"
+    ));
+    for m in rows {
+        s.push_str(&format!(
+            "{:<10} {:>10.2}ms {:>15.2}x {:>13.2}x {:>11.2}x\n",
+            m.dataset,
+            m.reference.as_secs_f64() * 1e3,
+            m.unopt_rel(),
+            m.opt_rel(),
+            m.impact()
+        ));
+    }
+    s
+}
+
+/// Render the mechanism row (copied/elided bytes) under a table.
+pub fn render_mechanism(rows: &[Measurement]) -> String {
+    let mut s = String::new();
+    for m in rows {
+        s.push_str(&format!(
+            "  {:<10} unopt copied {:>12} B | opt copied {:>12} B | elided {:>12} B\n",
+            m.dataset,
+            m.unopt_stats.bytes_copied,
+            m.opt_stats.bytes_copied,
+            m.opt_stats.bytes_elided
+        ));
+    }
+    s
+}
+
+fn roman(n: usize) -> &'static str {
+    ["", "I", "II", "III", "IV", "V", "VI", "VII"][n]
+}
+
+/// Measure and render one table end to end.
+pub fn run_table(spec: &TableSpec, quick: bool) -> String {
+    let rows: Vec<Measurement> = table_cases(spec.benchmark, quick)
+        .iter()
+        .map(measure_case)
+        .collect();
+    format!("{}{}", render_table(spec, &rows), render_mechanism(&rows))
+}

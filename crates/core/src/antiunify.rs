@@ -1,0 +1,150 @@
+//! Anti-unification (least general generalization) of index functions
+//! (paper §IV-C).
+//!
+//! The branches of an `if` (or a loop's initializer and body result) may
+//! lay out the "same" array with different index functions. Their lgg
+//! keeps the common structure (number of LMADs, ranks, cardinalities) and
+//! replaces disagreeing offsets/strides by fresh *existential* variables
+//! whose per-branch values are returned alongside.
+
+use arraymem_lmad::{Dim, IndexFn, Lmad};
+use arraymem_symbolic::{Poly, Sym};
+
+/// One existential introduced by anti-unification: the fresh variable and
+/// its value in each of the two sides.
+#[derive(Clone, Debug)]
+pub struct Existential {
+    pub var: Sym,
+    pub left: Poly,
+    pub right: Poly,
+}
+
+/// Anti-unify two index functions. Returns the generalization and the
+/// existentials, or `None` when the structures disagree (different chain
+/// lengths, ranks, or cardinalities) — in which case the caller inserts
+/// normalization copies (§IV-C).
+pub fn anti_unify(a: &IndexFn, b: &IndexFn) -> Option<(IndexFn, Vec<Existential>)> {
+    if a.lmads.len() != b.lmads.len() {
+        return None;
+    }
+    let mut exts: Vec<Existential> = Vec::new();
+    let mut lmads = Vec::with_capacity(a.lmads.len());
+    for (la, lb) in a.lmads.iter().zip(&b.lmads) {
+        lmads.push(anti_unify_lmad(la, lb, &mut exts)?);
+    }
+    Some((IndexFn { lmads }, exts))
+}
+
+fn anti_unify_lmad(a: &Lmad, b: &Lmad, exts: &mut Vec<Existential>) -> Option<Lmad> {
+    if a.dims.len() != b.dims.len() {
+        return None;
+    }
+    let offset = generalize(&a.offset, &b.offset, exts);
+    let mut dims = Vec::with_capacity(a.dims.len());
+    for (da, db) in a.dims.iter().zip(&b.dims) {
+        // Cardinalities are shapes; they must agree or the arrays are not
+        // even the same size.
+        if da.card != db.card {
+            return None;
+        }
+        dims.push(Dim {
+            card: da.card.clone(),
+            stride: generalize(&da.stride, &db.stride, exts),
+        });
+    }
+    Some(Lmad { offset, dims })
+}
+
+fn generalize(a: &Poly, b: &Poly, exts: &mut Vec<Existential>) -> Poly {
+    if a == b {
+        return a.clone();
+    }
+    // Reuse an existing existential with the same pair of values, so e.g.
+    // equal strides generalize to the same variable.
+    if let Some(e) = exts.iter().find(|e| &e.left == a && &e.right == b) {
+        return Poly::var(e.var);
+    }
+    let var = Sym::fresh("ext");
+    exts.push(Existential {
+        var,
+        left: a.clone(),
+        right: b.clone(),
+    });
+    Poly::var(var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arraymem_symbolic::{sym, Poly};
+
+    fn v(name: &str) -> Poly {
+        Poly::var(sym(name))
+    }
+
+    #[test]
+    fn lgg_of_row_and_col_major() {
+        // Paper §IV-C: lgg of R(n,m) and C(n,m) is 0 + {(n:a)(m:b)}.
+        let n = v("n");
+        let m = v("m");
+        let r = IndexFn::row_major(&[n.clone(), m.clone()]);
+        let c = IndexFn::col_major(&[n.clone(), m.clone()]);
+        let (g, exts) = anti_unify(&r, &c).unwrap();
+        assert_eq!(exts.len(), 2);
+        let l = g.as_single().unwrap();
+        assert_eq!(l.offset, Poly::zero());
+        assert_eq!(l.dims[0].card, n);
+        assert_eq!(l.dims[1].card, m);
+        // strides are the two existentials with values (m,1) and (1,n)
+        assert_eq!(exts[0].left, m);
+        assert_eq!(exts[0].right, Poly::constant(1));
+        assert_eq!(exts[1].left, Poly::constant(1));
+        assert_eq!(exts[1].right, n);
+    }
+
+    #[test]
+    fn lgg_identical_is_identity() {
+        let r = IndexFn::row_major(&[v("n")]);
+        let (g, exts) = anti_unify(&r, &r.clone()).unwrap();
+        assert!(exts.is_empty());
+        assert_eq!(g, r);
+    }
+
+    #[test]
+    fn lgg_shares_existentials_for_equal_pairs() {
+        // Offsets differ identically in two places: one existential.
+        let a = IndexFn::from_lmad(Lmad::new(v("x"), vec![Dim::new(v("n"), v("x"))]));
+        let b = IndexFn::from_lmad(Lmad::new(v("y"), vec![Dim::new(v("n"), v("y"))]));
+        let (g, exts) = anti_unify(&a, &b).unwrap();
+        assert_eq!(exts.len(), 1);
+        let l = g.as_single().unwrap();
+        assert_eq!(l.offset, Poly::var(exts[0].var));
+        assert_eq!(l.dims[0].stride, Poly::var(exts[0].var));
+    }
+
+    #[test]
+    fn lgg_fails_on_rank_mismatch() {
+        let a = IndexFn::row_major(&[v("n")]);
+        let b = IndexFn::row_major(&[v("n"), v("m")]);
+        assert!(anti_unify(&a, &b).is_none());
+    }
+
+    #[test]
+    fn lgg_fails_on_card_mismatch() {
+        let a = IndexFn::row_major(&[v("n")]);
+        let b = IndexFn::row_major(&[v("m")]);
+        assert!(anti_unify(&a, &b).is_none());
+    }
+
+    #[test]
+    fn lgg_fails_on_chain_length_mismatch() {
+        let single = IndexFn::row_major(&[v("n")]);
+        let double = IndexFn {
+            lmads: vec![
+                Lmad::new(0, vec![Dim::new(v("n"), 2)]),
+                Lmad::new(0, vec![Dim::new(v("n"), 1)]),
+            ],
+        };
+        assert!(anti_unify(&single, &double).is_none());
+    }
+}

@@ -1,0 +1,72 @@
+//! Dead-allocation elimination: after short-circuiting rebases arrays into
+//! destination memory, their original blocks may be entirely unreferenced;
+//! remove those `alloc` statements (this is where the footprint reduction
+//! comes from, in addition to the copy elision).
+
+use arraymem_ir::{Block, Exp, MapBody, Program, Var};
+use std::collections::HashSet;
+
+/// Remove `alloc` statements whose block variable is referenced by no
+/// memory binding, expression, or block result anywhere in the program.
+pub fn remove_dead_allocs(prog: &mut Program) {
+    let mut used: HashSet<Var> = HashSet::new();
+    collect_used(&prog.body, &mut used);
+    prune(&mut prog.body, &used);
+}
+
+fn collect_used(block: &Block, used: &mut HashSet<Var>) {
+    for stm in &block.stms {
+        // An alloc's own pattern var does not count as a use.
+        if !matches!(stm.exp, Exp::Alloc { .. }) {
+            used.extend(stm.exp.free_vars());
+        }
+        for pe in &stm.pat {
+            if let Some(mb) = &pe.mem {
+                used.insert(mb.block);
+                used.extend(mb.ixfn.vars());
+            }
+        }
+        match &stm.exp {
+            Exp::If {
+                then_b, else_b, ..
+            } => {
+                collect_used(then_b, used);
+                collect_used(else_b, used);
+            }
+            Exp::Loop { body, inits, .. } => {
+                used.extend(inits.iter().copied());
+                collect_used(body, used);
+            }
+            Exp::Map(m) => {
+                if let MapBody::Lambda { body, .. } = &m.body {
+                    collect_used(body, used);
+                }
+            }
+            _ => {}
+        }
+    }
+    used.extend(block.result.iter().copied());
+}
+
+fn prune(block: &mut Block, used: &HashSet<Var>) {
+    block
+        .stms
+        .retain(|stm| !matches!(stm.exp, Exp::Alloc { .. }) || used.contains(&stm.pat[0].var));
+    for stm in &mut block.stms {
+        match &mut stm.exp {
+            Exp::If {
+                then_b, else_b, ..
+            } => {
+                prune(then_b, used);
+                prune(else_b, used);
+            }
+            Exp::Loop { body, .. } => prune(body, used),
+            Exp::Map(m) => {
+                if let MapBody::Lambda { body, .. } = &mut m.body {
+                    prune(body, used);
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! The paper's primary contribution: an LMAD-based notion of memory in the
+//! IR, and the **array short-circuiting** optimization.
+//!
+//! Pipeline (all passes operate on the shared IR of `arraymem-ir`, whose
+//! memory annotations are optional "add-ons"):
+//!
+//! 1. [`introduce`] — insert `alloc` statements and `@mem → ixfn`
+//!    annotations (paper §IV-C); `if`/`loop` results get *existential*
+//!    memory via anti-unification ([`antiunify`]) of the index functions.
+//! 2. [`hoist`] — aggressively hoist allocations upward, enabling the
+//!    second safety property of short-circuiting (§V, property 2).
+//! 3. [`short_circuit`] — the bottom-up analysis of §V: detect circuit
+//!    points, rebase the candidate's alias web into the destination
+//!    memory, maintain the `U_xss`/`W_bs` access summaries, and verify
+//!    non-overlap with the static test of §V-C; on success the update /
+//!    concat copy is elided and mapnests construct their rows in place.
+//! 4. [`cleanup`] — remove allocations whose memory became unreferenced.
+//!
+//! [`compile`] runs the whole pipeline and returns the optimized program
+//! together with a [`Report`] of every candidate considered.
+
+pub mod antiunify;
+pub mod cleanup;
+pub mod hoist;
+pub mod introduce;
+pub mod memtable;
+pub mod short_circuit;
+
+pub use memtable::MemTable;
+pub use short_circuit::{CandidateOutcome, Report};
+
+use arraymem_ir::Program;
+use arraymem_symbolic::Env;
+
+/// Compilation options. The extra switches exist for the ablation
+/// studies (see `crates/bench/benches/ablations.rs`): each disables one
+/// ingredient DESIGN.md calls out, so its contribution can be measured.
+#[derive(Clone)]
+pub struct Options {
+    /// Run the array short-circuiting optimization.
+    pub short_circuit: bool,
+    /// Assumptions about the program's size parameters (e.g. `n = q·b+1`,
+    /// `q ≥ 2`), used by the static non-overlap test.
+    pub env: Env,
+    /// Hoist allocations (§V property 2). Disabling defeats candidates
+    /// whose destination memory is allocated after the fresh definition.
+    pub hoist: bool,
+    /// Let safe kernel mapnests construct rows directly in their result
+    /// memory (§V-A(e)). Disabling keeps the per-instance private-row
+    /// copy even where it is provably unnecessary.
+    pub mapnest_in_place: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            short_circuit: false,
+            env: Env::default(),
+            hoist: true,
+            mapnest_in_place: true,
+        }
+    }
+}
+
+/// The result of compilation.
+pub struct Compiled {
+    pub program: Program,
+    pub report: Report,
+}
+
+/// Run the full memory pipeline over a (memory-free) source program.
+pub fn compile(prog: &Program, opts: &Options) -> Result<Compiled, String> {
+    arraymem_ir::validate::validate(prog)?;
+    let mut p = prog.clone();
+    introduce::introduce_memory(&mut p)?;
+    if opts.hoist {
+        hoist::hoist_allocations(&mut p);
+    }
+    let report = if opts.short_circuit {
+        short_circuit::short_circuit_with(&mut p, &opts.env, opts.mapnest_in_place)
+    } else {
+        Report::default()
+    };
+    cleanup::remove_dead_allocs(&mut p);
+    Ok(Compiled { program: p, report })
+}
+
+#[cfg(test)]
+mod tests;

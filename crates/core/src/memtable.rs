@@ -1,0 +1,78 @@
+//! A side table collecting the memory bindings of every array variable in
+//! a program (from pattern annotations and synthesized parameter
+//! bindings).
+
+use arraymem_ir::{Block, Exp, MapBody, MemBinding, Program, Var};
+use arraymem_lmad::IndexFn;
+use arraymem_symbolic::Sym;
+use std::collections::HashMap;
+
+/// Maps array variables to their memory bindings and records the memory
+/// block synthesized for each array *parameter* (parameters arrive in
+/// caller-provided blocks, row-major).
+#[derive(Clone, Default, Debug)]
+pub struct MemTable {
+    bindings: HashMap<Var, MemBinding>,
+    /// block var synthesized for each array parameter.
+    pub param_blocks: Vec<(Var, Var)>,
+}
+
+impl MemTable {
+    /// Build the table for a memory-annotated program.
+    pub fn build(prog: &Program) -> MemTable {
+        let mut t = MemTable::default();
+        for (v, ty) in &prog.params {
+            if ty.is_array() {
+                let block = param_block_sym(*v);
+                t.bindings.insert(
+                    *v,
+                    MemBinding {
+                        block,
+                        ixfn: IndexFn::row_major(ty.shape()),
+                    },
+                );
+                t.param_blocks.push((*v, block));
+            }
+        }
+        t.walk(&prog.body);
+        t
+    }
+
+    fn walk(&mut self, block: &Block) {
+        for stm in &block.stms {
+            for pe in &stm.pat {
+                if let Some(mb) = &pe.mem {
+                    self.bindings.insert(pe.var, mb.clone());
+                }
+            }
+            match &stm.exp {
+                Exp::If {
+                    then_b, else_b, ..
+                } => {
+                    self.walk(then_b);
+                    self.walk(else_b);
+                }
+                Exp::Loop { body, .. } => self.walk(body),
+                Exp::Map(m) => {
+                    if let MapBody::Lambda { body, .. } = &m.body {
+                        self.walk(body);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    pub fn get(&self, v: Var) -> Option<&MemBinding> {
+        self.bindings.get(&v)
+    }
+
+    pub fn insert(&mut self, v: Var, mb: MemBinding) {
+        self.bindings.insert(v, mb);
+    }
+}
+
+/// The deterministic block symbol used for an array parameter's memory.
+pub fn param_block_sym(param: Var) -> Sym {
+    arraymem_symbolic::sym(&format!("{param}_mem"))
+}

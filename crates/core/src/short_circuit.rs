@@ -1,0 +1,1393 @@
+//! Array short-circuiting (paper §V).
+//!
+//! A *circuit point* is `let xss[W] = bs` (update) or
+//! `let xss = concat ... bs ...` where `bs` is lastly used. The bottom-up
+//! analysis tries to construct `bs` — and every array in an alias relation
+//! with it — directly inside `xss`'s memory with the rebased index
+//! function, eliding the copy.
+//!
+//! Per candidate the pass maintains two summaries (§V-B):
+//!
+//! - `uses_dst` (`U_xss`): all uses of the destination memory between the
+//!   circuit point (exclusive) and the current statement, walking upward;
+//! - `writes_bs` (`W_bs`): memory written via the rebased alias web.
+//!
+//! Every write through the web must be provably disjoint from `uses_dst`
+//! (the static non-overlap test of §V-C). The analysis finishes when it
+//! reaches the web's *fresh* definition; the four safety properties of §V
+//! are checked along the way:
+//!
+//! 1. `bs` lastly used at the circuit point (last-use analysis);
+//! 2. `xss`'s memory allocated before the fresh definition (enabled by
+//!    allocation hoisting);
+//! 3. valid rebased index functions for the whole alias web, translated
+//!    into scope (symbol-table fixpoint substitution);
+//! 4. no write through the web overlaps a use of `xss`'s memory.
+//!
+//! Mapnests construct their per-iteration rows directly in the result
+//! memory when safe (§V-A(e)); this is decided by a post-pass over the
+//! final bindings and surfaces as `MapExp::in_place_result`.
+
+use arraymem_ir::alias::{aliases, AliasMap};
+use arraymem_ir::lastuse::used_after;
+use arraymem_ir::{
+    Block, Exp, MapBody, MemBinding, Program, ScalarExp, SliceSpec, Stm, UpdateSrc, Var,
+};
+use arraymem_lmad::aggregate::Summary;
+use arraymem_lmad::overlap::non_overlap;
+use arraymem_lmad::{IndexFn, Lmad, Transform, TripletSlice};
+use arraymem_symbolic::{Env, Poly, Sym};
+use std::collections::{HashMap, HashSet};
+
+/// What kind of circuit point a candidate came from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CandidateKind {
+    Update,
+    Concat,
+}
+
+/// The outcome of one short-circuiting candidate, for reporting.
+#[derive(Clone, Debug)]
+pub struct CandidateOutcome {
+    /// Printable name of the array the candidate tried to short-circuit.
+    pub root: String,
+    pub kind: CandidateKind,
+    pub succeeded: bool,
+    /// "ok" or the reason the analysis failed (conservatively).
+    pub reason: String,
+}
+
+/// Aggregate report of a short-circuiting run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    pub candidates: Vec<CandidateOutcome>,
+    /// Number of kernel maps whose rows are constructed in place.
+    pub in_place_maps: usize,
+}
+
+impl Report {
+    pub fn successes(&self) -> usize {
+        self.candidates.iter().filter(|c| c.succeeded).count()
+    }
+
+    pub fn failures(&self) -> usize {
+        self.candidates.len() - self.successes()
+    }
+}
+
+/// Where to apply an elision once a candidate succeeds.
+#[derive(Clone, Debug)]
+enum CircuitAction {
+    /// Mark `Update` at this statement path as elided.
+    ElideUpdate,
+    /// Mark concat argument `k` as elided.
+    ElideConcatArg(usize),
+}
+
+struct Candidate {
+    kind: CandidateKind,
+    root: Var,
+    /// The destination memory block (`xss_mem`).
+    dst_block: Var,
+    /// The rebased alias web: var → new binding.
+    rebased: HashMap<Var, MemBinding>,
+    uses_dst: Summary,
+    writes_bs: Summary,
+    /// Statement index (in the analyzed block) of the circuit point.
+    circuit_at: usize,
+    action: CircuitAction,
+    failed: Option<String>,
+    finished: bool,
+    /// Statement index of the fresh definition, once found.
+    finished_at: Option<usize>,
+}
+
+impl Candidate {
+    fn fail(&mut self, reason: impl Into<String>) {
+        if self.failed.is_none() {
+            self.failed = Some(reason.into());
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.failed.is_none() && !self.finished
+    }
+}
+
+/// Shared pass context.
+struct Ctx {
+    am: AliasMap,
+    /// Global (pre-pass) bindings of every array var.
+    bindings: HashMap<Var, MemBinding>,
+    /// Optimistic overlay: rebasings from candidates that have *finished*
+    /// successfully during this run.
+    overlay: HashMap<Var, MemBinding>,
+    /// Elisions to apply: (block-id, stm idx, action).
+    report: Report,
+}
+
+impl Ctx {
+    fn binding(&self, v: Var) -> Option<MemBinding> {
+        self.overlay
+            .get(&v)
+            .or_else(|| self.bindings.get(&v))
+            .cloned()
+    }
+}
+
+/// Run the short-circuiting pass over a memory-annotated program.
+pub fn short_circuit(prog: &mut Program, env: &Env) -> Report {
+    short_circuit_with(prog, env, true)
+}
+
+/// As [`short_circuit`], with the mapnest in-place post-pass switchable
+/// (for ablations).
+pub fn short_circuit_with(prog: &mut Program, env: &Env, mapnest_in_place: bool) -> Report {
+    let am = aliases(prog);
+    let mut bindings = HashMap::new();
+    crate::introduce::collect_bindings(&prog.body, &mut bindings);
+    for (v, ty) in &prog.params {
+        if ty.is_array() {
+            bindings.insert(
+                *v,
+                MemBinding {
+                    block: crate::memtable::param_block_sym(*v),
+                    ixfn: IndexFn::row_major(ty.shape()),
+                },
+            );
+        }
+    }
+    let mut ctx = Ctx {
+        am,
+        bindings,
+        overlay: HashMap::new(),
+        report: Report::default(),
+    };
+    // Arrays escaping as program results can still be destinations; nothing
+    // special is needed in live_after beyond the result classes (handled by
+    // used_after).
+    let live_after: HashSet<Var> = HashSet::new();
+    // Memory allocated "outside" the body: parameter blocks.
+    let outer_allocs: HashSet<Var> = prog
+        .params
+        .iter()
+        .filter(|(_, ty)| ty.is_array())
+        .map(|(v, _)| crate::memtable::param_block_sym(*v))
+        .collect();
+    let mut body = std::mem::take(&mut prog.body);
+    run_block(&mut body, &live_after, env, &outer_allocs, &mut ctx);
+    // Post-pass: decide which kernel maps build their rows in place.
+    if mapnest_in_place {
+        mark_in_place_maps(&mut body, env, &mut ctx);
+    }
+    prog.body = body;
+    ctx.report
+}
+
+/// Analyze nested blocks first (post-order), then this block's own
+/// statements.
+fn run_block(
+    block: &mut Block,
+    live_after: &HashSet<Var>,
+    env: &Env,
+    outer_allocs: &HashSet<Var>,
+    ctx: &mut Ctx,
+) {
+    let n = block.stms.len();
+    for k in 0..n {
+        // Liveness for the nested block: classes used after stm k, plus the
+        // enclosing live set.
+        let mut nested_live = live_after.clone();
+        for s in &block.stms[k + 1..] {
+            for v in s.exp.free_vars() {
+                nested_live.insert(ctx.am.root(v));
+            }
+        }
+        for v in &block.result {
+            nested_live.insert(ctx.am.root(*v));
+        }
+        // Allocations visible inside the nested block: everything allocated
+        // in this block before k, plus outer.
+        let mut allocs = outer_allocs.clone();
+        for s in &block.stms[..k] {
+            if matches!(s.exp, Exp::Alloc { .. }) {
+                allocs.insert(s.pat[0].var);
+            }
+        }
+        match &mut block.stms[k].exp {
+            Exp::If {
+                then_b, else_b, ..
+            } => {
+                run_block(then_b, &nested_live, env, &allocs, ctx);
+                run_block(else_b, &nested_live, env, &allocs, ctx);
+            }
+            Exp::Loop {
+                params,
+                index,
+                count,
+                body,
+                ..
+            } => {
+                // Merge-parameter classes stay live across iterations, and
+                // memory merge parameters are backed by allocations made
+                // before the loop.
+                for pe in params.iter() {
+                    nested_live.insert(ctx.am.root(pe.var));
+                    if pe.ty == arraymem_ir::Type::Mem {
+                        allocs.insert(pe.var);
+                    }
+                }
+                let mut env2 = env.clone();
+                env2.assume_ge(*index, 0);
+                env2.assume_le(*index, count.clone() - Poly::constant(1));
+                run_block(body, &nested_live, &env2, &allocs, ctx);
+            }
+            _ => {}
+        }
+    }
+    analyze_stms(block, live_after, env, outer_allocs, ctx);
+}
+
+/// Convert a slice spec into a layout transform (for computing access
+/// regions and rebased index functions).
+fn slice_transform(slice: &SliceSpec) -> Option<Transform> {
+    match slice {
+        SliceSpec::Triplet(ts) => Some(Transform::Slice(ts.clone())),
+        SliceSpec::Lmad(l) => Some(Transform::LmadSlice(l.clone())),
+        SliceSpec::Point(es) => {
+            let ts = es
+                .iter()
+                .map(|e| scalar_to_poly(e).map(TripletSlice::Fix))
+                .collect::<Option<Vec<_>>>()?;
+            Some(Transform::Slice(ts))
+        }
+    }
+}
+
+/// Conservative conversion of a scalar expression into a polynomial.
+fn scalar_to_poly(e: &ScalarExp) -> Option<Poly> {
+    use arraymem_ir::BinOp;
+    match e {
+        ScalarExp::Const(arraymem_ir::Constant::I64(c)) => Some(Poly::constant(*c)),
+        ScalarExp::Var(v) => Some(Poly::var(*v)),
+        ScalarExp::Size(p) => Some(p.clone()),
+        ScalarExp::Bin(op, a, b) => {
+            let (a, b) = (scalar_to_poly(a)?, scalar_to_poly(b)?);
+            match op {
+                BinOp::Add => Some(a + b),
+                BinOp::Sub => Some(a - b),
+                BinOp::Mul => Some(a * b),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// The abstract set of memory locations addressed by an index function
+/// (footnote 26: multi-LMAD compositions are over-approximated to Top).
+fn ixfn_set(ixfn: &IndexFn) -> Summary {
+    match ixfn.as_single() {
+        Some(l) => {
+            let mut s = Summary::empty();
+            s.add(l.clone());
+            s
+        }
+        None => Summary::top(),
+    }
+}
+
+/// The memory region written when `slice` of an array with index function
+/// `ixfn` is updated.
+fn slice_region(ixfn: &IndexFn, slice: &SliceSpec) -> Summary {
+    match slice_transform(slice).and_then(|tr| ixfn.transform(&tr)) {
+        Some(f) => ixfn_set(&f),
+        None => Summary::top(),
+    }
+}
+
+/// Main backward walk over one block's statements.
+fn analyze_stms(
+    block: &mut Block,
+    live_after: &HashSet<Var>,
+    env: &Env,
+    outer_allocs: &HashSet<Var>,
+    ctx: &mut Ctx,
+) {
+    // Positions of allocs and scalar definitions for translation/property 2.
+    let mut alloc_pos: HashMap<Var, usize> = HashMap::new();
+    let mut def_pos: HashMap<Var, usize> = HashMap::new();
+    let mut scalar_defs: HashMap<Var, Poly> = HashMap::new();
+    for (k, stm) in block.stms.iter().enumerate() {
+        for pe in &stm.pat {
+            def_pos.insert(pe.var, k);
+        }
+        match &stm.exp {
+            Exp::Alloc { .. } => {
+                alloc_pos.insert(stm.pat[0].var, k);
+            }
+            Exp::Scalar(se) => {
+                if let Some(p) = scalar_to_poly(se) {
+                    scalar_defs.insert(stm.pat[0].var, p);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut cands: Vec<Candidate> = Vec::new();
+    for k in (0..block.stms.len()).rev() {
+        // 1. Process this statement against every active candidate.
+        for ci in 0..cands.len() {
+            if !cands[ci].active() || k >= cands[ci].circuit_at {
+                continue;
+            }
+            let mut cand = std::mem::replace(
+                &mut cands[ci],
+                Candidate {
+                    kind: CandidateKind::Update,
+                    root: Sym::fresh("hole"),
+                    dst_block: Sym::fresh("hole"),
+                    rebased: HashMap::new(),
+                    uses_dst: Summary::empty(),
+                    writes_bs: Summary::empty(),
+                    circuit_at: 0,
+                    action: CircuitAction::ElideUpdate,
+                    failed: None,
+                    finished: true,
+                    finished_at: None,
+                },
+            );
+            process_stm(
+                &mut cand,
+                block,
+                k,
+                env,
+                outer_allocs,
+                &alloc_pos,
+                &def_pos,
+                &scalar_defs,
+                ctx,
+            );
+            // Publish a successful finish immediately so transitive
+            // chaining (Fig. 6a) sees the rebased destination.
+            if cand.finished && cand.failed.is_none() {
+                for (v, mb) in &cand.rebased {
+                    ctx.overlay.insert(*v, mb.clone());
+                }
+            }
+            cands[ci] = cand;
+        }
+        // 2. Maybe create new candidates at this statement.
+        create_candidates(block, k, live_after, &mut cands, ctx);
+    }
+
+    // Apply successful candidates.
+    for cand in cands {
+        let succeeded = cand.finished && cand.failed.is_none();
+        let reason = if succeeded {
+            "ok".to_string()
+        } else {
+            cand.failed
+                .clone()
+                .unwrap_or_else(|| "fresh definition not found in scope".into())
+        };
+        ctx.report.candidates.push(CandidateOutcome {
+            root: format!("{}", cand.root),
+            kind: cand.kind,
+            succeeded,
+            reason,
+        });
+        if !succeeded {
+            continue;
+        }
+        // Rebase the web's definitions.
+        apply_rebase(block, &cand.rebased);
+        for (v, mb) in &cand.rebased {
+            ctx.overlay.insert(*v, mb.clone());
+        }
+        // Elide the circuit point.
+        match cand.action {
+            CircuitAction::ElideUpdate => {
+                if let Exp::Update { elided, .. } = &mut block.stms[cand.circuit_at].exp {
+                    *elided = true;
+                }
+            }
+            CircuitAction::ElideConcatArg(a) => {
+                if let Exp::Concat { elided, .. } = &mut block.stms[cand.circuit_at].exp {
+                    elided[a] = true;
+                }
+            }
+        }
+    }
+}
+
+/// Create candidates for the circuit points in statement `k`.
+fn create_candidates(
+    block: &Block,
+    k: usize,
+    live_after: &HashSet<Var>,
+    cands: &mut Vec<Candidate>,
+    ctx: &Ctx,
+) {
+    let stm = &block.stms[k];
+    match &stm.exp {
+        Exp::Update {
+            dst,
+            slice,
+            src: UpdateSrc::Array(src),
+            elided: false,
+        } => {
+            let mut cand_or_fail = |reason: Option<String>, rebased: HashMap<Var, MemBinding>, dst_block: Var| {
+                cands.push(Candidate {
+                    kind: CandidateKind::Update,
+                    root: *src,
+                    dst_block,
+                    rebased,
+                    uses_dst: Summary::empty(),
+                    writes_bs: Summary::empty(),
+                    circuit_at: k,
+                    action: CircuitAction::ElideUpdate,
+                    failed: reason,
+                    finished: false,
+                    finished_at: None,
+                });
+            };
+            if ctx.am.same_class(*src, *dst) {
+                return; // not a circuit point: src aliases dst
+            }
+            if used_after(block, k, *src, live_after, &ctx.am) {
+                cand_or_fail(
+                    Some("source used after the circuit point".into()),
+                    HashMap::new(),
+                    Sym::fresh("none"),
+                );
+                return;
+            }
+            let Some(dst_mb) = ctx.binding(*dst) else {
+                return;
+            };
+            let Some(tr) = slice_transform(slice) else {
+                cand_or_fail(
+                    Some("slice not expressible as a transform".into()),
+                    HashMap::new(),
+                    dst_mb.block,
+                );
+                return;
+            };
+            let Some(new_ixfn) = dst_mb.ixfn.transform(&tr) else {
+                cand_or_fail(
+                    Some("could not slice the destination index function".into()),
+                    HashMap::new(),
+                    dst_mb.block,
+                );
+                return;
+            };
+            let mut rebased = HashMap::new();
+            rebased.insert(
+                *src,
+                MemBinding {
+                    block: dst_mb.block,
+                    ixfn: new_ixfn,
+                },
+            );
+            cand_or_fail(None, rebased, dst_mb.block);
+        }
+        Exp::Concat { args, elided } => {
+            let res = stm.pat[0].var;
+            let Some(res_mb) = ctx.binding(res) else {
+                return;
+            };
+            let res_shape = stm.pat[0].ty.shape().to_vec();
+            let mut offset = Poly::zero();
+            for (a_idx, &a) in args.iter().enumerate() {
+                let a_ty = slice_arg_shape(block, a, ctx);
+                let Some(a_shape) = a_ty else {
+                    // Without this argument's extent the row offsets of all
+                    // later arguments are unknown: abort the remaining
+                    // candidates rather than rebase them at wrong offsets.
+                    break;
+                };
+                let len = a_shape[0].clone();
+                let this_offset = offset.clone();
+                offset = offset + len.clone();
+                if elided[a_idx] {
+                    continue;
+                }
+                if ctx.am.same_class(a, res)
+                    || used_after(block, k, a, live_after, &ctx.am)
+                    || args[..a_idx].contains(&a)
+                {
+                    // Not lastly used here (e.g. `concat bs bs`: only one of
+                    // the two uses can be a last use — footnote 17).
+                    continue;
+                }
+                // Rebased index function: rows [offset, offset+len) of res.
+                let mut ts = vec![TripletSlice::range(this_offset, len, Poly::constant(1))];
+                for d in &res_shape[1..] {
+                    ts.push(TripletSlice::full(d.clone()));
+                }
+                let Some(new_ixfn) = res_mb.ixfn.transform(&Transform::Slice(ts)) else {
+                    continue;
+                };
+                let mut rebased = HashMap::new();
+                rebased.insert(
+                    a,
+                    MemBinding {
+                        block: res_mb.block,
+                        ixfn: new_ixfn,
+                    },
+                );
+                cands.push(Candidate {
+                    kind: CandidateKind::Concat,
+                    root: a,
+                    dst_block: res_mb.block,
+                    rebased,
+                    uses_dst: Summary::empty(),
+                    writes_bs: Summary::empty(),
+                    circuit_at: k,
+                    action: CircuitAction::ElideConcatArg(a_idx),
+                    failed: None,
+                    finished: false,
+                    finished_at: None,
+                });
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Shape of a concat argument (from its binding type where available).
+fn slice_arg_shape(block: &Block, v: Var, ctx: &Ctx) -> Option<Vec<Poly>> {
+    for stm in &block.stms {
+        for pe in &stm.pat {
+            if pe.var == v {
+                return Some(pe.ty.shape().to_vec());
+            }
+        }
+    }
+    // Fall back to the binding's logical shape.
+    ctx.binding(v).map(|mb| mb.ixfn.shape())
+}
+
+/// Process statement `k` for an active candidate (the heart of the
+/// backward analysis).
+#[allow(clippy::too_many_arguments)]
+fn process_stm(
+    cand: &mut Candidate,
+    block: &Block,
+    k: usize,
+    env: &Env,
+    outer_allocs: &HashSet<Var>,
+    alloc_pos: &HashMap<Var, usize>,
+    def_pos: &HashMap<Var, usize>,
+    scalar_defs: &HashMap<Var, Poly>,
+    ctx: &Ctx,
+) {
+    let stm = &block.stms[k];
+    let defs: Vec<Var> = stm.pat.iter().map(|p| p.var).collect();
+    let web_def: Option<Var> = defs.iter().copied().find(|v| cand.rebased.contains_key(v));
+
+    if let Some(def) = web_def {
+        process_web_def(
+            cand,
+            block,
+            k,
+            def,
+            env,
+            outer_allocs,
+            alloc_pos,
+            def_pos,
+            scalar_defs,
+            ctx,
+        );
+        return;
+    }
+    // A transform *of* a web member defines a forward alias whose index
+    // function must be rebased too ("all variables that are in an alias
+    // relation to bs, for example as and cs", §V): cs = chg-layout(bs)
+    // gets chg-layout ∘ ixfn_new(bs).
+    if let Exp::Transform { src, tr } = &stm.exp {
+        if let Some(src_mb) = cand.rebased.get(src) {
+            match src_mb.ixfn.transform(tr) {
+                Some(ixfn) => {
+                    cand.rebased.insert(
+                        stm.pat[0].var,
+                        MemBinding {
+                            block: cand.dst_block,
+                            ixfn,
+                        },
+                    );
+                }
+                None => cand.fail("untransformable forward alias of the web"),
+            }
+            return;
+        }
+    }
+    // A statement outside the web: record its uses of the destination
+    // memory. Reads of web members are *not* destination uses — the web's
+    // memory holds exactly the member's semantic values at that point (the
+    // uniqueness discipline orders writes).
+    let skip: HashSet<Var> = cand.rebased.keys().copied().collect();
+    let uses = stm_dst_uses(stm, cand.dst_block, &skip, env, ctx);
+    cand.uses_dst.union(&uses);
+}
+
+/// Check a region the web is about to write against the collected uses of
+/// the destination memory.
+fn check_write(cand: &mut Candidate, region: &Summary, env: &Env, what: &str) {
+    if !region.disjoint_from(&cand.uses_dst, env) {
+        cand.fail(format!(
+            "write via {what} may overlap later uses of the destination memory"
+        ));
+    }
+    let mut w = cand.writes_bs.clone();
+    w.union(region);
+    cand.writes_bs = w;
+}
+
+/// Translate an index function to be valid at definition position `at`:
+/// substitute (to a fixpoint) variables defined at or after `at` with their
+/// scalar definitions; fail if any remain (§V-A(b)).
+fn translate_ixfn(
+    ixfn: &IndexFn,
+    at: usize,
+    def_pos: &HashMap<Var, usize>,
+    scalar_defs: &HashMap<Var, Poly>,
+) -> Result<IndexFn, String> {
+    let mut cur = ixfn.clone();
+    for _ in 0..8 {
+        let later: Vec<Var> = cur
+            .vars()
+            .into_iter()
+            .filter(|v| def_pos.get(v).is_some_and(|&d| d >= at))
+            .collect();
+        if later.is_empty() {
+            return Ok(cur);
+        }
+        let mut progressed = false;
+        for v in later {
+            if let Some(p) = scalar_defs.get(&v) {
+                cur = cur.subst(v, p);
+                progressed = true;
+            } else {
+                return Err(format!(
+                    "index function uses {v}, which is not in scope at the definition"
+                ));
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    Err("index-function translation did not converge".into())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_web_def(
+    cand: &mut Candidate,
+    block: &Block,
+    k: usize,
+    def: Var,
+    env: &Env,
+    outer_allocs: &HashSet<Var>,
+    alloc_pos: &HashMap<Var, usize>,
+    def_pos: &HashMap<Var, usize>,
+    scalar_defs: &HashMap<Var, Poly>,
+    ctx: &Ctx,
+) {
+    let stm = &block.stms[k];
+    let binding = cand.rebased[&def].clone();
+    // Property 3b: the binding must be expressible at this definition.
+    let translated = match translate_ixfn(&binding.ixfn, k, def_pos, scalar_defs) {
+        Ok(ix) => MemBinding {
+            block: binding.block,
+            ixfn: ix,
+        },
+        Err(e) => {
+            cand.fail(e);
+            return;
+        }
+    };
+    cand.rebased.insert(def, translated.clone());
+
+    let finalize = |cand: &mut Candidate| {
+        // Property 2: destination memory allocated before this point.
+        let ok = outer_allocs.contains(&cand.dst_block)
+            || alloc_pos
+                .get(&cand.dst_block)
+                .is_some_and(|&a| a < k);
+        if !ok {
+            cand.fail("destination memory not allocated at the fresh definition");
+            return;
+        }
+        cand.finished = true;
+        cand.finished_at = Some(k);
+    };
+
+    match &stm.exp {
+        Exp::Transform { src, tr } => {
+            // bs = chg-layout(as): rebase as with the inverse transform
+            // (§V-A(a)); only invertible transforms are supported.
+            let src_shape = ctx
+                .binding(*src)
+                .map(|mb| mb.ixfn.shape())
+                .unwrap_or_default();
+            match translated.ixfn.untransform(tr, &src_shape) {
+                Some(src_ixfn) => {
+                    cand.rebased.insert(
+                        *src,
+                        MemBinding {
+                            block: cand.dst_block,
+                            ixfn: src_ixfn,
+                        },
+                    );
+                }
+                None => cand.fail("non-invertible change-of-layout transformation"),
+            }
+        }
+        Exp::Update {
+            dst, slice, src, ..
+        } => {
+            // The web flows through the update: dst joins the web.
+            cand.rebased.insert(*dst, translated.clone());
+            let region = slice_region(&translated.ixfn, slice);
+            check_write(cand, &region, env, "an in-place update");
+            if let UpdateSrc::Array(s) = src {
+                if let Some(smb) = ctx.binding(*s) {
+                    if smb.block == cand.dst_block && !cand.rebased.contains_key(s) {
+                        // Copying from the destination memory into the web:
+                        // the read must not overlap what the web writes
+                        // later... conservatively require disjointness from
+                        // the write region now.
+                        let reads = ixfn_set(&smb.ixfn);
+                        if !reads.disjoint_from(&region, env) {
+                            cand.fail("update source reads the written region");
+                        }
+                        cand.uses_dst.union(&reads);
+                    }
+                }
+            }
+        }
+        Exp::Scratch { .. } => {
+            // Uninitialized fresh array: nothing written yet.
+            finalize(cand);
+        }
+        Exp::Iota(_) | Exp::Replicate { .. } => {
+            let region = ixfn_set(&translated.ixfn);
+            check_write(cand, &region, env, "a fresh-array fill");
+            finalize(cand);
+        }
+        Exp::Copy(src) => {
+            let region = ixfn_set(&translated.ixfn);
+            check_write(cand, &region, env, "a fresh copy");
+            if cand.rebased.contains_key(src) {
+                cand.fail("copy source is itself the rebased region");
+                return;
+            }
+            if let Some(smb) = ctx.binding(*src) {
+                if smb.block == cand.dst_block {
+                    let reads = ixfn_set(&smb.ixfn);
+                    if !reads.disjoint_from(&region, env) {
+                        cand.fail("copy source overlaps the rebased destination region");
+                    }
+                }
+            }
+            finalize(cand);
+        }
+        Exp::Concat { args, .. } => {
+            let region = ixfn_set(&translated.ixfn);
+            check_write(cand, &region, env, "a concatenation");
+            for a in args {
+                if let Some(amb) = ctx.binding(*a) {
+                    if amb.block == cand.dst_block && !cand.rebased.contains_key(a) {
+                        let reads = ixfn_set(&amb.ixfn);
+                        if !reads.disjoint_from(&region, env) {
+                            cand.fail("concat argument overlaps the rebased region");
+                        }
+                    }
+                }
+            }
+            finalize(cand);
+        }
+        Exp::Map(m) => {
+            // The fresh definition is a parallel mapnest: its iterations
+            // execute out of order. Reads of the destination memory must
+            // be disjoint from the write region — entirely for inputs read
+            // arbitrarily, and for every *other* iteration's row for
+            // inputs read row-wise (§V-B: U(j≠i) ∩ W(i) = ∅).
+            let region = ixfn_set(&translated.ixfn);
+            check_write(cand, &region, env, "a mapnest result");
+            let whole: &[usize] = match &m.body {
+                MapBody::Kernel { whole_inputs, .. } => whole_inputs,
+                MapBody::Lambda { .. } => &[],
+            };
+            for (ii, inp) in m.inputs.iter().enumerate() {
+                let imb = match cand.rebased.get(inp) {
+                    Some(mb) => mb.clone(),
+                    None => match ctx.binding(*inp) {
+                        Some(mb) => mb,
+                        None => continue,
+                    },
+                };
+                if imb.block != cand.dst_block {
+                    continue;
+                }
+                let reads = ixfn_set(&imb.ixfn);
+                // Whole-set disjointness suffices (the NW case: Fig. 9).
+                if reads.disjoint_from(&region, env) {
+                    continue;
+                }
+                let row_wise = !whole.contains(&ii) && imb.ixfn.rank() >= 1;
+                if row_wise
+                    && rowwise_map_disjoint(&translated.ixfn, &imb.ixfn, &m.width, env)
+                {
+                    continue;
+                }
+                cand.fail(format!(
+                    "mapnest input {inp} overlaps the rebased write region"
+                ));
+            }
+            finalize(cand);
+        }
+        Exp::If {
+            then_b, else_b, ..
+        } => {
+            // Fig. 5a: short-circuit each branch's result independently.
+            let pos = stm
+                .pat
+                .iter()
+                .position(|pe| pe.var == def)
+                .expect("web def in pattern");
+            let mut visible_allocs = outer_allocs.clone();
+            for (v, &at) in alloc_pos {
+                if at < k {
+                    visible_allocs.insert(*v);
+                }
+            }
+            let mut ok = true;
+            for branch in [then_b, else_b] {
+                match analyze_nested_result(
+                    branch,
+                    branch.result[pos],
+                    &translated,
+                    cand.dst_block,
+                    env,
+                    &visible_allocs,
+                    ctx,
+                ) {
+                    Ok((reb, uses, writes)) => {
+                        for (v, mb) in reb {
+                            cand.rebased.insert(v, mb);
+                        }
+                        cand.uses_dst.union(&uses);
+                        let mut w = cand.writes_bs.clone();
+                        w.union(&writes);
+                        cand.writes_bs = w;
+                    }
+                    Err(e) => {
+                        cand.fail(format!("if-branch analysis failed: {e}"));
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok && cand.failed.is_none() {
+                finalize(cand);
+            }
+        }
+        Exp::Loop {
+            params,
+            inits,
+            index,
+            count,
+            body,
+        } => {
+            // Fig. 5b: (1) the merge size is invariant by construction;
+            // (2) short-circuit the body result within the body;
+            // (3) ordering emerges from treating the merge parameter as a
+            //     destination-resident array whose reads are uses;
+            // (4) rebase the initializer and keep walking upward.
+            let pos = stm
+                .pat
+                .iter()
+                .position(|pe| pe.var == def)
+                .expect("web def in pattern");
+            let mut env2 = env.clone();
+            env2.assume_ge(*index, 0);
+            env2.assume_le(*index, count.clone() - Poly::constant(1));
+            let param_var = params[pos].var;
+            let mut visible_allocs = outer_allocs.clone();
+            for (v, &at) in alloc_pos {
+                if at < k {
+                    visible_allocs.insert(*v);
+                }
+            }
+            match analyze_loop_body(
+                body,
+                body.result[pos],
+                param_var,
+                &translated,
+                cand.dst_block,
+                &env2,
+                &visible_allocs,
+                ctx,
+            ) {
+                Ok((reb, uses_i, writes_i)) => {
+                    for (v, mb) in reb {
+                        cand.rebased.insert(v, mb);
+                    }
+                    // Cross-iteration safety: the writes of iteration i must
+                    // not overlap the uses of any *later* iteration j > i
+                    // (the loop is sequential; fig. 7b).
+                    if !cross_iteration_disjoint(&writes_i, &uses_i, *index, count, env) {
+                        cand.fail("loop writes may overlap later iterations' uses");
+                        return;
+                    }
+                    // Aggregate the body summaries over the whole loop.
+                    let uses_all = uses_i.aggregate(*index, count, env);
+                    let writes_all = writes_i.aggregate(*index, count, env);
+                    if !writes_all.disjoint_from(&cand.uses_dst, env) {
+                        cand.fail("loop writes may overlap uses after the loop");
+                        return;
+                    }
+                    cand.uses_dst.union(&uses_all);
+                    let mut w = cand.writes_bs.clone();
+                    w.union(&writes_all);
+                    cand.writes_bs = w;
+                    // The initializer joins the web with the same binding.
+                    cand.rebased.insert(inits[pos], translated.clone());
+                }
+                Err(e) => cand.fail(format!("loop-body analysis failed: {e}")),
+            }
+        }
+        Exp::Scalar(_) | Exp::Alloc { .. } => {
+            cand.fail("web member defined by a non-array expression");
+        }
+    }
+}
+
+/// Analyze a nested block in which `target` (the block's result) must be
+/// short-circuited to `binding`. Returns the rebased web and the block's
+/// destination uses/writes.
+fn analyze_nested_result(
+    block: &Block,
+    target: Var,
+    binding: &MemBinding,
+    dst_block: Var,
+    env: &Env,
+    outer_allocs: &HashSet<Var>,
+    ctx: &Ctx,
+) -> Result<(HashMap<Var, MemBinding>, Summary, Summary), String> {
+    let (reb, uses, writes, _) = analyze_nested_candidate(
+        block, target, None, binding, dst_block, env, outer_allocs, ctx,
+    )?;
+    Ok((reb, uses, writes))
+}
+
+/// Run the backward candidate analysis over a nested block. `extra_web`
+/// optionally seeds another variable (a loop merge parameter) into the
+/// web with the same binding.
+#[allow(clippy::too_many_arguments)]
+fn analyze_nested_candidate(
+    block: &Block,
+    target: Var,
+    extra_web: Option<(Var, MemBinding)>,
+    binding: &MemBinding,
+    dst_block: Var,
+    env: &Env,
+    outer_allocs: &HashSet<Var>,
+    ctx: &Ctx,
+) -> Result<(HashMap<Var, MemBinding>, Summary, Summary, Option<usize>), String> {
+    let mut alloc_pos: HashMap<Var, usize> = HashMap::new();
+    let mut def_pos: HashMap<Var, usize> = HashMap::new();
+    let mut scalar_defs: HashMap<Var, Poly> = HashMap::new();
+    for (k, stm) in block.stms.iter().enumerate() {
+        for pe in &stm.pat {
+            def_pos.insert(pe.var, k);
+        }
+        match &stm.exp {
+            Exp::Alloc { .. } => {
+                alloc_pos.insert(stm.pat[0].var, k);
+            }
+            Exp::Scalar(se) => {
+                if let Some(p) = scalar_to_poly(se) {
+                    scalar_defs.insert(stm.pat[0].var, p);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut web = HashMap::from([(target, binding.clone())]);
+    if let Some((v, mb)) = extra_web {
+        web.insert(v, mb);
+    }
+    let mut child = Candidate {
+        kind: CandidateKind::Update,
+        root: target,
+        dst_block,
+        rebased: web,
+        uses_dst: Summary::empty(),
+        writes_bs: Summary::empty(),
+        circuit_at: block.stms.len(),
+        action: CircuitAction::ElideUpdate,
+        failed: None,
+        finished: false,
+        finished_at: None,
+    };
+    for k in (0..block.stms.len()).rev() {
+        if !child.active() {
+            break;
+        }
+        process_stm(
+            &mut child,
+            block,
+            k,
+            env,
+            outer_allocs,
+            &alloc_pos,
+            &def_pos,
+            &scalar_defs,
+            ctx,
+        );
+    }
+    if let Some(e) = child.failed {
+        return Err(e);
+    }
+    if !child.finished {
+        return Err("nested result's fresh definition not found".into());
+    }
+    Ok((child.rebased, child.uses_dst, child.writes_bs, child.finished_at))
+}
+
+/// Like [`analyze_nested_result`] but for a loop body, where the merge
+/// parameter (the previous iteration's value) is treated as an array
+/// resident in the destination memory with the same binding — its reads
+/// therefore register as destination uses, which is exactly condition (3)
+/// of Fig. 5b.
+#[allow(clippy::too_many_arguments)]
+fn analyze_loop_body(
+    body: &Block,
+    target: Var,
+    param: Var,
+    binding: &MemBinding,
+    dst_block: Var,
+    env: &Env,
+    outer_allocs: &HashSet<Var>,
+    ctx: &Ctx,
+) -> Result<(HashMap<Var, MemBinding>, Summary, Summary), String> {
+    let (reb, uses, writes, finished_at) = analyze_nested_candidate(
+        body,
+        target,
+        Some((param, binding.clone())),
+        binding,
+        dst_block,
+        env,
+        outer_allocs,
+        ctx,
+    )?;
+    // Fig. 5b condition (3): the web's fresh definition must come after
+    // the last use of the iteration input `param` — otherwise the previous
+    // iteration's values would be read after being overwritten.
+    if let Some(f) = finished_at {
+        for stm in &body.stms[f + 1..] {
+            if stm.exp.free_vars().contains(&param) {
+                return Err(format!(
+                    "merge parameter {param} used at or after the fresh definition"
+                ));
+            }
+        }
+        if body.result.contains(&param) {
+            return Err(format!("merge parameter {param} escapes the body"));
+        }
+    }
+    Ok((reb, uses, writes))
+}
+
+/// Per-iteration mapnest check: writes of iteration `i` (row `i` of the
+/// rebased output) must not overlap the row-wise reads of any *other*
+/// iteration `j ≠ i` (iterations execute out of order, §V-B). Same-row
+/// overlap is fine: instance `i` reads its own inputs before/while writing
+/// its own row, with no cross-instance interference.
+fn rowwise_map_disjoint(out_ixfn: &IndexFn, in_ixfn: &IndexFn, width: &Poly, env: &Env) -> bool {
+    let i = Sym::fresh("map_i");
+    let d = Sym::fresh("map_d");
+    let row = |ixfn: &IndexFn, at: Poly| -> Option<Lmad> {
+        let shape = ixfn.shape();
+        let mut ts = vec![TripletSlice::Fix(at)];
+        for s in &shape[1..] {
+            ts.push(TripletSlice::full(s.clone()));
+        }
+        let f = ixfn.transform(&Transform::Slice(ts))?;
+        f.as_single().cloned()
+    };
+    let mut env2 = env.clone();
+    env2.assume_ge(i, 0);
+    env2.assume_ge(d, 0);
+    // Both i and j = i+1+d lie in [0, width).
+    env2.assume_le(i, width.clone() - Poly::constant(2) - Poly::var(d));
+    env2.assume_le(d, width.clone() - Poly::constant(2));
+    let j = Poly::var(i) + Poly::constant(1) + Poly::var(d);
+    // Direction 1: write row i vs read row j > i.
+    // Direction 2: write row j vs read row i < j.
+    let (Some(w_i), Some(u_j)) = (row(out_ixfn, Poly::var(i)), row(in_ixfn, j.clone())) else {
+        return false;
+    };
+    let (Some(w_j), Some(u_i)) = (row(out_ixfn, j), row(in_ixfn, Poly::var(i))) else {
+        return false;
+    };
+    non_overlap(&w_i, &u_j, &env2) && non_overlap(&w_j, &u_i, &env2)
+}
+
+/// `W(i) ∩ U(j) = ∅` for all `j > i` within the loop bounds: substitute
+/// `j = i + 1 + d`, `d ≥ 0`, and test pairwise non-overlap.
+fn cross_iteration_disjoint(
+    writes_i: &Summary,
+    uses_i: &Summary,
+    index: Var,
+    count: &Poly,
+    env: &Env,
+) -> bool {
+    if uses_i.is_empty() || writes_i.is_empty() {
+        return true;
+    }
+    let (Some(ws), Some(us)) = (writes_i.lmads(), uses_i.lmads()) else {
+        return false;
+    };
+    let d = Sym::fresh("iter_d");
+    let j = Poly::var(index) + Poly::constant(1) + Poly::var(d);
+    let mut env2 = env.clone();
+    env2.assume_ge(index, 0);
+    env2.assume_ge(d, 0);
+    // j ≤ count - 1  ⇒  d ≤ count - 2 - i
+    env2.assume_le(
+        d,
+        count.clone() - Poly::constant(2) - Poly::var(index),
+    );
+    for w in ws {
+        for u in us {
+            let u_later = u.subst(index, &j);
+            if !non_overlap(w, &u_later, &env2) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Uses of the destination memory made by one statement outside the web
+/// (reads and writes both count — §V-B).
+fn stm_dst_uses(
+    stm: &Stm,
+    dst_block: Var,
+    skip: &HashSet<Var>,
+    env: &Env,
+    ctx: &Ctx,
+) -> Summary {
+    let mut uses = Summary::empty();
+    let add_var = |v: Var, uses: &mut Summary| {
+        if skip.contains(&v) {
+            return;
+        }
+        if let Some(mb) = ctx.binding(v) {
+            if mb.block == dst_block {
+                uses.union(&ixfn_set(&mb.ixfn));
+            }
+        }
+    };
+    match &stm.exp {
+        Exp::Update { dst, slice, src, .. } => {
+            if !skip.contains(dst) {
+                if let Some(mb) = ctx.binding(*dst) {
+                    if mb.block == dst_block {
+                        uses.union(&slice_region(&mb.ixfn, slice));
+                    }
+                }
+            }
+            if let UpdateSrc::Array(s) = src {
+                add_var(*s, &mut uses);
+            }
+        }
+        Exp::If {
+            then_b, else_b, ..
+        } => {
+            uses.union(&block_dst_uses(then_b, dst_block, skip, env, ctx));
+            uses.union(&block_dst_uses(else_b, dst_block, skip, env, ctx));
+        }
+        Exp::Loop {
+            params,
+            inits,
+            index,
+            count,
+            body,
+        } => {
+            for init in inits {
+                add_var(*init, &mut uses);
+            }
+            // A nested loop's body uses, aggregated over its iterations.
+            let mut env2 = env.clone();
+            env2.assume_ge(*index, 0);
+            env2.assume_le(*index, count.clone() - Poly::constant(1));
+            let mut inner = block_dst_uses(body, dst_block, skip, env, ctx);
+            for pe in params {
+                if let Some(mb) = &pe.mem {
+                    if mb.block == dst_block {
+                        inner.union(&ixfn_set(&mb.ixfn));
+                    }
+                }
+            }
+            uses.union(&inner.aggregate(*index, count, &env2));
+        }
+        // Change-of-layout transforms are O(1) metadata operations: they
+        // touch no memory and are not uses.
+        Exp::Transform { .. } => {}
+        _ => {
+            for v in stm.exp.free_vars() {
+                add_var(v, &mut uses);
+            }
+        }
+    }
+    uses
+}
+
+/// All uses of the destination memory in a block (recursive).
+fn block_dst_uses(
+    block: &Block,
+    dst_block: Var,
+    skip: &HashSet<Var>,
+    env: &Env,
+    ctx: &Ctx,
+) -> Summary {
+    let mut uses = Summary::empty();
+    for stm in &block.stms {
+        uses.union(&stm_dst_uses(stm, dst_block, skip, env, ctx));
+        // Writes via bindings into the destination block also count.
+        for pe in &stm.pat {
+            if let Some(mb) = &pe.mem {
+                if mb.block == dst_block {
+                    uses.union(&ixfn_set(&mb.ixfn));
+                }
+            }
+        }
+    }
+    uses
+}
+
+/// Rewrite the definitions of rebased variables with their new bindings.
+fn apply_rebase(block: &mut Block, rebased: &HashMap<Var, MemBinding>) {
+    for stm in &mut block.stms {
+        for pe in &mut stm.pat {
+            if let Some(mb) = rebased.get(&pe.var) {
+                pe.mem = Some(mb.clone());
+            }
+        }
+        match &mut stm.exp {
+            Exp::If {
+                then_b, else_b, ..
+            } => {
+                apply_rebase(then_b, rebased);
+                apply_rebase(else_b, rebased);
+            }
+            Exp::Loop { params, body, .. } => {
+                for pe in params.iter_mut() {
+                    if let Some(mb) = rebased.get(&pe.var) {
+                        pe.mem = Some(mb.clone());
+                    }
+                }
+                apply_rebase(body, rebased);
+            }
+            Exp::Map(m) => {
+                if let MapBody::Lambda { body, .. } = &mut m.body {
+                    apply_rebase(body, rebased);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Post-pass: a kernel map with a non-scalar row may construct each row
+/// directly in its result memory when no input view can alias memory the
+/// map is writing (§V-A(e)). With the final (possibly rebased) bindings
+/// this is a local check per map statement.
+fn mark_in_place_maps(block: &mut Block, env: &Env, ctx: &mut Ctx) {
+    // Rebuild the final bindings (pattern annotations are authoritative).
+    let mut bindings: HashMap<Var, MemBinding> = ctx.bindings.clone();
+    let mut tmp = HashMap::new();
+    crate::introduce::collect_bindings(block, &mut tmp);
+    bindings.extend(tmp);
+    mark_block(block, env, &bindings, &mut ctx.report);
+}
+
+fn mark_block(
+    block: &mut Block,
+    env: &Env,
+    bindings: &HashMap<Var, MemBinding>,
+    report: &mut Report,
+) {
+    for stm in &mut block.stms {
+        match &mut stm.exp {
+            Exp::Map(m) => {
+                let is_row = matches!(
+                    &m.body,
+                    MapBody::Kernel { row_shape, .. } if !row_shape.is_empty()
+                );
+                if is_row {
+                    let out_mb = stm.pat[0]
+                        .mem
+                        .clone()
+                        .or_else(|| bindings.get(&stm.pat[0].var).cloned());
+                    if let Some(out_mb) = out_mb {
+                        let out_set = ixfn_set(&out_mb.ixfn);
+                        let whole: &[usize] = match &m.body {
+                            MapBody::Kernel { whole_inputs, .. } => whole_inputs,
+                            MapBody::Lambda { .. } => &[],
+                        };
+                        let mut safe = true;
+                        for (ii, inp) in m.inputs.iter().enumerate() {
+                            let Some(imb) = bindings.get(inp) else { continue };
+                            if imb.block != out_mb.block {
+                                continue;
+                            }
+                            if out_set.disjoint_from(&ixfn_set(&imb.ixfn), env) {
+                                continue;
+                            }
+                            // Row-wise inputs: the per-iteration check the
+                            // candidate analysis already performed (§V-B).
+                            let row_wise = !whole.contains(&ii) && imb.ixfn.rank() >= 1;
+                            if row_wise
+                                && rowwise_map_disjoint(&out_mb.ixfn, &imb.ixfn, &m.width, env)
+                            {
+                                continue;
+                            }
+                            safe = false;
+                            break;
+                        }
+                        if safe {
+                            m.in_place_result = true;
+                            report.in_place_maps += 1;
+                        }
+                    }
+                }
+            }
+            Exp::If {
+                then_b, else_b, ..
+            } => {
+                mark_block(then_b, env, bindings, report);
+                mark_block(else_b, env, bindings, report);
+            }
+            Exp::Loop {
+                index,
+                count,
+                body,
+                ..
+            } => {
+                let mut env2 = env.clone();
+                env2.assume_ge(*index, 0);
+                env2.assume_le(*index, count.clone() - Poly::constant(1));
+                mark_block(body, &env2, bindings, report);
+            }
+            _ => {}
+        }
+    }
+}

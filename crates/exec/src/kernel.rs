@@ -1,0 +1,72 @@
+//! The kernel registry: native map bodies.
+//!
+//! A kernel is the runtime counterpart of the code the paper's compiler
+//! generates for a GPU kernel: a function invoked once per map instance,
+//! reading its input views (with inlined index-function addressing) and
+//! writing its output row.
+//!
+//! **Contract** (relied on by the index analysis, §V-B): instance `i` may
+//! write only through `ctx.out` (its own row), and may read only row `i`
+//! of each input *not* declared in the map's `whole_inputs` list; declared
+//! whole inputs may be read arbitrarily.
+
+use crate::value::Value;
+use crate::view::{View, ViewMut};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Per-instance kernel context.
+pub struct KernelCtx<'a> {
+    /// The map instance index.
+    pub i: i64,
+    /// Whole input views (use `.row(ctx.i)` for the row-wise contract).
+    pub inputs: &'a [View],
+    /// Scalar arguments.
+    pub args: &'a [Value],
+    /// The instance's output row (scalar maps: a rank-0 view).
+    pub out: ViewMut,
+}
+
+impl KernelCtx<'_> {
+    pub fn arg_i64(&self, k: usize) -> i64 {
+        self.args[k].as_i64()
+    }
+
+    pub fn arg_f32(&self, k: usize) -> f32 {
+        self.args[k].as_f32()
+    }
+}
+
+/// A kernel body. `Arc` so registries can be shared across benches.
+pub type KernelFn = Arc<dyn Fn(&KernelCtx) + Send + Sync>;
+
+/// Registry mapping kernel names (as referenced by `MapBody::Kernel`) to
+/// implementations.
+#[derive(Clone, Default)]
+pub struct KernelRegistry {
+    kernels: HashMap<String, KernelFn>,
+}
+
+impl KernelRegistry {
+    pub fn new() -> KernelRegistry {
+        KernelRegistry::default()
+    }
+
+    pub fn register<F>(&mut self, name: &str, f: F)
+    where
+        F: Fn(&KernelCtx) + Send + Sync + 'static,
+    {
+        self.kernels.insert(name.to_string(), Arc::new(f));
+    }
+
+    pub fn get(&self, name: &str) -> Option<&KernelFn> {
+        self.kernels.get(name)
+    }
+
+    /// Merge another registry into this one.
+    pub fn extend(&mut self, other: &KernelRegistry) {
+        for (k, v) in &other.kernels {
+            self.kernels.insert(k.clone(), Arc::clone(v));
+        }
+    }
+}

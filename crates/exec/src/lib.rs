@@ -1,0 +1,40 @@
+//! Execution substrate: the "GPU" our compiler targets.
+//!
+//! The paper generates GPU code in which "the actual structure of the LMAD
+//! for a given array is inlined for every array access" (§VII). This crate
+//! plays that role on the CPU:
+//!
+//! - [`store`]: numbered memory blocks with allocation accounting;
+//! - [`view`]: LMAD-addressed views over blocks — the runtime counterpart
+//!   of index functions, with contiguous fast paths;
+//! - [`kernel`]: the registry of native kernels a `map` may invoke (the
+//!   moral equivalent of generated device code);
+//! - [`pool`]: a chunked parallel-for over crossbeam scoped threads
+//!   (degrading gracefully to sequential execution on one core);
+//! - [`vm`]: the machine executing compiled programs. It runs in two
+//!   modes: `Memory` (obeying the compiler's memory annotations — allocs,
+//!   rebased index functions, elided copies) and `Pure` (direct value
+//!   semantics: every operation materializes a fresh dense array). `Pure`
+//!   is the semantic ground truth — the paper's guarantee that deleting
+//!   memory annotations leaves the meaning unchanged is checked by
+//!   comparing the two modes' outputs;
+//! - [`stats`]: instrumentation — bytes allocated/copied/elided, kernel
+//!   and copy time — from which the benchmark tables are built.
+
+pub mod kernel;
+pub mod pool;
+pub mod stats;
+pub mod store;
+pub mod value;
+pub mod view;
+pub mod vm;
+
+pub use kernel::{KernelCtx, KernelRegistry};
+pub use stats::Stats;
+pub use store::MemStore;
+pub use value::{ArrayRef, InputValue, OutputValue, Value};
+pub use view::{View, ViewMut};
+pub use vm::{run_program, Mode};
+
+#[cfg(test)]
+mod tests;

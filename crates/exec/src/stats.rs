@@ -1,0 +1,54 @@
+//! Execution instrumentation.
+
+use std::time::Duration;
+
+/// Counters and timers collected by one program execution. The benchmark
+/// tables are computed from wall time; the byte counters let tests assert
+/// the *mechanism* (short-circuiting removed this many copied bytes), not
+/// just the symptom.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Bytes allocated by `alloc` statements and temporaries.
+    pub bytes_allocated: u64,
+    pub num_allocs: u64,
+    /// Bytes moved by update/concat copies and mapnest result copies.
+    pub bytes_copied: u64,
+    pub num_copies: u64,
+    /// Bytes whose copy was *elided* by short-circuiting.
+    pub bytes_elided: u64,
+    pub num_elided: u64,
+    /// Kernel instances launched.
+    pub kernel_launches: u64,
+    /// Time spent inside kernels / lambda bodies.
+    pub kernel_time: Duration,
+    /// Time spent in copies the optimizer targets.
+    pub copy_time: Duration,
+    /// Total execution wall time of the program body.
+    pub total_time: Duration,
+}
+
+impl Stats {
+    pub fn reset(&mut self) {
+        *self = Stats::default();
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "alloc: {} B in {} blocks | copied: {} B in {} copies | elided: {} B in {} copies",
+            self.bytes_allocated,
+            self.num_allocs,
+            self.bytes_copied,
+            self.num_copies,
+            self.bytes_elided,
+            self.num_elided
+        )?;
+        write!(
+            f,
+            "kernel: {:?} ({} launches) | copy: {:?} | total: {:?}",
+            self.kernel_time, self.kernel_launches, self.copy_time, self.total_time
+        )
+    }
+}

@@ -1,0 +1,156 @@
+//! Memory blocks and the store.
+
+use arraymem_ir::ElemType;
+
+/// A typed buffer backing one memory block.
+pub enum Buffer {
+    F32(Vec<f32>),
+    F64(Vec<f64>),
+    I64(Vec<i64>),
+    /// Booleans are stored as 64-bit words (0/1) so the VM's integer
+    /// accessors apply uniformly; `ElemType::Bool::size_bytes()` is 8.
+    Bool(Vec<i64>),
+}
+
+impl Buffer {
+    pub fn new(elem: ElemType, len: usize) -> Buffer {
+        match elem {
+            ElemType::F32 => Buffer::F32(vec![0.0; len]),
+            ElemType::F64 => Buffer::F64(vec![0.0; len]),
+            ElemType::I64 => Buffer::I64(vec![0; len]),
+            ElemType::Bool => Buffer::Bool(vec![0i64; len]),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            Buffer::F32(v) => v.len(),
+            Buffer::F64(v) => v.len(),
+            Buffer::I64(v) => v.len(),
+            Buffer::Bool(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn elem(&self) -> ElemType {
+        match self {
+            Buffer::F32(_) => ElemType::F32,
+            Buffer::F64(_) => ElemType::F64,
+            Buffer::I64(_) => ElemType::I64,
+            Buffer::Bool(_) => ElemType::Bool,
+        }
+    }
+
+    fn base_ptr(&mut self) -> *mut u8 {
+        match self {
+            Buffer::F32(v) => v.as_mut_ptr() as *mut u8,
+            Buffer::F64(v) => v.as_mut_ptr() as *mut u8,
+            Buffer::I64(v) => v.as_mut_ptr() as *mut u8,
+            Buffer::Bool(v) => v.as_mut_ptr() as *mut u8,
+        }
+    }
+}
+
+/// A raw, type-tagged handle to a block's storage. Views address it via
+/// concrete LMADs; disjointness of concurrent writes is the compiler's
+/// proof obligation (that is the point of the paper).
+#[derive(Clone, Copy)]
+pub struct RawBuf {
+    pub ptr: *mut u8,
+    /// Length in *elements*.
+    pub len: usize,
+    pub elem: ElemType,
+}
+
+unsafe impl Send for RawBuf {}
+unsafe impl Sync for RawBuf {}
+
+/// The store of memory blocks. Blocks are never freed individually during
+/// a run (GPU-arena style); the whole store drops at once.
+#[derive(Default)]
+pub struct MemStore {
+    blocks: Vec<Buffer>,
+    /// Total elements × size allocated, in bytes.
+    pub bytes_allocated: u64,
+    pub num_allocs: u64,
+}
+
+impl MemStore {
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+
+    /// Allocate a zero-initialized block; returns its id.
+    pub fn alloc(&mut self, elem: ElemType, len: usize) -> usize {
+        self.bytes_allocated += (len * elem.size_bytes()) as u64;
+        self.num_allocs += 1;
+        self.blocks.push(Buffer::new(elem, len));
+        self.blocks.len() - 1
+    }
+
+    /// Allocate a block initialized from an `f32` vector.
+    pub fn alloc_f32(&mut self, data: Vec<f32>) -> usize {
+        self.bytes_allocated += (data.len() * 4) as u64;
+        self.num_allocs += 1;
+        self.blocks.push(Buffer::F32(data));
+        self.blocks.len() - 1
+    }
+
+    pub fn alloc_i64(&mut self, data: Vec<i64>) -> usize {
+        self.bytes_allocated += (data.len() * 8) as u64;
+        self.num_allocs += 1;
+        self.blocks.push(Buffer::I64(data));
+        self.blocks.len() - 1
+    }
+
+    pub fn alloc_f64(&mut self, data: Vec<f64>) -> usize {
+        self.bytes_allocated += (data.len() * 8) as u64;
+        self.num_allocs += 1;
+        self.blocks.push(Buffer::F64(data));
+        self.blocks.len() - 1
+    }
+
+    pub fn raw(&mut self, block: usize) -> RawBuf {
+        let b = &mut self.blocks[block];
+        RawBuf {
+            len: b.len(),
+            elem: b.elem(),
+            ptr: b.base_ptr(),
+        }
+    }
+
+    pub fn elem(&self, block: usize) -> ElemType {
+        self.blocks[block].elem()
+    }
+
+    pub fn len(&self, block: usize) -> usize {
+        self.blocks[block].len()
+    }
+
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_zeroes_and_counts() {
+        let mut s = MemStore::new();
+        let b = s.alloc(ElemType::F32, 10);
+        assert_eq!(s.len(b), 10);
+        assert_eq!(s.bytes_allocated, 40);
+        let r = s.raw(b);
+        assert_eq!(r.len, 10);
+        assert_eq!(r.elem, ElemType::F32);
+        let b2 = s.alloc_i64(vec![1, 2, 3]);
+        assert_eq!(s.len(b2), 3);
+        assert_eq!(s.bytes_allocated, 40 + 24);
+        assert_eq!(s.num_allocs, 2);
+    }
+}

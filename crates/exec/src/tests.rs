@@ -1,0 +1,421 @@
+//! Executor tests: the memory-semantics machine must agree with the pure
+//! value-semantics interpreter on every program, with and without
+//! short-circuiting — the paper's "memory annotations have no semantic
+//! meaning" invariant, checked end to end.
+
+use crate::kernel::KernelRegistry;
+use crate::value::{InputValue, OutputValue};
+use crate::vm::{run_program, Mode};
+use arraymem_core::{compile, Options};
+use arraymem_ir::{Builder, ElemType, Program, ScalarExp, SliceSpec, Type, Var};
+use arraymem_lmad::{Dim, Lmad, Transform, TripletSlice};
+use arraymem_symbolic::{Env, Poly};
+
+fn p(v: Var) -> Poly {
+    Poly::var(v)
+}
+
+fn c(x: i64) -> Poly {
+    Poly::constant(x)
+}
+
+/// Compile a program with and without short-circuiting, run both in
+/// `Memory` mode plus the source in `Pure` mode, assert all outputs agree,
+/// and return (pure, unopt-stats, opt-stats).
+fn run_all(
+    prog: &Program,
+    env: Env,
+    inputs: &[InputValue],
+    kernels: &KernelRegistry,
+) -> (Vec<OutputValue>, crate::Stats, crate::Stats) {
+    let unopt = compile(
+        prog,
+        &Options {
+            short_circuit: false,
+            env: env.clone(),
+            ..Options::default()
+        },
+    )
+    .expect("unopt compile");
+    let opt = compile(
+        prog,
+        &Options {
+            short_circuit: true,
+            env,
+            ..Options::default()
+        },
+    )
+    .expect("opt compile");
+    let (pure_out, _) =
+        run_program(prog, inputs, kernels, Mode::Pure, 1).expect("pure run");
+    let (unopt_out, unopt_stats) =
+        run_program(&unopt.program, inputs, kernels, Mode::Memory, 1).expect("unopt run");
+    let (opt_out, opt_stats) =
+        run_program(&opt.program, inputs, kernels, Mode::Memory, 1).expect("opt run");
+    assert_eq!(pure_out.len(), unopt_out.len());
+    for ((a, b), ch) in pure_out.iter().zip(&unopt_out).zip(&opt_out) {
+        assert!(a.approx_eq(b, 1e-6), "pure vs unopt mismatch");
+        assert!(a.approx_eq(ch, 1e-6), "pure vs opt mismatch");
+    }
+    (pure_out, unopt_stats, opt_stats)
+}
+
+/// Fig. 1 (left) with a lambda map.
+fn fig1_left() -> (Program, Env) {
+    let mut b = Builder::new("exec_fig1");
+    let n = b.scalar_param("xn", ElemType::I64);
+    let a = b.array_param("xA", ElemType::F32, vec![p(n) * p(n)]);
+    let mut body = b.block();
+    let diag_lmad = Lmad::new(0, vec![Dim::new(p(n), p(n) + c(1))]);
+    let diag = body.slice("diag", a, Transform::LmadSlice(diag_lmad.clone()));
+    let row = body.slice(
+        "row",
+        a,
+        Transform::LmadSlice(Lmad::new(0, vec![Dim::new(p(n), 1)])),
+    );
+    let x = body.map_lambda("X", p(n), vec![diag, row], ElemType::F32, |lb, ps| {
+        let s = lb.scalar(
+            "s",
+            ElemType::F32,
+            ScalarExp::bin(
+                arraymem_ir::BinOp::Add,
+                ScalarExp::var(ps[0]),
+                ScalarExp::var(ps[1]),
+            ),
+        );
+        vec![s]
+    });
+    let a2 = body.update("A2", a, SliceSpec::Lmad(diag_lmad), x);
+    let blk = body.finish(vec![a2]);
+    let mut env = Env::new();
+    env.assume_ge(n, 1);
+    (b.finish(blk), env)
+}
+
+#[test]
+fn fig1_semantics_and_copy_elision() {
+    let (prog, env) = fig1_left();
+    let n = 8usize;
+    let a: Vec<f32> = (0..n * n).map(|i| i as f32).collect();
+    let inputs = vec![InputValue::I64(n as i64), InputValue::ArrayF32(a.clone())];
+    let kernels = KernelRegistry::new();
+    let (out, unopt, opt) = run_all(&prog, env, &inputs, &kernels);
+    // Semantics: A[i,i] += A[0,i].
+    let mut expect = a;
+    for i in 0..n {
+        expect[i * n + i] += expect[i];
+    }
+    assert_eq!(out[0].as_f32s(), &expect[..]);
+    // Mechanism: the diagonal copy is gone.
+    assert_eq!(unopt.bytes_copied, (n * 4) as u64);
+    assert_eq!(opt.bytes_copied, 0);
+    assert_eq!(opt.bytes_elided, (n * 4) as u64);
+}
+
+#[test]
+fn fig4a_concat_becomes_noop() {
+    let mut b = Builder::new("exec_fig4a");
+    let m = b.scalar_param("cm", ElemType::I64);
+    let n = b.scalar_param("cn", ElemType::I64);
+    let mut body = b.block();
+    let a = body.replicate("as", vec![p(m)], ScalarExp::f32(1.5));
+    let bs = body.replicate("bs", vec![p(n)], ScalarExp::f32(2.5));
+    let xss = body.concat("xss", vec![a, bs]);
+    let blk = body.finish(vec![xss]);
+    let prog = b.finish(blk);
+    let mut env = Env::new();
+    env.assume_ge(m, 1);
+    env.assume_ge(n, 1);
+    let inputs = vec![InputValue::I64(5), InputValue::I64(3)];
+    let kernels = KernelRegistry::new();
+    let (out, unopt, opt) = run_all(&prog, env, &inputs, &kernels);
+    let mut expect = vec![1.5f32; 5];
+    expect.extend(vec![2.5f32; 3]);
+    assert_eq!(out[0].as_f32s(), &expect[..]);
+    assert_eq!(unopt.bytes_copied, 8 * 4);
+    assert_eq!(opt.bytes_copied, 0);
+    // The optimized version also allocates less (as/bs blocks are gone).
+    assert!(opt.bytes_allocated < unopt.bytes_allocated);
+}
+
+#[test]
+fn kernel_map_rows_inplace_vs_private() {
+    // A kernel that reverses each row of its input.
+    let mut kernels = KernelRegistry::new();
+    kernels.register("rev_row", |ctx| {
+        let w = ctx.arg_i64(0);
+        let inp = ctx.inputs[0].row(ctx.i);
+        for j in 0..w {
+            ctx.out.set_f32(&[j], inp.get_f32(&[w - 1 - j]));
+        }
+    });
+    let mut b = Builder::new("rows");
+    let n = b.scalar_param("rn", ElemType::I64);
+    let src = b.array_param("rsrc", ElemType::F32, vec![p(n), c(16)]);
+    let mut body = b.block();
+    let out = body.map_kernel(
+        "revd",
+        "rev_row",
+        p(n),
+        vec![c(16)],
+        ElemType::F32,
+        vec![src],
+        vec![ScalarExp::i64(16)],
+    );
+    let blk = body.finish(vec![out]);
+    let prog = b.finish(blk);
+    let mut env = Env::new();
+    env.assume_ge(n, 1);
+    let rows = 10usize;
+    let data: Vec<f32> = (0..rows * 16).map(|i| i as f32).collect();
+    let inputs = vec![InputValue::I64(rows as i64), InputValue::ArrayF32(data.clone())];
+    let (out, unopt, opt) = run_all(&prog, env, &inputs, &kernels);
+    let mut expect = vec![0f32; rows * 16];
+    for r in 0..rows {
+        for j in 0..16 {
+            expect[r * 16 + j] = data[r * 16 + 15 - j];
+        }
+    }
+    assert_eq!(out[0].as_f32s(), &expect[..]);
+    // Unopt pays the mapnest's implicit per-row copy; opt does not.
+    assert_eq!(unopt.bytes_copied, (rows * 16 * 4) as u64);
+    assert_eq!(opt.bytes_copied, 0);
+}
+
+#[test]
+fn loop_with_scalar_updates() {
+    // res[k] = k² via a sequential loop of in-place scalar updates.
+    let mut b = Builder::new("loop_scalar");
+    let n = b.scalar_param("ln", ElemType::I64);
+    let mut body = b.block();
+    let res0 = body.replicate("res0", vec![p(n)], ScalarExp::f32(0.0));
+    let param = body.loop_param("res", res0);
+    let idx = body.loop_index("k");
+    let mut lb = b.block();
+    let sq = lb.scalar(
+        "sq",
+        ElemType::F32,
+        ScalarExp::un(
+            arraymem_ir::UnOp::ToF32,
+            ScalarExp::bin(
+                arraymem_ir::BinOp::Mul,
+                ScalarExp::var(idx),
+                ScalarExp::var(idx),
+            ),
+        ),
+    );
+    let upd = lb.update_scalar("res'", param, vec![ScalarExp::var(idx)], ScalarExp::var(sq));
+    let lbody = lb.finish(vec![upd]);
+    let fin = body.loop_(
+        vec!["resF"],
+        vec![(param, b.ty(res0))],
+        vec![res0],
+        idx,
+        p(n),
+        lbody,
+    )[0];
+    let blk = body.finish(vec![fin]);
+    let prog = b.finish(blk);
+    let mut env = Env::new();
+    env.assume_ge(n, 1);
+    let inputs = vec![InputValue::I64(6)];
+    let kernels = KernelRegistry::new();
+    let (out, _, _) = run_all(&prog, env, &inputs, &kernels);
+    assert_eq!(out[0].as_f32s(), &[0.0, 1.0, 4.0, 9.0, 16.0, 25.0]);
+}
+
+#[test]
+fn if_with_different_branch_layouts() {
+    // then: row-major fill; else: a transposed copy — the if's result gets
+    // existential memory via anti-unification.
+    let mut b = Builder::new("if_layouts");
+    let flag = b.scalar_param("flag", ElemType::Bool);
+    let src = b.array_param("isrc", ElemType::F32, vec![c(4), c(4)]);
+    let mut body = b.block();
+    let mut tb = b.block();
+    let t1 = tb.replicate("t1", vec![c(4), c(4)], ScalarExp::f32(7.0));
+    let then_b = tb.finish(vec![t1]);
+    let mut eb = b.block();
+    let tr = eb.transform("tr", src, Transform::Permute(vec![1, 0]));
+    let else_b = eb.finish(vec![tr]);
+    let res = body.if_(
+        vec!["res"],
+        vec![Type::array(ElemType::F32, vec![c(4), c(4)])],
+        ScalarExp::var(flag),
+        then_b,
+        else_b,
+    )[0];
+    let blk = body.finish(vec![res]);
+    let prog = b.finish(blk);
+    let data: Vec<f32> = (0..16).map(|i| i as f32).collect();
+    for flag_v in [true, false] {
+        let inputs = vec![
+            InputValue::Bool(flag_v),
+            InputValue::ArrayF32(data.clone()),
+        ];
+        let kernels = KernelRegistry::new();
+        let (out, _, _) = run_all(&prog, Env::new(), &inputs, &kernels);
+        let expect: Vec<f32> = if flag_v {
+            vec![7.0; 16]
+        } else {
+            (0..16).map(|i| ((i % 4) * 4 + i / 4) as f32).collect()
+        };
+        assert_eq!(out[0].as_f32s(), &expect[..], "flag={flag_v}");
+    }
+}
+
+#[test]
+fn transform_chain_matches_semantics() {
+    // slice → transpose → reshape chain, checked against Pure mode and
+    // a hand computation.
+    let mut b = Builder::new("chain");
+    let src = b.array_param("csrc", ElemType::I64, vec![c(6), c(4)]);
+    let mut body = b.block();
+    let t = body.transform("t", src, Transform::Permute(vec![1, 0]));
+    let s = body.slice(
+        "s",
+        t,
+        Transform::Slice(vec![
+            TripletSlice::range(c(1), c(2), c(2)),
+            TripletSlice::range(c(0), c(6), c(1)),
+        ]),
+    );
+    let f = body.transform("f", s, Transform::Reshape(vec![c(12)]));
+    let out = body.copy("out", f);
+    let blk = body.finish(vec![out]);
+    let prog = b.finish(blk);
+    let data: Vec<i64> = (0..24).collect();
+    let inputs = vec![InputValue::ArrayI64(data.clone())];
+    let kernels = KernelRegistry::new();
+    let (out, _, _) = run_all(&prog, Env::new(), &inputs, &kernels);
+    // t[i][j] = src[j][i]; s[a][b] = t[1+2a][b] = src[b][1+2a];
+    // f[k] = s[k/6][k%6].
+    let expect: Vec<i64> = (0..12)
+        .map(|k| {
+            let (a_, b_) = (k / 6, k % 6);
+            data[(b_ * 4 + 1 + 2 * a_) as usize]
+        })
+        .collect();
+    assert_eq!(out[0].as_i64s(), &expect[..]);
+}
+
+#[test]
+fn update_with_triplet_strides() {
+    // Write every other element.
+    let mut b = Builder::new("strided");
+    let n = b.scalar_param("sn", ElemType::I64);
+    let a = b.array_param("sA", ElemType::F32, vec![p(n) * c(2)]);
+    let mut body = b.block();
+    let vals = body.replicate("vals", vec![p(n)], ScalarExp::f32(9.0));
+    let a2 = body.update(
+        "A2",
+        a,
+        SliceSpec::Triplet(vec![TripletSlice::range(c(0), p(n), c(2))]),
+        vals,
+    );
+    let blk = body.finish(vec![a2]);
+    let prog = b.finish(blk);
+    let mut env = Env::new();
+    env.assume_ge(n, 1);
+    let inputs = vec![InputValue::I64(4), InputValue::ArrayF32(vec![1.0; 8])];
+    let kernels = KernelRegistry::new();
+    let (out, _, opt) = run_all(&prog, env, &inputs, &kernels);
+    assert_eq!(
+        out[0].as_f32s(),
+        &[9.0, 1.0, 9.0, 1.0, 9.0, 1.0, 9.0, 1.0]
+    );
+    let _ = opt;
+}
+
+#[test]
+fn overlapping_lmad_update_is_rejected_dynamically() {
+    // A zero-stride LMAD slice self-overlaps; the language's dynamic check
+    // must reject it (§III-B).
+    let mut b = Builder::new("dynfail");
+    let a = b.array_param("dA", ElemType::F32, vec![c(8)]);
+    let mut body = b.block();
+    let vals = body.replicate("vals", vec![c(4)], ScalarExp::f32(9.0));
+    let a2 = body.update(
+        "A2",
+        a,
+        SliceSpec::Lmad(Lmad::new(0, vec![Dim::new(c(4), c(0))])),
+        vals,
+    );
+    let blk = body.finish(vec![a2]);
+    let prog = b.finish(blk);
+    let compiled = compile(
+        &prog,
+        &Options {
+            short_circuit: false,
+            env: Env::new(),
+            ..Options::default()
+        },
+    )
+    .unwrap();
+    let kernels = KernelRegistry::new();
+    let r = run_program(
+        &compiled.program,
+        &[InputValue::ArrayF32(vec![0.0; 8])],
+        &kernels,
+        Mode::Memory,
+        1,
+    );
+    assert!(r.is_err(), "zero-stride LMAD update must be rejected");
+}
+
+#[test]
+fn iota_and_scalar_reads() {
+    let mut b = Builder::new("iota_read");
+    let n = b.scalar_param("in_", ElemType::I64);
+    let mut body = b.block();
+    let io = body.iota("io", p(n));
+    let last = body.scalar(
+        "last",
+        ElemType::I64,
+        ScalarExp::Index(
+            io,
+            vec![ScalarExp::bin(
+                arraymem_ir::BinOp::Sub,
+                ScalarExp::var(n),
+                ScalarExp::i64(1),
+            )],
+        ),
+    );
+    let rep = body.replicate_typed("rep", ElemType::I64, vec![c(2)], ScalarExp::var(last));
+    let blk = body.finish(vec![rep]);
+    let prog = b.finish(blk);
+    let mut env = Env::new();
+    env.assume_ge(n, 1);
+    let kernels = KernelRegistry::new();
+    let (out, _, _) = run_all(&prog, env, &[InputValue::I64(7)], &kernels);
+    assert_eq!(out[0].as_i64s(), &[6, 6]);
+}
+
+/// Regression (code review): bool arrays go through the VM's 64-bit
+/// integer accessors; storage must be word-sized or writes corrupt the
+/// heap.
+#[test]
+fn bool_arrays_are_word_backed() {
+    let mut b = Builder::new("bools");
+    let n = b.scalar_param("bn", ElemType::I64);
+    let mut body = b.block();
+    let flags = body.replicate_typed(
+        "flags",
+        ElemType::Bool,
+        vec![p(n)],
+        ScalarExp::Const(arraymem_ir::Constant::Bool(true)),
+    );
+    let flipped = body.update_scalar(
+        "flipped",
+        flags,
+        vec![ScalarExp::i64(2)],
+        ScalarExp::Const(arraymem_ir::Constant::Bool(false)),
+    );
+    let blk = body.finish(vec![flipped]);
+    let prog = b.finish(blk);
+    let mut env = Env::new();
+    env.assume_ge(n, 1);
+    let kernels = KernelRegistry::new();
+    let (out, _, _) = run_all(&prog, env, &[InputValue::I64(5)], &kernels);
+    assert_eq!(out[0].as_i64s(), &[1, 1, 0, 1, 1]);
+}

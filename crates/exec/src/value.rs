@@ -1,0 +1,141 @@
+//! Runtime values.
+
+use arraymem_ir::ElemType;
+use arraymem_lmad::ConcreteIxFn;
+
+/// A runtime array: a block id plus a concrete index function.
+#[derive(Clone, Debug)]
+pub struct ArrayRef {
+    pub block: usize,
+    pub elem: ElemType,
+    pub ixfn: ConcreteIxFn,
+}
+
+/// A runtime value.
+#[derive(Clone, Debug)]
+pub enum Value {
+    F32(f32),
+    F64(f64),
+    I64(i64),
+    Bool(bool),
+    Mem(usize),
+    Array(ArrayRef),
+}
+
+impl Value {
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Value::I64(x) => *x,
+            Value::Bool(b) => *b as i64,
+            Value::F32(x) => *x as i64,
+            Value::F64(x) => *x as i64,
+            _ => panic!("not a scalar: {self:?}"),
+        }
+    }
+
+    pub fn as_f32(&self) -> f32 {
+        match self {
+            Value::F32(x) => *x,
+            Value::F64(x) => *x as f32,
+            Value::I64(x) => *x as f32,
+            Value::Bool(b) => *b as i64 as f32,
+            _ => panic!("not a scalar: {self:?}"),
+        }
+    }
+
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::F64(x) => *x,
+            Value::F32(x) => *x as f64,
+            Value::I64(x) => *x as f64,
+            Value::Bool(b) => *b as i64 as f64,
+            _ => panic!("not a scalar: {self:?}"),
+        }
+    }
+
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::I64(x) => *x != 0,
+            _ => panic!("not a bool: {self:?}"),
+        }
+    }
+
+    pub fn as_mem(&self) -> usize {
+        match self {
+            Value::Mem(m) => *m,
+            _ => panic!("not a memory block: {self:?}"),
+        }
+    }
+
+    pub fn as_array(&self) -> &ArrayRef {
+        match self {
+            Value::Array(a) => a,
+            _ => panic!("not an array: {self:?}"),
+        }
+    }
+}
+
+/// Program inputs supplied by the harness.
+#[derive(Clone, Debug)]
+pub enum InputValue {
+    I64(i64),
+    F32(f32),
+    F64(f64),
+    Bool(bool),
+    ArrayF32(Vec<f32>),
+    ArrayF64(Vec<f64>),
+    ArrayI64(Vec<i64>),
+}
+
+/// Program outputs extracted in logical row-major order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OutputValue {
+    I64(i64),
+    F32(f32),
+    F64(f64),
+    Bool(bool),
+    ArrayF32(Vec<f32>),
+    ArrayF64(Vec<f64>),
+    ArrayI64(Vec<i64>),
+}
+
+impl OutputValue {
+    pub fn as_f32s(&self) -> &[f32] {
+        match self {
+            OutputValue::ArrayF32(v) => v,
+            _ => panic!("not an f32 array"),
+        }
+    }
+
+    pub fn as_i64s(&self) -> &[i64] {
+        match self {
+            OutputValue::ArrayI64(v) => v,
+            _ => panic!("not an i64 array"),
+        }
+    }
+
+    /// Approximate equality for float arrays (used to validate the memory
+    /// machine against the pure interpreter and the references).
+    pub fn approx_eq(&self, other: &OutputValue, tol: f64) -> bool {
+        match (self, other) {
+            (OutputValue::ArrayF32(a), OutputValue::ArrayF32(b)) => {
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|(x, y)| {
+                        let d = (*x as f64 - *y as f64).abs();
+                        d <= tol * (1.0 + x.abs().max(y.abs()) as f64)
+                    })
+            }
+            (OutputValue::ArrayF64(a), OutputValue::ArrayF64(b)) => {
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|(x, y)| {
+                        (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs()))
+                    })
+            }
+            (OutputValue::F32(a), OutputValue::F32(b)) => {
+                (*a as f64 - *b as f64).abs() <= tol * (1.0 + a.abs().max(b.abs()) as f64)
+            }
+            _ => self == other,
+        }
+    }
+}

@@ -1,0 +1,910 @@
+//! The program executor.
+//!
+//! Two modes:
+//!
+//! - [`Mode::Memory`]: obeys the compiler's memory annotations — `alloc`
+//!   statements create blocks, fresh arrays are constructed through their
+//!   (possibly rebased) index functions, elided updates/concats are
+//!   no-ops, and non-in-place mapnests pay the per-instance private-row
+//!   copy (the implicit copy of §V-A(e)).
+//! - [`Mode::Pure`]: direct functional value semantics — every operation
+//!   materializes a fresh dense array and annotations are ignored. This is
+//!   the semantic ground truth: the paper's invariant that deleting memory
+//!   annotations does not change program meaning is checked by comparing
+//!   the two modes.
+
+use crate::kernel::{KernelCtx, KernelRegistry};
+use crate::pool::parallel_for_worker;
+use crate::stats::Stats;
+use crate::store::MemStore;
+use crate::value::{ArrayRef, InputValue, OutputValue, Value};
+use crate::view::{copy_view, View, ViewMut};
+use arraymem_ir::validate::lmad_slice_is_injective;
+use arraymem_ir::{
+    BinOp, Block, Constant, ElemType, Exp, MapBody, MapExp, Program, ScalarExp, SliceSpec, Stm,
+    Type, UnOp, UpdateSrc, Var,
+};
+use arraymem_lmad::{ConcreteIxFn, IndexFn, Lmad, Transform, TripletSlice};
+use arraymem_symbolic::Poly;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Execution mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Obey memory annotations (requires a compiled program).
+    Memory,
+    /// Direct value semantics (works on any validated program).
+    Pure,
+}
+
+struct Machine<'k> {
+    store: MemStore,
+    kernels: &'k KernelRegistry,
+    stats: Stats,
+    threads: usize,
+    mode: Mode,
+}
+
+type Env = HashMap<Var, Value>;
+
+/// Execute a program. `inputs` must match the parameter list. Returns the
+/// program results plus execution statistics (input loading and result
+/// extraction excluded).
+pub fn run_program(
+    prog: &Program,
+    inputs: &[InputValue],
+    kernels: &KernelRegistry,
+    mode: Mode,
+    threads: usize,
+) -> Result<(Vec<OutputValue>, Stats), String> {
+    let mut m = Machine {
+        store: MemStore::new(),
+        kernels,
+        stats: Stats::default(),
+        threads: threads.max(1),
+        mode,
+    };
+    let mut env: Env = HashMap::new();
+    if inputs.len() != prog.params.len() {
+        return Err(format!(
+            "expected {} inputs, got {}",
+            prog.params.len(),
+            inputs.len()
+        ));
+    }
+    for ((v, ty), input) in prog.params.iter().zip(inputs) {
+        load_param(&mut m, &mut env, *v, ty, input)?;
+    }
+    // Only the body execution is measured.
+    m.store.bytes_allocated = 0;
+    m.store.num_allocs = 0;
+    let t0 = Instant::now();
+    m.exec_block(&prog.body, &mut env)?;
+    m.stats.total_time = t0.elapsed();
+    m.stats.bytes_allocated = m.store.bytes_allocated;
+    m.stats.num_allocs = m.store.num_allocs;
+    let mut out = Vec::with_capacity(prog.body.result.len());
+    for v in &prog.body.result {
+        out.push(extract(&mut m, env.get(v).ok_or("missing result")?));
+    }
+    Ok((out, m.stats))
+}
+
+fn load_param(
+    m: &mut Machine,
+    env: &mut Env,
+    v: Var,
+    ty: &Type,
+    input: &InputValue,
+) -> Result<(), String> {
+    match (ty, input) {
+        (Type::Scalar(ElemType::I64), InputValue::I64(x)) => {
+            env.insert(v, Value::I64(*x));
+        }
+        (Type::Scalar(ElemType::F32), InputValue::F32(x)) => {
+            env.insert(v, Value::F32(*x));
+        }
+        (Type::Scalar(ElemType::F64), InputValue::F64(x)) => {
+            env.insert(v, Value::F64(*x));
+        }
+        (Type::Scalar(ElemType::Bool), InputValue::Bool(x)) => {
+            env.insert(v, Value::Bool(*x));
+        }
+        (Type::Array { elem, shape }, arr) => {
+            let shape_c: Vec<i64> = {
+                let lookup = lookup_fn(env);
+                shape
+                    .iter()
+                    .map(|p| p.eval(&lookup).ok_or("unresolved param shape"))
+                    .collect::<Result<_, _>>()?
+            };
+            let n: i64 = shape_c.iter().product();
+            let block = match (elem, arr) {
+                (ElemType::F32, InputValue::ArrayF32(d)) => {
+                    assert_eq!(d.len() as i64, n, "input length mismatch for {v}");
+                    m.store.alloc_f32(d.clone())
+                }
+                (ElemType::F64, InputValue::ArrayF64(d)) => {
+                    assert_eq!(d.len() as i64, n);
+                    m.store.alloc_f64(d.clone())
+                }
+                (ElemType::I64, InputValue::ArrayI64(d)) => {
+                    assert_eq!(d.len() as i64, n);
+                    m.store.alloc_i64(d.clone())
+                }
+                _ => return Err(format!("input type mismatch for {v}")),
+            };
+            env.insert(
+                v,
+                Value::Array(ArrayRef {
+                    block,
+                    elem: *elem,
+                    ixfn: ConcreteIxFn::row_major(&shape_c),
+                }),
+            );
+            // The parameter's memory block variable.
+            env.insert(param_block_sym(v), Value::Mem(block));
+        }
+        _ => return Err(format!("input mismatch for {v}")),
+    }
+    Ok(())
+}
+
+fn param_block_sym(v: Var) -> Var {
+    arraymem_symbolic::sym(&format!("{v}_mem"))
+}
+
+fn lookup_fn(env: &Env) -> impl Fn(arraymem_symbolic::Sym) -> Option<i64> + '_ {
+    |s| match env.get(&s) {
+        Some(Value::I64(x)) => Some(*x),
+        Some(Value::Bool(b)) => Some(*b as i64),
+        _ => None,
+    }
+}
+
+fn extract(m: &mut Machine, v: &Value) -> OutputValue {
+    match v {
+        Value::I64(x) => OutputValue::I64(*x),
+        Value::F32(x) => OutputValue::F32(*x),
+        Value::F64(x) => OutputValue::F64(*x),
+        Value::Bool(x) => OutputValue::Bool(*x),
+        Value::Mem(_) => OutputValue::I64(0),
+        Value::Array(a) => {
+            let view = View::new(m.store.raw(a.block), a.ixfn.clone());
+            let n = view.num_elems();
+            match a.elem {
+                ElemType::F32 => {
+                    OutputValue::ArrayF32((0..n).map(|f| view.get_f32_flat(f)).collect())
+                }
+                ElemType::F64 => {
+                    OutputValue::ArrayF64((0..n).map(|f| view.get_f64_flat(f)).collect())
+                }
+                ElemType::I64 | ElemType::Bool => {
+                    OutputValue::ArrayI64((0..n).map(|f| view.get_i64_flat(f)).collect())
+                }
+            }
+        }
+    }
+}
+
+impl Machine<'_> {
+    fn exec_block(&mut self, block: &Block, env: &mut Env) -> Result<(), String> {
+        for stm in &block.stms {
+            self.exec_stm(stm, env)?;
+        }
+        Ok(())
+    }
+
+    fn view(&mut self, a: &ArrayRef) -> View {
+        View::new(self.store.raw(a.block), a.ixfn.clone())
+    }
+
+    fn view_mut(&mut self, a: &ArrayRef) -> ViewMut {
+        ViewMut::new(self.store.raw(a.block), a.ixfn.clone())
+    }
+
+    /// Resolve the destination array for a fresh creation: in `Memory`
+    /// mode this honours the pattern's binding (block variable + index
+    /// function); in `Pure` mode a fresh dense block is allocated.
+    fn fresh_dest(
+        &mut self,
+        stm: &Stm,
+        pat_idx: usize,
+        env: &Env,
+    ) -> Result<ArrayRef, String> {
+        let pe = &stm.pat[pat_idx];
+        let elem = pe.ty.elem().ok_or("array expected")?;
+        let lookup = lookup_fn(env);
+        let shape: Vec<i64> = pe
+            .ty
+            .shape()
+            .iter()
+            .map(|p| p.eval(&lookup).ok_or("unresolved shape"))
+            .collect::<Result<_, _>>()?;
+        if self.mode == Mode::Memory {
+            let mb = pe
+                .mem
+                .as_ref()
+                .ok_or_else(|| format!("{} has no memory binding (run the pipeline)", pe.var))?;
+            let block = env
+                .get(&mb.block)
+                .ok_or_else(|| format!("memory block {} unbound", mb.block))?
+                .as_mem();
+            let ixfn = mb
+                .ixfn
+                .eval(&lookup)
+                .ok_or_else(|| format!("cannot evaluate index function of {}", pe.var))?;
+            Ok(ArrayRef { block, elem, ixfn })
+        } else {
+            let n: i64 = shape.iter().product();
+            let block = self.store.alloc(elem, n.max(0) as usize);
+            Ok(ArrayRef {
+                block,
+                elem,
+                ixfn: ConcreteIxFn::row_major(&shape),
+            })
+        }
+    }
+
+    fn exec_stm(&mut self, stm: &Stm, env: &mut Env) -> Result<(), String> {
+        match &stm.exp {
+            Exp::Scalar(se) => {
+                let v = self.eval_scalar(se, env)?;
+                let v = coerce(v, &stm.pat[0].ty);
+                env.insert(stm.pat[0].var, v);
+            }
+            Exp::Alloc { elem, size } => {
+                let n = {
+                    let lookup = lookup_fn(env);
+                    size.eval(&lookup).ok_or("unresolved alloc size")?
+                };
+                let block = self.store.alloc(*elem, n.max(0) as usize);
+                env.insert(stm.pat[0].var, Value::Mem(block));
+            }
+            Exp::Iota(_) => {
+                let dst = self.fresh_dest(stm, 0, env)?;
+                let view = self.view_mut(&dst);
+                let n = view.num_elems();
+                for i in 0..n {
+                    view.set_i64_flat(i, i);
+                }
+                env.insert(stm.pat[0].var, Value::Array(dst));
+            }
+            Exp::Scratch { .. } => {
+                let dst = self.fresh_dest(stm, 0, env)?;
+                env.insert(stm.pat[0].var, Value::Array(dst));
+            }
+            Exp::Replicate { value, .. } => {
+                let v = self.eval_scalar(value, env)?;
+                let dst = self.fresh_dest(stm, 0, env)?;
+                let view = self.view_mut(&dst);
+                let n = view.num_elems();
+                match dst.elem {
+                    ElemType::F32 => {
+                        let x = v.as_f32();
+                        if let Some(s) = view.as_slice_f32_mut() {
+                            s.fill(x);
+                        } else {
+                            for i in 0..n {
+                                view.set_f32_flat(i, x);
+                            }
+                        }
+                    }
+                    ElemType::F64 => {
+                        let x = v.as_f64();
+                        for i in 0..n {
+                            view.set_f64(&unflat(&view.shape(), i), x);
+                        }
+                    }
+                    ElemType::I64 | ElemType::Bool => {
+                        let x = v.as_i64();
+                        if let Some(s) = view.as_slice_i64_mut() {
+                            s.fill(x);
+                        } else {
+                            for i in 0..n {
+                                view.set_i64_flat(i, x);
+                            }
+                        }
+                    }
+                }
+                env.insert(stm.pat[0].var, Value::Array(dst));
+            }
+            Exp::Copy(src) => {
+                let src_a = env.get(src).ok_or("copy of unbound array")?.as_array().clone();
+                let dst = self.fresh_dest(stm, 0, env)?;
+                let sv = self.view(&src_a);
+                let dv = self.view_mut(&dst);
+                let t = Instant::now();
+                let bytes = copy_view(&dv, &sv);
+                self.stats.copy_time += t.elapsed();
+                self.stats.bytes_copied += bytes;
+                self.stats.num_copies += 1;
+                env.insert(stm.pat[0].var, Value::Array(dst));
+            }
+            Exp::Concat { args, elided } => {
+                let dst = self.fresh_dest(stm, 0, env)?;
+                let dv = self.view_mut(&dst);
+                let mut row = 0i64;
+                for (a, el) in args.iter().zip(elided) {
+                    let src_a = env.get(a).ok_or("concat of unbound array")?.as_array().clone();
+                    let rows = src_a.ixfn.shape()[0];
+                    let elided_here = *el && self.mode == Mode::Memory;
+                    if elided_here {
+                        let bytes =
+                            src_a.ixfn.num_elems() as u64 * src_a.elem.size_bytes() as u64;
+                        self.stats.bytes_elided += bytes;
+                        self.stats.num_elided += 1;
+                    } else {
+                        let sv = self.view(&src_a);
+                        // Destination sub-view: rows [row, row+rows).
+                        let sub = slice_rows(&dv, row, rows);
+                        let t = Instant::now();
+                        let bytes = copy_view(&sub, &sv);
+                        self.stats.copy_time += t.elapsed();
+                        self.stats.bytes_copied += bytes;
+                        self.stats.num_copies += 1;
+                    }
+                    row += rows;
+                }
+                env.insert(stm.pat[0].var, Value::Array(dst));
+            }
+            Exp::Transform { src, tr } => {
+                let src_a = env.get(src).ok_or("transform of unbound array")?.as_array().clone();
+                let lookup = lookup_fn(env);
+                let ixfn = apply_transform_concrete(&src_a.ixfn, tr, &lookup)
+                    .ok_or("unsupported concrete transform")?;
+                drop(lookup);
+                if self.mode == Mode::Pure {
+                    // Materialize the transformed view into a fresh array.
+                    let dst = self.fresh_dest(stm, 0, env)?;
+                    let sv = View::new(self.store.raw(src_a.block), ixfn);
+                    let dv = self.view_mut(&dst);
+                    copy_view(&dv, &sv);
+                    env.insert(stm.pat[0].var, Value::Array(dst));
+                } else {
+                    env.insert(
+                        stm.pat[0].var,
+                        Value::Array(ArrayRef {
+                            block: src_a.block,
+                            elem: src_a.elem,
+                            ixfn,
+                        }),
+                    );
+                }
+            }
+            Exp::Map(m) => self.exec_map(stm, m, env)?,
+            Exp::Update {
+                dst,
+                slice,
+                src,
+                elided,
+            } => self.exec_update(stm, *dst, slice, src, *elided, env)?,
+            Exp::If {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                let c = self.eval_scalar(cond, env)?.as_bool();
+                let branch = if c { then_b } else { else_b };
+                let mut benv = env.clone();
+                self.exec_block(branch, &mut benv)?;
+                for (pe, r) in stm.pat.iter().zip(&branch.result) {
+                    let v = benv.get(r).ok_or("missing branch result")?.clone();
+                    env.insert(pe.var, v);
+                }
+            }
+            Exp::Loop {
+                params,
+                inits,
+                index,
+                count,
+                body,
+            } => {
+                let lookup = lookup_fn(env);
+                let n = count.eval(&lookup).ok_or("unresolved loop count")?;
+                drop(lookup);
+                let mut cur: Vec<Value> = inits
+                    .iter()
+                    .map(|v| env.get(v).cloned().ok_or("unbound loop init"))
+                    .collect::<Result<_, _>>()?;
+                for i in 0..n.max(0) {
+                    let mut benv = env.clone();
+                    benv.insert(*index, Value::I64(i));
+                    for (pe, v) in params.iter().zip(&cur) {
+                        benv.insert(pe.var, v.clone());
+                    }
+                    self.exec_block(body, &mut benv)?;
+                    cur = body
+                        .result
+                        .iter()
+                        .map(|v| benv.get(v).cloned().ok_or("missing loop result"))
+                        .collect::<Result<_, _>>()?;
+                }
+                for (pe, v) in stm.pat.iter().zip(cur) {
+                    env.insert(pe.var, v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_map(&mut self, stm: &Stm, m: &MapExp, env: &mut Env) -> Result<(), String> {
+        let lookup = lookup_fn(env);
+        let width = m.width.eval(&lookup).ok_or("unresolved map width")?;
+        drop(lookup);
+        match &m.body {
+            MapBody::Kernel {
+                name,
+                elem,
+                row_shape,
+                args,
+                ..
+            } => {
+                let dst = self.fresh_dest(stm, 0, env)?;
+                let kernel = self
+                    .kernels
+                    .get(name)
+                    .ok_or_else(|| format!("unregistered kernel {name}"))?
+                    .clone();
+                let inputs: Vec<View> = m
+                    .inputs
+                    .iter()
+                    .map(|v| {
+                        let a = env.get(v).ok_or("unbound map input")?.as_array().clone();
+                        Ok(self.view(&a))
+                    })
+                    .collect::<Result<_, String>>()?;
+                let argv: Vec<Value> = args
+                    .iter()
+                    .map(|a| self.eval_scalar(a, env))
+                    .collect::<Result<_, _>>()?;
+                let lookup = lookup_fn(env);
+                let row_shape_c: Vec<i64> = row_shape
+                    .iter()
+                    .map(|p| p.eval(&lookup).ok_or_else(|| "unresolved row shape".to_string()))
+                    .collect::<Result<_, _>>()?;
+                drop(lookup);
+                let row_elems: i64 = row_shape_c.iter().product();
+                let scalar_rows = row_shape_c.is_empty();
+                // Pure mode writes rows directly (fresh dense memory never
+                // aliases inputs); Memory mode honours the pass's decision.
+                let direct = scalar_rows || m.in_place_result || self.mode == Mode::Pure;
+                let out_view = self.view_mut(&dst);
+                // Private per-worker row buffers for the non-in-place case:
+                // the mapnest's implicit result copy (§V-A(e)).
+                let workers = self.threads;
+                let temp_block = if direct {
+                    None
+                } else {
+                    Some(
+                        self.store
+                            .alloc(*elem, (row_elems * workers as i64).max(0) as usize),
+                    )
+                };
+                let temp_raw = temp_block.map(|b| self.store.raw(b));
+                let t0 = Instant::now();
+                parallel_for_worker(workers, width, |i, w| {
+                    let row = out_view.row(i);
+                    if direct {
+                        let ctx = KernelCtx {
+                            i,
+                            inputs: &inputs,
+                            args: &argv,
+                            out: row,
+                        };
+                        kernel(&ctx);
+                    } else {
+                        // Build the private row, then copy it out.
+                        let mut priv_lmad = arraymem_lmad::ConcreteLmad::row_major(&row_shape_c);
+                        priv_lmad.offset = w as i64 * row_elems;
+                        let priv_row =
+                            ViewMut::new(temp_raw.unwrap(), ConcreteIxFn::from_lmad(priv_lmad));
+                        let ctx = KernelCtx {
+                            i,
+                            inputs: &inputs,
+                            args: &argv,
+                            out: priv_row.clone(),
+                        };
+                        kernel(&ctx);
+                        copy_view(&row, &priv_row.as_view());
+                    }
+                });
+                self.stats.kernel_time += t0.elapsed();
+                self.stats.kernel_launches += width.max(0) as u64;
+                if !direct {
+                    let bytes = (width * row_elems).max(0) as u64 * elem.size_bytes() as u64;
+                    self.stats.bytes_copied += bytes;
+                    self.stats.num_copies += width.max(0) as u64;
+                } else if m.in_place_result && self.mode == Mode::Memory && !scalar_rows {
+                    let bytes = (width * row_elems).max(0) as u64 * elem.size_bytes() as u64;
+                    self.stats.bytes_elided += bytes;
+                    self.stats.num_elided += width.max(0) as u64;
+                }
+                env.insert(stm.pat[0].var, Value::Array(dst));
+            }
+            MapBody::Lambda { params, body } => {
+                // Interpreted elementwise map over rank-1 inputs.
+                let dsts: Vec<ArrayRef> = (0..stm.pat.len())
+                    .map(|k| self.fresh_dest(stm, k, env))
+                    .collect::<Result<_, _>>()?;
+                let in_arrays: Vec<ArrayRef> = m
+                    .inputs
+                    .iter()
+                    .map(|v| Ok(env.get(v).ok_or("unbound map input")?.as_array().clone()))
+                    .collect::<Result<_, String>>()?;
+                let in_views: Vec<View> = in_arrays.iter().map(|a| self.view(a)).collect();
+                let out_views: Vec<ViewMut> = dsts.iter().map(|a| self.view_mut(a)).collect();
+                let t0 = Instant::now();
+                for i in 0..width {
+                    let mut benv = env.clone();
+                    for ((p, _), (view, a)) in
+                        params.iter().zip(in_views.iter().zip(&in_arrays))
+                    {
+                        let v = match a.elem {
+                            ElemType::F32 => Value::F32(view.get_f32(&[i])),
+                            ElemType::F64 => Value::F64(view.get_f64(&[i])),
+                            ElemType::I64 => Value::I64(view.get_i64(&[i])),
+                            ElemType::Bool => Value::Bool(view.get_i64(&[i]) != 0),
+                        };
+                        benv.insert(*p, v);
+                    }
+                    self.exec_block(body, &mut benv)?;
+                    for ((r, out), dst) in body.result.iter().zip(&out_views).zip(&dsts) {
+                        let v = benv.get(r).ok_or("missing lambda result")?;
+                        match dst.elem {
+                            ElemType::F32 => out.set_f32(&[i], v.as_f32()),
+                            ElemType::F64 => out.set_f64(&[i], v.as_f64()),
+                            ElemType::I64 => out.set_i64(&[i], v.as_i64()),
+                            ElemType::Bool => out.set_i64(&[i], v.as_bool() as i64),
+                        }
+                    }
+                }
+                self.stats.kernel_time += t0.elapsed();
+                self.stats.kernel_launches += width.max(0) as u64;
+                for (pe, dst) in stm.pat.iter().zip(dsts) {
+                    env.insert(pe.var, Value::Array(dst));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_update(
+        &mut self,
+        stm: &Stm,
+        dst: Var,
+        slice: &SliceSpec,
+        src: &UpdateSrc,
+        elided: bool,
+        env: &mut Env,
+    ) -> Result<(), String> {
+        let dst_a = env.get(&dst).ok_or("update of unbound array")?.as_array().clone();
+        // Pure mode: the update result is a fresh copy of dst with the
+        // slice overwritten (true value semantics).
+        let result = if self.mode == Mode::Pure {
+            let fresh = self.fresh_dest(stm, 0, env)?;
+            let sv = self.view(&dst_a);
+            let dv = self.view_mut(&fresh);
+            copy_view(&dv, &sv);
+            fresh
+        } else {
+            dst_a.clone()
+        };
+        let slice_ixfn = slice_ixfn_concrete(&result.ixfn, slice, env, self)?;
+        // The language's dynamic legality check for LMAD-slice updates
+        // (§III-B): the written positions must not self-overlap.
+        if let SliceSpec::Lmad(_) = slice {
+            if let Some(l) = slice_ixfn.as_single() {
+                if !lmad_slice_is_injective(l) {
+                    return Err("LMAD-slice update writes overlapping positions".into());
+                }
+            }
+        }
+        match src {
+            UpdateSrc::Scalar(se) => {
+                let v = self.eval_scalar(se, env)?;
+                let dview = ViewMut::new(self.store.raw(result.block), slice_ixfn);
+                let n = dview.num_elems();
+                for f in 0..n.max(0) {
+                    match result.elem {
+                        ElemType::F32 => dview.set_f32_flat(f, v.as_f32()),
+                        ElemType::F64 => {
+                            let idx = unflat(&dview.shape(), f);
+                            dview.set_f64(&idx, v.as_f64());
+                        }
+                        ElemType::I64 | ElemType::Bool => dview.set_i64_flat(f, v.as_i64()),
+                    }
+                }
+            }
+            UpdateSrc::Array(s) => {
+                let src_a = env.get(s).ok_or("unbound update source")?.as_array().clone();
+                if elided && self.mode == Mode::Memory {
+                    let bytes = src_a.ixfn.num_elems() as u64 * src_a.elem.size_bytes() as u64;
+                    self.stats.bytes_elided += bytes;
+                    self.stats.num_elided += 1;
+                } else {
+                    let sv = self.view(&src_a);
+                    let dview = ViewMut::new(self.store.raw(result.block), slice_ixfn);
+                    let t = Instant::now();
+                    let bytes = copy_view(&dview, &sv);
+                    self.stats.copy_time += t.elapsed();
+                    self.stats.bytes_copied += bytes;
+                    self.stats.num_copies += 1;
+                }
+            }
+        }
+        env.insert(stm.pat[0].var, Value::Array(result));
+        Ok(())
+    }
+
+    fn eval_scalar(&mut self, e: &ScalarExp, env: &Env) -> Result<Value, String> {
+        Ok(match e {
+            ScalarExp::Const(c) => match c {
+                Constant::F32(x) => Value::F32(*x),
+                Constant::F64(x) => Value::F64(*x),
+                Constant::I64(x) => Value::I64(*x),
+                Constant::Bool(x) => Value::Bool(*x),
+            },
+            ScalarExp::Var(v) => env.get(v).ok_or_else(|| format!("unbound {v}"))?.clone(),
+            ScalarExp::Size(p) => {
+                let lookup = lookup_fn(env);
+                Value::I64(p.eval(&lookup).ok_or("unresolved size expression")?)
+            }
+            ScalarExp::Bin(op, a, b) => {
+                let x = self.eval_scalar(a, env)?;
+                let y = self.eval_scalar(b, env)?;
+                eval_bin(*op, &x, &y)?
+            }
+            ScalarExp::Un(op, a) => {
+                let x = self.eval_scalar(a, env)?;
+                eval_un(*op, &x)?
+            }
+            ScalarExp::Index(v, idx) => {
+                let a = env.get(v).ok_or("unbound array")?.as_array().clone();
+                let idx: Vec<i64> = idx
+                    .iter()
+                    .map(|i| Ok(self.eval_scalar(i, env)?.as_i64()))
+                    .collect::<Result<_, String>>()?;
+                let view = self.view(&a);
+                match a.elem {
+                    ElemType::F32 => Value::F32(view.get_f32(&idx)),
+                    ElemType::F64 => Value::F64(view.get_f64(&idx)),
+                    ElemType::I64 => Value::I64(view.get_i64(&idx)),
+                    ElemType::Bool => Value::Bool(view.get_i64(&idx) != 0),
+                }
+            }
+            ScalarExp::Select(c, t, f) => {
+                if self.eval_scalar(c, env)?.as_bool() {
+                    self.eval_scalar(t, env)?
+                } else {
+                    self.eval_scalar(f, env)?
+                }
+            }
+        })
+    }
+}
+
+fn coerce(v: Value, ty: &Type) -> Value {
+    match ty {
+        Type::Scalar(ElemType::F32) => Value::F32(v.as_f32()),
+        Type::Scalar(ElemType::F64) => Value::F64(v.as_f64()),
+        Type::Scalar(ElemType::I64) => Value::I64(v.as_i64()),
+        Type::Scalar(ElemType::Bool) => Value::Bool(v.as_bool()),
+        _ => v,
+    }
+}
+
+fn eval_bin(op: BinOp, x: &Value, y: &Value) -> Result<Value, String> {
+    use BinOp::*;
+    Ok(match (x, y) {
+        (Value::F32(_), _) | (_, Value::F32(_)) => {
+            let (a, b) = (x.as_f32(), y.as_f32());
+            match op {
+                Add => Value::F32(a + b),
+                Sub => Value::F32(a - b),
+                Mul => Value::F32(a * b),
+                Div => Value::F32(a / b),
+                Rem => Value::F32(a % b),
+                Min => Value::F32(a.min(b)),
+                Max => Value::F32(a.max(b)),
+                Eq => Value::Bool(a == b),
+                Ne => Value::Bool(a != b),
+                Lt => Value::Bool(a < b),
+                Le => Value::Bool(a <= b),
+                And | Or => return Err("boolean op on floats".into()),
+            }
+        }
+        (Value::F64(_), _) | (_, Value::F64(_)) => {
+            let (a, b) = (x.as_f64(), y.as_f64());
+            match op {
+                Add => Value::F64(a + b),
+                Sub => Value::F64(a - b),
+                Mul => Value::F64(a * b),
+                Div => Value::F64(a / b),
+                Rem => Value::F64(a % b),
+                Min => Value::F64(a.min(b)),
+                Max => Value::F64(a.max(b)),
+                Eq => Value::Bool(a == b),
+                Ne => Value::Bool(a != b),
+                Lt => Value::Bool(a < b),
+                Le => Value::Bool(a <= b),
+                And | Or => return Err("boolean op on floats".into()),
+            }
+        }
+        (Value::Bool(a), Value::Bool(b)) => match op {
+            And => Value::Bool(*a && *b),
+            Or => Value::Bool(*a || *b),
+            Eq => Value::Bool(a == b),
+            Ne => Value::Bool(a != b),
+            _ => return Err("arithmetic on booleans".into()),
+        },
+        _ => {
+            let (a, b) = (x.as_i64(), y.as_i64());
+            match op {
+                Add => Value::I64(a + b),
+                Sub => Value::I64(a - b),
+                Mul => Value::I64(a * b),
+                Div => Value::I64(a.div_euclid(b)),
+                Rem => Value::I64(a.rem_euclid(b)),
+                Min => Value::I64(a.min(b)),
+                Max => Value::I64(a.max(b)),
+                Eq => Value::Bool(a == b),
+                Ne => Value::Bool(a != b),
+                Lt => Value::Bool(a < b),
+                Le => Value::Bool(a <= b),
+                And => Value::Bool(a != 0 && b != 0),
+                Or => Value::Bool(a != 0 || b != 0),
+            }
+        }
+    })
+}
+
+fn eval_un(op: UnOp, x: &Value) -> Result<Value, String> {
+    use UnOp::*;
+    Ok(match op {
+        Neg => match x {
+            Value::F32(v) => Value::F32(-v),
+            Value::F64(v) => Value::F64(-v),
+            Value::I64(v) => Value::I64(-v),
+            _ => return Err("neg on non-number".into()),
+        },
+        Not => Value::Bool(!x.as_bool()),
+        Sqrt => match x {
+            Value::F64(v) => Value::F64(v.sqrt()),
+            v => Value::F32(v.as_f32().sqrt()),
+        },
+        Exp => match x {
+            Value::F64(v) => Value::F64(v.exp()),
+            v => Value::F32(v.as_f32().exp()),
+        },
+        Log => match x {
+            Value::F64(v) => Value::F64(v.ln()),
+            v => Value::F32(v.as_f32().ln()),
+        },
+        Abs => match x {
+            Value::F32(v) => Value::F32(v.abs()),
+            Value::F64(v) => Value::F64(v.abs()),
+            Value::I64(v) => Value::I64(v.abs()),
+            _ => return Err("abs on non-number".into()),
+        },
+        ToF32 => Value::F32(x.as_f32()),
+        ToF64 => Value::F64(x.as_f64()),
+        ToI64 => Value::I64(x.as_i64()),
+    })
+}
+
+/// Sub-view of rows `[row, row+rows)` along the outer dimension.
+fn slice_rows(v: &ViewMut, row: i64, rows: i64) -> ViewMut {
+    let mut ixfn = v.ixfn().clone();
+    let logical = ixfn.lmads.last_mut().unwrap();
+    let (card, stride) = logical.dims[0];
+    debug_assert!(row + rows <= card);
+    logical.offset += row * stride;
+    logical.dims[0] = (rows, stride);
+    ViewMut::new(raw_of(v), ixfn)
+}
+
+fn raw_of(v: &ViewMut) -> crate::store::RawBuf {
+    v.raw()
+}
+
+/// Unrank a flat position into an index vector.
+fn unflat(shape: &[i64], flat: i64) -> Vec<i64> {
+    let mut idx = vec![0i64; shape.len()];
+    arraymem_lmad::concrete::unrank(flat, shape, &mut idx);
+    idx
+}
+
+/// Evaluate a (symbolic) layout transform against a concrete index
+/// function by constantizing its polynomials and reusing the symbolic
+/// transform algebra.
+pub fn apply_transform_concrete(
+    ixfn: &ConcreteIxFn,
+    tr: &Transform,
+    lookup: &impl Fn(arraymem_symbolic::Sym) -> Option<i64>,
+) -> Option<ConcreteIxFn> {
+    let sym_ixfn = concrete_to_symbolic(ixfn);
+    let tr_c = constantize_transform(tr, lookup)?;
+    let out = sym_ixfn.transform(&tr_c)?;
+    out.eval(&|_| None)
+}
+
+fn concrete_to_symbolic(ixfn: &ConcreteIxFn) -> IndexFn {
+    IndexFn {
+        lmads: ixfn
+            .lmads
+            .iter()
+            .map(|l| {
+                Lmad::new(
+                    Poly::constant(l.offset),
+                    l.dims
+                        .iter()
+                        .map(|&(c, s)| arraymem_lmad::Dim::new(Poly::constant(c), Poly::constant(s)))
+                        .collect(),
+                )
+            })
+            .collect(),
+    }
+}
+
+fn constantize_transform(
+    tr: &Transform,
+    lookup: &impl Fn(arraymem_symbolic::Sym) -> Option<i64>,
+) -> Option<Transform> {
+    let cp = |p: &Poly| -> Option<Poly> { Some(Poly::constant(p.eval(lookup)?)) };
+    Some(match tr {
+        Transform::Permute(p) => Transform::Permute(p.clone()),
+        Transform::Reverse(d) => Transform::Reverse(*d),
+        Transform::Reshape(s) => {
+            Transform::Reshape(s.iter().map(&cp).collect::<Option<_>>()?)
+        }
+        Transform::Slice(ts) => Transform::Slice(
+            ts.iter()
+                .map(|t| {
+                    Some(match t {
+                        TripletSlice::Range { start, len, step } => TripletSlice::Range {
+                            start: cp(start)?,
+                            len: cp(len)?,
+                            step: cp(step)?,
+                        },
+                        TripletSlice::Fix(i) => TripletSlice::Fix(cp(i)?),
+                    })
+                })
+                .collect::<Option<_>>()?,
+        ),
+        Transform::LmadSlice(l) =>
+
+            Transform::LmadSlice(Lmad::new(
+                cp(&l.offset)?,
+                l.dims
+                    .iter()
+                    .map(|d| Some(arraymem_lmad::Dim::new(cp(&d.card)?, cp(&d.stride)?)))
+                    .collect::<Option<_>>()?,
+            )),
+    })
+}
+
+/// Concrete index function of a slice of `base`.
+fn slice_ixfn_concrete(
+    base: &ConcreteIxFn,
+    slice: &SliceSpec,
+    env: &Env,
+    m: &mut Machine,
+) -> Result<ConcreteIxFn, String> {
+    let tr = match slice {
+        SliceSpec::Triplet(ts) => Transform::Slice(ts.clone()),
+        SliceSpec::Lmad(l) => Transform::LmadSlice(l.clone()),
+        SliceSpec::Point(es) => {
+            let mut fixed = Vec::with_capacity(es.len());
+            for e in es {
+                let v = m.eval_scalar(e, env)?.as_i64();
+                fixed.push(TripletSlice::Fix(Poly::constant(v)));
+            }
+            Transform::Slice(fixed)
+        }
+    };
+    let lookup = lookup_fn(env);
+    apply_transform_concrete(base, &tr, &lookup).ok_or_else(|| "bad slice".to_string())
+}
+

@@ -1,0 +1,129 @@
+//! Alias analysis: which array variables may share memory.
+//!
+//! Change-of-layout transforms alias their source; `if`/`loop` results
+//! alias the arrays flowing through them; updates alias (and consume)
+//! their destination. Fresh-array constructors (`iota`, `scratch`,
+//! `replicate`, `copy`, `concat`, `map`) alias nothing.
+
+use crate::exp::{Block, Exp, Program, Var};
+use std::collections::HashMap;
+
+/// Union-find over variables; `root(v)` identifies v's alias class.
+#[derive(Clone, Default, Debug)]
+pub struct AliasMap {
+    parent: HashMap<Var, Var>,
+}
+
+impl AliasMap {
+    pub fn root(&self, v: Var) -> Var {
+        let mut cur = v;
+        while let Some(&p) = self.parent.get(&cur) {
+            if p == cur {
+                break;
+            }
+            cur = p;
+        }
+        cur
+    }
+
+    fn union(&mut self, a: Var, b: Var) {
+        let ra = self.root(a);
+        let rb = self.root(b);
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+
+    pub fn same_class(&self, a: Var, b: Var) -> bool {
+        self.root(a) == self.root(b)
+    }
+
+    /// All variables known to this map that share `v`'s class (including
+    /// `v` itself).
+    pub fn class_members(&self, v: Var) -> Vec<Var> {
+        let r = self.root(v);
+        let mut out: Vec<Var> = self
+            .parent
+            .keys()
+            .copied()
+            .filter(|&k| self.root(k) == r)
+            .collect();
+        if !out.contains(&v) {
+            out.push(v);
+        }
+        out
+    }
+}
+
+/// Compute the alias classes of a program.
+pub fn aliases(prog: &Program) -> AliasMap {
+    let mut am = AliasMap::default();
+    // Seed every parameter and pattern variable as its own class.
+    for (v, _) in &prog.params {
+        am.parent.insert(*v, *v);
+    }
+    walk_block(&prog.body, &mut am);
+    am
+}
+
+fn walk_block(block: &Block, am: &mut AliasMap) {
+    for stm in &block.stms {
+        for pe in &stm.pat {
+            am.parent.entry(pe.var).or_insert(pe.var);
+        }
+        match &stm.exp {
+            Exp::Transform { src, .. } => {
+                am.union(stm.pat[0].var, *src);
+            }
+            Exp::Update { dst, .. } => {
+                am.union(stm.pat[0].var, *dst);
+            }
+            Exp::If {
+                then_b, else_b, ..
+            } => {
+                walk_block(then_b, am);
+                walk_block(else_b, am);
+                for (pe, (t, e)) in stm
+                    .pat
+                    .iter()
+                    .zip(then_b.result.iter().zip(&else_b.result))
+                {
+                    if pe.ty.is_array() {
+                        am.union(pe.var, *t);
+                        am.union(pe.var, *e);
+                    }
+                }
+            }
+            Exp::Loop {
+                params,
+                inits,
+                body,
+                ..
+            } => {
+                for (pp, init) in params.iter().zip(inits) {
+                    am.parent.entry(pp.var).or_insert(pp.var);
+                    if pp.ty.is_array() {
+                        am.union(pp.var, *init);
+                    }
+                }
+                walk_block(body, am);
+                for (pp, r) in params.iter().zip(&body.result) {
+                    if pp.ty.is_array() {
+                        am.union(pp.var, *r);
+                    }
+                }
+                for (pe, pp) in stm.pat.iter().zip(params) {
+                    if pe.ty.is_array() {
+                        am.union(pe.var, pp.var);
+                    }
+                }
+            }
+            Exp::Map(m) => {
+                if let crate::exp::MapBody::Lambda { body, .. } = &m.body {
+                    walk_block(body, am);
+                }
+            }
+            _ => {}
+        }
+    }
+}

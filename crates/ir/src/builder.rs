@@ -1,0 +1,406 @@
+//! A convenience builder for constructing IR programs in tests, examples
+//! and the benchmark workloads.
+
+use crate::exp::*;
+use crate::types::{ElemType, Type};
+use arraymem_lmad::{Lmad, Transform};
+use arraymem_symbolic::{Poly, Sym};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+#[derive(Default)]
+struct Ctx {
+    types: HashMap<Var, Type>,
+}
+
+/// Builds a [`Program`]: declares parameters, hands out [`BlockBuilder`]s,
+/// and tracks variable types so helpers can infer result types.
+pub struct Builder {
+    ctx: Rc<RefCell<Ctx>>,
+    name: String,
+    params: Vec<(Var, Type)>,
+}
+
+impl Builder {
+    pub fn new(name: &str) -> Builder {
+        Builder {
+            ctx: Rc::new(RefCell::new(Ctx::default())),
+            name: name.to_string(),
+            params: Vec::new(),
+        }
+    }
+
+    fn register(&self, v: Var, ty: Type) {
+        self.ctx.borrow_mut().types.insert(v, ty);
+    }
+
+    /// Declare a scalar parameter. `i64` parameters may appear in symbolic
+    /// sizes (as their `Sym`).
+    pub fn scalar_param(&mut self, name: &str, elem: ElemType) -> Var {
+        let v = Sym::fresh(name);
+        self.register(v, Type::Scalar(elem));
+        self.params.push((v, Type::Scalar(elem)));
+        v
+    }
+
+    /// Declare an array parameter.
+    pub fn array_param(&mut self, name: &str, elem: ElemType, shape: Vec<Poly>) -> Var {
+        let v = Sym::fresh(name);
+        let ty = Type::array(elem, shape);
+        self.register(v, ty.clone());
+        self.params.push((v, ty));
+        v
+    }
+
+    /// A new block builder sharing this builder's type context.
+    pub fn block(&self) -> BlockBuilder {
+        BlockBuilder {
+            ctx: Rc::clone(&self.ctx),
+            stms: Vec::new(),
+        }
+    }
+
+    /// The type of a declared variable.
+    pub fn ty(&self, v: Var) -> Type {
+        self.ctx.borrow().types[&v].clone()
+    }
+
+    pub fn finish(self, body: Block) -> Program {
+        Program {
+            name: self.name,
+            params: self.params,
+            body,
+        }
+    }
+}
+
+/// Builds one [`Block`]; nested blocks (loop/if/lambda bodies) come from
+/// [`Builder::block`] and are finished independently.
+pub struct BlockBuilder {
+    ctx: Rc<RefCell<Ctx>>,
+    stms: Vec<Stm>,
+}
+
+impl BlockBuilder {
+    fn fresh(&self, name: &str, ty: Type) -> Var {
+        let v = Sym::fresh(name);
+        self.ctx.borrow_mut().types.insert(v, ty);
+        v
+    }
+
+    /// The type of a variable (parameter or already bound).
+    pub fn ty(&self, v: Var) -> Type {
+        self.ctx.borrow().types[&v].clone()
+    }
+
+    fn shape(&self, v: Var) -> Vec<Poly> {
+        self.ty(v).shape().to_vec()
+    }
+
+    /// Bind `exp` to a fresh variable of type `ty`.
+    pub fn bind(&mut self, name: &str, ty: Type, exp: Exp) -> Var {
+        let v = self.fresh(name, ty.clone());
+        self.stms.push(Stm {
+            pat: vec![PatElem::new(v, ty)],
+            exp,
+        });
+        v
+    }
+
+    /// Bind `exp` to several fresh variables (multi-result expressions).
+    pub fn bind_multi(&mut self, pats: Vec<(&str, Type)>, exp: Exp) -> Vec<Var> {
+        let pes: Vec<PatElem> = pats
+            .into_iter()
+            .map(|(n, ty)| {
+                let v = self.fresh(n, ty.clone());
+                PatElem::new(v, ty)
+            })
+            .collect();
+        let vars = pes.iter().map(|p| p.var).collect();
+        self.stms.push(Stm { pat: pes, exp });
+        vars
+    }
+
+    /// Declare a loop merge parameter (same type as its initializer).
+    pub fn loop_param(&self, name: &str, init: Var) -> Var {
+        self.fresh(name, self.ty(init))
+    }
+
+    /// Declare a loop index variable.
+    pub fn loop_index(&self, name: &str) -> Var {
+        self.fresh(name, Type::Scalar(ElemType::I64))
+    }
+
+    /// Declare a lambda parameter of the given type.
+    pub fn lambda_param(&self, name: &str, ty: Type) -> Var {
+        self.fresh(name, ty)
+    }
+
+    pub fn iota(&mut self, name: &str, n: impl Into<Poly>) -> Var {
+        let n = n.into();
+        self.bind(
+            name,
+            Type::array(ElemType::I64, vec![n.clone()]),
+            Exp::Iota(n),
+        )
+    }
+
+    pub fn scratch(&mut self, name: &str, elem: ElemType, shape: Vec<Poly>) -> Var {
+        self.bind(
+            name,
+            Type::array(elem, shape.clone()),
+            Exp::Scratch { elem, shape },
+        )
+    }
+
+    pub fn replicate(&mut self, name: &str, shape: Vec<Poly>, value: ScalarExp) -> Var {
+        let elem = match &value {
+            ScalarExp::Const(c) => c.elem_type(),
+            _ => ElemType::F32,
+        };
+        self.bind(
+            name,
+            Type::array(elem, shape.clone()),
+            Exp::Replicate { shape, value },
+        )
+    }
+
+    pub fn replicate_typed(
+        &mut self,
+        name: &str,
+        elem: ElemType,
+        shape: Vec<Poly>,
+        value: ScalarExp,
+    ) -> Var {
+        self.bind(
+            name,
+            Type::array(elem, shape.clone()),
+            Exp::Replicate { shape, value },
+        )
+    }
+
+    pub fn copy(&mut self, name: &str, src: Var) -> Var {
+        self.bind(name, self.ty(src), Exp::Copy(src))
+    }
+
+    pub fn concat(&mut self, name: &str, args: Vec<Var>) -> Var {
+        assert!(!args.is_empty());
+        let t0 = self.ty(args[0]);
+        let mut outer = Poly::zero();
+        for &a in &args {
+            outer = outer + self.shape(a)[0].clone();
+        }
+        let mut shape = t0.shape().to_vec();
+        shape[0] = outer;
+        let elided = vec![false; args.len()];
+        self.bind(
+            name,
+            Type::array(t0.elem().unwrap(), shape),
+            Exp::Concat { args, elided },
+        )
+    }
+
+    pub fn transform(&mut self, name: &str, src: Var, tr: Transform) -> Var {
+        let t = self.ty(src);
+        let shape = tr.result_shape(t.shape());
+        self.bind(
+            name,
+            Type::array(t.elem().unwrap(), shape),
+            Exp::Transform { src, tr },
+        )
+    }
+
+    /// Read-slice sugar: `let x = a[slice]` as a transform.
+    pub fn slice(&mut self, name: &str, src: Var, tr: Transform) -> Var {
+        self.transform(name, src, tr)
+    }
+
+    /// A kernel map: `width` parallel iterations each producing a row of
+    /// shape `row_shape` (empty = scalar element) of type `elem`.
+    pub fn map_kernel(
+        &mut self,
+        name: &str,
+        kernel: &str,
+        width: impl Into<Poly>,
+        row_shape: Vec<Poly>,
+        elem: ElemType,
+        inputs: Vec<Var>,
+        args: Vec<ScalarExp>,
+    ) -> Var {
+        self.map_kernel_acc(name, kernel, width, row_shape, elem, inputs, args, vec![])
+    }
+
+    /// As [`Self::map_kernel`], declaring some inputs (by index) as read
+    /// arbitrarily rather than row-wise.
+    #[allow(clippy::too_many_arguments)]
+    pub fn map_kernel_acc(
+        &mut self,
+        name: &str,
+        kernel: &str,
+        width: impl Into<Poly>,
+        row_shape: Vec<Poly>,
+        elem: ElemType,
+        inputs: Vec<Var>,
+        args: Vec<ScalarExp>,
+        whole_inputs: Vec<usize>,
+    ) -> Var {
+        let width = width.into();
+        let mut shape = vec![width.clone()];
+        shape.extend(row_shape.iter().cloned());
+        self.bind(
+            name,
+            Type::array(elem, shape),
+            Exp::Map(MapExp {
+                width,
+                inputs,
+                body: MapBody::Kernel {
+                    name: kernel.to_string(),
+                    elem,
+                    row_shape,
+                    args,
+                    whole_inputs,
+                },
+                in_place_result: false,
+            }),
+        )
+    }
+
+    /// An interpreted elementwise map over rank-1 inputs. `f` receives a
+    /// body builder and the parameter variables and returns the body's
+    /// result variables (one per output).
+    pub fn map_lambda<F>(
+        &mut self,
+        name: &str,
+        width: impl Into<Poly>,
+        inputs: Vec<Var>,
+        out_elem: ElemType,
+        f: F,
+    ) -> Var
+    where
+        F: FnOnce(&mut BlockBuilder, &[Var]) -> Vec<Var>,
+    {
+        let width = width.into();
+        let params: Vec<(Var, Type)> = inputs
+            .iter()
+            .map(|&v| {
+                let el = self.ty(v).elem().unwrap();
+                (self.lambda_param("p", Type::Scalar(el)), Type::Scalar(el))
+            })
+            .collect();
+        let mut body_b = BlockBuilder {
+            ctx: Rc::clone(&self.ctx),
+            stms: Vec::new(),
+        };
+        let pvars: Vec<Var> = params.iter().map(|(v, _)| *v).collect();
+        let result = f(&mut body_b, &pvars);
+        let body = body_b.finish(result);
+        self.bind(
+            name,
+            Type::array(out_elem, vec![width.clone()]),
+            Exp::Map(MapExp {
+                width,
+                inputs,
+                body: MapBody::Lambda { params, body },
+                in_place_result: false,
+            }),
+        )
+    }
+
+    /// `let dst' = dst with [slice] = src`.
+    pub fn update(&mut self, name: &str, dst: Var, slice: SliceSpec, src: Var) -> Var {
+        self.bind(
+            name,
+            self.ty(dst),
+            Exp::Update {
+                dst,
+                slice,
+                src: UpdateSrc::Array(src),
+                elided: false,
+            },
+        )
+    }
+
+    /// `let dst' = dst with [point] = scalar`.
+    pub fn update_scalar(
+        &mut self,
+        name: &str,
+        dst: Var,
+        point: Vec<ScalarExp>,
+        value: ScalarExp,
+    ) -> Var {
+        self.bind(
+            name,
+            self.ty(dst),
+            Exp::Update {
+                dst,
+                slice: SliceSpec::Point(point),
+                src: UpdateSrc::Scalar(value),
+                elided: false,
+            },
+        )
+    }
+
+    /// Update at an LMAD slice.
+    pub fn update_lmad(&mut self, name: &str, dst: Var, slice: Lmad, src: Var) -> Var {
+        self.update(name, dst, SliceSpec::Lmad(slice), src)
+    }
+
+    pub fn scalar(&mut self, name: &str, elem: ElemType, exp: ScalarExp) -> Var {
+        self.bind(name, Type::Scalar(elem), Exp::Scalar(exp))
+    }
+
+    /// Bind a loop: `params` were created with [`Self::loop_param`], the
+    /// body with a separate block builder.
+    pub fn loop_(
+        &mut self,
+        names: Vec<&str>,
+        params: Vec<(Var, Type)>,
+        inits: Vec<Var>,
+        index: Var,
+        count: impl Into<Poly>,
+        body: Block,
+    ) -> Vec<Var> {
+        let tys: Vec<Type> = params.iter().map(|(_, t)| t.clone()).collect();
+        let params = params
+            .into_iter()
+            .map(|(v, ty)| PatElem::new(v, ty))
+            .collect();
+        self.bind_multi(
+            names.into_iter().zip(tys).collect(),
+            Exp::Loop {
+                params,
+                inits,
+                index,
+                count: count.into(),
+                body,
+            },
+        )
+    }
+
+    /// Bind an if-expression.
+    pub fn if_(
+        &mut self,
+        names: Vec<&str>,
+        tys: Vec<Type>,
+        cond: ScalarExp,
+        then_b: Block,
+        else_b: Block,
+    ) -> Vec<Var> {
+        self.bind_multi(
+            names.into_iter().zip(tys).collect(),
+            Exp::If {
+                cond,
+                then_b,
+                else_b,
+            },
+        )
+    }
+
+    pub fn finish(self, result: Vec<Var>) -> Block {
+        Block {
+            stms: self.stms,
+            result,
+        }
+    }
+}

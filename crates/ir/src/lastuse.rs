@@ -1,0 +1,65 @@
+//! Last-use analysis (paper §V, footnote 18): for each statement of a
+//! block, which alias classes can no longer be used on any path after it.
+//!
+//! The analysis is conservative: a use of *any* member of an alias class
+//! counts as a use of the class, and nested blocks (loop/if/map bodies)
+//! count as uses at their enclosing statement.
+
+use crate::alias::AliasMap;
+use crate::exp::{Block, Var};
+use std::collections::HashSet;
+
+/// For each statement index in `block`, the set of alias-class roots whose
+/// *last* use is that statement. `live_after` holds class roots used after
+/// the block (e.g. by an enclosing expression or the caller); those are
+/// never reported as lastly-used inside.
+pub fn block_last_uses(
+    block: &Block,
+    live_after: &HashSet<Var>,
+    am: &AliasMap,
+) -> Vec<HashSet<Var>> {
+    let mut live: HashSet<Var> = live_after.clone();
+    for v in &block.result {
+        live.insert(am.root(*v));
+    }
+    let mut out: Vec<HashSet<Var>> = vec![HashSet::new(); block.stms.len()];
+    for (k, stm) in block.stms.iter().enumerate().rev() {
+        let mut used_here: HashSet<Var> = HashSet::new();
+        for v in stm.exp.free_vars() {
+            used_here.insert(am.root(v));
+        }
+        for root in used_here {
+            if !live.contains(&root) {
+                out[k].insert(root);
+                live.insert(root);
+            }
+        }
+        // Bindings kill liveness of the classes they *create* fresh, but a
+        // class flows through transforms/updates, so only remove a root if
+        // this statement's pattern defines it and nothing before can refer
+        // to it. Removing is an optimization only; keeping liveness is
+        // conservative and sound, so we keep it simple and do not remove.
+    }
+    out
+}
+
+/// True if alias class of `v` is used by any statement at index > `at`, or
+/// escapes via the block result / `live_after`.
+pub fn used_after(
+    block: &Block,
+    at: usize,
+    v: Var,
+    live_after: &HashSet<Var>,
+    am: &AliasMap,
+) -> bool {
+    let root = am.root(v);
+    if live_after.contains(&root) {
+        return true;
+    }
+    if block.result.iter().any(|r| am.root(*r) == root) {
+        return true;
+    }
+    block.stms[at + 1..]
+        .iter()
+        .any(|s| s.exp.free_vars().iter().any(|u| am.root(*u) == root))
+}

@@ -1,0 +1,38 @@
+//! The functional array IR (paper §II-C).
+//!
+//! A standard first-order functional language where parallelism is
+//! expressed with `map` (generalized to kernels computing array rows),
+//! plus:
+//!
+//! - creation of *fresh* arrays: `iota`, `scratch`, `replicate`, `copy`,
+//!   `concat`, `map`;
+//! - "free" index-space transformations: `reshape`, `transpose` (any
+//!   permutation), slicing in triplet or LMAD notation, `reverse`;
+//! - sequential `loop`s and `if`s that may return arrays;
+//! - in-place slice **updates** `let A[W] = X`, whose copy the
+//!   short-circuiting optimization (crate `arraymem-core`) elides.
+//!
+//! Memory is *not* part of the language semantics: every statement pattern
+//! carries an optional [`MemBinding`] annotation which is `None` until the
+//! memory-introduction pass runs, and which can be deleted without changing
+//! program meaning (paper §I: memory information is an operational
+//! "add-on").
+
+pub mod alias;
+pub mod builder;
+pub mod exp;
+pub mod lastuse;
+pub mod pretty;
+pub mod types;
+pub mod validate;
+
+pub use builder::Builder;
+pub use exp::{
+    Block, Exp, MapBody, MapExp, MemBinding, PatElem, Program, ScalarExp, SliceSpec, Stm,
+    UpdateSrc, Var,
+};
+pub use exp::{BinOp, UnOp};
+pub use types::{Constant, ElemType, Type};
+
+#[cfg(test)]
+mod tests;

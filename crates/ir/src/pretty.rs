@@ -1,0 +1,198 @@
+//! Pretty-printing of IR programs, in a notation close to the paper's:
+//! `let (x : [n][m]f32 @ xmem → 0 + {(n:m),(m:1)}) = ...`.
+
+use crate::exp::*;
+use crate::types::Type;
+use std::fmt::Write;
+
+pub fn program_to_string(p: &Program) -> String {
+    let mut s = String::new();
+    write!(s, "fn {}(", p.name).unwrap();
+    for (i, (v, t)) in p.params.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        write!(s, "{v} : {}", type_str(t)).unwrap();
+    }
+    s.push_str(") =\n");
+    block_to_string(&p.body, 1, &mut s);
+    s
+}
+
+fn indent(s: &mut String, level: usize) {
+    for _ in 0..level {
+        s.push_str("  ");
+    }
+}
+
+pub fn block_to_string(b: &Block, level: usize, s: &mut String) {
+    for stm in &b.stms {
+        indent(s, level);
+        s.push_str("let (");
+        for (i, pe) in stm.pat.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            write!(s, "{} : {}", pe.var, type_str(&pe.ty)).unwrap();
+            if let Some(mb) = &pe.mem {
+                write!(s, " @ {} → {:?}", mb.block, mb.ixfn).unwrap();
+            }
+        }
+        s.push_str(") = ");
+        exp_to_string(&stm.exp, level, s);
+        s.push('\n');
+    }
+    indent(s, level);
+    s.push_str("in (");
+    for (i, v) in b.result.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        write!(s, "{v}").unwrap();
+    }
+    s.push_str(")\n");
+}
+
+fn type_str(t: &Type) -> String {
+    match t {
+        Type::Scalar(e) => format!("{e}"),
+        Type::Array { elem, shape } => {
+            let dims: String = shape.iter().map(|d| format!("[{d:?}]")).collect();
+            format!("{dims}{elem}")
+        }
+        Type::Mem => "mem".into(),
+    }
+}
+
+fn exp_to_string(e: &Exp, level: usize, s: &mut String) {
+    match e {
+        Exp::Scalar(se) => write!(s, "{}", scalar_str(se)).unwrap(),
+        Exp::Alloc { elem, size } => write!(s, "alloc {size:?} × {elem}").unwrap(),
+        Exp::Iota(n) => write!(s, "iota {n:?}").unwrap(),
+        Exp::Scratch { elem, shape } => {
+            write!(s, "scratch {elem}").unwrap();
+            for d in shape {
+                write!(s, " [{d:?}]").unwrap();
+            }
+        }
+        Exp::Replicate { shape, value } => {
+            write!(s, "replicate").unwrap();
+            for d in shape {
+                write!(s, " [{d:?}]").unwrap();
+            }
+            write!(s, " {}", scalar_str(value)).unwrap();
+        }
+        Exp::Copy(v) => write!(s, "copy {v}").unwrap(),
+        Exp::Concat { args, elided } => {
+            write!(s, "concat").unwrap();
+            for (a, e) in args.iter().zip(elided) {
+                write!(s, " {a}{}", if *e { "·elided" } else { "" }).unwrap();
+            }
+        }
+        Exp::Transform { src, tr } => write!(s, "{tr:?} {src}").unwrap(),
+        Exp::Map(m) => {
+            let ip = if m.in_place_result { " (in-place)" } else { "" };
+            match &m.body {
+                MapBody::Lambda { params, body } => {
+                    write!(s, "map{ip} ({:?} < {:?}) λ", params, m.width).unwrap();
+                    let _ = body;
+                    write!(s, "...").unwrap();
+                }
+                MapBody::Kernel { name, .. } => {
+                    write!(s, "mapnest{ip} (i < {:?}) kernel {name}(", m.width).unwrap();
+                    for (i, v) in m.inputs.iter().enumerate() {
+                        if i > 0 {
+                            s.push_str(", ");
+                        }
+                        write!(s, "{v}").unwrap();
+                    }
+                    s.push(')');
+                }
+            }
+        }
+        Exp::Update {
+            dst,
+            slice,
+            src,
+            elided,
+        } => {
+            let e = if *elided { " (elided)" } else { "" };
+            write!(s, "{dst} with [{}] = ", slice_str(slice)).unwrap();
+            match src {
+                UpdateSrc::Array(v) => write!(s, "{v}{e}").unwrap(),
+                UpdateSrc::Scalar(se) => write!(s, "{}{e}", scalar_str(se)).unwrap(),
+            }
+        }
+        Exp::If {
+            cond,
+            then_b,
+            else_b,
+        } => {
+            writeln!(s, "if {}", scalar_str(cond)).unwrap();
+            indent(s, level);
+            s.push_str("then\n");
+            block_to_string(then_b, level + 1, s);
+            indent(s, level);
+            s.push_str("else\n");
+            block_to_string(else_b, level + 1, s);
+        }
+        Exp::Loop {
+            params,
+            inits,
+            index,
+            count,
+            body,
+        } => {
+            s.push_str("loop (");
+            for (i, (pp, init)) in params.iter().zip(inits).enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                write!(s, "{} = {init}", pp.var).unwrap();
+            }
+            writeln!(s, ") for {index} < {count:?} do").unwrap();
+            block_to_string(body, level + 1, s);
+        }
+    }
+}
+
+fn slice_str(sl: &SliceSpec) -> String {
+    match sl {
+        SliceSpec::Triplet(ts) => ts
+            .iter()
+            .map(|t| match t {
+                arraymem_lmad::TripletSlice::Range { start, len, step } => {
+                    format!("{start:?};{len:?};{step:?}")
+                }
+                arraymem_lmad::TripletSlice::Fix(i) => format!("{i:?}"),
+            })
+            .collect::<Vec<_>>()
+            .join(", "),
+        SliceSpec::Lmad(l) => format!("{l:?}"),
+        SliceSpec::Point(es) => es
+            .iter()
+            .map(scalar_str)
+            .collect::<Vec<_>>()
+            .join(", "),
+    }
+}
+
+pub fn scalar_str(e: &ScalarExp) -> String {
+    match e {
+        ScalarExp::Const(c) => format!("{c}"),
+        ScalarExp::Var(v) => format!("{v}"),
+        ScalarExp::Size(p) => format!("{p:?}"),
+        ScalarExp::Bin(op, a, b) => format!("({} {op:?} {})", scalar_str(a), scalar_str(b)),
+        ScalarExp::Un(op, a) => format!("{op:?}({})", scalar_str(a)),
+        ScalarExp::Index(v, idx) => {
+            let i: Vec<String> = idx.iter().map(scalar_str).collect();
+            format!("{v}[{}]", i.join(", "))
+        }
+        ScalarExp::Select(c, t, f) => format!(
+            "({} ? {} : {})",
+            scalar_str(c),
+            scalar_str(t),
+            scalar_str(f)
+        ),
+    }
+}

@@ -1,0 +1,111 @@
+//! Scalar and array types.
+
+use arraymem_symbolic::Poly;
+
+/// Primitive element types. The benchmarks use `F32` and `I64`; `F64` and
+/// `Bool` round out scalar computation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum ElemType {
+    F32,
+    F64,
+    I64,
+    Bool,
+}
+
+impl ElemType {
+    /// Storage size of one element in the runtime. Booleans are stored as
+    /// 64-bit words so the VM's integer accessors apply uniformly.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            ElemType::F32 => 4,
+            ElemType::F64 | ElemType::I64 | ElemType::Bool => 8,
+        }
+    }
+}
+
+impl std::fmt::Display for ElemType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ElemType::F32 => "f32",
+            ElemType::F64 => "f64",
+            ElemType::I64 => "i64",
+            ElemType::Bool => "bool",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The type of a binding: a scalar, an array with a symbolic shape, or a
+/// memory block (memory blocks appear only after memory introduction).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Type {
+    Scalar(ElemType),
+    Array { elem: ElemType, shape: Vec<Poly> },
+    Mem,
+}
+
+impl Type {
+    pub fn array(elem: ElemType, shape: Vec<Poly>) -> Type {
+        Type::Array { elem, shape }
+    }
+
+    pub fn is_array(&self) -> bool {
+        matches!(self, Type::Array { .. })
+    }
+
+    pub fn elem(&self) -> Option<ElemType> {
+        match self {
+            Type::Scalar(e) | Type::Array { elem: e, .. } => Some(*e),
+            Type::Mem => None,
+        }
+    }
+
+    pub fn shape(&self) -> &[Poly] {
+        match self {
+            Type::Array { shape, .. } => shape,
+            _ => &[],
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.shape().len()
+    }
+
+    /// Total number of elements (product of the shape).
+    pub fn num_elems(&self) -> Poly {
+        self.shape()
+            .iter()
+            .fold(Poly::constant(1), |a, d| a * d.clone())
+    }
+}
+
+/// Scalar constants.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Constant {
+    F32(f32),
+    F64(f64),
+    I64(i64),
+    Bool(bool),
+}
+
+impl Constant {
+    pub fn elem_type(&self) -> ElemType {
+        match self {
+            Constant::F32(_) => ElemType::F32,
+            Constant::F64(_) => ElemType::F64,
+            Constant::I64(_) => ElemType::I64,
+            Constant::Bool(_) => ElemType::Bool,
+        }
+    }
+}
+
+impl std::fmt::Display for Constant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Constant::F32(x) => write!(f, "{x}f32"),
+            Constant::F64(x) => write!(f, "{x}f64"),
+            Constant::I64(x) => write!(f, "{x}i64"),
+            Constant::Bool(x) => write!(f, "{x}"),
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Structural validation of IR programs: pattern arities, scoping, shape
+//! agreement where symbolically decidable, and the uniqueness discipline
+//! for updates (the "old" array must not be used after an update — §II-C).
+
+use crate::exp::*;
+use arraymem_symbolic::Poly;
+use std::collections::HashSet;
+
+/// Validate a program; `Err` carries a description of the first violation.
+pub fn validate(prog: &Program) -> Result<(), String> {
+    let mut scope: HashSet<Var> = prog.params.iter().map(|(v, _)| *v).collect();
+    validate_block(&prog.body, &mut scope)
+}
+
+fn validate_block(block: &Block, scope: &mut HashSet<Var>) -> Result<(), String> {
+    let mut consumed: HashSet<Var> = HashSet::new();
+    for (k, stm) in block.stms.iter().enumerate() {
+        for v in stm.exp.free_vars() {
+            if !scope.contains(&v) {
+                return Err(format!("stm {k}: variable {v} used before definition"));
+            }
+        }
+        // The uniqueness discipline: an updated destination must not be
+        // used again under its old name.
+        if let Exp::Update { dst, .. } = &stm.exp {
+            if consumed.contains(dst) {
+                return Err(format!("stm {k}: {dst} updated twice (consumed)"));
+            }
+            consumed.insert(*dst);
+        } else {
+            for v in stm.exp.free_vars() {
+                if consumed.contains(&v) {
+                    return Err(format!("stm {k}: use of consumed array {v}"));
+                }
+            }
+        }
+        validate_exp(&stm.exp, &stm.pat, scope, k)?;
+        for pe in &stm.pat {
+            scope.insert(pe.var);
+        }
+    }
+    for v in &block.result {
+        if !scope.contains(v) {
+            return Err(format!("block result {v} not in scope"));
+        }
+        if consumed.contains(v) {
+            return Err(format!("block returns consumed array {v}"));
+        }
+    }
+    Ok(())
+}
+
+fn validate_exp(exp: &Exp, pat: &[PatElem], scope: &mut HashSet<Var>, k: usize) -> Result<(), String> {
+    let arity_err = |want: usize| {
+        Err(format!(
+            "stm {k}: pattern has {} elements, expression produces {want}",
+            pat.len()
+        ))
+    };
+    match exp {
+        Exp::Scalar(_)
+        | Exp::Alloc { .. }
+        | Exp::Iota(_)
+        | Exp::Scratch { .. }
+        | Exp::Replicate { .. }
+        | Exp::Copy(_)
+        | Exp::Transform { .. }
+        | Exp::Update { .. } => {
+            if pat.len() != 1 {
+                return arity_err(1);
+            }
+            Ok(())
+        }
+        Exp::Concat { args, elided } => {
+            if pat.len() != 1 {
+                return arity_err(1);
+            }
+            if args.is_empty() {
+                return Err(format!("stm {k}: empty concat"));
+            }
+            if elided.len() != args.len() {
+                return Err(format!("stm {k}: concat elided mask length mismatch"));
+            }
+            Ok(())
+        }
+        Exp::Map(m) => {
+            match &m.body {
+                MapBody::Lambda { params, body } => {
+                    if pat.len() != body.result.len() {
+                        return arity_err(body.result.len());
+                    }
+                    if params.len() != m.inputs.len() {
+                        return Err(format!(
+                            "stm {k}: lambda has {} params for {} inputs",
+                            params.len(),
+                            m.inputs.len()
+                        ));
+                    }
+                    let mut inner = scope.clone();
+                    for (p, _) in params {
+                        inner.insert(*p);
+                    }
+                    validate_block(body, &mut inner)?;
+                }
+                MapBody::Kernel { .. } => {
+                    if pat.len() != 1 {
+                        return arity_err(1);
+                    }
+                }
+            }
+            Ok(())
+        }
+        Exp::If {
+            then_b, else_b, ..
+        } => {
+            if then_b.result.len() != pat.len() || else_b.result.len() != pat.len() {
+                return Err(format!("stm {k}: if branches' arity mismatch"));
+            }
+            let mut s1 = scope.clone();
+            validate_block(then_b, &mut s1)?;
+            let mut s2 = scope.clone();
+            validate_block(else_b, &mut s2)?;
+            Ok(())
+        }
+        Exp::Loop {
+            params,
+            inits,
+            index,
+            body,
+            ..
+        } => {
+            if params.len() != inits.len() {
+                return Err(format!("stm {k}: loop params/inits mismatch"));
+            }
+            if body.result.len() != params.len() {
+                return Err(format!("stm {k}: loop body arity mismatch"));
+            }
+            if pat.len() != params.len() {
+                return arity_err(params.len());
+            }
+            let mut inner = scope.clone();
+            inner.insert(*index);
+            for pp in params {
+                inner.insert(pp.var);
+            }
+            validate_block(body, &mut inner)?;
+            Ok(())
+        }
+    }
+}
+
+/// Check two symbolic shapes for (canonical-form) equality.
+pub fn shapes_equal(a: &[Poly], b: &[Poly]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x == y)
+}
+
+/// The dynamic legality checks the language inserts for LMAD-slice updates
+/// (§III-B): strides non-zero and dimensions non-overlapping, so the
+/// update has no output dependences. Used by the evaluators.
+pub fn lmad_slice_is_injective(l: &arraymem_lmad::ConcreteLmad) -> bool {
+    // Sort dims by |stride| ascending and check each stride strictly
+    // exceeds the reach of the smaller ones — the same sufficient
+    // condition as the static test, evaluated concretely; fall back to an
+    // exact point-set check for small slices.
+    let mut dims: Vec<(i64, i64)> = l
+        .dims
+        .iter()
+        .map(|&(c, s)| (c, s.abs()))
+        .filter(|&(c, _)| c > 1)
+        .collect();
+    if dims.iter().any(|&(_, s)| s == 0) {
+        return false;
+    }
+    dims.sort_by_key(|&(_, s)| s);
+    let mut reach = 0i64;
+    let mut ok = true;
+    for &(c, s) in &dims {
+        if s <= reach {
+            ok = false;
+            break;
+        }
+        reach += (c - 1) * s;
+    }
+    if ok {
+        return true;
+    }
+    // Exact fallback (small sets only).
+    let n = l.num_points();
+    if n <= 1 << 16 {
+        let pts = l.points();
+        let set: std::collections::HashSet<i64> = pts.iter().copied().collect();
+        set.len() == pts.len()
+    } else {
+        false
+    }
+}

@@ -1,0 +1,55 @@
+//! Elaboration output and scalar-type inference helpers.
+
+use arraymem_ir::{BinOp, Program, ScalarExp, Type, UnOp, Var};
+use arraymem_symbolic::Env;
+use std::collections::HashMap;
+
+/// A parsed-and-elaborated source program: the IR plus the assumption
+/// environment collected from `assume` headers.
+pub struct Elaborated {
+    pub program: Program,
+    pub env: Env,
+}
+
+/// Infer the element type of a scalar expression from literals and the
+/// types of the variables it mentions. `f32` is contagious; comparisons
+/// yield `Bool`.
+pub fn infer_scalar_type(
+    e: &ScalarExp,
+    types: &HashMap<Var, Type>,
+) -> arraymem_ir::ElemType {
+    use arraymem_ir::ElemType as ET;
+    match e {
+        ScalarExp::Const(c) => c.elem_type(),
+        ScalarExp::Var(v) => types
+            .get(v)
+            .and_then(|t| t.elem())
+            .unwrap_or(ET::I64),
+        ScalarExp::Size(_) => ET::I64,
+        ScalarExp::Bin(op, a, b) => match op {
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::And | BinOp::Or => ET::Bool,
+            _ => {
+                let (ta, tb) = (infer_scalar_type(a, types), infer_scalar_type(b, types));
+                if ta == ET::F32 || tb == ET::F32 {
+                    ET::F32
+                } else if ta == ET::F64 || tb == ET::F64 {
+                    ET::F64
+                } else {
+                    ET::I64
+                }
+            }
+        },
+        ScalarExp::Un(op, a) => match op {
+            UnOp::Not => ET::Bool,
+            UnOp::Sqrt | UnOp::Exp | UnOp::Log | UnOp::ToF32 => ET::F32,
+            UnOp::ToF64 => ET::F64,
+            UnOp::ToI64 => ET::I64,
+            UnOp::Neg | UnOp::Abs => infer_scalar_type(a, types),
+        },
+        ScalarExp::Index(v, _) => types
+            .get(v)
+            .and_then(|t| t.elem())
+            .unwrap_or(ET::I64),
+        ScalarExp::Select(_, t, _) => infer_scalar_type(t, types),
+    }
+}

@@ -1,0 +1,224 @@
+//! Tokenizer.
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f32),
+    // punctuation
+    LParen,
+    RParen,
+    LBrack,
+    RBrack,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Semi,
+    Eq,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Lt,
+    Ge,
+    Arrow,
+    Backslash,
+    // keywords
+    Fn,
+    Let,
+    In,
+    Loop,
+    For,
+    Do,
+    If,
+    Then,
+    Else,
+    With,
+    Map,
+    Assume,
+    Lmad,
+    Eof,
+}
+
+/// A token plus its source line (for error messages).
+#[derive(Clone, Debug)]
+pub struct SpannedTok {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+/// Tokenize a program. `--` starts a line comment.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, String> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let ch = bytes[i];
+        match ch {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == '-' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == '>' => {
+                out.push(SpannedTok { tok: Tok::Arrow, line });
+                i += 2;
+            }
+            '>' if i + 1 < bytes.len() && bytes[i + 1] == '=' => {
+                out.push(SpannedTok { tok: Tok::Ge, line });
+                i += 2;
+            }
+            '(' => {
+                out.push(SpannedTok { tok: Tok::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                out.push(SpannedTok { tok: Tok::RParen, line });
+                i += 1;
+            }
+            '[' => {
+                out.push(SpannedTok { tok: Tok::LBrack, line });
+                i += 1;
+            }
+            ']' => {
+                out.push(SpannedTok { tok: Tok::RBrack, line });
+                i += 1;
+            }
+            '{' => {
+                out.push(SpannedTok { tok: Tok::LBrace, line });
+                i += 1;
+            }
+            '}' => {
+                out.push(SpannedTok { tok: Tok::RBrace, line });
+                i += 1;
+            }
+            ',' => {
+                out.push(SpannedTok { tok: Tok::Comma, line });
+                i += 1;
+            }
+            ':' => {
+                out.push(SpannedTok { tok: Tok::Colon, line });
+                i += 1;
+            }
+            ';' => {
+                out.push(SpannedTok { tok: Tok::Semi, line });
+                i += 1;
+            }
+            '=' => {
+                out.push(SpannedTok { tok: Tok::Eq, line });
+                i += 1;
+            }
+            '+' => {
+                out.push(SpannedTok { tok: Tok::Plus, line });
+                i += 1;
+            }
+            '-' => {
+                out.push(SpannedTok { tok: Tok::Minus, line });
+                i += 1;
+            }
+            '*' => {
+                out.push(SpannedTok { tok: Tok::Star, line });
+                i += 1;
+            }
+            '/' => {
+                out.push(SpannedTok { tok: Tok::Slash, line });
+                i += 1;
+            }
+            '<' => {
+                out.push(SpannedTok { tok: Tok::Lt, line });
+                i += 1;
+            }
+            '\\' => {
+                out.push(SpannedTok { tok: Tok::Backslash, line });
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if text.contains('.') {
+                    let f: f32 = text
+                        .parse()
+                        .map_err(|_| format!("line {line}: bad float literal {text}"))?;
+                    out.push(SpannedTok { tok: Tok::Float(f), line });
+                } else {
+                    let n: i64 = text
+                        .parse()
+                        .map_err(|_| format!("line {line}: bad integer literal {text}"))?;
+                    out.push(SpannedTok { tok: Tok::Int(n), line });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let tok = match text.as_str() {
+                    "fn" => Tok::Fn,
+                    "let" => Tok::Let,
+                    "in" => Tok::In,
+                    "loop" => Tok::Loop,
+                    "for" => Tok::For,
+                    "do" => Tok::Do,
+                    "if" => Tok::If,
+                    "then" => Tok::Then,
+                    "else" => Tok::Else,
+                    "with" => Tok::With,
+                    "map" => Tok::Map,
+                    "assume" => Tok::Assume,
+                    "lmad" => Tok::Lmad,
+                    _ => Tok::Ident(text),
+                };
+                out.push(SpannedTok { tok, line });
+            }
+            other => return Err(format!("line {line}: unexpected character {other:?}")),
+        }
+    }
+    out.push(SpannedTok { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_basics() {
+        let toks = lex("fn f(n: i64) = -- comment\n  let x = iota n in x").unwrap();
+        assert!(matches!(toks[0].tok, Tok::Fn));
+        assert!(matches!(toks[1].tok, Tok::Ident(ref s) if s == "f"));
+        // comment swallowed
+        assert!(toks.iter().all(|t| !matches!(t.tok, Tok::Minus)));
+        assert_eq!(toks.last().unwrap().tok, Tok::Eof);
+    }
+
+    #[test]
+    fn lexes_arrows_and_ge() {
+        let toks = lex(r"\d r -> d  n >= 2").unwrap();
+        assert!(toks.iter().any(|t| t.tok == Tok::Arrow));
+        assert!(toks.iter().any(|t| t.tok == Tok::Ge));
+        assert!(toks.iter().any(|t| t.tok == Tok::Backslash));
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        let toks = lex("42 3.5").unwrap();
+        assert_eq!(toks[0].tok, Tok::Int(42));
+        assert_eq!(toks[1].tok, Tok::Float(3.5));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("let x = @").is_err());
+    }
+}

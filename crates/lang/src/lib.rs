@@ -1,0 +1,41 @@
+//! A textual frontend for the array IR.
+//!
+//! The paper's §III-B argues for **LMAD slicing at the source-language
+//! level**: "this not only allows a shorter and nicer notation, but also
+//! hints to the compiler that such read/write accesses may be worth
+//! analyzing since they have structure." This crate provides that source
+//! language: a small, Futhark-flavoured notation that elaborates into the
+//! `arraymem-ir` AST (and an assumption `Env` for the prover).
+//!
+//! ```text
+//! -- Fig. 1 (left): add the first row to the diagonal.
+//! assume n >= 1
+//! fn diag_plus_row(n: i64, A: [n*n]f32) =
+//!   let diag = A[lmad 0 + {(n : n+1)}] in
+//!   let row  = A[lmad 0 + {(n : 1)}] in
+//!   let X    = map (\d r -> d + r) diag row in
+//!   let A2   = A with [lmad 0 + {(n : n+1)}] = X in
+//!   A2
+//! ```
+//!
+//! Grammar sketch (see the parser module for the full rules):
+//!
+//! ```text
+//! program  := assume* "fn" name "(" params ")" "=" block
+//! assume   := "assume" name ">=" int | "assume" name "=" sizeexpr
+//! block    := ("let" pat "=" exp "in")* result
+//! exp      := iota | replicate | copy | concat | transpose | reverse
+//!           | flatten | map | loop | if | slice-read | with-update | scalar
+//! slice    := "lmad" sizeexpr "+" "{" "(" size ":" size ")" ... "}"
+//!           | triplet "a:l:s" per dimension
+//! ```
+
+mod elab;
+mod lexer;
+mod parser;
+
+pub use elab::Elaborated;
+pub use parser::parse_program;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,873 @@
+//! Recursive-descent parser and on-the-fly elaboration into the IR.
+
+use crate::elab::{infer_scalar_type, Elaborated};
+use crate::lexer::{lex, SpannedTok, Tok};
+use arraymem_ir::builder::{BlockBuilder, Builder};
+use arraymem_ir::{BinOp, Block, ElemType, ScalarExp, SliceSpec, Type, UnOp, Var};
+use arraymem_lmad::{Dim, Lmad, Transform, TripletSlice};
+use arraymem_symbolic::{Env, Poly};
+use std::collections::HashMap;
+
+/// Parse and elaborate a source program.
+pub fn parse_program(src: &str) -> Result<Elaborated, String> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        scope: HashMap::new(),
+        types: HashMap::new(),
+        env: Env::new(),
+        builder: None,
+        pending_ge: Vec::new(),
+        pending_eq: Vec::new(),
+    };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    /// Name → variable, lexical (saved/restored around nested blocks).
+    scope: HashMap<String, Var>,
+    /// Variable → type (mirror of the builder's table, readable here).
+    types: HashMap<Var, Type>,
+    env: Env,
+    builder: Option<Builder>,
+    /// `assume x >= c` headers, resolved once parameters are bound.
+    pending_ge: Vec<(String, i64)>,
+    /// `assume x = e` headers (definitions for the prover).
+    pending_eq: Vec<(String, Poly)>,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), String> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(format!(
+                "line {}: expected {:?}, found {:?}",
+                self.line(),
+                t,
+                self.peek()
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(format!("line {}: expected identifier, found {other:?}", self.line())),
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Result<Var, String> {
+        self.scope
+            .get(name)
+            .copied()
+            .ok_or_else(|| format!("unbound name {name}"))
+    }
+
+    fn builder(&mut self) -> &mut Builder {
+        self.builder.as_mut().expect("builder initialized")
+    }
+
+    // ---------------------------------------------------------------
+    // program := assume* fn
+    fn program(&mut self) -> Result<Elaborated, String> {
+        while *self.peek() == Tok::Assume {
+            self.bump();
+            let name = self.ident()?;
+            match self.bump() {
+                Tok::Ge => {
+                    let lo = match self.bump() {
+                        Tok::Int(n) => n,
+                        other => {
+                            return Err(format!("assume: expected integer, found {other:?}"))
+                        }
+                    };
+                    // The name may not be bound yet; assumptions attach to
+                    // the parameter variable once declared, so remember by
+                    // name and fix up after the parameter list.
+                    self.pending_ge.push((name, lo));
+                }
+                Tok::Eq => {
+                    let poly = self.size_expr_by_name()?;
+                    self.pending_eq.push((name, poly));
+                }
+                other => return Err(format!("assume: expected >= or =, found {other:?}")),
+            }
+        }
+        self.expect(Tok::Fn)?;
+        let fname = self.ident()?;
+        self.builder = Some(Builder::new(&fname));
+        self.expect(Tok::LParen)?;
+        loop {
+            let pname = self.ident()?;
+            self.expect(Tok::Colon)?;
+            let ty = self.parse_type_by_name()?;
+            let v = match &ty {
+                PType::Scalar(et) => self.builder().scalar_param(&pname, *et),
+                PType::Array(et, dims) => {
+                    let shape: Vec<Poly> = dims
+                        .iter()
+                        .map(|d| self.resolve_size(d))
+                        .collect::<Result<_, _>>()?;
+                    self.builder().array_param(&pname, *et, shape)
+                }
+            };
+            let ty_v = self.builder().ty(v);
+            self.types.insert(v, ty_v);
+            self.scope.insert(pname, v);
+            if *self.peek() == Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(Tok::RParen)?;
+        self.expect(Tok::Eq)?;
+        // Resolve the pending assumptions now that parameters exist.
+        for (name, lo) in std::mem::take(&mut self.pending_ge) {
+            let v = self.lookup(&name)?;
+            self.env.assume_ge(v, lo);
+        }
+        for (name, poly) in std::mem::take(&mut self.pending_eq) {
+            let v = self.lookup(&name)?;
+            let poly = self.resolve_size(&poly)?;
+            self.env.define(v, poly);
+        }
+        let block = self.block()?;
+        let program = self.builder.take().unwrap().finish(block);
+        arraymem_ir::validate::validate(&program)?;
+        Ok(Elaborated {
+            program,
+            env: std::mem::take(&mut self.env),
+        })
+    }
+
+    // block := ("let" pat "=" exp "in")* result
+    fn block(&mut self) -> Result<Block, String> {
+        let mut bb = self.builder().block();
+        while *self.peek() == Tok::Let {
+            self.bump();
+            let names: Vec<String> = if *self.peek() == Tok::LParen {
+                self.bump();
+                let mut ns = vec![self.ident()?];
+                while *self.peek() == Tok::Comma {
+                    self.bump();
+                    ns.push(self.ident()?);
+                }
+                self.expect(Tok::RParen)?;
+                ns
+            } else {
+                vec![self.ident()?]
+            };
+            self.expect(Tok::Eq)?;
+            let vars = self.exp(&mut bb, &names)?;
+            if vars.len() != names.len() {
+                return Err(format!(
+                    "line {}: pattern binds {} names but expression yields {}",
+                    self.line(),
+                    names.len(),
+                    vars.len()
+                ));
+            }
+            for (n, v) in names.iter().zip(&vars) {
+                self.scope.insert(n.clone(), *v);
+                let ty_v = self.builder().ty(*v);
+                self.types.insert(*v, ty_v);
+            }
+            self.expect(Tok::In)?;
+        }
+        // result := IDENT | "(" IDENT, ... ")"
+        let results = if *self.peek() == Tok::LParen {
+            self.bump();
+            let mut rs = vec![self.ident_var()?];
+            while *self.peek() == Tok::Comma {
+                self.bump();
+                rs.push(self.ident_var()?);
+            }
+            self.expect(Tok::RParen)?;
+            rs
+        } else {
+            vec![self.ident_var()?]
+        };
+        Ok(bb.finish(results))
+    }
+
+    /// Parse an identifier and resolve it in scope.
+    fn ident_var(&mut self) -> Result<Var, String> {
+        let name = self.ident()?;
+        self.lookup(&name)
+    }
+
+    // ---------------------------------------------------------------
+    // Expressions. Returns the bound variables (usually one).
+    fn exp(&mut self, bb: &mut BlockBuilder, names: &[String]) -> Result<Vec<Var>, String> {
+        let name0 = names.first().map(|s| s.as_str()).unwrap_or("x");
+        match self.peek().clone() {
+            Tok::Ident(kw) => match kw.as_str() {
+                "iota" => {
+                    self.bump();
+                    let n = self.size_atom()?;
+                    Ok(vec![bb.iota(name0, n)])
+                }
+                "replicate" => {
+                    self.bump();
+                    self.expect(Tok::LBrack)?;
+                    let mut dims = vec![self.size_expr()?];
+                    while *self.peek() == Tok::Comma {
+                        self.bump();
+                        dims.push(self.size_expr()?);
+                    }
+                    self.expect(Tok::RBrack)?;
+                    let value = self.scalar_expr()?;
+                    let et = infer_scalar_type(&value, &self.types);
+                    Ok(vec![bb.replicate_typed(name0, et, dims, value)])
+                }
+                "copy" => {
+                    self.bump();
+                    let src = self.ident_var()?;
+                    Ok(vec![bb.copy(name0, src)])
+                }
+                "concat" => {
+                    self.bump();
+                    let mut args = vec![self.ident_var()?];
+                    while matches!(self.peek(), Tok::Ident(_)) && *self.peek2() != Tok::With {
+                        // Stop at `in` (a keyword, so not Ident).
+                        args.push(self.ident_var()?);
+                    }
+                    Ok(vec![bb.concat(name0, args)])
+                }
+                "transpose" => {
+                    self.bump();
+                    let src = self.ident_var()?;
+                    let rank = bb.ty(src).rank();
+                    let mut perm: Vec<usize> = (0..rank).collect();
+                    if rank >= 2 {
+                        perm.swap(rank - 2, rank - 1);
+                    }
+                    Ok(vec![bb.transform(name0, src, Transform::Permute(perm))])
+                }
+                "reverse" => {
+                    self.bump();
+                    let src = self.ident_var()?;
+                    Ok(vec![bb.transform(name0, src, Transform::Reverse(0))])
+                }
+                "flatten" => {
+                    self.bump();
+                    let src = self.ident_var()?;
+                    let total = bb.ty(src).num_elems();
+                    Ok(vec![bb.transform(name0, src, Transform::Reshape(vec![total]))])
+                }
+                "unflatten" => {
+                    self.bump();
+                    let a = self.size_atom()?;
+                    let b = self.size_atom()?;
+                    let src = self.ident_var()?;
+                    Ok(vec![bb.transform(name0, src, Transform::Reshape(vec![a, b]))])
+                }
+                _ => self.ident_headed_exp(bb, name0),
+            },
+            Tok::Map => {
+                self.bump();
+                self.map_exp(bb, name0)
+            }
+            Tok::Loop => {
+                self.bump();
+                self.loop_exp(bb, names)
+            }
+            Tok::If => {
+                self.bump();
+                self.if_exp(bb, names)
+            }
+            _ => {
+                // A scalar expression.
+                let e = self.scalar_expr()?;
+                let et = infer_scalar_type(&e, &self.types);
+                Ok(vec![bb.scalar(name0, et, e)])
+            }
+        }
+    }
+
+    /// Expressions headed by a variable name: `x with [slice] = rhs`,
+    /// `x[slice]` (array read) or a scalar expression.
+    fn ident_headed_exp(&mut self, bb: &mut BlockBuilder, name0: &str) -> Result<Vec<Var>, String> {
+        // Look ahead without consuming: IDENT (with | [slicespec-with-colon])
+        let save = self.pos;
+        let head = self.ident()?;
+        match self.peek().clone() {
+            Tok::With => {
+                self.bump();
+                self.expect(Tok::LBrack)?;
+                let slice = self.slice_spec()?;
+                self.expect(Tok::RBrack)?;
+                self.expect(Tok::Eq)?;
+                let dst = self.lookup(&head)?;
+                // rhs: a bare array name, or a scalar expression.
+                if let Tok::Ident(rhs) = self.peek().clone() {
+                    if let Ok(v) = self.lookup(&rhs) {
+                        if self.types.get(&v).map(|t| t.is_array()).unwrap_or(false)
+                            && !matches!(
+                                self.peek2(),
+                                Tok::Plus | Tok::Minus | Tok::Star | Tok::Slash | Tok::LBrack
+                            )
+                        {
+                            self.bump();
+                            return Ok(vec![bb.update(name0, dst, slice, v)]);
+                        }
+                    }
+                }
+                let value = self.scalar_expr()?;
+                match slice {
+                    SliceSpec::Point(pt) => Ok(vec![bb.update_scalar(name0, dst, pt, value)]),
+                    _ => Err("scalar update requires a point index".into()),
+                }
+            }
+            Tok::LBrack if self.slice_ahead_is_array() => {
+                self.bump(); // [
+                let slice = self.slice_spec()?;
+                self.expect(Tok::RBrack)?;
+                let src = self.lookup(&head)?;
+                let tr = match slice {
+                    SliceSpec::Triplet(ts) => Transform::Slice(ts),
+                    SliceSpec::Lmad(l) => Transform::LmadSlice(l),
+                    SliceSpec::Point(_) => unreachable!("array slice has a range"),
+                };
+                Ok(vec![bb.transform(name0, src, tr)])
+            }
+            _ => {
+                self.pos = save;
+                let e = self.scalar_expr()?;
+                let et = infer_scalar_type(&e, &self.types);
+                Ok(vec![bb.scalar(name0, et, e)])
+            }
+        }
+    }
+
+    /// After seeing `IDENT [`, decide whether the bracket content is an
+    /// array slice (contains `:` at this bracket depth, or starts with
+    /// `lmad`) or a scalar element read.
+    fn slice_ahead_is_array(&self) -> bool {
+        let mut i = self.pos + 1; // after '['
+        if self.toks.get(i).map(|t| &t.tok) == Some(&Tok::Lmad) {
+            return true;
+        }
+        let mut depth = 0i32;
+        while let Some(t) = self.toks.get(i) {
+            match &t.tok {
+                Tok::LBrack | Tok::LParen | Tok::LBrace => depth += 1,
+                Tok::RBrack if depth == 0 => return false,
+                Tok::RBrack | Tok::RParen | Tok::RBrace => depth -= 1,
+                Tok::Colon if depth == 0 => return true,
+                Tok::Eof => return false,
+                _ => {}
+            }
+            i += 1;
+        }
+        false
+    }
+
+    // map (\a b -> body) xs ys
+    fn map_exp(&mut self, bb: &mut BlockBuilder, name0: &str) -> Result<Vec<Var>, String> {
+        self.expect(Tok::LParen)?;
+        self.expect(Tok::Backslash)?;
+        let mut pnames = vec![self.ident()?];
+        while matches!(self.peek(), Tok::Ident(_)) {
+            pnames.push(self.ident()?);
+        }
+        self.expect(Tok::Arrow)?;
+        // Body parsed later (needs param vars in scope); remember position.
+        let body_start = self.pos;
+        // Skip to the matching ')'.
+        let mut depth = 0i32;
+        while !(depth == 0 && *self.peek() == Tok::RParen) {
+            match self.peek() {
+                Tok::LParen => depth += 1,
+                Tok::RParen => depth -= 1,
+                Tok::Eof => return Err("unterminated lambda".into()),
+                _ => {}
+            }
+            self.bump();
+        }
+        let body_end = self.pos;
+        self.expect(Tok::RParen)?;
+        let mut inputs = vec![self.ident_var()?];
+        while matches!(self.peek(), Tok::Ident(_)) {
+            inputs.push(self.ident_var()?);
+        }
+        if inputs.len() != pnames.len() {
+            return Err(format!(
+                "map: {} lambda params for {} inputs",
+                pnames.len(),
+                inputs.len()
+            ));
+        }
+        let width = self
+            .types
+            .get(&inputs[0])
+            .and_then(|t| t.shape().first().cloned())
+            .ok_or("map over a scalar")?;
+        // Elaborate: bind params, re-parse the body as a scalar expr.
+        let saved_scope = self.scope.clone();
+        let after = self.pos;
+        // Infer the output type after binding parameter types.
+        let input_types: Vec<ElemType> = inputs
+            .iter()
+            .map(|v| self.types[v].elem().unwrap())
+            .collect();
+        let pn = pnames.clone();
+        let it = input_types.clone();
+        let (body_toks_start, body_toks_end) = (body_start, body_end);
+        // We cannot capture `self` in the closure handed to map_lambda, so
+        // parse the body expression separately first.
+        self.pos = body_toks_start;
+        // Bind lambda parameter names to placeholder vars for parsing.
+        let mut pvars = Vec::new();
+        {
+            let btmp = self.builder().block();
+            for (nm, et) in pn.iter().zip(&it) {
+                let v = btmp.lambda_param(nm, Type::Scalar(*et));
+                self.scope.insert(nm.clone(), v);
+                self.types.insert(v, Type::Scalar(*et));
+                pvars.push(v);
+            }
+        }
+        let body_expr = self.scalar_expr()?;
+        if self.pos != body_toks_end {
+            return Err(format!(
+                "line {}: trailing tokens in lambda body",
+                self.line()
+            ));
+        }
+        self.pos = after;
+        self.scope = saved_scope;
+        let out_et = infer_scalar_type(&body_expr, &self.types);
+        // Build the map with a lambda that emits the parsed body.
+        let params: Vec<(Var, Type)> = pvars
+            .iter()
+            .zip(&it)
+            .map(|(v, et)| (*v, Type::Scalar(*et)))
+            .collect();
+        let mut inner = self.builder().block();
+        let res = inner.scalar("lam", out_et, body_expr);
+        let body_block = inner.finish(vec![res]);
+        let v = bb.bind(
+            name0,
+            Type::array(out_et, vec![width.clone()]),
+            arraymem_ir::Exp::Map(arraymem_ir::MapExp {
+                width,
+                inputs,
+                body: arraymem_ir::MapBody::Lambda {
+                    params,
+                    body: body_block,
+                },
+                in_place_result: false,
+            }),
+        );
+        Ok(vec![v])
+    }
+
+    // loop (p1 = init1, ...) for i < count do { block }
+    fn loop_exp(&mut self, bb: &mut BlockBuilder, names: &[String]) -> Result<Vec<Var>, String> {
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        let mut inits = Vec::new();
+        loop {
+            let pname = self.ident()?;
+            self.expect(Tok::Eq)?;
+            let init = self.ident_var()?;
+            let pv = bb.loop_param(&pname, init);
+            self.types.insert(pv, bb.ty(init));
+            params.push((pname, pv));
+            inits.push(init);
+            if *self.peek() == Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(Tok::RParen)?;
+        self.expect(Tok::For)?;
+        let iname = self.ident()?;
+        let iv = bb.loop_index(&iname);
+        self.types.insert(iv, Type::Scalar(ElemType::I64));
+        self.expect(Tok::Lt)?;
+        let count = self.size_expr()?;
+        self.expect(Tok::Do)?;
+        self.expect(Tok::LBrace)?;
+        let saved = self.scope.clone();
+        for (pname, pv) in &params {
+            self.scope.insert(pname.clone(), *pv);
+        }
+        self.scope.insert(iname.clone(), iv);
+        // Loop index is usable in size expressions.
+        let body = self.block()?;
+        self.scope = saved;
+        self.expect(Tok::RBrace)?;
+        let ptys: Vec<(Var, Type)> = params
+            .iter()
+            .map(|(_, pv)| (*pv, self.types[pv].clone()))
+            .collect();
+        let outs = bb.loop_(
+            names.iter().map(|s| s.as_str()).collect(),
+            ptys,
+            inits,
+            iv,
+            count,
+            body,
+        );
+        Ok(outs)
+    }
+
+    // if cond then { block } else { block }
+    fn if_exp(&mut self, bb: &mut BlockBuilder, names: &[String]) -> Result<Vec<Var>, String> {
+        let cond = self.scalar_expr()?;
+        self.expect(Tok::Then)?;
+        self.expect(Tok::LBrace)?;
+        let saved = self.scope.clone();
+        let then_b = self.block()?;
+        self.scope = saved.clone();
+        self.expect(Tok::RBrace)?;
+        self.expect(Tok::Else)?;
+        self.expect(Tok::LBrace)?;
+        let else_b = self.block()?;
+        self.scope = saved;
+        self.expect(Tok::RBrace)?;
+        let tys: Vec<Type> = then_b
+            .result
+            .iter()
+            .map(|v| self.types[v].clone())
+            .collect();
+        let outs = bb.if_(
+            names.iter().map(|s| s.as_str()).collect(),
+            tys,
+            cond,
+            then_b,
+            else_b,
+        );
+        Ok(outs)
+    }
+
+    // ---------------------------------------------------------------
+    // slicespec := "lmad" size "+" "{" "(" size ":" size ")", ... "}"
+    //            | dim ("," dim)*   with  dim := size (":" size ":" size)?
+    fn slice_spec(&mut self) -> Result<SliceSpec, String> {
+        if *self.peek() == Tok::Lmad {
+            self.bump();
+            let offset = self.size_expr_until_brace()?;
+            self.expect(Tok::Plus)?;
+            self.expect(Tok::LBrace)?;
+            let mut dims = Vec::new();
+            loop {
+                self.expect(Tok::LParen)?;
+                let card = self.size_expr()?;
+                self.expect(Tok::Colon)?;
+                let stride = self.size_expr()?;
+                self.expect(Tok::RParen)?;
+                dims.push(Dim::new(card, stride));
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(Tok::RBrace)?;
+            return Ok(SliceSpec::Lmad(Lmad::new(offset, dims)));
+        }
+        let mut triplets = Vec::new();
+        let mut all_fixed = true;
+        let mut points = Vec::new();
+        loop {
+            let first = self.size_expr()?;
+            if *self.peek() == Tok::Colon {
+                self.bump();
+                let len = self.size_expr()?;
+                self.expect(Tok::Colon)?;
+                let step = self.size_expr()?;
+                triplets.push(TripletSlice::range(first, len, step));
+                all_fixed = false;
+            } else {
+                points.push(ScalarExp::Size(first.clone()));
+                triplets.push(TripletSlice::Fix(first));
+            }
+            if *self.peek() == Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if all_fixed {
+            Ok(SliceSpec::Point(points))
+        } else {
+            Ok(SliceSpec::Triplet(triplets))
+        }
+    }
+
+    /// A size expression that stops before the final `+ {` of an LMAD
+    /// slice (the `+` there separates the offset from the dimension list).
+    fn size_expr_until_brace(&mut self) -> Result<Poly, String> {
+        let mut acc = self.size_term()?;
+        loop {
+            match self.peek() {
+                Tok::Plus if *self.peek2() == Tok::LBrace => return Ok(acc),
+                Tok::Plus => {
+                    self.bump();
+                    acc = acc + self.size_term()?;
+                }
+                Tok::Minus => {
+                    self.bump();
+                    acc = acc - self.size_term()?;
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Size expressions elaborate to polynomials over bound i64 variables.
+    fn size_expr(&mut self) -> Result<Poly, String> {
+        let mut acc = self.size_term()?;
+        loop {
+            match self.peek() {
+                Tok::Plus => {
+                    self.bump();
+                    acc = acc + self.size_term()?;
+                }
+                Tok::Minus => {
+                    self.bump();
+                    acc = acc - self.size_term()?;
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn size_term(&mut self) -> Result<Poly, String> {
+        let mut acc = self.size_atom()?;
+        while *self.peek() == Tok::Star {
+            self.bump();
+            acc = acc * self.size_atom()?;
+        }
+        Ok(acc)
+    }
+
+    fn size_atom(&mut self) -> Result<Poly, String> {
+        match self.bump() {
+            Tok::Int(n) => Ok(Poly::constant(n)),
+            Tok::Ident(name) => Ok(Poly::var(self.lookup(&name)?)),
+            Tok::LParen => {
+                let e = self.size_expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Minus => Ok(-(self.size_atom()?)),
+            other => Err(format!(
+                "line {}: expected size expression, found {other:?}",
+                self.line()
+            )),
+        }
+    }
+
+    /// A size expression in the `assume` header, before names are bound:
+    /// resolved against the parameter scope later.
+    fn size_expr_by_name(&mut self) -> Result<Poly, String> {
+        // Parse with placeholder symbols keyed by name; resolve after the
+        // parameter list (see resolve_size).
+        let mut acc = self.size_term_by_name()?;
+        loop {
+            match self.peek() {
+                Tok::Plus => {
+                    self.bump();
+                    acc = acc + self.size_term_by_name()?;
+                }
+                Tok::Minus => {
+                    self.bump();
+                    acc = acc - self.size_term_by_name()?;
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn size_term_by_name(&mut self) -> Result<Poly, String> {
+        let mut acc = self.size_atom_by_name()?;
+        while *self.peek() == Tok::Star {
+            self.bump();
+            acc = acc * self.size_atom_by_name()?;
+        }
+        Ok(acc)
+    }
+
+    fn size_atom_by_name(&mut self) -> Result<Poly, String> {
+        match self.bump() {
+            Tok::Int(n) => Ok(Poly::constant(n)),
+            Tok::Ident(name) => Ok(Poly::var(name_placeholder(&name))),
+            Tok::LParen => {
+                let e = self.size_expr_by_name()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(format!("assume: unexpected {other:?}")),
+        }
+    }
+
+    /// Substitute name placeholders for the real parameter variables.
+    fn resolve_size(&self, p: &Poly) -> Result<Poly, String> {
+        let mut out = p.clone();
+        for v in p.vars() {
+            let name = arraymem_symbolic::sym_name(v);
+            if let Some(stripped) = name.strip_prefix("srcname$") {
+                let real = self.lookup(stripped)?;
+                out = out.subst(v, &Poly::var(real));
+            }
+        }
+        Ok(out)
+    }
+
+    // type := ("[" size "]")* ("i64"|"f32")
+    fn parse_type_by_name(&mut self) -> Result<PType, String> {
+        let mut dims = Vec::new();
+        while *self.peek() == Tok::LBrack {
+            self.bump();
+            dims.push(self.size_expr_by_name()?);
+            self.expect(Tok::RBrack)?;
+        }
+        let base = self.ident()?;
+        let et = match base.as_str() {
+            "i64" => ElemType::I64,
+            "f32" => ElemType::F32,
+            "f64" => ElemType::F64,
+            "bool" => ElemType::Bool,
+            other => return Err(format!("unknown type {other}")),
+        };
+        Ok(if dims.is_empty() {
+            PType::Scalar(et)
+        } else {
+            PType::Array(et, dims)
+        })
+    }
+
+    // ---------------------------------------------------------------
+    // Scalar expressions (arithmetic over bound variables and literals,
+    // element reads, calls to sqrt/min/max).
+    fn scalar_expr(&mut self) -> Result<ScalarExp, String> {
+        let mut acc = self.scalar_term()?;
+        loop {
+            match self.peek() {
+                Tok::Plus => {
+                    self.bump();
+                    acc = ScalarExp::bin(BinOp::Add, acc, self.scalar_term()?);
+                }
+                Tok::Minus => {
+                    self.bump();
+                    acc = ScalarExp::bin(BinOp::Sub, acc, self.scalar_term()?);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn scalar_term(&mut self) -> Result<ScalarExp, String> {
+        let mut acc = self.scalar_atom()?;
+        loop {
+            match self.peek() {
+                Tok::Star => {
+                    self.bump();
+                    acc = ScalarExp::bin(BinOp::Mul, acc, self.scalar_atom()?);
+                }
+                Tok::Slash => {
+                    self.bump();
+                    acc = ScalarExp::bin(BinOp::Div, acc, self.scalar_atom()?);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn scalar_atom(&mut self) -> Result<ScalarExp, String> {
+        match self.bump() {
+            Tok::Int(n) => Ok(ScalarExp::i64(n)),
+            Tok::Float(f) => Ok(ScalarExp::f32(f)),
+            Tok::Minus => Ok(ScalarExp::un(UnOp::Neg, self.scalar_atom()?)),
+            Tok::LParen => {
+                let e = self.scalar_expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                // Calls: sqrt(x), min(a,b), max(a,b), f32(x), i64(x).
+                if *self.peek() == Tok::LParen
+                    && matches!(name.as_str(), "sqrt" | "exp" | "log" | "abs" | "min" | "max" | "f32" | "i64")
+                {
+                    self.bump();
+                    let a = self.scalar_expr()?;
+                    let e = match name.as_str() {
+                        "sqrt" => ScalarExp::un(UnOp::Sqrt, a),
+                        "exp" => ScalarExp::un(UnOp::Exp, a),
+                        "log" => ScalarExp::un(UnOp::Log, a),
+                        "abs" => ScalarExp::un(UnOp::Abs, a),
+                        "f32" => ScalarExp::un(UnOp::ToF32, a),
+                        "i64" => ScalarExp::un(UnOp::ToI64, a),
+                        mm => {
+                            self.expect(Tok::Comma)?;
+                            let b = self.scalar_expr()?;
+                            let op = if mm == "min" { BinOp::Min } else { BinOp::Max };
+                            ScalarExp::bin(op, a, b)
+                        }
+                    };
+                    self.expect(Tok::RParen)?;
+                    return Ok(e);
+                }
+                let v = self.lookup(&name)?;
+                // Element read: x[i, j].
+                if *self.peek() == Tok::LBrack {
+                    self.bump();
+                    let mut idx = vec![self.scalar_expr()?];
+                    while *self.peek() == Tok::Comma {
+                        self.bump();
+                        idx.push(self.scalar_expr()?);
+                    }
+                    self.expect(Tok::RBrack)?;
+                    return Ok(ScalarExp::Index(v, idx));
+                }
+                Ok(ScalarExp::Var(v))
+            }
+            other => Err(format!(
+                "line {}: expected scalar expression, found {other:?}",
+                self.line()
+            )),
+        }
+    }
+}
+
+/// Placeholder symbol for a not-yet-bound name in `assume` headers.
+fn name_placeholder(name: &str) -> Var {
+    arraymem_symbolic::sym(&format!("srcname${name}"))
+}
+
+enum PType {
+    Scalar(ElemType),
+    Array(ElemType, Vec<Poly>),
+}

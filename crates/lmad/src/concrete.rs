@@ -1,0 +1,223 @@
+//! Fully concrete LMADs and index functions, used by the runtime.
+//!
+//! During final code generation "the actual structure of the LMAD for a
+//! given array is inlined for every array access" (paper §VII). Our
+//! runtime's equivalent is these small, flat structs whose `index`
+//! computation is a handful of multiply-adds, plus fast paths the kernels
+//! use to keep per-access cost minimal.
+
+/// A concrete LMAD: `offset + {(card : stride), ...}`, outer dimension
+/// first. Strides may be negative (e.g. reversed dimensions).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConcreteLmad {
+    pub offset: i64,
+    /// `(cardinality, stride)` pairs.
+    pub dims: Vec<(i64, i64)>,
+}
+
+impl ConcreteLmad {
+    pub fn row_major(shape: &[i64]) -> ConcreteLmad {
+        let mut dims = Vec::with_capacity(shape.len());
+        let mut stride = 1i64;
+        for &d in shape.iter().rev() {
+            dims.push((d, stride));
+            stride *= d;
+        }
+        dims.reverse();
+        ConcreteLmad { offset: 0, dims }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    pub fn shape(&self) -> Vec<i64> {
+        self.dims.iter().map(|&(c, _)| c).collect()
+    }
+
+    pub fn num_points(&self) -> i64 {
+        self.dims.iter().map(|&(c, _)| c).product()
+    }
+
+    /// `L(y1..yq) = offset + Σ yi·si`.
+    #[inline]
+    pub fn apply(&self, idx: &[i64]) -> i64 {
+        debug_assert_eq!(idx.len(), self.dims.len());
+        let mut out = self.offset;
+        for (y, &(_, s)) in idx.iter().zip(&self.dims) {
+            out += y * s;
+        }
+        out
+    }
+
+    /// Enumerate all points of the LMAD (set semantics) in logical
+    /// (row-major over the cardinalities) order.
+    pub fn points(&self) -> Vec<i64> {
+        let n = self.num_points().max(0) as usize;
+        let mut out = Vec::with_capacity(n);
+        let mut idx = vec![0i64; self.dims.len()];
+        if self.dims.iter().any(|&(c, _)| c <= 0) {
+            return out;
+        }
+        loop {
+            out.push(self.apply(&idx));
+            // increment mixed-radix counter
+            let mut d = self.dims.len();
+            loop {
+                if d == 0 {
+                    return out;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < self.dims[d].0 {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+    }
+
+    pub fn is_row_major_contiguous(&self) -> bool {
+        let mut stride = 1i64;
+        for &(c, s) in self.dims.iter().rev() {
+            if s != stride {
+                return false;
+            }
+            stride *= c;
+        }
+        true
+    }
+}
+
+/// Unrank a flat offset `x` into the row-major index space of `shape`.
+#[inline]
+pub fn unrank(mut x: i64, shape: &[i64], out: &mut [i64]) {
+    debug_assert_eq!(shape.len(), out.len());
+    for d in (0..shape.len()).rev() {
+        let c = shape[d];
+        out[d] = x.rem_euclid(c);
+        x = x.div_euclid(c);
+    }
+}
+
+/// A concrete index function: a chain of LMADs, applied last-to-first with
+/// unranking in between (paper Fig. 3).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConcreteIxFn {
+    pub lmads: Vec<ConcreteLmad>,
+}
+
+impl ConcreteIxFn {
+    pub fn from_lmad(l: ConcreteLmad) -> ConcreteIxFn {
+        ConcreteIxFn { lmads: vec![l] }
+    }
+
+    pub fn row_major(shape: &[i64]) -> ConcreteIxFn {
+        ConcreteIxFn::from_lmad(ConcreteLmad::row_major(shape))
+    }
+
+    pub fn logical(&self) -> &ConcreteLmad {
+        self.lmads.last().unwrap()
+    }
+
+    pub fn shape(&self) -> Vec<i64> {
+        self.logical().shape()
+    }
+
+    pub fn rank(&self) -> usize {
+        self.logical().rank()
+    }
+
+    pub fn num_elems(&self) -> i64 {
+        self.logical().num_points()
+    }
+
+    pub fn as_single(&self) -> Option<&ConcreteLmad> {
+        if self.lmads.len() == 1 {
+            Some(&self.lmads[0])
+        } else {
+            None
+        }
+    }
+
+    /// Map a logical index to the flat element offset in the memory block.
+    pub fn index(&self, idx: &[i64]) -> i64 {
+        let mut x = self.lmads.last().unwrap().apply(idx);
+        for k in (0..self.lmads.len() - 1).rev() {
+            let l = &self.lmads[k];
+            let mut tmp = vec![0i64; l.rank()];
+            unrank(x, &l.shape(), &mut tmp);
+            x = l.apply(&tmp);
+        }
+        x
+    }
+
+    /// Map a flat logical position (row-major over the logical shape) to
+    /// the element offset in the memory block.
+    pub fn index_flat(&self, flat: i64) -> i64 {
+        let shape = self.shape();
+        let mut idx = vec![0i64; shape.len()];
+        unrank(flat, &shape, &mut idx);
+        self.index(&idx)
+    }
+
+    /// `Some(base)` iff logical position `flat` maps to `base + flat` for
+    /// all positions, i.e. the view is contiguous row-major — the fast path
+    /// for bulk copies and kernel inner loops.
+    pub fn contiguous_base(&self) -> Option<i64> {
+        let l = self.as_single()?;
+        l.is_row_major_contiguous().then_some(l.offset)
+    }
+
+    /// The set of element offsets touched, in logical order.
+    pub fn all_offsets(&self) -> Vec<i64> {
+        let n = self.num_elems().max(0);
+        (0..n).map(|f| self.index_flat(f)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_matches_manual() {
+        let l = ConcreteLmad::row_major(&[3, 4]);
+        assert_eq!(l.dims, vec![(3, 4), (4, 1)]);
+        assert_eq!(l.apply(&[2, 3]), 11);
+        assert!(l.is_row_major_contiguous());
+    }
+
+    #[test]
+    fn points_enumeration() {
+        let l = ConcreteLmad {
+            offset: 1,
+            dims: vec![(2, 2), (4, 8)],
+        };
+        assert_eq!(l.points(), vec![1, 9, 17, 25, 3, 11, 19, 27]);
+    }
+
+    #[test]
+    fn unrank_roundtrip() {
+        let shape = [3, 5, 2];
+        let mut idx = [0i64; 3];
+        for f in 0..30 {
+            unrank(f, &shape, &mut idx);
+            let back = idx[0] * 10 + idx[1] * 2 + idx[2];
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn contiguous_base_detects_offsets() {
+        let mut l = ConcreteLmad::row_major(&[4, 4]);
+        l.offset = 7;
+        let ix = ConcreteIxFn::from_lmad(l);
+        assert_eq!(ix.contiguous_base(), Some(7));
+        let t = ConcreteIxFn::from_lmad(ConcreteLmad {
+            offset: 0,
+            dims: vec![(4, 1), (4, 4)],
+        });
+        assert_eq!(t.contiguous_base(), None);
+    }
+}

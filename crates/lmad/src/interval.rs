@@ -1,0 +1,220 @@
+//! Sum-of-strided-intervals: the intermediate representation of the
+//! non-overlap test (paper §V-C).
+//!
+//! A sum-of-intervals `Σ_j [l_j .. u_j] · s_j` denotes the set
+//! `{ Σ_j x_j·s_j | l_j ≤ x_j ≤ u_j }`. Converting a pair of LMADs to a
+//! pair of sums *with matching strides* — by positively distributing the
+//! terms of the offset difference across dimensions (footnote 27) — is what
+//! enables the theorem's per-dimension reasoning.
+
+use arraymem_symbolic::{Env, Monomial, Poly};
+
+/// One strided interval `[lo .. hi] · stride` (inclusive bounds).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Interval {
+    pub lo: Poly,
+    pub hi: Poly,
+    pub stride: Poly,
+}
+
+impl Interval {
+    pub fn point(stride: Poly) -> Interval {
+        Interval {
+            lo: Poly::zero(),
+            hi: Poly::zero(),
+            stride,
+        }
+    }
+
+    /// Shift both bounds by `k` (an element count, not a byte offset).
+    pub fn shift(&mut self, k: &Poly) {
+        self.lo = self.lo.clone() + k.clone();
+        self.hi = self.hi.clone() + k.clone();
+    }
+}
+
+/// A sum of strided intervals, kept sorted by ascending stride "complexity"
+/// so dimension `d` in two matched sums refers to the same stride.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SumOfInts {
+    pub intervals: Vec<Interval>,
+}
+
+/// Ordering key for strides: degree of the leading monomial, then the
+/// monomial itself, then the coefficient — a syntactic proxy for magnitude
+/// that is exact for the stride sets index analysis produces (e.g.
+/// `1 < n < n·b − b`).
+fn stride_key(s: &Poly) -> (u32, Monomial, i64) {
+    match s.leading_term() {
+        Some((m, c)) => (m.degree(), m, c),
+        None => (0, Monomial::one(), 0),
+    }
+}
+
+impl SumOfInts {
+    /// Build from a *normalized* (non-negative strides) LMAD's dimensions:
+    /// each dimension `(card : stride)` becomes `[0 .. card-1]·stride`.
+    pub fn from_normalized_dims(dims: &[crate::Dim]) -> SumOfInts {
+        let mut intervals: Vec<Interval> = dims
+            .iter()
+            .map(|d| Interval {
+                lo: Poly::zero(),
+                hi: d.card.clone() - Poly::constant(1),
+                stride: d.stride.clone(),
+            })
+            .collect();
+        intervals.sort_by_key(|a| stride_key(&a.stride));
+        SumOfInts { intervals }
+    }
+
+    /// Position of the interval with exactly this stride (canonical-form
+    /// equality).
+    pub fn find_stride(&self, s: &Poly) -> Option<usize> {
+        self.intervals.iter().position(|i| &i.stride == s)
+    }
+
+    /// Insert a zero-length interval `[0..0]·s` if no interval with stride
+    /// `s` exists ("dimensions of length 0 can be introduced or removed at
+    /// will", §V-C). Keeps the sort order.
+    pub fn ensure_stride(&mut self, s: &Poly) -> usize {
+        if let Some(i) = self.find_stride(s) {
+            return i;
+        }
+        let key = stride_key(s);
+        let pos = self
+            .intervals
+            .iter()
+            .position(|i| stride_key(&i.stride) > key)
+            .unwrap_or(self.intervals.len());
+        self.intervals.insert(pos, Interval::point(s.clone()));
+        pos
+    }
+
+    fn stride_count(&self, s: &Poly) -> usize {
+        self.intervals.iter().filter(|i| &i.stride == s).count()
+    }
+
+    fn pad_stride_to(&mut self, s: &Poly, count: usize) {
+        while self.stride_count(s) < count {
+            let key = stride_key(s);
+            let pos = self
+                .intervals
+                .iter()
+                .position(|i| stride_key(&i.stride) > key)
+                .unwrap_or(self.intervals.len());
+            self.intervals.insert(pos, Interval::point(s.clone()));
+        }
+    }
+
+    /// The union of stride values of two sums, each side padded with
+    /// zero-length intervals so both have identical stride sequences
+    /// (duplicate strides are padded to the larger multiplicity).
+    pub fn match_strides(a: &mut SumOfInts, b: &mut SumOfInts) {
+        let mut strides: Vec<Poly> = a
+            .intervals
+            .iter()
+            .chain(b.intervals.iter())
+            .map(|i| i.stride.clone())
+            .collect();
+        strides.dedup_by(|x, y| x == y);
+        // dedup only removes adjacent dups; make distinct properly.
+        let mut distinct: Vec<Poly> = Vec::new();
+        for s in strides {
+            if !distinct.contains(&s) {
+                distinct.push(s);
+            }
+        }
+        for s in distinct {
+            let count = a.stride_count(&s).max(b.stride_count(&s));
+            a.pad_stride_to(&s, count);
+            b.pad_stride_to(&s, count);
+        }
+    }
+
+    /// Re-sort intervals into provably ascending stride order, preferring
+    /// prover comparisons under `env` (e.g. `b ≤ n` given `n = q·b`) and
+    /// falling back to the syntactic key. Insertion sort keeps the order
+    /// deterministic so two matched sums sort identically.
+    pub fn sort_by_env(&mut self, env: &Env) {
+        let n = self.intervals.len();
+        for i in 1..n {
+            let mut j = i;
+            while j > 0 {
+                let a = &self.intervals[j - 1].stride;
+                let b = &self.intervals[j].stride;
+                let swap = if env.prove_le(b, a) && !env.prove_eq(a, b) {
+                    !env.prove_le(a, b)
+                } else if env.prove_le(a, b) {
+                    false
+                } else {
+                    stride_key(b) < stride_key(a)
+                };
+                if swap {
+                    self.intervals.swap(j - 1, j);
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// All interval lower bounds provably non-negative (a precondition of
+    /// the theorem).
+    pub fn lowers_nonneg(&self, env: &Env) -> bool {
+        self.intervals.iter().all(|i| env.prove_nonneg(&i.lo))
+    }
+
+    /// The theorem's per-LMAD condition: dimensions are *non-overlapping*
+    /// when, scanning by ascending stride, each stride strictly exceeds the
+    /// maximum reach of all smaller dimensions:
+    /// `s_i > Σ_{j<i} u_j · s_j`.
+    ///
+    /// Returns `Ok(())` or `Err(i)` with the first violating position.
+    pub fn dims_nonoverlapping(&self, env: &Env) -> Result<(), usize> {
+        let mut reach = Poly::zero();
+        for (i, iv) in self.intervals.iter().enumerate() {
+            if i > 0 && !env.prove_lt(&reach, &iv.stride) {
+                return Err(i);
+            }
+            reach = reach + iv.hi.clone() * iv.stride.clone();
+        }
+        Ok(())
+    }
+
+    /// Concrete evaluation of the whole set (test support).
+    pub fn eval_points<F: Fn(arraymem_symbolic::Sym) -> Option<i64>>(
+        &self,
+        lookup: &F,
+    ) -> Option<Vec<i64>> {
+        let mut points = vec![0i64];
+        for iv in &self.intervals {
+            let lo = iv.lo.eval(lookup)?;
+            let hi = iv.hi.eval(lookup)?;
+            let s = iv.stride.eval(lookup)?;
+            if hi < lo {
+                return Some(Vec::new()); // empty interval: empty set
+            }
+            let mut next = Vec::with_capacity(points.len() * ((hi - lo + 1) as usize));
+            for p in &points {
+                for x in lo..=hi {
+                    next.push(p + x * s);
+                }
+            }
+            points = next;
+        }
+        Some(points)
+    }
+}
+
+impl std::fmt::Display for SumOfInts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, iv) in self.intervals.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "[{:?}..{:?}]·({:?})", iv.lo, iv.hi, iv.stride)?;
+        }
+        Ok(())
+    }
+}

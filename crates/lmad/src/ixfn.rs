@@ -1,0 +1,306 @@
+//! Index functions: chains of LMADs mapping logical array indexes to flat
+//! offsets inside a memory block (paper §IV).
+
+use crate::lmad::{Dim, Lmad};
+use arraymem_symbolic::{Poly, Sym};
+
+/// A triplet-notation slice of one dimension: either a strided range
+/// (keeps the dimension) or a fixed index (drops it).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TripletSlice {
+    /// `[start ; len ; step]` — `len` elements starting at `start`,
+    /// advancing by `step` (§IV-B).
+    Range { start: Poly, len: Poly, step: Poly },
+    /// A single index; removes the dimension.
+    Fix(Poly),
+}
+
+impl TripletSlice {
+    pub fn full(len: impl Into<Poly>) -> TripletSlice {
+        TripletSlice::Range {
+            start: Poly::zero(),
+            len: len.into(),
+            step: Poly::constant(1),
+        }
+    }
+
+    pub fn range(start: impl Into<Poly>, len: impl Into<Poly>, step: impl Into<Poly>) -> Self {
+        TripletSlice::Range {
+            start: start.into(),
+            len: len.into(),
+            step: step.into(),
+        }
+    }
+}
+
+/// A change-of-layout transformation (paper footnote 12). All of these are
+/// O(1) on index functions: no elements move in memory.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Transform {
+    /// Permute dimensions; `perm[k]` is the source dimension that becomes
+    /// result dimension `k`. Transposition of a matrix is `Permute([1,0])`.
+    Permute(Vec<usize>),
+    /// Triplet-notation slicing, one entry per source dimension.
+    Slice(Vec<TripletSlice>),
+    /// Generalized LMAD slicing (§III-B): the slice LMAD's points index the
+    /// flat (row-major) index space of the source array.
+    LmadSlice(Lmad),
+    /// Reshape to a new logical shape (same number of elements).
+    Reshape(Vec<Poly>),
+    /// Reverse one dimension.
+    Reverse(usize),
+}
+
+impl Transform {
+    /// The inverse transformation, when one exists (§V-A: "we currently
+    /// support only the transformations that are invertible — such as
+    /// reverting the elements of a dimension and permuting an array's
+    /// dimensions"). `input_shape` is the shape of the transform's *input*
+    /// array, needed to invert reshapes. Slices select subsets and are not
+    /// invertible.
+    pub fn invert(&self, input_shape: &[Poly]) -> Option<Transform> {
+        match self {
+            Transform::Permute(p) => {
+                let mut inv = vec![0; p.len()];
+                for (k, &src) in p.iter().enumerate() {
+                    inv[src] = k;
+                }
+                Some(Transform::Permute(inv))
+            }
+            Transform::Reverse(d) => Some(Transform::Reverse(*d)),
+            Transform::Reshape(_) => Some(Transform::Reshape(input_shape.to_vec())),
+            Transform::Slice(_) | Transform::LmadSlice(_) => None,
+        }
+    }
+
+    /// Shape of the result of applying this transform to an array of shape
+    /// `in_shape`.
+    pub fn result_shape(&self, in_shape: &[Poly]) -> Vec<Poly> {
+        match self {
+            Transform::Permute(p) => p.iter().map(|&i| in_shape[i].clone()).collect(),
+            Transform::Slice(ts) => ts
+                .iter()
+                .filter_map(|t| match t {
+                    TripletSlice::Range { len, .. } => Some(len.clone()),
+                    TripletSlice::Fix(_) => None,
+                })
+                .collect(),
+            Transform::LmadSlice(l) => l.shape(),
+            Transform::Reshape(s) => s.clone(),
+            Transform::Reverse(_) => in_shape.to_vec(),
+        }
+    }
+}
+
+/// An index function: a non-empty chain of LMADs (paper §IV-B).
+///
+/// Application (Fig. 3): apply the **last** LMAD to the logical index,
+/// producing an offset; *unrank* that offset with respect to the index
+/// space of the previous LMAD; apply it; repeat. The **first** LMAD thus
+/// produces the flat offset into the memory block. Most index functions
+/// are a single LMAD; chains only arise from reshapes that no single LMAD
+/// can express (e.g. flattening a column-major matrix).
+#[derive(Clone, PartialEq)]
+pub struct IndexFn {
+    pub lmads: Vec<Lmad>,
+}
+
+impl IndexFn {
+    pub fn from_lmad(l: Lmad) -> IndexFn {
+        IndexFn { lmads: vec![l] }
+    }
+
+    /// Row-major index function for a fresh array of the given shape.
+    pub fn row_major(shape: &[Poly]) -> IndexFn {
+        IndexFn::from_lmad(Lmad::row_major(shape))
+    }
+
+    pub fn col_major(shape: &[Poly]) -> IndexFn {
+        IndexFn::from_lmad(Lmad::col_major(shape))
+    }
+
+    /// The logical LMAD — the one applied directly to array indexes.
+    pub fn logical(&self) -> &Lmad {
+        self.lmads.last().unwrap()
+    }
+
+    /// Logical array shape.
+    pub fn shape(&self) -> Vec<Poly> {
+        self.logical().shape()
+    }
+
+    pub fn rank(&self) -> usize {
+        self.logical().rank()
+    }
+
+    /// `Some` iff the chain is a single LMAD.
+    pub fn as_single(&self) -> Option<&Lmad> {
+        if self.lmads.len() == 1 {
+            Some(&self.lmads[0])
+        } else {
+            None
+        }
+    }
+
+    /// Symbolic application; only defined for single-LMAD chains (unranking
+    /// is not polynomial). Multi-LMAD chains are applied concretely via
+    /// [`crate::ConcreteIxFn`].
+    pub fn apply(&self, idx: &[Poly]) -> Option<Poly> {
+        Some(self.as_single()?.apply(idx))
+    }
+
+    /// All variables appearing in the chain.
+    pub fn vars(&self) -> Vec<Sym> {
+        let mut vs: Vec<Sym> = self.lmads.iter().flat_map(|l| l.vars()).collect();
+        vs.sort();
+        vs.dedup();
+        vs
+    }
+
+    pub fn subst(&self, s: Sym, value: &Poly) -> IndexFn {
+        IndexFn {
+            lmads: self.lmads.iter().map(|l| l.subst(s, value)).collect(),
+        }
+    }
+
+    /// Evaluate to a concrete index function.
+    pub fn eval<F: Fn(Sym) -> Option<i64>>(&self, lookup: &F) -> Option<crate::ConcreteIxFn> {
+        let mut lmads = Vec::with_capacity(self.lmads.len());
+        for l in &self.lmads {
+            lmads.push(l.eval(lookup)?);
+        }
+        Some(crate::ConcreteIxFn { lmads })
+    }
+
+    /// Apply a change-of-layout transformation, producing the index function
+    /// of the result array. O(1); never manifests elements.
+    pub fn transform(&self, t: &Transform) -> Option<IndexFn> {
+        let mut out = self.clone();
+        let logical = out.lmads.last_mut().unwrap();
+        match t {
+            Transform::Permute(p) => {
+                if p.len() != logical.rank() {
+                    return None;
+                }
+                *logical = logical.permute(p);
+            }
+            Transform::Reverse(d) => {
+                if *d >= logical.rank() {
+                    return None;
+                }
+                let dim = &mut logical.dims[*d];
+                logical.offset = logical.offset.clone()
+                    + (dim.card.clone() - Poly::constant(1)) * dim.stride.clone();
+                dim.stride = -(dim.stride.clone());
+            }
+            Transform::Slice(ts) => {
+                if ts.len() != logical.rank() {
+                    return None;
+                }
+                let mut offset = logical.offset.clone();
+                let mut dims = Vec::new();
+                for (sl, d) in ts.iter().zip(&logical.dims) {
+                    match sl {
+                        TripletSlice::Range { start, len, step } => {
+                            offset = offset + start.clone() * d.stride.clone();
+                            dims.push(Dim {
+                                card: len.clone(),
+                                stride: d.stride.clone() * step.clone(),
+                            });
+                        }
+                        TripletSlice::Fix(i) => {
+                            offset = offset + i.clone() * d.stride.clone();
+                        }
+                    }
+                }
+                *logical = Lmad { offset, dims };
+            }
+            Transform::LmadSlice(s) => {
+                // The slice's points index the flat row-major space of the
+                // logical array; push and coalesce.
+                out.lmads.push(s.clone());
+                out.coalesce();
+            }
+            Transform::Reshape(new_shape) => {
+                if logical.is_row_major_contiguous() {
+                    let off = logical.offset.clone();
+                    let mut fresh = Lmad::row_major(new_shape);
+                    fresh.offset = off;
+                    *logical = fresh;
+                } else {
+                    out.lmads.push(Lmad::row_major(new_shape));
+                    out.coalesce();
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Try to shrink the chain: a pushed LMAD `S` composes with its
+    /// predecessor `L` when `L` is rank-1 (`S`'s flat positions directly
+    /// scale through `L`'s stride) or when `L` is row-major contiguous
+    /// (unrank-then-apply is the identity plus `L`'s offset).
+    fn coalesce(&mut self) {
+        loop {
+            if self.lmads.len() < 2 {
+                return;
+            }
+            let prev = self.lmads[self.lmads.len() - 2].clone();
+            let last = self.lmads.last().unwrap().clone();
+            let fused = if prev.rank() == 1 {
+                let s = prev.dims[0].stride.clone();
+                Some(Lmad {
+                    offset: prev.offset.clone() + last.offset.clone() * s.clone(),
+                    dims: last
+                        .dims
+                        .iter()
+                        .map(|d| Dim {
+                            card: d.card.clone(),
+                            stride: d.stride.clone() * s.clone(),
+                        })
+                        .collect(),
+                })
+            } else if prev.is_row_major_contiguous() {
+                Some(Lmad {
+                    offset: prev.offset.clone() + last.offset.clone(),
+                    dims: last.dims.clone(),
+                })
+            } else {
+                None
+            };
+            match fused {
+                Some(f) => {
+                    self.lmads.pop();
+                    *self.lmads.last_mut().unwrap() = f;
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Rebase: given that this index function addresses the *destination*
+    /// space (e.g. the `W` slice of `xss`), produce the index function of an
+    /// array whose transform `t` yielded the short-circuited array — i.e.
+    /// solve `W = t ∘ ixfn` for `ixfn` by applying `t⁻¹` (paper §V-A(a)).
+    pub fn untransform(&self, t: &Transform, input_shape: &[Poly]) -> Option<IndexFn> {
+        let inv = t.invert(input_shape)?;
+        self.transform(&inv)
+    }
+}
+
+impl std::fmt::Debug for IndexFn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(l) = self.as_single() {
+            write!(f, "{l:?}")
+        } else {
+            write!(f, "compose[")?;
+            for (i, l) in self.lmads.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ∘ ")?;
+                }
+                write!(f, "{l:?}")?;
+            }
+            write!(f, "]")
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! The symbolic LMAD type and its basic operations.
+
+use arraymem_symbolic::{Env, Poly};
+
+/// One LMAD dimension: a cardinality (number of points) and a stride (the
+/// linearized distance between consecutive points on this dimension).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Dim {
+    pub card: Poly,
+    pub stride: Poly,
+}
+
+impl Dim {
+    pub fn new(card: impl Into<Poly>, stride: impl Into<Poly>) -> Dim {
+        Dim {
+            card: card.into(),
+            stride: stride.into(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Dim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:?} : {:?})", self.card, self.stride)
+    }
+}
+
+/// A q-dimensional LMAD: an offset plus `q` `(cardinality : stride)` pairs,
+/// outermost dimension first (paper eq. (1)).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Lmad {
+    pub offset: Poly,
+    pub dims: Vec<Dim>,
+}
+
+impl Lmad {
+    pub fn new(offset: impl Into<Poly>, dims: Vec<Dim>) -> Lmad {
+        Lmad {
+            offset: offset.into(),
+            dims,
+        }
+    }
+
+    /// Row-major index function `R(d1, ..., dq)` with zero offset
+    /// (paper §IV-A): strides are suffix products of the dimensions.
+    pub fn row_major(shape: &[Poly]) -> Lmad {
+        let mut dims = Vec::with_capacity(shape.len());
+        let mut stride = Poly::constant(1);
+        for d in shape.iter().rev() {
+            dims.push(Dim {
+                card: d.clone(),
+                stride: stride.clone(),
+            });
+            stride = stride * d.clone();
+        }
+        dims.reverse();
+        Lmad::new(Poly::zero(), dims)
+    }
+
+    /// Column-major index function `C(d1, ..., dq)` with zero offset:
+    /// strides are prefix products.
+    pub fn col_major(shape: &[Poly]) -> Lmad {
+        let mut dims = Vec::with_capacity(shape.len());
+        let mut stride = Poly::constant(1);
+        for d in shape.iter() {
+            dims.push(Dim {
+                card: d.clone(),
+                stride: stride.clone(),
+            });
+            stride = stride * d.clone();
+        }
+        Lmad::new(Poly::zero(), dims)
+    }
+
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The logical shape (cardinalities).
+    pub fn shape(&self) -> Vec<Poly> {
+        self.dims.iter().map(|d| d.card.clone()).collect()
+    }
+
+    /// Total number of points (product of cardinalities).
+    pub fn num_points(&self) -> Poly {
+        self.dims
+            .iter()
+            .fold(Poly::constant(1), |acc, d| acc * d.card.clone())
+    }
+
+    /// Apply the LMAD as an index function (paper §IV-A):
+    /// `L(y1..yq) = offset + Σ yi·si`.
+    pub fn apply(&self, idx: &[Poly]) -> Poly {
+        assert_eq!(idx.len(), self.dims.len(), "rank mismatch in Lmad::apply");
+        let mut out = self.offset.clone();
+        for (y, d) in idx.iter().zip(&self.dims) {
+            out = out + y.clone() * d.stride.clone();
+        }
+        out
+    }
+
+    /// Permute the dimensions (transposition is `permute(&[1, 0])`).
+    pub fn permute(&self, perm: &[usize]) -> Lmad {
+        assert_eq!(perm.len(), self.dims.len());
+        let dims = perm.iter().map(|&i| self.dims[i].clone()).collect();
+        Lmad::new(self.offset.clone(), dims)
+    }
+
+    /// Is this LMAD row-major contiguous (strides are exactly the suffix
+    /// products of the cardinalities, innermost stride 1)? Offset may be
+    /// arbitrary. Uses canonical polynomial equality.
+    pub fn is_row_major_contiguous(&self) -> bool {
+        let mut stride = Poly::constant(1);
+        for d in self.dims.iter().rev() {
+            if d.stride != stride {
+                return false;
+            }
+            stride = stride * d.card.clone();
+        }
+        true
+    }
+
+    /// Substitute a variable throughout offset, cardinals and strides.
+    pub fn subst(&self, s: arraymem_symbolic::Sym, value: &Poly) -> Lmad {
+        Lmad {
+            offset: self.offset.subst(s, value),
+            dims: self
+                .dims
+                .iter()
+                .map(|d| Dim {
+                    card: d.card.subst(s, value),
+                    stride: d.stride.subst(s, value),
+                })
+                .collect(),
+        }
+    }
+
+    /// All variables appearing anywhere in the LMAD.
+    pub fn vars(&self) -> Vec<arraymem_symbolic::Sym> {
+        let mut vs = self.offset.vars();
+        for d in &self.dims {
+            vs.extend(d.card.vars());
+            vs.extend(d.stride.vars());
+        }
+        vs.sort();
+        vs.dedup();
+        vs
+    }
+
+    pub fn contains_var(&self, s: arraymem_symbolic::Sym) -> bool {
+        self.offset.contains_var(s)
+            || self
+                .dims
+                .iter()
+                .any(|d| d.card.contains_var(s) || d.stride.contains_var(s))
+    }
+
+    /// Normalize to an *abstract-set*-equivalent LMAD with provably
+    /// non-negative strides (paper §V-C: "an LMAD can always be normalized
+    /// to have only positive strides"): a dimension with stride `s < 0` is
+    /// replaced by stride `-s` with the offset advanced to its last point.
+    /// Dimensions whose stride sign cannot be determined make normalization
+    /// fail (`None`), and clients fail conservatively.
+    ///
+    /// Also drops unit-cardinality and zero-stride dimensions, which do not
+    /// change the point set (as long as cardinalities are positive, which
+    /// the caller must ensure).
+    pub fn normalize_set(&self, env: &Env) -> Option<Lmad> {
+        let mut offset = self.offset.clone();
+        let mut dims = Vec::new();
+        for d in &self.dims {
+            if env.prove_eq(&d.card, &Poly::constant(1)) || d.stride.is_zero() {
+                continue; // single point on this dim; contributes index 0
+            }
+            if env.prove_nonneg(&d.stride) {
+                dims.push(d.clone());
+            } else if env.prove_nonneg(&(-(d.stride.clone()))) {
+                // negative stride: flip
+                offset = offset + (d.card.clone() - Poly::constant(1)) * d.stride.clone();
+                dims.push(Dim {
+                    card: d.card.clone(),
+                    stride: -(d.stride.clone()),
+                });
+            } else {
+                return None;
+            }
+        }
+        Some(Lmad { offset, dims })
+    }
+
+    /// Evaluate to a concrete LMAD with the given variable assignment.
+    pub fn eval<F: Fn(arraymem_symbolic::Sym) -> Option<i64>>(
+        &self,
+        lookup: &F,
+    ) -> Option<crate::ConcreteLmad> {
+        let offset = self.offset.eval(lookup)?;
+        let mut dims = Vec::with_capacity(self.dims.len());
+        for d in &self.dims {
+            dims.push((d.card.eval(lookup)?, d.stride.eval(lookup)?));
+        }
+        Some(crate::ConcreteLmad { offset, dims })
+    }
+}
+
+impl std::fmt::Debug for Lmad {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?} + {{", self.offset)?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d:?}")?;
+        }
+        write!(f, "}}")
+    }
+}

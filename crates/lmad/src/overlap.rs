@@ -1,0 +1,345 @@
+//! The static LMAD non-overlap test (paper Fig. 8 and the Theorem of §V-C).
+//!
+//! Given two LMADs under an assumption environment, `non_overlap` returns
+//! `true` only if their point sets are *provably* disjoint. The procedure:
+//!
+//! 1. normalize both LMADs to non-negative strides;
+//! 2. convert the pair to two sums of strided intervals with *matching
+//!    strides*, by positively distributing the terms of the offset
+//!    difference across dimensions (footnote 27);
+//! 3. if both sums have non-overlapping dimensions, look for one dimension
+//!    whose two intervals are provably disjoint;
+//! 4. otherwise split the interval that produced the overflow into "the
+//!    last point" and "the rest", and recurse on all pairs.
+
+use crate::interval::{Interval, SumOfInts};
+use crate::lmad::Lmad;
+use arraymem_symbolic::{Env, Poly};
+
+/// Maximum recursive split depth; each level multiplies the pair count by
+/// up to 4, and real programs need 1 (NW needs exactly one split).
+const MAX_SPLIT_DEPTH: usize = 3;
+
+/// Bound on offset-distribution iterations.
+const MAX_DISTRIBUTE_ITERS: usize = 24;
+
+/// Result of [`non_overlap_traced`]: the verdict plus a human-readable
+/// derivation (used to regenerate the paper's Fig. 9).
+pub struct OverlapProof {
+    pub disjoint: bool,
+    pub trace: Vec<String>,
+}
+
+/// Maximum number of nested case splits on variable boundaries. The
+/// paper's SMT backend performs such splits implicitly; two levels cover
+/// the disjunctions index analysis produces (e.g. `i = 0` vs `i ≥ 1`).
+const MAX_CASE_SPLITS: usize = 2;
+
+/// Sufficient-condition test that two LMADs' point sets are disjoint.
+pub fn non_overlap(l1: &Lmad, l2: &Lmad, env: &Env) -> bool {
+    non_overlap_traced(l1, l2, env).disjoint
+}
+
+/// As [`non_overlap`], also returning the proof derivation.
+pub fn non_overlap_traced(l1: &Lmad, l2: &Lmad, env: &Env) -> OverlapProof {
+    let mut trace = Vec::new();
+    let disjoint = run_with_splits(l1, l2, env, &mut trace, MAX_CASE_SPLITS);
+    OverlapProof { disjoint, trace }
+}
+
+/// Run the test; on failure, case-split on the boundary of a lower-bounded
+/// variable (`v = lo` vs `v ≥ lo + 1`) and require both branches to prove.
+fn run_with_splits(
+    l1: &Lmad,
+    l2: &Lmad,
+    env: &Env,
+    trace: &mut Vec<String>,
+    splits: usize,
+) -> bool {
+    if run(l1, l2, env, trace) {
+        return true;
+    }
+    if splits == 0 {
+        return false;
+    }
+    let mut vars: Vec<_> = l1.vars();
+    vars.extend(l2.vars());
+    vars.sort();
+    vars.dedup();
+    for v in vars {
+        let Some(lo) = env.lower_bound(v) else { continue };
+        let mut env_eq = env.clone();
+        env_eq.define(v, Poly::constant(lo));
+        let mut env_gt = env.clone();
+        env_gt.assume_ge(v, lo + 1);
+        trace.push(format!("case split: {v} = {lo} vs {v} ≥ {}", lo + 1));
+        if run_with_splits(l1, l2, &env_eq, trace, splits - 1)
+            && run_with_splits(l1, l2, &env_gt, trace, splits - 1)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+fn run(l1: &Lmad, l2: &Lmad, env: &Env, trace: &mut Vec<String>) -> bool {
+    trace.push(format!("to prove: ({l1:?}) ∩ ({l2:?}) = ∅"));
+    let (Some(n1), Some(n2)) = (l1.normalize_set(env), l2.normalize_set(env)) else {
+        trace.push("fail: cannot normalize strides to non-negative".into());
+        return false;
+    };
+    // Degenerate cases: an empty set is disjoint from anything.
+    for l in [&n1, &n2] {
+        for d in &l.dims {
+            if env.prove_nonneg(&(-(d.card.clone()))) {
+                trace.push("trivially disjoint: a cardinality is ≤ 0".into());
+                return true;
+            }
+        }
+    }
+    let mut i1 = SumOfInts::from_normalized_dims(&n1.dims);
+    let mut i2 = SumOfInts::from_normalized_dims(&n2.dims);
+    i1.sort_by_env(env);
+    i2.sort_by_env(env);
+    SumOfInts::match_strides(&mut i1, &mut i2);
+    i1.sort_by_env(env);
+    i2.sort_by_env(env);
+    let d = n1.offset.clone() - n2.offset.clone();
+    if !distribute(d, &mut i1, Some(&mut i2), env) {
+        trace.push("fail: could not distribute the offset difference".into());
+        return false;
+    }
+    if !i1.lowers_nonneg(env) || !i2.lowers_nonneg(env) {
+        trace.push("fail: a lower bound is not provably non-negative".into());
+        return false;
+    }
+    trace.push(format!("rewritten as sums of intervals:\n  I1 = {i1}\n  I2 = {i2}"));
+    check(&i1, &i2, env, MAX_SPLIT_DEPTH, trace)
+}
+
+/// Distribute the terms of `d` positively across the intervals of `i1`
+/// (positive contributions) and `i2` (negative contributions, sign
+/// flipped). When `i2` is `None` (re-distribution after a split), all
+/// contributions go to `i1` regardless of sign and the caller re-checks
+/// lower bounds.
+fn distribute(mut d: Poly, i1: &mut SumOfInts, mut i2: Option<&mut SumOfInts>, env: &Env) -> bool {
+    let mut prev_key: Option<(u32, arraymem_symbolic::Monomial)> = None;
+    for _ in 0..MAX_DISTRIBUTE_ITERS {
+        if d.is_zero() {
+            return true;
+        }
+        // Remaining constant: absorb into a unit-stride interval.
+        if let Some(c) = d.as_const() {
+            return absorb(Poly::constant(c), c >= 0, i1, &mut i2);
+        }
+        let (m, c) = d.leading_term().expect("non-zero poly has a leading term");
+        // Guard termination: the leading monomial must strictly decrease.
+        let key = (m.degree(), m.clone());
+        if let Some(pk) = &prev_key {
+            if key >= *pk {
+                return false;
+            }
+        }
+        prev_key = Some(key);
+
+        // Candidate strides, most complex first ("the interval whose
+        // leading term of the stride is the best match", footnote 27).
+        let mut strides: Vec<Poly> = i1.intervals.iter().map(|iv| iv.stride.clone()).collect();
+        strides.sort_by(cmp_stride_desc);
+        let mut matched = false;
+        for s in &strides {
+            let Some((ms, cs)) = s.leading_term() else {
+                continue;
+            };
+            let Some(qm) = m.try_div(&ms) else {
+                continue;
+            };
+            if cs == 0 || c % cs != 0 {
+                continue;
+            }
+            let k_coef = c / cs;
+            // The quotient monomial must be provably non-negative so the
+            // contribution's sign is the coefficient's sign.
+            if !qm.is_one()
+                && !qm
+                    .vars()
+                    .all(|v| env.lower_bound(v).is_some_and(|lo| lo >= 0))
+            {
+                continue;
+            }
+            let k = Poly::from_terms([(qm, k_coef)]);
+            d = d - s.clone() * k.clone();
+            if !shift_side(k.clone(), k_coef >= 0, s, i1, &mut i2) {
+                return false;
+            }
+            matched = true;
+            break;
+        }
+        if !matched {
+            // Absorb the whole remainder into a unit-stride interval if its
+            // sign is provable.
+            if env.prove_nonneg(&d) {
+                return absorb(d, true, i1, &mut i2);
+            }
+            if env.prove_nonneg(&(-(d.clone()))) {
+                return absorb(d, false, i1, &mut i2);
+            }
+            return false;
+        }
+    }
+    false
+}
+
+fn cmp_stride_desc(a: &Poly, b: &Poly) -> std::cmp::Ordering {
+    let ka = a
+        .leading_term()
+        .map(|(m, c)| (m.degree(), m, c))
+        .unwrap_or((0, arraymem_symbolic::Monomial::one(), 0));
+    let kb = b
+        .leading_term()
+        .map(|(m, c)| (m.degree(), m, c))
+        .unwrap_or((0, arraymem_symbolic::Monomial::one(), 0));
+    kb.cmp(&ka)
+}
+
+/// Add `k` (of known sign `nonneg`) to the interval of stride `s` on the
+/// appropriate side.
+fn shift_side(
+    k: Poly,
+    nonneg: bool,
+    s: &Poly,
+    i1: &mut SumOfInts,
+    i2: &mut Option<&mut SumOfInts>,
+) -> bool {
+    match i2 {
+        Some(other) if !nonneg => {
+            let j = other.ensure_stride(s);
+            other.intervals[j].shift(&(-k));
+            // Keep stride sets matched.
+            i1.ensure_stride(s);
+            true
+        }
+        _ => {
+            let j = i1.ensure_stride(s);
+            i1.intervals[j].shift(&k);
+            if let Some(other) = i2 {
+                other.ensure_stride(s);
+            }
+            true
+        }
+    }
+}
+
+/// Absorb a residual `d` of known sign into a unit-stride interval.
+fn absorb(d: Poly, nonneg: bool, i1: &mut SumOfInts, i2: &mut Option<&mut SumOfInts>) -> bool {
+    if d.is_zero() {
+        return true;
+    }
+    let one = Poly::constant(1);
+    shift_side(
+        if nonneg { d.clone() } else { d },
+        nonneg,
+        &one,
+        i1,
+        i2,
+    )
+}
+
+fn check(
+    i1: &SumOfInts,
+    i2: &SumOfInts,
+    env: &Env,
+    depth: usize,
+    trace: &mut Vec<String>,
+) -> bool {
+    let r1 = i1.dims_nonoverlapping(env);
+    let r2 = i2.dims_nonoverlapping(env);
+    if r1.is_ok() && r2.is_ok() {
+        // Theorem: one provably-disjoint dimension suffices.
+        debug_assert_eq!(i1.intervals.len(), i2.intervals.len());
+        for (a, b) in i1.intervals.iter().zip(&i2.intervals) {
+            if env.prove_lt(&a.hi, &b.lo) || env.prove_lt(&b.hi, &a.lo) {
+                trace.push(format!(
+                    "disjoint on stride ({:?}): [{:?}..{:?}] vs [{:?}..{:?}]",
+                    a.stride, a.lo, a.hi, b.lo, b.hi
+                ));
+                return true;
+            }
+        }
+        trace.push("fail: all dimensions clean but no disjoint interval pair".into());
+        return false;
+    }
+    if depth == 0 {
+        trace.push("fail: split depth exhausted".into());
+        return false;
+    }
+    let Some(v1) = split_variants(i1, r1, env, trace) else {
+        trace.push("fail: cannot split I1".into());
+        return false;
+    };
+    let Some(v2) = split_variants(i2, r2, env, trace) else {
+        trace.push("fail: cannot split I2".into());
+        return false;
+    };
+    for a in &v1 {
+        for b in &v2 {
+            // Splits can unbalance the stride sets; re-match before
+            // recursing.
+            let mut a = a.clone();
+            let mut b = b.clone();
+            SumOfInts::match_strides(&mut a, &mut b);
+            if !check(&a, &b, env, depth - 1, trace) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Split an overlapping dimension into two sums: "the rest" (`[l..u-1]`)
+/// and "the last point" (`u`, folded into the offset and re-distributed).
+/// A clean sum is returned unchanged.
+fn split_variants(
+    i: &SumOfInts,
+    r: Result<(), usize>,
+    env: &Env,
+    trace: &mut Vec<String>,
+) -> Option<Vec<SumOfInts>> {
+    let viol = match r {
+        Ok(()) => return Some(vec![i.clone()]),
+        Err(v) => v,
+    };
+    // Split the interval below the violation with the largest reach
+    // (hi·stride), i.e. the one that "produced the overflow".
+    let j = (0..viol).max_by(|&a, &b| {
+        cmp_stride_desc(
+            &(i.intervals[b].hi.clone() * i.intervals[b].stride.clone()),
+            &(i.intervals[a].hi.clone() * i.intervals[a].stride.clone()),
+        )
+    })?;
+    let iv: &Interval = &i.intervals[j];
+    trace.push(format!(
+        "overlapping dimensions: stride ({:?}) ≯ reach; splitting [{:?}..{:?}]·({:?})",
+        i.intervals[viol].stride, iv.lo, iv.hi, iv.stride
+    ));
+    // Variant A: drop the last point.
+    let mut a = i.clone();
+    a.intervals[j].hi = a.intervals[j].hi.clone() - Poly::constant(1);
+    if !env.prove_le(&a.intervals[j].lo, &a.intervals[j].hi) {
+        return None;
+    }
+    // Variant B: only the last point; fold `hi·stride` into the offset and
+    // re-distribute it across the remaining intervals.
+    let mut b = i.clone();
+    let extra = b.intervals[j].hi.clone() * b.intervals[j].stride.clone();
+    b.intervals[j].lo = Poly::zero();
+    b.intervals[j].hi = Poly::zero();
+    if !distribute(extra, &mut b, None, env) {
+        return None;
+    }
+    if !b.lowers_nonneg(env) {
+        return None;
+    }
+    trace.push(format!("  rest: {a}\n  last: {b}"));
+    Some(vec![a, b])
+}

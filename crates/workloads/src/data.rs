@@ -1,0 +1,28 @@
+//! Deterministic input generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG so every run (and the reference vs compiled comparison)
+/// sees identical inputs.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+pub fn f32s(seed: u64, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(lo..hi)).collect()
+}
+
+pub fn i64s(seed: u64, n: usize, lo: i64, hi: i64) -> Vec<i64> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(lo..hi)).collect()
+}
+
+/// The NW "similarity matrix" stand-in: a cheap deterministic function of
+/// the global cell coordinates, used identically by the reference and the
+/// kernel (replaces Rodinia's random `reference[i][j]` table).
+#[inline]
+pub fn nw_similarity(row: i64, col: i64) -> i64 {
+    ((row * 7 + col * 13) % 21) - 10
+}

@@ -1,0 +1,163 @@
+//! The common benchmark-case shape and measurement helpers.
+
+use arraymem_core::{compile, Compiled, Options};
+use arraymem_exec::{run_program, InputValue, KernelRegistry, Mode, OutputValue, Stats};
+use arraymem_ir::Program;
+use arraymem_symbolic::Env;
+use std::time::Duration;
+
+/// Runs the reference implementation over the same inputs, returning the
+/// time spent in its core computation (excluding input cloning) and its
+/// outputs (for validation).
+pub type RefFn = Box<dyn Fn(&[InputValue]) -> (Duration, Vec<OutputValue>)>;
+
+/// One benchmark × dataset instance.
+pub struct Case {
+    /// Benchmark name, e.g. `"nw"`.
+    pub name: String,
+    /// Dataset label as printed in the table, e.g. `"2048"`.
+    pub dataset: String,
+    pub program: Program,
+    pub env: Env,
+    pub inputs: Vec<InputValue>,
+    pub kernels: KernelRegistry,
+    pub reference: RefFn,
+    /// Measurement repetitions (scaled from the paper's run counts).
+    pub runs: usize,
+    /// Relative tolerance for output validation.
+    pub tol: f64,
+}
+
+impl Case {
+    pub fn compile(&self, short_circuit: bool) -> Compiled {
+        compile(
+            &self.program,
+            &Options {
+                short_circuit,
+                env: self.env.clone(),
+                ..Options::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}/{}: compile failed: {e}", self.name, self.dataset))
+    }
+
+    /// Run a compiled variant once.
+    pub fn run(&self, compiled: &Compiled) -> (Vec<OutputValue>, Stats) {
+        run_program(
+            &compiled.program,
+            &self.inputs,
+            &self.kernels,
+            Mode::Memory,
+            arraymem_exec::pool::default_threads(),
+        )
+        .unwrap_or_else(|e| panic!("{}/{}: run failed: {e}", self.name, self.dataset))
+    }
+
+    /// Validate all three versions against each other. Returns the unopt
+    /// and opt stats for mechanism assertions.
+    pub fn validate(&self) -> (Stats, Stats) {
+        let unopt = self.compile(false);
+        let opt = self.compile(true);
+        let (_, expect) = (self.reference)(&self.inputs);
+        let (u_out, u_stats) = self.run(&unopt);
+        let (o_out, o_stats) = self.run(&opt);
+        assert_eq!(
+            expect.len(),
+            u_out.len(),
+            "{}: arity mismatch vs reference",
+            self.name
+        );
+        for (k, ((e, u), o)) in expect.iter().zip(&u_out).zip(&o_out).enumerate() {
+            assert!(
+                e.approx_eq(u, self.tol),
+                "{}/{}: unopt output {k} differs from reference",
+                self.name,
+                self.dataset
+            );
+            assert!(
+                e.approx_eq(o, self.tol),
+                "{}/{}: opt output {k} differs from reference",
+                self.name,
+                self.dataset
+            );
+        }
+        (u_stats, o_stats)
+    }
+}
+
+/// A measured table row: reference time plus the two Futhark-style
+/// variants, reported the way the paper's tables do.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    pub name: String,
+    pub dataset: String,
+    pub reference: Duration,
+    pub unopt: Duration,
+    pub opt: Duration,
+    pub unopt_stats: Stats,
+    pub opt_stats: Stats,
+}
+
+impl Measurement {
+    /// Speed of the unoptimized compiler output relative to the reference
+    /// (`>1` = faster than reference), as in the paper's "Unopt. Futhark"
+    /// column.
+    pub fn unopt_rel(&self) -> f64 {
+        self.reference.as_secs_f64() / self.unopt.as_secs_f64()
+    }
+
+    pub fn opt_rel(&self) -> f64 {
+        self.reference.as_secs_f64() / self.opt.as_secs_f64()
+    }
+
+    /// The paper's "Opt. Impact" column: unopt time / opt time.
+    pub fn impact(&self) -> f64 {
+        self.unopt.as_secs_f64() / self.opt.as_secs_f64()
+    }
+}
+
+/// Paper methodology: run a number of times, "always discarding the first
+/// run and measuring the average wall time of the rest". Each sample is
+/// the program-body execution time (input upload and result download are
+/// excluded, as GPU benchmarks exclude host transfers).
+fn average_body_time<F: FnMut() -> Duration>(runs: usize, mut f: F) -> Duration {
+    let runs = runs.max(2);
+    f(); // warm-up, discarded
+    let mut total = Duration::ZERO;
+    for _ in 0..runs {
+        total += f();
+    }
+    total / runs as u32
+}
+
+/// Measure one case: reference vs unopt vs opt.
+pub fn measure_case(case: &Case) -> Measurement {
+    let unopt = case.compile(false);
+    let opt = case.compile(true);
+    let (_, unopt_stats) = case.run(&unopt);
+    let (_, opt_stats) = case.run(&opt);
+    let reference = average_body_time(case.runs, || {
+        let (t, out) = (case.reference)(&case.inputs);
+        std::hint::black_box(out);
+        t
+    });
+    let unopt_t = average_body_time(case.runs, || {
+        let (out, stats) = case.run(&unopt);
+        std::hint::black_box(out);
+        stats.total_time
+    });
+    let opt_t = average_body_time(case.runs, || {
+        let (out, stats) = case.run(&opt);
+        std::hint::black_box(out);
+        stats.total_time
+    });
+    Measurement {
+        name: case.name.clone(),
+        dataset: case.dataset.clone(),
+        reference,
+        unopt: unopt_t,
+        opt: opt_t,
+        unopt_stats,
+        opt_stats,
+    }
+}

@@ -1,0 +1,140 @@
+//! LocVolCalib (paper §VI-G; FinPar's local-volatility calibration).
+//!
+//! Batched Crank-Nicolson-style pricing: each option evolves a value grid
+//! of `numX` points through `numT` implicit time steps, each solved with
+//! the Thomas tridiagonal algorithm. The per-option result row is the
+//! paper's mapnest case (§V-A(e)): the inner loop computes it "in place,
+//! one element at a time" in private memory; short-circuiting constructs
+//! it directly in the result array.
+
+use crate::harness::Case;
+use arraymem_exec::{InputValue, KernelRegistry, OutputValue};
+use arraymem_ir::{Builder, ElemType, Program, ScalarExp, Var};
+use arraymem_symbolic::{Env, Poly};
+
+fn p(v: Var) -> Poly {
+    Poly::var(v)
+}
+
+/// Solve one option's grid: initial payoff, then `numT` implicit steps.
+/// Generic over the output writer so the kernel and the reference share
+/// identical arithmetic.
+pub fn solve_option(opt: i64, num_x: usize, num_t: usize, out: &mut dyn FnMut(usize, f32)) {
+    let strike = 50.0 + opt as f32; // per-option strike (the "calibration" axis)
+    let dx = 4.0 * strike / num_x as f32;
+    let dt = 1.0 / num_t as f32;
+    // Initial condition: call payoff on the price grid.
+    let mut v: Vec<f32> = (0..num_x)
+        .map(|i| (i as f32 * dx - strike).max(0.0))
+        .collect();
+    // Thomas scratch.
+    let mut cp = vec![0f32; num_x];
+    let mut dp = vec![0f32; num_x];
+    for t in 0..num_t {
+        // Local-volatility coefficient (varies over the grid and time).
+        let tfrac = t as f32 * dt;
+        let alpha = |i: usize| -> f32 {
+            let x = i as f32 * dx;
+            let sigma = 0.2 + 0.1 * (x / (4.0 * strike)) + 0.05 * tfrac;
+            0.5 * sigma * sigma * dt / (dx * dx) * x.max(1.0)
+        };
+        // Implicit system: -a·v[i-1] + (1+2a)·v[i] - a·v[i+1] = v_old[i].
+        let a0 = alpha(0);
+        cp[0] = -a0 / (1.0 + 2.0 * a0);
+        dp[0] = v[0] / (1.0 + 2.0 * a0);
+        for i in 1..num_x {
+            let a = alpha(i);
+            let m = 1.0 + 2.0 * a + a * cp[i - 1];
+            cp[i] = -a / m;
+            dp[i] = (v[i] + a * dp[i - 1]) / m;
+        }
+        v[num_x - 1] = dp[num_x - 1];
+        for i in (0..num_x - 1).rev() {
+            v[i] = dp[i] - cp[i] * v[i + 1];
+        }
+    }
+    for (i, val) in v.iter().enumerate() {
+        out(i, *val);
+    }
+}
+
+/// Hand-written imperative reference.
+pub fn reference(num_o: usize, num_x: usize, num_t: usize) -> Vec<f32> {
+    let mut out = vec![0f32; num_o * num_x];
+    for o in 0..num_o {
+        let base = o * num_x;
+        solve_option(o as i64, num_x, num_t, &mut |i, v| out[base + i] = v);
+    }
+    out
+}
+
+pub fn register_kernels(reg: &mut KernelRegistry) {
+    reg.register("lvc_solve", |ctx| {
+        let num_x = ctx.arg_i64(0) as usize;
+        let num_t = ctx.arg_i64(1) as usize;
+        let l = ctx.out.lmad().expect("row is one LMAD").clone();
+        let out = &ctx.out;
+        solve_option(ctx.i, num_x, num_t, &mut |i, v| {
+            out.write_f32_off(l.offset + i as i64 * l.dims[0].1, v)
+        });
+    });
+}
+
+pub fn program() -> (Program, Env) {
+    let mut bld = Builder::new("locvolcalib");
+    let num_o = bld.scalar_param("lvc_numO", ElemType::I64);
+    let num_x = bld.scalar_param("lvc_numX", ElemType::I64);
+    let num_t = bld.scalar_param("lvc_numT", ElemType::I64);
+    let mut body = bld.block();
+    let res = body.map_kernel(
+        "res",
+        "lvc_solve",
+        p(num_o),
+        vec![p(num_x)],
+        ElemType::F32,
+        vec![],
+        vec![ScalarExp::var(num_x), ScalarExp::var(num_t)],
+    );
+    let blk = body.finish(vec![res]);
+    let mut env = Env::new();
+    env.assume_ge(num_o, 1);
+    env.assume_ge(num_x, 2);
+    env.assume_ge(num_t, 1);
+    (bld.finish(blk), env)
+}
+
+pub fn case(label: &str, num_o: usize, num_x: usize, num_t: usize, runs: usize) -> Case {
+    let (program, env) = program();
+    let mut kernels = KernelRegistry::new();
+    register_kernels(&mut kernels);
+    let inputs = vec![
+        InputValue::I64(num_o as i64),
+        InputValue::I64(num_x as i64),
+        InputValue::I64(num_t as i64),
+    ];
+    Case {
+        name: "locvolcalib".into(),
+        dataset: label.into(),
+        program,
+        env,
+        inputs,
+        kernels,
+        reference: Box::new(move |_| {
+            let t0 = std::time::Instant::now();
+            let out = reference(num_o, num_x, num_t);
+            (t0.elapsed(), vec![OutputValue::ArrayF32(out)])
+        }),
+        runs,
+        tol: 1e-5,
+    }
+}
+
+/// The paper's Table VI datasets, scaled.
+pub fn datasets() -> Vec<(&'static str, usize, usize, usize, usize)> {
+    // (label, numO, numX, numT, runs)
+    vec![
+        ("small", 64, 128, 32, 5),
+        ("medium", 128, 128, 64, 3),
+        ("large", 128, 256, 128, 2),
+    ]
+}

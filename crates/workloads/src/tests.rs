@@ -1,0 +1,67 @@
+use crate::nw;
+
+#[test]
+fn nw_small_validates_and_circuits() {
+    let case = nw::case("tiny", 4, 4, 2);
+    let (unopt, opt) = case.validate();
+    assert!(unopt.bytes_copied > 0, "unopt NW must copy blocks");
+    assert_eq!(opt.bytes_copied, 0, "opt NW must elide all block copies: {opt}");
+    assert!(opt.bytes_elided > 0);
+}
+
+#[test]
+fn lud_small_validates_and_circuits_perimeter_and_interior() {
+    let case = crate::lud::case("tiny", 4, 4, 2);
+    let (unopt, opt) = case.validate();
+    assert!(unopt.bytes_copied > 0);
+    // The diagonal block keeps its (small) copy; everything else is
+    // elided, so the optimized copies are far smaller.
+    assert!(
+        opt.bytes_copied < unopt.bytes_copied / 4,
+        "opt copies {} vs unopt {}",
+        opt.bytes_copied,
+        unopt.bytes_copied
+    );
+    assert!(opt.bytes_elided > 0);
+}
+
+#[test]
+fn hotspot_small_validates_and_elides_concat() {
+    let case = crate::hotspot::case("tiny", 32, 4, 2);
+    let (unopt, opt) = case.validate();
+    assert!(unopt.bytes_copied > 0);
+    assert_eq!(opt.bytes_copied, 0, "all hotspot copies elided: {opt}");
+}
+
+#[test]
+fn nn_small_validates_and_elides_reduce_copy() {
+    let case = crate::nn::case("tiny", 4096, 8, 2);
+    let (unopt, opt) = case.validate();
+    assert!(unopt.bytes_copied > 0);
+    assert_eq!(opt.bytes_copied, 0, "{opt}");
+}
+
+#[test]
+fn lbm_small_validates_and_builds_rows_in_place() {
+    let case = crate::lbm::case("tiny", (8, 8, 4), 3, 2);
+    let (unopt, opt) = case.validate();
+    // Unopt pays the mapnest private-row copy every step.
+    assert_eq!(unopt.bytes_copied, (3 * 8 * 8 * 4 * 19 * 4) as u64);
+    assert_eq!(opt.bytes_copied, 0, "{opt}");
+}
+
+#[test]
+fn optionpricing_small_validates() {
+    let case = crate::optionpricing::case("tiny", 512, 16, 2);
+    let (unopt, opt) = case.validate();
+    assert!(unopt.bytes_copied > 0);
+    assert_eq!(opt.bytes_copied, 0, "{opt}");
+}
+
+#[test]
+fn locvolcalib_small_validates() {
+    let case = crate::locvolcalib::case("tiny", 8, 32, 8, 2);
+    let (unopt, opt) = case.validate();
+    assert!(unopt.bytes_copied > 0);
+    assert_eq!(opt.bytes_copied, 0, "{opt}");
+}

@@ -1,0 +1,335 @@
+//! Differential fuzzing of the whole pipeline.
+//!
+//! Generates random (but well-formed) array programs — fresh arrays,
+//! layout transforms, lambda maps, slice updates, concats — and checks
+//! that the pure value-semantics interpretation, the unoptimized memory
+//! machine, and the short-circuited memory machine all produce identical
+//! results. This is the strongest executable form of the paper's claim
+//! that memory annotations, and the short-circuiting rewrites on them,
+//! have no semantic meaning.
+//!
+//! Programs use `i64` elements and constant shapes so equality is exact.
+
+use arraymem_core::{compile, Options};
+use arraymem_exec::{run_program, KernelRegistry, Mode, OutputValue};
+use arraymem_ir::{BinOp, Builder, ElemType, Program, ScalarExp, SliceSpec, Var};
+use arraymem_lmad::{Transform, TripletSlice};
+use arraymem_symbolic::{Env, Poly};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn c(x: i64) -> Poly {
+    Poly::constant(x)
+}
+
+#[derive(Clone)]
+struct GenArray {
+    var: Var,
+    shape: Vec<i64>,
+    /// Alias class; consumed together when any member is updated.
+    class: usize,
+}
+
+struct Gen {
+    body: arraymem_ir::builder::BlockBuilder,
+    pool: Vec<GenArray>,
+    rng: StdRng,
+    next_class: usize,
+    fill: i64,
+}
+
+impl Gen {
+    fn fresh_class(&mut self) -> usize {
+        self.next_class += 1;
+        self.next_class
+    }
+
+    fn pick(&mut self) -> Option<GenArray> {
+        if self.pool.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..self.pool.len());
+        Some(self.pool[i].clone())
+    }
+
+    fn pick_rank(&mut self, rank: usize) -> Option<GenArray> {
+        let cands: Vec<GenArray> = self
+            .pool
+            .iter()
+            .filter(|a| a.shape.len() == rank)
+            .cloned()
+            .collect();
+        if cands.is_empty() {
+            return None;
+        }
+        Some(cands[self.rng.gen_range(0..cands.len())].clone())
+    }
+
+    fn replicate(&mut self, shape: Vec<i64>) -> GenArray {
+        self.fill += 1;
+        let v = self.body.replicate_typed(
+            "g_rep",
+            ElemType::I64,
+            shape.iter().map(|&d| c(d)).collect(),
+            ScalarExp::i64(self.fill * 7),
+        );
+        let class = self.fresh_class();
+        GenArray { var: v, shape, class }
+    }
+
+    fn random_shape(&mut self) -> Vec<i64> {
+        let rank = self.rng.gen_range(1..=2);
+        (0..rank).map(|_| self.rng.gen_range(1..=5)).collect()
+    }
+
+    /// One random statement; pushes results into the pool.
+    fn step(&mut self) {
+        match self.rng.gen_range(0..9u32) {
+            0 => {
+                let shape = self.random_shape();
+                let a = self.replicate(shape);
+                self.pool.push(a);
+            }
+            1 => {
+                let n = self.rng.gen_range(1..=8i64);
+                let v = self.body.iota("g_iota", c(n));
+                let class = self.fresh_class();
+                self.pool.push(GenArray { var: v, shape: vec![n], class });
+            }
+            2 => {
+                if let Some(src) = self.pick() {
+                    let v = self.body.copy("g_copy", src.var);
+                    let class = self.fresh_class();
+                    self.pool.push(GenArray { var: v, shape: src.shape, class });
+                }
+            }
+            3 => {
+                // Permute a rank-2 array.
+                if let Some(src) = self.pick_rank(2) {
+                    let v = self.body.transform("g_perm", src.var, Transform::Permute(vec![1, 0]));
+                    self.pool.push(GenArray {
+                        var: v,
+                        shape: vec![src.shape[1], src.shape[0]],
+                        class: src.class,
+                    });
+                }
+            }
+            4 => {
+                if let Some(src) = self.pick() {
+                    let d = self.rng.gen_range(0..src.shape.len());
+                    let v = self.body.transform("g_rev", src.var, Transform::Reverse(d));
+                    self.pool.push(GenArray { var: v, shape: src.shape, class: src.class });
+                }
+            }
+            5 => {
+                // Triplet slice (step 1 or 2 when it fits).
+                if let Some(src) = self.pick() {
+                    let mut ts = Vec::new();
+                    let mut shape = Vec::new();
+                    for &d in &src.shape {
+                        let start = self.rng.gen_range(0..d);
+                        let step = if d - start >= 3 && self.rng.gen_bool(0.3) { 2 } else { 1 };
+                        let max_len = (d - start + step - 1) / step;
+                        let len = self.rng.gen_range(1..=max_len);
+                        ts.push(TripletSlice::range(c(start), c(len), c(step)));
+                        shape.push(len);
+                    }
+                    let v = self.body.transform("g_slice", src.var, Transform::Slice(ts));
+                    self.pool.push(GenArray { var: v, shape, class: src.class });
+                }
+            }
+            6 => {
+                // Flatten a rank-2 array.
+                if let Some(src) = self.pick_rank(2) {
+                    let total = src.shape[0] * src.shape[1];
+                    let v = self
+                        .body
+                        .transform("g_flat", src.var, Transform::Reshape(vec![c(total)]));
+                    self.pool.push(GenArray { var: v, shape: vec![total], class: src.class });
+                }
+            }
+            7 => {
+                // Lambda map over a rank-1 array: x*3 + 1.
+                if let Some(src) = self.pick_rank(1) {
+                    let v = self.body.map_lambda(
+                        "g_map",
+                        c(src.shape[0]),
+                        vec![src.var],
+                        ElemType::I64,
+                        |lb, ps| {
+                            let t = lb.scalar(
+                                "g_t",
+                                ElemType::I64,
+                                ScalarExp::bin(
+                                    BinOp::Add,
+                                    ScalarExp::bin(
+                                        BinOp::Mul,
+                                        ScalarExp::var(ps[0]),
+                                        ScalarExp::i64(3),
+                                    ),
+                                    ScalarExp::i64(1),
+                                ),
+                            );
+                            vec![t]
+                        },
+                    );
+                    let class = self.fresh_class();
+                    self.pool.push(GenArray { var: v, shape: src.shape, class });
+                }
+            }
+            8 => {
+                // In-place update of a random sub-slice with a fresh (or
+                // fresh-through-a-transform) source — the circuit-point
+                // shape the optimizer hunts for.
+                let Some(dst) = self.pick() else { return };
+                let mut ts = Vec::new();
+                let mut sshape = Vec::new();
+                for &d in &dst.shape {
+                    let start = self.rng.gen_range(0..d);
+                    let len = self.rng.gen_range(1..=d - start);
+                    ts.push(TripletSlice::range(c(start), c(len), c(1)));
+                    sshape.push(len);
+                }
+                let src = self.replicate(sshape.clone());
+                let src_var = if sshape.len() == 1 && self.rng.gen_bool(0.4) {
+                    // A layout transform between the fresh array and the
+                    // circuit point exercises web rebasing.
+                    
+                    self.body.transform("g_src_rev", src.var, Transform::Reverse(0))
+                } else {
+                    src.var
+                };
+                // Occasionally keep the source visible afterwards so the
+                // last-use condition sometimes fails.
+                if self.rng.gen_bool(0.25) {
+                    self.pool.push(GenArray {
+                        var: src_var,
+                        shape: sshape,
+                        class: src.class,
+                    });
+                }
+                let v = self
+                    .body
+                    .update("g_upd", dst.var, SliceSpec::Triplet(ts), src_var);
+                // The destination's whole alias class is consumed.
+                self.pool.retain(|a| a.class != dst.class);
+                self.pool.push(GenArray { var: v, shape: dst.shape, class: dst.class });
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Build a random program from a seed.
+fn random_program(seed: u64, len: usize) -> Option<Program> {
+    let bld = Builder::new("fuzz");
+    let mut g = Gen {
+        body: bld.block(),
+        pool: Vec::new(),
+        rng: StdRng::seed_from_u64(seed),
+        next_class: 0,
+        fill: 0,
+    };
+    // Seed the pool.
+    let a = g.replicate(vec![4, 3]);
+    g.pool.push(a);
+    let b = g.replicate(vec![6]);
+    g.pool.push(b);
+    for _ in 0..len {
+        g.step();
+    }
+    if g.pool.is_empty() {
+        return None;
+    }
+    // Return up to two distinct arrays (one per alias class — returning
+    // two aliases of the same memory is fine, but keep it simple).
+    let mut results: Vec<Var> = Vec::new();
+    let mut seen_classes = Vec::new();
+    for entry in g.pool.iter().rev() {
+        if results.len() == 2 {
+            break;
+        }
+        if seen_classes.contains(&entry.class) {
+            continue;
+        }
+        seen_classes.push(entry.class);
+        results.push(entry.var);
+    }
+    let block = g.body.finish(results);
+    Some(bld.finish(block))
+}
+
+fn run_all_modes(prog: &Program) -> (Vec<OutputValue>, Vec<OutputValue>, Vec<OutputValue>, u64, u64) {
+    let kernels = KernelRegistry::new();
+    let unopt = compile(
+        prog,
+        &Options {
+            short_circuit: false,
+            env: Env::new(),
+            ..Options::default()
+        },
+    )
+    .expect("unopt compile");
+    let opt = compile(
+        prog,
+        &Options {
+            short_circuit: true,
+            env: Env::new(),
+            ..Options::default()
+        },
+    )
+    .expect("opt compile");
+    let (pure_out, _) = run_program(prog, &[], &kernels, Mode::Pure, 1).expect("pure");
+    let (u_out, u_stats) =
+        run_program(&unopt.program, &[], &kernels, Mode::Memory, 1).expect("unopt");
+    let (o_out, o_stats) =
+        run_program(&opt.program, &[], &kernels, Mode::Memory, 1).expect("opt");
+    (pure_out, u_out, o_out, u_stats.bytes_copied, o_stats.bytes_copied)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The paper's central invariant, fuzzed: every random program means
+    /// the same thing under pure semantics, unoptimized memory semantics,
+    /// and short-circuited memory semantics — and the optimizer never
+    /// increases copy traffic.
+    #[test]
+    fn prop_three_way_equivalence(seed in any::<u64>(), len in 3usize..16) {
+        let Some(prog) = random_program(seed, len) else { return Ok(()); };
+        arraymem_ir::validate::validate(&prog)
+            .expect("generator must produce valid programs");
+        let (pure_out, u_out, o_out, u_copied, o_copied) = run_all_modes(&prog);
+        prop_assert_eq!(&pure_out, &u_out, "pure vs unopt (seed {})", seed);
+        prop_assert_eq!(&pure_out, &o_out, "pure vs opt (seed {})", seed);
+        prop_assert!(
+            o_copied <= u_copied,
+            "optimizer increased copies ({} > {}) for seed {}",
+            o_copied, u_copied, seed
+        );
+    }
+}
+
+/// A fixed regression sweep over many seeds (faster than proptest's
+/// machinery, catches deterministic breakage at a glance).
+#[test]
+fn seeded_sweep() {
+    let mut elisions = 0u64;
+    for seed in 0..300u64 {
+        let Some(prog) = random_program(seed, 10) else { continue };
+        let (pure_out, u_out, o_out, u_copied, o_copied) = run_all_modes(&prog);
+        assert_eq!(pure_out, u_out, "seed {seed}");
+        assert_eq!(pure_out, o_out, "seed {seed}");
+        assert!(o_copied <= u_copied, "seed {seed}");
+        if o_copied < u_copied {
+            elisions += 1;
+        }
+    }
+    // The generator must actually exercise the optimizer: a healthy
+    // fraction of programs should have at least one elided copy.
+    assert!(
+        elisions > 30,
+        "only {elisions}/300 random programs exercised short-circuiting"
+    );
+}

@@ -1,0 +1,182 @@
+//! Integration: the short-circuiting *reports* match what the paper says
+//! happens on each benchmark (§VI case studies) — which candidates
+//! succeed, which fail, and why.
+
+use arraymem_workloads as w;
+
+fn report_of(case: &w::Case) -> arraymem_core::Report {
+    case.compile(true).report
+}
+
+#[test]
+fn nw_both_halves_circuit() {
+    let r = report_of(&w::nw::case("r", 6, 4, 2));
+    // Two update candidates (first and second half), both succeed.
+    assert_eq!(r.candidates.len(), 2, "{:?}", r.candidates);
+    assert_eq!(r.successes(), 2, "{:?}", r.candidates);
+    // Both anti-diagonal mapnests construct their blocks in place.
+    assert!(r.in_place_maps >= 2);
+}
+
+/// Without the `n = q·b + 1` shape relation, NW's Fig. 9 proof cannot go
+/// through and the compiler must fail conservatively (paper §III-D: the
+/// failure costs 1.1-1.5× but is never wrong).
+#[test]
+fn nw_without_env_fails_conservatively() {
+    let case = w::nw::case("r", 6, 4, 2);
+    let compiled = arraymem_core::compile(
+        &case.program,
+        &arraymem_core::Options {
+            short_circuit: true,
+            env: arraymem_symbolic::Env::new(),
+            ..arraymem_core::Options::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(compiled.report.successes(), 0);
+    // And it still computes the right answer.
+    let (out, _) = arraymem_exec::run_program(
+        &compiled.program,
+        &case.inputs,
+        &case.kernels,
+        arraymem_exec::Mode::Memory,
+        1,
+    )
+    .unwrap();
+    let (_, expect) = (case.reference)(&case.inputs);
+    assert!(expect[0].approx_eq(&out[0], 0.0));
+}
+
+#[test]
+fn lud_diagonal_fails_perimeter_and_interior_succeed() {
+    let r = report_of(&w::lud::case("r", 4, 8, 2));
+    let diag_fails = r
+        .candidates
+        .iter()
+        .filter(|c| c.root.starts_with("diagX") && !c.succeeded)
+        .count();
+    assert_eq!(diag_fails, 1, "{:?}", r.candidates);
+    let successes: Vec<&str> = r
+        .candidates
+        .iter()
+        .filter(|c| c.succeeded)
+        .map(|c| c.root.as_str())
+        .collect();
+    assert!(successes.iter().any(|s| s.starts_with("rowX")));
+    assert!(successes.iter().any(|s| s.starts_with("colX")));
+    assert!(successes.iter().any(|s| s.starts_with("intX")));
+}
+
+#[test]
+fn hotspot_concat_elides_all_three_parts() {
+    let r = report_of(&w::hotspot::case("r", 16, 2, 2));
+    // top, mid, bottom — all constructed in the result memory.
+    assert_eq!(r.successes(), 3, "{:?}", r.candidates);
+    assert!(r
+        .candidates
+        .iter()
+        .all(|c| c.kind == arraymem_core::short_circuit::CandidateKind::Concat));
+}
+
+#[test]
+fn lbm_mapnest_is_in_place() {
+    let r = report_of(&w::lbm::case("r", (4, 4, 2), 2, 2));
+    assert!(r.in_place_maps >= 1);
+}
+
+#[test]
+fn nn_reduce_result_circuits() {
+    let r = report_of(&w::nn::case("r", 128, 4, 2));
+    assert_eq!(r.successes(), 1, "{:?}", r.candidates);
+}
+
+#[test]
+fn optionpricing_reduction_update_circuits() {
+    let r = report_of(&w::optionpricing::case("r", 64, 8, 2));
+    assert!(r.successes() >= 1, "{:?}", r.candidates);
+    assert!(r.in_place_maps >= 1); // the path-generation mapnest
+}
+
+#[test]
+fn locvolcalib_mapnest_is_in_place() {
+    let r = report_of(&w::locvolcalib::case("r", 4, 16, 4, 2));
+    assert!(r.in_place_maps >= 1);
+}
+
+/// Compile-time sanity: short-circuiting adds bounded overhead (the paper
+/// reports ~10%, with NW the worst at 17s due to the SMT solver; our
+/// symbolic engine stays well under a second even for NW).
+#[test]
+fn compile_time_is_bounded() {
+    let case = w::nw::case("r", 64, 16, 2);
+    let t0 = std::time::Instant::now();
+    let _ = case.compile(true);
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(5),
+        "short-circuiting took {:?}",
+        t0.elapsed()
+    );
+}
+
+/// Ablation mechanisms: each disabled ingredient defeats exactly the
+/// candidates it enables.
+#[test]
+fn ablation_no_hoisting_defeats_hotspot_concat() {
+    let case = w::hotspot::case("r", 16, 2, 2);
+    let compiled = arraymem_core::compile(
+        &case.program,
+        &arraymem_core::Options {
+            short_circuit: true,
+            env: case.env.clone(),
+            hoist: false,
+            ..arraymem_core::Options::default()
+        },
+    )
+    .unwrap();
+    // Without hoisting, the concat's allocation comes after the parts'
+    // definitions: safety property 2 fails for all three.
+    assert_eq!(compiled.report.successes(), 0, "{:?}", compiled.report.candidates);
+    assert!(compiled
+        .report
+        .candidates
+        .iter()
+        .all(|c| c.reason.contains("not allocated")));
+    // Still correct.
+    let (out, _) = arraymem_exec::run_program(
+        &compiled.program,
+        &case.inputs,
+        &case.kernels,
+        arraymem_exec::Mode::Memory,
+        1,
+    )
+    .unwrap();
+    let (_, expect) = (case.reference)(&case.inputs);
+    assert!(expect[0].approx_eq(&out[0], case.tol));
+}
+
+#[test]
+fn ablation_no_mapnest_restores_row_copies() {
+    let case = w::lbm::case("r", (4, 4, 2), 2, 2);
+    let compiled = arraymem_core::compile(
+        &case.program,
+        &arraymem_core::Options {
+            short_circuit: true,
+            env: case.env.clone(),
+            mapnest_in_place: false,
+            ..arraymem_core::Options::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(compiled.report.in_place_maps, 0);
+    let (out, stats) = arraymem_exec::run_program(
+        &compiled.program,
+        &case.inputs,
+        &case.kernels,
+        arraymem_exec::Mode::Memory,
+        1,
+    )
+    .unwrap();
+    assert!(stats.bytes_copied > 0, "row copies must be back");
+    let (_, expect) = (case.reference)(&case.inputs);
+    assert!(expect[0].approx_eq(&out[0], case.tol));
+}

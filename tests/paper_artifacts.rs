@@ -1,0 +1,67 @@
+//! Integration: the figure artifacts regenerate and contain what the
+//! paper's figures show.
+
+use arraymem_bench::figures;
+
+/// Count marker characters on the grid lines only (lines made purely of
+/// grid glyphs), skipping the prose header.
+fn grid_count(s: &str, ch: char) -> i64 {
+    s.lines()
+        .filter(|l| !l.is_empty() && l.chars().all(|c| ".WvhGBYRTM".contains(c)))
+        .flat_map(|l| l.chars())
+        .filter(|&x| x == ch)
+        .count() as i64
+}
+
+#[test]
+fn fig2_pattern_counts_match_the_lmads() {
+    // On anti-diagonal d of a q·b+1 matrix: (d+1)·b² written cells,
+    // (d+1)·(b+1) vertical reads, (d+1)·b horizontal reads.
+    let (q, b, d) = (4i64, 3i64, 2i64);
+    let s = figures::fig2_nw_pattern(q, b, d);
+    assert_eq!(grid_count(&s, 'W'), (d + 1) * b * b);
+    // The union of read bars: (2b+1) cells per block, minus the d cells
+    // where adjacent blocks' bars touch.
+    assert_eq!(
+        grid_count(&s, 'v') + grid_count(&s, 'h'),
+        (d + 1) * (2 * b + 1) - d
+    );
+    let _ = q;
+}
+
+#[test]
+fn fig3_chain_reproduces_the_paper() {
+    let s = figures::fig3_chain();
+    // The intermediate index functions of the figure.
+    assert!(s.contains("flat offset 59"), "{s}");
+}
+
+#[test]
+fn fig9_nw_proof_goes_through() {
+    let s = figures::fig9_proof();
+    assert!(s.contains("VERDICT: disjoint = true"), "{s}");
+    // The derivation uses the splitting heuristic, as in the paper.
+    assert!(s.contains("splitting"), "{s}");
+}
+
+#[test]
+fn fig10_block_counts() {
+    let s = figures::fig10_patterns();
+    // LUD at k=1, q=4, b=2: 1 green block, 2 blue, 2 yellow, 4 red
+    // (each b² = 4 cells). Count only the LUD half of the figure ('B' also
+    // appears in the Hotspot rendering below it).
+    let lud = s.split("Fig. 10b").next().unwrap();
+    assert_eq!(grid_count(lud, 'G'), 4);
+    assert_eq!(grid_count(lud, 'B'), 8);
+    assert_eq!(grid_count(lud, 'Y'), 8);
+    assert_eq!(grid_count(lud, 'R'), 16);
+}
+
+/// The quick table harness runs end to end for every table.
+#[test]
+fn all_tables_quick() {
+    for spec in arraymem_bench::all_tables() {
+        let out = arraymem_bench::tables::run_table(&spec, true);
+        assert!(out.contains("Opt. Impact"), "table {} malformed", spec.number);
+    }
+}
