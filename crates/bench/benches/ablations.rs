@@ -10,11 +10,12 @@
 //!    safety property 2 fails at the concat — no part can be built in the
 //!    result grid.
 
+mod common;
+
 use arraymem_core::{compile, Options};
 use arraymem_exec::{run_program, Mode};
 use arraymem_symbolic::Env;
 use arraymem_workloads as w;
-use criterion::{criterion_group, criterion_main, Criterion};
 
 fn run(case: &w::Case, opts: &Options) -> std::time::Duration {
     let compiled = compile(&case.program, opts).unwrap();
@@ -29,7 +30,16 @@ fn run(case: &w::Case, opts: &Options) -> std::time::Duration {
     stats.total_time
 }
 
-fn bench(c: &mut Criterion) {
+fn bench_pair(group: &str, labels: [&str; 2], case: &w::Case, opts: [&Options; 2]) {
+    for (label, o) in labels.iter().zip(opts) {
+        let t = common::sample(|| {
+            std::hint::black_box(run(case, o));
+        });
+        println!("{group}/{label}  {t:>12.3?}");
+    }
+}
+
+fn main() {
     // 1. NW with vs without the shape relation feeding the prover.
     let nw = w::nw::case("ablation", 16, 16, 2);
     let full = Options {
@@ -42,11 +52,12 @@ fn bench(c: &mut Criterion) {
         env: Env::new(),
         ..Options::default()
     };
-    let mut g = c.benchmark_group("ablation/nw_assumptions");
-    g.sample_size(10);
-    g.bench_function("with_shape_relation", |b| b.iter(|| run(&nw, &full)));
-    g.bench_function("without_shape_relation", |b| b.iter(|| run(&nw, &no_env)));
-    g.finish();
+    bench_pair(
+        "ablation/nw_assumptions",
+        ["with_shape_relation", "without_shape_relation"],
+        &nw,
+        [&full, &no_env],
+    );
 
     // 2. LBM with vs without the mapnest in-place rule.
     let lbm = w::lbm::case("ablation", (16, 16, 8), 4, 2);
@@ -59,11 +70,12 @@ fn bench(c: &mut Criterion) {
         mapnest_in_place: false,
         ..full.clone()
     };
-    let mut g = c.benchmark_group("ablation/lbm_mapnest");
-    g.sample_size(10);
-    g.bench_function("in_place_rows", |b| b.iter(|| run(&lbm, &full)));
-    g.bench_function("private_row_copies", |b| b.iter(|| run(&lbm, &no_mapnest)));
-    g.finish();
+    bench_pair(
+        "ablation/lbm_mapnest",
+        ["in_place_rows", "private_row_copies"],
+        &lbm,
+        [&full, &no_mapnest],
+    );
 
     // 3. Hotspot with vs without allocation hoisting.
     let hs = w::hotspot::case("ablation", 128, 8, 2);
@@ -76,12 +88,10 @@ fn bench(c: &mut Criterion) {
         hoist: false,
         ..full.clone()
     };
-    let mut g = c.benchmark_group("ablation/hotspot_hoisting");
-    g.sample_size(10);
-    g.bench_function("hoisted_allocations", |b| b.iter(|| run(&hs, &full)));
-    g.bench_function("no_hoisting", |b| b.iter(|| run(&hs, &no_hoist)));
-    g.finish();
+    bench_pair(
+        "ablation/hotspot_hoisting",
+        ["hoisted_allocations", "no_hoisting"],
+        &hs,
+        [&full, &no_hoist],
+    );
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,25 +1,43 @@
-//! Shared criterion scaffolding: benchmark one paper table.
+//! Shared bench scaffolding: benchmark one paper table.
+//!
+//! Hand-rolled harness (warm-up + trimmed averaging over a fixed sample
+//! count) instead of criterion, so `cargo bench` works with no network
+//! and no third-party crates. Each `[[bench]]` target sets
+//! `harness = false` and calls [`bench_table`] from its `main`.
 
 use arraymem_bench::tables::table_cases;
-use criterion::Criterion;
+use std::time::{Duration, Instant};
 
-/// Register ref/unopt/opt benchmark functions for every (quick-sized)
-/// dataset of one table's benchmark.
-pub fn bench_table(c: &mut Criterion, benchmark: &'static str) {
+const SAMPLES: usize = 10;
+
+/// Time one closure: warm-up once, then average `SAMPLES` runs.
+pub fn sample<F: FnMut()>(mut f: F) -> Duration {
+    f(); // warm-up, discarded
+    let t0 = Instant::now();
+    for _ in 0..SAMPLES {
+        f();
+    }
+    t0.elapsed() / SAMPLES as u32
+}
+
+/// Benchmark ref/unopt/opt for every (quick-sized) dataset of one table's
+/// benchmark, printing one line per variant.
+pub fn bench_table(benchmark: &'static str) {
     for case in table_cases(benchmark, true) {
         let unopt = case.compile(false);
         let opt = case.compile(true);
-        let mut group = c.benchmark_group(format!("{}/{}", case.name, case.dataset));
-        group.sample_size(10);
-        group.bench_function("reference", |b| {
-            b.iter(|| std::hint::black_box((case.reference)(&case.inputs)))
+        let group = format!("{}/{}", case.name, case.dataset);
+        let r = sample(|| {
+            std::hint::black_box((case.reference)(&case.inputs));
         });
-        group.bench_function("unopt_futhark", |b| {
-            b.iter(|| std::hint::black_box(case.run(&unopt)))
+        println!("{group}/reference        {:>12.3?}", r);
+        let u = sample(|| {
+            std::hint::black_box(case.run(&unopt));
         });
-        group.bench_function("opt_futhark", |b| {
-            b.iter(|| std::hint::black_box(case.run(&opt)))
+        println!("{group}/unopt_futhark    {:>12.3?}", u);
+        let o = sample(|| {
+            std::hint::black_box(case.run(&opt));
         });
-        group.finish();
+        println!("{group}/opt_futhark      {:>12.3?}", o);
     }
 }

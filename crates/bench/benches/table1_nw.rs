@@ -1,12 +1,7 @@
-//! Criterion bench regenerating the rows of the paper's Table 1 (nw).
+//! Bench regenerating the rows of the paper's table (nw).
 
 mod common;
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-fn bench(c: &mut Criterion) {
-    common::bench_table(c, "nw");
+fn main() {
+    common::bench_table("nw");
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,12 +1,7 @@
-//! Criterion bench regenerating the rows of the paper's Table 2 (lud).
+//! Bench regenerating the rows of the paper's table (lud).
 
 mod common;
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-fn bench(c: &mut Criterion) {
-    common::bench_table(c, "lud");
+fn main() {
+    common::bench_table("lud");
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,12 +1,7 @@
-//! Criterion bench regenerating the rows of the paper's Table 3 (hotspot).
+//! Bench regenerating the rows of the paper's table (hotspot).
 
 mod common;
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-fn bench(c: &mut Criterion) {
-    common::bench_table(c, "hotspot");
+fn main() {
+    common::bench_table("hotspot");
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,12 +1,7 @@
-//! Criterion bench regenerating the rows of the paper's Table 4 (lbm).
+//! Bench regenerating the rows of the paper's table (lbm).
 
 mod common;
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-fn bench(c: &mut Criterion) {
-    common::bench_table(c, "lbm");
+fn main() {
+    common::bench_table("lbm");
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

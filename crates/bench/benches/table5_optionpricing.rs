@@ -1,12 +1,7 @@
-//! Criterion bench regenerating the rows of the paper's Table 5 (optionpricing).
+//! Bench regenerating the rows of the paper's table (optionpricing).
 
 mod common;
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-fn bench(c: &mut Criterion) {
-    common::bench_table(c, "optionpricing");
+fn main() {
+    common::bench_table("optionpricing");
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

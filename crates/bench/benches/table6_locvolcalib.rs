@@ -1,12 +1,7 @@
-//! Criterion bench regenerating the rows of the paper's Table 6 (locvolcalib).
+//! Bench regenerating the rows of the paper's table (locvolcalib).
 
 mod common;
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-fn bench(c: &mut Criterion) {
-    common::bench_table(c, "locvolcalib");
+fn main() {
+    common::bench_table("locvolcalib");
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

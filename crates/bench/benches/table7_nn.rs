@@ -1,12 +1,7 @@
-//! Criterion bench regenerating the rows of the paper's Table 7 (nn).
+//! Bench regenerating the rows of the paper's table (nn).
 
 mod common;
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-fn bench(c: &mut Criterion) {
-    common::bench_table(c, "nn");
+fn main() {
+    common::bench_table("nn");
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,24 +2,32 @@
 //!
 //! ```text
 //! tables                 # all seven tables, full (scaled) datasets
-//! tables --quick         # tiny datasets, smoke run
+//! tables --quick         # tiny datasets, normal run counts
+//! tables --smoke         # tiny datasets, one measured run each (CI)
 //! tables --table N       # one table
 //! tables --figures       # print the figure artifacts instead
 //! ```
 
-use arraymem_bench::tables::{all_tables, run_table};
+use arraymem_bench::tables::{all_tables, run_table, RunMode};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     for (i, a) in args.iter().enumerate() {
         let is_table_arg = i > 0 && args[i - 1] == "--table";
-        if !is_table_arg && !matches!(a.as_str(), "--quick" | "--figures" | "--table") {
+        if !is_table_arg && !matches!(a.as_str(), "--quick" | "--smoke" | "--figures" | "--table")
+        {
             eprintln!("error: unknown argument {a:?}");
-            eprintln!("usage: tables [--quick] [--table N] [--figures]");
+            eprintln!("usage: tables [--quick] [--smoke] [--table N] [--figures]");
             std::process::exit(2);
         }
     }
-    let quick = args.iter().any(|a| a == "--quick");
+    let mode = if args.iter().any(|a| a == "--smoke") {
+        RunMode::Smoke
+    } else if args.iter().any(|a| a == "--quick") {
+        RunMode::Quick
+    } else {
+        RunMode::Full
+    };
     if args.iter().any(|a| a == "--figures") {
         println!("{}", arraymem_bench::figures::fig2_nw_pattern(4, 3, 2));
         println!("{}", arraymem_bench::figures::fig3_chain());
@@ -44,6 +52,6 @@ fn main() {
                 continue;
             }
         }
-        println!("{}", run_table(&spec, quick));
+        println!("{}", run_table(&spec, mode));
     }
 }

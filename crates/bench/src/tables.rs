@@ -129,7 +129,9 @@ pub fn render_table(spec: &TableSpec, rows: &[Measurement]) -> String {
     s
 }
 
-/// Render the mechanism row (copied/elided bytes) under a table.
+/// Render the mechanism rows under a table: what the optimizer *did*
+/// (copied/elided bytes) and what the substrate did (allocations,
+/// free-list reuse, elided zeroing, pool dispatches), per variant.
 pub fn render_mechanism(rows: &[Measurement]) -> String {
     let mut s = String::new();
     for m in rows {
@@ -140,6 +142,17 @@ pub fn render_mechanism(rows: &[Measurement]) -> String {
             m.opt_stats.bytes_copied,
             m.opt_stats.bytes_elided
         ));
+        for (label, st) in [("unopt", &m.unopt_stats), ("opt", &m.opt_stats)] {
+            s.push_str(&format!(
+                "  {:<10} {:<5} allocs {:>6} | blocks_reused {:>6} | zeroing_elided {:>12} B | pool_dispatches {:>5}\n",
+                m.dataset,
+                label,
+                st.num_allocs,
+                st.blocks_reused,
+                st.bytes_zeroing_elided,
+                st.pool_dispatches
+            ));
+        }
     }
     s
 }
@@ -148,11 +161,25 @@ fn roman(n: usize) -> &'static str {
     ["", "I", "II", "III", "IV", "V", "VI", "VII"][n]
 }
 
+/// How much of a table to measure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunMode {
+    /// Full (CPU-scaled) datasets, paper-style run counts.
+    Full,
+    /// Tiny datasets, normal run counts.
+    Quick,
+    /// Tiny datasets, a single measured run per variant — the CI mode.
+    Smoke,
+}
+
 /// Measure and render one table end to end.
-pub fn run_table(spec: &TableSpec, quick: bool) -> String {
-    let rows: Vec<Measurement> = table_cases(spec.benchmark, quick)
-        .iter()
-        .map(measure_case)
-        .collect();
+pub fn run_table(spec: &TableSpec, mode: RunMode) -> String {
+    let mut cases = table_cases(spec.benchmark, mode != RunMode::Full);
+    if mode == RunMode::Smoke {
+        for c in &mut cases {
+            c.runs = 1;
+        }
+    }
+    let rows: Vec<Measurement> = cases.iter().map(measure_case).collect();
     format!("{}{}", render_table(spec, &rows), render_mechanism(&rows))
 }

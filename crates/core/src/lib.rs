@@ -24,9 +24,11 @@ pub mod cleanup;
 pub mod hoist;
 pub mod introduce;
 pub mod memtable;
+pub mod release;
 pub mod short_circuit;
 
 pub use memtable::MemTable;
+pub use release::ReleasePlan;
 pub use short_circuit::{CandidateOutcome, Report};
 
 use arraymem_ir::Program;

@@ -9,8 +9,9 @@
 //!   of index functions, with contiguous fast paths;
 //! - [`kernel`]: the registry of native kernels a `map` may invoke (the
 //!   moral equivalent of generated device code);
-//! - [`pool`]: a chunked parallel-for over crossbeam scoped threads
-//!   (degrading gracefully to sequential execution on one core);
+//! - [`pool`]: a persistent worker pool with a chunked parallel-for
+//!   (parked workers reused across every map of every run, degrading
+//!   gracefully to inline execution on one core or small trip counts);
 //! - [`vm`]: the machine executing compiled programs. It runs in two
 //!   modes: `Memory` (obeying the compiler's memory annotations — allocs,
 //!   rebased index functions, elided copies) and `Pure` (direct value
@@ -34,7 +35,7 @@ pub use stats::Stats;
 pub use store::MemStore;
 pub use value::{ArrayRef, InputValue, OutputValue, Value};
 pub use view::{View, ViewMut};
-pub use vm::{run_program, Mode};
+pub use vm::{run_program, Mode, Session};
 
 #[cfg(test)]
 mod tests;

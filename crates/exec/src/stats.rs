@@ -11,6 +11,14 @@ pub struct Stats {
     /// Bytes allocated by `alloc` statements and temporaries.
     pub bytes_allocated: u64,
     pub num_allocs: u64,
+    /// Allocations served from the store's free list (last-use driven
+    /// recycling) instead of the heap.
+    pub blocks_reused: u64,
+    /// Bytes of zero-fill skipped because the block was recycled.
+    pub bytes_zeroing_elided: u64,
+    /// Map statements that went through the persistent worker pool
+    /// (small trip counts run inline and are not counted).
+    pub pool_dispatches: u64,
     /// Bytes moved by update/concat copies and mapnest result copies.
     pub bytes_copied: u64,
     pub num_copies: u64,
@@ -44,6 +52,11 @@ impl std::fmt::Display for Stats {
             self.num_copies,
             self.bytes_elided,
             self.num_elided
+        )?;
+        writeln!(
+            f,
+            "reused: {} blocks | zeroing elided: {} B | pool dispatches: {}",
+            self.blocks_reused, self.bytes_zeroing_elided, self.pool_dispatches
         )?;
         write!(
             f,

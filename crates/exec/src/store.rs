@@ -1,4 +1,15 @@
 //! Memory blocks and the store.
+//!
+//! The store recycles blocks through per-storage-class free lists, driven
+//! by the compiler's last-use analysis: when the VM learns a block is
+//! dead it calls [`MemStore::release`], and a later `alloc` of a fitting
+//! size takes the block back instead of growing the heap. A reused block
+//! is **not** re-zeroed (the whole point — `vec![0; len]` is a full write
+//! of the block); the elided zeroing is counted in
+//! [`MemStore::bytes_zeroing_elided`]. This relies on the same discipline
+//! as the paper's memory blocks: an allocation is fully written before it
+//! is read, which the differential tests check against the pure-mode
+//! ground truth.
 
 use arraymem_ir::ElemType;
 
@@ -35,6 +46,15 @@ impl Buffer {
         self.len() == 0
     }
 
+    fn capacity(&self) -> usize {
+        match self {
+            Buffer::F32(v) => v.capacity(),
+            Buffer::F64(v) => v.capacity(),
+            Buffer::I64(v) => v.capacity(),
+            Buffer::Bool(v) => v.capacity(),
+        }
+    }
+
     pub fn elem(&self) -> ElemType {
         match self {
             Buffer::F32(_) => ElemType::F32,
@@ -50,6 +70,48 @@ impl Buffer {
             Buffer::F64(v) => v.as_mut_ptr() as *mut u8,
             Buffer::I64(v) => v.as_mut_ptr() as *mut u8,
             Buffer::Bool(v) => v.as_mut_ptr() as *mut u8,
+        }
+    }
+
+    /// Re-tag a word buffer between `I64` and `Bool` (they share storage
+    /// class). No-op when the element type already matches.
+    fn retag(&mut self, elem: ElemType) {
+        if self.elem() == elem {
+            return;
+        }
+        debug_assert_eq!(storage_class(self.elem()), storage_class(elem));
+        let words = match std::mem::replace(self, Buffer::I64(Vec::new())) {
+            Buffer::I64(v) | Buffer::Bool(v) => v,
+            other => {
+                *self = other;
+                unreachable!("retag across storage classes");
+            }
+        };
+        *self = match elem {
+            ElemType::I64 => Buffer::I64(words),
+            ElemType::Bool => Buffer::Bool(words),
+            _ => unreachable!(),
+        };
+    }
+
+    /// Resize a recycled buffer to `len` elements without re-zeroing what
+    /// is already there. Returns the number of *elements* whose zero-fill
+    /// was elided (the surviving prefix).
+    fn recycle_to(&mut self, len: usize) -> usize {
+        fn go<T: Clone + Default>(v: &mut Vec<T>, len: usize) -> usize {
+            let old = v.len();
+            if old >= len {
+                v.truncate(len);
+                len
+            } else {
+                v.resize(len, T::default());
+                old
+            }
+        }
+        match self {
+            Buffer::F32(v) => go(v, len),
+            Buffer::F64(v) => go(v, len),
+            Buffer::I64(v) | Buffer::Bool(v) => go(v, len),
         }
     }
 }
@@ -68,49 +130,141 @@ pub struct RawBuf {
 unsafe impl Send for RawBuf {}
 unsafe impl Sync for RawBuf {}
 
-/// The store of memory blocks. Blocks are never freed individually during
-/// a run (GPU-arena style); the whole store drops at once.
-#[derive(Default)]
+/// Free lists cannot hand an `f32` buffer to an `f64` request: buffers
+/// keep their `Vec` element width. `I64` and `Bool` share a class.
+const NUM_CLASSES: usize = 3;
+const NUM_BUCKETS: usize = usize::BITS as usize;
+
+fn storage_class(elem: ElemType) -> usize {
+    match elem {
+        ElemType::F32 => 0,
+        ElemType::F64 => 1,
+        ElemType::I64 | ElemType::Bool => 2,
+    }
+}
+
+/// Power-of-two size class: bucket `b` holds capacities in
+/// `[2^b, 2^(b+1))` (zero-capacity blocks land in bucket 0).
+fn size_bucket(cap: usize) -> usize {
+    (usize::BITS - cap.max(1).leading_zeros() - 1) as usize
+}
+
+/// The store of memory blocks. Released blocks park in per-class
+/// free lists and are recycled by later allocations; everything else
+/// is arena-style — block ids stay valid until the store drops.
 pub struct MemStore {
     blocks: Vec<Buffer>,
-    /// Total elements × size allocated, in bytes.
+    /// `live[id]` is false while `id` sits in a free list.
+    live: Vec<bool>,
+    /// `free[storage class][size bucket]` → block ids.
+    free: Vec<Vec<Vec<usize>>>,
+    /// Total elements × size *freshly* allocated, in bytes (reuse is
+    /// counted separately).
     pub bytes_allocated: u64,
     pub num_allocs: u64,
+    /// Allocations served from the free list instead of the heap.
+    pub blocks_reused: u64,
+    /// Bytes of `vec![0; len]` zero-fill skipped thanks to reuse.
+    pub bytes_zeroing_elided: u64,
+}
+
+impl Default for MemStore {
+    fn default() -> MemStore {
+        MemStore::new()
+    }
 }
 
 impl MemStore {
     pub fn new() -> MemStore {
-        MemStore::default()
+        MemStore {
+            blocks: Vec::new(),
+            live: Vec::new(),
+            free: vec![vec![Vec::new(); NUM_BUCKETS]; NUM_CLASSES],
+            bytes_allocated: 0,
+            num_allocs: 0,
+            blocks_reused: 0,
+            bytes_zeroing_elided: 0,
+        }
     }
 
-    /// Allocate a zero-initialized block; returns its id.
-    pub fn alloc(&mut self, elem: ElemType, len: usize) -> usize {
-        self.bytes_allocated += (len * elem.size_bytes()) as u64;
+    fn fresh(&mut self, b: Buffer) -> usize {
+        self.bytes_allocated += (b.len() * b.elem().size_bytes()) as u64;
         self.num_allocs += 1;
-        self.blocks.push(Buffer::new(elem, len));
+        self.blocks.push(b);
+        self.live.push(true);
         self.blocks.len() - 1
+    }
+
+    /// Pop a released block of storage class `class` with capacity `>= len`,
+    /// if any. Buckets above `size_bucket(len)` hold only fitting blocks;
+    /// the starting bucket needs a capacity check.
+    fn take_reusable(&mut self, class: usize, len: usize) -> Option<usize> {
+        let start = size_bucket(len);
+        let lists = &mut self.free[class];
+        if let Some(pos) = lists[start]
+            .iter()
+            .position(|&id| self.blocks[id].capacity() >= len)
+        {
+            return Some(lists[start].swap_remove(pos));
+        }
+        for bucket in lists[start + 1..].iter_mut() {
+            if let Some(id) = bucket.pop() {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Allocate a block of `len` elements; returns its id. Fresh blocks
+    /// are zero-initialized; recycled blocks keep their stale contents
+    /// (zeroing elided) — callers must fully write before reading, the
+    /// same obligation every memory-mode destination already has.
+    pub fn alloc(&mut self, elem: ElemType, len: usize) -> usize {
+        if let Some(id) = self.take_reusable(storage_class(elem), len) {
+            let b = &mut self.blocks[id];
+            b.retag(elem);
+            let kept = b.recycle_to(len);
+            self.blocks_reused += 1;
+            self.bytes_zeroing_elided += (kept * elem.size_bytes()) as u64;
+            self.live[id] = true;
+            return id;
+        }
+        self.fresh(Buffer::new(elem, len))
     }
 
     /// Allocate a block initialized from an `f32` vector.
     pub fn alloc_f32(&mut self, data: Vec<f32>) -> usize {
-        self.bytes_allocated += (data.len() * 4) as u64;
-        self.num_allocs += 1;
-        self.blocks.push(Buffer::F32(data));
-        self.blocks.len() - 1
+        self.fresh(Buffer::F32(data))
     }
 
     pub fn alloc_i64(&mut self, data: Vec<i64>) -> usize {
-        self.bytes_allocated += (data.len() * 8) as u64;
-        self.num_allocs += 1;
-        self.blocks.push(Buffer::I64(data));
-        self.blocks.len() - 1
+        self.fresh(Buffer::I64(data))
     }
 
     pub fn alloc_f64(&mut self, data: Vec<f64>) -> usize {
-        self.bytes_allocated += (data.len() * 8) as u64;
-        self.num_allocs += 1;
-        self.blocks.push(Buffer::F64(data));
-        self.blocks.len() - 1
+        self.fresh(Buffer::F64(data))
+    }
+
+    /// Return a dead block to its free list. Safe to call twice for the
+    /// same id (two memory variables can name one block after an in-place
+    /// update); the second call is a no-op.
+    pub fn release(&mut self, block: usize) {
+        if !self.live[block] {
+            return;
+        }
+        self.live[block] = false;
+        let class = storage_class(self.blocks[block].elem());
+        let bucket = size_bucket(self.blocks[block].capacity());
+        self.free[class][bucket].push(block);
+    }
+
+    /// Release every live block — end-of-run recycling, so a store reused
+    /// across runs (a [`crate::Session`]) serves the next run's
+    /// allocations from this run's blocks.
+    pub fn release_all_live(&mut self) {
+        for id in 0..self.blocks.len() {
+            self.release(id);
+        }
     }
 
     pub fn raw(&mut self, block: usize) -> RawBuf {
@@ -152,5 +306,86 @@ mod tests {
         assert_eq!(s.len(b2), 3);
         assert_eq!(s.bytes_allocated, 40 + 24);
         assert_eq!(s.num_allocs, 2);
+    }
+
+    #[test]
+    fn release_then_alloc_reuses_block() {
+        let mut s = MemStore::new();
+        let a = s.alloc(ElemType::F32, 1000);
+        s.release(a);
+        let b = s.alloc(ElemType::F32, 800);
+        assert_eq!(b, a, "shrinking realloc must recycle the block");
+        assert_eq!(s.len(b), 800);
+        assert_eq!(s.num_allocs, 1, "reuse must not count as an alloc");
+        assert_eq!(s.blocks_reused, 1);
+        assert_eq!(s.bytes_zeroing_elided, 800 * 4);
+    }
+
+    #[test]
+    fn reuse_respects_storage_class() {
+        let mut s = MemStore::new();
+        let a = s.alloc(ElemType::F32, 64);
+        s.release(a);
+        let b = s.alloc(ElemType::F64, 64);
+        assert_ne!(b, a, "f64 request must not take an f32 block");
+        let c = s.alloc(ElemType::F32, 64);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn bool_and_i64_share_a_class() {
+        let mut s = MemStore::new();
+        let a = s.alloc(ElemType::I64, 32);
+        s.release(a);
+        let b = s.alloc(ElemType::Bool, 32);
+        assert_eq!(b, a);
+        assert_eq!(s.elem(b), ElemType::Bool);
+    }
+
+    #[test]
+    fn growth_within_capacity_reuses_and_zeroes_tail() {
+        let mut s = MemStore::new();
+        let a = s.alloc(ElemType::I64, 100);
+        {
+            let r = s.raw(a);
+            let sl = unsafe { std::slice::from_raw_parts_mut(r.ptr as *mut i64, r.len) };
+            sl.fill(7);
+        }
+        s.release(a);
+        // 100 elements leave capacity >= 100; 60 fits in the same bucket.
+        let b = s.alloc(ElemType::I64, 60);
+        assert_eq!(b, a);
+        s.release(b);
+        let c = s.alloc(ElemType::I64, 100);
+        assert_eq!(c, a);
+        let r = s.raw(c);
+        let sl = unsafe { std::slice::from_raw_parts(r.ptr as *const i64, r.len) };
+        // Prefix keeps stale contents (zeroing elided), grown tail is zeroed.
+        assert!(sl[..60].iter().all(|&x| x == 7));
+        assert!(sl[60..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn double_release_is_a_noop() {
+        let mut s = MemStore::new();
+        let a = s.alloc(ElemType::F32, 16);
+        s.release(a);
+        s.release(a);
+        let b = s.alloc(ElemType::F32, 16);
+        let c = s.alloc(ElemType::F32, 16);
+        assert_eq!(b, a);
+        assert_ne!(c, a, "one release must grant at most one reuse");
+    }
+
+    #[test]
+    fn release_all_live_recycles_everything() {
+        let mut s = MemStore::new();
+        let a = s.alloc(ElemType::F32, 10);
+        let b = s.alloc(ElemType::F64, 10);
+        s.release_all_live();
+        assert_eq!(s.alloc(ElemType::F32, 10), a);
+        assert_eq!(s.alloc(ElemType::F64, 10), b);
+        assert_eq!(s.num_allocs, 2);
+        assert_eq!(s.blocks_reused, 2);
     }
 }

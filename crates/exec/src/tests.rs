@@ -391,6 +391,172 @@ fn iota_and_scalar_reads() {
     assert_eq!(out[0].as_i64s(), &[6, 6]);
 }
 
+/// Chained copies without hoisting: each intermediate dies right after
+/// feeding the next copy, so the release plan must let the store recycle
+/// one block into the next allocation instead of growing the heap
+/// linearly with the chain length.
+#[test]
+fn release_plan_recycles_chained_intermediates() {
+    let chain = 8usize;
+    let mut b = Builder::new("chain_recycle");
+    let n = b.scalar_param("qn", ElemType::I64);
+    let a = b.array_param("qA", ElemType::F32, vec![p(n)]);
+    let mut body = b.block();
+    let mut cur = a;
+    for k in 0..chain {
+        cur = body.copy(&format!("c{k}"), cur);
+    }
+    let blk = body.finish(vec![cur]);
+    let prog = b.finish(blk);
+    let mut env = Env::new();
+    env.assume_ge(n, 1);
+    let compiled = compile(
+        &prog,
+        &Options {
+            short_circuit: false,
+            env,
+            hoist: false, // keep each alloc next to its copy
+            ..Options::default()
+        },
+    )
+    .unwrap();
+    let kernels = KernelRegistry::new();
+    let data: Vec<f32> = (0..64).map(|i| i as f32).collect();
+    let inputs = vec![InputValue::I64(64), InputValue::ArrayF32(data.clone())];
+    let (out, stats) =
+        run_program(&compiled.program, &inputs, &kernels, Mode::Memory, 1).unwrap();
+    assert_eq!(out[0].as_f32s(), &data[..]);
+    assert!(
+        (stats.num_allocs as usize) < chain,
+        "chain of {chain} copies must recycle blocks, got {} fresh allocs",
+        stats.num_allocs
+    );
+    assert!(stats.blocks_reused > 0);
+    assert!(stats.bytes_zeroing_elided > 0);
+}
+
+/// A store reused across runs (one `Session`) must produce bit-identical
+/// outputs to a fresh store — recycled blocks skip zero-filling, so this
+/// is the test that programs fully write before they read — while serving
+/// the repeat run's allocations entirely from the free list.
+#[test]
+fn session_reuse_is_equivalence_preserving() {
+    let mut kernels = KernelRegistry::new();
+    kernels.register("rev_row", |ctx| {
+        let w = ctx.arg_i64(0);
+        let inp = ctx.inputs[0].row(ctx.i);
+        for j in 0..w {
+            ctx.out.set_f32(&[j], inp.get_f32(&[w - 1 - j]));
+        }
+    });
+    let mut b = Builder::new("session_rows");
+    let n = b.scalar_param("wn", ElemType::I64);
+    let src = b.array_param("wsrc", ElemType::F32, vec![p(n), c(16)]);
+    let mut body = b.block();
+    let out = body.map_kernel(
+        "revd",
+        "rev_row",
+        p(n),
+        vec![c(16)],
+        ElemType::F32,
+        vec![src],
+        vec![ScalarExp::i64(16)],
+    );
+    let blk = body.finish(vec![out]);
+    let prog = b.finish(blk);
+    let mut env = Env::new();
+    env.assume_ge(n, 1);
+    // Unopt: the mapnest pays private row buffers — extra allocations the
+    // reused session must recycle.
+    let compiled = compile(
+        &prog,
+        &Options {
+            short_circuit: false,
+            env,
+            ..Options::default()
+        },
+    )
+    .unwrap();
+    let rows = 12usize;
+    let data: Vec<f32> = (0..rows * 16).map(|i| (i as f32).sin()).collect();
+    let inputs = vec![InputValue::I64(rows as i64), InputValue::ArrayF32(data)];
+    let (fresh_out, fresh_stats) =
+        crate::Session::new().run(&compiled.program, &inputs, &kernels, Mode::Memory, 2).unwrap();
+    assert!(fresh_stats.num_allocs > 0);
+    let mut session = crate::Session::new();
+    let (first, _) = session
+        .run(&compiled.program, &inputs, &kernels, Mode::Memory, 2)
+        .unwrap();
+    let (second, warm_stats) = session
+        .run(&compiled.program, &inputs, &kernels, Mode::Memory, 2)
+        .unwrap();
+    for ((a, b_), c_) in fresh_out.iter().zip(&first).zip(&second) {
+        assert!(a.approx_eq(b_, 0.0), "fresh vs reused-session run 1");
+        assert!(a.approx_eq(c_, 0.0), "fresh vs reused-session run 2");
+    }
+    assert_eq!(
+        warm_stats.num_allocs, 0,
+        "steady-state run must be served entirely from the free list"
+    );
+    assert!(warm_stats.blocks_reused > 0);
+    assert!(warm_stats.bytes_zeroing_elided > 0);
+}
+
+/// Randomized equivalence of the tiered access plans: flat accesses
+/// through a classified view must agree with the general
+/// unrank-then-index path for arbitrary (single and chained) LMADs.
+#[test]
+fn access_plans_match_generic_indexing() {
+    use arraymem_lmad::{ConcreteIxFn, ConcreteLmad};
+    use arraymem_symbolic::Rng64;
+    let mut r = Rng64::new(0xACCE55);
+    let mut plans_seen = std::collections::HashSet::new();
+    for case in 0..500 {
+        let rank = r.usize_in(3) + 1;
+        let dims: Vec<(i64, i64)> = (0..rank)
+            .map(|_| (r.i64_in(1, 5), r.i64_in(-6, 7)))
+            .collect();
+        let mut l = ConcreteLmad { offset: 0, dims };
+        // Shift so every touched offset is non-negative, then bound.
+        let pts = l.points();
+        let lo = pts.iter().copied().min().unwrap();
+        l.offset = r.i64_in(0, 4) - lo.min(0);
+        let ixfn = if r.chance(0.25) {
+            // Chain through an intermediate reshape-style LMAD.
+            let n = l.num_points();
+            let outer = ConcreteLmad { offset: l.offset, dims: l.dims.clone() };
+            ConcreteIxFn {
+                lmads: vec![outer, ConcreteLmad::row_major(&[n])],
+            }
+        } else {
+            ConcreteIxFn::from_lmad(l)
+        };
+        let n = ixfn.num_elems();
+        let max_off = ixfn.all_offsets().into_iter().max().unwrap_or(0);
+        let mut store = crate::store::MemStore::new();
+        let block = store.alloc_f32((0..=max_off).map(|i| i as f32 * 0.5).collect());
+        let view = crate::view::View::new(store.raw(block), ixfn.clone());
+        plans_seen.insert(format!("{:?}", std::mem::discriminant(&ixfn.classify())));
+        for f in 0..n {
+            let expect = {
+                let shape = ixfn.shape();
+                let mut idx = vec![0i64; shape.len()];
+                arraymem_lmad::concrete::unrank(f, &shape, &mut idx);
+                ixfn.index(&idx)
+            };
+            assert_eq!(
+                view.get_f32_flat(f),
+                expect as f32 * 0.5,
+                "case {case}: flat {f} disagrees for {ixfn:?}"
+            );
+        }
+    }
+    assert!(
+        plans_seen.len() >= 3,
+        "the generator must exercise several access tiers, saw {plans_seen:?}"
+    );
+}
+
 /// Regression (code review): bool arrays go through the VM's 64-bit
 /// integer accessors; storage must be word-sized or writes corrupt the
 /// heap.

@@ -11,15 +11,25 @@
 //! explicit bounds checks.
 
 use crate::store::RawBuf;
+use arraymem_lmad::concrete::AccessClass;
 use arraymem_lmad::{ConcreteIxFn, ConcreteLmad};
 
 #[derive(Clone)]
 struct ViewCore {
     buf: RawBuf,
     ixfn: ConcreteIxFn,
+    /// Access tier, classified once at view creation: flat accesses
+    /// through contiguous and row-contiguous views cost a few integer ops
+    /// instead of a full LMAD-chain evaluation per element.
+    plan: AccessClass,
 }
 
 impl ViewCore {
+    fn new(buf: RawBuf, ixfn: ConcreteIxFn) -> ViewCore {
+        let plan = ixfn.classify();
+        ViewCore { buf, ixfn, plan }
+    }
+
     #[inline]
     fn offset(&self, idx: &[i64]) -> usize {
         let off = if let Some(l) = self.ixfn.as_single() {
@@ -35,7 +45,16 @@ impl ViewCore {
 
     #[inline]
     fn offset_flat(&self, flat: i64) -> usize {
-        let off = self.ixfn.index_flat(flat);
+        let off = match self.plan {
+            AccessClass::Contiguous { base } => base + flat,
+            AccessClass::RowContiguous {
+                base,
+                row_stride,
+                inner,
+            } => base + (flat / inner) * row_stride + flat % inner,
+            AccessClass::Strided => self.ixfn.lmads[0].offset_of_flat(flat),
+            AccessClass::General => self.ixfn.index_flat(flat),
+        };
         debug_assert!(off >= 0);
         let off = off as usize;
         assert!(off < self.buf.len, "view access out of bounds");
@@ -84,7 +103,7 @@ macro_rules! typed_access {
 impl View {
     pub fn new(buf: RawBuf, ixfn: ConcreteIxFn) -> View {
         View {
-            core: ViewCore { buf, ixfn },
+            core: ViewCore::new(buf, ixfn),
         }
     }
 
@@ -156,10 +175,7 @@ impl View {
     /// A sub-view with the outer dimension fixed at `i`.
     pub fn row(&self, i: i64) -> View {
         View {
-            core: ViewCore {
-                buf: self.core.buf,
-                ixfn: fix_outer(&self.core.ixfn, i),
-            },
+            core: ViewCore::new(self.core.buf, fix_outer(&self.core.ixfn, i)),
         }
     }
 }
@@ -167,7 +183,7 @@ impl View {
 impl ViewMut {
     pub fn new(buf: RawBuf, ixfn: ConcreteIxFn) -> ViewMut {
         ViewMut {
-            core: ViewCore { buf, ixfn },
+            core: ViewCore::new(buf, ixfn),
         }
     }
 
@@ -284,10 +300,7 @@ impl ViewMut {
 
     pub fn row(&self, i: i64) -> ViewMut {
         ViewMut {
-            core: ViewCore {
-                buf: self.core.buf,
-                ixfn: fix_outer(&self.core.ixfn, i),
-            },
+            core: ViewCore::new(self.core.buf, fix_outer(&self.core.ixfn, i)),
         }
     }
 
@@ -376,26 +389,47 @@ fn copy_generic<T: Copy>(dst: &ViewMut, src: &View, n: i64) {
         }
         return;
     }
-    // Iterate the outer dims, stream the innermost.
+    // Iterate the outer dims, stream the innermost. When both innermost
+    // strides are 1 (row-contiguous on both sides — e.g. copying a bar of
+    // a rebased matrix) each run is a single `memcpy`.
     let inner = shape[rank - 1];
     let (s_in, d_in) = (sl.dims[rank - 1].1, dl.dims[rank - 1].1);
+    let rows_contiguous = s_in == 1 && d_in == 1 && inner > 0;
     let outer: i64 = shape[..rank - 1].iter().product();
     let mut idx = vec![0i64; rank];
     for _ in 0..outer.max(1) {
         idx[rank - 1] = 0;
         let mut so = sl.apply(&idx);
         let mut do_ = dl.apply(&idx);
-        for _ in 0..inner {
+        if rows_contiguous {
             assert!(
-                so >= 0 && (so as usize) < src.core.buf.len && do_ >= 0 && (do_ as usize) < dst.core.buf.len,
+                so >= 0
+                    && (so + inner) as usize <= src.core.buf.len
+                    && do_ >= 0
+                    && (do_ + inner) as usize <= dst.core.buf.len,
                 "copy out of bounds"
             );
+            // memmove, not memcpy: src and dst may be views of one block.
             unsafe {
-                *(dst.core.buf.ptr as *mut T).add(do_ as usize) =
-                    *(src.core.buf.ptr as *const T).add(so as usize);
+                std::ptr::copy(
+                    (src.core.buf.ptr as *const T).add(so as usize),
+                    (dst.core.buf.ptr as *mut T).add(do_ as usize),
+                    inner as usize,
+                );
             }
-            so += s_in;
-            do_ += d_in;
+        } else {
+            for _ in 0..inner {
+                assert!(
+                    so >= 0 && (so as usize) < src.core.buf.len && do_ >= 0 && (do_ as usize) < dst.core.buf.len,
+                    "copy out of bounds"
+                );
+                unsafe {
+                    *(dst.core.buf.ptr as *mut T).add(do_ as usize) =
+                        *(src.core.buf.ptr as *const T).add(so as usize);
+                }
+                so += s_in;
+                do_ += d_in;
+            }
         }
         // Increment the outer counter.
         for d in (0..rank - 1).rev() {

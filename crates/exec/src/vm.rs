@@ -19,6 +19,7 @@ use crate::stats::Stats;
 use crate::store::MemStore;
 use crate::value::{ArrayRef, InputValue, OutputValue, Value};
 use crate::view::{copy_view, View, ViewMut};
+use arraymem_core::ReleasePlan;
 use arraymem_ir::validate::lmad_slice_is_injective;
 use arraymem_ir::{
     BinOp, Block, Constant, ElemType, Exp, MapBody, MapExp, Program, ScalarExp, SliceSpec, Stm,
@@ -38,19 +39,89 @@ pub enum Mode {
     Pure,
 }
 
-struct Machine<'k> {
-    store: MemStore,
-    kernels: &'k KernelRegistry,
+struct Machine<'a> {
+    store: &'a mut MemStore,
+    kernels: &'a KernelRegistry,
     stats: Stats,
     threads: usize,
     mode: Mode,
+    /// Where locally-allocated blocks die (computed per run from the
+    /// compiler's alias + last-use analyses); the store recycles them.
+    plan: &'a ReleasePlan,
 }
 
 type Env = HashMap<Var, Value>;
 
-/// Execute a program. `inputs` must match the parameter list. Returns the
-/// program results plus execution statistics (input loading and result
-/// extraction excluded).
+/// A reusable execution context owning the memory store. Running several
+/// programs (or the same program repeatedly, as the benchmark harness
+/// does) through one session recycles every block of run *n* into the
+/// allocations of run *n+1* via the store's free lists.
+#[derive(Default)]
+pub struct Session {
+    store: MemStore,
+}
+
+impl Session {
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Execute a program. `inputs` must match the parameter list. Returns
+    /// the program results plus execution statistics (input loading and
+    /// result extraction excluded).
+    pub fn run(
+        &mut self,
+        prog: &Program,
+        inputs: &[InputValue],
+        kernels: &KernelRegistry,
+        mode: Mode,
+        threads: usize,
+    ) -> Result<(Vec<OutputValue>, Stats), String> {
+        let plan = ReleasePlan::compute(prog);
+        let mut m = Machine {
+            store: &mut self.store,
+            kernels,
+            stats: Stats::default(),
+            threads: threads.max(1),
+            mode,
+            plan: &plan,
+        };
+        let mut env: Env = HashMap::new();
+        if inputs.len() != prog.params.len() {
+            return Err(format!(
+                "expected {} inputs, got {}",
+                prog.params.len(),
+                inputs.len()
+            ));
+        }
+        for ((v, ty), input) in prog.params.iter().zip(inputs) {
+            load_param(&mut m, &mut env, *v, ty, input)?;
+        }
+        // Only the body execution is measured.
+        m.store.bytes_allocated = 0;
+        m.store.num_allocs = 0;
+        m.store.blocks_reused = 0;
+        m.store.bytes_zeroing_elided = 0;
+        let t0 = Instant::now();
+        m.exec_block(&prog.body, &mut env)?;
+        m.stats.total_time = t0.elapsed();
+        m.stats.bytes_allocated = m.store.bytes_allocated;
+        m.stats.num_allocs = m.store.num_allocs;
+        m.stats.blocks_reused = m.store.blocks_reused;
+        m.stats.bytes_zeroing_elided = m.store.bytes_zeroing_elided;
+        let mut out = Vec::with_capacity(prog.body.result.len());
+        for v in &prog.body.result {
+            out.push(extract(&mut m, env.get(v).ok_or("missing result")?));
+        }
+        let stats = m.stats;
+        // Results are extracted (deep-copied) above; everything the run
+        // allocated can feed the next run's allocations.
+        self.store.release_all_live();
+        Ok((out, stats))
+    }
+}
+
+/// Execute a program in a one-shot [`Session`].
 pub fn run_program(
     prog: &Program,
     inputs: &[InputValue],
@@ -58,37 +129,7 @@ pub fn run_program(
     mode: Mode,
     threads: usize,
 ) -> Result<(Vec<OutputValue>, Stats), String> {
-    let mut m = Machine {
-        store: MemStore::new(),
-        kernels,
-        stats: Stats::default(),
-        threads: threads.max(1),
-        mode,
-    };
-    let mut env: Env = HashMap::new();
-    if inputs.len() != prog.params.len() {
-        return Err(format!(
-            "expected {} inputs, got {}",
-            prog.params.len(),
-            inputs.len()
-        ));
-    }
-    for ((v, ty), input) in prog.params.iter().zip(inputs) {
-        load_param(&mut m, &mut env, *v, ty, input)?;
-    }
-    // Only the body execution is measured.
-    m.store.bytes_allocated = 0;
-    m.store.num_allocs = 0;
-    let t0 = Instant::now();
-    m.exec_block(&prog.body, &mut env)?;
-    m.stats.total_time = t0.elapsed();
-    m.stats.bytes_allocated = m.store.bytes_allocated;
-    m.stats.num_allocs = m.store.num_allocs;
-    let mut out = Vec::with_capacity(prog.body.result.len());
-    for v in &prog.body.result {
-        out.push(extract(&mut m, env.get(v).ok_or("missing result")?));
-    }
-    Ok((out, m.stats))
+    Session::new().run(prog, inputs, kernels, mode, threads)
 }
 
 fn load_param(
@@ -190,8 +231,15 @@ fn extract(m: &mut Machine, v: &Value) -> OutputValue {
 
 impl Machine<'_> {
     fn exec_block(&mut self, block: &Block, env: &mut Env) -> Result<(), String> {
-        for stm in &block.stms {
+        let plan = self.plan;
+        for (k, stm) in block.stms.iter().enumerate() {
             self.exec_stm(stm, env)?;
+            // Return blocks that just saw their last use to the free list.
+            for mv in plan.after(block, k) {
+                if let Some(Value::Mem(id)) = env.get(mv) {
+                    self.store.release(*id);
+                }
+            }
         }
         Ok(())
     }
@@ -484,7 +532,7 @@ impl Machine<'_> {
                 };
                 let temp_raw = temp_block.map(|b| self.store.raw(b));
                 let t0 = Instant::now();
-                parallel_for_worker(workers, width, |i, w| {
+                let dispatched = parallel_for_worker(workers, width, |i, w| {
                     let row = out_view.row(i);
                     if direct {
                         let ctx = KernelCtx {
@@ -512,6 +560,12 @@ impl Machine<'_> {
                 });
                 self.stats.kernel_time += t0.elapsed();
                 self.stats.kernel_launches += width.max(0) as u64;
+                self.stats.pool_dispatches += dispatched as u64;
+                // The private-row scratch dies with the dispatch; recycle
+                // it so the next non-in-place map pays no fresh alloc.
+                if let Some(b) = temp_block {
+                    self.store.release(b);
+                }
                 if !direct {
                     let bytes = (width * row_elems).max(0) as u64 * elem.size_bytes() as u64;
                     self.stats.bytes_copied += bytes;
@@ -536,8 +590,12 @@ impl Machine<'_> {
                 let in_views: Vec<View> = in_arrays.iter().map(|a| self.view(a)).collect();
                 let out_views: Vec<ViewMut> = dsts.iter().map(|a| self.view_mut(a)).collect();
                 let t0 = Instant::now();
+                // One instance environment for the whole map: parameter
+                // bindings are overwritten per iteration, and body-local
+                // bindings are simply re-inserted before any use (cloning
+                // the full environment per element is O(width·|env|)).
+                let mut benv = env.clone();
                 for i in 0..width {
-                    let mut benv = env.clone();
                     for ((p, _), (view, a)) in
                         params.iter().zip(in_views.iter().zip(&in_arrays))
                     {

@@ -87,6 +87,19 @@ impl ConcreteLmad {
         }
         true
     }
+
+    /// Element offset of flat logical position `flat` (row-major over the
+    /// cardinalities): fused unrank + apply, no allocation. This is the
+    /// strided access plan's inner loop.
+    #[inline]
+    pub fn offset_of_flat(&self, mut flat: i64) -> i64 {
+        let mut off = self.offset;
+        for &(c, s) in self.dims.iter().rev() {
+            off += flat.rem_euclid(c) * s;
+            flat = flat.div_euclid(c);
+        }
+        off
+    }
 }
 
 /// Unrank a flat offset `x` into the row-major index space of `shape`.
@@ -98,6 +111,29 @@ pub fn unrank(mut x: i64, shape: &[i64], out: &mut [i64]) {
         out[d] = x.rem_euclid(c);
         x = x.div_euclid(c);
     }
+}
+
+/// The access tier of a concrete index function, classified **once** at
+/// view creation so per-element address computation costs a couple of
+/// integer ops instead of re-deriving the LMAD structure per access.
+///
+/// Ordered from fastest to most general:
+///
+/// - [`AccessClass::Contiguous`]: flat position `f` lives at `base + f` —
+///   kernels get plain slices, copies get `memcpy`.
+/// - [`AccessClass::RowContiguous`]: rows are contiguous but the outer
+///   dimension strides arbitrarily (e.g. a rebased sub-matrix):
+///   `base + (f / inner)·row_stride + f mod inner`.
+/// - [`AccessClass::Strided`]: one LMAD, general strides — fused
+///   unrank+apply with no allocation.
+/// - [`AccessClass::General`]: an LMAD chain (paper Fig. 3), applied
+///   last-to-first.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessClass {
+    Contiguous { base: i64 },
+    RowContiguous { base: i64, row_stride: i64, inner: i64 },
+    Strided,
+    General,
 }
 
 /// A concrete index function: a chain of LMADs, applied last-to-first with
@@ -144,10 +180,9 @@ impl ConcreteIxFn {
     pub fn index(&self, idx: &[i64]) -> i64 {
         let mut x = self.lmads.last().unwrap().apply(idx);
         for k in (0..self.lmads.len() - 1).rev() {
-            let l = &self.lmads[k];
-            let mut tmp = vec![0i64; l.rank()];
-            unrank(x, &l.shape(), &mut tmp);
-            x = l.apply(&tmp);
+            // Unranking over an LMAD's own cardinalities followed by
+            // `apply` is exactly `offset_of_flat` — no scratch index.
+            x = self.lmads[k].offset_of_flat(x);
         }
         x
     }
@@ -155,10 +190,44 @@ impl ConcreteIxFn {
     /// Map a flat logical position (row-major over the logical shape) to
     /// the element offset in the memory block.
     pub fn index_flat(&self, flat: i64) -> i64 {
-        let shape = self.shape();
-        let mut idx = vec![0i64; shape.len()];
-        unrank(flat, &shape, &mut idx);
-        self.index(&idx)
+        let mut x = self.lmads.last().unwrap().offset_of_flat(flat);
+        for k in (0..self.lmads.len() - 1).rev() {
+            x = self.lmads[k].offset_of_flat(x);
+        }
+        x
+    }
+
+    /// Classify the index function into its access tier (done **once**
+    /// per view; see [`AccessClass`]). Degenerate cardinalities (zero or
+    /// negative) fall back to [`AccessClass::Strided`].
+    pub fn classify(&self) -> AccessClass {
+        let Some(l) = self.as_single() else {
+            return AccessClass::General;
+        };
+        if l.dims.is_empty() {
+            return AccessClass::Contiguous { base: l.offset };
+        }
+        // Are dims[1..] row-major contiguous? Then `inner` (their point
+        // count) is the contiguous row length.
+        let mut inner = 1i64;
+        for &(c, s) in l.dims[1..].iter().rev() {
+            if s != inner || c <= 0 {
+                return AccessClass::Strided;
+            }
+            inner *= c;
+        }
+        let (c0, s0) = l.dims[0];
+        if c0 <= 0 {
+            return AccessClass::Strided;
+        }
+        if s0 == inner {
+            return AccessClass::Contiguous { base: l.offset };
+        }
+        AccessClass::RowContiguous {
+            base: l.offset,
+            row_stride: s0,
+            inner,
+        }
     }
 
     /// `Some(base)` iff logical position `flat` maps to `base + flat` for

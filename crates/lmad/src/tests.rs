@@ -1,8 +1,7 @@
 use crate::aggregate::{aggregate, Summary};
 use crate::overlap::{non_overlap, non_overlap_traced};
 use crate::{Dim, IndexFn, Lmad, Transform, TripletSlice};
-use arraymem_symbolic::{sym, Env, Poly, Sym};
-use proptest::prelude::*;
+use arraymem_symbolic::{sym, Env, Poly, Rng64, Sym};
 
 fn v(name: &str) -> Poly {
     Poly::var(sym(name))
@@ -441,39 +440,43 @@ fn summary_disjointness() {
 // Property tests
 // ---------------------------------------------------------------------
 
-/// Strategy: a small concrete LMAD with 1..=3 dims.
-fn arb_lmad() -> impl Strategy<Value = Lmad> {
-    (
-        0i64..30,
-        proptest::collection::vec((1i64..5, -8i64..9), 1..=3),
-    )
-        .prop_map(|(off, dims)| {
-            Lmad::new(
-                c(off),
-                dims.into_iter().map(|(card, s)| dim(c(card), c(s))).collect(),
-            )
-        })
+/// Generator: a small concrete LMAD with 1..=3 dims (hand-rolled; seeds
+/// make failures reproducible and keep the offline build framework-free).
+fn arb_lmad(r: &mut Rng64) -> Lmad {
+    let off = r.i64_in(0, 30);
+    let rank = r.i64_incl(1, 3);
+    let dims = (0..rank)
+        .map(|_| dim(c(r.i64_in(1, 5)), c(r.i64_in(-8, 9))))
+        .collect();
+    Lmad::new(c(off), dims)
 }
 
-proptest! {
-    /// Soundness of `non_overlap`: a `true` verdict implies the concrete
-    /// point sets are actually disjoint.
-    #[test]
-    fn prop_non_overlap_sound(a in arb_lmad(), b in arb_lmad()) {
+/// Soundness of `non_overlap`: a `true` verdict implies the concrete
+/// point sets are actually disjoint.
+#[test]
+fn prop_non_overlap_sound() {
+    let mut r = Rng64::new(0x4F1A);
+    for _ in 0..400 {
+        let a = arb_lmad(&mut r);
+        let b = arb_lmad(&mut r);
         let env = Env::new();
         if non_overlap(&a, &b, &env) {
             let pa: std::collections::HashSet<i64> =
                 a.eval(&|_| None).unwrap().points().into_iter().collect();
             let pb = b.eval(&|_| None).unwrap().points();
             for p in pb {
-                prop_assert!(!pa.contains(&p), "claimed disjoint, share {p}\n a={a:?}\n b={b:?}");
+                assert!(!pa.contains(&p), "claimed disjoint, share {p}\n a={a:?}\n b={b:?}");
             }
         }
     }
+}
 
-    /// Normalization preserves the point set.
-    #[test]
-    fn prop_normalize_preserves_set(a in arb_lmad()) {
+/// Normalization preserves the point set.
+#[test]
+fn prop_normalize_preserves_set() {
+    let mut r = Rng64::new(0x2E9D);
+    for _ in 0..400 {
+        let a = arb_lmad(&mut r);
         let env = Env::new();
         if let Some(n) = a.normalize_set(&env) {
             let mut pa = a.eval(&|_| None).unwrap().points();
@@ -482,20 +485,23 @@ proptest! {
             pa.dedup();
             pn.sort_unstable();
             pn.dedup();
-            prop_assert_eq!(pa, pn);
+            assert_eq!(pa, pn, "normalize changed point set of {a:?}");
         }
     }
+}
 
-    /// Aggregation over-approximates the concrete union.
-    #[test]
-    fn prop_aggregate_overapproximates(off_k in 1i64..6, card in 1i64..4,
-                                       stride in 1i64..4, count in 1i64..5) {
+/// Aggregation over-approximates the concrete union.
+#[test]
+fn prop_aggregate_overapproximates() {
+    let mut r = Rng64::new(0xA66E);
+    for _ in 0..200 {
+        let off_k = r.i64_in(1, 6);
+        let card = r.i64_in(1, 4);
+        let stride = r.i64_in(1, 4);
+        let count = r.i64_in(1, 5);
         let mut env = Env::new();
         env.assume_ge(sym("agg_i"), 0);
-        let l = Lmad::new(
-            v("agg_i") * c(off_k),
-            vec![dim(c(card), c(stride))],
-        );
+        let l = Lmad::new(v("agg_i") * c(off_k), vec![dim(c(card), c(stride))]);
         let a = aggregate(&l, sym("agg_i"), &c(count), &env).unwrap();
         let union: std::collections::HashSet<i64> = (0..count)
             .flat_map(|i| {
@@ -506,34 +512,42 @@ proptest! {
             .collect();
         let agg: std::collections::HashSet<i64> =
             a.eval(&|_| None).unwrap().points().into_iter().collect();
-        prop_assert!(union.is_subset(&agg));
+        assert!(union.is_subset(&agg));
     }
+}
 
-    /// Transformed index functions agree with the semantic transformation
-    /// on a dense array: permutation.
-    #[test]
-    fn prop_permute_semantics(rows in 1i64..6, cols in 1i64..6) {
-        let a = IndexFn::row_major(&[c(rows), c(cols)]);
-        let t = a.transform(&Transform::Permute(vec![1, 0])).unwrap();
-        let ct = t.eval(&|_| None).unwrap();
-        for i in 0..cols {
-            for j in 0..rows {
-                prop_assert_eq!(ct.index(&[i, j]), j * cols + i);
+/// Transformed index functions agree with the semantic transformation
+/// on a dense array: permutation.
+#[test]
+fn prop_permute_semantics() {
+    for rows in 1i64..6 {
+        for cols in 1i64..6 {
+            let a = IndexFn::row_major(&[c(rows), c(cols)]);
+            let t = a.transform(&Transform::Permute(vec![1, 0])).unwrap();
+            let ct = t.eval(&|_| None).unwrap();
+            for i in 0..cols {
+                for j in 0..rows {
+                    assert_eq!(ct.index(&[i, j]), j * cols + i);
+                }
             }
         }
     }
+}
 
-    /// Reshape-of-anything agrees with flat row-major traversal of the
-    /// logical elements.
-    #[test]
-    fn prop_reshape_semantics(rows in 1i64..5, cols in 1i64..5) {
-        let a = IndexFn::row_major(&[c(rows), c(cols)]);
-        let rev = a.transform(&Transform::Reverse(1)).unwrap();
-        let f = rev.transform(&Transform::Reshape(vec![c(rows * cols)])).unwrap();
-        let cf = f.eval(&|_| None).unwrap();
-        let cr = rev.eval(&|_| None).unwrap();
-        for i in 0..rows * cols {
-            prop_assert_eq!(cf.index(&[i]), cr.index(&[i / cols, i % cols]));
+/// Reshape-of-anything agrees with flat row-major traversal of the
+/// logical elements.
+#[test]
+fn prop_reshape_semantics() {
+    for rows in 1i64..5 {
+        for cols in 1i64..5 {
+            let a = IndexFn::row_major(&[c(rows), c(cols)]);
+            let rev = a.transform(&Transform::Reverse(1)).unwrap();
+            let f = rev.transform(&Transform::Reshape(vec![c(rows * cols)])).unwrap();
+            let cf = f.eval(&|_| None).unwrap();
+            let cr = rev.eval(&|_| None).unwrap();
+            for i in 0..rows * cols {
+                assert_eq!(cf.index(&[i]), cr.index(&[i / cols, i % cols]));
+            }
         }
     }
 }

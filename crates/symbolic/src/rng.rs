@@ -1,0 +1,102 @@
+//! A tiny deterministic PRNG (splitmix64) for workload generation and
+//! randomized tests.
+//!
+//! The repository builds with no third-party crates so it compiles offline
+//! (see README "Offline build"); this module replaces the `rand` /
+//! `proptest` sampling the seed code used. Determinism is load-bearing:
+//! the reference implementation and the compiled program must see
+//! byte-identical inputs, and test failures must reproduce from a seed.
+
+/// Splitmix64: tiny, fast, passes BigCrush for this use (test-input
+/// generation, not cryptography).
+#[derive(Clone, Debug)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    pub fn new(seed: u64) -> Rng64 {
+        Rng64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = (hi as i128 - lo as i128) as u128;
+        lo + (self.next_u64() as u128 % span) as i64
+    }
+
+    /// Uniform in `[lo, hi]` (inclusive).
+    pub fn i64_incl(&mut self, lo: i64, hi: i64) -> i64 {
+        self.i64_in(lo, hi + 1)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn usize_in(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range [0, 0)");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform f32 in `[lo, hi)`.
+    pub fn f32_in(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (self.f64_unit() as f32) * (hi - lo)
+    }
+
+    /// True with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64_unit() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = Rng64::new(42);
+        let mut b = Rng64::new(42);
+        for _ in 0..1000 {
+            let x = a.i64_in(-5, 17);
+            assert_eq!(x, b.i64_in(-5, 17));
+            assert!((-5..17).contains(&x));
+        }
+        let mut c = Rng64::new(7);
+        for _ in 0..1000 {
+            let f = c.f32_in(0.25, 0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u = c.f64_unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut r = Rng64::new(3);
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2600..3400).contains(&hits), "got {hits}");
+    }
+}

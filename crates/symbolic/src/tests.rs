@@ -1,5 +1,4 @@
-use crate::{sym, Env, Poly, Sym};
-use proptest::prelude::*;
+use crate::{sym, Env, Poly, Rng64, Sym};
 
 fn v(name: &str) -> Poly {
     Poly::var(sym(name))
@@ -148,12 +147,20 @@ fn env_prove_eq_via_rewriting() {
     assert!(!env.prove_eq(&v("n"), &v("q")));
 }
 
-proptest! {
-    /// Addition/multiplication on polynomials must agree with evaluation.
-    #[test]
-    fn prop_eval_homomorphism(a0 in -20i64..20, a1 in -20i64..20, a2 in -20i64..20,
-                              b0 in -20i64..20, b1 in -20i64..20, b2 in -20i64..20,
-                              x in -50i64..50, y in -50i64..50) {
+// ---------------------------------------------------------------------
+// Randomized properties (hand-rolled generators; seeds make every
+// failure reproducible, and no third-party framework is needed for the
+// offline build).
+// ---------------------------------------------------------------------
+
+/// Addition/multiplication on polynomials must agree with evaluation.
+#[test]
+fn prop_eval_homomorphism() {
+    let mut r = Rng64::new(0xE7A1);
+    for _ in 0..300 {
+        let (a0, a1, a2) = (r.i64_in(-20, 20), r.i64_in(-20, 20), r.i64_in(-20, 20));
+        let (b0, b1, b2) = (r.i64_in(-20, 20), r.i64_in(-20, 20), r.i64_in(-20, 20));
+        let (x, y) = (r.i64_in(-50, 50), r.i64_in(-50, 50));
         let p = c(a0) + v("px") * c(a1) + v("py") * c(a2);
         let q = c(b0) + v("px") * c(b1) + v("px") * v("py") * c(b2);
         let lookup = |s: Sym| {
@@ -161,30 +168,40 @@ proptest! {
         };
         let pv = p.eval(lookup).unwrap();
         let qv = q.eval(lookup).unwrap();
-        prop_assert_eq!((p.clone() + q.clone()).eval(lookup).unwrap(), pv + qv);
-        prop_assert_eq!((p.clone() - q.clone()).eval(lookup).unwrap(), pv - qv);
-        prop_assert_eq!((p.clone() * q.clone()).eval(lookup).unwrap(), pv * qv);
-        prop_assert_eq!((-p.clone()).eval(lookup).unwrap(), -pv);
+        assert_eq!((p.clone() + q.clone()).eval(lookup).unwrap(), pv + qv);
+        assert_eq!((p.clone() - q.clone()).eval(lookup).unwrap(), pv - qv);
+        assert_eq!((p.clone() * q.clone()).eval(lookup).unwrap(), pv * qv);
+        assert_eq!((-p.clone()).eval(lookup).unwrap(), -pv);
     }
+}
 
-    /// Substitution commutes with evaluation.
-    #[test]
-    fn prop_subst_eval(a in -9i64..9, b in -9i64..9, xval in -20i64..20) {
+/// Substitution commutes with evaluation.
+#[test]
+fn prop_subst_eval() {
+    let mut r = Rng64::new(0x5B57);
+    for _ in 0..300 {
+        let (a, b, xval) = (r.i64_in(-9, 9), r.i64_in(-9, 9), r.i64_in(-20, 20));
         let p = v("sx") * v("sx") * c(a) + v("sx") * c(b) + c(1);
         let repl = v("sy") + c(3);
         let s = p.subst(sym("sx"), &repl);
         let lookup = |sm: Sym| if sm == sym("sy") { Some(xval) } else { None };
-        let direct = p.eval(|sm| if sm == sym("sx") { Some(xval + 3) } else { None }).unwrap();
-        prop_assert_eq!(s.eval(lookup).unwrap(), direct);
+        let direct = p
+            .eval(|sm| if sm == sym("sx") { Some(xval + 3) } else { None })
+            .unwrap();
+        assert_eq!(s.eval(lookup).unwrap(), direct);
     }
+}
 
-    /// Soundness of the prover: whenever `prove_nonneg` succeeds, the
-    /// polynomial really is non-negative for all assignments satisfying the
-    /// assumptions (tested on sampled assignments).
-    #[test]
-    fn prop_prover_sound(c0 in -6i64..6, c1 in -6i64..6, c2 in -6i64..6,
-                         lo_a in 0i64..4, lo_b in 0i64..4,
-                         a in 0i64..12, b in 0i64..12) {
+/// Soundness of the prover: whenever `prove_nonneg` succeeds, the
+/// polynomial really is non-negative for all assignments satisfying the
+/// assumptions (tested on sampled assignments).
+#[test]
+fn prop_prover_sound() {
+    let mut r = Rng64::new(0x9047);
+    for _ in 0..500 {
+        let (c0, c1, c2) = (r.i64_in(-6, 6), r.i64_in(-6, 6), r.i64_in(-6, 6));
+        let (lo_a, lo_b) = (r.i64_in(0, 4), r.i64_in(0, 4));
+        let (a, b) = (r.i64_in(0, 12), r.i64_in(0, 12));
         let p = c(c0) + v("pa") * c(c1) + v("pa") * v("pb") * c(c2);
         let mut env = Env::new();
         env.assume_ge(sym("pa"), lo_a);
@@ -192,10 +209,12 @@ proptest! {
         if env.prove_nonneg(&p) {
             let av = lo_a + a;
             let bv = lo_b + b;
-            let val = p.eval(|s| {
-                if s == sym("pa") { Some(av) } else if s == sym("pb") { Some(bv) } else { None }
-            }).unwrap();
-            prop_assert!(val >= 0, "prover claimed nonneg but p({av},{bv}) = {val}");
+            let val = p
+                .eval(|s| {
+                    if s == sym("pa") { Some(av) } else if s == sym("pb") { Some(bv) } else { None }
+                })
+                .unwrap();
+            assert!(val >= 0, "prover claimed nonneg but p({av},{bv}) = {val}");
         }
     }
 }

@@ -1,22 +1,21 @@
 //! Deterministic input generation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use arraymem_symbolic::Rng64;
 
 /// A seeded RNG so every run (and the reference vs compiled comparison)
 /// sees identical inputs.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> Rng64 {
+    Rng64::new(seed)
 }
 
 pub fn f32s(seed: u64, n: usize, lo: f32, hi: f32) -> Vec<f32> {
     let mut r = rng(seed);
-    (0..n).map(|_| r.gen_range(lo..hi)).collect()
+    (0..n).map(|_| r.f32_in(lo, hi)).collect()
 }
 
 pub fn i64s(seed: u64, n: usize, lo: i64, hi: i64) -> Vec<i64> {
     let mut r = rng(seed);
-    (0..n).map(|_| r.gen_range(lo..hi)).collect()
+    (0..n).map(|_| r.i64_in(lo, hi)).collect()
 }
 
 /// The NW "similarity matrix" stand-in: a cheap deterministic function of

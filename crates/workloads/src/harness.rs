@@ -1,7 +1,7 @@
 //! The common benchmark-case shape and measurement helpers.
 
 use arraymem_core::{compile, Compiled, Options};
-use arraymem_exec::{run_program, InputValue, KernelRegistry, Mode, OutputValue, Stats};
+use arraymem_exec::{InputValue, KernelRegistry, Mode, OutputValue, Session, Stats};
 use arraymem_ir::Program;
 use arraymem_symbolic::Env;
 use std::time::Duration;
@@ -41,16 +41,23 @@ impl Case {
         .unwrap_or_else(|e| panic!("{}/{}: compile failed: {e}", self.name, self.dataset))
     }
 
-    /// Run a compiled variant once.
+    /// Run a compiled variant once in a fresh session.
     pub fn run(&self, compiled: &Compiled) -> (Vec<OutputValue>, Stats) {
-        run_program(
-            &compiled.program,
-            &self.inputs,
-            &self.kernels,
-            Mode::Memory,
-            arraymem_exec::pool::default_threads(),
-        )
-        .unwrap_or_else(|e| panic!("{}/{}: run failed: {e}", self.name, self.dataset))
+        self.run_in(&mut Session::new(), compiled)
+    }
+
+    /// Run a compiled variant in an existing session, so this run's
+    /// allocations recycle blocks released by earlier runs.
+    pub fn run_in(&self, session: &mut Session, compiled: &Compiled) -> (Vec<OutputValue>, Stats) {
+        session
+            .run(
+                &compiled.program,
+                &self.inputs,
+                &self.kernels,
+                Mode::Memory,
+                arraymem_exec::pool::default_threads(),
+            )
+            .unwrap_or_else(|e| panic!("{}/{}: run failed: {e}", self.name, self.dataset))
     }
 
     /// Validate all three versions against each other. Returns the unopt
@@ -121,7 +128,7 @@ impl Measurement {
 /// the program-body execution time (input upload and result download are
 /// excluded, as GPU benchmarks exclude host transfers).
 fn average_body_time<F: FnMut() -> Duration>(runs: usize, mut f: F) -> Duration {
-    let runs = runs.max(2);
+    let runs = runs.max(1);
     f(); // warm-up, discarded
     let mut total = Duration::ZERO;
     for _ in 0..runs {
@@ -130,27 +137,33 @@ fn average_body_time<F: FnMut() -> Duration>(runs: usize, mut f: F) -> Duration 
     total / runs as u32
 }
 
-/// Measure one case: reference vs unopt vs opt.
+/// Measure one case: reference vs unopt vs opt. Each compiled variant
+/// runs inside one persistent [`Session`], the way a GPU benchmark reuses
+/// one device context: after the discarded warm-up, every run's
+/// allocations are served from the blocks the previous run released. The
+/// reported stats are those of the final (steady-state) run.
 pub fn measure_case(case: &Case) -> Measurement {
     let unopt = case.compile(false);
     let opt = case.compile(true);
-    let (_, unopt_stats) = case.run(&unopt);
-    let (_, opt_stats) = case.run(&opt);
     let reference = average_body_time(case.runs, || {
         let (t, out) = (case.reference)(&case.inputs);
         std::hint::black_box(out);
         t
     });
-    let unopt_t = average_body_time(case.runs, || {
-        let (out, stats) = case.run(&unopt);
-        std::hint::black_box(out);
-        stats.total_time
-    });
-    let opt_t = average_body_time(case.runs, || {
-        let (out, stats) = case.run(&opt);
-        std::hint::black_box(out);
-        stats.total_time
-    });
+    let measure_variant = |compiled: &Compiled| {
+        let mut session = Session::new();
+        let mut last_stats: Option<Stats> = None;
+        let t = average_body_time(case.runs, || {
+            let (out, stats) = case.run_in(&mut session, compiled);
+            std::hint::black_box(out);
+            let t = stats.total_time;
+            last_stats = Some(stats);
+            t
+        });
+        (t, last_stats.expect("at least one measured run"))
+    };
+    let (unopt_t, unopt_stats) = measure_variant(&unopt);
+    let (opt_t, opt_stats) = measure_variant(&opt);
     Measurement {
         name: case.name.clone(),
         dataset: case.dataset.clone(),

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate, runnable on an air-gapped machine.
+#
+# The workspace has no external dependencies, so everything below works
+# with an empty cargo registry (--offline). Run from the repo root:
+#
+#   scripts/verify.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== tests (offline) =="
+cargo test --release --offline --workspace -q
+
+echo "== smoke tables (tiny datasets, one measured run each) =="
+cargo run --release --offline -p arraymem-bench --bin tables -- --smoke
+
+echo "== verify: OK =="

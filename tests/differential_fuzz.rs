@@ -14,10 +14,7 @@ use arraymem_core::{compile, Options};
 use arraymem_exec::{run_program, KernelRegistry, Mode, OutputValue};
 use arraymem_ir::{BinOp, Builder, ElemType, Program, ScalarExp, SliceSpec, Var};
 use arraymem_lmad::{Transform, TripletSlice};
-use arraymem_symbolic::{Env, Poly};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use arraymem_symbolic::{Env, Poly, Rng64};
 
 fn c(x: i64) -> Poly {
     Poly::constant(x)
@@ -34,7 +31,7 @@ struct GenArray {
 struct Gen {
     body: arraymem_ir::builder::BlockBuilder,
     pool: Vec<GenArray>,
-    rng: StdRng,
+    rng: Rng64,
     next_class: usize,
     fill: i64,
 }
@@ -49,7 +46,7 @@ impl Gen {
         if self.pool.is_empty() {
             return None;
         }
-        let i = self.rng.gen_range(0..self.pool.len());
+        let i = self.rng.usize_in(self.pool.len());
         Some(self.pool[i].clone())
     }
 
@@ -63,7 +60,7 @@ impl Gen {
         if cands.is_empty() {
             return None;
         }
-        Some(cands[self.rng.gen_range(0..cands.len())].clone())
+        Some(cands[self.rng.usize_in(cands.len())].clone())
     }
 
     fn replicate(&mut self, shape: Vec<i64>) -> GenArray {
@@ -79,20 +76,20 @@ impl Gen {
     }
 
     fn random_shape(&mut self) -> Vec<i64> {
-        let rank = self.rng.gen_range(1..=2);
-        (0..rank).map(|_| self.rng.gen_range(1..=5)).collect()
+        let rank = self.rng.i64_incl(1, 2);
+        (0..rank).map(|_| self.rng.i64_incl(1, 5)).collect()
     }
 
     /// One random statement; pushes results into the pool.
     fn step(&mut self) {
-        match self.rng.gen_range(0..9u32) {
+        match self.rng.i64_in(0, 9) {
             0 => {
                 let shape = self.random_shape();
                 let a = self.replicate(shape);
                 self.pool.push(a);
             }
             1 => {
-                let n = self.rng.gen_range(1..=8i64);
+                let n = self.rng.i64_incl(1, 8);
                 let v = self.body.iota("g_iota", c(n));
                 let class = self.fresh_class();
                 self.pool.push(GenArray { var: v, shape: vec![n], class });
@@ -117,7 +114,7 @@ impl Gen {
             }
             4 => {
                 if let Some(src) = self.pick() {
-                    let d = self.rng.gen_range(0..src.shape.len());
+                    let d = self.rng.usize_in(src.shape.len());
                     let v = self.body.transform("g_rev", src.var, Transform::Reverse(d));
                     self.pool.push(GenArray { var: v, shape: src.shape, class: src.class });
                 }
@@ -128,10 +125,10 @@ impl Gen {
                     let mut ts = Vec::new();
                     let mut shape = Vec::new();
                     for &d in &src.shape {
-                        let start = self.rng.gen_range(0..d);
-                        let step = if d - start >= 3 && self.rng.gen_bool(0.3) { 2 } else { 1 };
+                        let start = self.rng.i64_in(0, d);
+                        let step = if d - start >= 3 && self.rng.chance(0.3) { 2 } else { 1 };
                         let max_len = (d - start + step - 1) / step;
-                        let len = self.rng.gen_range(1..=max_len);
+                        let len = self.rng.i64_incl(1, max_len);
                         ts.push(TripletSlice::range(c(start), c(len), c(step)));
                         shape.push(len);
                     }
@@ -186,13 +183,13 @@ impl Gen {
                 let mut ts = Vec::new();
                 let mut sshape = Vec::new();
                 for &d in &dst.shape {
-                    let start = self.rng.gen_range(0..d);
-                    let len = self.rng.gen_range(1..=d - start);
+                    let start = self.rng.i64_in(0, d);
+                    let len = self.rng.i64_incl(1, d - start);
                     ts.push(TripletSlice::range(c(start), c(len), c(1)));
                     sshape.push(len);
                 }
                 let src = self.replicate(sshape.clone());
-                let src_var = if sshape.len() == 1 && self.rng.gen_bool(0.4) {
+                let src_var = if sshape.len() == 1 && self.rng.chance(0.4) {
                     // A layout transform between the fresh array and the
                     // circuit point exercises web rebasing.
                     
@@ -202,7 +199,7 @@ impl Gen {
                 };
                 // Occasionally keep the source visible afterwards so the
                 // last-use condition sometimes fails.
-                if self.rng.gen_bool(0.25) {
+                if self.rng.chance(0.25) {
                     self.pool.push(GenArray {
                         var: src_var,
                         shape: sshape,
@@ -227,7 +224,7 @@ fn random_program(seed: u64, len: usize) -> Option<Program> {
     let mut g = Gen {
         body: bld.block(),
         pool: Vec::new(),
-        rng: StdRng::seed_from_u64(seed),
+        rng: Rng64::new(seed),
         next_class: 0,
         fill: 0,
     };
@@ -288,25 +285,26 @@ fn run_all_modes(prog: &Program) -> (Vec<OutputValue>, Vec<OutputValue>, Vec<Out
     (pure_out, u_out, o_out, u_stats.bytes_copied, o_stats.bytes_copied)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// The paper's central invariant, fuzzed: every random program means
-    /// the same thing under pure semantics, unoptimized memory semantics,
-    /// and short-circuited memory semantics — and the optimizer never
-    /// increases copy traffic.
-    #[test]
-    fn prop_three_way_equivalence(seed in any::<u64>(), len in 3usize..16) {
-        let Some(prog) = random_program(seed, len) else { return Ok(()); };
+/// The paper's central invariant, fuzzed: every random program means
+/// the same thing under pure semantics, unoptimized memory semantics,
+/// and short-circuited memory semantics — and the optimizer never
+/// increases copy traffic. (Hand-rolled sampling; each case prints its
+/// seed on failure so it reproduces exactly.)
+#[test]
+fn prop_three_way_equivalence() {
+    let mut meta = Rng64::new(0xD1FF);
+    for _ in 0..200 {
+        let seed = meta.next_u64();
+        let len = meta.usize_in(13) + 3;
+        let Some(prog) = random_program(seed, len) else { continue };
         arraymem_ir::validate::validate(&prog)
             .expect("generator must produce valid programs");
         let (pure_out, u_out, o_out, u_copied, o_copied) = run_all_modes(&prog);
-        prop_assert_eq!(&pure_out, &u_out, "pure vs unopt (seed {})", seed);
-        prop_assert_eq!(&pure_out, &o_out, "pure vs opt (seed {})", seed);
-        prop_assert!(
+        assert_eq!(pure_out, u_out, "pure vs unopt (seed {seed}, len {len})");
+        assert_eq!(pure_out, o_out, "pure vs opt (seed {seed}, len {len})");
+        assert!(
             o_copied <= u_copied,
-            "optimizer increased copies ({} > {}) for seed {}",
-            o_copied, u_copied, seed
+            "optimizer increased copies ({u_copied} -> {o_copied}) for seed {seed}"
         );
     }
 }

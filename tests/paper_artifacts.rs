@@ -57,11 +57,17 @@ fn fig10_block_counts() {
     assert_eq!(grid_count(lud, 'R'), 16);
 }
 
-/// The quick table harness runs end to end for every table.
+/// The quick table harness runs end to end for every table, and the
+/// mechanism rows carry the substrate counters.
 #[test]
 fn all_tables_quick() {
     for spec in arraymem_bench::all_tables() {
-        let out = arraymem_bench::tables::run_table(&spec, true);
+        let out = arraymem_bench::tables::run_table(&spec, arraymem_bench::RunMode::Quick);
         assert!(out.contains("Opt. Impact"), "table {} malformed", spec.number);
+        assert!(
+            out.contains("blocks_reused") && out.contains("pool_dispatches"),
+            "table {} lacks substrate mechanism rows",
+            spec.number
+        );
     }
 }
