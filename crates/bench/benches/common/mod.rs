@@ -23,7 +23,7 @@ pub fn sample<F: FnMut()>(mut f: F) -> Duration {
 /// Benchmark ref/unopt/opt for every (quick-sized) dataset of one table's
 /// benchmark, printing one line per variant.
 pub fn bench_table(benchmark: &'static str) {
-    for case in table_cases(benchmark, true) {
+    for case in table_cases(benchmark, true).expect("known benchmark") {
         let unopt = case.compile(false);
         let opt = case.compile(true);
         let group = format!("{}/{}", case.name, case.dataset);

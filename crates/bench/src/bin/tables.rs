@@ -6,18 +6,24 @@
 //! tables --smoke         # tiny datasets, one measured run each (CI)
 //! tables --table N       # one table
 //! tables --figures       # print the figure artifacts instead
+//! tables --check         # run cases under the checked-mode sanitizer
+//!                        # instead of measuring; exit 1 on any finding
 //! ```
 
-use arraymem_bench::tables::{all_tables, run_table, RunMode};
+use arraymem_bench::tables::{all_tables, check_table, run_table, RunMode};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     for (i, a) in args.iter().enumerate() {
         let is_table_arg = i > 0 && args[i - 1] == "--table";
-        if !is_table_arg && !matches!(a.as_str(), "--quick" | "--smoke" | "--figures" | "--table")
+        if !is_table_arg
+            && !matches!(
+                a.as_str(),
+                "--quick" | "--smoke" | "--figures" | "--table" | "--check"
+            )
         {
             eprintln!("error: unknown argument {a:?}");
-            eprintln!("usage: tables [--quick] [--smoke] [--table N] [--figures]");
+            eprintln!("usage: tables [--quick] [--smoke] [--table N] [--figures] [--check]");
             std::process::exit(2);
         }
     }
@@ -46,12 +52,40 @@ fn main() {
             std::process::exit(2);
         }
     }
+    let check = args.iter().any(|a| a == "--check");
+    let mut total_findings = 0u64;
     for spec in all_tables() {
         if let Some(t) = only {
             if spec.number != t {
                 continue;
             }
         }
-        println!("{}", run_table(&spec, mode));
+        if check {
+            match check_table(&spec, mode) {
+                Ok((report, findings)) => {
+                    print!("{report}");
+                    total_findings += findings;
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            match run_table(&spec, mode) {
+                Ok(s) => println!("{s}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    if check {
+        if total_findings > 0 {
+            eprintln!("checked mode: {total_findings} sanitizer findings");
+            std::process::exit(1);
+        }
+        println!("checked mode: all cases clean");
     }
 }

@@ -23,11 +23,16 @@ pub fn all_tables() -> Vec<TableSpec> {
     ]
 }
 
+/// The benchmark names [`table_cases`] accepts, in table order.
+pub const KNOWN_BENCHMARKS: [&str; 7] =
+    ["nw", "lud", "hotspot", "lbm", "optionpricing", "locvolcalib", "nn"];
+
 /// Build the cases (all datasets) for one table. `quick` shrinks datasets
-/// for smoke runs.
-pub fn table_cases(benchmark: &str, quick: bool) -> Vec<Case> {
+/// for smoke runs. Unknown names produce an error listing the known ones
+/// (benchmark lists reach this from the command line).
+pub fn table_cases(benchmark: &str, quick: bool) -> Result<Vec<Case>, String> {
     use arraymem_workloads as w;
-    match benchmark {
+    Ok(match benchmark {
         "nw" => {
             if quick {
                 vec![w::nw::case("256", 16, 16, 2)]
@@ -98,8 +103,13 @@ pub fn table_cases(benchmark: &str, quick: bool) -> Vec<Case> {
                     .collect()
             }
         }
-        other => panic!("unknown benchmark {other}"),
-    }
+        other => {
+            return Err(format!(
+                "unknown benchmark {other:?}; known benchmarks: {}",
+                KNOWN_BENCHMARKS.join(", ")
+            ))
+        }
+    })
 }
 
 /// Render measurements in the paper's column format:
@@ -173,13 +183,61 @@ pub enum RunMode {
 }
 
 /// Measure and render one table end to end.
-pub fn run_table(spec: &TableSpec, mode: RunMode) -> String {
-    let mut cases = table_cases(spec.benchmark, mode != RunMode::Full);
+pub fn run_table(spec: &TableSpec, mode: RunMode) -> Result<String, String> {
+    let mut cases = table_cases(spec.benchmark, mode != RunMode::Full)?;
     if mode == RunMode::Smoke {
         for c in &mut cases {
             c.runs = 1;
         }
     }
     let rows: Vec<Measurement> = cases.iter().map(measure_case).collect();
-    format!("{}{}", render_table(spec, &rows), render_mechanism(&rows))
+    Ok(format!("{}{}", render_table(spec, &rows), render_mechanism(&rows)))
+}
+
+/// Run one table's cases under the checked-mode sanitizer instead of
+/// measuring them (the `tables --check` path): each optimized case runs
+/// twice through one session (the second run exercises recycled stale
+/// blocks), with every short-circuit decision concretely cross-checked.
+/// Returns the rendered report and the total number of findings.
+pub fn check_table(spec: &TableSpec, mode: RunMode) -> Result<(String, u64), String> {
+    let cases = table_cases(spec.benchmark, mode != RunMode::Full)?;
+    let mut s = format!("CHECK {} — {}\n", roman(spec.number), spec.title);
+    let mut findings = 0u64;
+    for case in &cases {
+        let stats = case.validate_checked();
+        let n = stats.diagnostics.len() as u64 + stats.diagnostics_suppressed;
+        findings += n;
+        s.push_str(&format!(
+            "  {:<10} {:>12} cells checked | {:>4} circuit checks verified | {} diagnostics\n",
+            case.dataset, stats.cells_checked, stats.circuits_verified, n
+        ));
+        for d in &stats.diagnostics {
+            s.push_str(&format!("    {d}\n"));
+        }
+    }
+    Ok((s, findings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_benchmark_is_an_error_listing_known_names() {
+        let err = match table_cases("nwe", true) {
+            Err(e) => e,
+            Ok(_) => panic!("'nwe' must not resolve to a benchmark"),
+        };
+        assert!(err.contains("unknown benchmark \"nwe\""), "{err}");
+        for known in KNOWN_BENCHMARKS {
+            assert!(err.contains(known), "error must list {known}: {err}");
+        }
+        // And every advertised name actually resolves.
+        for known in KNOWN_BENCHMARKS {
+            match table_cases(known, true) {
+                Ok(cases) => assert!(!cases.is_empty()),
+                Err(e) => panic!("{known} must resolve: {e}"),
+            }
+        }
+    }
 }

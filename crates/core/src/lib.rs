@@ -29,7 +29,7 @@ pub mod short_circuit;
 
 pub use memtable::MemTable;
 pub use release::ReleasePlan;
-pub use short_circuit::{CandidateOutcome, Report};
+pub use short_circuit::{CandidateOutcome, CircuitCheck, Report};
 
 use arraymem_ir::Program;
 use arraymem_symbolic::Env;
@@ -51,6 +51,11 @@ pub struct Options {
     /// memory (§V-A(e)). Disabling keeps the per-instance private-row
     /// copy even where it is provably unnecessary.
     pub mapnest_in_place: bool,
+    /// **Test-only mutation hook.** Approve short-circuit candidates past
+    /// a failing write check, producing deliberately illegal elisions;
+    /// the checked VM's sanitizer must catch them (see
+    /// [`short_circuit::short_circuit_force_unsafe`]).
+    pub force_unsafe_short_circuit: bool,
 }
 
 impl Default for Options {
@@ -60,6 +65,7 @@ impl Default for Options {
             env: Env::default(),
             hoist: true,
             mapnest_in_place: true,
+            force_unsafe_short_circuit: false,
         }
     }
 }
@@ -78,7 +84,9 @@ pub fn compile(prog: &Program, opts: &Options) -> Result<Compiled, String> {
     if opts.hoist {
         hoist::hoist_allocations(&mut p);
     }
-    let report = if opts.short_circuit {
+    let report = if opts.short_circuit && opts.force_unsafe_short_circuit {
+        short_circuit::short_circuit_force_unsafe(&mut p, &opts.env, opts.mapnest_in_place)
+    } else if opts.short_circuit {
         short_circuit::short_circuit_with(&mut p, &opts.env, opts.mapnest_in_place)
     } else {
         Report::default()

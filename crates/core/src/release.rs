@@ -64,6 +64,24 @@ impl ReleasePlan {
         plan
     }
 
+    /// **Test-only mutation hook.** A deliberately wrong plan: every
+    /// release scheduled after statement `k+1` fires after statement `k`
+    /// instead — one statement *before* the last-use analysis allows. A
+    /// block whose final use is a read therefore gets recycled while that
+    /// read is still pending, which the checked VM's use-after-release
+    /// detector must flag (mutation-style self-test of both the plan and
+    /// the sanitizer).
+    pub fn compute_skewed_early(prog: &Program) -> ReleasePlan {
+        let mut plan = ReleasePlan::compute(prog);
+        for rel in plan.per_block.values_mut() {
+            for k in 0..rel.len().saturating_sub(1) {
+                let moved = std::mem::take(&mut rel[k + 1]);
+                rel[k].extend(moved);
+            }
+        }
+        plan
+    }
+
     /// Memory variables to release after statement `stm_idx` of `block`.
     pub fn after(&self, block: &Block, stm_idx: usize) -> &[Var] {
         self.per_block

@@ -55,6 +55,29 @@ pub struct CandidateOutcome {
     pub succeeded: bool,
     /// "ok" or the reason the analysis failed (conservatively).
     pub reason: String,
+    /// For successful candidates whose summaries stayed finite: the
+    /// symbolic footprints behind the non-overlap verdict, for the checked
+    /// VM to re-verify against concrete sizes at runtime.
+    pub check: Option<CircuitCheck>,
+}
+
+/// The evidence behind one successful short-circuit: the write footprint
+/// of the rebased web (`W_bs`) and the recorded later uses of the
+/// destination memory (`U_xss`), both symbolic. The checked VM evaluates
+/// every pair under the run's concrete sizes and asserts disjointness —
+/// a dynamic cross-check of the static test of §V-C.
+#[derive(Clone, Debug)]
+pub struct CircuitCheck {
+    /// Root array of the short-circuited web.
+    pub root: String,
+    /// Name bound by the circuit-point statement.
+    pub stm: String,
+    /// Destination memory block variable.
+    pub dst_block: Var,
+    /// `W_bs`: everything the rebased web writes.
+    pub writes: Vec<Lmad>,
+    /// `U_xss`: uses of the destination memory after the fresh definition.
+    pub uses: Vec<Lmad>,
 }
 
 /// Aggregate report of a short-circuiting run.
@@ -72,6 +95,11 @@ impl Report {
 
     pub fn failures(&self) -> usize {
         self.candidates.len() - self.successes()
+    }
+
+    /// Runtime cross-checks recorded by successful candidates.
+    pub fn checks(&self) -> impl Iterator<Item = &CircuitCheck> {
+        self.candidates.iter().filter_map(|c| c.check.as_ref())
     }
 }
 
@@ -100,6 +128,8 @@ struct Candidate {
     finished: bool,
     /// Statement index of the fresh definition, once found.
     finished_at: Option<usize>,
+    /// Set when the force-unsafe hook skipped a failing write check.
+    forced: bool,
 }
 
 impl Candidate {
@@ -124,6 +154,10 @@ struct Ctx {
     overlay: HashMap<Var, MemBinding>,
     /// Elisions to apply: (block-id, stm idx, action).
     report: Report,
+    /// Test-only mutation hook: approve candidates past a failing write
+    /// check, producing deliberately illegal elisions for the checked VM's
+    /// sanitizer to catch.
+    force_unsafe: bool,
 }
 
 impl Ctx {
@@ -143,6 +177,22 @@ pub fn short_circuit(prog: &mut Program, env: &Env) -> Report {
 /// As [`short_circuit`], with the mapnest in-place post-pass switchable
 /// (for ablations).
 pub fn short_circuit_with(prog: &mut Program, env: &Env, mapnest_in_place: bool) -> Report {
+    drive(prog, env, mapnest_in_place, false)
+}
+
+/// **Test-only mutation hook.** As [`short_circuit_with`], but a write
+/// check that fails the non-overlap test does *not* fail the candidate:
+/// the resulting program contains a deliberately illegal elision, and the
+/// checked VM's sanitizer must catch it (mutation-style self-test).
+pub fn short_circuit_force_unsafe(
+    prog: &mut Program,
+    env: &Env,
+    mapnest_in_place: bool,
+) -> Report {
+    drive(prog, env, mapnest_in_place, true)
+}
+
+fn drive(prog: &mut Program, env: &Env, mapnest_in_place: bool, force_unsafe: bool) -> Report {
     let am = aliases(prog);
     let mut bindings = HashMap::new();
     crate::introduce::collect_bindings(&prog.body, &mut bindings);
@@ -162,6 +212,7 @@ pub fn short_circuit_with(prog: &mut Program, env: &Env, mapnest_in_place: bool)
         bindings,
         overlay: HashMap::new(),
         report: Report::default(),
+        force_unsafe,
     };
     // Arrays escaping as program results can still be destinations; nothing
     // special is needed in live_after beyond the result classes (handled by
@@ -356,6 +407,7 @@ fn analyze_stms(
                     failed: None,
                     finished: true,
                     finished_at: None,
+                    forced: false,
                 },
             );
             process_stm(
@@ -372,6 +424,31 @@ fn analyze_stms(
             // Publish a successful finish immediately so transitive
             // chaining (Fig. 6a) sees the rebased destination.
             if cand.finished && cand.failed.is_none() {
+                // This rebase vacates the blocks its web vars lived in.
+                // Any other candidate whose *destination* is one of those
+                // blocks baked index functions (and footprint summaries)
+                // for cells that no longer back the destination arrays:
+                // its elision would write into dead memory. Failing it
+                // merely keeps the copy, which is always sound.
+                let vacated: HashSet<Var> = cand
+                    .rebased
+                    .iter()
+                    .filter_map(|(v, mb)| {
+                        ctx.binding(*v)
+                            .and_then(|old| (old.block != mb.block).then_some(old.block))
+                    })
+                    .collect();
+                for (cj, other) in cands.iter_mut().enumerate() {
+                    if cj == ci || other.failed.is_some() {
+                        continue;
+                    }
+                    if vacated.contains(&other.dst_block) {
+                        for v in other.rebased.keys() {
+                            ctx.overlay.remove(v);
+                        }
+                        other.fail("destination memory was itself short-circuited away");
+                    }
+                }
                 for (v, mb) in &cand.rebased {
                     ctx.overlay.insert(*v, mb.clone());
                 }
@@ -385,18 +462,37 @@ fn analyze_stms(
     // Apply successful candidates.
     for cand in cands {
         let succeeded = cand.finished && cand.failed.is_none();
-        let reason = if succeeded {
-            "ok".to_string()
-        } else {
+        let reason = if !succeeded {
             cand.failed
                 .clone()
                 .unwrap_or_else(|| "fresh definition not found in scope".into())
+        } else if cand.forced {
+            "ok (forced past a failing write check)".to_string()
+        } else {
+            "ok".to_string()
+        };
+        // Record the concrete evidence for the checked VM: both summaries
+        // must have stayed finite sets for the footprints to be checkable.
+        let check = if succeeded {
+            match (cand.writes_bs.lmads(), cand.uses_dst.lmads()) {
+                (Some(w), Some(u)) => Some(CircuitCheck {
+                    root: format!("{}", cand.root),
+                    stm: format!("{}", block.stms[cand.circuit_at].pat[0].var),
+                    dst_block: cand.dst_block,
+                    writes: w.to_vec(),
+                    uses: u.to_vec(),
+                }),
+                _ => None,
+            }
+        } else {
+            None
         };
         ctx.report.candidates.push(CandidateOutcome {
             root: format!("{}", cand.root),
             kind: cand.kind,
             succeeded,
             reason,
+            check,
         });
         if !succeeded {
             continue;
@@ -451,6 +547,7 @@ fn create_candidates(
                     failed: reason,
                     finished: false,
                     finished_at: None,
+                    forced: false,
                 });
             };
             if ctx.am.same_class(*src, *dst) {
@@ -516,10 +613,14 @@ fn create_candidates(
                 }
                 if ctx.am.same_class(a, res)
                     || used_after(block, k, a, live_after, &ctx.am)
-                    || args[..a_idx].contains(&a)
+                    || args
+                        .iter()
+                        .enumerate()
+                        .any(|(j, &b)| j != a_idx && ctx.am.same_class(a, b))
                 {
-                    // Not lastly used here (e.g. `concat bs bs`: only one of
-                    // the two uses can be a last use — footnote 17).
+                    // Not lastly used here (e.g. `concat bs bs`, or two args
+                    // aliasing one web: eliding both would rebase the same
+                    // memory to two destinations — footnote 17).
                     continue;
                 }
                 // Rebased index function: rows [offset, offset+len) of res.
@@ -550,6 +651,7 @@ fn create_candidates(
                     failed: None,
                     finished: false,
                     finished_at: None,
+                    forced: false,
                 });
             }
         }
@@ -634,12 +736,17 @@ fn process_stm(
 }
 
 /// Check a region the web is about to write against the collected uses of
-/// the destination memory.
-fn check_write(cand: &mut Candidate, region: &Summary, env: &Env, what: &str) {
+/// the destination memory. With `force` (the test-only mutation hook) a
+/// failing check is recorded as `forced` instead of failing the candidate.
+fn check_write(cand: &mut Candidate, region: &Summary, env: &Env, what: &str, force: bool) {
     if !region.disjoint_from(&cand.uses_dst, env) {
-        cand.fail(format!(
-            "write via {what} may overlap later uses of the destination memory"
-        ));
+        if force {
+            cand.forced = true;
+        } else {
+            cand.fail(format!(
+                "write via {what} may overlap later uses of the destination memory"
+            ));
+        }
     }
     let mut w = cand.writes_bs.clone();
     w.union(region);
@@ -752,7 +859,7 @@ fn process_web_def(
             // The web flows through the update: dst joins the web.
             cand.rebased.insert(*dst, translated.clone());
             let region = slice_region(&translated.ixfn, slice);
-            check_write(cand, &region, env, "an in-place update");
+            check_write(cand, &region, env, "an in-place update", ctx.force_unsafe);
             if let UpdateSrc::Array(s) = src {
                 if let Some(smb) = ctx.binding(*s) {
                     if smb.block == cand.dst_block && !cand.rebased.contains_key(s) {
@@ -775,12 +882,12 @@ fn process_web_def(
         }
         Exp::Iota(_) | Exp::Replicate { .. } => {
             let region = ixfn_set(&translated.ixfn);
-            check_write(cand, &region, env, "a fresh-array fill");
+            check_write(cand, &region, env, "a fresh-array fill", ctx.force_unsafe);
             finalize(cand);
         }
         Exp::Copy(src) => {
             let region = ixfn_set(&translated.ixfn);
-            check_write(cand, &region, env, "a fresh copy");
+            check_write(cand, &region, env, "a fresh copy", ctx.force_unsafe);
             if cand.rebased.contains_key(src) {
                 cand.fail("copy source is itself the rebased region");
                 return;
@@ -797,7 +904,7 @@ fn process_web_def(
         }
         Exp::Concat { args, .. } => {
             let region = ixfn_set(&translated.ixfn);
-            check_write(cand, &region, env, "a concatenation");
+            check_write(cand, &region, env, "a concatenation", ctx.force_unsafe);
             for a in args {
                 if let Some(amb) = ctx.binding(*a) {
                     if amb.block == cand.dst_block && !cand.rebased.contains_key(a) {
@@ -817,7 +924,7 @@ fn process_web_def(
             // arbitrarily, and for every *other* iteration's row for
             // inputs read row-wise (§V-B: U(j≠i) ∩ W(i) = ∅).
             let region = ixfn_set(&translated.ixfn);
-            check_write(cand, &region, env, "a mapnest result");
+            check_write(cand, &region, env, "a mapnest result", ctx.force_unsafe);
             let whole: &[usize] = match &m.body {
                 MapBody::Kernel { whole_inputs, .. } => whole_inputs,
                 MapBody::Lambda { .. } => &[],
@@ -1034,6 +1141,7 @@ fn analyze_nested_candidate(
         failed: None,
         finished: false,
         finished_at: None,
+        forced: false,
     };
     for k in (0..block.stms.len()).rev() {
         if !child.active() {

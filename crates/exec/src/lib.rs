@@ -12,15 +12,18 @@
 //! - [`pool`]: a persistent worker pool with a chunked parallel-for
 //!   (parked workers reused across every map of every run, degrading
 //!   gracefully to inline execution on one core or small trip counts);
-//! - [`vm`]: the machine executing compiled programs. It runs in two
+//! - [`vm`]: the machine executing compiled programs. It runs in three
 //!   modes: `Memory` (obeying the compiler's memory annotations — allocs,
-//!   rebased index functions, elided copies) and `Pure` (direct value
-//!   semantics: every operation materializes a fresh dense array). `Pure`
-//!   is the semantic ground truth — the paper's guarantee that deleting
-//!   memory annotations leaves the meaning unchanged is checked by
-//!   comparing the two modes' outputs;
+//!   rebased index functions, elided copies), `Pure` (direct value
+//!   semantics: every operation materializes a fresh dense array), and
+//!   `Checked` (`Memory` under a shadow-memory sanitizer that dynamically
+//!   validates the optimizer's promises — see [`vm::Mode::Checked`]).
+//!   `Pure` is the semantic ground truth — the paper's guarantee that
+//!   deleting memory annotations leaves the meaning unchanged is checked
+//!   by comparing the modes' outputs;
 //! - [`stats`]: instrumentation — bytes allocated/copied/elided, kernel
-//!   and copy time — from which the benchmark tables are built.
+//!   and copy time, checked-mode diagnostics — from which the benchmark
+//!   tables are built.
 
 pub mod kernel;
 pub mod pool;
@@ -31,8 +34,8 @@ pub mod view;
 pub mod vm;
 
 pub use kernel::{KernelCtx, KernelRegistry};
-pub use stats::Stats;
-pub use store::MemStore;
+pub use stats::{Diagnostic, Stats};
+pub use store::{CellState, MemStore};
 pub use value::{ArrayRef, InputValue, OutputValue, Value};
 pub use view::{View, ViewMut};
 pub use vm::{run_program, Mode, Session};

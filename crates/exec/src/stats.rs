@@ -1,6 +1,91 @@
-//! Execution instrumentation.
+//! Execution instrumentation, including the checked-mode sanitizer's
+//! structured diagnostics.
 
 use std::time::Duration;
+
+/// One sanitizer finding from a `Mode::Checked` run. Every variant names
+/// the statement involved, the cell's flat offset in its memory block,
+/// and the index function(s) through which the cell was addressed —
+/// enough to debug a fuzzer counterexample without a rerun.
+#[derive(Clone, Debug)]
+pub enum Diagnostic {
+    /// A statement read a cell no statement ever wrote, in a block that
+    /// was recycled without zero-filling (validates the store's zero-fill
+    /// elision: the compiler promised the block is fully written first).
+    UninitRead {
+        /// Name bound by the reading statement.
+        stm: String,
+        block: usize,
+        /// Flat element offset within the block.
+        offset: i64,
+        /// Index function of the read.
+        ixfn: String,
+    },
+    /// A statement read a cell of a block the release plan had already
+    /// returned to the free list (the plan claimed its last use passed).
+    UseAfterRelease {
+        stm: String,
+        block: usize,
+        offset: i64,
+        ixfn: String,
+        /// Name bound by the statement after which the block was released.
+        released_after: String,
+    },
+    /// Two different iterations of one parallel map wrote the same cell —
+    /// their write footprints were supposed to be disjoint rows.
+    MapRace {
+        /// Name bound by the map statement.
+        stm: String,
+        block: usize,
+        offset: i64,
+        iter_a: i64,
+        iter_b: i64,
+        /// Index function of the map's result.
+        ixfn: String,
+    },
+    /// A short-circuited construction's concrete write footprint
+    /// intersects a recorded later-use footprint of the destination
+    /// memory — the symbolic non-overlap verdict was wrong (or forced).
+    CircuitOverlap {
+        /// Root array of the short-circuited web.
+        root: String,
+        /// Name bound by the circuit-point statement.
+        stm: String,
+        /// Smallest flat offset common to both footprints.
+        offset: i64,
+        /// Concrete LMAD the web writes through.
+        write_ixfn: String,
+        /// Concrete LMAD of the conflicting destination use.
+        use_ixfn: String,
+    },
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Diagnostic::UninitRead { stm, block, offset, ixfn } => write!(
+                f,
+                "uninitialized read: {stm} read never-written cell {offset} of recycled \
+                 block #{block} via {ixfn}"
+            ),
+            Diagnostic::UseAfterRelease { stm, block, offset, ixfn, released_after } => write!(
+                f,
+                "use after release: {stm} read cell {offset} of block #{block} via {ixfn}, \
+                 but the plan released the block after {released_after}"
+            ),
+            Diagnostic::MapRace { stm, block, offset, iter_a, iter_b, ixfn } => write!(
+                f,
+                "map race: iterations {iter_a} and {iter_b} of {stm} both write cell \
+                 {offset} of block #{block} (result index function {ixfn})"
+            ),
+            Diagnostic::CircuitOverlap { root, stm, offset, write_ixfn, use_ixfn } => write!(
+                f,
+                "short-circuit overlap: eliding {root} at {stm} writes {write_ixfn}, which \
+                 intersects destination use {use_ixfn} at offset {offset}"
+            ),
+        }
+    }
+}
 
 /// Counters and timers collected by one program execution. The benchmark
 /// tables are computed from wall time; the byte counters let tests assert
@@ -33,6 +118,18 @@ pub struct Stats {
     pub copy_time: Duration,
     /// Total execution wall time of the program body.
     pub total_time: Duration,
+    /// Checked mode: shadow cells marked or inspected.
+    pub cells_checked: u64,
+    /// Checked mode: short-circuit checks whose recorded footprints all
+    /// evaluated to concrete LMADs and came out conflict-free (every
+    /// write × later-use pair disjoint; vacuously so when the optimizer
+    /// recorded no later uses). Counted per execution of the circuit
+    /// statement's block, so loop-scoped circuits count per iteration.
+    pub circuits_verified: u64,
+    /// Checked mode: sanitizer findings (empty on a clean run).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Diagnostics dropped beyond the per-run cap.
+    pub diagnostics_suppressed: u64,
 }
 
 impl Stats {
@@ -62,6 +159,19 @@ impl std::fmt::Display for Stats {
             f,
             "kernel: {:?} ({} launches) | copy: {:?} | total: {:?}",
             self.kernel_time, self.kernel_launches, self.copy_time, self.total_time
-        )
+        )?;
+        if self.cells_checked > 0 || !self.diagnostics.is_empty() {
+            write!(
+                f,
+                "\nchecked: {} cells | {} circuit checks verified | {} diagnostics",
+                self.cells_checked,
+                self.circuits_verified,
+                self.diagnostics.len() as u64 + self.diagnostics_suppressed
+            )?;
+            for d in &self.diagnostics {
+                write!(f, "\n  {d}")?;
+            }
+        }
+        Ok(())
     }
 }

@@ -12,6 +12,32 @@
 //! ground truth.
 
 use arraymem_ir::ElemType;
+use arraymem_symbolic::Sym;
+
+/// Per-cell shadow state, tracked only while the store's shadow layer is
+/// enabled (checked mode). One entry per *element* of each block.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CellState {
+    /// Recycled without zero-fill; never written since. Reading this is
+    /// exactly the bug the zeroing elision gambles against.
+    Stale,
+    /// Zero-filled at fresh allocation (or the grown tail of a recycle).
+    Zeroed,
+    /// Program input data.
+    Input,
+    /// Written by the statement binding this name (write provenance).
+    Written(Sym),
+    /// The block was returned to the free list; any later read is a
+    /// use-after-release (the release plan claimed the last use passed).
+    Released,
+}
+
+/// Shadow bookkeeping for one block.
+struct ShadowBlock {
+    cells: Vec<CellState>,
+    /// Statement after which the release plan freed the block, if any.
+    released_by: Option<Sym>,
+}
 
 /// A typed buffer backing one memory block.
 pub enum Buffer {
@@ -166,6 +192,9 @@ pub struct MemStore {
     pub blocks_reused: u64,
     /// Bytes of `vec![0; len]` zero-fill skipped thanks to reuse.
     pub bytes_zeroing_elided: u64,
+    /// Checked-mode shadow layer: one [`ShadowBlock`] per block while
+    /// enabled, `None` otherwise (the fast modes pay nothing for it).
+    shadow: Option<Vec<ShadowBlock>>,
 }
 
 impl Default for MemStore {
@@ -184,12 +213,55 @@ impl MemStore {
             num_allocs: 0,
             blocks_reused: 0,
             bytes_zeroing_elided: 0,
+            shadow: None,
         }
+    }
+
+    /// Turn on the shadow layer. Pre-existing blocks (recycled across
+    /// runs by a session) get all-`Stale` cells: nothing written in *this*
+    /// run may be read before this run writes it.
+    pub fn enable_shadow(&mut self) {
+        self.shadow = Some(
+            self.blocks
+                .iter()
+                .map(|b| ShadowBlock { cells: vec![CellState::Stale; b.len()], released_by: None })
+                .collect(),
+        );
+    }
+
+    /// Drop the shadow layer (back to fast modes).
+    pub fn disable_shadow(&mut self) {
+        self.shadow = None;
+    }
+
+    pub fn shadow_enabled(&self) -> bool {
+        self.shadow.is_some()
+    }
+
+    /// Record that statement `writer` wrote element `off` of `block`.
+    pub fn shadow_mark(&mut self, block: usize, off: usize, writer: Sym) {
+        if let Some(sh) = &mut self.shadow {
+            sh[block].cells[off] = CellState::Written(writer);
+        }
+    }
+
+    /// The shadow state of one cell (None while the layer is off).
+    pub fn shadow_cell(&self, block: usize, off: usize) -> Option<CellState> {
+        self.shadow.as_ref().map(|sh| sh[block].cells[off])
+    }
+
+    /// The statement after which the release plan freed `block`, if the
+    /// block currently sits released with a recorded site.
+    pub fn shadow_released_by(&self, block: usize) -> Option<Sym> {
+        self.shadow.as_ref().and_then(|sh| sh[block].released_by)
     }
 
     fn fresh(&mut self, b: Buffer) -> usize {
         self.bytes_allocated += (b.len() * b.elem().size_bytes()) as u64;
         self.num_allocs += 1;
+        if let Some(sh) = &mut self.shadow {
+            sh.push(ShadowBlock { cells: vec![CellState::Zeroed; b.len()], released_by: None });
+        }
         self.blocks.push(b);
         self.live.push(true);
         self.blocks.len() - 1
@@ -227,6 +299,15 @@ impl MemStore {
             self.blocks_reused += 1;
             self.bytes_zeroing_elided += (kept * elem.size_bytes()) as u64;
             self.live[id] = true;
+            if let Some(sh) = &mut self.shadow {
+                // The surviving prefix is stale garbage; only the grown
+                // tail was freshly zeroed by `recycle_to`.
+                let s = &mut sh[id];
+                s.released_by = None;
+                s.cells.clear();
+                s.cells.resize(len, CellState::Zeroed);
+                s.cells[..kept].fill(CellState::Stale);
+            }
             return id;
         }
         self.fresh(Buffer::new(elem, len))
@@ -234,25 +315,48 @@ impl MemStore {
 
     /// Allocate a block initialized from an `f32` vector.
     pub fn alloc_f32(&mut self, data: Vec<f32>) -> usize {
-        self.fresh(Buffer::F32(data))
+        self.fresh_input(Buffer::F32(data))
     }
 
     pub fn alloc_i64(&mut self, data: Vec<i64>) -> usize {
-        self.fresh(Buffer::I64(data))
+        self.fresh_input(Buffer::I64(data))
     }
 
     pub fn alloc_f64(&mut self, data: Vec<f64>) -> usize {
-        self.fresh(Buffer::F64(data))
+        self.fresh_input(Buffer::F64(data))
+    }
+
+    /// Fresh block holding program input: every cell is legitimately
+    /// readable from the start.
+    fn fresh_input(&mut self, b: Buffer) -> usize {
+        let id = self.fresh(b);
+        if let Some(sh) = &mut self.shadow {
+            sh[id].cells.fill(CellState::Input);
+        }
+        id
     }
 
     /// Return a dead block to its free list. Safe to call twice for the
     /// same id (two memory variables can name one block after an in-place
     /// update); the second call is a no-op.
     pub fn release(&mut self, block: usize) {
+        self.release_at(block, None);
+    }
+
+    /// [`release`](MemStore::release), additionally recording (for the
+    /// shadow layer) the statement after which the release plan fired —
+    /// later reads of the block report it in their use-after-release
+    /// diagnostic.
+    pub fn release_at(&mut self, block: usize, site: Option<Sym>) {
         if !self.live[block] {
             return;
         }
         self.live[block] = false;
+        if let Some(sh) = &mut self.shadow {
+            let s = &mut sh[block];
+            s.released_by = site;
+            s.cells.fill(CellState::Released);
+        }
         let class = storage_class(self.blocks[block].elem());
         let bucket = size_bucket(self.blocks[block].capacity());
         self.free[class][bucket].push(block);
@@ -375,6 +479,46 @@ mod tests {
         let c = s.alloc(ElemType::F32, 16);
         assert_eq!(b, a);
         assert_ne!(c, a, "one release must grant at most one reuse");
+    }
+
+    #[test]
+    fn shadow_tracks_cell_lifecycle_across_recycling() {
+        use arraymem_symbolic::sym;
+        let mut s = MemStore::new();
+        s.enable_shadow();
+        // Fresh allocation: zero-filled cells.
+        let a = s.alloc(ElemType::I64, 4);
+        assert_eq!(s.shadow_cell(a, 0), Some(CellState::Zeroed));
+        // A write leaves provenance.
+        let w = sym("writer");
+        s.shadow_mark(a, 2, w);
+        assert_eq!(s.shadow_cell(a, 2), Some(CellState::Written(w)));
+        // Release records the site and poisons every cell.
+        let site = sym("last_use");
+        s.release_at(a, Some(site));
+        assert_eq!(s.shadow_cell(a, 0), Some(CellState::Released));
+        assert_eq!(s.shadow_released_by(a), Some(site));
+        // Recycling: surviving prefix is stale, grown tail (none here,
+        // the request shrinks) — and the release site is cleared.
+        let b = s.alloc(ElemType::I64, 3);
+        assert_eq!(b, a);
+        assert_eq!(s.shadow_released_by(b), None);
+        assert!((0..3).all(|i| s.shadow_cell(b, i) == Some(CellState::Stale)));
+        // Growing within capacity: zeroed tail past the kept prefix.
+        s.release(b);
+        let c = s.alloc(ElemType::I64, 4);
+        assert_eq!(c, a);
+        assert_eq!(s.shadow_cell(c, 2), Some(CellState::Stale));
+        assert_eq!(s.shadow_cell(c, 3), Some(CellState::Zeroed));
+        // Input allocations are readable everywhere.
+        let d = s.alloc_i64(vec![1, 2]);
+        assert_eq!(s.shadow_cell(d, 1), Some(CellState::Input));
+        // Disabling drops the layer entirely.
+        s.disable_shadow();
+        assert_eq!(s.shadow_cell(c, 0), None);
+        // Re-enabling marks every pre-existing block stale.
+        s.enable_shadow();
+        assert_eq!(s.shadow_cell(d, 0), Some(CellState::Stale));
     }
 
     #[test]

@@ -55,9 +55,13 @@ impl ViewCore {
             AccessClass::Strided => self.ixfn.lmads[0].offset_of_flat(flat),
             AccessClass::General => self.ixfn.index_flat(flat),
         };
-        debug_assert!(off >= 0);
+        debug_assert!(off >= 0, "negative element offset {off} (flat {flat})");
         let off = off as usize;
-        assert!(off < self.buf.len, "view access out of bounds");
+        assert!(
+            off < self.buf.len,
+            "view access out of bounds: flat {flat} -> offset {off} >= block len {}",
+            self.buf.len
+        );
         off
     }
 }

@@ -1,6 +1,6 @@
 //! The program executor.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! - [`Mode::Memory`]: obeys the compiler's memory annotations — `alloc`
 //!   statements create blocks, fresh arrays are constructed through their
@@ -12,20 +12,31 @@
 //!   the semantic ground truth: the paper's invariant that deleting memory
 //!   annotations does not change program meaning is checked by comparing
 //!   the two modes.
+//! - [`Mode::Checked`]: `Memory` semantics plus a shadow-memory sanitizer
+//!   that dynamically validates what the optimizer's static reasoning
+//!   promised: no read of a never-written cell in a recycled block (the
+//!   zero-fill elision's obligation), no read of a released block (the
+//!   last-use plan's obligation), no two map iterations writing one cell
+//!   (the in-place mapnest's obligation), and — via
+//!   [`Session::run_with_checks`] — concrete disjointness of every
+//!   footprint pair a short-circuit's symbolic non-overlap test approved.
+//!   Maps run serially for deterministic diagnostics; findings land in
+//!   [`Stats::diagnostics`] rather than aborting, so one run reports all.
 
 use crate::kernel::{KernelCtx, KernelRegistry};
 use crate::pool::parallel_for_worker;
-use crate::stats::Stats;
-use crate::store::MemStore;
+use crate::stats::{Diagnostic, Stats};
+use crate::store::{CellState, MemStore};
 use crate::value::{ArrayRef, InputValue, OutputValue, Value};
-use crate::view::{copy_view, View, ViewMut};
-use arraymem_core::ReleasePlan;
+use crate::view::{copy_view, fix_outer, View, ViewMut};
+use arraymem_core::{CircuitCheck, ReleasePlan};
 use arraymem_ir::validate::lmad_slice_is_injective;
 use arraymem_ir::{
     BinOp, Block, Constant, ElemType, Exp, MapBody, MapExp, Program, ScalarExp, SliceSpec, Stm,
     Type, UnOp, UpdateSrc, Var,
 };
-use arraymem_lmad::{ConcreteIxFn, IndexFn, Lmad, Transform, TripletSlice};
+use arraymem_lmad::{footprint_check, ConcreteIxFn, FootprintCheck, IndexFn, Lmad, Transform,
+    TripletSlice};
 use arraymem_symbolic::Poly;
 use std::collections::HashMap;
 use std::time::Instant;
@@ -37,7 +48,18 @@ pub enum Mode {
     Memory,
     /// Direct value semantics (works on any validated program).
     Pure,
+    /// `Memory` semantics under the shadow-memory sanitizer (see the
+    /// module docs). Maps run serially; expect an order-of-magnitude
+    /// slowdown — this mode exists for tests and fuzzing, not benchmarks.
+    Checked,
 }
+
+/// Findings beyond this many per run are counted, not stored.
+const MAX_DIAGNOSTICS: usize = 64;
+
+/// Short-circuit footprints larger than this many points are skipped by
+/// the runtime disjointness cross-check (enumeration would dominate).
+const FOOTPRINT_CAP: i64 = 1 << 20;
 
 struct Machine<'a> {
     store: &'a mut MemStore,
@@ -48,6 +70,13 @@ struct Machine<'a> {
     /// Where locally-allocated blocks die (computed per run from the
     /// compiler's alias + last-use analyses); the store recycles them.
     plan: &'a ReleasePlan,
+    /// Checked mode: recorded short-circuit footprints, cross-checked at
+    /// the end of each execution of the block containing the circuit
+    /// statement (so loop-scoped symbols evaluate per iteration).
+    checks: &'a [CircuitCheck],
+    /// Checked mode: first pattern variable of the executing statement —
+    /// write provenance for shadow marks, blame for diagnostics.
+    cur_stm: Option<Var>,
 }
 
 type Env = HashMap<Var, Value>;
@@ -77,14 +106,57 @@ impl Session {
         mode: Mode,
         threads: usize,
     ) -> Result<(Vec<OutputValue>, Stats), String> {
+        self.run_with_checks(prog, inputs, kernels, mode, threads, &[])
+    }
+
+    /// [`run`](Session::run), additionally cross-checking each recorded
+    /// short-circuit decision at runtime (checked mode only): the
+    /// candidate's write footprints and the destination's recorded later
+    /// uses are evaluated to concrete LMADs and every pair is proved
+    /// disjoint by enumeration, or reported as a
+    /// [`Diagnostic::CircuitOverlap`]. Pass the compile report's
+    /// [`CircuitCheck`]s (`Report::checks`).
+    pub fn run_with_checks(
+        &mut self,
+        prog: &Program,
+        inputs: &[InputValue],
+        kernels: &KernelRegistry,
+        mode: Mode,
+        threads: usize,
+        checks: &[CircuitCheck],
+    ) -> Result<(Vec<OutputValue>, Stats), String> {
         let plan = ReleasePlan::compute(prog);
+        self.run_with_plan(prog, inputs, kernels, mode, threads, checks, &plan)
+    }
+
+    /// [`run_with_checks`](Session::run_with_checks) with a caller-supplied
+    /// release plan. Tests use this to execute under a *deliberately wrong*
+    /// plan ([`ReleasePlan::compute_skewed_early`]) and assert the checked
+    /// mode's use-after-release detector fires.
+    pub fn run_with_plan(
+        &mut self,
+        prog: &Program,
+        inputs: &[InputValue],
+        kernels: &KernelRegistry,
+        mode: Mode,
+        threads: usize,
+        checks: &[CircuitCheck],
+        plan: &ReleasePlan,
+    ) -> Result<(Vec<OutputValue>, Stats), String> {
+        if mode == Mode::Checked {
+            self.store.enable_shadow();
+        } else {
+            self.store.disable_shadow();
+        }
         let mut m = Machine {
             store: &mut self.store,
             kernels,
             stats: Stats::default(),
             threads: threads.max(1),
             mode,
-            plan: &plan,
+            plan,
+            checks,
+            cur_stm: None,
         };
         let mut env: Env = HashMap::new();
         if inputs.len() != prog.params.len() {
@@ -111,6 +183,7 @@ impl Session {
         m.stats.bytes_zeroing_elided = m.store.bytes_zeroing_elided;
         let mut out = Vec::with_capacity(prog.body.result.len());
         for v in &prog.body.result {
+            m.cur_stm = Some(*v);
             out.push(extract(&mut m, env.get(v).ok_or("missing result")?));
         }
         let stats = m.stats;
@@ -212,6 +285,10 @@ fn extract(m: &mut Machine, v: &Value) -> OutputValue {
         Value::Bool(x) => OutputValue::Bool(*x),
         Value::Mem(_) => OutputValue::I64(0),
         Value::Array(a) => {
+            // Result extraction is a read like any other: never-written or
+            // already-released result cells are exactly what escapes to
+            // the caller.
+            m.check_read(a.block, &a.ixfn);
             let view = View::new(m.store.raw(a.block), a.ixfn.clone());
             let n = view.num_elems();
             match a.elem {
@@ -230,16 +307,206 @@ fn extract(m: &mut Machine, v: &Value) -> OutputValue {
 }
 
 impl Machine<'_> {
+    /// `Memory` semantics? (`Checked` is `Memory` plus the sanitizer.)
+    fn mem_like(&self) -> bool {
+        matches!(self.mode, Mode::Memory | Mode::Checked)
+    }
+
+    fn checked(&self) -> bool {
+        self.mode == Mode::Checked
+    }
+
+    /// Record a sanitizer finding (capped; the overflow is counted).
+    fn diag(&mut self, d: Diagnostic) {
+        if self.stats.diagnostics.len() < MAX_DIAGNOSTICS {
+            self.stats.diagnostics.push(d);
+        } else {
+            self.stats.diagnostics_suppressed += 1;
+        }
+    }
+
+    /// Display name of the executing statement (diagnostic blame).
+    fn stm_name(&self) -> String {
+        match self.cur_stm {
+            Some(v) => format!("{v}"),
+            None => "<unknown>".to_string(),
+        }
+    }
+
+    /// Shadow-mark every cell of `ixfn`'s footprint as written by the
+    /// executing statement. No-op outside checked mode.
+    fn mark_write(&mut self, block: usize, ixfn: &ConcreteIxFn) {
+        if !self.store.shadow_enabled() {
+            return;
+        }
+        let Some(writer) = self.cur_stm else { return };
+        let len = self.store.len(block);
+        let offs = ixfn.all_offsets();
+        self.stats.cells_checked += offs.len() as u64;
+        for off in offs {
+            if off >= 0 && (off as usize) < len {
+                self.store.shadow_mark(block, off as usize, writer);
+            }
+        }
+    }
+
+    /// Check one cell's shadow state ahead of a read; emits at most one
+    /// diagnostic. Returns `false` if the cell was unreadable.
+    fn check_cell(&mut self, block: usize, off: i64, ixfn: &ConcreteIxFn) -> bool {
+        self.stats.cells_checked += 1;
+        if off < 0 || off as usize >= self.store.len(block) {
+            return true; // the view's own bounds assert handles it
+        }
+        match self.store.shadow_cell(block, off as usize) {
+            Some(CellState::Stale) => {
+                let d = Diagnostic::UninitRead {
+                    stm: self.stm_name(),
+                    block,
+                    offset: off,
+                    ixfn: format!("{ixfn:?}"),
+                };
+                self.diag(d);
+                false
+            }
+            Some(CellState::Released) => {
+                let released_after = match self.store.shadow_released_by(block) {
+                    Some(s) => format!("{s}"),
+                    None => "<unrecorded site>".to_string(),
+                };
+                let d = Diagnostic::UseAfterRelease {
+                    stm: self.stm_name(),
+                    block,
+                    offset: off,
+                    ixfn: format!("{ixfn:?}"),
+                    released_after,
+                };
+                self.diag(d);
+                false
+            }
+            _ => true,
+        }
+    }
+
+    /// Check every cell of a read footprint; stops at the first finding
+    /// (one diagnostic per read site keeps reports legible). No-op outside
+    /// checked mode.
+    fn check_read(&mut self, block: usize, ixfn: &ConcreteIxFn) {
+        if !self.store.shadow_enabled() {
+            return;
+        }
+        for off in ixfn.all_offsets() {
+            if !self.check_cell(block, off, ixfn) {
+                return;
+            }
+        }
+    }
+
+    /// Dynamic race detector for one map statement: enumerate each
+    /// iteration's write footprint (the result index function with the
+    /// outer dimension fixed) and report the first cell two different
+    /// iterations both write. No-op outside checked mode.
+    fn race_check(&mut self, block: usize, ixfn: &ConcreteIxFn, width: i64) {
+        if !self.store.shadow_enabled() || ixfn.rank() == 0 {
+            return;
+        }
+        let mut owner: HashMap<i64, i64> = HashMap::new();
+        for i in 0..width.max(0) {
+            let row = fix_outer(ixfn, i);
+            for off in row.all_offsets() {
+                self.stats.cells_checked += 1;
+                match owner.insert(off, i) {
+                    Some(prev) if prev != i => {
+                        let d = Diagnostic::MapRace {
+                            stm: self.stm_name(),
+                            block,
+                            offset: off,
+                            iter_a: prev,
+                            iter_b: i,
+                            ixfn: format!("{ixfn:?}"),
+                        };
+                        self.diag(d);
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Cross-check the short-circuits whose circuit statement lives in
+    /// `block`, with that block's symbols in scope: evaluate the recorded
+    /// symbolic footprints and prove each (write, later-use) pair disjoint
+    /// by enumeration. Called at the end of every execution of the block,
+    /// so circuits inside loop bodies are re-verified per iteration
+    /// against that iteration's concrete offsets. Checked mode only.
+    fn verify_block_checks(&mut self, block: &Block, env: &Env) {
+        let checks = self.checks;
+        let names: Vec<String> = block
+            .stms
+            .iter()
+            .filter_map(|s| s.pat.first())
+            .map(|p| p.var.to_string())
+            .collect();
+        for c in checks {
+            if !names.iter().any(|n| *n == c.stm) {
+                continue;
+            }
+            let (writes, uses): (Vec<_>, Vec<_>) = {
+                let lookup = lookup_fn(env);
+                (
+                    c.writes.iter().filter_map(|l| l.eval(&lookup)).collect(),
+                    c.uses.iter().filter_map(|l| l.eval(&lookup)).collect(),
+                )
+            };
+            // The check only counts as verified when every recorded
+            // footprint evaluated and every pair enumerated cleanly.
+            let mut confirmed =
+                writes.len() == c.writes.len() && uses.len() == c.uses.len();
+            for w in &writes {
+                for u in &uses {
+                    match footprint_check(w, u, FOOTPRINT_CAP) {
+                        FootprintCheck::Disjoint => {}
+                        FootprintCheck::TooLarge => confirmed = false,
+                        FootprintCheck::Overlap(off) => {
+                            confirmed = false;
+                            let d = Diagnostic::CircuitOverlap {
+                                root: c.root.clone(),
+                                stm: c.stm.clone(),
+                                offset: off,
+                                write_ixfn: format!("{w:?}"),
+                                use_ixfn: format!("{u:?}"),
+                            };
+                            self.diag(d);
+                        }
+                    }
+                }
+            }
+            if confirmed {
+                self.stats.circuits_verified += 1;
+            }
+        }
+    }
+
     fn exec_block(&mut self, block: &Block, env: &mut Env) -> Result<(), String> {
         let plan = self.plan;
         for (k, stm) in block.stms.iter().enumerate() {
             self.exec_stm(stm, env)?;
             // Return blocks that just saw their last use to the free list.
+            // Checked mode records the release site: a later read of the
+            // block names the statement whose plan entry freed it.
+            let site = if self.checked() {
+                stm.pat.first().map(|p| p.var)
+            } else {
+                None
+            };
             for mv in plan.after(block, k) {
                 if let Some(Value::Mem(id)) = env.get(mv) {
-                    self.store.release(*id);
+                    self.store.release_at(*id, site);
                 }
             }
+        }
+        if self.checked() && !self.checks.is_empty() {
+            self.verify_block_checks(block, env);
         }
         Ok(())
     }
@@ -270,7 +537,7 @@ impl Machine<'_> {
             .iter()
             .map(|p| p.eval(&lookup).ok_or("unresolved shape"))
             .collect::<Result<_, _>>()?;
-        if self.mode == Mode::Memory {
+        if self.mem_like() {
             let mb = pe
                 .mem
                 .as_ref()
@@ -296,6 +563,7 @@ impl Machine<'_> {
     }
 
     fn exec_stm(&mut self, stm: &Stm, env: &mut Env) -> Result<(), String> {
+        self.cur_stm = stm.pat.first().map(|p| p.var);
         match &stm.exp {
             Exp::Scalar(se) => {
                 let v = self.eval_scalar(se, env)?;
@@ -317,6 +585,7 @@ impl Machine<'_> {
                 for i in 0..n {
                     view.set_i64_flat(i, i);
                 }
+                self.mark_write(dst.block, &dst.ixfn);
                 env.insert(stm.pat[0].var, Value::Array(dst));
             }
             Exp::Scratch { .. } => {
@@ -356,10 +625,12 @@ impl Machine<'_> {
                         }
                     }
                 }
+                self.mark_write(dst.block, &dst.ixfn);
                 env.insert(stm.pat[0].var, Value::Array(dst));
             }
             Exp::Copy(src) => {
                 let src_a = env.get(src).ok_or("copy of unbound array")?.as_array().clone();
+                self.check_read(src_a.block, &src_a.ixfn);
                 let dst = self.fresh_dest(stm, 0, env)?;
                 let sv = self.view(&src_a);
                 let dv = self.view_mut(&dst);
@@ -368,6 +639,7 @@ impl Machine<'_> {
                 self.stats.copy_time += t.elapsed();
                 self.stats.bytes_copied += bytes;
                 self.stats.num_copies += 1;
+                self.mark_write(dst.block, &dst.ixfn);
                 env.insert(stm.pat[0].var, Value::Array(dst));
             }
             Exp::Concat { args, elided } => {
@@ -376,8 +648,12 @@ impl Machine<'_> {
                 let mut row = 0i64;
                 for (a, el) in args.iter().zip(elided) {
                     let src_a = env.get(a).ok_or("concat of unbound array")?.as_array().clone();
+                    // Every argument is read (an elided one was constructed
+                    // directly in the destination — its cells must already
+                    // be written there).
+                    self.check_read(src_a.block, &src_a.ixfn);
                     let rows = src_a.ixfn.shape()[0];
-                    let elided_here = *el && self.mode == Mode::Memory;
+                    let elided_here = *el && self.mem_like();
                     if elided_here {
                         let bytes =
                             src_a.ixfn.num_elems() as u64 * src_a.elem.size_bytes() as u64;
@@ -392,6 +668,8 @@ impl Machine<'_> {
                         self.stats.copy_time += t.elapsed();
                         self.stats.bytes_copied += bytes;
                         self.stats.num_copies += 1;
+                        let sub_ix = sub.ixfn().clone();
+                        self.mark_write(dst.block, &sub_ix);
                     }
                     row += rows;
                 }
@@ -495,14 +773,15 @@ impl Machine<'_> {
                     .get(name)
                     .ok_or_else(|| format!("unregistered kernel {name}"))?
                     .clone();
-                let inputs: Vec<View> = m
+                let in_arrays: Vec<ArrayRef> = m
                     .inputs
                     .iter()
-                    .map(|v| {
-                        let a = env.get(v).ok_or("unbound map input")?.as_array().clone();
-                        Ok(self.view(&a))
-                    })
+                    .map(|v| Ok(env.get(v).ok_or("unbound map input")?.as_array().clone()))
                     .collect::<Result<_, String>>()?;
+                for a in &in_arrays {
+                    self.check_read(a.block, &a.ixfn);
+                }
+                let inputs: Vec<View> = in_arrays.iter().map(|a| self.view(a)).collect();
                 let argv: Vec<Value> = args
                     .iter()
                     .map(|a| self.eval_scalar(a, env))
@@ -520,8 +799,10 @@ impl Machine<'_> {
                 let direct = scalar_rows || m.in_place_result || self.mode == Mode::Pure;
                 let out_view = self.view_mut(&dst);
                 // Private per-worker row buffers for the non-in-place case:
-                // the mapnest's implicit result copy (§V-A(e)).
-                let workers = self.threads;
+                // the mapnest's implicit result copy (§V-A(e)). Checked
+                // mode runs serially: diagnostics stay deterministic and
+                // the race detector (below) subsumes parallel scheduling.
+                let workers = if self.checked() { 1 } else { self.threads };
                 let temp_block = if direct {
                     None
                 } else {
@@ -570,11 +851,17 @@ impl Machine<'_> {
                     let bytes = (width * row_elems).max(0) as u64 * elem.size_bytes() as u64;
                     self.stats.bytes_copied += bytes;
                     self.stats.num_copies += width.max(0) as u64;
-                } else if m.in_place_result && self.mode == Mode::Memory && !scalar_rows {
+                } else if m.in_place_result && self.mem_like() && !scalar_rows {
                     let bytes = (width * row_elems).max(0) as u64 * elem.size_bytes() as u64;
                     self.stats.bytes_elided += bytes;
                     self.stats.num_elided += width.max(0) as u64;
                 }
+                // Dynamic race detector: no two iterations of the map may
+                // write one cell. The kernel writes each row through the
+                // result's index function with the outer dim fixed, so
+                // enumerating those footprints covers its stores.
+                self.race_check(dst.block, &dst.ixfn, width);
+                self.mark_write(dst.block, &dst.ixfn);
                 env.insert(stm.pat[0].var, Value::Array(dst));
             }
             MapBody::Lambda { params, body } => {
@@ -587,6 +874,9 @@ impl Machine<'_> {
                     .iter()
                     .map(|v| Ok(env.get(v).ok_or("unbound map input")?.as_array().clone()))
                     .collect::<Result<_, String>>()?;
+                for a in &in_arrays {
+                    self.check_read(a.block, &a.ixfn);
+                }
                 let in_views: Vec<View> = in_arrays.iter().map(|a| self.view(a)).collect();
                 let out_views: Vec<ViewMut> = dsts.iter().map(|a| self.view_mut(a)).collect();
                 let t0 = Instant::now();
@@ -620,7 +910,12 @@ impl Machine<'_> {
                 }
                 self.stats.kernel_time += t0.elapsed();
                 self.stats.kernel_launches += width.max(0) as u64;
+                // The body's statements moved `cur_stm`; provenance of the
+                // map's results is the map statement itself.
+                self.cur_stm = stm.pat.first().map(|p| p.var);
                 for (pe, dst) in stm.pat.iter().zip(dsts) {
+                    self.race_check(dst.block, &dst.ixfn, width);
+                    self.mark_write(dst.block, &dst.ixfn);
                     env.insert(pe.var, Value::Array(dst));
                 }
             }
@@ -662,7 +957,7 @@ impl Machine<'_> {
         match src {
             UpdateSrc::Scalar(se) => {
                 let v = self.eval_scalar(se, env)?;
-                let dview = ViewMut::new(self.store.raw(result.block), slice_ixfn);
+                let dview = ViewMut::new(self.store.raw(result.block), slice_ixfn.clone());
                 let n = dview.num_elems();
                 for f in 0..n.max(0) {
                     match result.elem {
@@ -674,21 +969,27 @@ impl Machine<'_> {
                         ElemType::I64 | ElemType::Bool => dview.set_i64_flat(f, v.as_i64()),
                     }
                 }
+                self.mark_write(result.block, &slice_ixfn);
             }
             UpdateSrc::Array(s) => {
                 let src_a = env.get(s).ok_or("unbound update source")?.as_array().clone();
-                if elided && self.mode == Mode::Memory {
+                // Read check either way: an elided update's source was
+                // constructed directly in the destination slice, so its
+                // cells must already be written there.
+                self.check_read(src_a.block, &src_a.ixfn);
+                if elided && self.mem_like() {
                     let bytes = src_a.ixfn.num_elems() as u64 * src_a.elem.size_bytes() as u64;
                     self.stats.bytes_elided += bytes;
                     self.stats.num_elided += 1;
                 } else {
                     let sv = self.view(&src_a);
-                    let dview = ViewMut::new(self.store.raw(result.block), slice_ixfn);
+                    let dview = ViewMut::new(self.store.raw(result.block), slice_ixfn.clone());
                     let t = Instant::now();
                     let bytes = copy_view(&dview, &sv);
                     self.stats.copy_time += t.elapsed();
                     self.stats.bytes_copied += bytes;
                     self.stats.num_copies += 1;
+                    self.mark_write(result.block, &slice_ixfn);
                 }
             }
         }
@@ -724,6 +1025,10 @@ impl Machine<'_> {
                     .iter()
                     .map(|i| Ok(self.eval_scalar(i, env)?.as_i64()))
                     .collect::<Result<_, String>>()?;
+                if self.store.shadow_enabled() {
+                    let off = a.ixfn.index(&idx);
+                    self.check_cell(a.block, off, &a.ixfn);
+                }
                 let view = self.view(&a);
                 match a.elem {
                     ElemType::F32 => Value::F32(view.get_f32(&idx)),

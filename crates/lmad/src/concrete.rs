@@ -102,6 +102,39 @@ impl ConcreteLmad {
     }
 }
 
+/// Result of a brute-force comparison of two concrete footprints, used by
+/// the checked VM to cross-check the compiler's symbolic non-overlap
+/// verdicts at runtime.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FootprintCheck {
+    /// The two footprints share no element offset.
+    Disjoint,
+    /// Both footprints contain this offset (the smallest common one).
+    Overlap(i64),
+    /// A footprint exceeds the enumeration cap; nothing was decided.
+    TooLarge,
+}
+
+/// Brute-force footprint intersection of two concrete LMADs (set
+/// semantics, like [`ConcreteLmad::points`]). `cap` bounds the number of
+/// points enumerated per side.
+pub fn footprint_check(a: &ConcreteLmad, b: &ConcreteLmad, cap: i64) -> FootprintCheck {
+    if a.num_points().max(0) > cap || b.num_points().max(0) > cap {
+        return FootprintCheck::TooLarge;
+    }
+    let set: std::collections::HashSet<i64> = a.points().into_iter().collect();
+    let mut first: Option<i64> = None;
+    for p in b.points() {
+        if set.contains(&p) {
+            first = Some(first.map_or(p, |q| q.min(p)));
+        }
+    }
+    match first {
+        Some(off) => FootprintCheck::Overlap(off),
+        None => FootprintCheck::Disjoint,
+    }
+}
+
 /// Unrank a flat offset `x` into the row-major index space of `shape`.
 #[inline]
 pub fn unrank(mut x: i64, shape: &[i64], out: &mut [i64]) {
@@ -275,6 +308,21 @@ mod tests {
             let back = idx[0] * 10 + idx[1] * 2 + idx[2];
             assert_eq!(back, f);
         }
+    }
+
+    #[test]
+    fn footprint_check_finds_smallest_common_offset() {
+        // Rows 0..3 of a 6x1 vector vs rows 1..5: overlap starts at 1.
+        let a = ConcreteLmad { offset: 0, dims: vec![(3, 1)] };
+        let b = ConcreteLmad { offset: 1, dims: vec![(4, 1)] };
+        assert_eq!(footprint_check(&a, &b, 1 << 10), FootprintCheck::Overlap(1));
+        // Even and odd strided footprints are disjoint.
+        let evens = ConcreteLmad { offset: 0, dims: vec![(5, 2)] };
+        let odds = ConcreteLmad { offset: 1, dims: vec![(5, 2)] };
+        assert_eq!(footprint_check(&evens, &odds, 1 << 10), FootprintCheck::Disjoint);
+        // Cap exceeded: undecided, never a wrong verdict.
+        let big = ConcreteLmad { offset: 0, dims: vec![(1 << 20, 1)] };
+        assert_eq!(footprint_check(&big, &a, 1 << 10), FootprintCheck::TooLarge);
     }
 
     #[test]

@@ -29,7 +29,7 @@ mod ixfn;
 mod lmad;
 pub mod overlap;
 
-pub use concrete::{ConcreteIxFn, ConcreteLmad};
+pub use concrete::{footprint_check, ConcreteIxFn, ConcreteLmad, FootprintCheck};
 pub use ixfn::{IndexFn, Transform, TripletSlice};
 pub use lmad::{Dim, Lmad};
 

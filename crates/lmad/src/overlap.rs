@@ -343,3 +343,77 @@ fn split_variants(
     trace.push(format!("  rest: {a}\n  last: {b}"));
     Some(vec![a, b])
 }
+
+#[cfg(test)]
+mod soundness_oracle {
+    //! Randomized soundness oracle: the symbolic test may answer "cannot
+    //! prove" for disjoint footprints (it is deliberately incomplete), but
+    //! it must never answer "disjoint" for footprints that intersect.
+
+    use super::*;
+    use crate::concrete::{footprint_check, ConcreteLmad, FootprintCheck};
+    use crate::lmad::Dim;
+    use arraymem_symbolic::Rng64;
+
+    fn random_concrete(rng: &mut Rng64) -> ConcreteLmad {
+        let rank = rng.i64_incl(1, 3) as usize;
+        let dims = (0..rank)
+            .map(|_| (rng.i64_incl(1, 6), rng.i64_incl(-9, 9)))
+            .collect();
+        ConcreteLmad {
+            offset: rng.i64_incl(0, 30),
+            dims,
+        }
+    }
+
+    fn to_symbolic(l: &ConcreteLmad) -> Lmad {
+        Lmad::new(
+            Poly::constant(l.offset),
+            l.dims
+                .iter()
+                .map(|&(c, s)| Dim::new(Poly::constant(c), Poly::constant(s)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn symbolic_disjoint_implies_concrete_disjoint() {
+        let iters = if std::env::var("ARRAYMEM_SLOW").ok().as_deref() == Some("1") {
+            20_000
+        } else {
+            3_000
+        };
+        let mut rng = Rng64::new(0x0AC1E5);
+        let env = Env::default();
+        let mut truly_disjoint = 0u64;
+        let mut proved = 0u64;
+        for i in 0..iters {
+            let (ca, cb) = (random_concrete(&mut rng), random_concrete(&mut rng));
+            let really = match footprint_check(&ca, &cb, 1 << 16) {
+                FootprintCheck::Disjoint => true,
+                FootprintCheck::Overlap(_) => false,
+                FootprintCheck::TooLarge => continue,
+            };
+            let symbolic = non_overlap(&to_symbolic(&ca), &to_symbolic(&cb), &env);
+            assert!(
+                really || !symbolic,
+                "iteration {i}: symbolic test claims disjoint but footprints \
+                 intersect\n  a = {ca:?}\n  b = {cb:?}"
+            );
+            if really {
+                truly_disjoint += 1;
+                if symbolic {
+                    proved += 1;
+                }
+            }
+        }
+        // Completeness is logged, not asserted (the test is a sufficient
+        // condition); soundness is the assert above.
+        eprintln!(
+            "overlap oracle: {proved}/{truly_disjoint} truly-disjoint pairs proved \
+             ({:.1}% complete)",
+            100.0 * proved as f64 / truly_disjoint.max(1) as f64
+        );
+        assert!(truly_disjoint > 0, "oracle generated no disjoint pairs");
+    }
+}

@@ -90,6 +90,53 @@ impl Case {
         }
         (u_stats, o_stats)
     }
+
+    /// Run a compiled variant under [`Mode::Checked`] in an existing
+    /// session, cross-checking every short-circuit decision the compile
+    /// report recorded. Returns outputs plus the sanitizer's stats.
+    pub fn run_checked_in(
+        &self,
+        session: &mut Session,
+        compiled: &Compiled,
+    ) -> (Vec<OutputValue>, Stats) {
+        let checks: Vec<_> = compiled.report.checks().cloned().collect();
+        session
+            .run_with_checks(
+                &compiled.program,
+                &self.inputs,
+                &self.kernels,
+                Mode::Checked,
+                1,
+                &checks,
+            )
+            .unwrap_or_else(|e| panic!("{}/{}: checked run failed: {e}", self.name, self.dataset))
+    }
+
+    /// Compile with short-circuiting and run **twice** in one session
+    /// under the sanitizer — the second run recycles the first run's
+    /// released blocks, so its allocations carry stale contents and the
+    /// zero-fill-elision obligation is actually exercised. Outputs of both
+    /// runs are validated against the reference; the second run's stats
+    /// (with any diagnostics) are returned.
+    pub fn validate_checked(&self) -> Stats {
+        let opt = self.compile(true);
+        let (_, expect) = (self.reference)(&self.inputs);
+        let mut session = Session::new();
+        let mut last = None;
+        for round in 0..2 {
+            let (out, stats) = self.run_checked_in(&mut session, &opt);
+            for (k, (e, o)) in expect.iter().zip(&out).enumerate() {
+                assert!(
+                    e.approx_eq(o, self.tol),
+                    "{}/{}: checked-mode output {k} differs from reference (round {round})",
+                    self.name,
+                    self.dataset
+                );
+            }
+            last = Some(stats);
+        }
+        last.expect("two checked rounds ran")
+    }
 }
 
 /// A measured table row: reference time plus the two Futhark-style

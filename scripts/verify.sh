@@ -18,4 +18,13 @@ cargo test --release --offline --workspace -q
 echo "== smoke tables (tiny datasets, one measured run each) =="
 cargo run --release --offline -p arraymem-bench --bin tables -- --smoke
 
+echo "== checked tier (shadow-memory sanitizer over all workloads) =="
+# Exit 1 on any sanitizer finding: uninitialized read of a recycled
+# block, use-after-release, map race, or a short-circuit whose concrete
+# footprints overlap.
+cargo run --release --offline -p arraymem-bench --bin tables -- --smoke --check
+
+echo "== checked fuzz smoke (500 random programs under the sanitizer) =="
+cargo test --release --offline -p arraymem-bench --test differential_fuzz -q
+
 echo "== verify: OK =="

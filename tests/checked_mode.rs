@@ -1,0 +1,232 @@
+//! Mutation-style self-tests of the checked-mode sanitizer.
+//!
+//! A sanitizer that never fires is indistinguishable from one that does
+//! not work. Each test here *injects* one class of memory bug the
+//! optimizer's static reasoning normally rules out — a short-circuit
+//! forced past its failing non-overlap check, a read of a recycled block
+//! that was never rewritten, a release plan skewed one statement early, a
+//! map whose result index function collapses iterations onto one cell —
+//! and asserts the corresponding diagnostic fires and names the offending
+//! statement.
+
+use arraymem_core::{compile, Options, ReleasePlan};
+use arraymem_exec::{Diagnostic, KernelRegistry, Mode, Session};
+use arraymem_ir::{BinOp, Builder, ElemType, Exp, Program, ScalarExp, SliceSpec};
+use arraymem_lmad::{Dim, IndexFn, Lmad, Transform, TripletSlice};
+use arraymem_symbolic::{Env, Poly};
+
+fn c(x: i64) -> Poly {
+    Poly::constant(x)
+}
+
+fn opts(short_circuit: bool) -> Options {
+    Options {
+        short_circuit,
+        env: Env::new(),
+        ..Options::default()
+    }
+}
+
+/// `xss[0:3] ← bs` while `y = copy xss[1:4]` still reads the overlap:
+/// constructing `bs` directly in `xss`'s memory would clobber cells the
+/// later read needs, so the static write check must reject the candidate —
+/// and when the test-only `force_unsafe_short_circuit` hook pushes it
+/// through anyway, the runtime footprint cross-check must catch it.
+fn overlapping_update_program() -> Program {
+    let bld = Builder::new("forced_overlap");
+    let mut b = bld.block();
+    let xss = b.replicate_typed("xss", ElemType::I64, vec![c(6)], ScalarExp::i64(1));
+    let bs = b.replicate_typed("bs", ElemType::I64, vec![c(3)], ScalarExp::i64(7));
+    let s = b.transform(
+        "s",
+        xss,
+        Transform::Slice(vec![TripletSlice::range(c(1), c(3), c(1))]),
+    );
+    let y = b.copy("y", s);
+    let xss2 = b.update(
+        "xss2",
+        xss,
+        SliceSpec::Triplet(vec![TripletSlice::range(c(0), c(3), c(1))]),
+        bs,
+    );
+    bld.finish(b.finish(vec![xss2, y]))
+}
+
+#[test]
+fn static_check_rejects_the_overlapping_update() {
+    let prog = overlapping_update_program();
+    let normal = compile(&prog, &opts(true)).expect("compile");
+    assert!(
+        normal
+            .report
+            .candidates
+            .iter()
+            .any(|cand| cand.reason.contains("may overlap")),
+        "the overlapping candidate must fail the static write check; report: {:?}",
+        normal
+            .report
+            .candidates
+            .iter()
+            .map(|cand| (&cand.root, &cand.reason))
+            .collect::<Vec<_>>()
+    );
+    // No forced candidates without the hook.
+    assert!(!normal.report.candidates.iter().any(|c| c.reason.contains("forced")));
+}
+
+#[test]
+fn forced_illegal_short_circuit_is_caught_by_the_footprint_cross_check() {
+    let prog = overlapping_update_program();
+    let forced = compile(
+        &prog,
+        &Options {
+            force_unsafe_short_circuit: true,
+            ..opts(true)
+        },
+    )
+    .expect("compile");
+    assert!(
+        forced.report.candidates.iter().any(|c| c.reason.contains("forced")),
+        "the hook must push the failing candidate through"
+    );
+    let checks: Vec<_> = forced.report.checks().cloned().collect();
+    assert!(!checks.is_empty(), "forced circuits must still record their footprints");
+    let kernels = KernelRegistry::new();
+    let (_, stats) = Session::new()
+        .run_with_checks(&forced.program, &[], &kernels, Mode::Checked, 1, &checks)
+        .expect("checked run");
+    let hit = stats.diagnostics.iter().find_map(|d| match d {
+        Diagnostic::CircuitOverlap { stm, root, .. } => Some((stm.clone(), root.clone())),
+        _ => None,
+    });
+    let (stm, _root) = hit.unwrap_or_else(|| {
+        panic!("expected a CircuitOverlap diagnostic; got {:?}", stats.diagnostics)
+    });
+    assert!(stm.contains("xss2"), "diagnostic must name the circuit statement: {stm}");
+    // The rendered finding names statement, offset, and both footprints.
+    let shown = format!("{}", &stats.diagnostics[0]);
+    assert!(shown.contains("offset") && shown.contains("intersects"), "{shown}");
+}
+
+#[test]
+fn reading_a_recycled_never_written_block_is_an_uninit_read() {
+    // `y = copy s` of an unwritten scratch array: legal but undefined in
+    // content. The first run gets a fresh zero-filled block (clean); the
+    // second run in the same session recycles the first run's blocks
+    // without zero-fill, so the same read now sees stale cells — exactly
+    // the gamble the zeroing elision takes, made visible.
+    let bld = Builder::new("stale_scratch");
+    let mut b = bld.block();
+    let s = b.scratch("s", ElemType::I64, vec![c(4)]);
+    let y = b.copy("y", s);
+    let prog = bld.finish(b.finish(vec![y]));
+    let compiled = compile(&prog, &opts(false)).expect("compile");
+    let kernels = KernelRegistry::new();
+    let mut session = Session::new();
+    let (_, first) = session
+        .run_with_checks(&compiled.program, &[], &kernels, Mode::Checked, 1, &[])
+        .expect("first run");
+    assert!(
+        first.diagnostics.is_empty(),
+        "fresh blocks are zero-filled; nothing to report: {first}"
+    );
+    let (_, second) = session
+        .run_with_checks(&compiled.program, &[], &kernels, Mode::Checked, 1, &[])
+        .expect("second run");
+    let stm = second
+        .diagnostics
+        .iter()
+        .find_map(|d| match d {
+            Diagnostic::UninitRead { stm, .. } => Some(stm.clone()),
+            _ => None,
+        })
+        .unwrap_or_else(|| {
+            panic!("expected an UninitRead on the recycled block; got {:?}", second.diagnostics)
+        });
+    assert!(stm.contains('y'), "diagnostic must blame the reading statement: {stm}");
+}
+
+#[test]
+fn skewed_release_plan_triggers_use_after_release() {
+    // `a` is read by both copies; the skewed plan frees its block right
+    // after the first one.
+    let bld = Builder::new("early_release");
+    let mut bb = bld.block();
+    let a = bb.iota("a", c(6));
+    let _b = bb.copy("b", a);
+    let cc = bb.copy("c", a);
+    let prog = bld.finish(bb.finish(vec![cc]));
+    let compiled = compile(&prog, &opts(false)).expect("compile");
+    let kernels = KernelRegistry::new();
+    // The honest plan is clean…
+    let (_, honest) = Session::new()
+        .run_with_checks(&compiled.program, &[], &kernels, Mode::Checked, 1, &[])
+        .expect("honest run");
+    assert!(honest.diagnostics.is_empty(), "{honest}");
+    // …the skewed plan is not.
+    let plan = ReleasePlan::compute_skewed_early(&compiled.program);
+    let (_, skewed) = Session::new()
+        .run_with_plan(&compiled.program, &[], &kernels, Mode::Checked, 1, &[], &plan)
+        .expect("skewed run");
+    let (stm, released_after) = skewed
+        .diagnostics
+        .iter()
+        .find_map(|d| match d {
+            Diagnostic::UseAfterRelease { stm, released_after, .. } => {
+                Some((stm.clone(), released_after.clone()))
+            }
+            _ => None,
+        })
+        .unwrap_or_else(|| {
+            panic!("expected a UseAfterRelease; got {:?}", skewed.diagnostics)
+        });
+    assert!(stm.contains('c'), "the second copy does the bad read: {stm}");
+    assert!(
+        released_after.contains('b'),
+        "the release fired after the first copy: {released_after}"
+    );
+}
+
+#[test]
+fn overlapping_map_result_layout_is_a_map_race() {
+    let bld = Builder::new("race");
+    let mut b = bld.block();
+    let src = b.iota("src", c(2));
+    let m = b.map_lambda("m", c(2), vec![src], ElemType::I64, |lb, ps| {
+        let t = lb.scalar(
+            "t",
+            ElemType::I64,
+            ScalarExp::bin(BinOp::Add, ScalarExp::var(ps[0]), ScalarExp::i64(1)),
+        );
+        vec![t]
+    });
+    let prog = bld.finish(b.finish(vec![m]));
+    let mut compiled = compile(&prog, &opts(false)).expect("compile");
+    // Sabotage the compiled program: give the map result a zero-stride
+    // outer dimension, so both iterations write the same cell — the
+    // layout bug the in-place mapnest rules exist to prevent.
+    let mut sabotaged = false;
+    for stm in &mut compiled.program.body.stms {
+        if let Exp::Map(_) = stm.exp {
+            let mb = stm.pat[0].mem.as_mut().expect("compiled map has memory");
+            mb.ixfn = IndexFn {
+                lmads: vec![Lmad::new(c(0), vec![Dim::new(c(2), c(0))])],
+            };
+            sabotaged = true;
+        }
+    }
+    assert!(sabotaged, "test must find the map statement");
+    let kernels = KernelRegistry::new();
+    let (_, stats) = Session::new()
+        .run_with_checks(&compiled.program, &[], &kernels, Mode::Checked, 1, &[])
+        .expect("checked run");
+    let hit = stats.diagnostics.iter().find_map(|d| match d {
+        Diagnostic::MapRace { stm, iter_a, iter_b, .. } => Some((stm.clone(), *iter_a, *iter_b)),
+        _ => None,
+    });
+    let (stm, ia, ib) = hit.unwrap_or_else(|| {
+        panic!("expected a MapRace diagnostic; got {:?}", stats.diagnostics)
+    });
+    assert!(stm.contains('m'), "diagnostic must name the map statement: {stm}");
+    assert!(ia != ib, "the two colliding iterations must differ");
+}

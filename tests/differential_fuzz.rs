@@ -1,23 +1,40 @@
 //! Differential fuzzing of the whole pipeline.
 //!
 //! Generates random (but well-formed) array programs — fresh arrays,
-//! layout transforms, lambda maps, slice updates, concats — and checks
-//! that the pure value-semantics interpretation, the unoptimized memory
-//! machine, and the short-circuited memory machine all produce identical
-//! results. This is the strongest executable form of the paper's claim
-//! that memory annotations, and the short-circuiting rewrites on them,
-//! have no semantic meaning.
+//! layout transforms, lambda maps (including nested mapnests that read
+//! outer arrays), slice updates, concats, rotations — and checks that the
+//! pure value-semantics interpretation, the unoptimized memory machine,
+//! and the short-circuited memory machine all produce identical results.
+//! This is the strongest executable form of the paper's claim that memory
+//! annotations, and the short-circuiting rewrites on them, have no
+//! semantic meaning.
+//!
+//! Every optimized program additionally runs under `Mode::Checked` in one
+//! shared session, so later programs recycle earlier programs' released
+//! blocks: the shadow-memory sanitizer must stay silent across the whole
+//! corpus (no uninitialized reads, no use-after-release, no map races,
+//! every short-circuited footprint pair concretely disjoint).
 //!
 //! Programs use `i64` elements and constant shapes so equality is exact.
+//! Set `ARRAYMEM_SLOW=1` to raise the iteration counts ~3-5x.
 
 use arraymem_core::{compile, Options};
-use arraymem_exec::{run_program, KernelRegistry, Mode, OutputValue};
+use arraymem_exec::{run_program, KernelRegistry, Mode, OutputValue, Session};
 use arraymem_ir::{BinOp, Builder, ElemType, Program, ScalarExp, SliceSpec, Var};
 use arraymem_lmad::{Transform, TripletSlice};
 use arraymem_symbolic::{Env, Poly, Rng64};
 
 fn c(x: i64) -> Poly {
     Poly::constant(x)
+}
+
+/// Iteration scale: the default keeps CI fast; `ARRAYMEM_SLOW=1` opts
+/// into the deeper sweep.
+fn scale(fast: usize, slow: usize) -> usize {
+    match std::env::var("ARRAYMEM_SLOW") {
+        Ok(v) if v == "1" => slow,
+        _ => fast,
+    }
 }
 
 #[derive(Clone)]
@@ -82,7 +99,7 @@ impl Gen {
 
     /// One random statement; pushes results into the pool.
     fn step(&mut self) {
-        match self.rng.i64_in(0, 9) {
+        match self.rng.i64_in(0, 12) {
             0 => {
                 let shape = self.random_shape();
                 let a = self.replicate(shape);
@@ -213,6 +230,107 @@ impl Gen {
                 self.pool.retain(|a| a.class != dst.class);
                 self.pool.push(GenArray { var: v, shape: dst.shape, class: dst.class });
             }
+            9 => {
+                // Concat along the outer dimension: the first pick sets
+                // the inner shape, further compatible pool entries (or the
+                // pick itself again) join it. When the optimizer proves an
+                // argument's last use, it constructs it directly in the
+                // destination slot.
+                let Some(first) = self.pick() else { return };
+                let mut args = vec![first.var];
+                let mut outer = first.shape[0];
+                let compatible: Vec<GenArray> = self
+                    .pool
+                    .iter()
+                    .filter(|a| a.shape.len() == first.shape.len() && a.shape[1..] == first.shape[1..])
+                    .cloned()
+                    .collect();
+                let extra = self.rng.i64_incl(1, 2);
+                for _ in 0..extra {
+                    let pickd = &compatible[self.rng.usize_in(compatible.len())];
+                    args.push(pickd.var);
+                    outer += pickd.shape[0];
+                }
+                let v = self.body.concat("g_cat", args);
+                let mut shape = first.shape.clone();
+                shape[0] = outer;
+                let class = self.fresh_class();
+                self.pool.push(GenArray { var: v, shape, class });
+            }
+            10 => {
+                // Rotate a rank-1 array by k: concat of its two halves.
+                // Both arguments alias the same source memory, which the
+                // elision analysis must treat soundly.
+                let Some(src) = self.pick_rank(1) else { return };
+                let d = src.shape[0];
+                if d < 2 {
+                    return;
+                }
+                let k = self.rng.i64_in(1, d);
+                let hi = self.body.transform(
+                    "g_rot_hi",
+                    src.var,
+                    Transform::Slice(vec![TripletSlice::range(c(k), c(d - k), c(1))]),
+                );
+                let lo = self.body.transform(
+                    "g_rot_lo",
+                    src.var,
+                    Transform::Slice(vec![TripletSlice::range(c(0), c(k), c(1))]),
+                );
+                let v = self.body.concat("g_rot", vec![hi, lo]);
+                let class = self.fresh_class();
+                self.pool.push(GenArray { var: v, shape: vec![d], class });
+            }
+            11 => {
+                // Nested mapnest: the outer lambda body runs an inner map
+                // over a second (outer-scope) array and combines one of
+                // its elements with the outer element — inner maps
+                // allocate and release per outer iteration, and the
+                // gather-style `Index` read crosses scopes.
+                let Some(src) = self.pick_rank(1) else { return };
+                let Some(other) = self.pick_rank(1) else { return };
+                let m = other.shape[0];
+                let j = self.rng.i64_in(0, m);
+                let other_var = other.var;
+                let v = self.body.map_lambda(
+                    "g_nest",
+                    c(src.shape[0]),
+                    vec![src.var],
+                    ElemType::I64,
+                    |lb, ps| {
+                        let inner = lb.map_lambda(
+                            "g_nest_in",
+                            c(m),
+                            vec![other_var],
+                            ElemType::I64,
+                            |ib, ips| {
+                                let t = ib.scalar(
+                                    "g_nt",
+                                    ElemType::I64,
+                                    ScalarExp::bin(
+                                        BinOp::Mul,
+                                        ScalarExp::var(ips[0]),
+                                        ScalarExp::i64(2),
+                                    ),
+                                );
+                                vec![t]
+                            },
+                        );
+                        let t = lb.scalar(
+                            "g_gather",
+                            ElemType::I64,
+                            ScalarExp::bin(
+                                BinOp::Add,
+                                ScalarExp::Index(inner, vec![ScalarExp::i64(j)]),
+                                ScalarExp::var(ps[0]),
+                            ),
+                        );
+                        vec![t]
+                    },
+                );
+                let class = self.fresh_class();
+                self.pool.push(GenArray { var: v, shape: src.shape, class });
+            }
             _ => unreachable!(),
         }
     }
@@ -257,7 +375,11 @@ fn random_program(seed: u64, len: usize) -> Option<Program> {
     Some(bld.finish(block))
 }
 
-fn run_all_modes(prog: &Program) -> (Vec<OutputValue>, Vec<OutputValue>, Vec<OutputValue>, u64, u64) {
+fn run_all_modes(
+    prog: &Program,
+    checked_session: &mut Session,
+    label: &str,
+) -> (Vec<OutputValue>, Vec<OutputValue>, Vec<OutputValue>, u64, u64) {
     let kernels = KernelRegistry::new();
     let unopt = compile(
         prog,
@@ -282,6 +404,20 @@ fn run_all_modes(prog: &Program) -> (Vec<OutputValue>, Vec<OutputValue>, Vec<Out
         run_program(&unopt.program, &[], &kernels, Mode::Memory, 1).expect("unopt");
     let (o_out, o_stats) =
         run_program(&opt.program, &[], &kernels, Mode::Memory, 1).expect("opt");
+    // Fourth leg: the optimized program under the shadow-memory
+    // sanitizer, in a session shared across the whole corpus so this
+    // program's allocations recycle earlier programs' released blocks.
+    // Every successful short-circuit's recorded footprints are
+    // cross-checked concretely.
+    let checks: Vec<_> = opt.report.checks().cloned().collect();
+    let (c_out, c_stats) = checked_session
+        .run_with_checks(&opt.program, &[], &kernels, Mode::Checked, 1, &checks)
+        .expect("checked");
+    assert_eq!(o_out, c_out, "checked mode changed the output ({label})");
+    assert!(
+        c_stats.diagnostics.is_empty() && c_stats.diagnostics_suppressed == 0,
+        "sanitizer fired on {label}:\n{c_stats}"
+    );
     (pure_out, u_out, o_out, u_stats.bytes_copied, o_stats.bytes_copied)
 }
 
@@ -293,13 +429,16 @@ fn run_all_modes(prog: &Program) -> (Vec<OutputValue>, Vec<OutputValue>, Vec<Out
 #[test]
 fn prop_three_way_equivalence() {
     let mut meta = Rng64::new(0xD1FF);
-    for _ in 0..200 {
+    let mut checked = Session::new();
+    for _ in 0..scale(200, 1000) {
         let seed = meta.next_u64();
         let len = meta.usize_in(13) + 3;
         let Some(prog) = random_program(seed, len) else { continue };
         arraymem_ir::validate::validate(&prog)
             .expect("generator must produce valid programs");
-        let (pure_out, u_out, o_out, u_copied, o_copied) = run_all_modes(&prog);
+        let label = format!("seed {seed}, len {len}");
+        let (pure_out, u_out, o_out, u_copied, o_copied) =
+            run_all_modes(&prog, &mut checked, &label);
         assert_eq!(pure_out, u_out, "pure vs unopt (seed {seed}, len {len})");
         assert_eq!(pure_out, o_out, "pure vs opt (seed {seed}, len {len})");
         assert!(
@@ -313,10 +452,14 @@ fn prop_three_way_equivalence() {
 /// machinery, catches deterministic breakage at a glance).
 #[test]
 fn seeded_sweep() {
+    let n = scale(300, 1000) as u64;
     let mut elisions = 0u64;
-    for seed in 0..300u64 {
+    let mut checked = Session::new();
+    for seed in 0..n {
         let Some(prog) = random_program(seed, 10) else { continue };
-        let (pure_out, u_out, o_out, u_copied, o_copied) = run_all_modes(&prog);
+        let label = format!("seed {seed}");
+        let (pure_out, u_out, o_out, u_copied, o_copied) =
+            run_all_modes(&prog, &mut checked, &label);
         assert_eq!(pure_out, u_out, "seed {seed}");
         assert_eq!(pure_out, o_out, "seed {seed}");
         assert!(o_copied <= u_copied, "seed {seed}");
@@ -327,7 +470,8 @@ fn seeded_sweep() {
     // The generator must actually exercise the optimizer: a healthy
     // fraction of programs should have at least one elided copy.
     assert!(
-        elisions > 30,
-        "only {elisions}/300 random programs exercised short-circuiting"
+        elisions > n / 10,
+        "only {elisions}/{n} random programs exercised short-circuiting"
     );
 }
+
