@@ -14,7 +14,6 @@ mod common;
 
 use arraymem_core::{compile, Options};
 use arraymem_exec::{run_program, Mode};
-use arraymem_symbolic::Env;
 use arraymem_workloads as w;
 
 fn run(case: &w::Case, opts: &Options) -> std::time::Duration {
@@ -42,16 +41,8 @@ fn bench_pair(group: &str, labels: [&str; 2], case: &w::Case, opts: [&Options; 2
 fn main() {
     // 1. NW with vs without the shape relation feeding the prover.
     let nw = w::nw::case("ablation", 16, 16, 2);
-    let full = Options {
-        short_circuit: true,
-        env: nw.env.clone(),
-        ..Options::default()
-    };
-    let no_env = Options {
-        short_circuit: true,
-        env: Env::new(),
-        ..Options::default()
-    };
+    let full = Options::optimized().with_env(nw.env.clone());
+    let no_env = Options::optimized();
     bench_pair(
         "ablation/nw_assumptions",
         ["with_shape_relation", "without_shape_relation"],
@@ -61,11 +52,7 @@ fn main() {
 
     // 2. LBM with vs without the mapnest in-place rule.
     let lbm = w::lbm::case("ablation", (16, 16, 8), 4, 2);
-    let full = Options {
-        short_circuit: true,
-        env: lbm.env.clone(),
-        ..Options::default()
-    };
+    let full = Options::optimized().with_env(lbm.env.clone());
     let no_mapnest = Options {
         mapnest_in_place: false,
         ..full.clone()
@@ -79,11 +66,7 @@ fn main() {
 
     // 3. Hotspot with vs without allocation hoisting.
     let hs = w::hotspot::case("ablation", 128, 8, 2);
-    let full = Options {
-        short_circuit: true,
-        env: hs.env.clone(),
-        ..Options::default()
-    };
+    let full = Options::optimized().with_env(hs.env.clone());
     let no_hoist = Options {
         hoist: false,
         ..full.clone()

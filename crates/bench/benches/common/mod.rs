@@ -22,6 +22,7 @@ pub fn sample<F: FnMut()>(mut f: F) -> Duration {
 
 /// Benchmark ref/unopt/opt for every (quick-sized) dataset of one table's
 /// benchmark, printing one line per variant.
+#[allow(dead_code)] // each [[bench]] target uses a subset of this module
 pub fn bench_table(benchmark: &'static str) {
     for case in table_cases(benchmark, true).expect("known benchmark") {
         let unopt = case.compile(false);

@@ -8,22 +8,29 @@
 //! tables --figures       # print the figure artifacts instead
 //! tables --check         # run cases under the checked-mode sanitizer
 //!                        # instead of measuring; exit 1 on any finding
+//! tables --json PATH     # also write timing + mechanism rows as JSON
 //! ```
 
-use arraymem_bench::tables::{all_tables, check_table, run_table, RunMode};
+use arraymem_bench::tables::{
+    all_tables, check_table, measure_table, render_json, render_mechanism, render_table,
+    RunMode,
+};
+use arraymem_workloads::Measurement;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     for (i, a) in args.iter().enumerate() {
-        let is_table_arg = i > 0 && args[i - 1] == "--table";
-        if !is_table_arg
+        let is_value_arg = i > 0 && (args[i - 1] == "--table" || args[i - 1] == "--json");
+        if !is_value_arg
             && !matches!(
                 a.as_str(),
-                "--quick" | "--smoke" | "--figures" | "--table" | "--check"
+                "--quick" | "--smoke" | "--figures" | "--table" | "--check" | "--json"
             )
         {
             eprintln!("error: unknown argument {a:?}");
-            eprintln!("usage: tables [--quick] [--smoke] [--table N] [--figures] [--check]");
+            eprintln!(
+                "usage: tables [--quick] [--smoke] [--table N] [--figures] [--check] [--json PATH]"
+            );
             std::process::exit(2);
         }
     }
@@ -52,8 +59,17 @@ fn main() {
             std::process::exit(2);
         }
     }
+    let json_path: Option<&String> = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1));
+    if args.iter().any(|a| a == "--json") && json_path.is_none() {
+        eprintln!("error: --json requires a path");
+        std::process::exit(2);
+    }
     let check = args.iter().any(|a| a == "--check");
     let mut total_findings = 0u64;
+    let mut measured: Vec<(arraymem_bench::tables::TableSpec, Vec<Measurement>)> = Vec::new();
     for spec in all_tables() {
         if let Some(t) = only {
             if spec.number != t {
@@ -72,14 +88,28 @@ fn main() {
                 }
             }
         } else {
-            match run_table(&spec, mode) {
-                Ok(s) => println!("{s}"),
+            match measure_table(&spec, mode) {
+                Ok(rows) => {
+                    println!("{}{}", render_table(&spec, &rows), render_mechanism(&rows));
+                    measured.push((spec, rows));
+                }
                 Err(e) => {
                     eprintln!("error: {e}");
                     std::process::exit(2);
                 }
             }
         }
+    }
+    if let Some(path) = json_path {
+        if check {
+            eprintln!("error: --json is for measurement runs, not --check");
+            std::process::exit(2);
+        }
+        if let Err(e) = std::fs::write(path, render_json(&measured)) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote {path}");
     }
     if check {
         if total_findings > 0 {

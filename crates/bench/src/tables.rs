@@ -163,6 +163,16 @@ pub fn render_mechanism(rows: &[Measurement]) -> String {
                 st.pool_dispatches
             ));
         }
+        for (label, pl) in [("unopt", &m.unopt_plan), ("opt", &m.opt_plan)] {
+            s.push_str(&format!(
+                "  {:<10} {:<5} plan_builds {:>2} | plan_cache_hits {:>5} | plan_build {:>8.3}ms\n",
+                m.dataset,
+                label,
+                pl.builds,
+                pl.cache_hits,
+                pl.build_time.as_secs_f64() * 1e3
+            ));
+        }
     }
     s
 }
@@ -182,16 +192,98 @@ pub enum RunMode {
     Smoke,
 }
 
-/// Measure and render one table end to end.
-pub fn run_table(spec: &TableSpec, mode: RunMode) -> Result<String, String> {
+/// Measure one table's rows (the shared engine behind the rendered and
+/// JSON outputs).
+pub fn measure_table(spec: &TableSpec, mode: RunMode) -> Result<Vec<Measurement>, String> {
     let mut cases = table_cases(spec.benchmark, mode != RunMode::Full)?;
     if mode == RunMode::Smoke {
         for c in &mut cases {
             c.runs = 1;
         }
     }
-    let rows: Vec<Measurement> = cases.iter().map(measure_case).collect();
+    Ok(cases.iter().map(measure_case).collect())
+}
+
+/// Measure and render one table end to end.
+pub fn run_table(spec: &TableSpec, mode: RunMode) -> Result<String, String> {
+    let rows = measure_table(spec, mode)?;
     Ok(format!("{}{}", render_table(spec, &rows), render_mechanism(&rows)))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Machine-readable results for CI trend tracking (`tables --json`):
+/// per-table timing rows plus the mechanism and plan-cache counters. All
+/// values are finite, so the hand-rolled formatting is valid JSON.
+pub fn render_json(results: &[(TableSpec, Vec<Measurement>)]) -> String {
+    let mut s = String::from("{\n  \"tables\": [\n");
+    for (ti, (spec, rows)) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"number\": {}, \"title\": \"{}\", \"benchmark\": \"{}\", \"rows\": [\n",
+            spec.number,
+            json_escape(spec.title),
+            json_escape(spec.benchmark)
+        ));
+        for (ri, m) in rows.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"dataset\": \"{}\", \"reference_ms\": {:.6}, \"unopt_ms\": {:.6}, \
+                 \"opt_ms\": {:.6}, \"unopt_rel\": {:.4}, \"opt_rel\": {:.4}, \
+                 \"impact\": {:.4}, \"variants\": {{",
+                json_escape(&m.dataset),
+                m.reference.as_secs_f64() * 1e3,
+                m.unopt.as_secs_f64() * 1e3,
+                m.opt.as_secs_f64() * 1e3,
+                m.unopt_rel(),
+                m.opt_rel(),
+                m.impact()
+            ));
+            for (vi, (label, st, pl)) in [
+                ("unopt", &m.unopt_stats, &m.unopt_plan),
+                ("opt", &m.opt_stats, &m.opt_plan),
+            ]
+            .iter()
+            .enumerate()
+            {
+                s.push_str(&format!(
+                    "\"{label}\": {{\"bytes_copied\": {}, \"bytes_elided\": {}, \
+                     \"num_allocs\": {}, \"blocks_reused\": {}, \
+                     \"bytes_zeroing_elided\": {}, \"pool_dispatches\": {}, \
+                     \"plan_builds\": {}, \"plan_cache_hits\": {}, \
+                     \"plan_build_ms\": {:.6}}}",
+                    st.bytes_copied,
+                    st.bytes_elided,
+                    st.num_allocs,
+                    st.blocks_reused,
+                    st.bytes_zeroing_elided,
+                    st.pool_dispatches,
+                    pl.builds,
+                    pl.cache_hits,
+                    pl.build_time.as_secs_f64() * 1e3
+                ));
+                if vi == 0 {
+                    s.push_str(", ");
+                }
+            }
+            s.push_str("}}");
+            s.push_str(if ri + 1 < rows.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("    ]}");
+        s.push_str(if ti + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
 }
 
 /// Run one table's cases under the checked-mode sanitizer instead of
@@ -239,5 +331,51 @@ mod tests {
                 Err(e) => panic!("{known} must resolve: {e}"),
             }
         }
+    }
+
+    #[test]
+    fn json_rendering_is_balanced_and_carries_plan_counters() {
+        use std::time::Duration;
+        let plan = arraymem_exec::PlanStats {
+            builds: 1,
+            cache_hits: 41,
+            build_time: Duration::from_micros(1500),
+        };
+        let m = Measurement {
+            name: "nw".into(),
+            dataset: "256\"x\\2".into(), // exercises string escaping
+            reference: Duration::from_millis(10),
+            unopt: Duration::from_millis(8),
+            opt: Duration::from_millis(4),
+            unopt_stats: Default::default(),
+            opt_stats: Default::default(),
+            unopt_plan: plan,
+            opt_plan: plan,
+        };
+        let spec = TableSpec { number: 1, title: "NW performance", benchmark: "nw", paper_runs: 1000 };
+        let json = render_json(&[(spec, vec![m])]);
+        // Structurally valid: every brace/bracket closes, strings escaped.
+        let mut depth = 0i64;
+        let mut in_str = false;
+        let mut esc = false;
+        for c in json.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced JSON:\n{json}");
+        }
+        assert_eq!(depth, 0, "unbalanced JSON:\n{json}");
+        assert!(!in_str, "unterminated string:\n{json}");
+        assert!(json.contains("\"plan_cache_hits\": 41"), "{json}");
+        assert!(json.contains("\"plan_builds\": 1"), "{json}");
+        assert!(json.contains("256\\\"x\\\\2"), "{json}");
     }
 }

@@ -1,0 +1,89 @@
+//! Stable IR fingerprints for the executor's plan cache.
+//!
+//! A lowered `ExecPlan` is a pure function of (program, circuit checks,
+//! kernel name→index mapping). The executor caches plans keyed by hashes
+//! of those three; this module supplies the first two. The hash walks the
+//! IR's `Debug` rendering — which includes every pattern, memory binding,
+//! index function and polynomial, with symbols printed by *name* — so two
+//! fingerprints agree exactly when the printed IR agrees. That is the
+//! stability the cache needs: the same compiled `Program` value rehashed
+//! on every run of a benchmark loop keys the same slot, without the cache
+//! having to retain or compare whole programs.
+
+use arraymem_ir::Program;
+use std::fmt::Write;
+
+/// FNV-1a over anything `Debug`-formattable, without materializing the
+/// string.
+struct FnvWriter(u64);
+
+impl Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        for b in s.as_bytes() {
+            self.0 = (self.0 ^ *b as u64).wrapping_mul(0x100000001b3);
+        }
+        Ok(())
+    }
+}
+
+fn fnv_debug(x: &impl std::fmt::Debug) -> u64 {
+    let mut w = FnvWriter(0xcbf29ce484222325);
+    // Writing into FnvWriter cannot fail.
+    let _ = write!(&mut w, "{x:?}");
+    w.0
+}
+
+/// Fingerprint of a program's full IR (structure, types, memory
+/// annotations, index functions).
+pub fn fingerprint(prog: &Program) -> u64 {
+    fnv_debug(prog)
+}
+
+/// Fingerprint of a slice of `Debug`-formattable items (the compile
+/// report's [`CircuitCheck`](crate::CircuitCheck)s): plans lowered with
+/// different check sets must not share a cache slot.
+pub fn fingerprint_items<T: std::fmt::Debug>(items: &[T]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325 ^ items.len() as u64;
+    for it in items {
+        h = h.rotate_left(7) ^ fnv_debug(it);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arraymem_ir::builder::Builder;
+    use arraymem_ir::ElemType;
+    use arraymem_symbolic::Poly;
+
+    fn prog(n: i64) -> Program {
+        let mut b = Builder::new("fp_test");
+        let _x = b.scalar_param("x", ElemType::I64);
+        let mut bb = b.block();
+        let a = bb.iota("a", Poly::constant(n));
+        let body = bb.finish(vec![a]);
+        b.finish(body)
+    }
+
+    #[test]
+    fn equal_programs_hash_equal_and_rehash_stably() {
+        let p = prog(8);
+        let f1 = fingerprint(&p);
+        let f2 = fingerprint(&p);
+        assert_eq!(f1, f2);
+        assert_eq!(fingerprint(&p.clone()), f1);
+    }
+
+    #[test]
+    fn structurally_different_programs_hash_differently() {
+        assert_ne!(fingerprint(&prog(8)), fingerprint(&prog(9)));
+    }
+
+    #[test]
+    fn check_sets_distinguish() {
+        let a = fingerprint_items::<u32>(&[]);
+        let b = fingerprint_items(&[1u32]);
+        assert_ne!(a, b);
+    }
+}

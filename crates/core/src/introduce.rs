@@ -518,7 +518,7 @@ fn introduce_loop(mut stm: Stm, tbl: &mut Bindings, out: &mut Vec<Stm>) -> Resul
             });
             new_inits.push(v);
             // Iteration value bound at the end of the body.
-            let bv = bind_existential_values(&mut body, &[e.right.clone()]);
+            let bv = bind_existential_values(&mut body, std::slice::from_ref(&e.right));
             body_extra.extend(bv);
             // Pattern-level existential out.
             let ov = Sym::fresh("exto");

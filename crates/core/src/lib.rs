@@ -21,12 +21,14 @@
 
 pub mod antiunify;
 pub mod cleanup;
+pub mod fingerprint;
 pub mod hoist;
 pub mod introduce;
 pub mod memtable;
 pub mod release;
 pub mod short_circuit;
 
+pub use fingerprint::{fingerprint, fingerprint_items};
 pub use memtable::MemTable;
 pub use release::ReleasePlan;
 pub use short_circuit::{CandidateOutcome, CircuitCheck, Report};
@@ -67,6 +69,23 @@ impl Default for Options {
             mapnest_in_place: true,
             force_unsafe_short_circuit: false,
         }
+    }
+}
+
+impl Options {
+    /// The standard optimized configuration: short-circuiting on, with
+    /// every supporting ingredient (hoisting, in-place mapnests) at its
+    /// default. `Options::default()` is the unoptimized baseline.
+    pub fn optimized() -> Options {
+        Options {
+            short_circuit: true,
+            ..Options::default()
+        }
+    }
+
+    /// This configuration with the given size-assumption environment.
+    pub fn with_env(self, env: Env) -> Options {
+        Options { env, ..self }
     }
 }
 

@@ -122,6 +122,11 @@ impl ReleasePlan {
         for (k, stm) in block.stms.iter().enumerate().rev() {
             let mut uses: HashSet<Var> = HashSet::new();
             mem_uses(stm, am, class_mems, &mut uses);
+            // Iterate in symbol (= creation) order: the release schedule —
+            // and hence the lowered instruction stream and the store's
+            // free-list traffic — must not depend on hash iteration order.
+            let mut uses: Vec<Var> = uses.into_iter().collect();
+            uses.sort_unstable();
             for m in uses {
                 if locals.contains(&m) && needed.insert(m) {
                     releases[k].push(m);

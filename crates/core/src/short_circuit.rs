@@ -1095,6 +1095,11 @@ fn analyze_nested_result(
 /// Run the backward candidate analysis over a nested block. `extra_web`
 /// optionally seeds another variable (a loop merge parameter) into the
 /// web with the same binding.
+/// Rebased bindings for the web, its write/use summaries, and the
+/// position of the destination alloc if the nested block owns it.
+type NestedCandidateResult =
+    Result<(HashMap<Var, MemBinding>, Summary, Summary, Option<usize>), String>;
+
 #[allow(clippy::too_many_arguments)]
 fn analyze_nested_candidate(
     block: &Block,
@@ -1105,7 +1110,7 @@ fn analyze_nested_candidate(
     env: &Env,
     outer_allocs: &HashSet<Var>,
     ctx: &Ctx,
-) -> Result<(HashMap<Var, MemBinding>, Summary, Summary, Option<usize>), String> {
+) -> NestedCandidateResult {
     let mut alloc_pos: HashMap<Var, usize> = HashMap::new();
     let mut def_pos: HashMap<Var, usize> = HashMap::new();
     let mut scalar_defs: HashMap<Var, Poly> = HashMap::new();

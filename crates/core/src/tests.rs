@@ -28,20 +28,12 @@ fn base_env(pairs: &[(Var, i64)]) -> Env {
 fn compile_both(prog: &Program, env: Env) -> (crate::Compiled, crate::Compiled) {
     let unopt = compile(
         prog,
-        &Options {
-            short_circuit: false,
-            env: env.clone(),
-            ..Options::default()
-        },
+        &Options::default().with_env(env.clone()),
     )
     .expect("unopt compile");
     let opt = compile(
         prog,
-        &Options {
-            short_circuit: true,
-            env,
-            ..Options::default()
-        },
+        &Options::optimized().with_env(env),
     )
     .expect("opt compile");
     (unopt, opt)
@@ -690,11 +682,7 @@ fn nw_fails_without_assumptions() {
     let weak = Env::new();
     let opt = compile(
         &prog,
-        &Options {
-            short_circuit: true,
-            env: weak,
-            ..Options::default()
-        },
+        &Options::optimized().with_env(weak),
     )
     .unwrap();
     assert_eq!(find_update_elided(&opt.program.body), Some(false));
@@ -705,11 +693,7 @@ fn unopt_pipeline_introduces_memory_everywhere() {
     let (prog, env) = fig1_left();
     let unopt = compile(
         &prog,
-        &Options {
-            short_circuit: false,
-            env,
-            ..Options::default()
-        },
+        &Options::default().with_env(env),
     )
     .unwrap();
     // Every array binding must have a memory annotation.
@@ -740,11 +724,7 @@ fn hoisting_moves_allocs_before_uses() {
     let (prog, env) = fig4a();
     let opt = compile(
         &prog,
-        &Options {
-            short_circuit: false,
-            env,
-            ..Options::default()
-        },
+        &Options::default().with_env(env),
     )
     .unwrap();
     // After hoisting, all allocs precede all non-alloc statements that do
@@ -777,11 +757,7 @@ fn memory_annotations_are_deletable() {
     let (prog, env) = fig6a();
     let opt = compile(
         &prog,
-        &Options {
-            short_circuit: true,
-            env,
-            ..Options::default()
-        },
+        &Options::optimized().with_env(env),
     )
     .unwrap();
     let mut stripped = opt.program.clone();
@@ -837,11 +813,7 @@ fn fresh_map_rows_are_in_place() {
     let prog = b.finish(blk);
     let opt = compile(
         &prog,
-        &Options {
-            short_circuit: true,
-            env: base_env(&[(n, 1)]),
-            ..Options::default()
-        },
+        &Options::optimized().with_env(base_env(&[(n, 1)])),
     )
     .unwrap();
     assert_eq!(opt.report.in_place_maps, 1);
@@ -900,11 +872,7 @@ fn hoist_respects_size_dependencies() {
     let prog = b.finish(blk);
     let compiled = compile(
         &prog,
-        &Options {
-            short_circuit: false,
-            env: base_env(&[(n, 1)]),
-            ..Options::default()
-        },
+        &Options::default().with_env(base_env(&[(n, 1)])),
     )
     .unwrap();
     // Every statement's free vars must be defined before it (validate
@@ -917,11 +885,7 @@ fn cleanup_removes_only_dead_allocs() {
     let (prog, env) = fig4a();
     let opt = compile(
         &prog,
-        &Options {
-            short_circuit: true,
-            env,
-            ..Options::default()
-        },
+        &Options::optimized().with_env(env),
     )
     .unwrap();
     // fig4a: as/bs allocs removed, xss alloc retained.
@@ -937,10 +901,8 @@ fn ablation_hoisting_matters_for_fig4a() {
     let opt = compile(
         &prog,
         &Options {
-            short_circuit: true,
-            env,
             hoist: false,
-            ..Options::default()
+            ..Options::optimized().with_env(env)
         },
     )
     .unwrap();

@@ -9,6 +9,11 @@
 //! write only through `ctx.out` (its own row), and may read only row `i`
 //! of each input *not* declared in the map's `whole_inputs` list; declared
 //! whole inputs may be read arbitrarily.
+//!
+//! Kernels are stored densely: registration assigns each name a stable
+//! `u32` index, [`resolve`](KernelRegistry::resolve)d once at plan-lower
+//! time so the executor dispatches by array index instead of a string
+//! hash lookup per map statement.
 
 use crate::value::Value;
 use crate::view::{View, ViewMut};
@@ -41,10 +46,13 @@ impl KernelCtx<'_> {
 pub type KernelFn = Arc<dyn Fn(&KernelCtx) + Send + Sync>;
 
 /// Registry mapping kernel names (as referenced by `MapBody::Kernel`) to
-/// implementations.
+/// implementations. Each name owns a dense index; re-registering a name
+/// replaces the implementation but keeps the index.
 #[derive(Clone, Default)]
 pub struct KernelRegistry {
-    kernels: HashMap<String, KernelFn>,
+    kernels: Vec<KernelFn>,
+    names: Vec<String>,
+    by_name: HashMap<String, u32>,
 }
 
 impl KernelRegistry {
@@ -56,17 +64,92 @@ impl KernelRegistry {
     where
         F: Fn(&KernelCtx) + Send + Sync + 'static,
     {
-        self.kernels.insert(name.to_string(), Arc::new(f));
+        self.register_arc(name, Arc::new(f));
+    }
+
+    fn register_arc(&mut self, name: &str, f: KernelFn) {
+        match self.by_name.get(name) {
+            Some(&idx) => self.kernels[idx as usize] = f,
+            None => {
+                let idx = self.kernels.len() as u32;
+                self.kernels.push(f);
+                self.names.push(name.to_string());
+                self.by_name.insert(name.to_string(), idx);
+            }
+        }
     }
 
     pub fn get(&self, name: &str) -> Option<&KernelFn> {
-        self.kernels.get(name)
+        self.by_name.get(name).map(|&i| &self.kernels[i as usize])
+    }
+
+    /// The dense index of `name`, if registered. Plans store this index;
+    /// it is only meaningful against a registry with the same name→index
+    /// mapping (see [`fingerprint`](KernelRegistry::fingerprint)).
+    pub fn resolve(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The kernel at a dense index (panics on an unknown index).
+    pub fn by_index(&self, idx: u32) -> &KernelFn {
+        &self.kernels[idx as usize]
     }
 
     /// Merge another registry into this one.
     pub fn extend(&mut self, other: &KernelRegistry) {
-        for (k, v) in &other.kernels {
-            self.kernels.insert(k.clone(), Arc::clone(v));
+        for (name, f) in other.names.iter().zip(&other.kernels) {
+            self.register_arc(name, Arc::clone(f));
         }
+    }
+
+    /// A hash of the name→index mapping. Two registries with equal
+    /// fingerprints resolve every kernel name to the same index, so a
+    /// plan lowered against one executes correctly against the other;
+    /// the plan cache keys on this next to the program fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for name in &self.names {
+            for b in name.as_bytes() {
+                h = (h ^ *b as u64).wrapping_mul(0x100000001b3);
+            }
+            h = (h ^ 0xff).wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_assigns_stable_dense_indices() {
+        let mut r = KernelRegistry::new();
+        r.register("a", |_| {});
+        r.register("b", |_| {});
+        assert_eq!(r.resolve("a"), Some(0));
+        assert_eq!(r.resolve("b"), Some(1));
+        assert_eq!(r.resolve("c"), None);
+        let fp = r.fingerprint();
+        // Re-registering replaces the body but keeps index and fingerprint.
+        r.register("a", |_| {});
+        assert_eq!(r.resolve("a"), Some(0));
+        assert_eq!(r.fingerprint(), fp);
+        // A third name changes the fingerprint.
+        r.register("c", |_| {});
+        assert_eq!(r.resolve("c"), Some(2));
+        assert_ne!(r.fingerprint(), fp);
+    }
+
+    #[test]
+    fn extend_preserves_resolution() {
+        let mut a = KernelRegistry::new();
+        a.register("x", |_| {});
+        let mut b = KernelRegistry::new();
+        b.register("y", |_| {});
+        a.extend(&b);
+        assert!(a.get("x").is_some());
+        assert!(a.get("y").is_some());
+        assert_eq!(a.resolve("y"), Some(1));
     }
 }

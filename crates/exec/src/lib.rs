@@ -26,6 +26,7 @@
 //!   tables are built.
 
 pub mod kernel;
+pub mod plan;
 pub mod pool;
 pub mod stats;
 pub mod store;
@@ -34,11 +35,12 @@ pub mod view;
 pub mod vm;
 
 pub use kernel::{KernelCtx, KernelRegistry};
+pub use plan::{lower_plan, lower_plan_with, ExecPlan, Slot};
 pub use stats::{Diagnostic, Stats};
 pub use store::{CellState, MemStore};
 pub use value::{ArrayRef, InputValue, OutputValue, Value};
 pub use view::{View, ViewMut};
-pub use vm::{run_program, Mode, Session};
+pub use vm::{run_program, Mode, PlanHandle, PlanStats, Session};
 
 #[cfg(test)]
 mod tests;

@@ -1,0 +1,1047 @@
+//! Lowering: from the nested IR to a flat, executable [`ExecPlan`].
+//!
+//! The paper's endgame is code generation — LMAD index functions inlined
+//! at every access, no interpretive overhead at run time (§VII). This
+//! module is that split for our VM: all per-program work that does not
+//! depend on input *values* happens once, here, and the executor
+//! ([`crate::vm`]) replays the result:
+//!
+//! - nested `Block`s, `if` and `loop` flatten into one linear instruction
+//!   stream with jump instructions (lambda map bodies keep a nested
+//!   stream, executed per element);
+//! - every `Var` resolves to a dense `u32` **slot** — the executor's
+//!   environment is a `Vec<Value>`, not a `HashMap`;
+//! - every symbolic polynomial / index function is paired with its
+//!   pre-resolved `Sym → slot` list, so runtime evaluation reads slots
+//!   directly; fully-constant index functions are evaluated **now** and
+//!   their [`AccessClass`] recorded in the plan;
+//! - kernel names resolve to dense registry indices once;
+//! - the compiler's [`ReleasePlan`] is fused into the stream as explicit
+//!   [`Instr::Release`] instructions — no per-run `ReleasePlan::compute`;
+//! - checked-mode [`CircuitCheck`]s lower to [`Instr::VerifyChecks`] at
+//!   the end of the block containing the circuit statement, with their
+//!   footprint symbols pre-resolved to slots.
+//!
+//! Diagnostics still name source statements: every instruction carries a
+//! blame entry (instruction index → originating statement `Var`) in a
+//! side table parallel to the stream.
+
+use crate::kernel::KernelRegistry;
+use crate::value::Value;
+use arraymem_core::{CircuitCheck, ReleasePlan};
+use arraymem_ir::{
+    Block, Constant, ElemType, Exp, MapBody, PatElem, Program, ScalarExp, SliceSpec, Stm, Type,
+    UpdateSrc, Var,
+};
+use arraymem_lmad::concrete::AccessClass;
+use arraymem_lmad::{ConcreteIxFn, IndexFn, Lmad, Transform, TripletSlice};
+use arraymem_symbolic::{Poly, Sym};
+use std::collections::HashMap;
+
+/// A dense value-slot index (the executor's register file is
+/// `Vec<Value>`, indexed by these).
+pub type Slot = u32;
+
+/// Pre-resolved symbol→slot pairs for evaluating a symbolic expression
+/// against the register file. `None` slots are symbols that were not in
+/// scope at lower time; they evaluate to "unresolved", exactly as a
+/// missing environment entry did in the tree-walking VM.
+pub(crate) type SlotVars = Vec<(Sym, Option<Slot>)>;
+
+/// A lookup closure over pre-resolved symbol slots. The var lists are
+/// tiny (a handful of size symbols), so a linear scan beats hashing.
+pub(crate) fn slot_lookup<'a>(
+    vars: &'a [(Sym, Option<Slot>)],
+    regs: &'a [Value],
+) -> impl Fn(Sym) -> Option<i64> + 'a {
+    move |s| {
+        for (v, slot) in vars {
+            if *v == s {
+                return slot.and_then(|i| match &regs[i as usize] {
+                    Value::I64(x) => Some(*x),
+                    Value::Bool(b) => Some(*b as i64),
+                    _ => None,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// A polynomial with its variables pre-resolved to slots; constants fold
+/// at lower time.
+#[derive(Clone, Debug)]
+pub(crate) struct SlotPoly {
+    poly: Poly,
+    vars: SlotVars,
+    konst: Option<i64>,
+}
+
+impl SlotPoly {
+    pub(crate) fn eval(&self, regs: &[Value]) -> Option<i64> {
+        if let Some(k) = self.konst {
+            return Some(k);
+        }
+        let lookup = slot_lookup(&self.vars, regs);
+        self.poly.eval(&lookup)
+    }
+}
+
+/// An index function lowered against the slot scope. `Ready` means every
+/// polynomial was constant: the concrete index function *and its access
+/// class* are computed once per plan, never per run.
+#[derive(Clone, Debug)]
+pub(crate) enum LoweredIxFn {
+    Ready { ixfn: ConcreteIxFn, class: AccessClass },
+    Dynamic { ixfn: IndexFn, vars: SlotVars },
+}
+
+impl LoweredIxFn {
+    pub(crate) fn eval_access(&self, regs: &[Value]) -> Option<(ConcreteIxFn, AccessClass)> {
+        match self {
+            LoweredIxFn::Ready { ixfn, class } => Some((ixfn.clone(), *class)),
+            LoweredIxFn::Dynamic { ixfn, vars } => {
+                let lookup = slot_lookup(vars, regs);
+                let c = ixfn.eval(&lookup)?;
+                let class = c.classify();
+                Some((c, class))
+            }
+        }
+    }
+}
+
+/// A lowered scalar expression: operands are slots, never names.
+#[derive(Clone, Debug)]
+pub(crate) enum LExp {
+    Const(Value),
+    Slot(Slot),
+    Size(SlotPoly),
+    Bin(arraymem_ir::BinOp, Box<LExp>, Box<LExp>),
+    Un(arraymem_ir::UnOp, Box<LExp>),
+    Index { arr: Slot, idx: Vec<LExp> },
+    Select(Box<LExp>, Box<LExp>, Box<LExp>),
+}
+
+/// Destination of a fresh array creation: the result slot plus what each
+/// mode needs — the lowered memory binding (`Memory`/`Checked`) and the
+/// type's shape polynomials (`Pure` allocates dense).
+#[derive(Clone, Debug)]
+pub(crate) struct Dest {
+    pub slot: Slot,
+    pub var: Var,
+    pub elem: ElemType,
+    pub shape: Vec<SlotPoly>,
+    pub mem: Option<MemDest>,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct MemDest {
+    pub block: Option<Slot>,
+    pub block_var: Var,
+    pub ixfn: LoweredIxFn,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct ConcatArg {
+    pub src: Slot,
+    pub elided: bool,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct MapKernelInstr {
+    pub dest: Dest,
+    pub width: SlotPoly,
+    /// Dense registry index, resolved at lower time (`None` preserves the
+    /// tree VM's lazy "unregistered kernel" error: it only fires if the
+    /// map actually executes).
+    pub kernel: Option<u32>,
+    pub kernel_name: String,
+    pub elem: ElemType,
+    pub row_shape: Vec<SlotPoly>,
+    pub inputs: Vec<Slot>,
+    pub args: Vec<LExp>,
+    pub in_place: bool,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct MapLambdaInstr {
+    pub dests: Vec<Dest>,
+    pub width: SlotPoly,
+    pub inputs: Vec<Slot>,
+    /// One parameter slot per input, written per element.
+    pub params: Vec<Slot>,
+    /// The lambda body, a nested stream executed once per element.
+    pub body: Stream,
+    /// Body result slots, read back per element.
+    pub results: Vec<Slot>,
+    /// Provenance of the map's results (restores blame after the body).
+    pub stm_var: Option<Var>,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) enum LSlice {
+    /// Triplet or LMAD slicing: a transform plus its resolved symbols.
+    Tr { tr: Transform, vars: SlotVars },
+    /// Point indexing: the coordinates are scalar expressions.
+    Point(Vec<LExp>),
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct UpdateInstr {
+    pub dest: Dest,
+    pub dst: Slot,
+    pub slice: LSlice,
+    /// The slice came from `SliceSpec::Lmad` (dynamic injectivity check).
+    pub lmad_slice: bool,
+    pub src: LUpdateSrc,
+    pub elided: bool,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) enum LUpdateSrc {
+    Array(Slot),
+    Scalar(LExp),
+}
+
+/// A checked-mode circuit check with its footprint symbols resolved.
+#[derive(Clone, Debug)]
+pub(crate) struct LoweredCheck {
+    pub root: String,
+    pub stm: String,
+    pub writes: Vec<Lmad>,
+    pub uses: Vec<Lmad>,
+    pub vars: SlotVars,
+}
+
+/// One lowered instruction.
+#[derive(Clone, Debug)]
+pub(crate) enum Instr {
+    /// Evaluate a scalar expression into a slot, coercing to `elem`.
+    Scalar { dst: Slot, elem: Option<ElemType>, exp: LExp },
+    Alloc { dst: Slot, elem: ElemType, size: SlotPoly },
+    Iota { dest: Dest },
+    Scratch { dest: Dest },
+    Replicate { dest: Dest, value: LExp },
+    Copy { dest: Dest, src: Slot },
+    Concat { dest: Dest, args: Vec<ConcatArg> },
+    Transform { dest: Dest, src: Slot, tr: Transform, vars: SlotVars },
+    MapKernel(Box<MapKernelInstr>),
+    MapLambda(Box<MapLambdaInstr>),
+    Update(Box<UpdateInstr>),
+    /// Return the memory block in `slot` to the store's free list (a
+    /// fused `ReleasePlan` site). `site` names the statement after which
+    /// the plan freed it — checked-mode blame for use-after-release.
+    Release { slot: Slot, site: Option<Var> },
+    /// Read all sources, then write all destinations (loop merge
+    /// parameters may permute, so the copy is two-phase).
+    CopySlots { pairs: Vec<(Slot, Slot)> },
+    Jump { target: usize },
+    JumpIfFalse { cond: LExp, target: usize },
+    /// Loop back-edge guard: jump when `regs[a] >= regs[b]`.
+    JumpIfGe { a: Slot, b: Slot, target: usize },
+    /// Checked mode: cross-check the short-circuit footprints recorded
+    /// for the block that just finished executing.
+    VerifyChecks { checks: Vec<LoweredCheck> },
+}
+
+/// A linear instruction stream plus its blame side table: entry `i` is
+/// the first pattern variable of the statement instruction `i` was
+/// lowered from, so sanitizer diagnostics name source statements.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Stream {
+    pub instrs: Vec<Instr>,
+    pub blame: Vec<Option<Var>>,
+}
+
+impl Stream {
+    fn push(&mut self, i: Instr, blame: Option<Var>) -> usize {
+        self.instrs.push(i);
+        self.blame.push(blame);
+        self.instrs.len() - 1
+    }
+}
+
+/// A lowered program parameter.
+#[derive(Clone, Debug)]
+pub(crate) struct ParamSpec {
+    pub var: Var,
+    pub ty: Type,
+    pub slot: Slot,
+    /// For arrays: the slot of the parameter's memory-block variable.
+    pub mem_slot: Option<Slot>,
+    /// For arrays: shape polynomials, resolvable against earlier params.
+    pub shape: Vec<SlotPoly>,
+}
+
+/// An executable plan: the compiled-and-lowered form of one program.
+/// Build once with [`lower_plan`] (or via `Session::prepare`, which
+/// caches), execute many times in any [`crate::Mode`].
+#[derive(Clone, Debug)]
+pub struct ExecPlan {
+    pub(crate) name: String,
+    pub(crate) params: Vec<ParamSpec>,
+    pub(crate) body: Stream,
+    pub(crate) results: Vec<(Slot, Var)>,
+    pub(crate) num_slots: u32,
+    pub(crate) num_releases: usize,
+}
+
+impl ExecPlan {
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Slots in the register file.
+    pub fn num_slots(&self) -> u32 {
+        self.num_slots
+    }
+
+    /// Instructions in the top-level stream (nested lambda bodies not
+    /// counted).
+    pub fn num_instrs(&self) -> usize {
+        self.body.instrs.len()
+    }
+
+    /// Fused release sites across all streams.
+    pub fn num_releases(&self) -> usize {
+        self.num_releases
+    }
+}
+
+/// Lower a program, computing its [`ReleasePlan`] here — once per plan,
+/// never per run. `checks` are the compile report's circuit checks (pass
+/// `&[]` when not running checked).
+pub fn lower_plan(
+    prog: &Program,
+    kernels: &KernelRegistry,
+    checks: &[CircuitCheck],
+) -> Result<ExecPlan, String> {
+    let release = ReleasePlan::compute(prog);
+    lower_plan_with(prog, kernels, checks, &release)
+}
+
+/// [`lower_plan`] with a caller-supplied release plan (the test-only
+/// skew hook: `Session::run_with_plan` lowers under a deliberately wrong
+/// plan to prove the use-after-release detector fires).
+pub fn lower_plan_with(
+    prog: &Program,
+    kernels: &KernelRegistry,
+    checks: &[CircuitCheck],
+    release: &ReleasePlan,
+) -> Result<ExecPlan, String> {
+    let mut lw = Lowerer {
+        scope: Scope::default(),
+        release,
+        checks,
+        kernels,
+        num_releases: 0,
+    };
+    let mut params = Vec::with_capacity(prog.params.len());
+    for (v, ty) in &prog.params {
+        // Shapes may reference earlier scalar params only (the tree VM
+        // loaded params left to right); lower them before binding `v`.
+        let shape = match ty {
+            Type::Array { shape, .. } => shape.iter().map(|p| lw.slot_poly(p)).collect(),
+            _ => Vec::new(),
+        };
+        let slot = lw.scope.bind(*v);
+        let mem_slot = match ty {
+            Type::Array { .. } => Some(lw.scope.bind(param_block_sym(*v))),
+            _ => None,
+        };
+        params.push(ParamSpec { var: *v, ty: ty.clone(), slot, mem_slot, shape });
+    }
+    let mut body = Stream::default();
+    let result_slots = lw.lower_block(&prog.body, &mut body)?;
+    let results = result_slots
+        .into_iter()
+        .zip(&prog.body.result)
+        .map(|(s, v)| (s, *v))
+        .collect();
+    Ok(ExecPlan {
+        name: prog.name.clone(),
+        params,
+        body,
+        results,
+        num_slots: lw.scope.next,
+        num_releases: lw.num_releases,
+    })
+}
+
+pub(crate) fn param_block_sym(v: Var) -> Var {
+    arraymem_symbolic::sym(&format!("{v}_mem"))
+}
+
+/// Name→slot scope with an undo log, so nested blocks restore the
+/// enclosing bindings on exit (value slots themselves are never reused:
+/// a branch's locals simply become unreachable).
+#[derive(Default)]
+struct Scope {
+    map: HashMap<Var, Slot>,
+    undo: Vec<(Var, Option<Slot>)>,
+    next: u32,
+}
+
+impl Scope {
+    fn bind(&mut self, v: Var) -> Slot {
+        let s = self.fresh();
+        let old = self.map.insert(v, s);
+        self.undo.push((v, old));
+        s
+    }
+
+    fn fresh(&mut self) -> Slot {
+        let s = self.next;
+        self.next += 1;
+        s
+    }
+
+    fn get(&self, v: Var) -> Option<Slot> {
+        self.map.get(&v).copied()
+    }
+
+    fn mark(&self) -> usize {
+        self.undo.len()
+    }
+
+    fn reset(&mut self, mark: usize) {
+        while self.undo.len() > mark {
+            let (v, old) = self.undo.pop().expect("undo log underflow");
+            match old {
+                Some(s) => {
+                    self.map.insert(v, s);
+                }
+                None => {
+                    self.map.remove(&v);
+                }
+            }
+        }
+    }
+}
+
+struct Lowerer<'a> {
+    scope: Scope,
+    release: &'a ReleasePlan,
+    checks: &'a [CircuitCheck],
+    kernels: &'a KernelRegistry,
+    num_releases: usize,
+}
+
+impl Lowerer<'_> {
+    fn resolve(&self, v: Var) -> Result<Slot, String> {
+        self.scope.get(v).ok_or_else(|| format!("unbound {v}"))
+    }
+
+    fn slot_vars(&self, syms: impl IntoIterator<Item = Sym>) -> SlotVars {
+        let mut out: SlotVars = Vec::new();
+        for s in syms {
+            if !out.iter().any(|(v, _)| *v == s) {
+                out.push((s, self.scope.get(s)));
+            }
+        }
+        out
+    }
+
+    fn slot_poly(&self, p: &Poly) -> SlotPoly {
+        let vars = self.slot_vars(p.vars());
+        let konst = if vars.is_empty() { p.eval(|_| None) } else { None };
+        SlotPoly { poly: p.clone(), vars, konst }
+    }
+
+    fn lower_ixfn(&self, ix: &IndexFn) -> LoweredIxFn {
+        let vars = self.slot_vars(ix.vars());
+        if vars.is_empty() {
+            if let Some(c) = ix.eval(&|_| None) {
+                let class = c.classify();
+                return LoweredIxFn::Ready { ixfn: c, class };
+            }
+        }
+        LoweredIxFn::Dynamic { ixfn: ix.clone(), vars }
+    }
+
+    fn lower_exp(&mut self, e: &ScalarExp) -> Result<LExp, String> {
+        Ok(match e {
+            ScalarExp::Const(c) => LExp::Const(match c {
+                Constant::F32(x) => Value::F32(*x),
+                Constant::F64(x) => Value::F64(*x),
+                Constant::I64(x) => Value::I64(*x),
+                Constant::Bool(x) => Value::Bool(*x),
+            }),
+            ScalarExp::Var(v) => LExp::Slot(self.resolve(*v)?),
+            ScalarExp::Size(p) => LExp::Size(self.slot_poly(p)),
+            ScalarExp::Bin(op, a, b) => LExp::Bin(
+                *op,
+                Box::new(self.lower_exp(a)?),
+                Box::new(self.lower_exp(b)?),
+            ),
+            ScalarExp::Un(op, a) => LExp::Un(*op, Box::new(self.lower_exp(a)?)),
+            ScalarExp::Index(v, idx) => LExp::Index {
+                arr: self.resolve(*v)?,
+                idx: idx.iter().map(|i| self.lower_exp(i)).collect::<Result<_, _>>()?,
+            },
+            ScalarExp::Select(c, t, f) => LExp::Select(
+                Box::new(self.lower_exp(c)?),
+                Box::new(self.lower_exp(t)?),
+                Box::new(self.lower_exp(f)?),
+            ),
+        })
+    }
+
+    /// Lower a pattern element into a creation destination, binding its
+    /// slot. The memory binding and shape lower against the *current*
+    /// scope (the block variable was bound by an earlier `alloc`).
+    fn lower_dest(&mut self, pe: &PatElem) -> Result<Dest, String> {
+        let elem = pe.ty.elem().ok_or("array expected")?;
+        let shape = pe.ty.shape().iter().map(|p| self.slot_poly(p)).collect();
+        let mem = pe.mem.as_ref().map(|mb| MemDest {
+            block: self.scope.get(mb.block),
+            block_var: mb.block,
+            ixfn: self.lower_ixfn(&mb.ixfn),
+        });
+        let slot = self.scope.bind(pe.var);
+        Ok(Dest { slot, var: pe.var, elem, shape, mem })
+    }
+
+    /// Lower a block's statements (with fused releases and, when
+    /// matching, a trailing `VerifyChecks`) into `out`. Returns the
+    /// result-variable slots; the scope is restored before returning.
+    fn lower_block(&mut self, block: &Block, out: &mut Stream) -> Result<Vec<Slot>, String> {
+        let mark = self.scope.mark();
+        for (k, stm) in block.stms.iter().enumerate() {
+            self.lower_stm(stm, out)?;
+            let site = stm.pat.first().map(|p| p.var);
+            for mv in self.release.after(block, k) {
+                let slot = self.resolve(*mv)?;
+                out.push(Instr::Release { slot, site }, site);
+                self.num_releases += 1;
+            }
+        }
+        if !self.checks.is_empty() {
+            let names: Vec<String> = block
+                .stms
+                .iter()
+                .filter_map(|s| s.pat.first())
+                .map(|p| p.var.to_string())
+                .collect();
+            let lowered: Vec<LoweredCheck> = self
+                .checks
+                .iter()
+                .filter(|c| names.contains(&c.stm))
+                .map(|c| {
+                    let syms: Vec<Sym> = c
+                        .writes
+                        .iter()
+                        .chain(&c.uses)
+                        .flat_map(|l| l.vars())
+                        .collect();
+                    LoweredCheck {
+                        root: c.root.clone(),
+                        stm: c.stm.clone(),
+                        writes: c.writes.clone(),
+                        uses: c.uses.clone(),
+                        vars: self.slot_vars(syms),
+                    }
+                })
+                .collect();
+            if !lowered.is_empty() {
+                let blame = block.stms.last().and_then(|s| s.pat.first()).map(|p| p.var);
+                out.push(Instr::VerifyChecks { checks: lowered }, blame);
+            }
+        }
+        let slots = block
+            .result
+            .iter()
+            .map(|v| self.resolve(*v))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.scope.reset(mark);
+        Ok(slots)
+    }
+
+    fn lower_stm(&mut self, stm: &Stm, out: &mut Stream) -> Result<(), String> {
+        let blame = stm.pat.first().map(|p| p.var);
+        match &stm.exp {
+            Exp::Scalar(se) => {
+                let exp = self.lower_exp(se)?;
+                let elem = match &stm.pat[0].ty {
+                    Type::Scalar(e) => Some(*e),
+                    _ => None,
+                };
+                let dst = self.scope.bind(stm.pat[0].var);
+                out.push(Instr::Scalar { dst, elem, exp }, blame);
+            }
+            Exp::Alloc { elem, size } => {
+                let size = self.slot_poly(size);
+                let dst = self.scope.bind(stm.pat[0].var);
+                out.push(Instr::Alloc { dst, elem: *elem, size }, blame);
+            }
+            Exp::Iota(_) => {
+                let dest = self.lower_dest(&stm.pat[0])?;
+                out.push(Instr::Iota { dest }, blame);
+            }
+            Exp::Scratch { .. } => {
+                let dest = self.lower_dest(&stm.pat[0])?;
+                out.push(Instr::Scratch { dest }, blame);
+            }
+            Exp::Replicate { value, .. } => {
+                let value = self.lower_exp(value)?;
+                let dest = self.lower_dest(&stm.pat[0])?;
+                out.push(Instr::Replicate { dest, value }, blame);
+            }
+            Exp::Copy(src) => {
+                let src = self.resolve(*src)?;
+                let dest = self.lower_dest(&stm.pat[0])?;
+                out.push(Instr::Copy { dest, src }, blame);
+            }
+            Exp::Concat { args, elided } => {
+                let args = args
+                    .iter()
+                    .zip(elided)
+                    .map(|(a, el)| {
+                        Ok(ConcatArg { src: self.resolve(*a)?, elided: *el })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                let dest = self.lower_dest(&stm.pat[0])?;
+                out.push(Instr::Concat { dest, args }, blame);
+            }
+            Exp::Transform { src, tr } => {
+                let src = self.resolve(*src)?;
+                let vars = self.slot_vars(transform_vars(tr));
+                let dest = self.lower_dest(&stm.pat[0])?;
+                out.push(Instr::Transform { dest, src, tr: tr.clone(), vars }, blame);
+            }
+            Exp::Map(m) => self.lower_map(stm, m, out, blame)?,
+            Exp::Update { dst, slice, src, elided } => {
+                let dst_slot = self.resolve(*dst)?;
+                let (slice_l, lmad_slice) = match slice {
+                    SliceSpec::Triplet(ts) => {
+                        let tr = Transform::Slice(ts.clone());
+                        let vars = self.slot_vars(transform_vars(&tr));
+                        (LSlice::Tr { tr, vars }, false)
+                    }
+                    SliceSpec::Lmad(l) => {
+                        let tr = Transform::LmadSlice(l.clone());
+                        let vars = self.slot_vars(transform_vars(&tr));
+                        (LSlice::Tr { tr, vars }, true)
+                    }
+                    SliceSpec::Point(es) => (
+                        LSlice::Point(
+                            es.iter().map(|e| self.lower_exp(e)).collect::<Result<_, _>>()?,
+                        ),
+                        false,
+                    ),
+                };
+                let src_l = match src {
+                    UpdateSrc::Array(s) => LUpdateSrc::Array(self.resolve(*s)?),
+                    UpdateSrc::Scalar(se) => LUpdateSrc::Scalar(self.lower_exp(se)?),
+                };
+                let dest = self.lower_dest(&stm.pat[0])?;
+                out.push(
+                    Instr::Update(Box::new(UpdateInstr {
+                        dest,
+                        dst: dst_slot,
+                        slice: slice_l,
+                        lmad_slice,
+                        src: src_l,
+                        elided: *elided,
+                    })),
+                    blame,
+                );
+            }
+            Exp::If { cond, then_b, else_b } => {
+                let cond = self.lower_exp(cond)?;
+                let pat_slots: Vec<Slot> =
+                    stm.pat.iter().map(|pe| self.scope.bind(pe.var)).collect();
+                let jif = out.push(Instr::JumpIfFalse { cond, target: 0 }, blame);
+                let then_res = self.lower_block(then_b, out)?;
+                out.push(
+                    Instr::CopySlots {
+                        pairs: then_res.into_iter().zip(pat_slots.iter().copied()).collect(),
+                    },
+                    blame,
+                );
+                let jend = out.push(Instr::Jump { target: 0 }, blame);
+                let else_start = out.instrs.len();
+                patch_target(&mut out.instrs[jif], else_start);
+                let else_res = self.lower_block(else_b, out)?;
+                out.push(
+                    Instr::CopySlots {
+                        pairs: else_res.into_iter().zip(pat_slots.iter().copied()).collect(),
+                    },
+                    blame,
+                );
+                let end = out.instrs.len();
+                patch_target(&mut out.instrs[jend], end);
+            }
+            Exp::Loop { params, inits, index, count, body } => {
+                let count = self.slot_poly(count);
+                let init_slots = inits
+                    .iter()
+                    .map(|v| self.resolve(*v))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let mark = self.scope.mark();
+                let param_slots: Vec<Slot> =
+                    params.iter().map(|pp| self.scope.bind(pp.var)).collect();
+                let idx_slot = self.scope.bind(*index);
+                let count_slot = self.scope.fresh();
+                out.push(
+                    Instr::CopySlots {
+                        pairs: init_slots.into_iter().zip(param_slots.iter().copied()).collect(),
+                    },
+                    blame,
+                );
+                out.push(
+                    Instr::Scalar { dst: count_slot, elem: None, exp: LExp::Size(count) },
+                    blame,
+                );
+                out.push(
+                    Instr::Scalar {
+                        dst: idx_slot,
+                        elem: None,
+                        exp: LExp::Const(Value::I64(0)),
+                    },
+                    blame,
+                );
+                let head = out.instrs.len();
+                let jge =
+                    out.push(Instr::JumpIfGe { a: idx_slot, b: count_slot, target: 0 }, blame);
+                let body_res = self.lower_block(body, out)?;
+                out.push(
+                    Instr::CopySlots {
+                        pairs: body_res.into_iter().zip(param_slots.iter().copied()).collect(),
+                    },
+                    blame,
+                );
+                out.push(
+                    Instr::Scalar {
+                        dst: idx_slot,
+                        elem: None,
+                        exp: LExp::Bin(
+                            arraymem_ir::BinOp::Add,
+                            Box::new(LExp::Slot(idx_slot)),
+                            Box::new(LExp::Const(Value::I64(1))),
+                        ),
+                    },
+                    blame,
+                );
+                out.push(Instr::Jump { target: head }, blame);
+                let end = out.instrs.len();
+                patch_target(&mut out.instrs[jge], end);
+                // The merge parameters' final values become the pattern's.
+                let final_params = param_slots.clone();
+                self.scope.reset(mark);
+                let pat_slots: Vec<Slot> =
+                    stm.pat.iter().map(|pe| self.scope.bind(pe.var)).collect();
+                out.push(
+                    Instr::CopySlots {
+                        pairs: final_params.into_iter().zip(pat_slots).collect(),
+                    },
+                    blame,
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_map(
+        &mut self,
+        stm: &Stm,
+        m: &arraymem_ir::MapExp,
+        out: &mut Stream,
+        blame: Option<Var>,
+    ) -> Result<(), String> {
+        let width = self.slot_poly(&m.width);
+        let inputs = m
+            .inputs
+            .iter()
+            .map(|v| self.resolve(*v))
+            .collect::<Result<Vec<_>, _>>()?;
+        match &m.body {
+            MapBody::Kernel { name, elem, row_shape, args, .. } => {
+                let args = args
+                    .iter()
+                    .map(|a| self.lower_exp(a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let row_shape = row_shape.iter().map(|p| self.slot_poly(p)).collect();
+                let dest = self.lower_dest(&stm.pat[0])?;
+                out.push(
+                    Instr::MapKernel(Box::new(MapKernelInstr {
+                        dest,
+                        width,
+                        kernel: self.kernels.resolve(name),
+                        kernel_name: name.clone(),
+                        elem: *elem,
+                        row_shape,
+                        inputs,
+                        args,
+                        in_place: m.in_place_result,
+                    })),
+                    blame,
+                );
+            }
+            MapBody::Lambda { params, body } => {
+                let mark = self.scope.mark();
+                let param_slots: Vec<Slot> =
+                    params.iter().map(|(p, _)| self.scope.bind(*p)).collect();
+                let mut body_stream = Stream::default();
+                let results = self.lower_block(body, &mut body_stream)?;
+                self.scope.reset(mark);
+                let dests = stm
+                    .pat
+                    .iter()
+                    .map(|pe| self.lower_dest(pe))
+                    .collect::<Result<Vec<_>, _>>()?;
+                out.push(
+                    Instr::MapLambda(Box::new(MapLambdaInstr {
+                        dests,
+                        width,
+                        inputs,
+                        params: param_slots,
+                        body: body_stream,
+                        results,
+                        stm_var: blame,
+                    })),
+                    blame,
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+fn patch_target(i: &mut Instr, t: usize) {
+    match i {
+        Instr::Jump { target }
+        | Instr::JumpIfFalse { target, .. }
+        | Instr::JumpIfGe { target, .. } => *target = t,
+        _ => unreachable!("patching a non-jump"),
+    }
+}
+
+fn transform_vars(tr: &Transform) -> Vec<Sym> {
+    let mut out: Vec<Sym> = Vec::new();
+    let add = |p: &Poly, out: &mut Vec<Sym>| {
+        for v in p.vars() {
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+    };
+    match tr {
+        Transform::Permute(_) | Transform::Reverse(_) => {}
+        Transform::Reshape(ps) => {
+            for p in ps {
+                add(p, &mut out);
+            }
+        }
+        Transform::Slice(ts) => {
+            for t in ts {
+                match t {
+                    TripletSlice::Range { start, len, step } => {
+                        add(start, &mut out);
+                        add(len, &mut out);
+                        add(step, &mut out);
+                    }
+                    TripletSlice::Fix(p) => add(p, &mut out),
+                }
+            }
+        }
+        Transform::LmadSlice(l) => {
+            for v in l.vars() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Pretty printing (golden-snapshot friendly).
+
+/// Strip `#<digits>` freshness suffixes from symbol names, so the rendered
+/// plan is stable across interner states (test order, process restarts).
+fn scrub(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '#' && chars.peek().is_some_and(|d| d.is_ascii_digit()) {
+            while chars.peek().is_some_and(|d| d.is_ascii_digit()) {
+                chars.next();
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+impl ExecPlan {
+    /// A deterministic, human-readable rendering of the plan: parameters,
+    /// then the instruction stream (lambda bodies indented), with slots as
+    /// `%N` and symbol names scrubbed of freshness suffixes. The NW golden
+    /// snapshot test diffs this.
+    pub fn pretty(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "plan {} ({} slots, {} instrs, {} fused releases)\n",
+            self.name,
+            self.num_slots,
+            self.body.instrs.len(),
+            self.num_releases
+        ));
+        s.push_str("params:\n");
+        for p in &self.params {
+            let mem = match p.mem_slot {
+                Some(m) => format!(" (mem %{m})"),
+                None => String::new(),
+            };
+            s.push_str(&format!("  %{} {}: {:?}{}\n", p.slot, p.var, p.ty, mem));
+        }
+        s.push_str("body:\n");
+        fmt_stream(&self.body, 1, &mut s);
+        s.push_str("results:");
+        for (slot, v) in &self.results {
+            s.push_str(&format!(" %{slot} ({v})"));
+        }
+        s.push('\n');
+        scrub(&s)
+    }
+}
+
+fn fmt_stream(st: &Stream, indent: usize, s: &mut String) {
+    let pad = "  ".repeat(indent);
+    for (k, i) in st.instrs.iter().enumerate() {
+        s.push_str(&format!("{pad}{k:>3}  {}\n", fmt_instr(i)));
+        if let Instr::MapLambda(ml) = i {
+            fmt_stream(&ml.body, indent + 1, s);
+            s.push_str(&format!(
+                "{pad}     ^ per-element body; results {}\n",
+                ml.results.iter().map(|r| format!("%{r}")).collect::<Vec<_>>().join(" ")
+            ));
+        }
+    }
+}
+
+fn fmt_dest(d: &Dest) -> String {
+    let mem = match &d.mem {
+        Some(md) => {
+            let block = match md.block {
+                Some(b) => format!("%{b}"),
+                None => format!("<unbound {}>", md.block_var),
+            };
+            match &md.ixfn {
+                LoweredIxFn::Ready { ixfn, class } => {
+                    format!(" @ {block} {ixfn:?} [{class:?}]")
+                }
+                LoweredIxFn::Dynamic { ixfn, .. } => format!(" @ {block} {ixfn:?}"),
+            }
+        }
+        None => String::new(),
+    };
+    format!("%{} ({}: {:?}){}", d.slot, d.var, d.elem, mem)
+}
+
+fn fmt_exp(e: &LExp) -> String {
+    match e {
+        LExp::Const(v) => format!("{v:?}"),
+        LExp::Slot(s) => format!("%{s}"),
+        LExp::Size(p) => format!("size({:?})", p.poly),
+        LExp::Bin(op, a, b) => format!("({} {op:?} {})", fmt_exp(a), fmt_exp(b)),
+        LExp::Un(op, a) => format!("{op:?}({})", fmt_exp(a)),
+        LExp::Index { arr, idx } => format!(
+            "%{arr}[{}]",
+            idx.iter().map(fmt_exp).collect::<Vec<_>>().join(", ")
+        ),
+        LExp::Select(c, t, f) => {
+            format!("select({}, {}, {})", fmt_exp(c), fmt_exp(t), fmt_exp(f))
+        }
+    }
+}
+
+fn fmt_slots(slots: &[Slot]) -> String {
+    slots.iter().map(|s| format!("%{s}")).collect::<Vec<_>>().join(" ")
+}
+
+fn fmt_instr(i: &Instr) -> String {
+    match i {
+        Instr::Scalar { dst, exp, .. } => format!("%{dst} <- {}", fmt_exp(exp)),
+        Instr::Alloc { dst, elem, size } => {
+            format!("%{dst} <- alloc {elem:?} x {:?}", size.poly)
+        }
+        Instr::Iota { dest } => format!("{} <- iota", fmt_dest(dest)),
+        Instr::Scratch { dest } => format!("{} <- scratch", fmt_dest(dest)),
+        Instr::Replicate { dest, value } => {
+            format!("{} <- replicate {}", fmt_dest(dest), fmt_exp(value))
+        }
+        Instr::Copy { dest, src } => format!("{} <- copy %{src}", fmt_dest(dest)),
+        Instr::Concat { dest, args } => format!(
+            "{} <- concat [{}]",
+            fmt_dest(dest),
+            args.iter()
+                .map(|a| format!("%{}{}", a.src, if a.elided { " (elided)" } else { "" }))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Instr::Transform { dest, src, tr, .. } => {
+            format!("{} <- transform %{src} {tr:?}", fmt_dest(dest))
+        }
+        Instr::MapKernel(mk) => format!(
+            "{} <- map_kernel {}#{} width {:?} inputs [{}] args [{}]{}",
+            fmt_dest(&mk.dest),
+            mk.kernel_name,
+            mk.kernel.map(|k| k.to_string()).unwrap_or_else(|| "?".into()),
+            mk.width.poly,
+            fmt_slots(&mk.inputs),
+            mk.args.iter().map(fmt_exp).collect::<Vec<_>>().join(", "),
+            if mk.in_place { " in-place" } else { "" }
+        ),
+        Instr::MapLambda(ml) => format!(
+            "[{}] <- map_lambda width {:?} inputs [{}] params [{}]",
+            ml.dests.iter().map(fmt_dest).collect::<Vec<_>>().join(", "),
+            ml.width.poly,
+            fmt_slots(&ml.inputs),
+            fmt_slots(&ml.params),
+        ),
+        Instr::Update(u) => {
+            let slice = match &u.slice {
+                LSlice::Tr { tr, .. } => format!("{tr:?}"),
+                LSlice::Point(es) => format!(
+                    "point[{}]",
+                    es.iter().map(fmt_exp).collect::<Vec<_>>().join(", ")
+                ),
+            };
+            let src = match &u.src {
+                LUpdateSrc::Array(s) => format!("%{s}"),
+                LUpdateSrc::Scalar(e) => fmt_exp(e),
+            };
+            format!(
+                "{} <- update %{} {slice} src {src}{}",
+                fmt_dest(&u.dest),
+                u.dst,
+                if u.elided { " (elided)" } else { "" }
+            )
+        }
+        Instr::Release { slot, site } => format!(
+            "release %{slot}{}",
+            site.map(|v| format!(" (after {v})")).unwrap_or_default()
+        ),
+        Instr::CopySlots { pairs } => format!(
+            "copy-slots [{}]",
+            pairs
+                .iter()
+                .map(|(a, b)| format!("%{a}->%{b}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Instr::Jump { target } => format!("jump {target}"),
+        Instr::JumpIfFalse { cond, target } => {
+            format!("jump-if-false {} -> {target}", fmt_exp(cond))
+        }
+        Instr::JumpIfGe { a, b, target } => format!("jump-if %{a} >= %{b} -> {target}"),
+        Instr::VerifyChecks { checks } => format!(
+            "verify-circuits [{}]",
+            checks.iter().map(|c| c.stm.clone()).collect::<Vec<_>>().join(", ")
+        ),
+    }
+}

@@ -30,20 +30,12 @@ fn run_all(
 ) -> (Vec<OutputValue>, crate::Stats, crate::Stats) {
     let unopt = compile(
         prog,
-        &Options {
-            short_circuit: false,
-            env: env.clone(),
-            ..Options::default()
-        },
+        &Options::default().with_env(env.clone()),
     )
     .expect("unopt compile");
     let opt = compile(
         prog,
-        &Options {
-            short_circuit: true,
-            env,
-            ..Options::default()
-        },
+        &Options::optimized().with_env(env),
     )
     .expect("opt compile");
     let (pure_out, _) =
@@ -345,11 +337,7 @@ fn overlapping_lmad_update_is_rejected_dynamically() {
     let prog = b.finish(blk);
     let compiled = compile(
         &prog,
-        &Options {
-            short_circuit: false,
-            env: Env::new(),
-            ..Options::default()
-        },
+        &Options::default(),
     )
     .unwrap();
     let kernels = KernelRegistry::new();
@@ -413,10 +401,8 @@ fn release_plan_recycles_chained_intermediates() {
     let compiled = compile(
         &prog,
         &Options {
-            short_circuit: false,
-            env,
             hoist: false, // keep each alloc next to its copy
-            ..Options::default()
+            ..Options::default().with_env(env)
         },
     )
     .unwrap();
@@ -470,11 +456,7 @@ fn session_reuse_is_equivalence_preserving() {
     // reused session must recycle.
     let compiled = compile(
         &prog,
-        &Options {
-            short_circuit: false,
-            env,
-            ..Options::default()
-        },
+        &Options::default().with_env(env),
     )
     .unwrap();
     let rows = 12usize;

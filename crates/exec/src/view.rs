@@ -111,6 +111,15 @@ impl View {
         }
     }
 
+    /// A view whose access class was classified earlier (at array-value
+    /// creation or plan-lower time), skipping the per-view re-classify.
+    pub fn with_class(buf: RawBuf, ixfn: ConcreteIxFn, plan: AccessClass) -> View {
+        debug_assert_eq!(plan, ixfn.classify());
+        View {
+            core: ViewCore { buf, ixfn, plan },
+        }
+    }
+
     pub fn ixfn(&self) -> &ConcreteIxFn {
         &self.core.ixfn
     }
@@ -188,6 +197,14 @@ impl ViewMut {
     pub fn new(buf: RawBuf, ixfn: ConcreteIxFn) -> ViewMut {
         ViewMut {
             core: ViewCore::new(buf, ixfn),
+        }
+    }
+
+    /// See [`View::with_class`].
+    pub fn with_class(buf: RawBuf, ixfn: ConcreteIxFn, plan: AccessClass) -> ViewMut {
+        debug_assert_eq!(plan, ixfn.classify());
+        ViewMut {
+            core: ViewCore { buf, ixfn, plan },
         }
     }
 

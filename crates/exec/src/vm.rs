@@ -1,6 +1,14 @@
-//! The program executor.
+//! The plan executor.
 //!
-//! Three modes:
+//! Programs are not interpreted from the IR tree: [`Session::prepare`]
+//! lowers a compiled program once into a flat [`ExecPlan`] (see
+//! [`crate::plan`]) and caches it by a structural fingerprint;
+//! [`Session::run_plan`] then replays the instruction stream against a
+//! dense `Vec<Value>` register file. The hot loop performs **no** hash
+//! map lookups — operands are pre-resolved slots — and no per-run
+//! release-plan analysis: release sites are instructions in the stream.
+//!
+//! Three modes share one plan:
 //!
 //! - [`Mode::Memory`]: obeys the compiler's memory annotations — `alloc`
 //!   statements create blocks, fresh arrays are constructed through their
@@ -22,8 +30,13 @@
 //!   footprint pair a short-circuit's symbolic non-overlap test approved.
 //!   Maps run serially for deterministic diagnostics; findings land in
 //!   [`Stats::diagnostics`] rather than aborting, so one run reports all.
+//!   Diagnostics name source statements via the plan's blame side table.
 
 use crate::kernel::{KernelCtx, KernelRegistry};
+use crate::plan::{
+    lower_plan, lower_plan_with, slot_lookup, Dest, ExecPlan, Instr, LExp, LSlice, LUpdateSrc,
+    ParamSpec, Stream,
+};
 use crate::pool::parallel_for_worker;
 use crate::stats::{Diagnostic, Stats};
 use crate::store::{CellState, MemStore};
@@ -31,15 +44,14 @@ use crate::value::{ArrayRef, InputValue, OutputValue, Value};
 use crate::view::{copy_view, fix_outer, View, ViewMut};
 use arraymem_core::{CircuitCheck, ReleasePlan};
 use arraymem_ir::validate::lmad_slice_is_injective;
-use arraymem_ir::{
-    BinOp, Block, Constant, ElemType, Exp, MapBody, MapExp, Program, ScalarExp, SliceSpec, Stm,
-    Type, UnOp, UpdateSrc, Var,
+use arraymem_ir::{BinOp, ElemType, Program, Type, UnOp};
+use arraymem_lmad::{
+    footprint_check, ConcreteIxFn, ConcreteLmad, FootprintCheck, IndexFn, Lmad, Transform,
+    TripletSlice,
 };
-use arraymem_lmad::{footprint_check, ConcreteIxFn, FootprintCheck, IndexFn, Lmad, Transform,
-    TripletSlice};
 use arraymem_symbolic::Poly;
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Execution mode.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -61,33 +73,49 @@ const MAX_DIAGNOSTICS: usize = 64;
 /// the runtime disjointness cross-check (enumeration would dominate).
 const FOOTPRINT_CAP: i64 = 1 << 20;
 
+/// A prepared plan in a [`Session`]'s cache. Cheap to copy; only valid
+/// for the session that produced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanHandle(usize);
+
+/// Cumulative plan-preparation accounting for a session.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Plans actually lowered (cache misses).
+    pub builds: u64,
+    /// `prepare` calls answered from the cache.
+    pub cache_hits: u64,
+    /// Total time spent lowering (cache misses only).
+    pub build_time: Duration,
+}
+
 struct Machine<'a> {
     store: &'a mut MemStore,
     kernels: &'a KernelRegistry,
+    regs: Vec<Value>,
     stats: Stats,
     threads: usize,
     mode: Mode,
-    /// Where locally-allocated blocks die (computed per run from the
-    /// compiler's alias + last-use analyses); the store recycles them.
-    plan: &'a ReleasePlan,
-    /// Checked mode: recorded short-circuit footprints, cross-checked at
-    /// the end of each execution of the block containing the circuit
-    /// statement (so loop-scoped symbols evaluate per iteration).
-    checks: &'a [CircuitCheck],
-    /// Checked mode: first pattern variable of the executing statement —
-    /// write provenance for shadow marks, blame for diagnostics.
-    cur_stm: Option<Var>,
+    /// Checked mode: first pattern variable of the executing statement
+    /// (from the plan's blame table) — write provenance for shadow marks,
+    /// blame for diagnostics.
+    cur_stm: Option<arraymem_ir::Var>,
 }
 
-type Env = HashMap<Var, Value>;
-
-/// A reusable execution context owning the memory store. Running several
-/// programs (or the same program repeatedly, as the benchmark harness
-/// does) through one session recycles every block of run *n* into the
-/// allocations of run *n+1* via the store's free lists.
+/// A reusable execution context owning the memory store **and the plan
+/// cache**. Running several programs (or the same program repeatedly, as
+/// the benchmark harness does) through one session recycles every block
+/// of run *n* into the allocations of run *n+1* via the store's free
+/// lists, and compiles + lowers each distinct program exactly once.
 #[derive(Default)]
 pub struct Session {
     store: MemStore,
+    plans: Vec<ExecPlan>,
+    cache: HashMap<u64, usize>,
+    plan_stats: PlanStats,
+    /// Outcome of the most recent `prepare`: (was a cache hit, lowering
+    /// time if it was a miss). Stamped onto the next run's [`Stats`].
+    last_prepare: (bool, Duration),
 }
 
 impl Session {
@@ -95,9 +123,76 @@ impl Session {
         Session::default()
     }
 
-    /// Execute a program. `inputs` must match the parameter list. Returns
-    /// the program results plus execution statistics (input loading and
-    /// result extraction excluded).
+    /// Lower `prog` into an executable plan, or return the cached handle
+    /// if this session has prepared a structurally identical program (same
+    /// IR fingerprint, same kernel registry, no checks) before.
+    pub fn prepare(
+        &mut self,
+        prog: &Program,
+        kernels: &KernelRegistry,
+    ) -> Result<PlanHandle, String> {
+        self.prepare_with_checks(prog, kernels, &[])
+    }
+
+    /// [`prepare`](Session::prepare) with checked-mode circuit checks
+    /// lowered into the plan (pass the compile report's
+    /// [`CircuitCheck`]s; they are part of the cache key).
+    pub fn prepare_with_checks(
+        &mut self,
+        prog: &Program,
+        kernels: &KernelRegistry,
+        checks: &[CircuitCheck],
+    ) -> Result<PlanHandle, String> {
+        let key = cache_key(prog, kernels, checks);
+        if let Some(&i) = self.cache.get(&key) {
+            self.plan_stats.cache_hits += 1;
+            self.last_prepare = (true, Duration::ZERO);
+            return Ok(PlanHandle(i));
+        }
+        let t0 = Instant::now();
+        let plan = lower_plan(prog, kernels, checks)?;
+        let dt = t0.elapsed();
+        self.plan_stats.builds += 1;
+        self.plan_stats.build_time += dt;
+        self.last_prepare = (false, dt);
+        let i = self.plans.len();
+        self.plans.push(plan);
+        self.cache.insert(key, i);
+        Ok(PlanHandle(i))
+    }
+
+    /// Cumulative prepare accounting (the harness asserts
+    /// `cache_hits == runs - builds` per benchmarked case).
+    pub fn plan_stats(&self) -> PlanStats {
+        self.plan_stats
+    }
+
+    /// The prepared plan behind a handle (pretty-printing, inspection).
+    pub fn plan(&self, h: PlanHandle) -> &ExecPlan {
+        &self.plans[h.0]
+    }
+
+    /// Execute a prepared plan. `inputs` must match the parameter list.
+    /// Returns the program results plus execution statistics (input
+    /// loading and result extraction excluded).
+    pub fn run_plan(
+        &mut self,
+        h: PlanHandle,
+        inputs: &[InputValue],
+        kernels: &KernelRegistry,
+        mode: Mode,
+        threads: usize,
+    ) -> Result<(Vec<OutputValue>, Stats), String> {
+        let (hit, build) = self.last_prepare;
+        let r = exec_plan(&mut self.store, &self.plans[h.0], inputs, kernels, mode, threads);
+        r.map(|(out, mut stats)| {
+            stats.plan_cache_hit = hit;
+            stats.plan_build_time = build;
+            (out, stats)
+        })
+    }
+
+    /// Prepare (cached) and execute a program in one call.
     pub fn run(
         &mut self,
         prog: &Program,
@@ -125,14 +220,16 @@ impl Session {
         threads: usize,
         checks: &[CircuitCheck],
     ) -> Result<(Vec<OutputValue>, Stats), String> {
-        let plan = ReleasePlan::compute(prog);
-        self.run_with_plan(prog, inputs, kernels, mode, threads, checks, &plan)
+        let h = self.prepare_with_checks(prog, kernels, checks)?;
+        self.run_plan(h, inputs, kernels, mode, threads)
     }
 
     /// [`run_with_checks`](Session::run_with_checks) with a caller-supplied
-    /// release plan. Tests use this to execute under a *deliberately wrong*
-    /// plan ([`ReleasePlan::compute_skewed_early`]) and assert the checked
+    /// release plan, lowered fresh and uncached. Tests use this to execute
+    /// under a *deliberately wrong* plan
+    /// ([`ReleasePlan::compute_skewed_early`]) and assert the checked
     /// mode's use-after-release detector fires.
+    #[allow(clippy::too_many_arguments)]
     pub fn run_with_plan(
         &mut self,
         prog: &Program,
@@ -143,55 +240,26 @@ impl Session {
         checks: &[CircuitCheck],
         plan: &ReleasePlan,
     ) -> Result<(Vec<OutputValue>, Stats), String> {
-        if mode == Mode::Checked {
-            self.store.enable_shadow();
-        } else {
-            self.store.disable_shadow();
-        }
-        let mut m = Machine {
-            store: &mut self.store,
-            kernels,
-            stats: Stats::default(),
-            threads: threads.max(1),
-            mode,
-            plan,
-            checks,
-            cur_stm: None,
-        };
-        let mut env: Env = HashMap::new();
-        if inputs.len() != prog.params.len() {
-            return Err(format!(
-                "expected {} inputs, got {}",
-                prog.params.len(),
-                inputs.len()
-            ));
-        }
-        for ((v, ty), input) in prog.params.iter().zip(inputs) {
-            load_param(&mut m, &mut env, *v, ty, input)?;
-        }
-        // Only the body execution is measured.
-        m.store.bytes_allocated = 0;
-        m.store.num_allocs = 0;
-        m.store.blocks_reused = 0;
-        m.store.bytes_zeroing_elided = 0;
-        let t0 = Instant::now();
-        m.exec_block(&prog.body, &mut env)?;
-        m.stats.total_time = t0.elapsed();
-        m.stats.bytes_allocated = m.store.bytes_allocated;
-        m.stats.num_allocs = m.store.num_allocs;
-        m.stats.blocks_reused = m.store.blocks_reused;
-        m.stats.bytes_zeroing_elided = m.store.bytes_zeroing_elided;
-        let mut out = Vec::with_capacity(prog.body.result.len());
-        for v in &prog.body.result {
-            m.cur_stm = Some(*v);
-            out.push(extract(&mut m, env.get(v).ok_or("missing result")?));
-        }
-        let stats = m.stats;
-        // Results are extracted (deep-copied) above; everything the run
-        // allocated can feed the next run's allocations.
-        self.store.release_all_live();
-        Ok((out, stats))
+        let lowered = lower_plan_with(prog, kernels, checks, plan)?;
+        exec_plan(&mut self.store, &lowered, inputs, kernels, mode, threads)
     }
+}
+
+/// Cache key: the program's structural fingerprint, the kernel
+/// registry's name table, and the circuit-check set.
+fn cache_key(prog: &Program, kernels: &KernelRegistry, checks: &[CircuitCheck]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for part in [
+        arraymem_core::fingerprint(prog),
+        kernels.fingerprint(),
+        arraymem_core::fingerprint_items(checks),
+    ] {
+        for b in part.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
 }
 
 /// Execute a program in a one-shot [`Session`].
@@ -205,76 +273,63 @@ pub fn run_program(
     Session::new().run(prog, inputs, kernels, mode, threads)
 }
 
-fn load_param(
-    m: &mut Machine,
-    env: &mut Env,
-    v: Var,
-    ty: &Type,
-    input: &InputValue,
-) -> Result<(), String> {
-    match (ty, input) {
-        (Type::Scalar(ElemType::I64), InputValue::I64(x)) => {
-            env.insert(v, Value::I64(*x));
-        }
-        (Type::Scalar(ElemType::F32), InputValue::F32(x)) => {
-            env.insert(v, Value::F32(*x));
-        }
-        (Type::Scalar(ElemType::F64), InputValue::F64(x)) => {
-            env.insert(v, Value::F64(*x));
-        }
-        (Type::Scalar(ElemType::Bool), InputValue::Bool(x)) => {
-            env.insert(v, Value::Bool(*x));
-        }
-        (Type::Array { elem, shape }, arr) => {
-            let shape_c: Vec<i64> = {
-                let lookup = lookup_fn(env);
-                shape
-                    .iter()
-                    .map(|p| p.eval(&lookup).ok_or("unresolved param shape"))
-                    .collect::<Result<_, _>>()?
-            };
-            let n: i64 = shape_c.iter().product();
-            let block = match (elem, arr) {
-                (ElemType::F32, InputValue::ArrayF32(d)) => {
-                    assert_eq!(d.len() as i64, n, "input length mismatch for {v}");
-                    m.store.alloc_f32(d.clone())
-                }
-                (ElemType::F64, InputValue::ArrayF64(d)) => {
-                    assert_eq!(d.len() as i64, n);
-                    m.store.alloc_f64(d.clone())
-                }
-                (ElemType::I64, InputValue::ArrayI64(d)) => {
-                    assert_eq!(d.len() as i64, n);
-                    m.store.alloc_i64(d.clone())
-                }
-                _ => return Err(format!("input type mismatch for {v}")),
-            };
-            env.insert(
-                v,
-                Value::Array(ArrayRef {
-                    block,
-                    elem: *elem,
-                    ixfn: ConcreteIxFn::row_major(&shape_c),
-                }),
-            );
-            // The parameter's memory block variable.
-            env.insert(param_block_sym(v), Value::Mem(block));
-        }
-        _ => return Err(format!("input mismatch for {v}")),
+/// Run one plan against a store: load inputs, execute the stream, extract
+/// results, release everything still live back to the free lists.
+fn exec_plan(
+    store: &mut MemStore,
+    plan: &ExecPlan,
+    inputs: &[InputValue],
+    kernels: &KernelRegistry,
+    mode: Mode,
+    threads: usize,
+) -> Result<(Vec<OutputValue>, Stats), String> {
+    if mode == Mode::Checked {
+        store.enable_shadow();
+    } else {
+        store.disable_shadow();
     }
-    Ok(())
-}
-
-fn param_block_sym(v: Var) -> Var {
-    arraymem_symbolic::sym(&format!("{v}_mem"))
-}
-
-fn lookup_fn(env: &Env) -> impl Fn(arraymem_symbolic::Sym) -> Option<i64> + '_ {
-    |s| match env.get(&s) {
-        Some(Value::I64(x)) => Some(*x),
-        Some(Value::Bool(b)) => Some(*b as i64),
-        _ => None,
+    let mut m = Machine {
+        store,
+        kernels,
+        regs: vec![Value::I64(0); plan.num_slots() as usize],
+        stats: Stats::default(),
+        threads: threads.max(1),
+        mode,
+        cur_stm: None,
+    };
+    if inputs.len() != plan.params.len() {
+        return Err(format!(
+            "expected {} inputs, got {}",
+            plan.params.len(),
+            inputs.len()
+        ));
     }
+    for (spec, input) in plan.params.iter().zip(inputs) {
+        m.load_param(spec, input)?;
+    }
+    // Only the body execution is measured.
+    m.store.bytes_allocated = 0;
+    m.store.num_allocs = 0;
+    m.store.blocks_reused = 0;
+    m.store.bytes_zeroing_elided = 0;
+    let t0 = Instant::now();
+    m.exec_stream(&plan.body)?;
+    m.stats.total_time = t0.elapsed();
+    m.stats.bytes_allocated = m.store.bytes_allocated;
+    m.stats.num_allocs = m.store.num_allocs;
+    m.stats.blocks_reused = m.store.blocks_reused;
+    m.stats.bytes_zeroing_elided = m.store.bytes_zeroing_elided;
+    let mut out = Vec::with_capacity(plan.results.len());
+    for (slot, v) in &plan.results {
+        m.cur_stm = Some(*v);
+        let value = m.regs[*slot as usize].clone();
+        out.push(extract(&mut m, &value));
+    }
+    let stats = m.stats;
+    // Results are extracted (deep-copied) above; everything the run
+    // allocated can feed the next run's allocations.
+    store.release_all_live();
+    Ok((out, stats))
 }
 
 fn extract(m: &mut Machine, v: &Value) -> OutputValue {
@@ -289,7 +344,7 @@ fn extract(m: &mut Machine, v: &Value) -> OutputValue {
             // already-released result cells are exactly what escapes to
             // the caller.
             m.check_read(a.block, &a.ixfn);
-            let view = View::new(m.store.raw(a.block), a.ixfn.clone());
+            let view = m.view(a);
             let n = view.num_elems();
             match a.elem {
                 ElemType::F32 => {
@@ -314,6 +369,58 @@ impl Machine<'_> {
 
     fn checked(&self) -> bool {
         self.mode == Mode::Checked
+    }
+
+    fn load_param(&mut self, spec: &ParamSpec, input: &InputValue) -> Result<(), String> {
+        let v = spec.var;
+        match (&spec.ty, input) {
+            (Type::Scalar(ElemType::I64), InputValue::I64(x)) => {
+                self.regs[spec.slot as usize] = Value::I64(*x);
+            }
+            (Type::Scalar(ElemType::F32), InputValue::F32(x)) => {
+                self.regs[spec.slot as usize] = Value::F32(*x);
+            }
+            (Type::Scalar(ElemType::F64), InputValue::F64(x)) => {
+                self.regs[spec.slot as usize] = Value::F64(*x);
+            }
+            (Type::Scalar(ElemType::Bool), InputValue::Bool(x)) => {
+                self.regs[spec.slot as usize] = Value::Bool(*x);
+            }
+            (Type::Array { elem, .. }, arr) => {
+                let shape_c: Vec<i64> = spec
+                    .shape
+                    .iter()
+                    .map(|p| p.eval(&self.regs).ok_or("unresolved param shape"))
+                    .collect::<Result<_, _>>()?;
+                let n: i64 = shape_c.iter().product();
+                let block = match (elem, arr) {
+                    (ElemType::F32, InputValue::ArrayF32(d)) => {
+                        assert_eq!(d.len() as i64, n, "input length mismatch for {v}");
+                        self.store.alloc_f32(d.clone())
+                    }
+                    (ElemType::F64, InputValue::ArrayF64(d)) => {
+                        assert_eq!(d.len() as i64, n);
+                        self.store.alloc_f64(d.clone())
+                    }
+                    (ElemType::I64, InputValue::ArrayI64(d)) => {
+                        assert_eq!(d.len() as i64, n);
+                        self.store.alloc_i64(d.clone())
+                    }
+                    _ => return Err(format!("input type mismatch for {v}")),
+                };
+                self.regs[spec.slot as usize] = Value::Array(ArrayRef::new(
+                    block,
+                    *elem,
+                    ConcreteIxFn::row_major(&shape_c),
+                ));
+                // The parameter's memory block variable.
+                if let Some(ms) = spec.mem_slot {
+                    self.regs[ms as usize] = Value::Mem(block);
+                }
+            }
+            _ => return Err(format!("input mismatch for {v}")),
+        }
+        Ok(())
     }
 
     /// Record a sanitizer finding (capped; the overflow is counted).
@@ -433,26 +540,450 @@ impl Machine<'_> {
         }
     }
 
-    /// Cross-check the short-circuits whose circuit statement lives in
-    /// `block`, with that block's symbols in scope: evaluate the recorded
-    /// symbolic footprints and prove each (write, later-use) pair disjoint
-    /// by enumeration. Called at the end of every execution of the block,
-    /// so circuits inside loop bodies are re-verified per iteration
-    /// against that iteration's concrete offsets. Checked mode only.
-    fn verify_block_checks(&mut self, block: &Block, env: &Env) {
-        let checks = self.checks;
-        let names: Vec<String> = block
-            .stms
-            .iter()
-            .filter_map(|s| s.pat.first())
-            .map(|p| p.var.to_string())
-            .collect();
-        for c in checks {
-            if !names.iter().any(|n| *n == c.stm) {
-                continue;
+    /// Execute a (linear, jump-threaded) instruction stream.
+    fn exec_stream(&mut self, s: &Stream) -> Result<(), String> {
+        let mut pc = 0usize;
+        while pc < s.instrs.len() {
+            if let Some(v) = s.blame[pc] {
+                self.cur_stm = Some(v);
             }
-            let (writes, uses): (Vec<_>, Vec<_>) = {
-                let lookup = lookup_fn(env);
+            match &s.instrs[pc] {
+                Instr::Jump { target } => {
+                    pc = *target;
+                    continue;
+                }
+                Instr::JumpIfFalse { cond, target } => {
+                    let t = *target;
+                    if !self.eval_lexp(cond)?.as_bool() {
+                        pc = t;
+                        continue;
+                    }
+                }
+                Instr::JumpIfGe { a, b, target } => {
+                    if self.regs[*a as usize].as_i64() >= self.regs[*b as usize].as_i64() {
+                        pc = *target;
+                        continue;
+                    }
+                }
+                i => self.exec_instr(i)?,
+            }
+            pc += 1;
+        }
+        Ok(())
+    }
+
+    fn exec_instr(&mut self, instr: &Instr) -> Result<(), String> {
+        match instr {
+            Instr::Scalar { dst, elem, exp } => {
+                let v = self.eval_lexp(exp)?;
+                self.regs[*dst as usize] = coerce(v, *elem);
+            }
+            Instr::Alloc { dst, elem, size } => {
+                let n = size.eval(&self.regs).ok_or("unresolved alloc size")?;
+                let block = self.store.alloc(*elem, n.max(0) as usize);
+                self.regs[*dst as usize] = Value::Mem(block);
+            }
+            Instr::Iota { dest } => {
+                let dst = self.fresh_dest(dest)?;
+                let view = self.view_mut(&dst);
+                let n = view.num_elems();
+                for i in 0..n {
+                    view.set_i64_flat(i, i);
+                }
+                self.mark_write(dst.block, &dst.ixfn);
+                self.regs[dest.slot as usize] = Value::Array(dst);
+            }
+            Instr::Scratch { dest } => {
+                let dst = self.fresh_dest(dest)?;
+                self.regs[dest.slot as usize] = Value::Array(dst);
+            }
+            Instr::Replicate { dest, value } => {
+                let v = self.eval_lexp(value)?;
+                let dst = self.fresh_dest(dest)?;
+                let view = self.view_mut(&dst);
+                let n = view.num_elems();
+                match dst.elem {
+                    ElemType::F32 => {
+                        let x = v.as_f32();
+                        if let Some(s) = view.as_slice_f32_mut() {
+                            s.fill(x);
+                        } else {
+                            for i in 0..n {
+                                view.set_f32_flat(i, x);
+                            }
+                        }
+                    }
+                    ElemType::F64 => {
+                        let x = v.as_f64();
+                        for i in 0..n {
+                            view.set_f64(&unflat(&view.shape(), i), x);
+                        }
+                    }
+                    ElemType::I64 | ElemType::Bool => {
+                        let x = v.as_i64();
+                        if let Some(s) = view.as_slice_i64_mut() {
+                            s.fill(x);
+                        } else {
+                            for i in 0..n {
+                                view.set_i64_flat(i, x);
+                            }
+                        }
+                    }
+                }
+                self.mark_write(dst.block, &dst.ixfn);
+                self.regs[dest.slot as usize] = Value::Array(dst);
+            }
+            Instr::Copy { dest, src } => {
+                let src_a = self.regs[*src as usize].as_array().clone();
+                self.check_read(src_a.block, &src_a.ixfn);
+                let dst = self.fresh_dest(dest)?;
+                let sv = self.view(&src_a);
+                let dv = self.view_mut(&dst);
+                let t = Instant::now();
+                let bytes = copy_view(&dv, &sv);
+                self.stats.copy_time += t.elapsed();
+                self.stats.bytes_copied += bytes;
+                self.stats.num_copies += 1;
+                self.mark_write(dst.block, &dst.ixfn);
+                self.regs[dest.slot as usize] = Value::Array(dst);
+            }
+            Instr::Concat { dest, args } => {
+                let dst = self.fresh_dest(dest)?;
+                let dv = self.view_mut(&dst);
+                let mut row = 0i64;
+                for arg in args {
+                    let src_a = self.regs[arg.src as usize].as_array().clone();
+                    // Every argument is read (an elided one was constructed
+                    // directly in the destination — its cells must already
+                    // be written there).
+                    self.check_read(src_a.block, &src_a.ixfn);
+                    let rows = src_a.ixfn.shape()[0];
+                    let elided_here = arg.elided && self.mem_like();
+                    if elided_here {
+                        let bytes =
+                            src_a.ixfn.num_elems() as u64 * src_a.elem.size_bytes() as u64;
+                        self.stats.bytes_elided += bytes;
+                        self.stats.num_elided += 1;
+                    } else {
+                        let sv = self.view(&src_a);
+                        // Destination sub-view: rows [row, row+rows).
+                        let sub = slice_rows(&dv, row, rows);
+                        let t = Instant::now();
+                        let bytes = copy_view(&sub, &sv);
+                        self.stats.copy_time += t.elapsed();
+                        self.stats.bytes_copied += bytes;
+                        self.stats.num_copies += 1;
+                        let sub_ix = sub.ixfn().clone();
+                        self.mark_write(dst.block, &sub_ix);
+                    }
+                    row += rows;
+                }
+                self.regs[dest.slot as usize] = Value::Array(dst);
+            }
+            Instr::Transform { dest, src, tr, vars } => {
+                let src_a = self.regs[*src as usize].as_array().clone();
+                let ixfn = {
+                    let lookup = slot_lookup(vars, &self.regs);
+                    apply_transform_concrete(&src_a.ixfn, tr, &lookup)
+                }
+                .ok_or("unsupported concrete transform")?;
+                if self.mode == Mode::Pure {
+                    // Materialize the transformed view into a fresh array.
+                    let dst = self.fresh_dest(dest)?;
+                    let sv = View::new(self.store.raw(src_a.block), ixfn);
+                    let dv = self.view_mut(&dst);
+                    copy_view(&dv, &sv);
+                    self.regs[dest.slot as usize] = Value::Array(dst);
+                } else {
+                    self.regs[dest.slot as usize] =
+                        Value::Array(ArrayRef::new(src_a.block, src_a.elem, ixfn));
+                }
+            }
+            Instr::MapKernel(mk) => {
+                let width = mk.width.eval(&self.regs).ok_or("unresolved map width")?;
+                let dst = self.fresh_dest(&mk.dest)?;
+                let kernel = match mk.kernel {
+                    Some(k) => self.kernels.by_index(k).clone(),
+                    None => return Err(format!("unregistered kernel {}", mk.kernel_name)),
+                };
+                let in_arrays: Vec<ArrayRef> = mk
+                    .inputs
+                    .iter()
+                    .map(|s| self.regs[*s as usize].as_array().clone())
+                    .collect();
+                for a in &in_arrays {
+                    self.check_read(a.block, &a.ixfn);
+                }
+                let inputs: Vec<View> = in_arrays.iter().map(|a| self.view(a)).collect();
+                let argv: Vec<Value> = mk
+                    .args
+                    .iter()
+                    .map(|a| self.eval_lexp(a))
+                    .collect::<Result<_, _>>()?;
+                let row_shape_c: Vec<i64> = mk
+                    .row_shape
+                    .iter()
+                    .map(|p| p.eval(&self.regs).ok_or_else(|| "unresolved row shape".to_string()))
+                    .collect::<Result<_, _>>()?;
+                let row_elems: i64 = row_shape_c.iter().product();
+                let scalar_rows = row_shape_c.is_empty();
+                // Pure mode writes rows directly (fresh dense memory never
+                // aliases inputs); Memory mode honours the pass's decision.
+                let direct = scalar_rows || mk.in_place || self.mode == Mode::Pure;
+                let out_view = self.view_mut(&dst);
+                // Private per-worker row buffers for the non-in-place case:
+                // the mapnest's implicit result copy (§V-A(e)). Checked
+                // mode runs serially: diagnostics stay deterministic and
+                // the race detector (below) subsumes parallel scheduling.
+                let workers = if self.checked() { 1 } else { self.threads };
+                let temp_block = if direct {
+                    None
+                } else {
+                    Some(
+                        self.store
+                            .alloc(mk.elem, (row_elems * workers as i64).max(0) as usize),
+                    )
+                };
+                let temp_raw = temp_block.map(|b| self.store.raw(b));
+                let t0 = Instant::now();
+                let dispatched = parallel_for_worker(workers, width, |i, w| {
+                    let row = out_view.row(i);
+                    if direct {
+                        let ctx = KernelCtx {
+                            i,
+                            inputs: &inputs,
+                            args: &argv,
+                            out: row,
+                        };
+                        kernel(&ctx);
+                    } else {
+                        // Build the private row, then copy it out.
+                        let mut priv_lmad = ConcreteLmad::row_major(&row_shape_c);
+                        priv_lmad.offset = w as i64 * row_elems;
+                        let priv_row =
+                            ViewMut::new(temp_raw.unwrap(), ConcreteIxFn::from_lmad(priv_lmad));
+                        let ctx = KernelCtx {
+                            i,
+                            inputs: &inputs,
+                            args: &argv,
+                            out: priv_row.clone(),
+                        };
+                        kernel(&ctx);
+                        copy_view(&row, &priv_row.as_view());
+                    }
+                });
+                self.stats.kernel_time += t0.elapsed();
+                self.stats.kernel_launches += width.max(0) as u64;
+                self.stats.pool_dispatches += dispatched as u64;
+                // The private-row scratch dies with the dispatch; recycle
+                // it so the next non-in-place map pays no fresh alloc.
+                if let Some(b) = temp_block {
+                    self.store.release(b);
+                }
+                if !direct {
+                    let bytes = (width * row_elems).max(0) as u64 * mk.elem.size_bytes() as u64;
+                    self.stats.bytes_copied += bytes;
+                    self.stats.num_copies += width.max(0) as u64;
+                } else if mk.in_place && self.mem_like() && !scalar_rows {
+                    let bytes = (width * row_elems).max(0) as u64 * mk.elem.size_bytes() as u64;
+                    self.stats.bytes_elided += bytes;
+                    self.stats.num_elided += width.max(0) as u64;
+                }
+                // Dynamic race detector: no two iterations of the map may
+                // write one cell. The kernel writes each row through the
+                // result's index function with the outer dim fixed, so
+                // enumerating those footprints covers its stores.
+                self.race_check(dst.block, &dst.ixfn, width);
+                self.mark_write(dst.block, &dst.ixfn);
+                self.regs[mk.dest.slot as usize] = Value::Array(dst);
+            }
+            Instr::MapLambda(ml) => {
+                // Interpreted elementwise map over rank-1 inputs.
+                let width = ml.width.eval(&self.regs).ok_or("unresolved map width")?;
+                let dsts: Vec<ArrayRef> = ml
+                    .dests
+                    .iter()
+                    .map(|d| self.fresh_dest(d))
+                    .collect::<Result<_, _>>()?;
+                let in_arrays: Vec<ArrayRef> = ml
+                    .inputs
+                    .iter()
+                    .map(|s| self.regs[*s as usize].as_array().clone())
+                    .collect();
+                for a in &in_arrays {
+                    self.check_read(a.block, &a.ixfn);
+                }
+                let in_views: Vec<View> = in_arrays.iter().map(|a| self.view(a)).collect();
+                let out_views: Vec<ViewMut> = dsts.iter().map(|a| self.view_mut(a)).collect();
+                let t0 = Instant::now();
+                // Parameter slots are overwritten per element; body-local
+                // slots are re-executed before any use, so the register
+                // file needs no per-element reset.
+                for i in 0..width {
+                    for (p, (view, a)) in
+                        ml.params.iter().zip(in_views.iter().zip(&in_arrays))
+                    {
+                        let v = match a.elem {
+                            ElemType::F32 => Value::F32(view.get_f32(&[i])),
+                            ElemType::F64 => Value::F64(view.get_f64(&[i])),
+                            ElemType::I64 => Value::I64(view.get_i64(&[i])),
+                            ElemType::Bool => Value::Bool(view.get_i64(&[i]) != 0),
+                        };
+                        self.regs[*p as usize] = v;
+                    }
+                    self.exec_stream(&ml.body)?;
+                    for ((r, out), dst) in ml.results.iter().zip(&out_views).zip(&dsts) {
+                        let v = &self.regs[*r as usize];
+                        match dst.elem {
+                            ElemType::F32 => out.set_f32(&[i], v.as_f32()),
+                            ElemType::F64 => out.set_f64(&[i], v.as_f64()),
+                            ElemType::I64 => out.set_i64(&[i], v.as_i64()),
+                            ElemType::Bool => out.set_i64(&[i], v.as_bool() as i64),
+                        }
+                    }
+                }
+                self.stats.kernel_time += t0.elapsed();
+                self.stats.kernel_launches += width.max(0) as u64;
+                // The body's instructions moved `cur_stm`; provenance of
+                // the map's results is the map statement itself.
+                self.cur_stm = ml.stm_var;
+                for (d, dst) in ml.dests.iter().zip(dsts) {
+                    self.race_check(dst.block, &dst.ixfn, width);
+                    self.mark_write(dst.block, &dst.ixfn);
+                    self.regs[d.slot as usize] = Value::Array(dst);
+                }
+            }
+            Instr::Update(u) => {
+                let dst_a = self.regs[u.dst as usize].as_array().clone();
+                // Pure mode: the update result is a fresh copy of dst with
+                // the slice overwritten (true value semantics).
+                let result = if self.mode == Mode::Pure {
+                    let fresh = self.fresh_dest(&u.dest)?;
+                    let sv = self.view(&dst_a);
+                    let dv = self.view_mut(&fresh);
+                    copy_view(&dv, &sv);
+                    fresh
+                } else {
+                    dst_a.clone()
+                };
+                let slice_ixfn = match &u.slice {
+                    LSlice::Tr { tr, vars } => {
+                        let lookup = slot_lookup(vars, &self.regs);
+                        apply_transform_concrete(&result.ixfn, tr, &lookup)
+                    }
+                    LSlice::Point(es) => {
+                        let mut fixed = Vec::with_capacity(es.len());
+                        for e in es {
+                            let v = self.eval_lexp(e)?.as_i64();
+                            fixed.push(TripletSlice::Fix(Poly::constant(v)));
+                        }
+                        apply_transform_concrete(
+                            &result.ixfn,
+                            &Transform::Slice(fixed),
+                            &|_| None,
+                        )
+                    }
+                }
+                .ok_or_else(|| "bad slice".to_string())?;
+                // The language's dynamic legality check for LMAD-slice
+                // updates (§III-B): the written positions must not
+                // self-overlap.
+                if u.lmad_slice {
+                    if let Some(l) = slice_ixfn.as_single() {
+                        if !lmad_slice_is_injective(l) {
+                            return Err("LMAD-slice update writes overlapping positions".into());
+                        }
+                    }
+                }
+                match &u.src {
+                    LUpdateSrc::Scalar(se) => {
+                        let v = self.eval_lexp(se)?;
+                        let dview =
+                            ViewMut::new(self.store.raw(result.block), slice_ixfn.clone());
+                        let n = dview.num_elems();
+                        for f in 0..n.max(0) {
+                            match result.elem {
+                                ElemType::F32 => dview.set_f32_flat(f, v.as_f32()),
+                                ElemType::F64 => {
+                                    let idx = unflat(&dview.shape(), f);
+                                    dview.set_f64(&idx, v.as_f64());
+                                }
+                                ElemType::I64 | ElemType::Bool => {
+                                    dview.set_i64_flat(f, v.as_i64())
+                                }
+                            }
+                        }
+                        self.mark_write(result.block, &slice_ixfn);
+                    }
+                    LUpdateSrc::Array(s) => {
+                        let src_a = self.regs[*s as usize].as_array().clone();
+                        // Read check either way: an elided update's source
+                        // was constructed directly in the destination
+                        // slice, so its cells must already be written there.
+                        self.check_read(src_a.block, &src_a.ixfn);
+                        if u.elided && self.mem_like() {
+                            let bytes =
+                                src_a.ixfn.num_elems() as u64 * src_a.elem.size_bytes() as u64;
+                            self.stats.bytes_elided += bytes;
+                            self.stats.num_elided += 1;
+                        } else {
+                            let sv = self.view(&src_a);
+                            let dview =
+                                ViewMut::new(self.store.raw(result.block), slice_ixfn.clone());
+                            let t = Instant::now();
+                            let bytes = copy_view(&dview, &sv);
+                            self.stats.copy_time += t.elapsed();
+                            self.stats.bytes_copied += bytes;
+                            self.stats.num_copies += 1;
+                            self.mark_write(result.block, &slice_ixfn);
+                        }
+                    }
+                }
+                self.regs[u.dest.slot as usize] = Value::Array(result);
+            }
+            Instr::Release { slot, site } => {
+                // Return blocks that just saw their last use to the free
+                // list. Checked mode records the release site: a later
+                // read of the block names the statement whose plan entry
+                // freed it.
+                if let Value::Mem(id) = self.regs[*slot as usize] {
+                    let site = if self.checked() { *site } else { None };
+                    self.store.release_at(id, site);
+                }
+            }
+            Instr::CopySlots { pairs } => {
+                // Two-phase: loop merge parameters may permute, so all
+                // sources are read before any destination is written.
+                let vals: Vec<Value> = pairs
+                    .iter()
+                    .map(|(src, _)| self.regs[*src as usize].clone())
+                    .collect();
+                for ((_, dst), v) in pairs.iter().zip(vals) {
+                    self.regs[*dst as usize] = v;
+                }
+            }
+            Instr::VerifyChecks { checks } => {
+                if self.checked() {
+                    self.verify_checks(checks);
+                }
+            }
+            Instr::Jump { .. } | Instr::JumpIfFalse { .. } | Instr::JumpIfGe { .. } => {
+                unreachable!("jumps are handled by exec_stream")
+            }
+        }
+        Ok(())
+    }
+
+    /// Cross-check lowered short-circuit footprints with the current
+    /// block's symbols in scope: evaluate the recorded symbolic footprints
+    /// and prove each (write, later-use) pair disjoint by enumeration.
+    /// The instruction sits at the end of the defining block, so circuits
+    /// inside loop bodies are re-verified per iteration against that
+    /// iteration's concrete offsets. Checked mode only.
+    fn verify_checks(&mut self, checks: &[crate::plan::LoweredCheck]) {
+        for c in checks {
+            let (writes, uses): (Vec<ConcreteLmad>, Vec<ConcreteLmad>) = {
+                let lookup = slot_lookup(&c.vars, &self.regs);
                 (
                     c.writes.iter().filter_map(|l| l.eval(&lookup)).collect(),
                     c.uses.iter().filter_map(|l| l.eval(&lookup)).collect(),
@@ -487,543 +1018,68 @@ impl Machine<'_> {
         }
     }
 
-    fn exec_block(&mut self, block: &Block, env: &mut Env) -> Result<(), String> {
-        let plan = self.plan;
-        for (k, stm) in block.stms.iter().enumerate() {
-            self.exec_stm(stm, env)?;
-            // Return blocks that just saw their last use to the free list.
-            // Checked mode records the release site: a later read of the
-            // block names the statement whose plan entry freed it.
-            let site = if self.checked() {
-                stm.pat.first().map(|p| p.var)
-            } else {
-                None
-            };
-            for mv in plan.after(block, k) {
-                if let Some(Value::Mem(id)) = env.get(mv) {
-                    self.store.release_at(*id, site);
-                }
-            }
-        }
-        if self.checked() && !self.checks.is_empty() {
-            self.verify_block_checks(block, env);
-        }
-        Ok(())
-    }
-
     fn view(&mut self, a: &ArrayRef) -> View {
-        View::new(self.store.raw(a.block), a.ixfn.clone())
+        View::with_class(self.store.raw(a.block), a.ixfn.clone(), a.class)
     }
 
     fn view_mut(&mut self, a: &ArrayRef) -> ViewMut {
-        ViewMut::new(self.store.raw(a.block), a.ixfn.clone())
+        ViewMut::with_class(self.store.raw(a.block), a.ixfn.clone(), a.class)
     }
 
     /// Resolve the destination array for a fresh creation: in `Memory`
-    /// mode this honours the pattern's binding (block variable + index
-    /// function); in `Pure` mode a fresh dense block is allocated.
-    fn fresh_dest(
-        &mut self,
-        stm: &Stm,
-        pat_idx: usize,
-        env: &Env,
-    ) -> Result<ArrayRef, String> {
-        let pe = &stm.pat[pat_idx];
-        let elem = pe.ty.elem().ok_or("array expected")?;
-        let lookup = lookup_fn(env);
-        let shape: Vec<i64> = pe
-            .ty
-            .shape()
-            .iter()
-            .map(|p| p.eval(&lookup).ok_or("unresolved shape"))
-            .collect::<Result<_, _>>()?;
+    /// mode this honours the lowered binding (block slot + index function,
+    /// with the access class precomputed when static); in `Pure` mode a
+    /// fresh dense block is allocated.
+    fn fresh_dest(&mut self, d: &Dest) -> Result<ArrayRef, String> {
         if self.mem_like() {
-            let mb = pe
-                .mem
-                .as_ref()
-                .ok_or_else(|| format!("{} has no memory binding (run the pipeline)", pe.var))?;
-            let block = env
-                .get(&mb.block)
-                .ok_or_else(|| format!("memory block {} unbound", mb.block))?
-                .as_mem();
-            let ixfn = mb
+            let md = d.mem.as_ref().ok_or_else(|| {
+                format!("{} has no memory binding (run the pipeline)", d.var)
+            })?;
+            let block_slot = md
+                .block
+                .ok_or_else(|| format!("memory block {} unbound", md.block_var))?;
+            let block = match &self.regs[block_slot as usize] {
+                Value::Mem(b) => *b,
+                _ => return Err(format!("memory block {} unbound", md.block_var)),
+            };
+            let (ixfn, class) = md
                 .ixfn
-                .eval(&lookup)
-                .ok_or_else(|| format!("cannot evaluate index function of {}", pe.var))?;
-            Ok(ArrayRef { block, elem, ixfn })
+                .eval_access(&self.regs)
+                .ok_or_else(|| format!("cannot evaluate index function of {}", d.var))?;
+            Ok(ArrayRef::with_class(block, d.elem, ixfn, class))
         } else {
+            let shape: Vec<i64> = d
+                .shape
+                .iter()
+                .map(|p| p.eval(&self.regs).ok_or("unresolved shape"))
+                .collect::<Result<_, _>>()?;
             let n: i64 = shape.iter().product();
-            let block = self.store.alloc(elem, n.max(0) as usize);
-            Ok(ArrayRef {
-                block,
-                elem,
-                ixfn: ConcreteIxFn::row_major(&shape),
-            })
+            let block = self.store.alloc(d.elem, n.max(0) as usize);
+            Ok(ArrayRef::new(block, d.elem, ConcreteIxFn::row_major(&shape)))
         }
     }
 
-    fn exec_stm(&mut self, stm: &Stm, env: &mut Env) -> Result<(), String> {
-        self.cur_stm = stm.pat.first().map(|p| p.var);
-        match &stm.exp {
-            Exp::Scalar(se) => {
-                let v = self.eval_scalar(se, env)?;
-                let v = coerce(v, &stm.pat[0].ty);
-                env.insert(stm.pat[0].var, v);
-            }
-            Exp::Alloc { elem, size } => {
-                let n = {
-                    let lookup = lookup_fn(env);
-                    size.eval(&lookup).ok_or("unresolved alloc size")?
-                };
-                let block = self.store.alloc(*elem, n.max(0) as usize);
-                env.insert(stm.pat[0].var, Value::Mem(block));
-            }
-            Exp::Iota(_) => {
-                let dst = self.fresh_dest(stm, 0, env)?;
-                let view = self.view_mut(&dst);
-                let n = view.num_elems();
-                for i in 0..n {
-                    view.set_i64_flat(i, i);
-                }
-                self.mark_write(dst.block, &dst.ixfn);
-                env.insert(stm.pat[0].var, Value::Array(dst));
-            }
-            Exp::Scratch { .. } => {
-                let dst = self.fresh_dest(stm, 0, env)?;
-                env.insert(stm.pat[0].var, Value::Array(dst));
-            }
-            Exp::Replicate { value, .. } => {
-                let v = self.eval_scalar(value, env)?;
-                let dst = self.fresh_dest(stm, 0, env)?;
-                let view = self.view_mut(&dst);
-                let n = view.num_elems();
-                match dst.elem {
-                    ElemType::F32 => {
-                        let x = v.as_f32();
-                        if let Some(s) = view.as_slice_f32_mut() {
-                            s.fill(x);
-                        } else {
-                            for i in 0..n {
-                                view.set_f32_flat(i, x);
-                            }
-                        }
-                    }
-                    ElemType::F64 => {
-                        let x = v.as_f64();
-                        for i in 0..n {
-                            view.set_f64(&unflat(&view.shape(), i), x);
-                        }
-                    }
-                    ElemType::I64 | ElemType::Bool => {
-                        let x = v.as_i64();
-                        if let Some(s) = view.as_slice_i64_mut() {
-                            s.fill(x);
-                        } else {
-                            for i in 0..n {
-                                view.set_i64_flat(i, x);
-                            }
-                        }
-                    }
-                }
-                self.mark_write(dst.block, &dst.ixfn);
-                env.insert(stm.pat[0].var, Value::Array(dst));
-            }
-            Exp::Copy(src) => {
-                let src_a = env.get(src).ok_or("copy of unbound array")?.as_array().clone();
-                self.check_read(src_a.block, &src_a.ixfn);
-                let dst = self.fresh_dest(stm, 0, env)?;
-                let sv = self.view(&src_a);
-                let dv = self.view_mut(&dst);
-                let t = Instant::now();
-                let bytes = copy_view(&dv, &sv);
-                self.stats.copy_time += t.elapsed();
-                self.stats.bytes_copied += bytes;
-                self.stats.num_copies += 1;
-                self.mark_write(dst.block, &dst.ixfn);
-                env.insert(stm.pat[0].var, Value::Array(dst));
-            }
-            Exp::Concat { args, elided } => {
-                let dst = self.fresh_dest(stm, 0, env)?;
-                let dv = self.view_mut(&dst);
-                let mut row = 0i64;
-                for (a, el) in args.iter().zip(elided) {
-                    let src_a = env.get(a).ok_or("concat of unbound array")?.as_array().clone();
-                    // Every argument is read (an elided one was constructed
-                    // directly in the destination — its cells must already
-                    // be written there).
-                    self.check_read(src_a.block, &src_a.ixfn);
-                    let rows = src_a.ixfn.shape()[0];
-                    let elided_here = *el && self.mem_like();
-                    if elided_here {
-                        let bytes =
-                            src_a.ixfn.num_elems() as u64 * src_a.elem.size_bytes() as u64;
-                        self.stats.bytes_elided += bytes;
-                        self.stats.num_elided += 1;
-                    } else {
-                        let sv = self.view(&src_a);
-                        // Destination sub-view: rows [row, row+rows).
-                        let sub = slice_rows(&dv, row, rows);
-                        let t = Instant::now();
-                        let bytes = copy_view(&sub, &sv);
-                        self.stats.copy_time += t.elapsed();
-                        self.stats.bytes_copied += bytes;
-                        self.stats.num_copies += 1;
-                        let sub_ix = sub.ixfn().clone();
-                        self.mark_write(dst.block, &sub_ix);
-                    }
-                    row += rows;
-                }
-                env.insert(stm.pat[0].var, Value::Array(dst));
-            }
-            Exp::Transform { src, tr } => {
-                let src_a = env.get(src).ok_or("transform of unbound array")?.as_array().clone();
-                let lookup = lookup_fn(env);
-                let ixfn = apply_transform_concrete(&src_a.ixfn, tr, &lookup)
-                    .ok_or("unsupported concrete transform")?;
-                drop(lookup);
-                if self.mode == Mode::Pure {
-                    // Materialize the transformed view into a fresh array.
-                    let dst = self.fresh_dest(stm, 0, env)?;
-                    let sv = View::new(self.store.raw(src_a.block), ixfn);
-                    let dv = self.view_mut(&dst);
-                    copy_view(&dv, &sv);
-                    env.insert(stm.pat[0].var, Value::Array(dst));
-                } else {
-                    env.insert(
-                        stm.pat[0].var,
-                        Value::Array(ArrayRef {
-                            block: src_a.block,
-                            elem: src_a.elem,
-                            ixfn,
-                        }),
-                    );
-                }
-            }
-            Exp::Map(m) => self.exec_map(stm, m, env)?,
-            Exp::Update {
-                dst,
-                slice,
-                src,
-                elided,
-            } => self.exec_update(stm, *dst, slice, src, *elided, env)?,
-            Exp::If {
-                cond,
-                then_b,
-                else_b,
-            } => {
-                let c = self.eval_scalar(cond, env)?.as_bool();
-                let branch = if c { then_b } else { else_b };
-                let mut benv = env.clone();
-                self.exec_block(branch, &mut benv)?;
-                for (pe, r) in stm.pat.iter().zip(&branch.result) {
-                    let v = benv.get(r).ok_or("missing branch result")?.clone();
-                    env.insert(pe.var, v);
-                }
-            }
-            Exp::Loop {
-                params,
-                inits,
-                index,
-                count,
-                body,
-            } => {
-                let lookup = lookup_fn(env);
-                let n = count.eval(&lookup).ok_or("unresolved loop count")?;
-                drop(lookup);
-                let mut cur: Vec<Value> = inits
-                    .iter()
-                    .map(|v| env.get(v).cloned().ok_or("unbound loop init"))
-                    .collect::<Result<_, _>>()?;
-                for i in 0..n.max(0) {
-                    let mut benv = env.clone();
-                    benv.insert(*index, Value::I64(i));
-                    for (pe, v) in params.iter().zip(&cur) {
-                        benv.insert(pe.var, v.clone());
-                    }
-                    self.exec_block(body, &mut benv)?;
-                    cur = body
-                        .result
-                        .iter()
-                        .map(|v| benv.get(v).cloned().ok_or("missing loop result"))
-                        .collect::<Result<_, _>>()?;
-                }
-                for (pe, v) in stm.pat.iter().zip(cur) {
-                    env.insert(pe.var, v);
-                }
-            }
-        }
-        Ok(())
-    }
-
-    fn exec_map(&mut self, stm: &Stm, m: &MapExp, env: &mut Env) -> Result<(), String> {
-        let lookup = lookup_fn(env);
-        let width = m.width.eval(&lookup).ok_or("unresolved map width")?;
-        drop(lookup);
-        match &m.body {
-            MapBody::Kernel {
-                name,
-                elem,
-                row_shape,
-                args,
-                ..
-            } => {
-                let dst = self.fresh_dest(stm, 0, env)?;
-                let kernel = self
-                    .kernels
-                    .get(name)
-                    .ok_or_else(|| format!("unregistered kernel {name}"))?
-                    .clone();
-                let in_arrays: Vec<ArrayRef> = m
-                    .inputs
-                    .iter()
-                    .map(|v| Ok(env.get(v).ok_or("unbound map input")?.as_array().clone()))
-                    .collect::<Result<_, String>>()?;
-                for a in &in_arrays {
-                    self.check_read(a.block, &a.ixfn);
-                }
-                let inputs: Vec<View> = in_arrays.iter().map(|a| self.view(a)).collect();
-                let argv: Vec<Value> = args
-                    .iter()
-                    .map(|a| self.eval_scalar(a, env))
-                    .collect::<Result<_, _>>()?;
-                let lookup = lookup_fn(env);
-                let row_shape_c: Vec<i64> = row_shape
-                    .iter()
-                    .map(|p| p.eval(&lookup).ok_or_else(|| "unresolved row shape".to_string()))
-                    .collect::<Result<_, _>>()?;
-                drop(lookup);
-                let row_elems: i64 = row_shape_c.iter().product();
-                let scalar_rows = row_shape_c.is_empty();
-                // Pure mode writes rows directly (fresh dense memory never
-                // aliases inputs); Memory mode honours the pass's decision.
-                let direct = scalar_rows || m.in_place_result || self.mode == Mode::Pure;
-                let out_view = self.view_mut(&dst);
-                // Private per-worker row buffers for the non-in-place case:
-                // the mapnest's implicit result copy (§V-A(e)). Checked
-                // mode runs serially: diagnostics stay deterministic and
-                // the race detector (below) subsumes parallel scheduling.
-                let workers = if self.checked() { 1 } else { self.threads };
-                let temp_block = if direct {
-                    None
-                } else {
-                    Some(
-                        self.store
-                            .alloc(*elem, (row_elems * workers as i64).max(0) as usize),
-                    )
-                };
-                let temp_raw = temp_block.map(|b| self.store.raw(b));
-                let t0 = Instant::now();
-                let dispatched = parallel_for_worker(workers, width, |i, w| {
-                    let row = out_view.row(i);
-                    if direct {
-                        let ctx = KernelCtx {
-                            i,
-                            inputs: &inputs,
-                            args: &argv,
-                            out: row,
-                        };
-                        kernel(&ctx);
-                    } else {
-                        // Build the private row, then copy it out.
-                        let mut priv_lmad = arraymem_lmad::ConcreteLmad::row_major(&row_shape_c);
-                        priv_lmad.offset = w as i64 * row_elems;
-                        let priv_row =
-                            ViewMut::new(temp_raw.unwrap(), ConcreteIxFn::from_lmad(priv_lmad));
-                        let ctx = KernelCtx {
-                            i,
-                            inputs: &inputs,
-                            args: &argv,
-                            out: priv_row.clone(),
-                        };
-                        kernel(&ctx);
-                        copy_view(&row, &priv_row.as_view());
-                    }
-                });
-                self.stats.kernel_time += t0.elapsed();
-                self.stats.kernel_launches += width.max(0) as u64;
-                self.stats.pool_dispatches += dispatched as u64;
-                // The private-row scratch dies with the dispatch; recycle
-                // it so the next non-in-place map pays no fresh alloc.
-                if let Some(b) = temp_block {
-                    self.store.release(b);
-                }
-                if !direct {
-                    let bytes = (width * row_elems).max(0) as u64 * elem.size_bytes() as u64;
-                    self.stats.bytes_copied += bytes;
-                    self.stats.num_copies += width.max(0) as u64;
-                } else if m.in_place_result && self.mem_like() && !scalar_rows {
-                    let bytes = (width * row_elems).max(0) as u64 * elem.size_bytes() as u64;
-                    self.stats.bytes_elided += bytes;
-                    self.stats.num_elided += width.max(0) as u64;
-                }
-                // Dynamic race detector: no two iterations of the map may
-                // write one cell. The kernel writes each row through the
-                // result's index function with the outer dim fixed, so
-                // enumerating those footprints covers its stores.
-                self.race_check(dst.block, &dst.ixfn, width);
-                self.mark_write(dst.block, &dst.ixfn);
-                env.insert(stm.pat[0].var, Value::Array(dst));
-            }
-            MapBody::Lambda { params, body } => {
-                // Interpreted elementwise map over rank-1 inputs.
-                let dsts: Vec<ArrayRef> = (0..stm.pat.len())
-                    .map(|k| self.fresh_dest(stm, k, env))
-                    .collect::<Result<_, _>>()?;
-                let in_arrays: Vec<ArrayRef> = m
-                    .inputs
-                    .iter()
-                    .map(|v| Ok(env.get(v).ok_or("unbound map input")?.as_array().clone()))
-                    .collect::<Result<_, String>>()?;
-                for a in &in_arrays {
-                    self.check_read(a.block, &a.ixfn);
-                }
-                let in_views: Vec<View> = in_arrays.iter().map(|a| self.view(a)).collect();
-                let out_views: Vec<ViewMut> = dsts.iter().map(|a| self.view_mut(a)).collect();
-                let t0 = Instant::now();
-                // One instance environment for the whole map: parameter
-                // bindings are overwritten per iteration, and body-local
-                // bindings are simply re-inserted before any use (cloning
-                // the full environment per element is O(width·|env|)).
-                let mut benv = env.clone();
-                for i in 0..width {
-                    for ((p, _), (view, a)) in
-                        params.iter().zip(in_views.iter().zip(&in_arrays))
-                    {
-                        let v = match a.elem {
-                            ElemType::F32 => Value::F32(view.get_f32(&[i])),
-                            ElemType::F64 => Value::F64(view.get_f64(&[i])),
-                            ElemType::I64 => Value::I64(view.get_i64(&[i])),
-                            ElemType::Bool => Value::Bool(view.get_i64(&[i]) != 0),
-                        };
-                        benv.insert(*p, v);
-                    }
-                    self.exec_block(body, &mut benv)?;
-                    for ((r, out), dst) in body.result.iter().zip(&out_views).zip(&dsts) {
-                        let v = benv.get(r).ok_or("missing lambda result")?;
-                        match dst.elem {
-                            ElemType::F32 => out.set_f32(&[i], v.as_f32()),
-                            ElemType::F64 => out.set_f64(&[i], v.as_f64()),
-                            ElemType::I64 => out.set_i64(&[i], v.as_i64()),
-                            ElemType::Bool => out.set_i64(&[i], v.as_bool() as i64),
-                        }
-                    }
-                }
-                self.stats.kernel_time += t0.elapsed();
-                self.stats.kernel_launches += width.max(0) as u64;
-                // The body's statements moved `cur_stm`; provenance of the
-                // map's results is the map statement itself.
-                self.cur_stm = stm.pat.first().map(|p| p.var);
-                for (pe, dst) in stm.pat.iter().zip(dsts) {
-                    self.race_check(dst.block, &dst.ixfn, width);
-                    self.mark_write(dst.block, &dst.ixfn);
-                    env.insert(pe.var, Value::Array(dst));
-                }
-            }
-        }
-        Ok(())
-    }
-
-    fn exec_update(
-        &mut self,
-        stm: &Stm,
-        dst: Var,
-        slice: &SliceSpec,
-        src: &UpdateSrc,
-        elided: bool,
-        env: &mut Env,
-    ) -> Result<(), String> {
-        let dst_a = env.get(&dst).ok_or("update of unbound array")?.as_array().clone();
-        // Pure mode: the update result is a fresh copy of dst with the
-        // slice overwritten (true value semantics).
-        let result = if self.mode == Mode::Pure {
-            let fresh = self.fresh_dest(stm, 0, env)?;
-            let sv = self.view(&dst_a);
-            let dv = self.view_mut(&fresh);
-            copy_view(&dv, &sv);
-            fresh
-        } else {
-            dst_a.clone()
-        };
-        let slice_ixfn = slice_ixfn_concrete(&result.ixfn, slice, env, self)?;
-        // The language's dynamic legality check for LMAD-slice updates
-        // (§III-B): the written positions must not self-overlap.
-        if let SliceSpec::Lmad(_) = slice {
-            if let Some(l) = slice_ixfn.as_single() {
-                if !lmad_slice_is_injective(l) {
-                    return Err("LMAD-slice update writes overlapping positions".into());
-                }
-            }
-        }
-        match src {
-            UpdateSrc::Scalar(se) => {
-                let v = self.eval_scalar(se, env)?;
-                let dview = ViewMut::new(self.store.raw(result.block), slice_ixfn.clone());
-                let n = dview.num_elems();
-                for f in 0..n.max(0) {
-                    match result.elem {
-                        ElemType::F32 => dview.set_f32_flat(f, v.as_f32()),
-                        ElemType::F64 => {
-                            let idx = unflat(&dview.shape(), f);
-                            dview.set_f64(&idx, v.as_f64());
-                        }
-                        ElemType::I64 | ElemType::Bool => dview.set_i64_flat(f, v.as_i64()),
-                    }
-                }
-                self.mark_write(result.block, &slice_ixfn);
-            }
-            UpdateSrc::Array(s) => {
-                let src_a = env.get(s).ok_or("unbound update source")?.as_array().clone();
-                // Read check either way: an elided update's source was
-                // constructed directly in the destination slice, so its
-                // cells must already be written there.
-                self.check_read(src_a.block, &src_a.ixfn);
-                if elided && self.mem_like() {
-                    let bytes = src_a.ixfn.num_elems() as u64 * src_a.elem.size_bytes() as u64;
-                    self.stats.bytes_elided += bytes;
-                    self.stats.num_elided += 1;
-                } else {
-                    let sv = self.view(&src_a);
-                    let dview = ViewMut::new(self.store.raw(result.block), slice_ixfn.clone());
-                    let t = Instant::now();
-                    let bytes = copy_view(&dview, &sv);
-                    self.stats.copy_time += t.elapsed();
-                    self.stats.bytes_copied += bytes;
-                    self.stats.num_copies += 1;
-                    self.mark_write(result.block, &slice_ixfn);
-                }
-            }
-        }
-        env.insert(stm.pat[0].var, Value::Array(result));
-        Ok(())
-    }
-
-    fn eval_scalar(&mut self, e: &ScalarExp, env: &Env) -> Result<Value, String> {
+    fn eval_lexp(&mut self, e: &LExp) -> Result<Value, String> {
         Ok(match e {
-            ScalarExp::Const(c) => match c {
-                Constant::F32(x) => Value::F32(*x),
-                Constant::F64(x) => Value::F64(*x),
-                Constant::I64(x) => Value::I64(*x),
-                Constant::Bool(x) => Value::Bool(*x),
-            },
-            ScalarExp::Var(v) => env.get(v).ok_or_else(|| format!("unbound {v}"))?.clone(),
-            ScalarExp::Size(p) => {
-                let lookup = lookup_fn(env);
-                Value::I64(p.eval(&lookup).ok_or("unresolved size expression")?)
+            LExp::Const(v) => v.clone(),
+            LExp::Slot(s) => self.regs[*s as usize].clone(),
+            LExp::Size(p) => {
+                Value::I64(p.eval(&self.regs).ok_or("unresolved size expression")?)
             }
-            ScalarExp::Bin(op, a, b) => {
-                let x = self.eval_scalar(a, env)?;
-                let y = self.eval_scalar(b, env)?;
+            LExp::Bin(op, a, b) => {
+                let x = self.eval_lexp(a)?;
+                let y = self.eval_lexp(b)?;
                 eval_bin(*op, &x, &y)?
             }
-            ScalarExp::Un(op, a) => {
-                let x = self.eval_scalar(a, env)?;
+            LExp::Un(op, a) => {
+                let x = self.eval_lexp(a)?;
                 eval_un(*op, &x)?
             }
-            ScalarExp::Index(v, idx) => {
-                let a = env.get(v).ok_or("unbound array")?.as_array().clone();
+            LExp::Index { arr, idx } => {
+                let a = self.regs[*arr as usize].as_array().clone();
                 let idx: Vec<i64> = idx
                     .iter()
-                    .map(|i| Ok(self.eval_scalar(i, env)?.as_i64()))
+                    .map(|i| Ok(self.eval_lexp(i)?.as_i64()))
                     .collect::<Result<_, String>>()?;
                 if self.store.shadow_enabled() {
                     let off = a.ixfn.index(&idx);
@@ -1037,24 +1093,24 @@ impl Machine<'_> {
                     ElemType::Bool => Value::Bool(view.get_i64(&idx) != 0),
                 }
             }
-            ScalarExp::Select(c, t, f) => {
-                if self.eval_scalar(c, env)?.as_bool() {
-                    self.eval_scalar(t, env)?
+            LExp::Select(c, t, f) => {
+                if self.eval_lexp(c)?.as_bool() {
+                    self.eval_lexp(t)?
                 } else {
-                    self.eval_scalar(f, env)?
+                    self.eval_lexp(f)?
                 }
             }
         })
     }
 }
 
-fn coerce(v: Value, ty: &Type) -> Value {
-    match ty {
-        Type::Scalar(ElemType::F32) => Value::F32(v.as_f32()),
-        Type::Scalar(ElemType::F64) => Value::F64(v.as_f64()),
-        Type::Scalar(ElemType::I64) => Value::I64(v.as_i64()),
-        Type::Scalar(ElemType::Bool) => Value::Bool(v.as_bool()),
-        _ => v,
+fn coerce(v: Value, elem: Option<ElemType>) -> Value {
+    match elem {
+        Some(ElemType::F32) => Value::F32(v.as_f32()),
+        Some(ElemType::F64) => Value::F64(v.as_f64()),
+        Some(ElemType::I64) => Value::I64(v.as_i64()),
+        Some(ElemType::Bool) => Value::Bool(v.as_bool()),
+        None => v,
     }
 }
 
@@ -1165,11 +1221,7 @@ fn slice_rows(v: &ViewMut, row: i64, rows: i64) -> ViewMut {
     debug_assert!(row + rows <= card);
     logical.offset += row * stride;
     logical.dims[0] = (rows, stride);
-    ViewMut::new(raw_of(v), ixfn)
-}
-
-fn raw_of(v: &ViewMut) -> crate::store::RawBuf {
-    v.raw()
+    ViewMut::new(v.raw(), ixfn)
 }
 
 /// Unrank a flat position into an index vector.
@@ -1236,38 +1288,12 @@ fn constantize_transform(
                 })
                 .collect::<Option<_>>()?,
         ),
-        Transform::LmadSlice(l) =>
-
-            Transform::LmadSlice(Lmad::new(
-                cp(&l.offset)?,
-                l.dims
-                    .iter()
-                    .map(|d| Some(arraymem_lmad::Dim::new(cp(&d.card)?, cp(&d.stride)?)))
-                    .collect::<Option<_>>()?,
-            )),
+        Transform::LmadSlice(l) => Transform::LmadSlice(Lmad::new(
+            cp(&l.offset)?,
+            l.dims
+                .iter()
+                .map(|d| Some(arraymem_lmad::Dim::new(cp(&d.card)?, cp(&d.stride)?)))
+                .collect::<Option<_>>()?,
+        )),
     })
 }
-
-/// Concrete index function of a slice of `base`.
-fn slice_ixfn_concrete(
-    base: &ConcreteIxFn,
-    slice: &SliceSpec,
-    env: &Env,
-    m: &mut Machine,
-) -> Result<ConcreteIxFn, String> {
-    let tr = match slice {
-        SliceSpec::Triplet(ts) => Transform::Slice(ts.clone()),
-        SliceSpec::Lmad(l) => Transform::LmadSlice(l.clone()),
-        SliceSpec::Point(es) => {
-            let mut fixed = Vec::with_capacity(es.len());
-            for e in es {
-                let v = m.eval_scalar(e, env)?.as_i64();
-                fixed.push(TripletSlice::Fix(Poly::constant(v)));
-            }
-            Transform::Slice(fixed)
-        }
-    };
-    let lookup = lookup_fn(env);
-    apply_transform_concrete(base, &tr, &lookup).ok_or_else(|| "bad slice".to_string())
-}
-

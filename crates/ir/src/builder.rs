@@ -218,6 +218,7 @@ impl BlockBuilder {
 
     /// A kernel map: `width` parallel iterations each producing a row of
     /// shape `row_shape` (empty = scalar element) of type `elem`.
+    #[allow(clippy::too_many_arguments)]
     pub fn map_kernel(
         &mut self,
         name: &str,

@@ -10,20 +10,12 @@ fn run_both(
     let kernels = KernelRegistry::new();
     let unopt = compile(
         &elab.program,
-        &Options {
-            short_circuit: false,
-            env: elab.env.clone(),
-            ..Options::default()
-        },
+        &Options::default().with_env(elab.env.clone()),
     )
     .unwrap();
     let opt = compile(
         &elab.program,
-        &Options {
-            short_circuit: true,
-            env: elab.env.clone(),
-            ..Options::default()
-        },
+        &Options::optimized().with_env(elab.env.clone()),
     )
     .unwrap();
     let (u, us) = run_program(&unopt.program, inputs, &kernels, Mode::Memory, 1).unwrap();
@@ -164,11 +156,7 @@ fn nw_step_in_concrete_syntax() {
     let elab = parse_program(src).expect("parse");
     let opt = compile(
         &elab.program,
-        &Options {
-            short_circuit: true,
-            env: elab.env.clone(),
-            ..Options::default()
-        },
+        &Options::optimized().with_env(elab.env.clone()),
     )
     .unwrap();
     assert_eq!(

@@ -1,7 +1,7 @@
 //! The common benchmark-case shape and measurement helpers.
 
 use arraymem_core::{compile, Compiled, Options};
-use arraymem_exec::{InputValue, KernelRegistry, Mode, OutputValue, Session, Stats};
+use arraymem_exec::{InputValue, KernelRegistry, Mode, OutputValue, PlanStats, Session, Stats};
 use arraymem_ir::Program;
 use arraymem_symbolic::Env;
 use std::time::Duration;
@@ -30,15 +30,13 @@ pub struct Case {
 
 impl Case {
     pub fn compile(&self, short_circuit: bool) -> Compiled {
-        compile(
-            &self.program,
-            &Options {
-                short_circuit,
-                env: self.env.clone(),
-                ..Options::default()
-            },
-        )
-        .unwrap_or_else(|e| panic!("{}/{}: compile failed: {e}", self.name, self.dataset))
+        let base = if short_circuit {
+            Options::optimized()
+        } else {
+            Options::default()
+        };
+        compile(&self.program, &base.with_env(self.env.clone()))
+            .unwrap_or_else(|e| panic!("{}/{}: compile failed: {e}", self.name, self.dataset))
     }
 
     /// Run a compiled variant once in a fresh session.
@@ -47,11 +45,16 @@ impl Case {
     }
 
     /// Run a compiled variant in an existing session, so this run's
-    /// allocations recycle blocks released by earlier runs.
+    /// allocations recycle blocks released by earlier runs and the plan
+    /// is lowered once, on the session's first `prepare`, then replayed
+    /// from the cache.
     pub fn run_in(&self, session: &mut Session, compiled: &Compiled) -> (Vec<OutputValue>, Stats) {
+        let h = session
+            .prepare(&compiled.program, &self.kernels)
+            .unwrap_or_else(|e| panic!("{}/{}: prepare failed: {e}", self.name, self.dataset));
         session
-            .run(
-                &compiled.program,
+            .run_plan(
+                h,
                 &self.inputs,
                 &self.kernels,
                 Mode::Memory,
@@ -100,15 +103,11 @@ impl Case {
         compiled: &Compiled,
     ) -> (Vec<OutputValue>, Stats) {
         let checks: Vec<_> = compiled.report.checks().cloned().collect();
+        let h = session
+            .prepare_with_checks(&compiled.program, &self.kernels, &checks)
+            .unwrap_or_else(|e| panic!("{}/{}: prepare failed: {e}", self.name, self.dataset));
         session
-            .run_with_checks(
-                &compiled.program,
-                &self.inputs,
-                &self.kernels,
-                Mode::Checked,
-                1,
-                &checks,
-            )
+            .run_plan(h, &self.inputs, &self.kernels, Mode::Checked, 1)
             .unwrap_or_else(|e| panic!("{}/{}: checked run failed: {e}", self.name, self.dataset))
     }
 
@@ -150,6 +149,10 @@ pub struct Measurement {
     pub opt: Duration,
     pub unopt_stats: Stats,
     pub opt_stats: Stats,
+    /// Plan-cache accounting of the unoptimized variant's session: one
+    /// build, then a cache hit per repeated run.
+    pub unopt_plan: PlanStats,
+    pub opt_plan: PlanStats,
 }
 
 impl Measurement {
@@ -207,10 +210,21 @@ pub fn measure_case(case: &Case) -> Measurement {
             last_stats = Some(stats);
             t
         });
-        (t, last_stats.expect("at least one measured run"))
+        let plan = session.plan_stats();
+        // The whole point of `prepare`: one lowering per variant, every
+        // repeated run (warm-up included) served from the cache.
+        let total_runs = case.runs.max(1) as u64 + 1;
+        assert_eq!(
+            (plan.builds, plan.cache_hits),
+            (1, total_runs - 1),
+            "{}/{}: plan cache missed on a repeated run",
+            case.name,
+            case.dataset
+        );
+        (t, last_stats.expect("at least one measured run"), plan)
     };
-    let (unopt_t, unopt_stats) = measure_variant(&unopt);
-    let (opt_t, opt_stats) = measure_variant(&opt);
+    let (unopt_t, unopt_stats, unopt_plan) = measure_variant(&unopt);
+    let (opt_t, opt_stats, opt_plan) = measure_variant(&opt);
     Measurement {
         name: case.name.clone(),
         dataset: case.dataset.clone(),
@@ -219,5 +233,7 @@ pub fn measure_case(case: &Case) -> Measurement {
         opt: opt_t,
         unopt_stats,
         opt_stats,
+        unopt_plan,
+        opt_plan,
     }
 }

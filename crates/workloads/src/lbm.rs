@@ -258,8 +258,11 @@ pub fn case(label: &str, dims: (usize, usize, usize), steps: usize, runs: usize)
     }
 }
 
+/// One dataset row: label, lattice dims, timesteps, measured runs.
+pub type Dataset = (&'static str, (usize, usize, usize), usize, usize);
+
 /// The paper's Table IV datasets (Parboil "short"/"long"), scaled.
-pub fn datasets() -> Vec<(&'static str, (usize, usize, usize), usize, usize)> {
+pub fn datasets() -> Vec<Dataset> {
     vec![
         ("short", (32, 32, 16), 3, 4),
         ("long", (32, 32, 16), 30, 2),

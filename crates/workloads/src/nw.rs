@@ -79,15 +79,15 @@ pub fn register_kernels(reg: &mut KernelRegistry) {
         let hl = hlm.lmad().expect("bar is one LMAD");
         let mut vert = vec![0i64; b + 1];
         let mut off = vl.offset;
-        for t in 0..=b {
-            vert[t] = vlm.read_i64_off(off);
+        for v in vert.iter_mut() {
+            *v = vlm.read_i64_off(off);
             off += vl.dims[0].1;
         }
         // row_above starts as the horizontal bar; diag_left as the corner.
         let mut above = vec![0i64; b];
         let mut off = hl.offset;
-        for t in 0..b {
-            above[t] = hlm.read_i64_off(off);
+        for a in above.iter_mut() {
+            *a = hlm.read_i64_off(off);
             off += hl.dims[0].1;
         }
         let mut cur = vec![0i64; b];

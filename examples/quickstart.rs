@@ -8,7 +8,7 @@
 //! ```
 
 use arraymem_core::{compile, Options};
-use arraymem_exec::{run_program, InputValue, KernelRegistry, Mode};
+use arraymem_exec::{InputValue, KernelRegistry, Mode, Session};
 use arraymem_ir::{BinOp, Builder, ElemType, ScalarExp, SliceSpec};
 use arraymem_lmad::{Dim, Lmad, Transform};
 use arraymem_symbolic::{Env, Poly};
@@ -50,12 +50,12 @@ fn main() {
     env.assume_ge(n, 1);
     let unopt = compile(
         &program,
-        &Options { short_circuit: false, env: env.clone(), ..Options::default() },
+        &Options::default().with_env(env.clone()),
     )
     .unwrap();
     let opt = compile(
         &program,
-        &Options { short_circuit: true, env, ..Options::default() },
+        &Options::optimized().with_env(env),
     )
     .unwrap();
 
@@ -67,15 +67,23 @@ fn main() {
     println!("\n=== Optimized program (X now lives in A's memory) ===");
     println!("{}", arraymem_ir::pretty::program_to_string(&opt.program));
 
-    // ---- 3. Run both and compare.
+    // ---- 3. Prepare (lower to an executable plan) and run both.
+    // `Session::prepare` flattens the program into a linear instruction
+    // stream once; repeated runs replay the cached plan and recycle the
+    // previous run's memory blocks.
     let nn = 6usize;
     let data: Vec<f32> = (0..nn * nn).map(|i| i as f32).collect();
     let inputs = vec![InputValue::I64(nn as i64), InputValue::ArrayF32(data)];
     let kernels = KernelRegistry::new();
-    let (out_u, stats_u) =
-        run_program(&unopt.program, &inputs, &kernels, Mode::Memory, 1).unwrap();
-    let (out_o, stats_o) = run_program(&opt.program, &inputs, &kernels, Mode::Memory, 1).unwrap();
+    let mut session = Session::new();
+    let hu = session.prepare(&unopt.program, &kernels).unwrap();
+    let ho = session.prepare(&opt.program, &kernels).unwrap();
+    let (out_u, stats_u) = session.run_plan(hu, &inputs, &kernels, Mode::Memory, 1).unwrap();
+    let (out_o, stats_o) = session.run_plan(ho, &inputs, &kernels, Mode::Memory, 1).unwrap();
     assert_eq!(out_u, out_o, "same results either way");
+    // A second prepare of the same program is a cache hit — no re-lowering.
+    assert_eq!(session.prepare(&opt.program, &kernels).unwrap(), ho);
+    assert_eq!(session.plan_stats().cache_hits, 1);
 
     println!("=== Execution statistics ===");
     println!("unoptimized: {stats_u}");

@@ -30,11 +30,7 @@ fn main() {
 
     let opt = compile(
         &elab.program,
-        &Options {
-            short_circuit: true,
-            env: elab.env.clone(),
-            ..Options::default()
-        },
+        &Options::optimized().with_env(elab.env.clone()),
     )
     .expect("compile");
     println!("--- short-circuiting ---");

@@ -12,6 +12,9 @@ cd "$(dirname "$0")/.."
 echo "== build (release, offline) =="
 cargo build --release --offline --workspace
 
+echo "== lint (clippy, warnings are errors) =="
+cargo clippy --offline --all-targets -- -D warnings
+
 echo "== tests (offline) =="
 cargo test --release --offline --workspace -q
 

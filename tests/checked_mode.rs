@@ -13,17 +13,17 @@ use arraymem_core::{compile, Options, ReleasePlan};
 use arraymem_exec::{Diagnostic, KernelRegistry, Mode, Session};
 use arraymem_ir::{BinOp, Builder, ElemType, Exp, Program, ScalarExp, SliceSpec};
 use arraymem_lmad::{Dim, IndexFn, Lmad, Transform, TripletSlice};
-use arraymem_symbolic::{Env, Poly};
+use arraymem_symbolic::Poly;
 
 fn c(x: i64) -> Poly {
     Poly::constant(x)
 }
 
 fn opts(short_circuit: bool) -> Options {
-    Options {
-        short_circuit,
-        env: Env::new(),
-        ..Options::default()
+    if short_circuit {
+        Options::optimized()
+    } else {
+        Options::default()
     }
 }
 

@@ -22,7 +22,7 @@ use arraymem_core::{compile, Options};
 use arraymem_exec::{run_program, KernelRegistry, Mode, OutputValue, Session};
 use arraymem_ir::{BinOp, Builder, ElemType, Program, ScalarExp, SliceSpec, Var};
 use arraymem_lmad::{Transform, TripletSlice};
-use arraymem_symbolic::{Env, Poly, Rng64};
+use arraymem_symbolic::{Poly, Rng64};
 
 fn c(x: i64) -> Poly {
     Poly::constant(x)
@@ -383,20 +383,12 @@ fn run_all_modes(
     let kernels = KernelRegistry::new();
     let unopt = compile(
         prog,
-        &Options {
-            short_circuit: false,
-            env: Env::new(),
-            ..Options::default()
-        },
+        &Options::default(),
     )
     .expect("unopt compile");
     let opt = compile(
         prog,
-        &Options {
-            short_circuit: true,
-            env: Env::new(),
-            ..Options::default()
-        },
+        &Options::optimized(),
     )
     .expect("opt compile");
     let (pure_out, _) = run_program(prog, &[], &kernels, Mode::Pure, 1).expect("pure");

@@ -26,11 +26,7 @@ fn nw_without_env_fails_conservatively() {
     let case = w::nw::case("r", 6, 4, 2);
     let compiled = arraymem_core::compile(
         &case.program,
-        &arraymem_core::Options {
-            short_circuit: true,
-            env: arraymem_symbolic::Env::new(),
-            ..arraymem_core::Options::default()
-        },
+        &arraymem_core::Options::optimized(),
     )
     .unwrap();
     assert_eq!(compiled.report.successes(), 0);
@@ -126,10 +122,8 @@ fn ablation_no_hoisting_defeats_hotspot_concat() {
     let compiled = arraymem_core::compile(
         &case.program,
         &arraymem_core::Options {
-            short_circuit: true,
-            env: case.env.clone(),
             hoist: false,
-            ..arraymem_core::Options::default()
+            ..arraymem_core::Options::optimized().with_env(case.env.clone())
         },
     )
     .unwrap();
@@ -160,10 +154,8 @@ fn ablation_no_mapnest_restores_row_copies() {
     let compiled = arraymem_core::compile(
         &case.program,
         &arraymem_core::Options {
-            short_circuit: true,
-            env: case.env.clone(),
             mapnest_in_place: false,
-            ..arraymem_core::Options::default()
+            ..arraymem_core::Options::optimized().with_env(case.env.clone())
         },
     )
     .unwrap();

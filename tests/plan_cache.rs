@@ -1,0 +1,108 @@
+//! Plan-cache correctness: a cache hit must replay the *same* plan.
+//!
+//! For every workload, a cold `prepare` + run and a warm (cache-hit) run
+//! in the same session must produce bit-identical outputs — in plain
+//! memory mode and under the checked-mode sanitizer. A golden snapshot of
+//! the lowered NW instruction stream pins the plan format itself, so an
+//! accidental lowering change shows up as a readable diff instead of a
+//! silent perf or semantics shift. Re-bless with `ARRAYMEM_BLESS=1`.
+
+use arraymem_bench::tables::{table_cases, KNOWN_BENCHMARKS};
+use arraymem_exec::{Mode, Session};
+use arraymem_workloads as w;
+
+/// Cold-vs-warm equivalence for one mode. The *same* session serves both
+/// runs, so the warm run also recycles the cold run's released blocks —
+/// the harshest setting for "the cached plan behaves identically".
+fn fresh_vs_cached(mode: Mode) {
+    for benchmark in KNOWN_BENCHMARKS {
+        let case = &table_cases(benchmark, true).expect("known benchmark")[0];
+        let compiled = case.compile(true);
+        let checks: Vec<_> = compiled.report.checks().cloned().collect();
+        let threads = if matches!(mode, Mode::Checked) { 1 } else { 2 };
+        let mut session = Session::new();
+        let run = |s: &mut Session| {
+            let h = s
+                .prepare_with_checks(&compiled.program, &case.kernels, &checks)
+                .expect("prepare");
+            s.run_plan(h, &case.inputs, &case.kernels, mode, threads)
+                .expect("run")
+        };
+        let (cold_out, cold_stats) = run(&mut session);
+        let (warm_out, warm_stats) = run(&mut session);
+        assert!(!cold_stats.plan_cache_hit, "{benchmark}: first prepare must lower");
+        assert!(warm_stats.plan_cache_hit, "{benchmark}: second prepare must hit the cache");
+        assert_eq!(
+            cold_out, warm_out,
+            "{benchmark}: cache-hit run diverged from the cold run ({mode:?})"
+        );
+        let plan = session.plan_stats();
+        assert_eq!(
+            (plan.builds, plan.cache_hits),
+            (1, 1),
+            "{benchmark}: exactly one lowering, one hit"
+        );
+        if matches!(mode, Mode::Checked) {
+            assert!(
+                cold_stats.diagnostics.is_empty() && warm_stats.diagnostics.is_empty(),
+                "{benchmark}: sanitizer findings on a legal program"
+            );
+        }
+    }
+}
+
+#[test]
+fn cached_runs_are_bit_identical_in_memory_mode() {
+    fresh_vs_cached(Mode::Memory);
+}
+
+#[test]
+fn cached_runs_are_bit_identical_in_checked_mode() {
+    fresh_vs_cached(Mode::Checked);
+}
+
+/// Distinct programs get distinct cache entries; re-preparing either one
+/// afterwards still hits.
+#[test]
+fn distinct_programs_do_not_collide() {
+    let a = w::nw::case("a", 4, 4, 1);
+    let b = w::hotspot::case("b", 16, 2, 1);
+    let ca = a.compile(true);
+    let cb = b.compile(true);
+    let mut session = Session::new();
+    let ha = session.prepare(&ca.program, &a.kernels).expect("prepare a");
+    let hb = session.prepare(&cb.program, &b.kernels).expect("prepare b");
+    assert_ne!(ha, hb, "different programs must not share a plan");
+    assert_eq!(session.prepare(&ca.program, &a.kernels).expect("re-prepare a"), ha);
+    assert_eq!(session.prepare(&cb.program, &b.kernels).expect("re-prepare b"), hb);
+    let stats = session.plan_stats();
+    assert_eq!((stats.builds, stats.cache_hits), (2, 2));
+}
+
+/// Golden snapshot of the lowered NW plan (tiny dataset, optimized
+/// pipeline). Catches unintended lowering changes; regenerate with
+/// `ARRAYMEM_BLESS=1 cargo test -p arraymem-bench --test plan_cache`.
+#[test]
+fn nw_plan_snapshot() {
+    let case = w::nw::case("snap", 2, 3, 1);
+    let compiled = case.compile(true);
+    let mut session = Session::new();
+    let h = session.prepare(&compiled.program, &case.kernels).expect("prepare");
+    let got = session.plan(h).pretty();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/snapshots/nw_plan.txt");
+    if std::env::var_os("ARRAYMEM_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing snapshot {path:?} ({e}); run with ARRAYMEM_BLESS=1 to create it")
+    });
+    assert!(
+        got == want,
+        "lowered NW plan drifted from tests/snapshots/nw_plan.txt;\n\
+         re-bless with ARRAYMEM_BLESS=1 if the change is intentional.\n\
+         --- got ---\n{got}\n--- want ---\n{want}"
+    );
+}
