@@ -12,8 +12,7 @@
 //! ```
 
 use arraymem_bench::tables::{
-    all_tables, check_table, measure_table, render_json, render_mechanism, render_table,
-    RunMode,
+    all_tables, check_table, measure_table, render_json, render_mechanism, render_table, RunMode,
 };
 use arraymem_workloads::Measurement;
 

@@ -68,7 +68,9 @@ pub fn fig3_chain() -> String {
     let mut s = String::from("Fig. 3 — index function computations (no arrays manifested):\n");
     let as_ = IndexFn::row_major(&[c(64)]);
     s.push_str(&format!("  as = (0..63)            ixfn: {as_:?}\n"));
-    let bs = as_.transform(&Transform::Reshape(vec![c(8), c(8)])).unwrap();
+    let bs = as_
+        .transform(&Transform::Reshape(vec![c(8), c(8)]))
+        .unwrap();
     s.push_str(&format!("  bs = unflatten 8 8 as   ixfn: {bs:?}\n"));
     let cs = bs.transform(&Transform::Permute(vec![1, 0])).unwrap();
     s.push_str(&format!("  cs = transpose bs       ixfn: {cs:?}\n"));
@@ -81,7 +83,11 @@ pub fn fig3_chain() -> String {
     s.push_str(&format!("  ds = cs[1:3:2, 4:8:1]   ixfn: {ds:?}\n"));
     let flat = ds.transform(&Transform::Reshape(vec![c(8)])).unwrap();
     let es = flat
-        .transform(&Transform::Slice(vec![TripletSlice::range(c(2), c(6), c(1))]))
+        .transform(&Transform::Slice(vec![TripletSlice::range(
+            c(2),
+            c(6),
+            c(1),
+        )]))
         .unwrap();
     s.push_str(&format!("  es = (flatten ds)[2:]   ixfn: {es:?}\n"));
     let conc = es.eval(&|_| None).unwrap();
@@ -115,9 +121,8 @@ pub fn fig9_proof() -> String {
         ],
     );
     let proof = non_overlap_traced(&w, &rvert, &env);
-    let mut s = String::from(
-        "Fig. 9 — proving W ∩ Rvert = ∅ for NW (n = q·b+1, q ≥ 2, b ≥ 2, i ≥ 0):\n",
-    );
+    let mut s =
+        String::from("Fig. 9 — proving W ∩ Rvert = ∅ for NW (n = q·b+1, q ≥ 2, b ≥ 2, i ≥ 0):\n");
     for line in &proof.trace {
         s.push_str("  ");
         s.push_str(line);
@@ -142,7 +147,10 @@ pub fn fig10_patterns() -> String {
     // Green diagonal, blue row perimeter, yellow column perimeter, red interior.
     mark(
         &mut grid,
-        ConcreteLmad { offset: k * b * n + k * b, dims: vec![(b, n), (b, 1)] },
+        ConcreteLmad {
+            offset: k * b * n + k * b,
+            dims: vec![(b, n), (b, 1)],
+        },
         b'G',
     );
     let m = q - 1 - k;

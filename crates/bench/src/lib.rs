@@ -4,4 +4,6 @@
 pub mod figures;
 pub mod tables;
 
-pub use tables::{all_tables, check_table, render_table, run_table, table_cases, RunMode, TableSpec};
+pub use tables::{
+    all_tables, check_table, render_table, run_table, table_cases, RunMode, TableSpec,
+};

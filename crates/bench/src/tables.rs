@@ -13,19 +13,61 @@ pub struct TableSpec {
 /// All seven tables of the paper's §VI.
 pub fn all_tables() -> Vec<TableSpec> {
     vec![
-        TableSpec { number: 1, title: "NW performance", benchmark: "nw", paper_runs: 1000 },
-        TableSpec { number: 2, title: "LUD performance", benchmark: "lud", paper_runs: 10 },
-        TableSpec { number: 3, title: "Hotspot performance", benchmark: "hotspot", paper_runs: 10 },
-        TableSpec { number: 4, title: "LBM performance", benchmark: "lbm", paper_runs: 100 },
-        TableSpec { number: 5, title: "OptionPricing performance", benchmark: "optionpricing", paper_runs: 1000 },
-        TableSpec { number: 6, title: "LocVolCalib performance", benchmark: "locvolcalib", paper_runs: 10 },
-        TableSpec { number: 7, title: "NN performance", benchmark: "nn", paper_runs: 100 },
+        TableSpec {
+            number: 1,
+            title: "NW performance",
+            benchmark: "nw",
+            paper_runs: 1000,
+        },
+        TableSpec {
+            number: 2,
+            title: "LUD performance",
+            benchmark: "lud",
+            paper_runs: 10,
+        },
+        TableSpec {
+            number: 3,
+            title: "Hotspot performance",
+            benchmark: "hotspot",
+            paper_runs: 10,
+        },
+        TableSpec {
+            number: 4,
+            title: "LBM performance",
+            benchmark: "lbm",
+            paper_runs: 100,
+        },
+        TableSpec {
+            number: 5,
+            title: "OptionPricing performance",
+            benchmark: "optionpricing",
+            paper_runs: 1000,
+        },
+        TableSpec {
+            number: 6,
+            title: "LocVolCalib performance",
+            benchmark: "locvolcalib",
+            paper_runs: 10,
+        },
+        TableSpec {
+            number: 7,
+            title: "NN performance",
+            benchmark: "nn",
+            paper_runs: 100,
+        },
     ]
 }
 
 /// The benchmark names [`table_cases`] accepts, in table order.
-pub const KNOWN_BENCHMARKS: [&str; 7] =
-    ["nw", "lud", "hotspot", "lbm", "optionpricing", "locvolcalib", "nn"];
+pub const KNOWN_BENCHMARKS: [&str; 7] = [
+    "nw",
+    "lud",
+    "hotspot",
+    "lbm",
+    "optionpricing",
+    "locvolcalib",
+    "nn",
+];
 
 /// Build the cases (all datasets) for one table. `quick` shrinks datasets
 /// for smoke runs. Unknown names produce an error listing the known ones
@@ -173,6 +215,20 @@ pub fn render_mechanism(rows: &[Measurement]) -> String {
                 pl.build_time.as_secs_f64() * 1e3
             ));
         }
+        for (label, passes) in [("unopt", &m.unopt_passes), ("opt", &m.opt_passes)] {
+            for p in passes.iter() {
+                s.push_str(&format!(
+                    "  {:<10} {:<5} pass {:<13} {:>8.3}ms | stms {:>3} → {:>3} | remarks {:>3}\n",
+                    m.dataset,
+                    label,
+                    p.name,
+                    p.time.as_secs_f64() * 1e3,
+                    p.before.stms,
+                    p.after.stms,
+                    p.remarks
+                ));
+            }
+        }
     }
     s
 }
@@ -207,7 +263,11 @@ pub fn measure_table(spec: &TableSpec, mode: RunMode) -> Result<Vec<Measurement>
 /// Measure and render one table end to end.
 pub fn run_table(spec: &TableSpec, mode: RunMode) -> Result<String, String> {
     let rows = measure_table(spec, mode)?;
-    Ok(format!("{}{}", render_table(spec, &rows), render_mechanism(&rows)))
+    Ok(format!(
+        "{}{}",
+        render_table(spec, &rows),
+        render_mechanism(&rows)
+    ))
 }
 
 fn json_escape(s: &str) -> String {
@@ -249,9 +309,9 @@ pub fn render_json(results: &[(TableSpec, Vec<Measurement>)]) -> String {
                 m.opt_rel(),
                 m.impact()
             ));
-            for (vi, (label, st, pl)) in [
-                ("unopt", &m.unopt_stats, &m.unopt_plan),
-                ("opt", &m.opt_stats, &m.opt_plan),
+            for (vi, (label, st, pl, passes)) in [
+                ("unopt", &m.unopt_stats, &m.unopt_plan, &m.unopt_passes),
+                ("opt", &m.opt_stats, &m.opt_plan, &m.opt_passes),
             ]
             .iter()
             .enumerate()
@@ -261,7 +321,7 @@ pub fn render_json(results: &[(TableSpec, Vec<Measurement>)]) -> String {
                      \"num_allocs\": {}, \"blocks_reused\": {}, \
                      \"bytes_zeroing_elided\": {}, \"pool_dispatches\": {}, \
                      \"plan_builds\": {}, \"plan_cache_hits\": {}, \
-                     \"plan_build_ms\": {:.6}}}",
+                     \"plan_build_ms\": {:.6}, \"passes\": [",
                     st.bytes_copied,
                     st.bytes_elided,
                     st.num_allocs,
@@ -272,6 +332,21 @@ pub fn render_json(results: &[(TableSpec, Vec<Measurement>)]) -> String {
                     pl.cache_hits,
                     pl.build_time.as_secs_f64() * 1e3
                 ));
+                for (pi, p) in passes.iter().enumerate() {
+                    s.push_str(&format!(
+                        "{{\"name\": \"{}\", \"ms\": {:.6}, \"stms_before\": {}, \
+                         \"stms_after\": {}, \"remarks\": {}}}",
+                        json_escape(p.name),
+                        p.time.as_secs_f64() * 1e3,
+                        p.before.stms,
+                        p.after.stms,
+                        p.remarks
+                    ));
+                    if pi + 1 < passes.len() {
+                        s.push_str(", ");
+                    }
+                }
+                s.push_str("]}");
                 if vi == 0 {
                     s.push_str(", ");
                 }
@@ -351,8 +426,21 @@ mod tests {
             opt_stats: Default::default(),
             unopt_plan: plan,
             opt_plan: plan,
+            unopt_passes: vec![],
+            opt_passes: vec![arraymem_core::PassRun {
+                name: "short_circuit",
+                time: Duration::from_micros(250),
+                before: Default::default(),
+                after: Default::default(),
+                remarks: 3,
+            }],
         };
-        let spec = TableSpec { number: 1, title: "NW performance", benchmark: "nw", paper_runs: 1000 };
+        let spec = TableSpec {
+            number: 1,
+            title: "NW performance",
+            benchmark: "nw",
+            paper_runs: 1000,
+        };
         let json = render_json(&[(spec, vec![m])]);
         // Structurally valid: every brace/bracket closes, strings escaped.
         let mut depth = 0i64;
@@ -377,5 +465,10 @@ mod tests {
         assert!(json.contains("\"plan_cache_hits\": 41"), "{json}");
         assert!(json.contains("\"plan_builds\": 1"), "{json}");
         assert!(json.contains("256\\\"x\\\\2"), "{json}");
+        assert!(json.contains("\"passes\": []"), "{json}");
+        assert!(
+            json.contains("\"name\": \"short_circuit\"") && json.contains("\"remarks\": 3"),
+            "{json}"
+        );
     }
 }

@@ -8,10 +8,14 @@ use std::collections::HashSet;
 
 /// Remove `alloc` statements whose block variable is referenced by no
 /// memory binding, expression, or block result anywhere in the program.
-pub fn remove_dead_allocs(prog: &mut Program) {
+/// Returns the block variables of the removed allocations, which the pass
+/// pipeline reports as remarks.
+pub fn remove_dead_allocs(prog: &mut Program) -> Vec<Var> {
     let mut used: HashSet<Var> = HashSet::new();
     collect_used(&prog.body, &mut used);
-    prune(&mut prog.body, &used);
+    let mut removed = Vec::new();
+    prune(&mut prog.body, &used, &mut removed);
+    removed
 }
 
 fn collect_used(block: &Block, used: &mut HashSet<Var>) {
@@ -27,9 +31,7 @@ fn collect_used(block: &Block, used: &mut HashSet<Var>) {
             }
         }
         match &stm.exp {
-            Exp::If {
-                then_b, else_b, ..
-            } => {
+            Exp::If { then_b, else_b, .. } => {
                 collect_used(then_b, used);
                 collect_used(else_b, used);
             }
@@ -48,22 +50,24 @@ fn collect_used(block: &Block, used: &mut HashSet<Var>) {
     used.extend(block.result.iter().copied());
 }
 
-fn prune(block: &mut Block, used: &HashSet<Var>) {
-    block
-        .stms
-        .retain(|stm| !matches!(stm.exp, Exp::Alloc { .. }) || used.contains(&stm.pat[0].var));
+fn prune(block: &mut Block, used: &HashSet<Var>, removed: &mut Vec<Var>) {
+    block.stms.retain(|stm| {
+        let keep = !matches!(stm.exp, Exp::Alloc { .. }) || used.contains(&stm.pat[0].var);
+        if !keep {
+            removed.push(stm.pat[0].var);
+        }
+        keep
+    });
     for stm in &mut block.stms {
         match &mut stm.exp {
-            Exp::If {
-                then_b, else_b, ..
-            } => {
-                prune(then_b, used);
-                prune(else_b, used);
+            Exp::If { then_b, else_b, .. } => {
+                prune(then_b, used, removed);
+                prune(else_b, used, removed);
             }
-            Exp::Loop { body, .. } => prune(body, used),
+            Exp::Loop { body, .. } => prune(body, used, removed),
             Exp::Map(m) => {
                 if let MapBody::Lambda { body, .. } = &mut m.body {
-                    prune(body, used);
+                    prune(body, used, removed);
                 }
             }
             _ => {}

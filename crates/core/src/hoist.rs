@@ -7,25 +7,26 @@
 use arraymem_ir::{Block, Exp, MapBody, Program, Var};
 use std::collections::HashSet;
 
-/// Hoist allocations in every block of the program.
-pub fn hoist_allocations(prog: &mut Program) {
-    hoist_block(&mut prog.body);
+/// Hoist allocations in every block of the program. Returns the number of
+/// upward swaps performed (0 = the program was already hoisted), which the
+/// pass pipeline reports as a remark.
+pub fn hoist_allocations(prog: &mut Program) -> usize {
+    hoist_block(&mut prog.body)
 }
 
-fn hoist_block(block: &mut Block) {
+fn hoist_block(block: &mut Block) -> usize {
+    let mut swaps = 0;
     // Recurse first.
     for stm in &mut block.stms {
         match &mut stm.exp {
-            Exp::If {
-                then_b, else_b, ..
-            } => {
-                hoist_block(then_b);
-                hoist_block(else_b);
+            Exp::If { then_b, else_b, .. } => {
+                swaps += hoist_block(then_b);
+                swaps += hoist_block(else_b);
             }
-            Exp::Loop { body, .. } => hoist_block(body),
+            Exp::Loop { body, .. } => swaps += hoist_block(body),
             Exp::Map(m) => {
                 if let MapBody::Lambda { body, .. } = &mut m.body {
-                    hoist_block(body);
+                    swaps += hoist_block(body);
                 }
             }
             _ => {}
@@ -42,8 +43,7 @@ fn hoist_block(block: &mut Block) {
             if !hoistable(&block.stms[k].exp) {
                 continue;
             }
-            let defs_prev: HashSet<Var> =
-                block.stms[k - 1].pat.iter().map(|p| p.var).collect();
+            let defs_prev: HashSet<Var> = block.stms[k - 1].pat.iter().map(|p| p.var).collect();
             let uses: Vec<Var> = block.stms[k].exp.free_vars();
             if uses.iter().any(|v| defs_prev.contains(v)) {
                 continue;
@@ -53,11 +53,13 @@ fn hoist_block(block: &mut Block) {
             // the `moved` flag with a bounded outer loop prevents that.
             block.stms.swap(k - 1, k);
             moved = true;
+            swaps += 1;
         }
         if !moved {
             break;
         }
     }
+    swaps
 }
 
 fn hoistable(e: &Exp) -> bool {

@@ -8,6 +8,7 @@
 
 use crate::antiunify::{anti_unify, Existential};
 use crate::memtable::param_block_sym;
+use crate::remark::{Remark, RemarkKind};
 use arraymem_ir::{
     Block, ElemType, Exp, MapBody, MemBinding, PatElem, Program, ScalarExp, Stm, Type, Var,
 };
@@ -19,6 +20,12 @@ type Bindings = HashMap<Var, MemBinding>;
 
 /// Run memory introduction over the whole program (in place).
 pub fn introduce_memory(prog: &mut Program) -> Result<(), String> {
+    introduce_memory_with(prog, &mut Vec::new())
+}
+
+/// As [`introduce_memory`], recording a [`Remark`] for every normalization
+/// copy the anti-unification fallbacks insert (§IV-C).
+pub fn introduce_memory_with(prog: &mut Program, remarks: &mut Vec<Remark>) -> Result<(), String> {
     let mut tbl: Bindings = HashMap::new();
     for (v, ty) in &prog.params {
         if ty.is_array() {
@@ -32,14 +39,18 @@ pub fn introduce_memory(prog: &mut Program) -> Result<(), String> {
         }
     }
     let body = std::mem::take(&mut prog.body);
-    prog.body = introduce_block(body, &mut tbl)?;
+    prog.body = introduce_block(body, &mut tbl, remarks)?;
     Ok(())
 }
 
-fn introduce_block(block: Block, tbl: &mut Bindings) -> Result<Block, String> {
+fn introduce_block(
+    block: Block,
+    tbl: &mut Bindings,
+    remarks: &mut Vec<Remark>,
+) -> Result<Block, String> {
     let mut out: Vec<Stm> = Vec::with_capacity(block.stms.len());
     for stm in block.stms {
-        introduce_stm(stm, tbl, &mut out)?;
+        introduce_stm(stm, tbl, &mut out, remarks)?;
     }
     Ok(Block {
         stms: out,
@@ -58,7 +69,12 @@ fn alloc_stm(elem: ElemType, size: Poly, prefix: &str) -> (Stm, Var) {
     )
 }
 
-fn introduce_stm(mut stm: Stm, tbl: &mut Bindings, out: &mut Vec<Stm>) -> Result<(), String> {
+fn introduce_stm(
+    mut stm: Stm,
+    tbl: &mut Bindings,
+    out: &mut Vec<Stm>,
+    remarks: &mut Vec<Remark>,
+) -> Result<(), String> {
     match &mut stm.exp {
         // Fresh-array creators: allocate and lay out row-major.
         Exp::Iota(_)
@@ -70,7 +86,7 @@ fn introduce_stm(mut stm: Stm, tbl: &mut Bindings, out: &mut Vec<Stm>) -> Result
             if let Exp::Map(m) = &mut stm.exp {
                 if let MapBody::Lambda { body, .. } = &mut m.body {
                     let inner = std::mem::take(body);
-                    *body = introduce_block(inner, tbl)?;
+                    *body = introduce_block(inner, tbl, remarks)?;
                 }
             }
             for pe in &mut stm.pat {
@@ -122,8 +138,8 @@ fn introduce_stm(mut stm: Stm, tbl: &mut Bindings, out: &mut Vec<Stm>) -> Result
             out.push(stm);
             Ok(())
         }
-        Exp::If { .. } => introduce_if(stm, tbl, out),
-        Exp::Loop { .. } => introduce_loop(stm, tbl, out),
+        Exp::If { .. } => introduce_if(stm, tbl, out, remarks),
+        Exp::Loop { .. } => introduce_loop(stm, tbl, out, remarks),
     }
 }
 
@@ -167,7 +183,12 @@ fn bind_existential_values(block: &mut Block, values: &[Poly]) -> Vec<Var> {
         .collect()
 }
 
-fn introduce_if(mut stm: Stm, tbl: &mut Bindings, out: &mut Vec<Stm>) -> Result<(), String> {
+fn introduce_if(
+    mut stm: Stm,
+    tbl: &mut Bindings,
+    out: &mut Vec<Stm>,
+    remarks: &mut Vec<Remark>,
+) -> Result<(), String> {
     let Exp::If {
         cond,
         then_b,
@@ -176,8 +197,8 @@ fn introduce_if(mut stm: Stm, tbl: &mut Bindings, out: &mut Vec<Stm>) -> Result<
     else {
         unreachable!()
     };
-    let mut then_b = introduce_block(then_b, tbl)?;
-    let mut else_b = introduce_block(else_b, tbl)?;
+    let mut then_b = introduce_block(then_b, tbl, remarks)?;
+    let mut else_b = introduce_block(else_b, tbl, remarks)?;
 
     // For each array result: anti-unify the branch index functions.
     let mut new_pat: Vec<PatElem> = Vec::new();
@@ -205,6 +226,16 @@ fn introduce_if(mut stm: Stm, tbl: &mut Bindings, out: &mut Vec<Stm>) -> Result<
             tmb = get(tbl, then_b.result[i]);
             emb = get(tbl, else_b.result[i]);
             unified = anti_unify(&tmb.ixfn, &emb.ixfn);
+            remarks.push(Remark {
+                pass: "introduce",
+                stm: Some(pe.var),
+                kind: RemarkKind::NormalizationCopy,
+                message: format!(
+                    "if-branch layouts of {} did not anti-unify; inserted \
+                     normalization copies in both branches",
+                    pe.var
+                ),
+            });
         }
         let (gen, exts) = unified.ok_or("anti-unification failed after normalization")?;
         // Existential memory block variable.
@@ -265,6 +296,7 @@ struct LoopPlan {
 /// Anti-unification fallback for loops: copy the initializers (and body
 /// results, if needed) into fresh row-major memory so all iterations agree
 /// on the layout.
+#[allow(clippy::too_many_arguments)]
 fn loop_copy_fallback<F>(
     params: &[PatElem],
     array_positions: &[usize],
@@ -272,17 +304,31 @@ fn loop_copy_fallback<F>(
     inits: &mut [Var],
     tbl: &mut Bindings,
     out: &mut Vec<Stm>,
+    remarks: &mut Vec<Remark>,
     try_round: &F,
 ) -> Result<(Block, Vec<LoopPlan>), String>
 where
-    F: Fn(&[IndexFn], &[Var], &Bindings) -> Result<(Block, Vec<MemBinding>), String>,
+    F: Fn(&[IndexFn], &[Var], &Bindings) -> Result<(Block, Vec<MemBinding>, Vec<Remark>), String>,
 {
     normalize_loop(params, array_positions, inits, tbl, out)?;
+    for &i in array_positions {
+        remarks.push(Remark {
+            pass: "introduce",
+            stm: Some(params[i].var),
+            kind: RemarkKind::NormalizationCopy,
+            message: format!(
+                "loop layouts of merge parameter {} did not stabilize; \
+                 normalized the initializer with a row-major copy",
+                params[i].var
+            ),
+        });
+    }
     let norm_ixfns: Vec<IndexFn> = array_positions
         .iter()
         .map(|&i| IndexFn::row_major(params[i].ty.shape()))
         .collect();
-    let (mut b3, _res) = try_round(&norm_ixfns, mem_vars, tbl)?;
+    let (mut b3, _res, round_remarks) = try_round(&norm_ixfns, mem_vars, tbl)?;
+    remarks.extend(round_remarks);
     for &i in array_positions {
         let mut t2: HashMap<Var, MemBinding> = HashMap::new();
         collect_bindings(&b3, &mut t2);
@@ -307,7 +353,12 @@ where
     Ok((b3, plans))
 }
 
-fn introduce_loop(mut stm: Stm, tbl: &mut Bindings, out: &mut Vec<Stm>) -> Result<(), String> {
+fn introduce_loop(
+    mut stm: Stm,
+    tbl: &mut Bindings,
+    out: &mut Vec<Stm>,
+    remarks: &mut Vec<Remark>,
+) -> Result<(), String> {
     let Exp::Loop {
         mut params,
         mut inits,
@@ -333,11 +384,13 @@ fn introduce_loop(mut stm: Stm, tbl: &mut Bindings, out: &mut Vec<Stm>) -> Resul
         .collect();
 
     // One attempt: introduce memory in a copy of the body under the given
-    // param index functions; returns the per-array result bindings.
+    // param index functions; returns the per-array result bindings. Remarks
+    // from the body go into a per-round scratch — only the chosen round's
+    // remarks are kept, so discarded rounds don't double-report.
     let try_round = |param_ixfns: &[IndexFn],
                      mem_vars: &[Var],
                      tbl: &Bindings|
-     -> Result<(Block, Vec<MemBinding>), String> {
+     -> Result<(Block, Vec<MemBinding>, Vec<Remark>), String> {
         let mut round_tbl = tbl.clone();
         for (k, &i) in array_positions.iter().enumerate() {
             round_tbl.insert(
@@ -348,15 +401,19 @@ fn introduce_loop(mut stm: Stm, tbl: &mut Bindings, out: &mut Vec<Stm>) -> Resul
                 },
             );
         }
-        let b = introduce_block(body.clone(), &mut round_tbl)?;
+        let mut round_remarks = Vec::new();
+        let b = introduce_block(body.clone(), &mut round_tbl, &mut round_remarks)?;
         let mut res = Vec::new();
         for &i in &array_positions {
             let v = b.result[i];
-            res.push(round_tbl.get(&v).cloned().ok_or_else(|| {
-                format!("loop body result {v} has no memory binding")
-            })?);
+            res.push(
+                round_tbl
+                    .get(&v)
+                    .cloned()
+                    .ok_or_else(|| format!("loop body result {v} has no memory binding"))?,
+            );
         }
-        Ok((b, res))
+        Ok((b, res, round_remarks))
     };
 
     let mem_vars: Vec<Var> = array_positions
@@ -373,11 +430,8 @@ fn introduce_loop(mut stm: Stm, tbl: &mut Bindings, out: &mut Vec<Stm>) -> Resul
         .collect();
 
     // Round 1: assume layouts are loop-invariant.
-    let (b1, res1) = try_round(&init_ixfns, &mem_vars, tbl)?;
-    let stable1 = res1
-        .iter()
-        .zip(&init_ixfns)
-        .all(|(mb, ix)| &mb.ixfn == ix);
+    let (b1, res1, rem1) = try_round(&init_ixfns, &mem_vars, tbl)?;
+    let stable1 = res1.iter().zip(&init_ixfns).all(|(mb, ix)| &mb.ixfn == ix);
 
     let (mut body, plans): (Block, Vec<LoopPlan>) = if stable1 {
         let plans = array_positions
@@ -389,6 +443,7 @@ fn introduce_loop(mut stm: Stm, tbl: &mut Bindings, out: &mut Vec<Stm>) -> Resul
                 mem_var: mem_vars[k],
             })
             .collect();
+        remarks.extend(rem1);
         (b1, plans)
     } else {
         // Round 2: generalize disagreeing components into existentials and
@@ -410,7 +465,7 @@ fn introduce_loop(mut stm: Stm, tbl: &mut Bindings, out: &mut Vec<Stm>) -> Resul
             }
         }
         if ok {
-            let (b2, res2) = try_round(&gens, &mem_vars, tbl)?;
+            let (b2, res2, rem2) = try_round(&gens, &mem_vars, tbl)?;
             // Check fixpoint: each result component must equal the
             // generalized one, or be a pure renaming at ext positions.
             let mut plans = Vec::new();
@@ -418,8 +473,7 @@ fn introduce_loop(mut stm: Stm, tbl: &mut Bindings, out: &mut Vec<Stm>) -> Resul
                 match anti_unify(&gens[k], &res2[k].ixfn) {
                     Some((_g2, exts2)) => {
                         // Every disagreement must sit at an ext var of gen.
-                        let prior: Vec<Sym> =
-                            ext_sets[k].iter().map(|e| e.var).collect();
+                        let prior: Vec<Sym> = ext_sets[k].iter().map(|e| e.var).collect();
                         let mut body_vals: HashMap<Sym, Poly> = HashMap::new();
                         for e2 in &exts2 {
                             match e2.left.as_var() {
@@ -456,6 +510,7 @@ fn introduce_loop(mut stm: Stm, tbl: &mut Bindings, out: &mut Vec<Stm>) -> Resul
                 }
             }
             if ok {
+                remarks.extend(rem2);
                 (b2, plans)
             } else {
                 loop_copy_fallback(
@@ -465,6 +520,7 @@ fn introduce_loop(mut stm: Stm, tbl: &mut Bindings, out: &mut Vec<Stm>) -> Resul
                     &mut inits,
                     tbl,
                     out,
+                    remarks,
                     &try_round,
                 )?
             }
@@ -476,6 +532,7 @@ fn introduce_loop(mut stm: Stm, tbl: &mut Bindings, out: &mut Vec<Stm>) -> Resul
                 &mut inits,
                 tbl,
                 out,
+                remarks,
                 &try_round,
             )?
         }
@@ -494,9 +551,10 @@ fn introduce_loop(mut stm: Stm, tbl: &mut Bindings, out: &mut Vec<Stm>) -> Resul
     for (k, &i) in array_positions.iter().enumerate() {
         let plan = &plans[k];
         new_params.push(PatElem::new(plan.mem_var, Type::Mem));
-        let init_mb = tbl.get(&inits[i]).cloned().ok_or_else(|| {
-            format!("loop initializer {} has no memory binding", inits[i])
-        })?;
+        let init_mb = tbl
+            .get(&inits[i])
+            .cloned()
+            .ok_or_else(|| format!("loop initializer {} has no memory binding", inits[i]))?;
         new_inits.push(init_mb.block);
         let res_block = body_bindings
             .get(&body.result[i])
@@ -605,9 +663,7 @@ pub fn collect_bindings(block: &Block, out: &mut HashMap<Var, MemBinding>) {
             }
         }
         match &stm.exp {
-            Exp::If {
-                then_b, else_b, ..
-            } => {
+            Exp::If { then_b, else_b, .. } => {
                 collect_bindings(then_b, out);
                 collect_bindings(else_b, out);
             }

@@ -1,23 +1,36 @@
 //! The paper's primary contribution: an LMAD-based notion of memory in the
 //! IR, and the **array short-circuiting** optimization.
 //!
-//! Pipeline (all passes operate on the shared IR of `arraymem-ir`, whose
-//! memory annotations are optional "add-ons"):
+//! The middle-end is organized as a [`pipeline::Pipeline`] of named
+//! [`pipeline::Pass`] stages (all operating on the shared IR of
+//! `arraymem-ir`, whose memory annotations are optional "add-ons"):
 //!
-//! 1. [`introduce`] — insert `alloc` statements and `@mem → ixfn`
-//!    annotations (paper §IV-C); `if`/`loop` results get *existential*
-//!    memory via anti-unification ([`antiunify`]) of the index functions.
-//! 2. [`hoist`] — aggressively hoist allocations upward, enabling the
-//!    second safety property of short-circuiting (§V, property 2).
-//! 3. [`short_circuit`] — the bottom-up analysis of §V: detect circuit
-//!    points, rebase the candidate's alias web into the destination
-//!    memory, maintain the `U_xss`/`W_bs` access summaries, and verify
-//!    non-overlap with the static test of §V-C; on success the update /
-//!    concat copy is elided and mapnests construct their rows in place.
-//! 4. [`cleanup`] — remove allocations whose memory became unreferenced.
+//! 1. `introduce` ([`introduce`]) — insert `alloc` statements and
+//!    `@mem → ixfn` annotations (paper §IV-C); `if`/`loop` results get
+//!    *existential* memory via anti-unification ([`antiunify`]) of the
+//!    index functions.
+//! 2. `antiunify` — audit the existential-memory invariant and record
+//!    which results carry existential memory.
+//! 3. `hoist` ([`hoist`]) — aggressively hoist allocations upward,
+//!    enabling the second safety property of short-circuiting (§V,
+//!    property 2).
+//! 4. `short_circuit` ([`short_circuit`]) — the bottom-up analysis of §V:
+//!    detect circuit points, rebase the candidate's alias web into the
+//!    destination memory, maintain the `U_xss`/`W_bs` access summaries,
+//!    and verify non-overlap with the static test of §V-C; on success the
+//!    update / concat copy is elided and mapnests construct their rows in
+//!    place.
+//! 5. `cleanup` ([`cleanup`]) — remove allocations whose memory became
+//!    unreferenced.
+//! 6. `release` ([`release`]) — schedule early block releases (the plan
+//!    itself is recomputed at lowering time; the stage records its size).
 //!
-//! [`compile`] runs the whole pipeline and returns the optimized program
-//! together with a [`Report`] of every candidate considered.
+//! [`compile`] runs the standard pipeline and returns the optimized
+//! program together with a [`Report`] of every short-circuit candidate and
+//! a [`CompileReport`] of per-stage timings and structured [`Remark`]s.
+//! The pipeline's fingerprint is stamped into the program
+//! (`Program::pipeline_fingerprint`) so the executor's plan cache never
+//! serves a plan compiled under a different pass configuration.
 
 pub mod antiunify;
 pub mod cleanup;
@@ -25,13 +38,17 @@ pub mod fingerprint;
 pub mod hoist;
 pub mod introduce;
 pub mod memtable;
+pub mod pipeline;
 pub mod release;
+pub mod remark;
 pub mod short_circuit;
 
 pub use fingerprint::{fingerprint, fingerprint_items};
 pub use memtable::MemTable;
+pub use pipeline::{CompileReport, IrStats, Pass, PassCx, PassRun, Pipeline};
 pub use release::ReleasePlan;
-pub use short_circuit::{CandidateOutcome, CircuitCheck, Report};
+pub use remark::{RejectReason, Remark, RemarkKind};
+pub use short_circuit::{CandidateOutcome, CircuitCheck, Rejection, Report};
 
 use arraymem_ir::Program;
 use arraymem_symbolic::Env;
@@ -92,26 +109,26 @@ impl Options {
 /// The result of compilation.
 pub struct Compiled {
     pub program: Program,
+    /// The short-circuiting candidate report (every candidate considered).
     pub report: Report,
+    /// Per-stage timings, delta stats and structured remarks.
+    pub compile_report: CompileReport,
 }
 
-/// Run the full memory pipeline over a (memory-free) source program.
+/// Run the standard memory pipeline over a (memory-free) source program.
 pub fn compile(prog: &Program, opts: &Options) -> Result<Compiled, String> {
-    arraymem_ir::validate::validate(prog)?;
-    let mut p = prog.clone();
-    introduce::introduce_memory(&mut p)?;
-    if opts.hoist {
-        hoist::hoist_allocations(&mut p);
-    }
-    let report = if opts.short_circuit && opts.force_unsafe_short_circuit {
-        short_circuit::short_circuit_force_unsafe(&mut p, &opts.env, opts.mapnest_in_place)
-    } else if opts.short_circuit {
-        short_circuit::short_circuit_with(&mut p, &opts.env, opts.mapnest_in_place)
-    } else {
-        Report::default()
-    };
-    cleanup::remove_dead_allocs(&mut p);
-    Ok(Compiled { program: p, report })
+    Pipeline::standard().run(prog, opts)
+}
+
+/// As [`compile`], invoking `observe(stage_name, program)` with the input
+/// program (stage `"input"`) and after every executed stage — the hook
+/// behind per-pass IR snapshot tests.
+pub fn compile_observed(
+    prog: &Program,
+    opts: &Options,
+    observe: &mut dyn FnMut(&str, &Program),
+) -> Result<Compiled, String> {
+    Pipeline::standard().run_observed(prog, opts, observe)
 }
 
 #[cfg(test)]

@@ -46,9 +46,7 @@ impl MemTable {
                 }
             }
             match &stm.exp {
-                Exp::If {
-                    then_b, else_b, ..
-                } => {
+                Exp::If { then_b, else_b, .. } => {
                     self.walk(then_b);
                     self.walk(else_b);
                 }
@@ -72,7 +70,9 @@ impl MemTable {
     }
 }
 
-/// The deterministic block symbol used for an array parameter's memory.
+/// The deterministic block symbol used for an array parameter's memory —
+/// re-exported from `arraymem-ir`, which holds the canonical definition
+/// shared with the validator and the executor's lowerer.
 pub fn param_block_sym(param: Var) -> Sym {
-    arraymem_symbolic::sym(&format!("{param}_mem"))
+    arraymem_ir::param_block_sym(param)
 }

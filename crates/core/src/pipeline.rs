@@ -1,0 +1,510 @@
+//! The middle-end pass pipeline.
+//!
+//! Every transformation of the memory middle-end — memory introduction,
+//! the anti-unification audit, allocation hoisting, short-circuiting,
+//! dead-allocation cleanup and release scheduling — runs as a named
+//! [`Pass`] driven by [`Pipeline`]. The driver records, per stage:
+//!
+//! - wall time and delta [`IrStats`] (statement/alloc/elision counts);
+//! - the structured [`Remark`]s the stage emitted;
+//! - an IR dump after the stage when `ARRAYMEM_PRINT_IR` is set (the
+//!   flag is read once; nothing is formatted when it is unset);
+//! - in debug builds (or under `ARRAYMEM_VERIFY_IR`), a full
+//!   [`validate_memory`](arraymem_ir::validate::validate_memory) check —
+//!   a pass that breaks the memory discipline panics *by name* instead of
+//!   surfacing as a miscompile several stages later.
+//!
+//! The pipeline's [fingerprint](Pipeline::fingerprint) — pass set,
+//! ordering and the options that change pass behavior — is stamped into
+//! [`Program::pipeline_fingerprint`], which the executor's plan cache
+//! hashes: toggling any pass changes the cache key, so a stale plan
+//! compiled under a different pipeline is never served.
+
+use crate::remark::{RejectReason, Remark, RemarkKind};
+use crate::short_circuit::{self, Report};
+use crate::{cleanup, hoist, introduce, release::ReleasePlan, Options};
+use arraymem_ir::pretty::program_to_string;
+use arraymem_ir::{Block, Exp, MapBody, Program, Type, Var};
+use std::collections::HashSet;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Size and elision counts of a program, cheap enough to recompute before
+/// and after every stage; the difference is the stage's visible effect.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct IrStats {
+    /// Statements, including nested blocks.
+    pub stms: usize,
+    /// `alloc` statements.
+    pub allocs: usize,
+    /// Pattern and merge-parameter memory bindings.
+    pub mem_bindings: usize,
+    /// Updates whose copy has been elided.
+    pub elided_updates: usize,
+    /// Concat arguments whose copy has been elided.
+    pub elided_concat_args: usize,
+    /// Kernel maps constructing their rows in place.
+    pub in_place_maps: usize,
+}
+
+/// Compute [`IrStats`] for a program.
+pub fn ir_stats(prog: &Program) -> IrStats {
+    let mut s = IrStats::default();
+    stats_block(&prog.body, &mut s);
+    s
+}
+
+fn stats_block(block: &Block, s: &mut IrStats) {
+    for stm in &block.stms {
+        s.stms += 1;
+        for pe in &stm.pat {
+            if pe.mem.is_some() {
+                s.mem_bindings += 1;
+            }
+        }
+        match &stm.exp {
+            Exp::Alloc { .. } => s.allocs += 1,
+            Exp::Update { elided: true, .. } => s.elided_updates += 1,
+            Exp::Concat { elided, .. } => {
+                s.elided_concat_args += elided.iter().filter(|e| **e).count();
+            }
+            Exp::If { then_b, else_b, .. } => {
+                stats_block(then_b, s);
+                stats_block(else_b, s);
+            }
+            Exp::Loop { params, body, .. } => {
+                for pp in params {
+                    if pp.mem.is_some() {
+                        s.mem_bindings += 1;
+                    }
+                }
+                stats_block(body, s);
+            }
+            Exp::Map(m) => {
+                if m.in_place_result {
+                    s.in_place_maps += 1;
+                }
+                if let MapBody::Lambda { body, .. } = &m.body {
+                    stats_block(body, s);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// What one executed stage did: timing, before/after stats, remark count.
+#[derive(Clone, Debug)]
+pub struct PassRun {
+    pub name: &'static str,
+    pub time: Duration,
+    pub before: IrStats,
+    pub after: IrStats,
+    /// Number of remarks this stage emitted.
+    pub remarks: usize,
+}
+
+/// The pipeline-level compilation report: one [`PassRun`] per executed
+/// stage plus every structured [`Remark`], in emission order.
+#[derive(Clone, Debug, Default)]
+pub struct CompileReport {
+    pub passes: Vec<PassRun>,
+    pub remarks: Vec<Remark>,
+    /// Fingerprint of the pass set/ordering/options that ran — the value
+    /// stamped into [`Program::pipeline_fingerprint`].
+    pub pipeline_fingerprint: u64,
+    pub total_time: Duration,
+}
+
+impl CompileReport {
+    /// The run of the named stage, if it executed.
+    pub fn pass(&self, name: &str) -> Option<&PassRun> {
+        self.passes.iter().find(|p| p.name == name)
+    }
+
+    /// Remarks emitted by the named stage.
+    pub fn remarks_for<'a>(&'a self, pass: &'a str) -> impl Iterator<Item = &'a Remark> {
+        self.remarks.iter().filter(move |r| r.pass == pass)
+    }
+
+    /// Every rejected short-circuit candidate, with the legality check
+    /// that killed it.
+    pub fn rejections(&self) -> impl Iterator<Item = (&Remark, RejectReason)> {
+        self.remarks.iter().filter_map(|r| match r.kind {
+            RemarkKind::CircuitRejected(why) => Some((r, why)),
+            _ => None,
+        })
+    }
+}
+
+/// Mutable state shared by the stages of one pipeline run.
+pub struct PassCx<'a> {
+    pub opts: &'a Options,
+    /// Remarks accumulated across stages (every stage appends).
+    pub remarks: Vec<Remark>,
+    /// The short-circuiting candidate report (empty until that stage).
+    pub report: Report,
+    /// Early release points scheduled by the release stage.
+    pub num_releases: usize,
+}
+
+impl PassCx<'_> {
+    fn remark(&mut self, pass: &'static str, stm: Option<Var>, kind: RemarkKind, message: String) {
+        self.remarks.push(Remark {
+            pass,
+            stm,
+            kind,
+            message,
+        });
+    }
+}
+
+/// One named middle-end stage.
+pub trait Pass {
+    fn name(&self) -> &'static str;
+    /// Whether the stage runs under the given options. Disabled stages do
+    /// not execute, produce no [`PassRun`], and change the pipeline
+    /// [fingerprint](Pipeline::fingerprint).
+    fn enabled(&self, _opts: &Options) -> bool {
+        true
+    }
+    fn run(&self, prog: &mut Program, cx: &mut PassCx) -> Result<(), String>;
+}
+
+/// Memory introduction (paper §IV-C), as a stage.
+struct IntroducePass;
+
+impl Pass for IntroducePass {
+    fn name(&self) -> &'static str {
+        "introduce"
+    }
+
+    fn run(&self, prog: &mut Program, cx: &mut PassCx) -> Result<(), String> {
+        introduce::introduce_memory_with(prog, &mut cx.remarks)
+    }
+}
+
+/// Audit of the anti-unification results: every `mem`-typed pattern
+/// variable of an `if`/`loop` (the existential memory the unifier
+/// introduced) must back at least one array result of the same statement,
+/// and every such array gets an [`ExistentialMemory`](RemarkKind) remark.
+/// This stage runs directly after `introduce`, before short-circuiting may
+/// legitimately rebase results away from their existential blocks.
+struct AntiunifyPass;
+
+impl Pass for AntiunifyPass {
+    fn name(&self) -> &'static str {
+        "antiunify"
+    }
+
+    fn run(&self, prog: &mut Program, cx: &mut PassCx) -> Result<(), String> {
+        audit_block(&prog.body, cx)
+    }
+}
+
+fn audit_block(block: &Block, cx: &mut PassCx) -> Result<(), String> {
+    for stm in &block.stms {
+        if matches!(stm.exp, Exp::If { .. } | Exp::Loop { .. }) {
+            let mem_vars: Vec<Var> = stm
+                .pat
+                .iter()
+                .filter(|pe| pe.ty == Type::Mem)
+                .map(|pe| pe.var)
+                .collect();
+            let mut referenced: HashSet<Var> = HashSet::new();
+            for pe in &stm.pat {
+                if let Some(mb) = &pe.mem {
+                    if mem_vars.contains(&mb.block) {
+                        referenced.insert(mb.block);
+                        cx.remark(
+                            "antiunify",
+                            Some(pe.var),
+                            RemarkKind::ExistentialMemory,
+                            format!("{} carries existential memory {}", pe.var, mb.block),
+                        );
+                    }
+                }
+            }
+            for m in &mem_vars {
+                if !referenced.contains(m) {
+                    return Err(format!(
+                        "existential memory {m} backs no result of its statement"
+                    ));
+                }
+            }
+        }
+        match &stm.exp {
+            Exp::If { then_b, else_b, .. } => {
+                audit_block(then_b, cx)?;
+                audit_block(else_b, cx)?;
+            }
+            Exp::Loop { body, .. } => audit_block(body, cx)?,
+            Exp::Map(m) => {
+                if let MapBody::Lambda { body, .. } = &m.body {
+                    audit_block(body, cx)?;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Allocation hoisting (§V property 2), as a stage.
+struct HoistPass;
+
+impl Pass for HoistPass {
+    fn name(&self) -> &'static str {
+        "hoist"
+    }
+
+    fn enabled(&self, opts: &Options) -> bool {
+        opts.hoist
+    }
+
+    fn run(&self, prog: &mut Program, cx: &mut PassCx) -> Result<(), String> {
+        let swaps = hoist::hoist_allocations(prog);
+        if swaps > 0 {
+            cx.remark(
+                "hoist",
+                None,
+                RemarkKind::Hoisted,
+                format!("{swaps} upward moves of allocations and their size scalars"),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Array short-circuiting (§V), as a stage. Every candidate outcome —
+/// elision or rejection, with the rejecting legality check — becomes a
+/// remark anchored at the circuit-point statement.
+struct ShortCircuitPass;
+
+impl Pass for ShortCircuitPass {
+    fn name(&self) -> &'static str {
+        "short_circuit"
+    }
+
+    fn enabled(&self, opts: &Options) -> bool {
+        opts.short_circuit
+    }
+
+    fn run(&self, prog: &mut Program, cx: &mut PassCx) -> Result<(), String> {
+        let report = if cx.opts.force_unsafe_short_circuit {
+            short_circuit::short_circuit_force_unsafe(prog, &cx.opts.env, cx.opts.mapnest_in_place)
+        } else {
+            short_circuit::short_circuit_with(prog, &cx.opts.env, cx.opts.mapnest_in_place)
+        };
+        for c in &report.candidates {
+            let (kind, message) = if c.succeeded {
+                (
+                    RemarkKind::CircuitElided,
+                    format!("short-circuited {} into the destination memory", c.root),
+                )
+            } else {
+                let why = c
+                    .rejection
+                    .expect("rejected candidate must carry a structured rejection");
+                (
+                    RemarkKind::CircuitRejected(why),
+                    format!("rejected candidate {}: {}", c.root, c.reason),
+                )
+            };
+            cx.remark("short_circuit", Some(c.stm), kind, message);
+        }
+        for &v in &report.in_place_stms {
+            cx.remark(
+                "short_circuit",
+                Some(v),
+                RemarkKind::MapInPlace,
+                format!("mapnest {v} constructs its rows in place"),
+            );
+        }
+        cx.report = report;
+        Ok(())
+    }
+}
+
+/// Dead-allocation elimination, as a stage.
+struct CleanupPass;
+
+impl Pass for CleanupPass {
+    fn name(&self) -> &'static str {
+        "cleanup"
+    }
+
+    fn run(&self, prog: &mut Program, cx: &mut PassCx) -> Result<(), String> {
+        for m in cleanup::remove_dead_allocs(prog) {
+            cx.remark(
+                "cleanup",
+                Some(m),
+                RemarkKind::DeadAllocRemoved,
+                format!("removed dead allocation {m}"),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Release scheduling, as a stage. The [`ReleasePlan`] itself is keyed by
+/// block addresses and cannot outlive the program move into [`Compiled`]
+/// (`crate::Compiled`); the stage computes it for its timing row and
+/// remark and drops it — the executor recomputes at lowering time, where
+/// the plan feeds `Instr::Release` placement.
+struct ReleasePass;
+
+impl Pass for ReleasePass {
+    fn name(&self) -> &'static str {
+        "release"
+    }
+
+    fn run(&self, prog: &mut Program, cx: &mut PassCx) -> Result<(), String> {
+        let n = ReleasePlan::compute(prog).num_releases();
+        cx.num_releases = n;
+        if n > 0 {
+            cx.remark(
+                "release",
+                None,
+                RemarkKind::ReleaseScheduled,
+                format!("scheduled {n} early release points"),
+            );
+        }
+        Ok(())
+    }
+}
+
+fn print_ir_enabled() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| {
+        std::env::var_os("ARRAYMEM_PRINT_IR").is_some_and(|v| !v.is_empty() && v != "0")
+    })
+}
+
+fn verify_ir_enabled() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    cfg!(debug_assertions)
+        || *FLAG.get_or_init(|| {
+            std::env::var_os("ARRAYMEM_VERIFY_IR").is_some_and(|v| !v.is_empty() && v != "0")
+        })
+}
+
+/// The pipeline driver: an ordered list of stages.
+pub struct Pipeline {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl Pipeline {
+    /// The standard middle-end:
+    /// `introduce → antiunify → hoist → short_circuit → cleanup → release`
+    /// (`hoist` and `short_circuit` subject to their [`Options`] switches).
+    pub fn standard() -> Pipeline {
+        Pipeline {
+            passes: vec![
+                Box::new(IntroducePass),
+                Box::new(AntiunifyPass),
+                Box::new(HoistPass),
+                Box::new(ShortCircuitPass),
+                Box::new(CleanupPass),
+                Box::new(ReleasePass),
+            ],
+        }
+    }
+
+    /// Names of the stages that would execute under `opts`, in order.
+    pub fn stage_names(&self, opts: &Options) -> Vec<&'static str> {
+        self.passes
+            .iter()
+            .filter(|p| p.enabled(opts))
+            .map(|p| p.name())
+            .collect()
+    }
+
+    /// Fingerprint of the *effective* pipeline: the enabled pass names in
+    /// order, plus the option switches that change pass behavior without
+    /// removing a stage. Stamped into [`Program::pipeline_fingerprint`],
+    /// from where the executor's plan cache picks it up — compiling the
+    /// same source under different pipelines yields different cache keys.
+    pub fn fingerprint(&self, opts: &Options) -> u64 {
+        let mut parts: Vec<String> = self
+            .stage_names(opts)
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        parts.push(format!("mapnest_in_place={}", opts.mapnest_in_place));
+        parts.push(format!("force_unsafe={}", opts.force_unsafe_short_circuit));
+        crate::fingerprint::fingerprint_items(&parts)
+    }
+
+    /// Run the pipeline over a (memory-free) source program.
+    pub fn run(&self, prog: &Program, opts: &Options) -> Result<crate::Compiled, String> {
+        self.run_observed(prog, opts, &mut |_, _| {})
+    }
+
+    /// As [`Pipeline::run`], invoking `observe(stage_name, program)` with
+    /// the input program (stage name `"input"`) and after every executed
+    /// stage — the hook behind per-pass IR snapshot tests.
+    pub fn run_observed(
+        &self,
+        prog: &Program,
+        opts: &Options,
+        observe: &mut dyn FnMut(&str, &Program),
+    ) -> Result<crate::Compiled, String> {
+        arraymem_ir::validate::validate(prog)?;
+        let fp = self.fingerprint(opts);
+        let t_total = Instant::now();
+        let mut p = prog.clone();
+        let mut cx = PassCx {
+            opts,
+            remarks: Vec::new(),
+            report: Report::default(),
+            num_releases: 0,
+        };
+        let mut passes: Vec<PassRun> = Vec::new();
+        if print_ir_enabled() {
+            eprintln!("== {}: input IR ==\n{}", p.name, program_to_string(&p));
+        }
+        observe("input", &p);
+        for pass in &self.passes {
+            if !pass.enabled(opts) {
+                continue;
+            }
+            let before = ir_stats(&p);
+            let remarks_before = cx.remarks.len();
+            let t0 = Instant::now();
+            pass.run(&mut p, &mut cx)?;
+            passes.push(PassRun {
+                name: pass.name(),
+                time: t0.elapsed(),
+                before,
+                after: ir_stats(&p),
+                remarks: cx.remarks.len() - remarks_before,
+            });
+            if print_ir_enabled() {
+                eprintln!(
+                    "== {}: IR after `{}` ==\n{}",
+                    p.name,
+                    pass.name(),
+                    program_to_string(&p)
+                );
+            }
+            if verify_ir_enabled() {
+                if let Err(e) = arraymem_ir::validate::validate_memory(&p) {
+                    panic!("pipeline: pass `{}` produced invalid IR: {e}", pass.name());
+                }
+            }
+            observe(pass.name(), &p);
+        }
+        p.pipeline_fingerprint = fp;
+        Ok(crate::Compiled {
+            program: p,
+            report: cx.report,
+            compile_report: CompileReport {
+                passes,
+                remarks: cx.remarks,
+                pipeline_fingerprint: fp,
+                total_time: t_total.elapsed(),
+            },
+        })
+    }
+}

@@ -96,12 +96,7 @@ impl ReleasePlan {
         self.per_block.values().flatten().map(|v| v.len()).sum()
     }
 
-    fn visit_block(
-        &mut self,
-        block: &Block,
-        am: &AliasMap,
-        class_mems: &HashMap<Var, Vec<Var>>,
-    ) {
+    fn visit_block(&mut self, block: &Block, am: &AliasMap, class_mems: &HashMap<Var, Vec<Var>>) {
         // Blocks releasable here: those allocated here.
         let locals: HashSet<Var> = block
             .stms
@@ -156,12 +151,7 @@ impl ReleasePlan {
 /// loop-parameter) annotations, its own binding if it is an `alloc`, and
 /// every block associated with the alias class of any free variable —
 /// nested blocks included, via `Exp::free_vars`.
-fn mem_uses(
-    stm: &Stm,
-    am: &AliasMap,
-    class_mems: &HashMap<Var, Vec<Var>>,
-    out: &mut HashSet<Var>,
-) {
+fn mem_uses(stm: &Stm, am: &AliasMap, class_mems: &HashMap<Var, Vec<Var>>, out: &mut HashSet<Var>) {
     for pe in &stm.pat {
         if let Some(mb) = &pe.mem {
             out.insert(mb.block);

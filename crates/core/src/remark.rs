@@ -1,0 +1,95 @@
+//! Structured optimization remarks (in the spirit of LLVM's `-Rpass`
+//! family): every pipeline stage records machine-readable notes about
+//! what it did — and, for short-circuiting, *which* legality check killed
+//! each rejected candidate — so tests, the `tables` harness and users can
+//! consume the optimizer's decisions without parsing prose.
+
+use arraymem_ir::Var;
+
+/// The machine-readable identity of the legality check that rejected a
+/// short-circuit candidate. One variant per check of §V's safety
+/// properties (plus the implementation-level checks layered on top); the
+/// human-readable detail lives in [`CandidateOutcome::reason`]
+/// (`crate::CandidateOutcome`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RejectReason {
+    /// Property 1: the source is used again after the circuit point.
+    NotLastUse,
+    /// A concat argument aliases the result or another argument — eliding
+    /// it would rebase one alias web onto two destinations (footnote 17;
+    /// the fuzzer's historical "aliasing concat args" bug class).
+    AliasingConcatArg,
+    /// The candidate's destination block was vacated by another web's
+    /// rebase before this candidate finished (the fuzzer's historical
+    /// "stale rebase" bug class).
+    DestinationVacated,
+    /// Property 2: the destination memory is not allocated at the web's
+    /// fresh definition.
+    DestinationNotAllocated,
+    /// Property 3: no rebased index function exists — the circuit slice
+    /// is not expressible as a transform of the destination's layout.
+    SliceNotExpressible,
+    /// Property 3b: the rebased index function could not be translated
+    /// into scope at the definition it must annotate.
+    IxfnNotInScope,
+    /// Property 4: a write through the web may overlap a recorded use of
+    /// the destination memory (the static non-overlap test of §V-C, its
+    /// loop/mapnest variants, or a read-region conflict).
+    OverlapTestFailed,
+    /// The backward walk ended without reaching the web's fresh
+    /// definition.
+    FreshDefNotFound,
+    /// Loop discipline (Fig. 5b condition 3): the merge parameter is used
+    /// at or after the fresh definition, or escapes the body.
+    MergeParamOrder,
+    /// A change-of-layout transformation in the web is not invertible.
+    NonInvertibleTransform,
+    /// A web member is defined by an expression the analysis does not
+    /// handle (scalar, alloc).
+    UnsupportedDefinition,
+}
+
+/// What a remark reports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RemarkKind {
+    /// `short_circuit`: a candidate succeeded and its copy was elided.
+    CircuitElided,
+    /// `short_circuit`: a candidate was rejected by the named check.
+    CircuitRejected(RejectReason),
+    /// `short_circuit`: a kernel mapnest constructs its rows in place.
+    MapInPlace,
+    /// `antiunify`: an `if`/`loop` result carries existential memory.
+    ExistentialMemory,
+    /// `introduce`: anti-unification failed and a normalization copy was
+    /// inserted (§IV-C).
+    NormalizationCopy,
+    /// `hoist`: allocations (and their size scalars) moved upward.
+    Hoisted,
+    /// `cleanup`: a dead allocation was removed.
+    DeadAllocRemoved,
+    /// `release`: early release points were scheduled.
+    ReleaseScheduled,
+}
+
+/// One structured remark: which pass, anchored to which statement (when
+/// one is identifiable), what happened, and a human-readable message.
+#[derive(Clone, Debug)]
+pub struct Remark {
+    /// Name of the pipeline stage that emitted the remark.
+    pub pass: &'static str,
+    /// The statement the remark anchors to — its first pattern variable —
+    /// when the remark is about one statement rather than the program.
+    pub stm: Option<Var>,
+    pub kind: RemarkKind,
+    pub message: String,
+}
+
+impl std::fmt::Display for Remark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] ", self.pass)?;
+        if let Some(v) = self.stm {
+            write!(f, "{v}: ")?;
+        }
+        write!(f, "{}", self.message)
+    }
+}

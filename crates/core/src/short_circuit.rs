@@ -28,6 +28,7 @@
 //! memory when safe (§V-A(e)); this is decided by a post-pass over the
 //! final bindings and surfaces as `MapExp::in_place_result`.
 
+use crate::remark::RejectReason;
 use arraymem_ir::alias::{aliases, AliasMap};
 use arraymem_ir::lastuse::used_after;
 use arraymem_ir::{
@@ -46,6 +47,25 @@ pub enum CandidateKind {
     Concat,
 }
 
+/// A structured rejection: the machine-readable identity of the legality
+/// check that failed, plus the human-readable detail. Every path that
+/// conservatively rejects a candidate constructs one of these — there is
+/// no way to fail a candidate without naming the check.
+#[derive(Clone, Debug)]
+pub struct Rejection {
+    pub kind: RejectReason,
+    pub message: String,
+}
+
+impl Rejection {
+    fn new(kind: RejectReason, message: impl Into<String>) -> Rejection {
+        Rejection {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
 /// The outcome of one short-circuiting candidate, for reporting.
 #[derive(Clone, Debug)]
 pub struct CandidateOutcome {
@@ -53,8 +73,13 @@ pub struct CandidateOutcome {
     pub root: String,
     pub kind: CandidateKind,
     pub succeeded: bool,
+    /// The variable bound by the circuit-point statement, anchoring the
+    /// outcome (and its remark) to a statement of the program.
+    pub stm: Var,
     /// "ok" or the reason the analysis failed (conservatively).
     pub reason: String,
+    /// For rejected candidates: which legality check failed.
+    pub rejection: Option<RejectReason>,
     /// For successful candidates whose summaries stayed finite: the
     /// symbolic footprints behind the non-overlap verdict, for the checked
     /// VM to re-verify against concrete sizes at runtime.
@@ -86,6 +111,8 @@ pub struct Report {
     pub candidates: Vec<CandidateOutcome>,
     /// Number of kernel maps whose rows are constructed in place.
     pub in_place_maps: usize,
+    /// The result variables of those maps, anchoring the remarks.
+    pub in_place_stms: Vec<Var>,
 }
 
 impl Report {
@@ -124,7 +151,7 @@ struct Candidate {
     /// Statement index (in the analyzed block) of the circuit point.
     circuit_at: usize,
     action: CircuitAction,
-    failed: Option<String>,
+    failed: Option<Rejection>,
     finished: bool,
     /// Statement index of the fresh definition, once found.
     finished_at: Option<usize>,
@@ -133,9 +160,13 @@ struct Candidate {
 }
 
 impl Candidate {
-    fn fail(&mut self, reason: impl Into<String>) {
+    fn fail(&mut self, kind: RejectReason, reason: impl Into<String>) {
+        self.fail_with(Rejection::new(kind, reason));
+    }
+
+    fn fail_with(&mut self, rejection: Rejection) {
         if self.failed.is_none() {
-            self.failed = Some(reason.into());
+            self.failed = Some(rejection);
         }
     }
 
@@ -184,11 +215,7 @@ pub fn short_circuit_with(prog: &mut Program, env: &Env, mapnest_in_place: bool)
 /// check that fails the non-overlap test does *not* fail the candidate:
 /// the resulting program contains a deliberately illegal elision, and the
 /// checked VM's sanitizer must catch it (mutation-style self-test).
-pub fn short_circuit_force_unsafe(
-    prog: &mut Program,
-    env: &Env,
-    mapnest_in_place: bool,
-) -> Report {
+pub fn short_circuit_force_unsafe(prog: &mut Program, env: &Env, mapnest_in_place: bool) -> Report {
     drive(prog, env, mapnest_in_place, true)
 }
 
@@ -266,9 +293,7 @@ fn run_block(
             }
         }
         match &mut block.stms[k].exp {
-            Exp::If {
-                then_b, else_b, ..
-            } => {
+            Exp::If { then_b, else_b, .. } => {
                 run_block(then_b, &nested_live, env, &allocs, ctx);
                 run_block(else_b, &nested_live, env, &allocs, ctx);
             }
@@ -446,7 +471,10 @@ fn analyze_stms(
                         for v in other.rebased.keys() {
                             ctx.overlay.remove(v);
                         }
-                        other.fail("destination memory was itself short-circuited away");
+                        other.fail(
+                            RejectReason::DestinationVacated,
+                            "destination memory was itself short-circuited away",
+                        );
                     }
                 }
                 for (v, mb) in &cand.rebased {
@@ -462,14 +490,18 @@ fn analyze_stms(
     // Apply successful candidates.
     for cand in cands {
         let succeeded = cand.finished && cand.failed.is_none();
-        let reason = if !succeeded {
-            cand.failed
-                .clone()
-                .unwrap_or_else(|| "fresh definition not found in scope".into())
+        let (reason, rejection) = if !succeeded {
+            match &cand.failed {
+                Some(r) => (r.message.clone(), Some(r.kind)),
+                None => (
+                    "fresh definition not found in scope".to_string(),
+                    Some(RejectReason::FreshDefNotFound),
+                ),
+            }
         } else if cand.forced {
-            "ok (forced past a failing write check)".to_string()
+            ("ok (forced past a failing write check)".to_string(), None)
         } else {
-            "ok".to_string()
+            ("ok".to_string(), None)
         };
         // Record the concrete evidence for the checked VM: both summaries
         // must have stayed finite sets for the footprints to be checkable.
@@ -491,7 +523,9 @@ fn analyze_stms(
             root: format!("{}", cand.root),
             kind: cand.kind,
             succeeded,
+            stm: block.stms[cand.circuit_at].pat[0].var,
             reason,
+            rejection,
             check,
         });
         if !succeeded {
@@ -534,28 +568,32 @@ fn create_candidates(
             src: UpdateSrc::Array(src),
             elided: false,
         } => {
-            let mut cand_or_fail = |reason: Option<String>, rebased: HashMap<Var, MemBinding>, dst_block: Var| {
-                cands.push(Candidate {
-                    kind: CandidateKind::Update,
-                    root: *src,
-                    dst_block,
-                    rebased,
-                    uses_dst: Summary::empty(),
-                    writes_bs: Summary::empty(),
-                    circuit_at: k,
-                    action: CircuitAction::ElideUpdate,
-                    failed: reason,
-                    finished: false,
-                    finished_at: None,
-                    forced: false,
-                });
-            };
+            let mut cand_or_fail =
+                |reason: Option<Rejection>, rebased: HashMap<Var, MemBinding>, dst_block: Var| {
+                    cands.push(Candidate {
+                        kind: CandidateKind::Update,
+                        root: *src,
+                        dst_block,
+                        rebased,
+                        uses_dst: Summary::empty(),
+                        writes_bs: Summary::empty(),
+                        circuit_at: k,
+                        action: CircuitAction::ElideUpdate,
+                        failed: reason,
+                        finished: false,
+                        finished_at: None,
+                        forced: false,
+                    });
+                };
             if ctx.am.same_class(*src, *dst) {
                 return; // not a circuit point: src aliases dst
             }
             if used_after(block, k, *src, live_after, &ctx.am) {
                 cand_or_fail(
-                    Some("source used after the circuit point".into()),
+                    Some(Rejection::new(
+                        RejectReason::NotLastUse,
+                        "source used after the circuit point",
+                    )),
                     HashMap::new(),
                     Sym::fresh("none"),
                 );
@@ -566,7 +604,10 @@ fn create_candidates(
             };
             let Some(tr) = slice_transform(slice) else {
                 cand_or_fail(
-                    Some("slice not expressible as a transform".into()),
+                    Some(Rejection::new(
+                        RejectReason::SliceNotExpressible,
+                        "slice not expressible as a transform",
+                    )),
                     HashMap::new(),
                     dst_mb.block,
                 );
@@ -574,7 +615,10 @@ fn create_candidates(
             };
             let Some(new_ixfn) = dst_mb.ixfn.transform(&tr) else {
                 cand_or_fail(
-                    Some("could not slice the destination index function".into()),
+                    Some(Rejection::new(
+                        RejectReason::SliceNotExpressible,
+                        "could not slice the destination index function",
+                    )),
                     HashMap::new(),
                     dst_mb.block,
                 );
@@ -611,16 +655,62 @@ fn create_candidates(
                 if elided[a_idx] {
                     continue;
                 }
-                if ctx.am.same_class(a, res)
-                    || used_after(block, k, a, live_after, &ctx.am)
-                    || args
-                        .iter()
-                        .enumerate()
-                        .any(|(j, &b)| j != a_idx && ctx.am.same_class(a, b))
+                let mut cand_or_fail =
+                    |reason: Option<Rejection>, rebased: HashMap<Var, MemBinding>| {
+                        cands.push(Candidate {
+                            kind: CandidateKind::Concat,
+                            root: a,
+                            dst_block: res_mb.block,
+                            rebased,
+                            uses_dst: Summary::empty(),
+                            writes_bs: Summary::empty(),
+                            circuit_at: k,
+                            action: CircuitAction::ElideConcatArg(a_idx),
+                            failed: reason,
+                            finished: false,
+                            finished_at: None,
+                            forced: false,
+                        });
+                    };
+                // The two "not lastly used" shapes are recorded as rejected
+                // candidates rather than skipped silently — aliasing args
+                // (`concat bs bs`, or two args from one web) were a
+                // historical fuzzer bug class: eliding both would rebase
+                // the same memory onto two destinations (footnote 17).
+                if ctx.am.same_class(a, res) {
+                    cand_or_fail(
+                        Some(Rejection::new(
+                            RejectReason::AliasingConcatArg,
+                            "concat argument aliases the concat result",
+                        )),
+                        HashMap::new(),
+                    );
+                    continue;
+                }
+                if args
+                    .iter()
+                    .enumerate()
+                    .any(|(j, &b)| j != a_idx && ctx.am.same_class(a, b))
                 {
-                    // Not lastly used here (e.g. `concat bs bs`, or two args
-                    // aliasing one web: eliding both would rebase the same
-                    // memory to two destinations — footnote 17).
+                    cand_or_fail(
+                        Some(Rejection::new(
+                            RejectReason::AliasingConcatArg,
+                            "concat argument aliases another argument — eliding \
+                             both would rebase one alias web onto two \
+                             destinations (footnote 17)",
+                        )),
+                        HashMap::new(),
+                    );
+                    continue;
+                }
+                if used_after(block, k, a, live_after, &ctx.am) {
+                    cand_or_fail(
+                        Some(Rejection::new(
+                            RejectReason::NotLastUse,
+                            "concat argument used after the circuit point",
+                        )),
+                        HashMap::new(),
+                    );
                     continue;
                 }
                 // Rebased index function: rows [offset, offset+len) of res.
@@ -629,6 +719,14 @@ fn create_candidates(
                     ts.push(TripletSlice::full(d.clone()));
                 }
                 let Some(new_ixfn) = res_mb.ixfn.transform(&Transform::Slice(ts)) else {
+                    cand_or_fail(
+                        Some(Rejection::new(
+                            RejectReason::SliceNotExpressible,
+                            "could not slice the result index function at the \
+                             argument's rows",
+                        )),
+                        HashMap::new(),
+                    );
                     continue;
                 };
                 let mut rebased = HashMap::new();
@@ -639,20 +737,7 @@ fn create_candidates(
                         ixfn: new_ixfn,
                     },
                 );
-                cands.push(Candidate {
-                    kind: CandidateKind::Concat,
-                    root: a,
-                    dst_block: res_mb.block,
-                    rebased,
-                    uses_dst: Summary::empty(),
-                    writes_bs: Summary::empty(),
-                    circuit_at: k,
-                    action: CircuitAction::ElideConcatArg(a_idx),
-                    failed: None,
-                    finished: false,
-                    finished_at: None,
-                    forced: false,
-                });
+                cand_or_fail(None, rebased);
             }
         }
         _ => {}
@@ -721,7 +806,10 @@ fn process_stm(
                         },
                     );
                 }
-                None => cand.fail("untransformable forward alias of the web"),
+                None => cand.fail(
+                    RejectReason::NonInvertibleTransform,
+                    "untransformable forward alias of the web",
+                ),
             }
             return;
         }
@@ -743,9 +831,10 @@ fn check_write(cand: &mut Candidate, region: &Summary, env: &Env, what: &str, fo
         if force {
             cand.forced = true;
         } else {
-            cand.fail(format!(
-                "write via {what} may overlap later uses of the destination memory"
-            ));
+            cand.fail(
+                RejectReason::OverlapTestFailed,
+                format!("write via {what} may overlap later uses of the destination memory"),
+            );
         }
     }
     let mut w = cand.writes_bs.clone();
@@ -761,7 +850,7 @@ fn translate_ixfn(
     at: usize,
     def_pos: &HashMap<Var, usize>,
     scalar_defs: &HashMap<Var, Poly>,
-) -> Result<IndexFn, String> {
+) -> Result<IndexFn, Rejection> {
     let mut cur = ixfn.clone();
     for _ in 0..8 {
         let later: Vec<Var> = cur
@@ -778,8 +867,9 @@ fn translate_ixfn(
                 cur = cur.subst(v, p);
                 progressed = true;
             } else {
-                return Err(format!(
-                    "index function uses {v}, which is not in scope at the definition"
+                return Err(Rejection::new(
+                    RejectReason::IxfnNotInScope,
+                    format!("index function uses {v}, which is not in scope at the definition"),
                 ));
             }
         }
@@ -787,7 +877,10 @@ fn translate_ixfn(
             break;
         }
     }
-    Err("index-function translation did not converge".into())
+    Err(Rejection::new(
+        RejectReason::IxfnNotInScope,
+        "index-function translation did not converge",
+    ))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -812,7 +905,7 @@ fn process_web_def(
             ixfn: ix,
         },
         Err(e) => {
-            cand.fail(e);
+            cand.fail_with(e);
             return;
         }
     };
@@ -821,11 +914,12 @@ fn process_web_def(
     let finalize = |cand: &mut Candidate| {
         // Property 2: destination memory allocated before this point.
         let ok = outer_allocs.contains(&cand.dst_block)
-            || alloc_pos
-                .get(&cand.dst_block)
-                .is_some_and(|&a| a < k);
+            || alloc_pos.get(&cand.dst_block).is_some_and(|&a| a < k);
         if !ok {
-            cand.fail("destination memory not allocated at the fresh definition");
+            cand.fail(
+                RejectReason::DestinationNotAllocated,
+                "destination memory not allocated at the fresh definition",
+            );
             return;
         }
         cand.finished = true;
@@ -850,7 +944,10 @@ fn process_web_def(
                         },
                     );
                 }
-                None => cand.fail("non-invertible change-of-layout transformation"),
+                None => cand.fail(
+                    RejectReason::NonInvertibleTransform,
+                    "non-invertible change-of-layout transformation",
+                ),
             }
         }
         Exp::Update {
@@ -869,7 +966,10 @@ fn process_web_def(
                         // the write region now.
                         let reads = ixfn_set(&smb.ixfn);
                         if !reads.disjoint_from(&region, env) {
-                            cand.fail("update source reads the written region");
+                            cand.fail(
+                                RejectReason::OverlapTestFailed,
+                                "update source reads the written region",
+                            );
                         }
                         cand.uses_dst.union(&reads);
                     }
@@ -889,14 +989,20 @@ fn process_web_def(
             let region = ixfn_set(&translated.ixfn);
             check_write(cand, &region, env, "a fresh copy", ctx.force_unsafe);
             if cand.rebased.contains_key(src) {
-                cand.fail("copy source is itself the rebased region");
+                cand.fail(
+                    RejectReason::OverlapTestFailed,
+                    "copy source is itself the rebased region",
+                );
                 return;
             }
             if let Some(smb) = ctx.binding(*src) {
                 if smb.block == cand.dst_block {
                     let reads = ixfn_set(&smb.ixfn);
                     if !reads.disjoint_from(&region, env) {
-                        cand.fail("copy source overlaps the rebased destination region");
+                        cand.fail(
+                            RejectReason::OverlapTestFailed,
+                            "copy source overlaps the rebased destination region",
+                        );
                     }
                 }
             }
@@ -910,7 +1016,10 @@ fn process_web_def(
                     if amb.block == cand.dst_block && !cand.rebased.contains_key(a) {
                         let reads = ixfn_set(&amb.ixfn);
                         if !reads.disjoint_from(&region, env) {
-                            cand.fail("concat argument overlaps the rebased region");
+                            cand.fail(
+                                RejectReason::OverlapTestFailed,
+                                "concat argument overlaps the rebased region",
+                            );
                         }
                     }
                 }
@@ -946,20 +1055,17 @@ fn process_web_def(
                     continue;
                 }
                 let row_wise = !whole.contains(&ii) && imb.ixfn.rank() >= 1;
-                if row_wise
-                    && rowwise_map_disjoint(&translated.ixfn, &imb.ixfn, &m.width, env)
-                {
+                if row_wise && rowwise_map_disjoint(&translated.ixfn, &imb.ixfn, &m.width, env) {
                     continue;
                 }
-                cand.fail(format!(
-                    "mapnest input {inp} overlaps the rebased write region"
-                ));
+                cand.fail(
+                    RejectReason::OverlapTestFailed,
+                    format!("mapnest input {inp} overlaps the rebased write region"),
+                );
             }
             finalize(cand);
         }
-        Exp::If {
-            then_b, else_b, ..
-        } => {
+        Exp::If { then_b, else_b, .. } => {
             // Fig. 5a: short-circuit each branch's result independently.
             let pos = stm
                 .pat
@@ -993,7 +1099,7 @@ fn process_web_def(
                         cand.writes_bs = w;
                     }
                     Err(e) => {
-                        cand.fail(format!("if-branch analysis failed: {e}"));
+                        cand.fail(e.kind, format!("if-branch analysis failed: {}", e.message));
                         ok = false;
                         break;
                     }
@@ -1048,14 +1154,20 @@ fn process_web_def(
                     // not overlap the uses of any *later* iteration j > i
                     // (the loop is sequential; fig. 7b).
                     if !cross_iteration_disjoint(&writes_i, &uses_i, *index, count, env) {
-                        cand.fail("loop writes may overlap later iterations' uses");
+                        cand.fail(
+                            RejectReason::OverlapTestFailed,
+                            "loop writes may overlap later iterations' uses",
+                        );
                         return;
                     }
                     // Aggregate the body summaries over the whole loop.
                     let uses_all = uses_i.aggregate(*index, count, env);
                     let writes_all = writes_i.aggregate(*index, count, env);
                     if !writes_all.disjoint_from(&cand.uses_dst, env) {
-                        cand.fail("loop writes may overlap uses after the loop");
+                        cand.fail(
+                            RejectReason::OverlapTestFailed,
+                            "loop writes may overlap uses after the loop",
+                        );
                         return;
                     }
                     cand.uses_dst.union(&uses_all);
@@ -1065,11 +1177,14 @@ fn process_web_def(
                     // The initializer joins the web with the same binding.
                     cand.rebased.insert(inits[pos], translated.clone());
                 }
-                Err(e) => cand.fail(format!("loop-body analysis failed: {e}")),
+                Err(e) => cand.fail(e.kind, format!("loop-body analysis failed: {}", e.message)),
             }
         }
         Exp::Scalar(_) | Exp::Alloc { .. } => {
-            cand.fail("web member defined by a non-array expression");
+            cand.fail(
+                RejectReason::UnsupportedDefinition,
+                "web member defined by a non-array expression",
+            );
         }
     }
 }
@@ -1085,9 +1200,16 @@ fn analyze_nested_result(
     env: &Env,
     outer_allocs: &HashSet<Var>,
     ctx: &Ctx,
-) -> Result<(HashMap<Var, MemBinding>, Summary, Summary), String> {
+) -> Result<(HashMap<Var, MemBinding>, Summary, Summary), Rejection> {
     let (reb, uses, writes, _) = analyze_nested_candidate(
-        block, target, None, binding, dst_block, env, outer_allocs, ctx,
+        block,
+        target,
+        None,
+        binding,
+        dst_block,
+        env,
+        outer_allocs,
+        ctx,
     )?;
     Ok((reb, uses, writes))
 }
@@ -1098,7 +1220,7 @@ fn analyze_nested_result(
 /// Rebased bindings for the web, its write/use summaries, and the
 /// position of the destination alloc if the nested block owns it.
 type NestedCandidateResult =
-    Result<(HashMap<Var, MemBinding>, Summary, Summary, Option<usize>), String>;
+    Result<(HashMap<Var, MemBinding>, Summary, Summary, Option<usize>), Rejection>;
 
 #[allow(clippy::too_many_arguments)]
 fn analyze_nested_candidate(
@@ -1168,9 +1290,17 @@ fn analyze_nested_candidate(
         return Err(e);
     }
     if !child.finished {
-        return Err("nested result's fresh definition not found".into());
+        return Err(Rejection::new(
+            RejectReason::FreshDefNotFound,
+            "nested result's fresh definition not found",
+        ));
     }
-    Ok((child.rebased, child.uses_dst, child.writes_bs, child.finished_at))
+    Ok((
+        child.rebased,
+        child.uses_dst,
+        child.writes_bs,
+        child.finished_at,
+    ))
 }
 
 /// Like [`analyze_nested_result`] but for a loop body, where the merge
@@ -1188,7 +1318,7 @@ fn analyze_loop_body(
     env: &Env,
     outer_allocs: &HashSet<Var>,
     ctx: &Ctx,
-) -> Result<(HashMap<Var, MemBinding>, Summary, Summary), String> {
+) -> Result<(HashMap<Var, MemBinding>, Summary, Summary), Rejection> {
     let (reb, uses, writes, finished_at) = analyze_nested_candidate(
         body,
         target,
@@ -1205,13 +1335,17 @@ fn analyze_loop_body(
     if let Some(f) = finished_at {
         for stm in &body.stms[f + 1..] {
             if stm.exp.free_vars().contains(&param) {
-                return Err(format!(
-                    "merge parameter {param} used at or after the fresh definition"
+                return Err(Rejection::new(
+                    RejectReason::MergeParamOrder,
+                    format!("merge parameter {param} used at or after the fresh definition"),
                 ));
             }
         }
         if body.result.contains(&param) {
-            return Err(format!("merge parameter {param} escapes the body"));
+            return Err(Rejection::new(
+                RejectReason::MergeParamOrder,
+                format!("merge parameter {param} escapes the body"),
+            ));
         }
     }
     Ok((reb, uses, writes))
@@ -1273,10 +1407,7 @@ fn cross_iteration_disjoint(
     env2.assume_ge(index, 0);
     env2.assume_ge(d, 0);
     // j ≤ count - 1  ⇒  d ≤ count - 2 - i
-    env2.assume_le(
-        d,
-        count.clone() - Poly::constant(2) - Poly::var(index),
-    );
+    env2.assume_le(d, count.clone() - Poly::constant(2) - Poly::var(index));
     for w in ws {
         for u in us {
             let u_later = u.subst(index, &j);
@@ -1290,13 +1421,7 @@ fn cross_iteration_disjoint(
 
 /// Uses of the destination memory made by one statement outside the web
 /// (reads and writes both count — §V-B).
-fn stm_dst_uses(
-    stm: &Stm,
-    dst_block: Var,
-    skip: &HashSet<Var>,
-    env: &Env,
-    ctx: &Ctx,
-) -> Summary {
+fn stm_dst_uses(stm: &Stm, dst_block: Var, skip: &HashSet<Var>, env: &Env, ctx: &Ctx) -> Summary {
     let mut uses = Summary::empty();
     let add_var = |v: Var, uses: &mut Summary| {
         if skip.contains(&v) {
@@ -1309,7 +1434,9 @@ fn stm_dst_uses(
         }
     };
     match &stm.exp {
-        Exp::Update { dst, slice, src, .. } => {
+        Exp::Update {
+            dst, slice, src, ..
+        } => {
             if !skip.contains(dst) {
                 if let Some(mb) = ctx.binding(*dst) {
                     if mb.block == dst_block {
@@ -1321,9 +1448,7 @@ fn stm_dst_uses(
                 add_var(*s, &mut uses);
             }
         }
-        Exp::If {
-            then_b, else_b, ..
-        } => {
+        Exp::If { then_b, else_b, .. } => {
             uses.union(&block_dst_uses(then_b, dst_block, skip, env, ctx));
             uses.union(&block_dst_uses(else_b, dst_block, skip, env, ctx));
         }
@@ -1395,9 +1520,7 @@ fn apply_rebase(block: &mut Block, rebased: &HashMap<Var, MemBinding>) {
             }
         }
         match &mut stm.exp {
-            Exp::If {
-                then_b, else_b, ..
-            } => {
+            Exp::If { then_b, else_b, .. } => {
                 apply_rebase(then_b, rebased);
                 apply_rebase(else_b, rebased);
             }
@@ -1458,7 +1581,9 @@ fn mark_block(
                         };
                         let mut safe = true;
                         for (ii, inp) in m.inputs.iter().enumerate() {
-                            let Some(imb) = bindings.get(inp) else { continue };
+                            let Some(imb) = bindings.get(inp) else {
+                                continue;
+                            };
                             if imb.block != out_mb.block {
                                 continue;
                             }
@@ -1479,21 +1604,17 @@ fn mark_block(
                         if safe {
                             m.in_place_result = true;
                             report.in_place_maps += 1;
+                            report.in_place_stms.push(stm.pat[0].var);
                         }
                     }
                 }
             }
-            Exp::If {
-                then_b, else_b, ..
-            } => {
+            Exp::If { then_b, else_b, .. } => {
                 mark_block(then_b, env, bindings, report);
                 mark_block(else_b, env, bindings, report);
             }
             Exp::Loop {
-                index,
-                count,
-                body,
-                ..
+                index, count, body, ..
             } => {
                 let mut env2 = env.clone();
                 env2.assume_ge(*index, 0);

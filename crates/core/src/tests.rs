@@ -26,16 +26,8 @@ fn base_env(pairs: &[(Var, i64)]) -> Env {
 }
 
 fn compile_both(prog: &Program, env: Env) -> (crate::Compiled, crate::Compiled) {
-    let unopt = compile(
-        prog,
-        &Options::default().with_env(env.clone()),
-    )
-    .expect("unopt compile");
-    let opt = compile(
-        prog,
-        &Options::optimized().with_env(env),
-    )
-    .expect("opt compile");
+    let unopt = compile(prog, &Options::default().with_env(env.clone())).expect("unopt compile");
+    let opt = compile(prog, &Options::optimized().with_env(env)).expect("opt compile");
     (unopt, opt)
 }
 
@@ -49,9 +41,7 @@ fn find_update_elided(block: &Block) -> Option<bool> {
                     return Some(e);
                 }
             }
-            Exp::If {
-                then_b, else_b, ..
-            } => {
+            Exp::If { then_b, else_b, .. } => {
                 if let Some(e) = find_update_elided(then_b).or(find_update_elided(else_b)) {
                     return Some(e);
                 }
@@ -71,9 +61,7 @@ fn find_concat_elided(block: &Block) -> Option<Vec<bool>> {
                     return Some(e);
                 }
             }
-            Exp::If {
-                then_b, else_b, ..
-            } => {
+            Exp::If { then_b, else_b, .. } => {
                 if let Some(e) = find_concat_elided(then_b).or(find_concat_elided(else_b)) {
                     return Some(e);
                 }
@@ -90,9 +78,7 @@ fn count_allocs(block: &Block) -> usize {
         match &stm.exp {
             Exp::Alloc { .. } => n += 1,
             Exp::Loop { body, .. } => n += count_allocs(body),
-            Exp::If {
-                then_b, else_b, ..
-            } => n += count_allocs(then_b) + count_allocs(else_b),
+            Exp::If { then_b, else_b, .. } => n += count_allocs(then_b) + count_allocs(else_b),
             _ => {}
         }
     }
@@ -212,7 +198,10 @@ fn fig4a() -> (Program, Env) {
 fn fig4a_concat_elides_both_arguments() {
     let (prog, env) = fig4a();
     let (unopt, opt) = compile_both(&prog, env);
-    assert_eq!(find_concat_elided(&unopt.program.body), Some(vec![false, false]));
+    assert_eq!(
+        find_concat_elided(&unopt.program.body),
+        Some(vec![false, false])
+    );
     assert_eq!(
         find_concat_elided(&opt.program.body),
         Some(vec![true, true]),
@@ -462,12 +451,7 @@ fn fig5b_circuits_through_loop() {
     let (prog, env) = fig5b();
     let (_, opt) = compile_both(&prog, env);
     let elided = find_update_elided(&opt.program.body);
-    assert_eq!(
-        elided,
-        Some(true),
-        "report: {:?}",
-        opt.report.candidates
-    );
+    assert_eq!(elided, Some(true), "report: {:?}", opt.report.candidates);
 }
 
 /// Fig. 5b's counter-example (footnote 23): an iterative stencil — the
@@ -680,22 +664,14 @@ fn nw_update_is_short_circuited() {
 fn nw_fails_without_assumptions() {
     let (prog, _) = nw_step_program();
     let weak = Env::new();
-    let opt = compile(
-        &prog,
-        &Options::optimized().with_env(weak),
-    )
-    .unwrap();
+    let opt = compile(&prog, &Options::optimized().with_env(weak)).unwrap();
     assert_eq!(find_update_elided(&opt.program.body), Some(false));
 }
 
 #[test]
 fn unopt_pipeline_introduces_memory_everywhere() {
     let (prog, env) = fig1_left();
-    let unopt = compile(
-        &prog,
-        &Options::default().with_env(env),
-    )
-    .unwrap();
+    let unopt = compile(&prog, &Options::default().with_env(env)).unwrap();
     // Every array binding must have a memory annotation.
     fn check(block: &Block) {
         for stm in &block.stms {
@@ -706,9 +682,7 @@ fn unopt_pipeline_introduces_memory_everywhere() {
             }
             match &stm.exp {
                 Exp::Loop { body, .. } => check(body),
-                Exp::If {
-                    then_b, else_b, ..
-                } => {
+                Exp::If { then_b, else_b, .. } => {
                     check(then_b);
                     check(else_b);
                 }
@@ -722,11 +696,7 @@ fn unopt_pipeline_introduces_memory_everywhere() {
 #[test]
 fn hoisting_moves_allocs_before_uses() {
     let (prog, env) = fig4a();
-    let opt = compile(
-        &prog,
-        &Options::default().with_env(env),
-    )
-    .unwrap();
+    let opt = compile(&prog, &Options::default().with_env(env)).unwrap();
     // After hoisting, all allocs precede all non-alloc statements that do
     // not define their sizes.
     let first_nonalloc = opt
@@ -755,11 +725,7 @@ fn hoisting_moves_allocs_before_uses() {
 #[test]
 fn memory_annotations_are_deletable() {
     let (prog, env) = fig6a();
-    let opt = compile(
-        &prog,
-        &Options::optimized().with_env(env),
-    )
-    .unwrap();
+    let opt = compile(&prog, &Options::optimized().with_env(env)).unwrap();
     let mut stripped = opt.program.clone();
     fn strip(block: &mut Block) {
         for stm in &mut block.stms {
@@ -773,9 +739,7 @@ fn memory_annotations_are_deletable() {
                     }
                     strip(body);
                 }
-                Exp::If {
-                    then_b, else_b, ..
-                } => {
+                Exp::If { then_b, else_b, .. } => {
                     strip(then_b);
                     strip(else_b);
                 }
@@ -811,11 +775,7 @@ fn fresh_map_rows_are_in_place() {
     );
     let blk = body.finish(vec![out]);
     let prog = b.finish(blk);
-    let opt = compile(
-        &prog,
-        &Options::optimized().with_env(base_env(&[(n, 1)])),
-    )
-    .unwrap();
+    let opt = compile(&prog, &Options::optimized().with_env(base_env(&[(n, 1)]))).unwrap();
     assert_eq!(opt.report.in_place_maps, 1);
     fn find_map(block: &Block) -> Option<bool> {
         for stm in &block.stms {
@@ -870,11 +830,7 @@ fn hoist_respects_size_dependencies() {
     );
     let blk = body.finish(vec![r2]);
     let prog = b.finish(blk);
-    let compiled = compile(
-        &prog,
-        &Options::default().with_env(base_env(&[(n, 1)])),
-    )
-    .unwrap();
+    let compiled = compile(&prog, &Options::default().with_env(base_env(&[(n, 1)]))).unwrap();
     // Every statement's free vars must be defined before it (validate
     // re-checks scoping after hoisting).
     arraymem_ir::validate::validate(&compiled.program).unwrap();
@@ -883,11 +839,7 @@ fn hoist_respects_size_dependencies() {
 #[test]
 fn cleanup_removes_only_dead_allocs() {
     let (prog, env) = fig4a();
-    let opt = compile(
-        &prog,
-        &Options::optimized().with_env(env),
-    )
-    .unwrap();
+    let opt = compile(&prog, &Options::optimized().with_env(env)).unwrap();
     // fig4a: as/bs allocs removed, xss alloc retained.
     assert_eq!(count_allocs(&opt.program.body), 1);
     arraymem_ir::validate::validate(&opt.program).unwrap();

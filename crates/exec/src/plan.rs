@@ -92,8 +92,14 @@ impl SlotPoly {
 /// class* are computed once per plan, never per run.
 #[derive(Clone, Debug)]
 pub(crate) enum LoweredIxFn {
-    Ready { ixfn: ConcreteIxFn, class: AccessClass },
-    Dynamic { ixfn: IndexFn, vars: SlotVars },
+    Ready {
+        ixfn: ConcreteIxFn,
+        class: AccessClass,
+    },
+    Dynamic {
+        ixfn: IndexFn,
+        vars: SlotVars,
+    },
 }
 
 impl LoweredIxFn {
@@ -217,31 +223,73 @@ pub(crate) struct LoweredCheck {
 #[derive(Clone, Debug)]
 pub(crate) enum Instr {
     /// Evaluate a scalar expression into a slot, coercing to `elem`.
-    Scalar { dst: Slot, elem: Option<ElemType>, exp: LExp },
-    Alloc { dst: Slot, elem: ElemType, size: SlotPoly },
-    Iota { dest: Dest },
-    Scratch { dest: Dest },
-    Replicate { dest: Dest, value: LExp },
-    Copy { dest: Dest, src: Slot },
-    Concat { dest: Dest, args: Vec<ConcatArg> },
-    Transform { dest: Dest, src: Slot, tr: Transform, vars: SlotVars },
+    Scalar {
+        dst: Slot,
+        elem: Option<ElemType>,
+        exp: LExp,
+    },
+    Alloc {
+        dst: Slot,
+        elem: ElemType,
+        size: SlotPoly,
+    },
+    Iota {
+        dest: Dest,
+    },
+    Scratch {
+        dest: Dest,
+    },
+    Replicate {
+        dest: Dest,
+        value: LExp,
+    },
+    Copy {
+        dest: Dest,
+        src: Slot,
+    },
+    Concat {
+        dest: Dest,
+        args: Vec<ConcatArg>,
+    },
+    Transform {
+        dest: Dest,
+        src: Slot,
+        tr: Transform,
+        vars: SlotVars,
+    },
     MapKernel(Box<MapKernelInstr>),
     MapLambda(Box<MapLambdaInstr>),
     Update(Box<UpdateInstr>),
     /// Return the memory block in `slot` to the store's free list (a
     /// fused `ReleasePlan` site). `site` names the statement after which
     /// the plan freed it — checked-mode blame for use-after-release.
-    Release { slot: Slot, site: Option<Var> },
+    Release {
+        slot: Slot,
+        site: Option<Var>,
+    },
     /// Read all sources, then write all destinations (loop merge
     /// parameters may permute, so the copy is two-phase).
-    CopySlots { pairs: Vec<(Slot, Slot)> },
-    Jump { target: usize },
-    JumpIfFalse { cond: LExp, target: usize },
+    CopySlots {
+        pairs: Vec<(Slot, Slot)>,
+    },
+    Jump {
+        target: usize,
+    },
+    JumpIfFalse {
+        cond: LExp,
+        target: usize,
+    },
     /// Loop back-edge guard: jump when `regs[a] >= regs[b]`.
-    JumpIfGe { a: Slot, b: Slot, target: usize },
+    JumpIfGe {
+        a: Slot,
+        b: Slot,
+        target: usize,
+    },
     /// Checked mode: cross-check the short-circuit footprints recorded
     /// for the block that just finished executing.
-    VerifyChecks { checks: Vec<LoweredCheck> },
+    VerifyChecks {
+        checks: Vec<LoweredCheck>,
+    },
 }
 
 /// A linear instruction stream plus its blame side table: entry `i` is
@@ -349,7 +397,13 @@ pub fn lower_plan_with(
             Type::Array { .. } => Some(lw.scope.bind(param_block_sym(*v))),
             _ => None,
         };
-        params.push(ParamSpec { var: *v, ty: ty.clone(), slot, mem_slot, shape });
+        params.push(ParamSpec {
+            var: *v,
+            ty: ty.clone(),
+            slot,
+            mem_slot,
+            shape,
+        });
     }
     let mut body = Stream::default();
     let result_slots = lw.lower_block(&prog.body, &mut body)?;
@@ -369,7 +423,8 @@ pub fn lower_plan_with(
 }
 
 pub(crate) fn param_block_sym(v: Var) -> Var {
-    arraymem_symbolic::sym(&format!("{v}_mem"))
+    // Canonical definition shared with the middle-end and the validator.
+    arraymem_ir::param_block_sym(v)
 }
 
 /// Name→slot scope with an undo log, so nested blocks restore the
@@ -444,8 +499,16 @@ impl Lowerer<'_> {
 
     fn slot_poly(&self, p: &Poly) -> SlotPoly {
         let vars = self.slot_vars(p.vars());
-        let konst = if vars.is_empty() { p.eval(|_| None) } else { None };
-        SlotPoly { poly: p.clone(), vars, konst }
+        let konst = if vars.is_empty() {
+            p.eval(|_| None)
+        } else {
+            None
+        };
+        SlotPoly {
+            poly: p.clone(),
+            vars,
+            konst,
+        }
     }
 
     fn lower_ixfn(&self, ix: &IndexFn) -> LoweredIxFn {
@@ -456,7 +519,10 @@ impl Lowerer<'_> {
                 return LoweredIxFn::Ready { ixfn: c, class };
             }
         }
-        LoweredIxFn::Dynamic { ixfn: ix.clone(), vars }
+        LoweredIxFn::Dynamic {
+            ixfn: ix.clone(),
+            vars,
+        }
     }
 
     fn lower_exp(&mut self, e: &ScalarExp) -> Result<LExp, String> {
@@ -477,7 +543,10 @@ impl Lowerer<'_> {
             ScalarExp::Un(op, a) => LExp::Un(*op, Box::new(self.lower_exp(a)?)),
             ScalarExp::Index(v, idx) => LExp::Index {
                 arr: self.resolve(*v)?,
-                idx: idx.iter().map(|i| self.lower_exp(i)).collect::<Result<_, _>>()?,
+                idx: idx
+                    .iter()
+                    .map(|i| self.lower_exp(i))
+                    .collect::<Result<_, _>>()?,
             },
             ScalarExp::Select(c, t, f) => LExp::Select(
                 Box::new(self.lower_exp(c)?),
@@ -499,7 +568,13 @@ impl Lowerer<'_> {
             ixfn: self.lower_ixfn(&mb.ixfn),
         });
         let slot = self.scope.bind(pe.var);
-        Ok(Dest { slot, var: pe.var, elem, shape, mem })
+        Ok(Dest {
+            slot,
+            var: pe.var,
+            elem,
+            shape,
+            mem,
+        })
     }
 
     /// Lower a block's statements (with fused releases and, when
@@ -572,7 +647,14 @@ impl Lowerer<'_> {
             Exp::Alloc { elem, size } => {
                 let size = self.slot_poly(size);
                 let dst = self.scope.bind(stm.pat[0].var);
-                out.push(Instr::Alloc { dst, elem: *elem, size }, blame);
+                out.push(
+                    Instr::Alloc {
+                        dst,
+                        elem: *elem,
+                        size,
+                    },
+                    blame,
+                );
             }
             Exp::Iota(_) => {
                 let dest = self.lower_dest(&stm.pat[0])?;
@@ -597,7 +679,10 @@ impl Lowerer<'_> {
                     .iter()
                     .zip(elided)
                     .map(|(a, el)| {
-                        Ok(ConcatArg { src: self.resolve(*a)?, elided: *el })
+                        Ok(ConcatArg {
+                            src: self.resolve(*a)?,
+                            elided: *el,
+                        })
                     })
                     .collect::<Result<Vec<_>, String>>()?;
                 let dest = self.lower_dest(&stm.pat[0])?;
@@ -607,10 +692,23 @@ impl Lowerer<'_> {
                 let src = self.resolve(*src)?;
                 let vars = self.slot_vars(transform_vars(tr));
                 let dest = self.lower_dest(&stm.pat[0])?;
-                out.push(Instr::Transform { dest, src, tr: tr.clone(), vars }, blame);
+                out.push(
+                    Instr::Transform {
+                        dest,
+                        src,
+                        tr: tr.clone(),
+                        vars,
+                    },
+                    blame,
+                );
             }
             Exp::Map(m) => self.lower_map(stm, m, out, blame)?,
-            Exp::Update { dst, slice, src, elided } => {
+            Exp::Update {
+                dst,
+                slice,
+                src,
+                elided,
+            } => {
                 let dst_slot = self.resolve(*dst)?;
                 let (slice_l, lmad_slice) = match slice {
                     SliceSpec::Triplet(ts) => {
@@ -625,7 +723,9 @@ impl Lowerer<'_> {
                     }
                     SliceSpec::Point(es) => (
                         LSlice::Point(
-                            es.iter().map(|e| self.lower_exp(e)).collect::<Result<_, _>>()?,
+                            es.iter()
+                                .map(|e| self.lower_exp(e))
+                                .collect::<Result<_, _>>()?,
                         ),
                         false,
                     ),
@@ -647,7 +747,11 @@ impl Lowerer<'_> {
                     blame,
                 );
             }
-            Exp::If { cond, then_b, else_b } => {
+            Exp::If {
+                cond,
+                then_b,
+                else_b,
+            } => {
                 let cond = self.lower_exp(cond)?;
                 let pat_slots: Vec<Slot> =
                     stm.pat.iter().map(|pe| self.scope.bind(pe.var)).collect();
@@ -655,7 +759,10 @@ impl Lowerer<'_> {
                 let then_res = self.lower_block(then_b, out)?;
                 out.push(
                     Instr::CopySlots {
-                        pairs: then_res.into_iter().zip(pat_slots.iter().copied()).collect(),
+                        pairs: then_res
+                            .into_iter()
+                            .zip(pat_slots.iter().copied())
+                            .collect(),
                     },
                     blame,
                 );
@@ -665,14 +772,23 @@ impl Lowerer<'_> {
                 let else_res = self.lower_block(else_b, out)?;
                 out.push(
                     Instr::CopySlots {
-                        pairs: else_res.into_iter().zip(pat_slots.iter().copied()).collect(),
+                        pairs: else_res
+                            .into_iter()
+                            .zip(pat_slots.iter().copied())
+                            .collect(),
                     },
                     blame,
                 );
                 let end = out.instrs.len();
                 patch_target(&mut out.instrs[jend], end);
             }
-            Exp::Loop { params, inits, index, count, body } => {
+            Exp::Loop {
+                params,
+                inits,
+                index,
+                count,
+                body,
+            } => {
                 let count = self.slot_poly(count);
                 let init_slots = inits
                     .iter()
@@ -685,12 +801,19 @@ impl Lowerer<'_> {
                 let count_slot = self.scope.fresh();
                 out.push(
                     Instr::CopySlots {
-                        pairs: init_slots.into_iter().zip(param_slots.iter().copied()).collect(),
+                        pairs: init_slots
+                            .into_iter()
+                            .zip(param_slots.iter().copied())
+                            .collect(),
                     },
                     blame,
                 );
                 out.push(
-                    Instr::Scalar { dst: count_slot, elem: None, exp: LExp::Size(count) },
+                    Instr::Scalar {
+                        dst: count_slot,
+                        elem: None,
+                        exp: LExp::Size(count),
+                    },
                     blame,
                 );
                 out.push(
@@ -702,12 +825,21 @@ impl Lowerer<'_> {
                     blame,
                 );
                 let head = out.instrs.len();
-                let jge =
-                    out.push(Instr::JumpIfGe { a: idx_slot, b: count_slot, target: 0 }, blame);
+                let jge = out.push(
+                    Instr::JumpIfGe {
+                        a: idx_slot,
+                        b: count_slot,
+                        target: 0,
+                    },
+                    blame,
+                );
                 let body_res = self.lower_block(body, out)?;
                 out.push(
                     Instr::CopySlots {
-                        pairs: body_res.into_iter().zip(param_slots.iter().copied()).collect(),
+                        pairs: body_res
+                            .into_iter()
+                            .zip(param_slots.iter().copied())
+                            .collect(),
                     },
                     blame,
                 );
@@ -756,7 +888,13 @@ impl Lowerer<'_> {
             .map(|v| self.resolve(*v))
             .collect::<Result<Vec<_>, _>>()?;
         match &m.body {
-            MapBody::Kernel { name, elem, row_shape, args, .. } => {
+            MapBody::Kernel {
+                name,
+                elem,
+                row_shape,
+                args,
+                ..
+            } => {
                 let args = args
                     .iter()
                     .map(|a| self.lower_exp(a))
@@ -862,18 +1000,7 @@ fn transform_vars(tr: &Transform) -> Vec<Sym> {
 /// Strip `#<digits>` freshness suffixes from symbol names, so the rendered
 /// plan is stable across interner states (test order, process restarts).
 fn scrub(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    let mut chars = s.chars().peekable();
-    while let Some(c) = chars.next() {
-        if c == '#' && chars.peek().is_some_and(|d| d.is_ascii_digit()) {
-            while chars.peek().is_some_and(|d| d.is_ascii_digit()) {
-                chars.next();
-            }
-        } else {
-            out.push(c);
-        }
-    }
-    out
+    arraymem_ir::pretty::scrub_uniques(s)
 }
 
 impl ExecPlan {
@@ -917,7 +1044,11 @@ fn fmt_stream(st: &Stream, indent: usize, s: &mut String) {
             fmt_stream(&ml.body, indent + 1, s);
             s.push_str(&format!(
                 "{pad}     ^ per-element body; results {}\n",
-                ml.results.iter().map(|r| format!("%{r}")).collect::<Vec<_>>().join(" ")
+                ml.results
+                    .iter()
+                    .map(|r| format!("%{r}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
             ));
         }
     }
@@ -960,7 +1091,11 @@ fn fmt_exp(e: &LExp) -> String {
 }
 
 fn fmt_slots(slots: &[Slot]) -> String {
-    slots.iter().map(|s| format!("%{s}")).collect::<Vec<_>>().join(" ")
+    slots
+        .iter()
+        .map(|s| format!("%{s}"))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 fn fmt_instr(i: &Instr) -> String {
@@ -990,7 +1125,9 @@ fn fmt_instr(i: &Instr) -> String {
             "{} <- map_kernel {}#{} width {:?} inputs [{}] args [{}]{}",
             fmt_dest(&mk.dest),
             mk.kernel_name,
-            mk.kernel.map(|k| k.to_string()).unwrap_or_else(|| "?".into()),
+            mk.kernel
+                .map(|k| k.to_string())
+                .unwrap_or_else(|| "?".into()),
             mk.width.poly,
             fmt_slots(&mk.inputs),
             mk.args.iter().map(fmt_exp).collect::<Vec<_>>().join(", "),
@@ -1041,7 +1178,11 @@ fn fmt_instr(i: &Instr) -> String {
         Instr::JumpIfGe { a, b, target } => format!("jump-if %{a} >= %{b} -> {target}"),
         Instr::VerifyChecks { checks } => format!(
             "verify-circuits [{}]",
-            checks.iter().map(|c| c.stm.clone()).collect::<Vec<_>>().join(", ")
+            checks
+                .iter()
+                .map(|c| c.stm.clone())
+                .collect::<Vec<_>>()
+                .join(", ")
         ),
     }
 }

@@ -104,16 +104,20 @@ impl WorkerPool {
         // Erase the closure's lifetime: the job cannot outlive this frame
         // because we do not return until `remaining == 0` below.
         let erased: *const (dyn Fn(i64, usize) + Sync) = unsafe {
-            std::mem::transmute::<
-                &(dyn Fn(i64, usize) + Sync),
-                &'static (dyn Fn(i64, usize) + Sync),
-            >(f as &(dyn Fn(i64, usize) + Sync))
+            std::mem::transmute::<&(dyn Fn(i64, usize) + Sync), &'static (dyn Fn(i64, usize) + Sync)>(
+                f as &(dyn Fn(i64, usize) + Sync),
+            )
         };
         {
             let mut ctrl = self.shared.ctrl.lock().unwrap();
             debug_assert_eq!(ctrl.remaining, 0, "pool dispatched re-entrantly");
             ctrl.epoch += 1;
-            ctrl.job = Some(Job { f: erased, n, chunk, usable });
+            ctrl.job = Some(Job {
+                f: erased,
+                n,
+                chunk,
+                usable,
+            });
             ctrl.remaining = usable - 1;
             ctrl.panicked = false;
             self.shared.work.notify_all();

@@ -63,22 +63,46 @@ pub enum Diagnostic {
 impl std::fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Diagnostic::UninitRead { stm, block, offset, ixfn } => write!(
+            Diagnostic::UninitRead {
+                stm,
+                block,
+                offset,
+                ixfn,
+            } => write!(
                 f,
                 "uninitialized read: {stm} read never-written cell {offset} of recycled \
                  block #{block} via {ixfn}"
             ),
-            Diagnostic::UseAfterRelease { stm, block, offset, ixfn, released_after } => write!(
+            Diagnostic::UseAfterRelease {
+                stm,
+                block,
+                offset,
+                ixfn,
+                released_after,
+            } => write!(
                 f,
                 "use after release: {stm} read cell {offset} of block #{block} via {ixfn}, \
                  but the plan released the block after {released_after}"
             ),
-            Diagnostic::MapRace { stm, block, offset, iter_a, iter_b, ixfn } => write!(
+            Diagnostic::MapRace {
+                stm,
+                block,
+                offset,
+                iter_a,
+                iter_b,
+                ixfn,
+            } => write!(
                 f,
                 "map race: iterations {iter_a} and {iter_b} of {stm} both write cell \
                  {offset} of block #{block} (result index function {ixfn})"
             ),
-            Diagnostic::CircuitOverlap { root, stm, offset, write_ixfn, use_ixfn } => write!(
+            Diagnostic::CircuitOverlap {
+                root,
+                stm,
+                offset,
+                write_ixfn,
+                use_ixfn,
+            } => write!(
                 f,
                 "short-circuit overlap: eliding {root} at {stm} writes {write_ixfn}, which \
                  intersects destination use {use_ixfn} at offset {offset}"

@@ -224,7 +224,10 @@ impl MemStore {
         self.shadow = Some(
             self.blocks
                 .iter()
-                .map(|b| ShadowBlock { cells: vec![CellState::Stale; b.len()], released_by: None })
+                .map(|b| ShadowBlock {
+                    cells: vec![CellState::Stale; b.len()],
+                    released_by: None,
+                })
                 .collect(),
         );
     }
@@ -260,7 +263,10 @@ impl MemStore {
         self.bytes_allocated += (b.len() * b.elem().size_bytes()) as u64;
         self.num_allocs += 1;
         if let Some(sh) = &mut self.shadow {
-            sh.push(ShadowBlock { cells: vec![CellState::Zeroed; b.len()], released_by: None });
+            sh.push(ShadowBlock {
+                cells: vec![CellState::Zeroed; b.len()],
+                released_by: None,
+            });
         }
         self.blocks.push(b);
         self.live.push(true);

@@ -28,18 +28,9 @@ fn run_all(
     inputs: &[InputValue],
     kernels: &KernelRegistry,
 ) -> (Vec<OutputValue>, crate::Stats, crate::Stats) {
-    let unopt = compile(
-        prog,
-        &Options::default().with_env(env.clone()),
-    )
-    .expect("unopt compile");
-    let opt = compile(
-        prog,
-        &Options::optimized().with_env(env),
-    )
-    .expect("opt compile");
-    let (pure_out, _) =
-        run_program(prog, inputs, kernels, Mode::Pure, 1).expect("pure run");
+    let unopt = compile(prog, &Options::default().with_env(env.clone())).expect("unopt compile");
+    let opt = compile(prog, &Options::optimized().with_env(env)).expect("opt compile");
+    let (pure_out, _) = run_program(prog, inputs, kernels, Mode::Pure, 1).expect("pure run");
     let (unopt_out, unopt_stats) =
         run_program(&unopt.program, inputs, kernels, Mode::Memory, 1).expect("unopt run");
     let (opt_out, opt_stats) =
@@ -160,7 +151,10 @@ fn kernel_map_rows_inplace_vs_private() {
     env.assume_ge(n, 1);
     let rows = 10usize;
     let data: Vec<f32> = (0..rows * 16).map(|i| i as f32).collect();
-    let inputs = vec![InputValue::I64(rows as i64), InputValue::ArrayF32(data.clone())];
+    let inputs = vec![
+        InputValue::I64(rows as i64),
+        InputValue::ArrayF32(data.clone()),
+    ];
     let (out, unopt, opt) = run_all(&prog, env, &inputs, &kernels);
     let mut expect = vec![0f32; rows * 16];
     for r in 0..rows {
@@ -241,10 +235,7 @@ fn if_with_different_branch_layouts() {
     let prog = b.finish(blk);
     let data: Vec<f32> = (0..16).map(|i| i as f32).collect();
     for flag_v in [true, false] {
-        let inputs = vec![
-            InputValue::Bool(flag_v),
-            InputValue::ArrayF32(data.clone()),
-        ];
+        let inputs = vec![InputValue::Bool(flag_v), InputValue::ArrayF32(data.clone())];
         let kernels = KernelRegistry::new();
         let (out, _, _) = run_all(&prog, Env::new(), &inputs, &kernels);
         let expect: Vec<f32> = if flag_v {
@@ -312,10 +303,7 @@ fn update_with_triplet_strides() {
     let inputs = vec![InputValue::I64(4), InputValue::ArrayF32(vec![1.0; 8])];
     let kernels = KernelRegistry::new();
     let (out, _, opt) = run_all(&prog, env, &inputs, &kernels);
-    assert_eq!(
-        out[0].as_f32s(),
-        &[9.0, 1.0, 9.0, 1.0, 9.0, 1.0, 9.0, 1.0]
-    );
+    assert_eq!(out[0].as_f32s(), &[9.0, 1.0, 9.0, 1.0, 9.0, 1.0, 9.0, 1.0]);
     let _ = opt;
 }
 
@@ -335,11 +323,7 @@ fn overlapping_lmad_update_is_rejected_dynamically() {
     );
     let blk = body.finish(vec![a2]);
     let prog = b.finish(blk);
-    let compiled = compile(
-        &prog,
-        &Options::default(),
-    )
-    .unwrap();
+    let compiled = compile(&prog, &Options::default()).unwrap();
     let kernels = KernelRegistry::new();
     let r = run_program(
         &compiled.program,
@@ -409,8 +393,7 @@ fn release_plan_recycles_chained_intermediates() {
     let kernels = KernelRegistry::new();
     let data: Vec<f32> = (0..64).map(|i| i as f32).collect();
     let inputs = vec![InputValue::I64(64), InputValue::ArrayF32(data.clone())];
-    let (out, stats) =
-        run_program(&compiled.program, &inputs, &kernels, Mode::Memory, 1).unwrap();
+    let (out, stats) = run_program(&compiled.program, &inputs, &kernels, Mode::Memory, 1).unwrap();
     assert_eq!(out[0].as_f32s(), &data[..]);
     assert!(
         (stats.num_allocs as usize) < chain,
@@ -454,16 +437,13 @@ fn session_reuse_is_equivalence_preserving() {
     env.assume_ge(n, 1);
     // Unopt: the mapnest pays private row buffers — extra allocations the
     // reused session must recycle.
-    let compiled = compile(
-        &prog,
-        &Options::default().with_env(env),
-    )
-    .unwrap();
+    let compiled = compile(&prog, &Options::default().with_env(env)).unwrap();
     let rows = 12usize;
     let data: Vec<f32> = (0..rows * 16).map(|i| (i as f32).sin()).collect();
     let inputs = vec![InputValue::I64(rows as i64), InputValue::ArrayF32(data)];
-    let (fresh_out, fresh_stats) =
-        crate::Session::new().run(&compiled.program, &inputs, &kernels, Mode::Memory, 2).unwrap();
+    let (fresh_out, fresh_stats) = crate::Session::new()
+        .run(&compiled.program, &inputs, &kernels, Mode::Memory, 2)
+        .unwrap();
     assert!(fresh_stats.num_allocs > 0);
     let mut session = crate::Session::new();
     let (first, _) = session
@@ -506,7 +486,10 @@ fn access_plans_match_generic_indexing() {
         let ixfn = if r.chance(0.25) {
             // Chain through an intermediate reshape-style LMAD.
             let n = l.num_points();
-            let outer = ConcreteLmad { offset: l.offset, dims: l.dims.clone() };
+            let outer = ConcreteLmad {
+                offset: l.offset,
+                dims: l.dims.clone(),
+            };
             ConcreteIxFn {
                 lmads: vec![outer, ConcreteLmad::row_major(&[n])],
             }

@@ -21,7 +21,12 @@ impl ArrayRef {
     /// An array reference, classifying its index function now.
     pub fn new(block: usize, elem: ElemType, ixfn: ConcreteIxFn) -> ArrayRef {
         let class = ixfn.classify();
-        ArrayRef { block, elem, ixfn, class }
+        ArrayRef {
+            block,
+            elem,
+            ixfn,
+            class,
+        }
     }
 
     /// An array reference with a pre-computed access class (the lowering
@@ -33,7 +38,12 @@ impl ArrayRef {
         class: AccessClass,
     ) -> ArrayRef {
         debug_assert_eq!(class, ixfn.classify());
-        ArrayRef { block, elem, ixfn, class }
+        ArrayRef {
+            block,
+            elem,
+            ixfn,
+            class,
+        }
     }
 }
 
@@ -154,9 +164,9 @@ impl OutputValue {
             }
             (OutputValue::ArrayF64(a), OutputValue::ArrayF64(b)) => {
                 a.len() == b.len()
-                    && a.iter().zip(b).all(|(x, y)| {
-                        (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs()))
-                    })
+                    && a.iter()
+                        .zip(b)
+                        .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
             }
             (OutputValue::F32(a), OutputValue::F32(b)) => {
                 (*a as f64 - *b as f64).abs() <= tol * (1.0 + a.abs().max(b.abs()) as f64)

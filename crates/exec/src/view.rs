@@ -39,7 +39,11 @@ impl ViewCore {
         };
         debug_assert!(off >= 0, "negative element offset {off}");
         let off = off as usize;
-        assert!(off < self.buf.len, "view access out of bounds: {off} >= {}", self.buf.len);
+        assert!(
+            off < self.buf.len,
+            "view access out of bounds: {off} >= {}",
+            self.buf.len
+        );
         off
     }
 
@@ -89,7 +93,10 @@ macro_rules! typed_access {
         /// Read one element by logical index.
         #[inline]
         pub fn $get(&self, idx: &[i64]) -> $ty {
-            debug_assert!(elem_compatible(self.core.buf.elem, arraymem_ir::ElemType::$variant));
+            debug_assert!(elem_compatible(
+                self.core.buf.elem,
+                arraymem_ir::ElemType::$variant
+            ));
             let off = self.core.offset(idx);
             unsafe { *(self.core.buf.ptr as *const $ty).add(off) }
         }
@@ -97,7 +104,10 @@ macro_rules! typed_access {
         /// Read one element by flat logical position.
         #[inline]
         pub fn $get_flat(&self, flat: i64) -> $ty {
-            debug_assert!(elem_compatible(self.core.buf.elem, arraymem_ir::ElemType::$variant));
+            debug_assert!(elem_compatible(
+                self.core.buf.elem,
+                arraymem_ir::ElemType::$variant
+            ));
             let off = self.core.offset_flat(flat);
             unsafe { *(self.core.buf.ptr as *const $ty).add(off) }
         }
@@ -441,7 +451,10 @@ fn copy_generic<T: Copy>(dst: &ViewMut, src: &View, n: i64) {
         } else {
             for _ in 0..inner {
                 assert!(
-                    so >= 0 && (so as usize) < src.core.buf.len && do_ >= 0 && (do_ as usize) < dst.core.buf.len,
+                    so >= 0
+                        && (so as usize) < src.core.buf.len
+                        && do_ >= 0
+                        && (do_ as usize) < dst.core.buf.len,
                     "copy out of bounds"
                 );
                 unsafe {
@@ -553,11 +566,17 @@ mod tests {
         let sb = s.alloc(ElemType::F32, 4);
         let dst = ViewMut::new(
             s.raw(db),
-            ConcreteIxFn::from_lmad(ConcreteLmad { offset: 0, dims: vec![(0, 1)] }),
+            ConcreteIxFn::from_lmad(ConcreteLmad {
+                offset: 0,
+                dims: vec![(0, 1)],
+            }),
         );
         let src = View::new(
             s.raw(sb),
-            ConcreteIxFn::from_lmad(ConcreteLmad { offset: 0, dims: vec![(0, 1)] }),
+            ConcreteIxFn::from_lmad(ConcreteLmad {
+                offset: 0,
+                dims: vec![(0, 1)],
+            }),
         );
         assert_eq!(copy_view(&dst, &src), 0);
     }
@@ -568,9 +587,18 @@ mod tests {
         let (mut s, b) = store_with((0..6).map(|i| i as f32).collect());
         let ix = ConcreteIxFn {
             lmads: vec![
-                ConcreteLmad { offset: 0, dims: vec![(2, 3), (3, 1)] },
-                ConcreteLmad { offset: 0, dims: vec![(3, 1), (2, 3)] },
-                ConcreteLmad { offset: 0, dims: vec![(6, 1)] },
+                ConcreteLmad {
+                    offset: 0,
+                    dims: vec![(2, 3), (3, 1)],
+                },
+                ConcreteLmad {
+                    offset: 0,
+                    dims: vec![(3, 1), (2, 3)],
+                },
+                ConcreteLmad {
+                    offset: 0,
+                    dims: vec![(6, 1)],
+                },
             ],
         };
         let v = View::new(s.raw(b), ix);
@@ -601,10 +629,13 @@ mod negative_len_tests {
         assert!(v.as_slice_f32_mut().is_none());
         assert!(v.as_view().as_slice_f32().is_none());
         // And copying through it is a no-op, not UB.
-        let src = View::new(s.raw(b), ConcreteIxFn::from_lmad(ConcreteLmad {
-            offset: 0,
-            dims: vec![(-2, 1)],
-        }));
+        let src = View::new(
+            s.raw(b),
+            ConcreteIxFn::from_lmad(ConcreteLmad {
+                offset: 0,
+                dims: vec![(-2, 1)],
+            }),
+        );
         assert_eq!(copy_view(&v, &src), 0);
     }
 }

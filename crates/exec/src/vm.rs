@@ -184,7 +184,14 @@ impl Session {
         threads: usize,
     ) -> Result<(Vec<OutputValue>, Stats), String> {
         let (hit, build) = self.last_prepare;
-        let r = exec_plan(&mut self.store, &self.plans[h.0], inputs, kernels, mode, threads);
+        let r = exec_plan(
+            &mut self.store,
+            &self.plans[h.0],
+            inputs,
+            kernels,
+            mode,
+            threads,
+        );
         r.map(|(out, mut stats)| {
             stats.plan_cache_hit = hit;
             stats.plan_build_time = build;
@@ -660,8 +667,7 @@ impl Machine<'_> {
                     let rows = src_a.ixfn.shape()[0];
                     let elided_here = arg.elided && self.mem_like();
                     if elided_here {
-                        let bytes =
-                            src_a.ixfn.num_elems() as u64 * src_a.elem.size_bytes() as u64;
+                        let bytes = src_a.ixfn.num_elems() as u64 * src_a.elem.size_bytes() as u64;
                         self.stats.bytes_elided += bytes;
                         self.stats.num_elided += 1;
                     } else {
@@ -680,7 +686,12 @@ impl Machine<'_> {
                 }
                 self.regs[dest.slot as usize] = Value::Array(dst);
             }
-            Instr::Transform { dest, src, tr, vars } => {
+            Instr::Transform {
+                dest,
+                src,
+                tr,
+                vars,
+            } => {
                 let src_a = self.regs[*src as usize].as_array().clone();
                 let ixfn = {
                     let lookup = slot_lookup(vars, &self.regs);
@@ -723,7 +734,10 @@ impl Machine<'_> {
                 let row_shape_c: Vec<i64> = mk
                     .row_shape
                     .iter()
-                    .map(|p| p.eval(&self.regs).ok_or_else(|| "unresolved row shape".to_string()))
+                    .map(|p| {
+                        p.eval(&self.regs)
+                            .ok_or_else(|| "unresolved row shape".to_string())
+                    })
                     .collect::<Result<_, _>>()?;
                 let row_elems: i64 = row_shape_c.iter().product();
                 let scalar_rows = row_shape_c.is_empty();
@@ -820,9 +834,7 @@ impl Machine<'_> {
                 // slots are re-executed before any use, so the register
                 // file needs no per-element reset.
                 for i in 0..width {
-                    for (p, (view, a)) in
-                        ml.params.iter().zip(in_views.iter().zip(&in_arrays))
-                    {
+                    for (p, (view, a)) in ml.params.iter().zip(in_views.iter().zip(&in_arrays)) {
                         let v = match a.elem {
                             ElemType::F32 => Value::F32(view.get_f32(&[i])),
                             ElemType::F64 => Value::F64(view.get_f64(&[i])),
@@ -877,11 +889,7 @@ impl Machine<'_> {
                             let v = self.eval_lexp(e)?.as_i64();
                             fixed.push(TripletSlice::Fix(Poly::constant(v)));
                         }
-                        apply_transform_concrete(
-                            &result.ixfn,
-                            &Transform::Slice(fixed),
-                            &|_| None,
-                        )
+                        apply_transform_concrete(&result.ixfn, &Transform::Slice(fixed), &|_| None)
                     }
                 }
                 .ok_or_else(|| "bad slice".to_string())?;
@@ -898,8 +906,7 @@ impl Machine<'_> {
                 match &u.src {
                     LUpdateSrc::Scalar(se) => {
                         let v = self.eval_lexp(se)?;
-                        let dview =
-                            ViewMut::new(self.store.raw(result.block), slice_ixfn.clone());
+                        let dview = ViewMut::new(self.store.raw(result.block), slice_ixfn.clone());
                         let n = dview.num_elems();
                         for f in 0..n.max(0) {
                             match result.elem {
@@ -908,9 +915,7 @@ impl Machine<'_> {
                                     let idx = unflat(&dview.shape(), f);
                                     dview.set_f64(&idx, v.as_f64());
                                 }
-                                ElemType::I64 | ElemType::Bool => {
-                                    dview.set_i64_flat(f, v.as_i64())
-                                }
+                                ElemType::I64 | ElemType::Bool => dview.set_i64_flat(f, v.as_i64()),
                             }
                         }
                         self.mark_write(result.block, &slice_ixfn);
@@ -991,8 +996,7 @@ impl Machine<'_> {
             };
             // The check only counts as verified when every recorded
             // footprint evaluated and every pair enumerated cleanly.
-            let mut confirmed =
-                writes.len() == c.writes.len() && uses.len() == c.uses.len();
+            let mut confirmed = writes.len() == c.writes.len() && uses.len() == c.uses.len();
             for w in &writes {
                 for u in &uses {
                     match footprint_check(w, u, FOOTPRINT_CAP) {
@@ -1032,9 +1036,10 @@ impl Machine<'_> {
     /// fresh dense block is allocated.
     fn fresh_dest(&mut self, d: &Dest) -> Result<ArrayRef, String> {
         if self.mem_like() {
-            let md = d.mem.as_ref().ok_or_else(|| {
-                format!("{} has no memory binding (run the pipeline)", d.var)
-            })?;
+            let md = d
+                .mem
+                .as_ref()
+                .ok_or_else(|| format!("{} has no memory binding (run the pipeline)", d.var))?;
             let block_slot = md
                 .block
                 .ok_or_else(|| format!("memory block {} unbound", md.block_var))?;
@@ -1055,7 +1060,11 @@ impl Machine<'_> {
                 .collect::<Result<_, _>>()?;
             let n: i64 = shape.iter().product();
             let block = self.store.alloc(d.elem, n.max(0) as usize);
-            Ok(ArrayRef::new(block, d.elem, ConcreteIxFn::row_major(&shape)))
+            Ok(ArrayRef::new(
+                block,
+                d.elem,
+                ConcreteIxFn::row_major(&shape),
+            ))
         }
     }
 
@@ -1063,9 +1072,7 @@ impl Machine<'_> {
         Ok(match e {
             LExp::Const(v) => v.clone(),
             LExp::Slot(s) => self.regs[*s as usize].clone(),
-            LExp::Size(p) => {
-                Value::I64(p.eval(&self.regs).ok_or("unresolved size expression")?)
-            }
+            LExp::Size(p) => Value::I64(p.eval(&self.regs).ok_or("unresolved size expression")?),
             LExp::Bin(op, a, b) => {
                 let x = self.eval_lexp(a)?;
                 let y = self.eval_lexp(b)?;
@@ -1255,7 +1262,9 @@ fn concrete_to_symbolic(ixfn: &ConcreteIxFn) -> IndexFn {
                     Poly::constant(l.offset),
                     l.dims
                         .iter()
-                        .map(|&(c, s)| arraymem_lmad::Dim::new(Poly::constant(c), Poly::constant(s)))
+                        .map(|&(c, s)| {
+                            arraymem_lmad::Dim::new(Poly::constant(c), Poly::constant(s))
+                        })
                         .collect(),
                 )
             })
@@ -1271,9 +1280,7 @@ fn constantize_transform(
     Some(match tr {
         Transform::Permute(p) => Transform::Permute(p.clone()),
         Transform::Reverse(d) => Transform::Reverse(*d),
-        Transform::Reshape(s) => {
-            Transform::Reshape(s.iter().map(&cp).collect::<Option<_>>()?)
-        }
+        Transform::Reshape(s) => Transform::Reshape(s.iter().map(&cp).collect::<Option<_>>()?),
         Transform::Slice(ts) => Transform::Slice(
             ts.iter()
                 .map(|t| {

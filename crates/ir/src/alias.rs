@@ -78,16 +78,10 @@ fn walk_block(block: &Block, am: &mut AliasMap) {
             Exp::Update { dst, .. } => {
                 am.union(stm.pat[0].var, *dst);
             }
-            Exp::If {
-                then_b, else_b, ..
-            } => {
+            Exp::If { then_b, else_b, .. } => {
                 walk_block(then_b, am);
                 walk_block(else_b, am);
-                for (pe, (t, e)) in stm
-                    .pat
-                    .iter()
-                    .zip(then_b.result.iter().zip(&else_b.result))
-                {
+                for (pe, (t, e)) in stm.pat.iter().zip(then_b.result.iter().zip(&else_b.result)) {
                     if pe.ty.is_array() {
                         am.union(pe.var, *t);
                         am.union(pe.var, *e);

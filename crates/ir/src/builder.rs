@@ -71,6 +71,7 @@ impl Builder {
             name: self.name,
             params: self.params,
             body,
+            pipeline_fingerprint: 0,
         }
     }
 }

@@ -157,7 +157,10 @@ pub enum UpdateSrc {
 pub enum MapBody {
     /// An interpreted per-element lambda over rank-1 inputs, returning one
     /// scalar per pattern element.
-    Lambda { params: Vec<(Var, Type)>, body: Block },
+    Lambda {
+        params: Vec<(Var, Type)>,
+        body: Block,
+    },
     /// A registered native kernel (the moral equivalent of generated GPU
     /// code): for each index `i` it computes one output row of shape
     /// `row_shape` (empty = scalar element), reading the `inputs` views
@@ -193,21 +196,36 @@ pub enum Exp {
     Scalar(ScalarExp),
     /// Allocate a memory block of `size` elements of type `elem`. Only
     /// introduced by the memory pass.
-    Alloc { elem: ElemType, size: Poly },
+    Alloc {
+        elem: ElemType,
+        size: Poly,
+    },
     /// `[0, 1, ..., n-1] : [n]i64` (fresh).
     Iota(Poly),
     /// A fresh uninitialized array (§II-C).
-    Scratch { elem: ElemType, shape: Vec<Poly> },
+    Scratch {
+        elem: ElemType,
+        shape: Vec<Poly>,
+    },
     /// A fresh array filled with one value.
-    Replicate { shape: Vec<Poly>, value: ScalarExp },
+    Replicate {
+        shape: Vec<Poly>,
+        value: ScalarExp,
+    },
     /// A fresh copy of an existing array.
     Copy(Var),
     /// Concatenation along the outer dimension (fresh). `elided[k]` is set
     /// by short-circuiting when argument `k` was constructed directly in
     /// the result memory and needs no copy.
-    Concat { args: Vec<Var>, elided: Vec<bool> },
+    Concat {
+        args: Vec<Var>,
+        elided: Vec<bool>,
+    },
     /// O(1) change-of-layout; aliases `src`.
-    Transform { src: Var, tr: Transform },
+    Transform {
+        src: Var,
+        tr: Transform,
+    },
     Map(MapExp),
     /// `let dst[slice] = src` — in-place by the uniqueness discipline; the
     /// array-source copy is elided when short-circuiting proved the source
@@ -278,6 +296,14 @@ pub struct Program {
     pub name: String,
     pub params: Vec<(Var, Type)>,
     pub body: Block,
+    /// Fingerprint of the middle-end pipeline (pass set, ordering and
+    /// options) that produced this program; `0` for source programs that
+    /// have not been compiled. Stamped by `arraymem-core`'s pipeline
+    /// driver. It rides along in the `Debug` rendering, so the executor's
+    /// plan-cache key — a hash of that rendering — distinguishes otherwise
+    /// identical IR produced by different pass configurations: toggling a
+    /// pass can never serve a stale plan.
+    pub pipeline_fingerprint: u64,
 }
 
 impl Exp {
@@ -375,6 +401,10 @@ impl Block {
                     out.push(v);
                 }
             }
+            // The pattern binds before its annotations are scanned:
+            // existential memory is a pattern sibling of the array binding
+            // that references it, not a free variable of the block.
+            bound.extend(stm.pat.iter().map(|p| p.var));
             // Memory annotations may reference block variables.
             for pe in &stm.pat {
                 if let Some(mb) = &pe.mem {
@@ -388,7 +418,6 @@ impl Block {
                     }
                 }
             }
-            bound.extend(stm.pat.iter().map(|p| p.var));
         }
         for v in &self.result {
             if !bound.contains(v) {

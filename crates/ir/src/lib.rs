@@ -27,12 +27,22 @@ pub mod types;
 pub mod validate;
 
 pub use builder::Builder;
+pub use exp::{BinOp, UnOp};
 pub use exp::{
     Block, Exp, MapBody, MapExp, MemBinding, PatElem, Program, ScalarExp, SliceSpec, Stm,
     UpdateSrc, Var,
 };
-pub use exp::{BinOp, UnOp};
 pub use types::{Constant, ElemType, Type};
+
+/// The memory block variable synthesized for an array *parameter*:
+/// parameters arrive in caller-provided row-major blocks named
+/// `<param>_mem`. This is the one canonical definition — the memory
+/// passes (`arraymem-core`), the validator and the executor's lowerer
+/// must all agree on it, or parameter memory would silently split into
+/// distinct blocks across layers.
+pub fn param_block_sym(param: Var) -> Var {
+    arraymem_symbolic::sym(&format!("{param}_mem"))
+}
 
 #[cfg(test)]
 mod tests;

@@ -169,12 +169,27 @@ fn slice_str(sl: &SliceSpec) -> String {
             .collect::<Vec<_>>()
             .join(", "),
         SliceSpec::Lmad(l) => format!("{l:?}"),
-        SliceSpec::Point(es) => es
-            .iter()
-            .map(scalar_str)
-            .collect::<Vec<_>>()
-            .join(", "),
+        SliceSpec::Point(es) => es.iter().map(scalar_str).collect::<Vec<_>>().join(", "),
     }
+}
+
+/// Strip `#<digits>` freshness suffixes from symbol names, so rendered IR
+/// (and anything else that prints symbols) is stable across interner
+/// states — test order, process restarts. Golden-snapshot tests diff
+/// scrubbed output.
+pub fn scrub_uniques(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '#' && chars.peek().is_some_and(|d| d.is_ascii_digit()) {
+            while chars.peek().is_some_and(|d| d.is_ascii_digit()) {
+                chars.next();
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
 }
 
 pub fn scalar_str(e: &ScalarExp) -> String {

@@ -23,7 +23,10 @@ pub fn fig1_left_program() -> Program {
     let diag = body.slice(
         "diag",
         a,
-        Transform::LmadSlice(Lmad::new(0, vec![arraymem_lmad::Dim::new(p(n), p(n) + Poly::constant(1))])),
+        Transform::LmadSlice(Lmad::new(
+            0,
+            vec![arraymem_lmad::Dim::new(p(n), p(n) + Poly::constant(1))],
+        )),
     );
     let row = body.slice(
         "row",
@@ -41,7 +44,10 @@ pub fn fig1_left_program() -> Program {
     let a2 = body.update_lmad(
         "A2",
         a,
-        Lmad::new(0, vec![arraymem_lmad::Dim::new(p(n), p(n) + Poly::constant(1))]),
+        Lmad::new(
+            0,
+            vec![arraymem_lmad::Dim::new(p(n), p(n) + Poly::constant(1))],
+        ),
         x,
     );
     let blk = body.finish(vec![a2]);
@@ -79,12 +85,7 @@ fn validation_catches_consumed_reuse() {
     let n = b.scalar_param("n", ElemType::I64);
     let a = b.array_param("A", ElemType::F32, vec![p(n)]);
     let mut body = b.block();
-    let _a2 = body.update_scalar(
-        "A2",
-        a,
-        vec![ScalarExp::i64(0)],
-        ScalarExp::f32(1.0),
-    );
+    let _a2 = body.update_scalar("A2", a, vec![ScalarExp::i64(0)], ScalarExp::f32(1.0));
     // Illegal: `a` is consumed by the update but copied afterwards.
     let c = body.copy("c", a);
     let blk = body.finish(vec![c]);
@@ -132,12 +133,7 @@ fn loop_aliases_merge_params() {
     let param = body.loop_param("A", a0);
     let i = body.loop_index("i");
     let mut lb = b.block();
-    let a_next = lb.update_scalar(
-        "A'",
-        param,
-        vec![ScalarExp::var(i)],
-        ScalarExp::f32(0.0),
-    );
+    let a_next = lb.update_scalar("A'", param, vec![ScalarExp::var(i)], ScalarExp::f32(0.0));
     let loop_body = lb.finish(vec![a_next]);
     let res = body.loop_(
         vec!["Afinal"],

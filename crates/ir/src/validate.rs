@@ -3,6 +3,7 @@
 //! for updates (the "old" array must not be used after an update — §II-C).
 
 use crate::exp::*;
+use crate::types::Type;
 use arraymem_symbolic::Poly;
 use std::collections::HashSet;
 
@@ -50,7 +51,12 @@ fn validate_block(block: &Block, scope: &mut HashSet<Var>) -> Result<(), String>
     Ok(())
 }
 
-fn validate_exp(exp: &Exp, pat: &[PatElem], scope: &mut HashSet<Var>, k: usize) -> Result<(), String> {
+fn validate_exp(
+    exp: &Exp,
+    pat: &[PatElem],
+    scope: &mut HashSet<Var>,
+    k: usize,
+) -> Result<(), String> {
     let arity_err = |want: usize| {
         Err(format!(
             "stm {k}: pattern has {} elements, expression produces {want}",
@@ -110,9 +116,7 @@ fn validate_exp(exp: &Exp, pat: &[PatElem], scope: &mut HashSet<Var>, k: usize) 
             }
             Ok(())
         }
-        Exp::If {
-            then_b, else_b, ..
-        } => {
+        Exp::If { then_b, else_b, .. } => {
             if then_b.result.len() != pat.len() || else_b.result.len() != pat.len() {
                 return Err(format!("stm {k}: if branches' arity mismatch"));
             }
@@ -147,6 +151,131 @@ fn validate_exp(exp: &Exp, pat: &[PatElem], scope: &mut HashSet<Var>, k: usize) 
             Ok(())
         }
     }
+}
+
+/// As [`validate`], additionally checking the memory annotations the
+/// middle-end passes attach: every [`MemBinding`] — on statement patterns
+/// and on loop merge parameters — must name a block variable that is in
+/// scope *and* known to be memory (bound by an `alloc`, a `mem`-typed
+/// pattern or merge parameter, or the synthetic `<param>_mem` block of an
+/// array parameter), and every variable its index function mentions must
+/// be in scope. Bindings may reference variables bound by the *same*
+/// pattern (existential memory and its scalars are pattern siblings).
+///
+/// The pass pipeline interleaves this between stages in debug/checked
+/// builds, so a pass that breaks the memory discipline is caught — and
+/// named — immediately rather than surfacing as a lowering failure or a
+/// miscompile several stages later.
+pub fn validate_memory(prog: &Program) -> Result<(), String> {
+    let mut scope: HashSet<Var> = prog.params.iter().map(|(v, _)| *v).collect();
+    let mut mems: HashSet<Var> = HashSet::new();
+    for (v, ty) in &prog.params {
+        if ty.is_array() {
+            let m = crate::param_block_sym(*v);
+            scope.insert(m);
+            mems.insert(m);
+        }
+    }
+    // Structural validation, with the synthetic parameter blocks in scope:
+    // annotated programs legitimately name them (e.g. as the memory
+    // initializer of a loop's existential-memory merge parameter).
+    validate_block(&prog.body, &mut scope.clone())?;
+    validate_mem_block(&prog.body, &mut scope, &mut mems)
+}
+
+fn check_binding(
+    mb: &MemBinding,
+    owner: Var,
+    k: usize,
+    scope: &HashSet<Var>,
+    mems: &HashSet<Var>,
+) -> Result<(), String> {
+    if !scope.contains(&mb.block) {
+        return Err(format!(
+            "stm {k}: memory binding of {owner} names block {} which is not in scope",
+            mb.block
+        ));
+    }
+    if !mems.contains(&mb.block) {
+        return Err(format!(
+            "stm {k}: memory binding of {owner} names {} which is not a memory block",
+            mb.block
+        ));
+    }
+    for v in mb.ixfn.vars() {
+        if !scope.contains(&v) {
+            return Err(format!(
+                "stm {k}: index function of {owner} uses {v} which is not in scope"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn validate_mem_block(
+    block: &Block,
+    scope: &mut HashSet<Var>,
+    mems: &mut HashSet<Var>,
+) -> Result<(), String> {
+    for (k, stm) in block.stms.iter().enumerate() {
+        // Pattern vars enter scope before the bindings are checked:
+        // existential memory (`ifmem`/`loopmem_out`) and its scalars are
+        // bound by the same pattern the array binding references.
+        for pe in &stm.pat {
+            scope.insert(pe.var);
+            if pe.ty == Type::Mem {
+                mems.insert(pe.var);
+            }
+        }
+        for pe in &stm.pat {
+            if let Some(mb) = &pe.mem {
+                check_binding(mb, pe.var, k, scope, mems)?;
+            }
+        }
+        match &stm.exp {
+            Exp::If { then_b, else_b, .. } => {
+                // Branch scopes must not see the If's own pattern; clone
+                // from a pre-pattern snapshot is overkill — the pattern
+                // vars are fresh, a branch referencing them would already
+                // fail plain `validate`'s scoping.
+                validate_mem_block(then_b, &mut scope.clone(), &mut mems.clone())?;
+                validate_mem_block(else_b, &mut scope.clone(), &mut mems.clone())?;
+            }
+            Exp::Loop {
+                params,
+                index,
+                body,
+                ..
+            } => {
+                let mut inner = scope.clone();
+                let mut inner_mems = mems.clone();
+                inner.insert(*index);
+                for pp in params {
+                    inner.insert(pp.var);
+                    if pp.ty == Type::Mem {
+                        inner_mems.insert(pp.var);
+                    }
+                }
+                for pp in params {
+                    if let Some(mb) = &pp.mem {
+                        check_binding(mb, pp.var, k, &inner, &inner_mems)?;
+                    }
+                }
+                validate_mem_block(body, &mut inner, &mut inner_mems)?;
+            }
+            Exp::Map(m) => {
+                if let MapBody::Lambda { params, body } = &m.body {
+                    let mut inner = scope.clone();
+                    for (p, _) in params {
+                        inner.insert(*p);
+                    }
+                    validate_mem_block(body, &mut inner, &mut mems.clone())?;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
 }
 
 /// Check two symbolic shapes for (canonical-form) equality.

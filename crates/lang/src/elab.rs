@@ -14,17 +14,11 @@ pub struct Elaborated {
 /// Infer the element type of a scalar expression from literals and the
 /// types of the variables it mentions. `f32` is contagious; comparisons
 /// yield `Bool`.
-pub fn infer_scalar_type(
-    e: &ScalarExp,
-    types: &HashMap<Var, Type>,
-) -> arraymem_ir::ElemType {
+pub fn infer_scalar_type(e: &ScalarExp, types: &HashMap<Var, Type>) -> arraymem_ir::ElemType {
     use arraymem_ir::ElemType as ET;
     match e {
         ScalarExp::Const(c) => c.elem_type(),
-        ScalarExp::Var(v) => types
-            .get(v)
-            .and_then(|t| t.elem())
-            .unwrap_or(ET::I64),
+        ScalarExp::Var(v) => types.get(v).and_then(|t| t.elem()).unwrap_or(ET::I64),
         ScalarExp::Size(_) => ET::I64,
         ScalarExp::Bin(op, a, b) => match op {
             BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::And | BinOp::Or => ET::Bool,
@@ -46,10 +40,7 @@ pub fn infer_scalar_type(
             UnOp::ToI64 => ET::I64,
             UnOp::Neg | UnOp::Abs => infer_scalar_type(a, types),
         },
-        ScalarExp::Index(v, _) => types
-            .get(v)
-            .and_then(|t| t.elem())
-            .unwrap_or(ET::I64),
+        ScalarExp::Index(v, _) => types.get(v).and_then(|t| t.elem()).unwrap_or(ET::I64),
         ScalarExp::Select(_, t, _) => infer_scalar_type(t, types),
     }
 }

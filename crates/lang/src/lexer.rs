@@ -68,7 +68,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, String> {
                 }
             }
             '-' if i + 1 < bytes.len() && bytes[i + 1] == '>' => {
-                out.push(SpannedTok { tok: Tok::Arrow, line });
+                out.push(SpannedTok {
+                    tok: Tok::Arrow,
+                    line,
+                });
                 i += 2;
             }
             '>' if i + 1 < bytes.len() && bytes[i + 1] == '=' => {
@@ -76,39 +79,66 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, String> {
                 i += 2;
             }
             '(' => {
-                out.push(SpannedTok { tok: Tok::LParen, line });
+                out.push(SpannedTok {
+                    tok: Tok::LParen,
+                    line,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(SpannedTok { tok: Tok::RParen, line });
+                out.push(SpannedTok {
+                    tok: Tok::RParen,
+                    line,
+                });
                 i += 1;
             }
             '[' => {
-                out.push(SpannedTok { tok: Tok::LBrack, line });
+                out.push(SpannedTok {
+                    tok: Tok::LBrack,
+                    line,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(SpannedTok { tok: Tok::RBrack, line });
+                out.push(SpannedTok {
+                    tok: Tok::RBrack,
+                    line,
+                });
                 i += 1;
             }
             '{' => {
-                out.push(SpannedTok { tok: Tok::LBrace, line });
+                out.push(SpannedTok {
+                    tok: Tok::LBrace,
+                    line,
+                });
                 i += 1;
             }
             '}' => {
-                out.push(SpannedTok { tok: Tok::RBrace, line });
+                out.push(SpannedTok {
+                    tok: Tok::RBrace,
+                    line,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(SpannedTok { tok: Tok::Comma, line });
+                out.push(SpannedTok {
+                    tok: Tok::Comma,
+                    line,
+                });
                 i += 1;
             }
             ':' => {
-                out.push(SpannedTok { tok: Tok::Colon, line });
+                out.push(SpannedTok {
+                    tok: Tok::Colon,
+                    line,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(SpannedTok { tok: Tok::Semi, line });
+                out.push(SpannedTok {
+                    tok: Tok::Semi,
+                    line,
+                });
                 i += 1;
             }
             '=' => {
@@ -116,19 +146,31 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, String> {
                 i += 1;
             }
             '+' => {
-                out.push(SpannedTok { tok: Tok::Plus, line });
+                out.push(SpannedTok {
+                    tok: Tok::Plus,
+                    line,
+                });
                 i += 1;
             }
             '-' => {
-                out.push(SpannedTok { tok: Tok::Minus, line });
+                out.push(SpannedTok {
+                    tok: Tok::Minus,
+                    line,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(SpannedTok { tok: Tok::Star, line });
+                out.push(SpannedTok {
+                    tok: Tok::Star,
+                    line,
+                });
                 i += 1;
             }
             '/' => {
-                out.push(SpannedTok { tok: Tok::Slash, line });
+                out.push(SpannedTok {
+                    tok: Tok::Slash,
+                    line,
+                });
                 i += 1;
             }
             '<' => {
@@ -136,7 +178,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, String> {
                 i += 1;
             }
             '\\' => {
-                out.push(SpannedTok { tok: Tok::Backslash, line });
+                out.push(SpannedTok {
+                    tok: Tok::Backslash,
+                    line,
+                });
                 i += 1;
             }
             c if c.is_ascii_digit() => {
@@ -149,12 +194,18 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, String> {
                     let f: f32 = text
                         .parse()
                         .map_err(|_| format!("line {line}: bad float literal {text}"))?;
-                    out.push(SpannedTok { tok: Tok::Float(f), line });
+                    out.push(SpannedTok {
+                        tok: Tok::Float(f),
+                        line,
+                    });
                 } else {
                     let n: i64 = text
                         .parse()
                         .map_err(|_| format!("line {line}: bad integer literal {text}"))?;
-                    out.push(SpannedTok { tok: Tok::Int(n), line });
+                    out.push(SpannedTok {
+                        tok: Tok::Int(n),
+                        line,
+                    });
                 }
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -184,7 +235,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, String> {
             other => return Err(format!("line {line}: unexpected character {other:?}")),
         }
     }
-    out.push(SpannedTok { tok: Tok::Eof, line });
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 

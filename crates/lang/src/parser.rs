@@ -77,7 +77,10 @@ impl Parser {
     fn ident(&mut self) -> Result<String, String> {
         match self.bump() {
             Tok::Ident(s) => Ok(s),
-            other => Err(format!("line {}: expected identifier, found {other:?}", self.line())),
+            other => Err(format!(
+                "line {}: expected identifier, found {other:?}",
+                self.line()
+            )),
         }
     }
 
@@ -102,9 +105,7 @@ impl Parser {
                 Tok::Ge => {
                     let lo = match self.bump() {
                         Tok::Int(n) => n,
-                        other => {
-                            return Err(format!("assume: expected integer, found {other:?}"))
-                        }
+                        other => return Err(format!("assume: expected integer, found {other:?}")),
                     };
                     // The name may not be bound yet; assumptions attach to
                     // the parameter variable once declared, so remember by
@@ -279,14 +280,22 @@ impl Parser {
                     self.bump();
                     let src = self.ident_var()?;
                     let total = bb.ty(src).num_elems();
-                    Ok(vec![bb.transform(name0, src, Transform::Reshape(vec![total]))])
+                    Ok(vec![bb.transform(
+                        name0,
+                        src,
+                        Transform::Reshape(vec![total]),
+                    )])
                 }
                 "unflatten" => {
                     self.bump();
                     let a = self.size_atom()?;
                     let b = self.size_atom()?;
                     let src = self.ident_var()?;
-                    Ok(vec![bb.transform(name0, src, Transform::Reshape(vec![a, b]))])
+                    Ok(vec![bb.transform(
+                        name0,
+                        src,
+                        Transform::Reshape(vec![a, b]),
+                    )])
                 }
                 _ => self.ident_headed_exp(bb, name0),
             },
@@ -819,7 +828,10 @@ impl Parser {
             Tok::Ident(name) => {
                 // Calls: sqrt(x), min(a,b), max(a,b), f32(x), i64(x).
                 if *self.peek() == Tok::LParen
-                    && matches!(name.as_str(), "sqrt" | "exp" | "log" | "abs" | "min" | "max" | "f32" | "i64")
+                    && matches!(
+                        name.as_str(),
+                        "sqrt" | "exp" | "log" | "abs" | "min" | "max" | "f32" | "i64"
+                    )
                 {
                     self.bump();
                     let a = self.scalar_expr()?;

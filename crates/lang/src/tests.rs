@@ -5,7 +5,11 @@ use arraymem_exec::{run_program, InputValue, KernelRegistry, Mode};
 fn run_both(
     src: &str,
     inputs: &[InputValue],
-) -> (Vec<arraymem_exec::OutputValue>, arraymem_exec::Stats, arraymem_exec::Stats) {
+) -> (
+    Vec<arraymem_exec::OutputValue>,
+    arraymem_exec::Stats,
+    arraymem_exec::Stats,
+) {
     let elab = parse_program(src).expect("parse");
     let kernels = KernelRegistry::new();
     let unopt = compile(
@@ -42,7 +46,10 @@ fn fig1_in_concrete_syntax() {
     let data: Vec<f32> = (0..n * n).map(|i| i as f32).collect();
     let (out, us, os) = run_both(
         src,
-        &[InputValue::I64(n as i64), InputValue::ArrayF32(data.clone())],
+        &[
+            InputValue::I64(n as i64),
+            InputValue::ArrayF32(data.clone()),
+        ],
     );
     let mut expect = data;
     for i in 0..n {

@@ -177,9 +177,9 @@ impl Summary {
         match (self, other) {
             (Summary::Set(a), _) if a.is_empty() => true,
             (_, Summary::Set(b)) if b.is_empty() => true,
-            (Summary::Set(a), Summary::Set(b)) => a
-                .iter()
-                .all(|x| b.iter().all(|y| non_overlap(x, y, env))),
+            (Summary::Set(a), Summary::Set(b)) => {
+                a.iter().all(|x| b.iter().all(|y| non_overlap(x, y, env)))
+            }
             _ => false,
         }
     }

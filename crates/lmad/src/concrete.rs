@@ -163,8 +163,14 @@ pub fn unrank(mut x: i64, shape: &[i64], out: &mut [i64]) {
 ///   last-to-first.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum AccessClass {
-    Contiguous { base: i64 },
-    RowContiguous { base: i64, row_stride: i64, inner: i64 },
+    Contiguous {
+        base: i64,
+    },
+    RowContiguous {
+        base: i64,
+        row_stride: i64,
+        inner: i64,
+    },
     Strided,
     General,
 }
@@ -313,15 +319,33 @@ mod tests {
     #[test]
     fn footprint_check_finds_smallest_common_offset() {
         // Rows 0..3 of a 6x1 vector vs rows 1..5: overlap starts at 1.
-        let a = ConcreteLmad { offset: 0, dims: vec![(3, 1)] };
-        let b = ConcreteLmad { offset: 1, dims: vec![(4, 1)] };
+        let a = ConcreteLmad {
+            offset: 0,
+            dims: vec![(3, 1)],
+        };
+        let b = ConcreteLmad {
+            offset: 1,
+            dims: vec![(4, 1)],
+        };
         assert_eq!(footprint_check(&a, &b, 1 << 10), FootprintCheck::Overlap(1));
         // Even and odd strided footprints are disjoint.
-        let evens = ConcreteLmad { offset: 0, dims: vec![(5, 2)] };
-        let odds = ConcreteLmad { offset: 1, dims: vec![(5, 2)] };
-        assert_eq!(footprint_check(&evens, &odds, 1 << 10), FootprintCheck::Disjoint);
+        let evens = ConcreteLmad {
+            offset: 0,
+            dims: vec![(5, 2)],
+        };
+        let odds = ConcreteLmad {
+            offset: 1,
+            dims: vec![(5, 2)],
+        };
+        assert_eq!(
+            footprint_check(&evens, &odds, 1 << 10),
+            FootprintCheck::Disjoint
+        );
         // Cap exceeded: undecided, never a wrong verdict.
-        let big = ConcreteLmad { offset: 0, dims: vec![(1 << 20, 1)] };
+        let big = ConcreteLmad {
+            offset: 0,
+            dims: vec![(1 << 20, 1)],
+        };
         assert_eq!(footprint_check(&big, &a, 1 << 10), FootprintCheck::TooLarge);
     }
 

@@ -67,7 +67,9 @@ fn run_with_splits(
     vars.sort();
     vars.dedup();
     for v in vars {
-        let Some(lo) = env.lower_bound(v) else { continue };
+        let Some(lo) = env.lower_bound(v) else {
+            continue;
+        };
         let mut env_eq = env.clone();
         env_eq.define(v, Poly::constant(lo));
         let mut env_gt = env.clone();
@@ -113,7 +115,9 @@ fn run(l1: &Lmad, l2: &Lmad, env: &Env, trace: &mut Vec<String>) -> bool {
         trace.push("fail: a lower bound is not provably non-negative".into());
         return false;
     }
-    trace.push(format!("rewritten as sums of intervals:\n  I1 = {i1}\n  I2 = {i2}"));
+    trace.push(format!(
+        "rewritten as sums of intervals:\n  I1 = {i1}\n  I2 = {i2}"
+    ));
     check(&i1, &i2, env, MAX_SPLIT_DEPTH, trace)
 }
 
@@ -236,22 +240,10 @@ fn absorb(d: Poly, nonneg: bool, i1: &mut SumOfInts, i2: &mut Option<&mut SumOfI
         return true;
     }
     let one = Poly::constant(1);
-    shift_side(
-        if nonneg { d.clone() } else { d },
-        nonneg,
-        &one,
-        i1,
-        i2,
-    )
+    shift_side(if nonneg { d.clone() } else { d }, nonneg, &one, i1, i2)
 }
 
-fn check(
-    i1: &SumOfInts,
-    i2: &SumOfInts,
-    env: &Env,
-    depth: usize,
-    trace: &mut Vec<String>,
-) -> bool {
+fn check(i1: &SumOfInts, i2: &SumOfInts, env: &Env, depth: usize, trace: &mut Vec<String>) -> bool {
     let r1 = i1.dims_nonoverlapping(env);
     let r2 = i2.dims_nonoverlapping(env);
     if r1.is_ok() && r2.is_ok() {

@@ -146,7 +146,9 @@ fn fig3_index_fn_chain() {
     let asn = IndexFn::row_major(&[c(64)]);
     assert_eq!(asn.logical(), &Lmad::new(c(0), vec![dim(c(64), c(1))]));
     // let bs = unflatten 8 8 as     -- ixfn 0 + {(8:8),(8:1)}
-    let bs = asn.transform(&Transform::Reshape(vec![c(8), c(8)])).unwrap();
+    let bs = asn
+        .transform(&Transform::Reshape(vec![c(8), c(8)]))
+        .unwrap();
     assert_eq!(
         bs.logical(),
         &Lmad::new(c(0), vec![dim(c(8), c(8)), dim(c(8), c(1))])
@@ -171,7 +173,11 @@ fn fig3_index_fn_chain() {
     // let es = (flatten ds)[2:]     -- L2 ∘ L1, L1 = 2+{(6:1)}, L2 = 33+{(2:2),(4:8)}
     let flat = ds.transform(&Transform::Reshape(vec![c(8)])).unwrap();
     let es = flat
-        .transform(&Transform::Slice(vec![TripletSlice::range(c(2), c(6), c(1))]))
+        .transform(&Transform::Slice(vec![TripletSlice::range(
+            c(2),
+            c(6),
+            c(1),
+        )]))
         .unwrap();
     assert_eq!(es.lmads.len(), 2);
     assert_eq!(
@@ -232,9 +238,7 @@ fn reverse_is_self_inverse() {
     for i in 0..10 {
         assert_eq!(conc.index(&[i]), 9 - i);
     }
-    let back = r
-        .untransform(&Transform::Reverse(0), &[c(10)])
-        .unwrap();
+    let back = r.untransform(&Transform::Reverse(0), &[c(10)]).unwrap();
     let cb = back.eval(&|_| None).unwrap();
     for i in 0..10 {
         assert_eq!(cb.index(&[i]), i);
@@ -245,10 +249,7 @@ fn reverse_is_self_inverse() {
 fn untransform_permute() {
     // bs = transpose as; if bs is rebased to W, as must get W transposed
     // back.
-    let w = IndexFn::from_lmad(Lmad::new(
-        c(100),
-        vec![dim(c(3), c(7)), dim(c(5), c(50))],
-    ));
+    let w = IndexFn::from_lmad(Lmad::new(c(100), vec![dim(c(3), c(7)), dim(c(5), c(50))]));
     let as_ixfn = w
         .untransform(&Transform::Permute(vec![1, 0]), &[c(5), c(3)])
         .unwrap();
@@ -465,7 +466,10 @@ fn prop_non_overlap_sound() {
                 a.eval(&|_| None).unwrap().points().into_iter().collect();
             let pb = b.eval(&|_| None).unwrap().points();
             for p in pb {
-                assert!(!pa.contains(&p), "claimed disjoint, share {p}\n a={a:?}\n b={b:?}");
+                assert!(
+                    !pa.contains(&p),
+                    "claimed disjoint, share {p}\n a={a:?}\n b={b:?}"
+                );
             }
         }
     }
@@ -542,7 +546,9 @@ fn prop_reshape_semantics() {
         for cols in 1i64..5 {
             let a = IndexFn::row_major(&[c(rows), c(cols)]);
             let rev = a.transform(&Transform::Reverse(1)).unwrap();
-            let f = rev.transform(&Transform::Reshape(vec![c(rows * cols)])).unwrap();
+            let f = rev
+                .transform(&Transform::Reshape(vec![c(rows * cols)]))
+                .unwrap();
             let cf = f.eval(&|_| None).unwrap();
             let cr = rev.eval(&|_| None).unwrap();
             for i in 0..rows * cols {

@@ -164,7 +164,13 @@ fn prop_eval_homomorphism() {
         let p = c(a0) + v("px") * c(a1) + v("py") * c(a2);
         let q = c(b0) + v("px") * c(b1) + v("px") * v("py") * c(b2);
         let lookup = |s: Sym| {
-            if s == sym("px") { Some(x) } else if s == sym("py") { Some(y) } else { None }
+            if s == sym("px") {
+                Some(x)
+            } else if s == sym("py") {
+                Some(y)
+            } else {
+                None
+            }
         };
         let pv = p.eval(lookup).unwrap();
         let qv = q.eval(lookup).unwrap();
@@ -186,7 +192,13 @@ fn prop_subst_eval() {
         let s = p.subst(sym("sx"), &repl);
         let lookup = |sm: Sym| if sm == sym("sy") { Some(xval) } else { None };
         let direct = p
-            .eval(|sm| if sm == sym("sx") { Some(xval + 3) } else { None })
+            .eval(|sm| {
+                if sm == sym("sx") {
+                    Some(xval + 3)
+                } else {
+                    None
+                }
+            })
             .unwrap();
         assert_eq!(s.eval(lookup).unwrap(), direct);
     }
@@ -211,7 +223,13 @@ fn prop_prover_sound() {
             let bv = lo_b + b;
             let val = p
                 .eval(|s| {
-                    if s == sym("pa") { Some(av) } else if s == sym("pb") { Some(bv) } else { None }
+                    if s == sym("pa") {
+                        Some(av)
+                    } else if s == sym("pb") {
+                        Some(bv)
+                    } else {
+                        None
+                    }
                 })
                 .unwrap();
             assert!(val >= 0, "prover claimed nonneg but p({av},{bv}) = {val}");

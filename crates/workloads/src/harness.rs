@@ -1,6 +1,6 @@
 //! The common benchmark-case shape and measurement helpers.
 
-use arraymem_core::{compile, Compiled, Options};
+use arraymem_core::{compile, Compiled, Options, PassRun};
 use arraymem_exec::{InputValue, KernelRegistry, Mode, OutputValue, PlanStats, Session, Stats};
 use arraymem_ir::Program;
 use arraymem_symbolic::Env;
@@ -153,6 +153,10 @@ pub struct Measurement {
     /// build, then a cache hit per repeated run.
     pub unopt_plan: PlanStats,
     pub opt_plan: PlanStats,
+    /// Per-stage pipeline timings of each variant's compile (from
+    /// [`arraymem_core::CompileReport`]), for the mechanism tables.
+    pub unopt_passes: Vec<PassRun>,
+    pub opt_passes: Vec<PassRun>,
 }
 
 impl Measurement {
@@ -235,5 +239,7 @@ pub fn measure_case(case: &Case) -> Measurement {
         opt_stats,
         unopt_plan,
         opt_plan,
+        unopt_passes: unopt.compile_report.passes.clone(),
+        opt_passes: opt.compile_report.passes.clone(),
     }
 }

@@ -36,8 +36,7 @@ fn c(x: i64) -> Poly {
 
 #[inline]
 fn cell_update(t: f32, power: f32, tn: f32, ts: f32, te: f32, tw: f32) -> f32 {
-    t + (1.0 / CAP)
-        * (power + (tn + ts - 2.0 * t) / RY + (te + tw - 2.0 * t) / RX + (AMB - t) / RZ)
+    t + (1.0 / CAP) * (power + (tn + ts - 2.0 * t) / RY + (te + tw - 2.0 * t) / RX + (AMB - t) / RZ)
 }
 
 /// Neighbour with boundary clamping.

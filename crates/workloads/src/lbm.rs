@@ -182,7 +182,11 @@ pub fn program() -> (Program, Env) {
     let nz = bld.scalar_param("lbm_nz", ElemType::I64);
     let steps = bld.scalar_param("lbm_steps", ElemType::I64);
     let cells = p(nx) * p(ny) * p(nz);
-    let f0 = bld.array_param("lbm_f", ElemType::F32, vec![cells.clone(), Poly::constant(19)]);
+    let f0 = bld.array_param(
+        "lbm_f",
+        ElemType::F32,
+        vec![cells.clone(), Poly::constant(19)],
+    );
     let mut body = bld.block();
 
     let param = body.loop_param("F", f0);
@@ -195,11 +199,7 @@ pub fn program() -> (Program, Env) {
         vec![Poly::constant(19)],
         ElemType::F32,
         vec![param],
-        vec![
-            ScalarExp::var(nx),
-            ScalarExp::var(ny),
-            ScalarExp::var(nz),
-        ],
+        vec![ScalarExp::var(nx), ScalarExp::var(ny), ScalarExp::var(nz)],
         vec![0],
     );
     let lbody = lb.finish(vec![fnext]);
@@ -263,8 +263,5 @@ pub type Dataset = (&'static str, (usize, usize, usize), usize, usize);
 
 /// The paper's Table IV datasets (Parboil "short"/"long"), scaled.
 pub fn datasets() -> Vec<Dataset> {
-    vec![
-        ("short", (32, 32, 16), 3, 4),
-        ("long", (32, 32, 16), 30, 2),
-    ]
+    vec![("short", (32, 32, 16), 3, 4), ("long", (32, 32, 16), 30, 2)]
 }

@@ -16,8 +16,8 @@ pub mod data;
 pub mod harness;
 pub mod hotspot;
 pub mod lbm;
-pub mod lud;
 pub mod locvolcalib;
+pub mod lud;
 pub mod nn;
 pub mod nw;
 pub mod optionpricing;

@@ -304,5 +304,9 @@ pub fn case(label: &str, q: usize, b: usize, runs: usize) -> Case {
 /// The paper's Table I datasets, scaled (see EXPERIMENTS.md).
 pub fn datasets() -> Vec<(&'static str, usize, usize, usize)> {
     // (label, q, b, runs)
-    vec![("1024", 64, 16, 5), ("2048", 128, 16, 3), ("4096", 256, 16, 2)]
+    vec![
+        ("1024", 64, 16, 5),
+        ("2048", 128, 16, 3),
+        ("4096", 256, 16, 2),
+    ]
 }

@@ -32,7 +32,8 @@ fn c(x: i64) -> Poly {
 #[inline]
 fn gaussian(path: i64, step: i64) -> f32 {
     let mut acc = 0f32;
-    let mut h = (path as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ (step as u64).wrapping_mul(0xD1B54A32D192ED03);
+    let mut h = (path as u64).wrapping_mul(0x9E3779B97F4A7C15)
+        ^ (step as u64).wrapping_mul(0xD1B54A32D192ED03);
     for _ in 0..4 {
         h ^= h >> 33;
         h = h.wrapping_mul(0xFF51AFD7ED558CCD);

@@ -5,7 +5,10 @@ fn nw_small_validates_and_circuits() {
     let case = nw::case("tiny", 4, 4, 2);
     let (unopt, opt) = case.validate();
     assert!(unopt.bytes_copied > 0, "unopt NW must copy blocks");
-    assert_eq!(opt.bytes_copied, 0, "opt NW must elide all block copies: {opt}");
+    assert_eq!(
+        opt.bytes_copied, 0,
+        "opt NW must elide all block copies: {opt}"
+    );
     assert!(opt.bytes_elided > 0);
 }
 
@@ -100,6 +103,8 @@ fn all_workloads_run_clean_under_checked_mode() {
     }
     // The footprint cross-check must actually engage somewhere in the
     // suite — a cross-check that never evaluates proves nothing.
-    assert!(circuits_verified > 0, "no short-circuit check was concretely verified");
+    assert!(
+        circuits_verified > 0,
+        "no short-circuit check was concretely verified"
+    );
 }
-

@@ -21,7 +21,11 @@ fn main() {
         println!(
             "  part {} -> {}",
             c.root,
-            if c.succeeded { "built in the result grid" } else { &c.reason }
+            if c.succeeded {
+                "built in the result grid"
+            } else {
+                &c.reason
+            }
         );
     }
 

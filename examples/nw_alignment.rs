@@ -29,7 +29,10 @@ fn main() {
             if c.succeeded { "elided" } else { &c.reason }
         );
     }
-    println!("  mapnests building blocks in place: {}\n", opt.report.in_place_maps);
+    println!(
+        "  mapnests building blocks in place: {}\n",
+        opt.report.in_place_maps
+    );
 
     let m = measure_case(&case);
     println!(

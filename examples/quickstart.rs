@@ -22,7 +22,10 @@ fn main() {
 
     // The diagonal of the flattened n×n matrix, as a generalized LMAD
     // slice: offset 0, n points, stride n+1.
-    let diag_lmad = Lmad::new(0, vec![Dim::new(Poly::var(n), Poly::var(n) + Poly::constant(1))]);
+    let diag_lmad = Lmad::new(
+        0,
+        vec![Dim::new(Poly::var(n), Poly::var(n) + Poly::constant(1))],
+    );
     let diag = body.slice("diag", a, Transform::LmadSlice(diag_lmad.clone()));
     let row = body.slice(
         "row",
@@ -30,14 +33,20 @@ fn main() {
         Transform::LmadSlice(Lmad::new(0, vec![Dim::new(Poly::var(n), 1)])),
     );
     // X = map2 (λd r → d + r) diag row
-    let x = body.map_lambda("X", Poly::var(n), vec![diag, row], ElemType::F32, |lb, ps| {
-        let s = lb.scalar(
-            "s",
-            ElemType::F32,
-            ScalarExp::bin(BinOp::Add, ScalarExp::var(ps[0]), ScalarExp::var(ps[1])),
-        );
-        vec![s]
-    });
+    let x = body.map_lambda(
+        "X",
+        Poly::var(n),
+        vec![diag, row],
+        ElemType::F32,
+        |lb, ps| {
+            let s = lb.scalar(
+                "s",
+                ElemType::F32,
+                ScalarExp::bin(BinOp::Add, ScalarExp::var(ps[0]), ScalarExp::var(ps[1])),
+            );
+            vec![s]
+        },
+    );
     // A[diagonal] = X
     let a2 = body.update("A2", a, SliceSpec::Lmad(diag_lmad), x);
     let program = b.finish(body.finish(vec![a2]));
@@ -48,20 +57,21 @@ fn main() {
     // ---- 2. Compile twice: without and with short-circuiting.
     let mut env = Env::new();
     env.assume_ge(n, 1);
-    let unopt = compile(
-        &program,
-        &Options::default().with_env(env.clone()),
-    )
-    .unwrap();
-    let opt = compile(
-        &program,
-        &Options::optimized().with_env(env),
-    )
-    .unwrap();
+    let unopt = compile(&program, &Options::default().with_env(env.clone())).unwrap();
+    let opt = compile(&program, &Options::optimized().with_env(env)).unwrap();
 
     println!("=== Short-circuiting report ===");
     for c in &opt.report.candidates {
-        println!("  {} -> {} ({})", c.root, if c.succeeded { "SHORT-CIRCUITED" } else { "kept" }, c.reason);
+        println!(
+            "  {} -> {} ({})",
+            c.root,
+            if c.succeeded {
+                "SHORT-CIRCUITED"
+            } else {
+                "kept"
+            },
+            c.reason
+        );
     }
 
     println!("\n=== Optimized program (X now lives in A's memory) ===");
@@ -78,8 +88,12 @@ fn main() {
     let mut session = Session::new();
     let hu = session.prepare(&unopt.program, &kernels).unwrap();
     let ho = session.prepare(&opt.program, &kernels).unwrap();
-    let (out_u, stats_u) = session.run_plan(hu, &inputs, &kernels, Mode::Memory, 1).unwrap();
-    let (out_o, stats_o) = session.run_plan(ho, &inputs, &kernels, Mode::Memory, 1).unwrap();
+    let (out_u, stats_u) = session
+        .run_plan(hu, &inputs, &kernels, Mode::Memory, 1)
+        .unwrap();
+    let (out_o, stats_o) = session
+        .run_plan(ho, &inputs, &kernels, Mode::Memory, 1)
+        .unwrap();
     assert_eq!(out_u, out_o, "same results either way");
     // A second prepare of the same program is a cache hit — no re-lowering.
     assert_eq!(session.prepare(&opt.program, &kernels).unwrap(), ho);

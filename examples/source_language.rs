@@ -41,6 +41,25 @@ fn main() {
             if c.succeeded { "elided" } else { &c.reason }
         );
     }
+    // The pipeline's structured remark stream (the `-Rpass` analogue):
+    // every stage's decisions, anchored at statements, plus per-stage
+    // timings. `ARRAYMEM_PRINT_IR=1` additionally dumps the IR after
+    // every stage.
+    println!("--- optimization remarks ---");
+    for r in &opt.compile_report.remarks {
+        println!("  {r}");
+    }
+    println!("--- pipeline ---");
+    for p in &opt.compile_report.passes {
+        println!(
+            "  {:<13} {:>8.3}ms | stms {:>2} -> {:>2} | remarks {}",
+            p.name,
+            p.time.as_secs_f64() * 1e3,
+            p.before.stms,
+            p.after.stms,
+            p.remarks
+        );
+    }
 
     let n = 4usize;
     let data: Vec<f32> = (0..n * n).map(|i| i as f32).collect();

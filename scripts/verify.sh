@@ -9,6 +9,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== format (rustfmt, check only) =="
+cargo fmt --check
+
 echo "== build (release, offline) =="
 cargo build --release --offline --workspace
 
@@ -29,5 +32,11 @@ cargo run --release --offline -p arraymem-bench --bin tables -- --smoke --check
 
 echo "== checked fuzz smoke (500 random programs under the sanitizer) =="
 cargo test --release --offline -p arraymem-bench --test differential_fuzz -q
+
+echo "== per-pass IR snapshots (NW, interleaved IR validation forced on) =="
+# ARRAYMEM_VERIFY_IR re-runs the full structural+memory validator after
+# every pipeline stage even in this release build; a violation panics
+# naming the offending pass.
+ARRAYMEM_VERIFY_IR=1 cargo test --release --offline -p arraymem-bench --test pass_snapshots -q
 
 echo "== verify: OK =="

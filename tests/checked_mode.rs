@@ -71,7 +71,11 @@ fn static_check_rejects_the_overlapping_update() {
             .collect::<Vec<_>>()
     );
     // No forced candidates without the hook.
-    assert!(!normal.report.candidates.iter().any(|c| c.reason.contains("forced")));
+    assert!(!normal
+        .report
+        .candidates
+        .iter()
+        .any(|c| c.reason.contains("forced")));
 }
 
 #[test]
@@ -86,11 +90,18 @@ fn forced_illegal_short_circuit_is_caught_by_the_footprint_cross_check() {
     )
     .expect("compile");
     assert!(
-        forced.report.candidates.iter().any(|c| c.reason.contains("forced")),
+        forced
+            .report
+            .candidates
+            .iter()
+            .any(|c| c.reason.contains("forced")),
         "the hook must push the failing candidate through"
     );
     let checks: Vec<_> = forced.report.checks().cloned().collect();
-    assert!(!checks.is_empty(), "forced circuits must still record their footprints");
+    assert!(
+        !checks.is_empty(),
+        "forced circuits must still record their footprints"
+    );
     let kernels = KernelRegistry::new();
     let (_, stats) = Session::new()
         .run_with_checks(&forced.program, &[], &kernels, Mode::Checked, 1, &checks)
@@ -100,12 +111,21 @@ fn forced_illegal_short_circuit_is_caught_by_the_footprint_cross_check() {
         _ => None,
     });
     let (stm, _root) = hit.unwrap_or_else(|| {
-        panic!("expected a CircuitOverlap diagnostic; got {:?}", stats.diagnostics)
+        panic!(
+            "expected a CircuitOverlap diagnostic; got {:?}",
+            stats.diagnostics
+        )
     });
-    assert!(stm.contains("xss2"), "diagnostic must name the circuit statement: {stm}");
+    assert!(
+        stm.contains("xss2"),
+        "diagnostic must name the circuit statement: {stm}"
+    );
     // The rendered finding names statement, offset, and both footprints.
     let shown = format!("{}", &stats.diagnostics[0]);
-    assert!(shown.contains("offset") && shown.contains("intersects"), "{shown}");
+    assert!(
+        shown.contains("offset") && shown.contains("intersects"),
+        "{shown}"
+    );
 }
 
 #[test]
@@ -141,9 +161,15 @@ fn reading_a_recycled_never_written_block_is_an_uninit_read() {
             _ => None,
         })
         .unwrap_or_else(|| {
-            panic!("expected an UninitRead on the recycled block; got {:?}", second.diagnostics)
+            panic!(
+                "expected an UninitRead on the recycled block; got {:?}",
+                second.diagnostics
+            )
         });
-    assert!(stm.contains('y'), "diagnostic must blame the reading statement: {stm}");
+    assert!(
+        stm.contains('y'),
+        "diagnostic must blame the reading statement: {stm}"
+    );
 }
 
 #[test]
@@ -166,21 +192,32 @@ fn skewed_release_plan_triggers_use_after_release() {
     // …the skewed plan is not.
     let plan = ReleasePlan::compute_skewed_early(&compiled.program);
     let (_, skewed) = Session::new()
-        .run_with_plan(&compiled.program, &[], &kernels, Mode::Checked, 1, &[], &plan)
+        .run_with_plan(
+            &compiled.program,
+            &[],
+            &kernels,
+            Mode::Checked,
+            1,
+            &[],
+            &plan,
+        )
         .expect("skewed run");
     let (stm, released_after) = skewed
         .diagnostics
         .iter()
         .find_map(|d| match d {
-            Diagnostic::UseAfterRelease { stm, released_after, .. } => {
-                Some((stm.clone(), released_after.clone()))
-            }
+            Diagnostic::UseAfterRelease {
+                stm,
+                released_after,
+                ..
+            } => Some((stm.clone(), released_after.clone())),
             _ => None,
         })
-        .unwrap_or_else(|| {
-            panic!("expected a UseAfterRelease; got {:?}", skewed.diagnostics)
-        });
-    assert!(stm.contains('c'), "the second copy does the bad read: {stm}");
+        .unwrap_or_else(|| panic!("expected a UseAfterRelease; got {:?}", skewed.diagnostics));
+    assert!(
+        stm.contains('c'),
+        "the second copy does the bad read: {stm}"
+    );
     assert!(
         released_after.contains('b'),
         "the release fired after the first copy: {released_after}"
@@ -221,12 +258,19 @@ fn overlapping_map_result_layout_is_a_map_race() {
         .run_with_checks(&compiled.program, &[], &kernels, Mode::Checked, 1, &[])
         .expect("checked run");
     let hit = stats.diagnostics.iter().find_map(|d| match d {
-        Diagnostic::MapRace { stm, iter_a, iter_b, .. } => Some((stm.clone(), *iter_a, *iter_b)),
+        Diagnostic::MapRace {
+            stm,
+            iter_a,
+            iter_b,
+            ..
+        } => Some((stm.clone(), *iter_a, *iter_b)),
         _ => None,
     });
-    let (stm, ia, ib) = hit.unwrap_or_else(|| {
-        panic!("expected a MapRace diagnostic; got {:?}", stats.diagnostics)
-    });
-    assert!(stm.contains('m'), "diagnostic must name the map statement: {stm}");
+    let (stm, ia, ib) =
+        hit.unwrap_or_else(|| panic!("expected a MapRace diagnostic; got {:?}", stats.diagnostics));
+    assert!(
+        stm.contains('m'),
+        "diagnostic must name the map statement: {stm}"
+    );
     assert!(ia != ib, "the two colliding iterations must differ");
 }

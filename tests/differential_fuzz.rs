@@ -89,7 +89,11 @@ impl Gen {
             ScalarExp::i64(self.fill * 7),
         );
         let class = self.fresh_class();
-        GenArray { var: v, shape, class }
+        GenArray {
+            var: v,
+            shape,
+            class,
+        }
     }
 
     fn random_shape(&mut self) -> Vec<i64> {
@@ -109,19 +113,29 @@ impl Gen {
                 let n = self.rng.i64_incl(1, 8);
                 let v = self.body.iota("g_iota", c(n));
                 let class = self.fresh_class();
-                self.pool.push(GenArray { var: v, shape: vec![n], class });
+                self.pool.push(GenArray {
+                    var: v,
+                    shape: vec![n],
+                    class,
+                });
             }
             2 => {
                 if let Some(src) = self.pick() {
                     let v = self.body.copy("g_copy", src.var);
                     let class = self.fresh_class();
-                    self.pool.push(GenArray { var: v, shape: src.shape, class });
+                    self.pool.push(GenArray {
+                        var: v,
+                        shape: src.shape,
+                        class,
+                    });
                 }
             }
             3 => {
                 // Permute a rank-2 array.
                 if let Some(src) = self.pick_rank(2) {
-                    let v = self.body.transform("g_perm", src.var, Transform::Permute(vec![1, 0]));
+                    let v = self
+                        .body
+                        .transform("g_perm", src.var, Transform::Permute(vec![1, 0]));
                     self.pool.push(GenArray {
                         var: v,
                         shape: vec![src.shape[1], src.shape[0]],
@@ -133,7 +147,11 @@ impl Gen {
                 if let Some(src) = self.pick() {
                     let d = self.rng.usize_in(src.shape.len());
                     let v = self.body.transform("g_rev", src.var, Transform::Reverse(d));
-                    self.pool.push(GenArray { var: v, shape: src.shape, class: src.class });
+                    self.pool.push(GenArray {
+                        var: v,
+                        shape: src.shape,
+                        class: src.class,
+                    });
                 }
             }
             5 => {
@@ -143,24 +161,38 @@ impl Gen {
                     let mut shape = Vec::new();
                     for &d in &src.shape {
                         let start = self.rng.i64_in(0, d);
-                        let step = if d - start >= 3 && self.rng.chance(0.3) { 2 } else { 1 };
+                        let step = if d - start >= 3 && self.rng.chance(0.3) {
+                            2
+                        } else {
+                            1
+                        };
                         let max_len = (d - start + step - 1) / step;
                         let len = self.rng.i64_incl(1, max_len);
                         ts.push(TripletSlice::range(c(start), c(len), c(step)));
                         shape.push(len);
                     }
-                    let v = self.body.transform("g_slice", src.var, Transform::Slice(ts));
-                    self.pool.push(GenArray { var: v, shape, class: src.class });
+                    let v = self
+                        .body
+                        .transform("g_slice", src.var, Transform::Slice(ts));
+                    self.pool.push(GenArray {
+                        var: v,
+                        shape,
+                        class: src.class,
+                    });
                 }
             }
             6 => {
                 // Flatten a rank-2 array.
                 if let Some(src) = self.pick_rank(2) {
                     let total = src.shape[0] * src.shape[1];
-                    let v = self
-                        .body
-                        .transform("g_flat", src.var, Transform::Reshape(vec![c(total)]));
-                    self.pool.push(GenArray { var: v, shape: vec![total], class: src.class });
+                    let v =
+                        self.body
+                            .transform("g_flat", src.var, Transform::Reshape(vec![c(total)]));
+                    self.pool.push(GenArray {
+                        var: v,
+                        shape: vec![total],
+                        class: src.class,
+                    });
                 }
             }
             7 => {
@@ -189,7 +221,11 @@ impl Gen {
                         },
                     );
                     let class = self.fresh_class();
-                    self.pool.push(GenArray { var: v, shape: src.shape, class });
+                    self.pool.push(GenArray {
+                        var: v,
+                        shape: src.shape,
+                        class,
+                    });
                 }
             }
             8 => {
@@ -209,8 +245,9 @@ impl Gen {
                 let src_var = if sshape.len() == 1 && self.rng.chance(0.4) {
                     // A layout transform between the fresh array and the
                     // circuit point exercises web rebasing.
-                    
-                    self.body.transform("g_src_rev", src.var, Transform::Reverse(0))
+
+                    self.body
+                        .transform("g_src_rev", src.var, Transform::Reverse(0))
                 } else {
                     src.var
                 };
@@ -228,7 +265,11 @@ impl Gen {
                     .update("g_upd", dst.var, SliceSpec::Triplet(ts), src_var);
                 // The destination's whole alias class is consumed.
                 self.pool.retain(|a| a.class != dst.class);
-                self.pool.push(GenArray { var: v, shape: dst.shape, class: dst.class });
+                self.pool.push(GenArray {
+                    var: v,
+                    shape: dst.shape,
+                    class: dst.class,
+                });
             }
             9 => {
                 // Concat along the outer dimension: the first pick sets
@@ -242,7 +283,9 @@ impl Gen {
                 let compatible: Vec<GenArray> = self
                     .pool
                     .iter()
-                    .filter(|a| a.shape.len() == first.shape.len() && a.shape[1..] == first.shape[1..])
+                    .filter(|a| {
+                        a.shape.len() == first.shape.len() && a.shape[1..] == first.shape[1..]
+                    })
                     .cloned()
                     .collect();
                 let extra = self.rng.i64_incl(1, 2);
@@ -255,7 +298,11 @@ impl Gen {
                 let mut shape = first.shape.clone();
                 shape[0] = outer;
                 let class = self.fresh_class();
-                self.pool.push(GenArray { var: v, shape, class });
+                self.pool.push(GenArray {
+                    var: v,
+                    shape,
+                    class,
+                });
             }
             10 => {
                 // Rotate a rank-1 array by k: concat of its two halves.
@@ -279,7 +326,11 @@ impl Gen {
                 );
                 let v = self.body.concat("g_rot", vec![hi, lo]);
                 let class = self.fresh_class();
-                self.pool.push(GenArray { var: v, shape: vec![d], class });
+                self.pool.push(GenArray {
+                    var: v,
+                    shape: vec![d],
+                    class,
+                });
             }
             11 => {
                 // Nested mapnest: the outer lambda body runs an inner map
@@ -288,7 +339,9 @@ impl Gen {
                 // allocate and release per outer iteration, and the
                 // gather-style `Index` read crosses scopes.
                 let Some(src) = self.pick_rank(1) else { return };
-                let Some(other) = self.pick_rank(1) else { return };
+                let Some(other) = self.pick_rank(1) else {
+                    return;
+                };
                 let m = other.shape[0];
                 let j = self.rng.i64_in(0, m);
                 let other_var = other.var;
@@ -329,7 +382,11 @@ impl Gen {
                     },
                 );
                 let class = self.fresh_class();
-                self.pool.push(GenArray { var: v, shape: src.shape, class });
+                self.pool.push(GenArray {
+                    var: v,
+                    shape: src.shape,
+                    class,
+                });
             }
             _ => unreachable!(),
         }
@@ -379,23 +436,20 @@ fn run_all_modes(
     prog: &Program,
     checked_session: &mut Session,
     label: &str,
-) -> (Vec<OutputValue>, Vec<OutputValue>, Vec<OutputValue>, u64, u64) {
+) -> (
+    Vec<OutputValue>,
+    Vec<OutputValue>,
+    Vec<OutputValue>,
+    u64,
+    u64,
+) {
     let kernels = KernelRegistry::new();
-    let unopt = compile(
-        prog,
-        &Options::default(),
-    )
-    .expect("unopt compile");
-    let opt = compile(
-        prog,
-        &Options::optimized(),
-    )
-    .expect("opt compile");
+    let unopt = compile(prog, &Options::default()).expect("unopt compile");
+    let opt = compile(prog, &Options::optimized()).expect("opt compile");
     let (pure_out, _) = run_program(prog, &[], &kernels, Mode::Pure, 1).expect("pure");
     let (u_out, u_stats) =
         run_program(&unopt.program, &[], &kernels, Mode::Memory, 1).expect("unopt");
-    let (o_out, o_stats) =
-        run_program(&opt.program, &[], &kernels, Mode::Memory, 1).expect("opt");
+    let (o_out, o_stats) = run_program(&opt.program, &[], &kernels, Mode::Memory, 1).expect("opt");
     // Fourth leg: the optimized program under the shadow-memory
     // sanitizer, in a session shared across the whole corpus so this
     // program's allocations recycle earlier programs' released blocks.
@@ -410,7 +464,13 @@ fn run_all_modes(
         c_stats.diagnostics.is_empty() && c_stats.diagnostics_suppressed == 0,
         "sanitizer fired on {label}:\n{c_stats}"
     );
-    (pure_out, u_out, o_out, u_stats.bytes_copied, o_stats.bytes_copied)
+    (
+        pure_out,
+        u_out,
+        o_out,
+        u_stats.bytes_copied,
+        o_stats.bytes_copied,
+    )
 }
 
 /// The paper's central invariant, fuzzed: every random program means
@@ -425,9 +485,10 @@ fn prop_three_way_equivalence() {
     for _ in 0..scale(200, 1000) {
         let seed = meta.next_u64();
         let len = meta.usize_in(13) + 3;
-        let Some(prog) = random_program(seed, len) else { continue };
-        arraymem_ir::validate::validate(&prog)
-            .expect("generator must produce valid programs");
+        let Some(prog) = random_program(seed, len) else {
+            continue;
+        };
+        arraymem_ir::validate::validate(&prog).expect("generator must produce valid programs");
         let label = format!("seed {seed}, len {len}");
         let (pure_out, u_out, o_out, u_copied, o_copied) =
             run_all_modes(&prog, &mut checked, &label);
@@ -448,7 +509,9 @@ fn seeded_sweep() {
     let mut elisions = 0u64;
     let mut checked = Session::new();
     for seed in 0..n {
-        let Some(prog) = random_program(seed, 10) else { continue };
+        let Some(prog) = random_program(seed, 10) else {
+            continue;
+        };
         let label = format!("seed {seed}");
         let (pure_out, u_out, o_out, u_copied, o_copied) =
             run_all_modes(&prog, &mut checked, &label);
@@ -466,4 +529,3 @@ fn seeded_sweep() {
         "only {elisions}/{n} random programs exercised short-circuiting"
     );
 }
-

@@ -24,11 +24,8 @@ fn nw_both_halves_circuit() {
 #[test]
 fn nw_without_env_fails_conservatively() {
     let case = w::nw::case("r", 6, 4, 2);
-    let compiled = arraymem_core::compile(
-        &case.program,
-        &arraymem_core::Options::optimized(),
-    )
-    .unwrap();
+    let compiled =
+        arraymem_core::compile(&case.program, &arraymem_core::Options::optimized()).unwrap();
     assert_eq!(compiled.report.successes(), 0);
     // And it still computes the right answer.
     let (out, _) = arraymem_exec::run_program(
@@ -52,6 +49,12 @@ fn lud_diagonal_fails_perimeter_and_interior_succeed() {
         .filter(|c| c.root.starts_with("diagX") && !c.succeeded)
         .count();
     assert_eq!(diag_fails, 1, "{:?}", r.candidates);
+    // Every failed candidate carries a structured rejection kind, not
+    // just a prose reason.
+    assert!(r
+        .candidates
+        .iter()
+        .all(|c| c.succeeded || c.rejection.is_some()));
     let successes: Vec<&str> = r
         .candidates
         .iter()
@@ -99,6 +102,60 @@ fn locvolcalib_mapnest_is_in_place() {
     assert!(r.in_place_maps >= 1);
 }
 
+/// The pipeline's own report: every enabled stage runs, in its declared
+/// order, and each [`arraymem_core::PassRun`] carries before/after stats.
+#[test]
+fn compile_report_lists_stages_in_order_with_timings() {
+    let case = w::nw::case("r", 6, 4, 2);
+    let compiled = case.compile(true);
+    let names: Vec<&str> = compiled
+        .compile_report
+        .passes
+        .iter()
+        .map(|p| p.name)
+        .collect();
+    assert_eq!(
+        names,
+        [
+            "introduce",
+            "antiunify",
+            "hoist",
+            "short_circuit",
+            "cleanup",
+            "release"
+        ],
+        "standard pipeline stage order"
+    );
+    let intro = compiled.compile_report.pass("introduce").unwrap();
+    assert!(
+        intro.after.allocs > intro.before.allocs,
+        "introduce must insert allocs: {:?} -> {:?}",
+        intro.before,
+        intro.after
+    );
+    let sc = compiled.compile_report.pass("short_circuit").unwrap();
+    assert!(
+        sc.after.elided_updates > sc.before.elided_updates,
+        "short_circuit must elide NW's updates: {:?} -> {:?}",
+        sc.before,
+        sc.after
+    );
+    assert!(compiled.compile_report.total_time >= intro.time);
+    // An unoptimized compile skips the short-circuit stage entirely.
+    let unopt = case.compile(false);
+    assert!(unopt.compile_report.pass("short_circuit").is_none());
+    assert!(unopt.compile_report.pass("introduce").is_some());
+    // And the two configurations stamp different pipeline fingerprints.
+    assert_ne!(
+        compiled.program.pipeline_fingerprint,
+        unopt.program.pipeline_fingerprint
+    );
+    assert_eq!(
+        compiled.program.pipeline_fingerprint,
+        compiled.compile_report.pipeline_fingerprint
+    );
+}
+
 /// Compile-time sanity: short-circuiting adds bounded overhead (the paper
 /// reports ~10%, with NW the worst at 17s due to the SMT solver; our
 /// symbolic engine stays well under a second even for NW).
@@ -128,13 +185,26 @@ fn ablation_no_hoisting_defeats_hotspot_concat() {
     )
     .unwrap();
     // Without hoisting, the concat's allocation comes after the parts'
-    // definitions: safety property 2 fails for all three.
-    assert_eq!(compiled.report.successes(), 0, "{:?}", compiled.report.candidates);
+    // definitions: safety property 2 fails for all three — and the
+    // structured rejection says so, machine-readably.
+    assert_eq!(
+        compiled.report.successes(),
+        0,
+        "{:?}",
+        compiled.report.candidates
+    );
     assert!(compiled
         .report
         .candidates
         .iter()
-        .all(|c| c.reason.contains("not allocated")));
+        .all(|c| c.rejection == Some(arraymem_core::RejectReason::DestinationNotAllocated)));
+    // The same rejections surface as pipeline remarks anchored at the
+    // candidates' statements.
+    let rejected: Vec<_> = compiled.compile_report.rejections().collect();
+    assert_eq!(rejected.len(), compiled.report.candidates.len());
+    assert!(rejected.iter().all(|(r, kind)| r.pass == "short_circuit"
+        && r.stm.is_some()
+        && *kind == arraymem_core::RejectReason::DestinationNotAllocated));
     // Still correct.
     let (out, _) = arraymem_exec::run_program(
         &compiled.program,

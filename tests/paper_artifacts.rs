@@ -64,7 +64,11 @@ fn all_tables_quick() {
     for spec in arraymem_bench::all_tables() {
         let out = arraymem_bench::tables::run_table(&spec, arraymem_bench::RunMode::Quick)
             .expect("known benchmark");
-        assert!(out.contains("Opt. Impact"), "table {} malformed", spec.number);
+        assert!(
+            out.contains("Opt. Impact"),
+            "table {} malformed",
+            spec.number
+        );
         assert!(
             out.contains("blocks_reused") && out.contains("pool_dispatches"),
             "table {} lacks substrate mechanism rows",

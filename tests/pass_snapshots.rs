@@ -1,0 +1,70 @@
+//! Golden per-pass IR snapshots for NW: the program as each pipeline
+//! stage leaves it, pretty-printed with freshness suffixes scrubbed so
+//! the text is stable across runs. Catches an unintended change to *any*
+//! stage's output as a readable diff against the stage that drifted.
+//! Regenerate with `ARRAYMEM_BLESS=1 cargo test -p arraymem-bench --test
+//! pass_snapshots`.
+
+use arraymem_core::{compile_observed, Options};
+use arraymem_ir::pretty::{program_to_string, scrub_uniques};
+use arraymem_workloads as w;
+
+#[test]
+fn nw_ir_snapshots_per_pass() {
+    let case = w::nw::case("snap", 2, 3, 1);
+    let mut stages: Vec<(String, String)> = Vec::new();
+    let compiled = compile_observed(
+        &case.program,
+        &Options::optimized().with_env(case.env.clone()),
+        &mut |stage, prog| {
+            stages.push((stage.to_string(), scrub_uniques(&program_to_string(prog))));
+        },
+    )
+    .expect("compile");
+    // The optimized pipeline visits every stage, in its declared order,
+    // starting from the raw input.
+    let names: Vec<&str> = stages.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            "input",
+            "introduce",
+            "antiunify",
+            "hoist",
+            "short_circuit",
+            "cleanup",
+            "release"
+        ],
+        "observed stage sequence"
+    );
+    // NW's two update candidates both circuit on this dataset — the
+    // snapshots below capture the elisions, so make sure they happened.
+    assert_eq!(compiled.report.successes(), 2);
+
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/snapshots");
+    let bless = std::env::var_os("ARRAYMEM_BLESS").is_some();
+    let mut drifted = Vec::new();
+    for (idx, (stage, got)) in stages.iter().enumerate() {
+        let path = dir.join(format!("nw_ir_{idx}_{stage}.txt"));
+        if bless {
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(&path, got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("missing snapshot {path:?} ({e}); run with ARRAYMEM_BLESS=1 to create it")
+        });
+        if *got != want {
+            drifted.push(format!(
+                "stage `{stage}` drifted from {path:?}:\n--- got ---\n{got}\n--- want ---\n{want}"
+            ));
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "{} stage snapshot(s) drifted; re-bless with ARRAYMEM_BLESS=1 if \
+         the change is intentional.\n\n{}",
+        drifted.len(),
+        drifted.join("\n")
+    );
+}

@@ -11,14 +11,8 @@ fn check(case: &w::Case) {
     // Reference vs both memory-mode variants.
     let (u_stats, o_stats) = case.validate();
     // Pure mode vs reference, on the *source* program.
-    let (pure_out, _) = run_program(
-        &case.program,
-        &case.inputs,
-        &case.kernels,
-        Mode::Pure,
-        1,
-    )
-    .expect("pure run");
+    let (pure_out, _) =
+        run_program(&case.program, &case.inputs, &case.kernels, Mode::Pure, 1).expect("pure run");
     let (_, expect) = (case.reference)(&case.inputs);
     for (e, p) in expect.iter().zip(&pure_out) {
         assert!(

@@ -30,8 +30,14 @@ fn fresh_vs_cached(mode: Mode) {
         };
         let (cold_out, cold_stats) = run(&mut session);
         let (warm_out, warm_stats) = run(&mut session);
-        assert!(!cold_stats.plan_cache_hit, "{benchmark}: first prepare must lower");
-        assert!(warm_stats.plan_cache_hit, "{benchmark}: second prepare must hit the cache");
+        assert!(
+            !cold_stats.plan_cache_hit,
+            "{benchmark}: first prepare must lower"
+        );
+        assert!(
+            warm_stats.plan_cache_hit,
+            "{benchmark}: second prepare must hit the cache"
+        );
         assert_eq!(
             cold_out, warm_out,
             "{benchmark}: cache-hit run diverged from the cold run ({mode:?})"
@@ -73,10 +79,93 @@ fn distinct_programs_do_not_collide() {
     let ha = session.prepare(&ca.program, &a.kernels).expect("prepare a");
     let hb = session.prepare(&cb.program, &b.kernels).expect("prepare b");
     assert_ne!(ha, hb, "different programs must not share a plan");
-    assert_eq!(session.prepare(&ca.program, &a.kernels).expect("re-prepare a"), ha);
-    assert_eq!(session.prepare(&cb.program, &b.kernels).expect("re-prepare b"), hb);
+    assert_eq!(
+        session
+            .prepare(&ca.program, &a.kernels)
+            .expect("re-prepare a"),
+        ha
+    );
+    assert_eq!(
+        session
+            .prepare(&cb.program, &b.kernels)
+            .expect("re-prepare b"),
+        hb
+    );
     let stats = session.plan_stats();
     assert_eq!((stats.builds, stats.cache_hits), (2, 2));
+}
+
+/// The pipeline fingerprint is part of the plan-cache key: two compiles
+/// of the *same source program* under different pass configurations must
+/// not share a cached plan, even when the optimized IR happens to be
+/// identical. A trivial program (`iota` and return) is unchanged by every
+/// pass, so only the fingerprint distinguishes the variants.
+#[test]
+fn pass_configuration_is_part_of_the_cache_key() {
+    use arraymem_core::{compile, Options};
+    use arraymem_ir::{Builder, ElemType};
+    use arraymem_symbolic::Poly;
+
+    let mut b = Builder::new("trivial");
+    let n = b.scalar_param("n", ElemType::I64);
+    let mut body = b.block();
+    let a = body.iota("a", Poly::var(n));
+    let blk = body.finish(vec![a]);
+    let prog = b.finish(blk);
+    let variants: Vec<Options> = vec![
+        Options::default(),
+        Options {
+            hoist: false,
+            ..Options::default()
+        },
+        Options::optimized(),
+        Options {
+            mapnest_in_place: false,
+            ..Options::optimized()
+        },
+    ];
+    let compiled: Vec<_> = variants
+        .iter()
+        .map(|o| compile(&prog, o).expect("compile"))
+        .collect();
+    // The program is untouched by every pass (modulo freshness counters)…
+    let scrubbed = |p: &arraymem_ir::Program| {
+        arraymem_ir::pretty::scrub_uniques(&arraymem_ir::pretty::program_to_string(p))
+    };
+    for c in &compiled {
+        assert_eq!(
+            scrubbed(&c.program),
+            scrubbed(&compiled[0].program),
+            "trivial program must be pass-invariant"
+        );
+    }
+    // …yet every pass configuration gets its own plan cache entry.
+    let kernels = arraymem_exec::KernelRegistry::default();
+    let mut session = Session::new();
+    let handles: Vec<_> = compiled
+        .iter()
+        .map(|c| session.prepare(&c.program, &kernels).expect("prepare"))
+        .collect();
+    for (i, hi) in handles.iter().enumerate() {
+        for hj in &handles[i + 1..] {
+            assert_ne!(hi, hj, "distinct pass configurations must not share a plan");
+        }
+    }
+    let stats = session.plan_stats();
+    assert_eq!(
+        (stats.builds, stats.cache_hits),
+        (4, 0),
+        "each configuration lowers its own plan"
+    );
+    // Re-preparing any of them is a pure cache hit.
+    for (c, h) in compiled.iter().zip(&handles) {
+        assert_eq!(
+            session.prepare(&c.program, &kernels).expect("re-prepare"),
+            *h
+        );
+    }
+    let stats = session.plan_stats();
+    assert_eq!((stats.builds, stats.cache_hits), (4, 4));
 }
 
 /// Golden snapshot of the lowered NW plan (tiny dataset, optimized
@@ -87,10 +176,12 @@ fn nw_plan_snapshot() {
     let case = w::nw::case("snap", 2, 3, 1);
     let compiled = case.compile(true);
     let mut session = Session::new();
-    let h = session.prepare(&compiled.program, &case.kernels).expect("prepare");
+    let h = session
+        .prepare(&compiled.program, &case.kernels)
+        .expect("prepare");
     let got = session.plan(h).pretty();
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../../tests/snapshots/nw_plan.txt");
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/snapshots/nw_plan.txt");
     if std::env::var_os("ARRAYMEM_BLESS").is_some() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         std::fs::write(&path, &got).unwrap();

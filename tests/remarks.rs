@@ -1,0 +1,153 @@
+//! Structured optimization remarks (the `-Rpass` analogue): every
+//! decision the short-circuiting pass takes — positive or negative — must
+//! surface as a machine-readable [`arraymem_core::Remark`] with a
+//! statement anchor, and every rejection must carry a structured
+//! [`arraymem_core::RejectReason`], not just prose. The two historical
+//! fuzzer bug classes (stale rebase of a vacated destination; aliasing
+//! concat arguments) map to *distinct* remark kinds.
+
+use arraymem_bench::tables::{table_cases, KNOWN_BENCHMARKS};
+use arraymem_core::{compile, Options, RejectReason, RemarkKind};
+use arraymem_ir::{Builder, Program, ScalarExp, SliceSpec};
+use arraymem_lmad::TripletSlice;
+use arraymem_symbolic::Poly;
+
+/// Every candidate on every workload is accounted for in the remark
+/// stream: one `CircuitElided` per success, one `CircuitRejected` with a
+/// non-empty structured reason per failure, one `MapInPlace` per in-place
+/// mapnest — all anchored at a statement.
+#[test]
+fn every_candidate_on_every_workload_carries_a_structured_remark() {
+    for benchmark in KNOWN_BENCHMARKS {
+        let case = &table_cases(benchmark, true).expect("known benchmark")[0];
+        let compiled = case.compile(true);
+        let report = &compiled.report;
+        let cr = &compiled.compile_report;
+
+        let mut elided = 0usize;
+        let mut rejected = 0usize;
+        let mut in_place = 0usize;
+        for r in cr.remarks_for("short_circuit") {
+            assert!(r.stm.is_some(), "{benchmark}: unanchored remark {r}");
+            assert!(!r.message.is_empty(), "{benchmark}: empty remark message");
+            match &r.kind {
+                RemarkKind::CircuitElided => elided += 1,
+                RemarkKind::CircuitRejected(reason) => {
+                    rejected += 1;
+                    // The structured reason is real, not a catch-all
+                    // wrapper around prose.
+                    let _: RejectReason = *reason;
+                }
+                RemarkKind::MapInPlace => in_place += 1,
+                other => panic!("{benchmark}: unexpected short_circuit remark kind {other:?}"),
+            }
+        }
+        assert_eq!(
+            elided,
+            report.successes(),
+            "{benchmark}: one CircuitElided per successful candidate"
+        );
+        assert_eq!(
+            rejected,
+            report.candidates.len() - report.successes(),
+            "{benchmark}: one CircuitRejected per failed candidate"
+        );
+        assert_eq!(
+            in_place, report.in_place_maps,
+            "{benchmark}: one MapInPlace per in-place mapnest"
+        );
+        for c in &report.candidates {
+            if !c.succeeded {
+                assert!(
+                    c.rejection.is_some(),
+                    "{benchmark}: failed candidate {} has no structured rejection: {}",
+                    c.root,
+                    c.reason
+                );
+                assert!(!c.reason.is_empty(), "{benchmark}: empty rejection prose");
+            } else {
+                assert!(
+                    c.rejection.is_none(),
+                    "{benchmark}: success with a rejection"
+                );
+            }
+        }
+    }
+}
+
+fn compile_candidates(prog: &Program) -> Vec<arraymem_core::CandidateOutcome> {
+    compile(prog, &Options::optimized())
+        .expect("compile")
+        .report
+        .candidates
+}
+
+/// Historical fuzzer bug class 1 — a candidate whose destination memory
+/// was itself short-circuited away by another candidate's rebase (the
+/// "stale rebase" bug). It must be rejected as `DestinationVacated`.
+#[test]
+fn vacated_destination_is_rejected_with_its_own_kind() {
+    let b = Builder::new("vacate");
+    let mut body = b.block();
+    let as_ = body.replicate("as", vec![Poly::from(16i64)], ScalarExp::f32(1.0));
+    let es = body.replicate("es", vec![Poly::from(4i64)], ScalarExp::f32(3.0));
+    let bs = body.replicate("bs", vec![Poly::from(8i64)], ScalarExp::f32(2.0));
+    let bs2 = body.update(
+        "bs2",
+        bs,
+        SliceSpec::Triplet(vec![TripletSlice::range(0i64, 4i64, 1i64)]),
+        es,
+    );
+    let as2 = body.update(
+        "as2",
+        as_,
+        SliceSpec::Triplet(vec![TripletSlice::range(8i64, 8i64, 1i64)]),
+        bs2,
+    );
+    let blk = body.finish(vec![as2]);
+    let prog = b.finish(blk);
+    let cands = compile_candidates(&prog);
+    assert!(
+        cands.iter().any(|c| c.succeeded),
+        "the outer update must still circuit: {cands:?}"
+    );
+    let vacated: Vec<_> = cands
+        .iter()
+        .filter(|c| c.rejection == Some(RejectReason::DestinationVacated))
+        .collect();
+    assert_eq!(
+        vacated.len(),
+        1,
+        "the inner update's destination was rebased away: {cands:?}"
+    );
+}
+
+/// Historical fuzzer bug class 2 — `concat bs bs`: both arguments belong
+/// to one alias web, so eliding both would rebase the same memory onto
+/// two destinations (footnote 17). Each argument must be rejected as
+/// `AliasingConcatArg` — a kind distinct from `DestinationVacated`.
+#[test]
+fn aliasing_concat_args_are_rejected_with_their_own_kind() {
+    let b = Builder::new("alias_concat");
+    let mut body = b.block();
+    let bs = body.replicate("bs", vec![Poly::from(4i64)], ScalarExp::f32(2.0));
+    let cs = body.concat("cs", vec![bs, bs]);
+    let blk = body.finish(vec![cs]);
+    let prog = b.finish(blk);
+    let cands = compile_candidates(&prog);
+    assert!(
+        !cands.is_empty(),
+        "concat args must be recorded as candidates"
+    );
+    assert!(
+        cands
+            .iter()
+            .all(|c| c.rejection == Some(RejectReason::AliasingConcatArg)),
+        "{cands:?}"
+    );
+    // The two bug classes are distinguishable by kind alone.
+    assert_ne!(
+        RejectReason::AliasingConcatArg,
+        RejectReason::DestinationVacated
+    );
+}
