@@ -205,6 +205,13 @@ pub fn render_mechanism(rows: &[Measurement]) -> String {
                 st.pool_dispatches
             ));
         }
+        // Peak-memory mechanism: what block merging bought, per variant.
+        for (label, st) in [("unopt", &m.unopt_stats), ("opt", &m.opt_stats)] {
+            s.push_str(&format!(
+                "  {:<10} {:<5} peak_bytes_live {:>12} B | blocks_merged {:>3}\n",
+                m.dataset, label, st.peak_bytes_live, st.blocks_merged
+            ));
+        }
         for (label, pl) in [("unopt", &m.unopt_plan), ("opt", &m.opt_plan)] {
             s.push_str(&format!(
                 "  {:<10} {:<5} plan_builds {:>2} | plan_cache_hits {:>5} | plan_build {:>8.3}ms\n",
@@ -320,6 +327,7 @@ pub fn render_json(results: &[(TableSpec, Vec<Measurement>)]) -> String {
                     "\"{label}\": {{\"bytes_copied\": {}, \"bytes_elided\": {}, \
                      \"num_allocs\": {}, \"blocks_reused\": {}, \
                      \"bytes_zeroing_elided\": {}, \"pool_dispatches\": {}, \
+                     \"peak_bytes_live\": {}, \"blocks_merged\": {}, \
                      \"plan_builds\": {}, \"plan_cache_hits\": {}, \
                      \"plan_build_ms\": {:.6}, \"passes\": [",
                     st.bytes_copied,
@@ -328,6 +336,8 @@ pub fn render_json(results: &[(TableSpec, Vec<Measurement>)]) -> String {
                     st.blocks_reused,
                     st.bytes_zeroing_elided,
                     st.pool_dispatches,
+                    st.peak_bytes_live,
+                    st.blocks_merged,
                     pl.builds,
                     pl.cache_hits,
                     pl.build_time.as_secs_f64() * 1e3
@@ -464,6 +474,8 @@ mod tests {
         assert!(!in_str, "unterminated string:\n{json}");
         assert!(json.contains("\"plan_cache_hits\": 41"), "{json}");
         assert!(json.contains("\"plan_builds\": 1"), "{json}");
+        assert!(json.contains("\"peak_bytes_live\": 0"), "{json}");
+        assert!(json.contains("\"blocks_merged\": 0"), "{json}");
         assert!(json.contains("256\\\"x\\\\2"), "{json}");
         assert!(json.contains("\"passes\": []"), "{json}");
         assert!(

@@ -38,6 +38,7 @@ pub mod fingerprint;
 pub mod hoist;
 pub mod introduce;
 pub mod memtable;
+pub mod merge;
 pub mod pipeline;
 pub mod release;
 pub mod remark;
@@ -45,9 +46,10 @@ pub mod short_circuit;
 
 pub use fingerprint::{fingerprint, fingerprint_items};
 pub use memtable::MemTable;
+pub use merge::{MergeOutcome, MergeRecord, MergeReport};
 pub use pipeline::{CompileReport, IrStats, Pass, PassCx, PassRun, Pipeline};
 pub use release::ReleasePlan;
-pub use remark::{RejectReason, Remark, RemarkKind};
+pub use remark::{MergeReject, RejectReason, Remark, RemarkKind};
 pub use short_circuit::{CandidateOutcome, CircuitCheck, Rejection, Report};
 
 use arraymem_ir::Program;
@@ -70,11 +72,19 @@ pub struct Options {
     /// memory (§V-A(e)). Disabling keeps the per-instance private-row
     /// copy even where it is provably unnecessary.
     pub mapnest_in_place: bool,
+    /// Run the memory block merging pass ([`merge`]): non-interfering
+    /// allocations (disjoint live ranges, or provably disjoint LMAD
+    /// footprints) share one block, cutting peak allocation.
+    pub merge: bool,
     /// **Test-only mutation hook.** Approve short-circuit candidates past
     /// a failing write check, producing deliberately illegal elisions;
     /// the checked VM's sanitizer must catch them (see
     /// [`short_circuit::short_circuit_force_unsafe`]).
     pub force_unsafe_short_circuit: bool,
+    /// **Test-only mutation hook.** Push interference-rejected merge
+    /// candidates into a host block anyway; the checked VM's merge
+    /// cross-check must catch the resulting footprint overlaps.
+    pub force_unsafe_merge: bool,
 }
 
 impl Default for Options {
@@ -84,18 +94,22 @@ impl Default for Options {
             env: Env::default(),
             hoist: true,
             mapnest_in_place: true,
+            merge: false,
             force_unsafe_short_circuit: false,
+            force_unsafe_merge: false,
         }
     }
 }
 
 impl Options {
-    /// The standard optimized configuration: short-circuiting on, with
-    /// every supporting ingredient (hoisting, in-place mapnests) at its
-    /// default. `Options::default()` is the unoptimized baseline.
+    /// The standard optimized configuration: short-circuiting and block
+    /// merging on, with every supporting ingredient (hoisting, in-place
+    /// mapnests) at its default. `Options::default()` is the unoptimized
+    /// baseline.
     pub fn optimized() -> Options {
         Options {
             short_circuit: true,
+            merge: true,
             ..Options::default()
         }
     }

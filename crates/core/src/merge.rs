@@ -1,0 +1,790 @@
+//! Memory block merging: non-interfering allocations share one block.
+//!
+//! Short-circuiting removes copies by constructing an array *inside* its
+//! destination's memory; this pass removes whole allocations by letting
+//! arrays whose blocks never interfere share a block outright — the
+//! affine-reuse idea of FORAY-GEN and of redundant-array elimination,
+//! applied at the granularity of the IR's `alloc` statements.
+//!
+//! Two blocks **interfere** when their live ranges overlap *and* their
+//! LMAD footprints are not provably disjoint
+//! ([`arraymem_lmad::overlap::non_overlap`]). The pass builds the
+//! interference relation over the top-level allocations, then greedily
+//! colors it first-fit in program order: each block tries to move into the
+//! earliest surviving compatible block (the *host*); on success every
+//! memory binding naming the victim is rewritten onto the host, and the
+//! victim's `alloc` goes dead for `cleanup` to collect.
+//!
+//! Legality is two-tiered, and the tier is observable:
+//!
+//! - **Lifetime-justified** merges (disjoint live ranges at top-level
+//!   statement granularity) need no runtime support; their
+//!   [`MergeRecord::pairs`] is empty.
+//! - **Footprint-justified** merges (overlapping live ranges, symbolically
+//!   disjoint footprints) record every footprint pair whose disjointness
+//!   the symbolic test approved; the checked-mode VM re-proves each pair
+//!   concretely at runtime, the way `CircuitCheck` footprints are
+//!   re-proved.
+//!
+//! Ordering: after `short_circuit` (so rebased webs are seen in their
+//! final blocks), before `cleanup` (which deletes the vacated `alloc`s)
+//! and `release` (whose plan sees the merged liveness).
+
+use crate::introduce::collect_bindings;
+use crate::remark::MergeReject;
+use arraymem_ir::{Block, ElemType, Exp, MapBody, MemBinding, Program, Type, Var};
+use arraymem_lmad::overlap::non_overlap;
+use arraymem_lmad::Lmad;
+use arraymem_symbolic::{Env, Poly};
+use std::collections::{HashMap, HashSet};
+
+/// Union-find over memory variables: two mem vars land in one class when
+/// a loop or branch can make them name the same runtime block (a loop's
+/// merge parameter aliases its initializer, its per-iteration result and
+/// the loop's output; a branch output aliases both branch results). A
+/// candidate block's liveness must then count every touch of its class.
+struct MemAliases {
+    parent: HashMap<Var, Var>,
+}
+
+impl MemAliases {
+    fn find(&mut self, v: Var) -> Var {
+        let p = match self.parent.get(&v) {
+            Some(p) => *p,
+            None => return v,
+        };
+        if p == v {
+            return v;
+        }
+        let root = self.find(p);
+        self.parent.insert(v, root);
+        root
+    }
+
+    fn union(&mut self, a: Var, b: Var) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        self.parent.entry(ra).or_insert(ra);
+        self.parent.entry(rb).or_insert(rb);
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+
+    /// Build the alias classes of a whole program body.
+    fn build(block: &Block) -> MemAliases {
+        let mut uf = MemAliases {
+            parent: HashMap::new(),
+        };
+        uf.scan(block);
+        uf
+    }
+
+    fn scan(&mut self, block: &Block) {
+        for stm in &block.stms {
+            match &stm.exp {
+                Exp::If { then_b, else_b, .. } => {
+                    for (k, pe) in stm.pat.iter().enumerate() {
+                        if matches!(pe.ty, Type::Mem) {
+                            if let Some(r) = then_b.result.get(k) {
+                                self.union(pe.var, *r);
+                            }
+                            if let Some(r) = else_b.result.get(k) {
+                                self.union(pe.var, *r);
+                            }
+                        }
+                    }
+                    self.scan(then_b);
+                    self.scan(else_b);
+                }
+                Exp::Loop {
+                    params,
+                    inits,
+                    body,
+                    ..
+                } => {
+                    for (k, pp) in params.iter().enumerate() {
+                        if matches!(pp.ty, Type::Mem) {
+                            if let Some(init) = inits.get(k) {
+                                self.union(pp.var, *init);
+                            }
+                            // Iteration n+1's parameter is iteration n's
+                            // result; the loop output is the last one.
+                            if let Some(r) = body.result.get(k) {
+                                self.union(pp.var, *r);
+                            }
+                            if let Some(pe) = stm.pat.get(k) {
+                                self.union(pp.var, pe.var);
+                            }
+                        }
+                    }
+                    self.scan(body);
+                }
+                Exp::Map(m) => {
+                    if let MapBody::Lambda { body, .. } = &m.body {
+                        self.scan(body);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Memory bindings (pattern or loop parameter) at nesting depth ≥ 1
+/// inside an expression — the tenants `Exp::free_vars` cannot surface.
+fn deep_blocks(exp: &Exp, out: &mut Vec<Var>) {
+    fn scan_block(b: &Block, out: &mut Vec<Var>) {
+        for stm in &b.stms {
+            for pe in &stm.pat {
+                if let Some(mb) = &pe.mem {
+                    out.push(mb.block);
+                }
+            }
+            deep_blocks(&stm.exp, out);
+        }
+    }
+    match exp {
+        Exp::If { then_b, else_b, .. } => {
+            scan_block(then_b, out);
+            scan_block(else_b, out);
+        }
+        Exp::Loop { params, body, .. } => {
+            for pp in params {
+                if let Some(mb) = &pp.mem {
+                    out.push(mb.block);
+                }
+            }
+            scan_block(body, out);
+        }
+        Exp::Map(m) => {
+            if let MapBody::Lambda { body, .. } = &m.body {
+                scan_block(body, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// One executed merge, in the transport form the executor consumes: the
+/// surviving block, the vacated one, and the footprint pairs whose
+/// symbolic disjointness justified sharing despite overlapping live
+/// ranges. Empty `pairs` means the merge is lifetime-justified and needs
+/// no runtime re-proof.
+#[derive(Clone, Debug)]
+pub struct MergeRecord {
+    /// The block that survives and absorbs the victim's tenants.
+    pub host: Var,
+    /// The block whose bindings were rewritten onto `host`.
+    pub victim: Var,
+    /// (victim-tenant, resident-tenant) footprint pairs the symbolic
+    /// non-overlap test approved; checked mode enumerates each pair
+    /// concretely.
+    pub pairs: Vec<(Lmad, Lmad)>,
+}
+
+/// One merge decision, for remarks and tests.
+#[derive(Clone, Debug)]
+pub struct MergeOutcome {
+    pub host: Var,
+    pub victim: Var,
+    /// Live ranges overlapped; disjoint footprints justified the merge.
+    pub by_footprint: bool,
+    /// Pushed through a failing interference check by the test-only
+    /// `force_unsafe_merge` hook.
+    pub forced: bool,
+}
+
+/// Everything the merge pass decided, for the pipeline to turn into
+/// remarks and for the executor to verify.
+#[derive(Clone, Debug, Default)]
+pub struct MergeReport {
+    pub merged: Vec<MergeOutcome>,
+    /// Blocks that kept their own allocation, with the reason the closed
+    /// taxonomy assigns (precedence: interference over size over element
+    /// type — the reason closest to an actual merge wins).
+    pub rejected: Vec<(Var, MergeReject)>,
+    /// Executor-facing records, one per merge.
+    pub records: Vec<MergeRecord>,
+}
+
+/// One block's claim on (part of) a host block: the top-level statement
+/// interval over which its tenants are live, and — when every tenant's
+/// index function is a single LMAD — the footprints it touches.
+struct Occupancy {
+    first: usize,
+    /// `usize::MAX` when a tenant backs a program result.
+    last: usize,
+    /// `None` when the block is opaque (touched through an alias class —
+    /// a loop initializer, a nested tenant) or some tenant footprint is
+    /// not a single LMAD; such an occupancy can only coexist with others
+    /// by disjoint lifetimes.
+    lmads: Option<Vec<Lmad>>,
+}
+
+/// A surviving allocation during coloring.
+struct Rep {
+    var: Var,
+    elem: ElemType,
+    size: Poly,
+    /// Top-level index of the `alloc` statement: a host must be allocated
+    /// before any merged tenant first writes it.
+    alloc_idx: usize,
+    occs: Vec<Occupancy>,
+    merged_away: bool,
+}
+
+/// How one victim/host occupancy comparison came out.
+enum Fit {
+    /// Disjoint live ranges: compatible with no runtime obligation.
+    Lifetimes,
+    /// Overlapping live ranges, provably disjoint footprints: compatible,
+    /// carrying the pairs to re-prove at runtime.
+    Footprints(Vec<(Lmad, Lmad)>),
+    Interferes,
+}
+
+/// Run block merging over a memory-annotated program. `force_unsafe`
+/// (test-only) pushes interference-rejected candidates into a host
+/// anyway, so the checked VM's merge cross-check can be shown to fire.
+pub fn merge_blocks(prog: &mut Program, env: &Env, force_unsafe: bool) -> MergeReport {
+    let mut report = MergeReport::default();
+
+    // Candidate allocations: top-level `alloc` statements, in order.
+    let allocs: Vec<(usize, Var, ElemType, Poly)> = prog
+        .body
+        .stms
+        .iter()
+        .enumerate()
+        .filter_map(|(i, stm)| match &stm.exp {
+            Exp::Alloc { elem, size } => Some((i, stm.pat[0].var, *elem, size.clone())),
+            _ => None,
+        })
+        .collect();
+    if allocs.len() < 2 {
+        return report;
+    }
+
+    // A block *escapes* only when its variable is itself a program
+    // result: the program hands the raw block to the caller, so renaming
+    // it would change the interface. Loop-carried blocks are handled by
+    // the alias classes below instead of escaping wholesale.
+    let escaping: HashSet<Var> = prog.body.result.iter().copied().collect();
+    let cand_set: HashSet<Var> = allocs.iter().map(|(_, m, _, _)| *m).collect();
+
+    // Bindings at every depth (for resolving uses to blocks), and alias
+    // classes (for resolving loop-carried memory back to the candidate
+    // allocations it may name at runtime).
+    let mut bindings: HashMap<Var, MemBinding> = HashMap::new();
+    collect_bindings(&prog.body, &mut bindings);
+    let mut aliases = MemAliases::build(&prog.body);
+    let mut class: HashMap<Var, Vec<Var>> = HashMap::new();
+    for m in &cand_set {
+        class.entry(aliases.find(*m)).or_default().push(*m);
+    }
+    let mut resolve = |b: Var| -> Vec<Var> {
+        match class.get(&aliases.find(b)) {
+            Some(cs) => cs.clone(),
+            None => Vec::new(),
+        }
+    };
+
+    // Direct top-level tenants, per block: the bindings whose footprints
+    // we can enumerate symbolically.
+    let mut tenants: HashMap<Var, Vec<(Var, MemBinding)>> = HashMap::new();
+    for stm in &prog.body.stms {
+        for pe in &stm.pat {
+            if let Some(mb) = &pe.mem {
+                tenants
+                    .entry(mb.block)
+                    .or_default()
+                    .push((pe.var, mb.clone()));
+            }
+        }
+    }
+
+    // Live interval of each candidate block, at top-level statement
+    // granularity: statement `i` touches block `M` when it binds an array
+    // into `M`, uses a variable bound in `M`, or names (directly or
+    // through an alias class — a loop initializer, a nested tenant) a mem
+    // var that may be `M` at runtime. Any touch *through* an alias is
+    // opaque: the footprints written through it are unknown, so the block
+    // can only share by disjoint lifetimes.
+    let mut first: HashMap<Var, usize> = HashMap::new();
+    let mut last: HashMap<Var, usize> = HashMap::new();
+    let mut opaque: HashSet<Var> = HashSet::new();
+    let touch =
+        |m: Var, i: usize, first: &mut HashMap<Var, usize>, last: &mut HashMap<Var, usize>| {
+            first.entry(m).and_modify(|f| *f = (*f).min(i)).or_insert(i);
+            last.entry(m).and_modify(|l| *l = (*l).max(i)).or_insert(i);
+        };
+    for (i, stm) in prog.body.stms.iter().enumerate() {
+        for pe in &stm.pat {
+            if let Some(mb) = &pe.mem {
+                for c in resolve(mb.block) {
+                    touch(c, i, &mut first, &mut last);
+                    if c != mb.block {
+                        opaque.insert(c);
+                    }
+                }
+            }
+        }
+        for u in stm.exp.free_vars() {
+            if let Some(mb) = bindings.get(&u) {
+                for c in resolve(mb.block) {
+                    touch(c, i, &mut first, &mut last);
+                    if c != mb.block {
+                        opaque.insert(c);
+                    }
+                }
+            } else {
+                // A mem var used as an operand (a loop initializer): the
+                // expression may write through it with footprints this
+                // pass never sees.
+                for c in resolve(u) {
+                    touch(c, i, &mut first, &mut last);
+                    opaque.insert(c);
+                }
+            }
+        }
+        let mut deep = Vec::new();
+        deep_blocks(&stm.exp, &mut deep);
+        for b in deep {
+            for c in resolve(b) {
+                touch(c, i, &mut first, &mut last);
+                opaque.insert(c);
+            }
+        }
+    }
+    for r in &prog.body.result {
+        let backing = bindings.get(r).map(|mb| mb.block).unwrap_or(*r);
+        for c in resolve(backing) {
+            last.insert(c, usize::MAX);
+            if c != backing {
+                opaque.insert(c);
+            }
+        }
+    }
+
+    // Greedy first-fit coloring in first-use order (allocation statements
+    // are hoisted, so their textual order says nothing about liveness;
+    // first-use order lets each block try the blocks whose tenants came
+    // before it).
+    let mut ordered = allocs.clone();
+    ordered.sort_by_key(|(idx, m, _, _)| (first.get(m).copied().unwrap_or(usize::MAX), *idx));
+    let mut reps: Vec<Rep> = Vec::new();
+    let mut rename: HashMap<Var, Var> = HashMap::new();
+    for (alloc_idx, m, elem, size) in &ordered {
+        if escaping.contains(m) {
+            report.rejected.push((*m, MergeReject::Escapes));
+            reps.push(Rep {
+                var: *m,
+                elem: *elem,
+                size: size.clone(),
+                alloc_idx: *alloc_idx,
+                occs: Vec::new(),
+                merged_away: true, // not a host either: liveness unknown
+            });
+            continue;
+        }
+        if !first.contains_key(m) {
+            continue; // dead block; cleanup removes it
+        }
+        let ts = tenants.get(m).map(Vec::as_slice).unwrap_or(&[]);
+        let lmads = if opaque.contains(m) || ts.is_empty() {
+            None
+        } else {
+            ts.iter()
+                .map(|(_, mb)| mb.ixfn.as_single().cloned())
+                .collect()
+        };
+        let occ = Occupancy {
+            first: first.get(m).copied().unwrap_or(usize::MAX),
+            last: last.get(m).copied().unwrap_or(0),
+            lmads,
+        };
+        let mut saw_interference = false;
+        let mut saw_size_fail = false;
+        let mut hosts_tried = 0usize;
+        let mut chosen: Option<(usize, Vec<(Lmad, Lmad)>)> = None;
+        let mut forced_host: Option<usize> = None;
+        for (ri, rep) in reps.iter().enumerate() {
+            if rep.merged_away {
+                continue;
+            }
+            hosts_tried += 1;
+            if rep.elem != *elem {
+                continue;
+            }
+            // The host's `alloc` must execute before the victim's tenants
+            // first write into it.
+            if rep.alloc_idx > occ.first {
+                saw_interference = true;
+                continue;
+            }
+            // The victim's footprints must fit inside the host block.
+            if !env.prove_le(size, &rep.size) {
+                saw_size_fail = true;
+                continue;
+            }
+            let mut pairs: Vec<(Lmad, Lmad)> = Vec::new();
+            let mut fits = true;
+            for resident in &rep.occs {
+                match occupancy_fit(&occ, resident, env) {
+                    Fit::Lifetimes => {}
+                    Fit::Footprints(mut p) => pairs.append(&mut p),
+                    Fit::Interferes => {
+                        fits = false;
+                        break;
+                    }
+                }
+            }
+            if fits {
+                chosen = Some((ri, pairs));
+                break;
+            }
+            saw_interference = true;
+            if forced_host.is_none() && force_unsafe {
+                // Forcing needs enumerable footprints on both sides, so
+                // the checked VM has pairs to refute.
+                let enumerable = occ.lmads.is_some() && rep.occs.iter().all(|o| o.lmads.is_some());
+                if enumerable {
+                    forced_host = Some(ri);
+                }
+            }
+        }
+        if let Some((ri, pairs)) = chosen {
+            let host = reps[ri].var;
+            report.merged.push(MergeOutcome {
+                host,
+                victim: *m,
+                by_footprint: !pairs.is_empty(),
+                forced: false,
+            });
+            report.records.push(MergeRecord {
+                host,
+                victim: *m,
+                pairs,
+            });
+            rename.insert(*m, host);
+            reps[ri].occs.push(occ);
+            continue;
+        }
+        if let Some(ri) = forced_host {
+            let host = reps[ri].var;
+            let victim_lmads = occ.lmads.clone().expect("forced occupancy is enumerable");
+            let pairs: Vec<(Lmad, Lmad)> = reps[ri]
+                .occs
+                .iter()
+                .flat_map(|o| o.lmads.as_ref().expect("forced host is enumerable"))
+                .flat_map(|rl| victim_lmads.iter().map(move |vl| (vl.clone(), rl.clone())))
+                .collect();
+            report.merged.push(MergeOutcome {
+                host,
+                victim: *m,
+                by_footprint: true,
+                forced: true,
+            });
+            report.records.push(MergeRecord {
+                host,
+                victim: *m,
+                pairs,
+            });
+            rename.insert(*m, host);
+            reps[ri].occs.push(occ);
+            continue;
+        }
+        if hosts_tried > 0 {
+            let why = if saw_interference {
+                MergeReject::Interference
+            } else if saw_size_fail {
+                MergeReject::SizeNotProvable
+            } else {
+                MergeReject::ElemMismatch
+            };
+            report.rejected.push((*m, why));
+        }
+        reps.push(Rep {
+            var: *m,
+            elem: *elem,
+            size: size.clone(),
+            alloc_idx: *alloc_idx,
+            occs: vec![occ],
+            merged_away: false,
+        });
+    }
+
+    if !rename.is_empty() {
+        rewrite_blocks(prog, &rename);
+    }
+    report
+}
+
+/// Compare a victim occupancy against one resident occupancy of a host.
+fn occupancy_fit(victim: &Occupancy, resident: &Occupancy, env: &Env) -> Fit {
+    if victim.last < resident.first || resident.last < victim.first {
+        return Fit::Lifetimes;
+    }
+    let (Some(va), Some(ra)) = (&victim.lmads, &resident.lmads) else {
+        return Fit::Interferes;
+    };
+    let mut pairs = Vec::with_capacity(va.len() * ra.len());
+    for v in va {
+        for r in ra {
+            if !non_overlap(v, r, env) {
+                return Fit::Interferes;
+            }
+            pairs.push((v.clone(), r.clone()));
+        }
+    }
+    Fit::Footprints(pairs)
+}
+
+/// Rewrite every memory binding whose block was merged away onto its
+/// host, at every nesting depth (patterns and loop merge parameters) —
+/// the same walk `collect_bindings` performs, mutably.
+fn rewrite_blocks(prog: &mut Program, rename: &HashMap<Var, Var>) {
+    rewrite_block(&mut prog.body, rename);
+}
+
+fn rewrite_block(block: &mut Block, rename: &HashMap<Var, Var>) {
+    for stm in &mut block.stms {
+        for pe in &mut stm.pat {
+            if let Some(mb) = &mut pe.mem {
+                if let Some(host) = rename.get(&mb.block) {
+                    mb.block = *host;
+                }
+            }
+        }
+        match &mut stm.exp {
+            Exp::If { then_b, else_b, .. } => {
+                rewrite_block(then_b, rename);
+                rewrite_block(else_b, rename);
+            }
+            Exp::Loop {
+                params,
+                inits,
+                body,
+                ..
+            } => {
+                for pp in params {
+                    if let Some(mb) = &mut pp.mem {
+                        if let Some(host) = rename.get(&mb.block) {
+                            mb.block = *host;
+                        }
+                    }
+                }
+                for init in inits {
+                    if let Some(host) = rename.get(init) {
+                        *init = *host;
+                    }
+                }
+                rewrite_block(body, rename);
+            }
+            Exp::Map(m) => {
+                if let MapBody::Lambda { body, .. } = &mut m.body {
+                    rewrite_block(body, rename);
+                }
+            }
+            _ => {}
+        }
+    }
+    // A vacated block's variable can flow out of a nested block as an
+    // existential-memory result; the program-level result never names a
+    // victim (such blocks are rejected as `Escapes`).
+    for r in &mut block.result {
+        if let Some(host) = rename.get(r) {
+            *r = *host;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::remark::MergeReject;
+    use crate::{compile, Options};
+    use arraymem_ir::{Builder, PatElem, ScalarExp, Stm};
+    use arraymem_lmad::{Dim, IndexFn};
+    use arraymem_symbolic::sym;
+
+    fn p(v: Var) -> Poly {
+        Poly::var(v)
+    }
+
+    fn count_allocs(block: &Block) -> usize {
+        block
+            .stms
+            .iter()
+            .filter(|s| matches!(s.exp, Exp::Alloc { .. }))
+            .count()
+    }
+
+    /// A three-stage chain `a = iota n; b = copy a; c = copy b` gives the
+    /// last allocation a live range disjoint from the first's: `c` merges
+    /// into `a`'s block with no footprint obligations (empty pairs).
+    #[test]
+    fn lifetime_disjoint_chain_merges() {
+        let mut bld = Builder::new("chain");
+        let n = bld.scalar_param("ch_n", ElemType::I64);
+        let mut body = bld.block();
+        let a = body.iota("ch_a", p(n));
+        let b = body.copy("ch_b", a);
+        let c = body.copy("ch_c", b);
+        let blk = body.finish(vec![c]);
+        let prog = bld.finish(blk);
+
+        let mut env = Env::new();
+        env.assume_ge(n, 1);
+        // Short-circuiting off, so both copies (and all three blocks)
+        // survive to the merge pass.
+        let opts = Options {
+            merge: true,
+            ..Options::default()
+        }
+        .with_env(env);
+        let compiled = compile(&prog, &opts).expect("compile");
+
+        assert_eq!(compiled.report.merges.len(), 1, "exactly one merge");
+        let rec = &compiled.report.merges[0];
+        assert!(
+            rec.pairs.is_empty(),
+            "lifetime-justified merge carries no footprint pairs"
+        );
+        assert_ne!(rec.host, rec.victim);
+        // Cleanup collected the vacated alloc: 2 blocks serve 3 arrays.
+        assert_eq!(count_allocs(&compiled.program.body), 2);
+    }
+
+    /// Hand-built memory-annotated program where the victim's tenant sits
+    /// at offset `n` of a `2n` host whose resident occupies `[0, n)`, with
+    /// overlapping live ranges: the merge must be footprint-justified and
+    /// record the (victim, resident) pair for checked mode.
+    #[test]
+    fn footprint_disjoint_merge_records_pairs() {
+        let n = sym("fpm_n");
+        let blk_a = sym("fpm_A");
+        let blk_b = sym("fpm_B");
+        let x = sym("fpm_x");
+        let y = sym("fpm_y");
+        let sx = sym("fpm_sx");
+        let sy = sym("fpm_sy");
+
+        let size = Poly::var(n) * Poly::constant(2);
+        let arr_ty = Type::array(ElemType::F32, vec![Poly::var(n)]);
+        let lmad_lo = Lmad::new(0, vec![Dim::new(Poly::var(n), 1)]);
+        let lmad_hi = Lmad::new(Poly::var(n), vec![Dim::new(Poly::var(n), 1)]);
+
+        let alloc = |blk: Var| Stm {
+            pat: vec![PatElem::new(blk, Type::Mem)],
+            exp: Exp::Alloc {
+                elem: ElemType::F32,
+                size: size.clone(),
+            },
+        };
+        let scratch_in = |v: Var, blk: Var, l: Lmad| Stm {
+            pat: vec![PatElem {
+                var: v,
+                ty: arr_ty.clone(),
+                mem: Some(MemBinding {
+                    block: blk,
+                    ixfn: IndexFn::from_lmad(l),
+                }),
+            }],
+            exp: Exp::Scratch {
+                elem: ElemType::F32,
+                shape: vec![Poly::var(n)],
+            },
+        };
+        let read0 = |s: Var, arr: Var| Stm {
+            pat: vec![PatElem::new(s, Type::Scalar(ElemType::F32))],
+            exp: Exp::Scalar(ScalarExp::Index(arr, vec![ScalarExp::i64(0)])),
+        };
+
+        let mut prog = Program {
+            name: "fpmerge".into(),
+            params: vec![(n, Type::Scalar(ElemType::I64))],
+            pipeline_fingerprint: 0,
+            body: Block {
+                stms: vec![
+                    alloc(blk_a),
+                    alloc(blk_b),
+                    // x lives in A at [0, n); y in B at [n, 2n). Their
+                    // live ranges overlap (both read by the tail), so
+                    // only footprint disjointness can justify sharing.
+                    scratch_in(x, blk_a, lmad_lo),
+                    scratch_in(y, blk_b, lmad_hi),
+                    read0(sx, x),
+                    read0(sy, y),
+                ],
+                result: vec![sx, sy],
+            },
+        };
+        let mut env = Env::new();
+        env.assume_ge(n, 1);
+
+        let report = merge_blocks(&mut prog, &env, false);
+        assert_eq!(report.merged.len(), 1);
+        assert!(report.merged[0].by_footprint);
+        assert!(!report.merged[0].forced);
+        assert_eq!(report.records.len(), 1);
+        let rec = &report.records[0];
+        assert_eq!(rec.host, blk_a);
+        assert_eq!(rec.victim, blk_b);
+        assert_eq!(rec.pairs.len(), 1, "one (victim, resident) pair");
+        // The rewrite moved y's binding onto the host block.
+        let y_mb = prog.body.stms[3].pat[0].mem.as_ref().expect("y has mem");
+        assert_eq!(y_mb.block, blk_a);
+    }
+
+    /// A lone host of a different element type: the only reject reason
+    /// left standing is the element mismatch.
+    #[test]
+    fn elem_mismatch_is_rejected() {
+        let mut bld = Builder::new("elems");
+        let n = bld.scalar_param("em_n", ElemType::I64);
+        let mut body = bld.block();
+        let a = body.iota("em_a", p(n)); // i64 block
+        let s = body.scalar(
+            "em_s",
+            ElemType::I64,
+            ScalarExp::Index(a, vec![ScalarExp::i64(0)]),
+        );
+        // f32 block, live only after `a` is dead — lifetimes are fine,
+        // the element types are not.
+        let w = body.scratch("em_w", ElemType::F32, vec![p(n)]);
+        let ws = body.scalar(
+            "em_ws",
+            ElemType::F32,
+            ScalarExp::Index(w, vec![ScalarExp::var(s)]),
+        );
+        let blk = body.finish(vec![ws]);
+        let prog = bld.finish(blk);
+
+        let mut env = Env::new();
+        env.assume_ge(n, 1);
+        let opts = Options {
+            merge: true,
+            ..Options::default()
+        }
+        .with_env(env);
+        let compiled = compile(&prog, &opts).expect("compile");
+
+        assert!(compiled.report.merges.is_empty());
+        let rejects: Vec<&MergeReject> = compiled
+            .compile_report
+            .remarks
+            .iter()
+            .filter_map(|r| match &r.kind {
+                crate::remark::RemarkKind::MergeRejected(why) => Some(why),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            rejects
+                .iter()
+                .any(|w| matches!(w, MergeReject::ElemMismatch)),
+            "expected an ElemMismatch reject, got {rejects:?}"
+        );
+    }
+}

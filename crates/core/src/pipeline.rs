@@ -326,6 +326,50 @@ impl Pass for ShortCircuitPass {
     }
 }
 
+/// Memory block merging (see [`crate::merge`]), as a stage. Runs after
+/// short-circuiting (so rebased webs are seen in their final blocks) and
+/// before cleanup (which collects the vacated `alloc`s). Its executor
+/// obligations — the footprint pairs checked mode must re-prove — travel
+/// in [`Report::merges`] next to the circuit checks.
+struct MergePass;
+
+impl Pass for MergePass {
+    fn name(&self) -> &'static str {
+        "merge"
+    }
+
+    fn enabled(&self, opts: &Options) -> bool {
+        opts.merge
+    }
+
+    fn run(&self, prog: &mut Program, cx: &mut PassCx) -> Result<(), String> {
+        let rep = crate::merge::merge_blocks(prog, &cx.opts.env, cx.opts.force_unsafe_merge);
+        for m in &rep.merged {
+            let how = match (m.forced, m.by_footprint) {
+                (true, _) => "forced past interference",
+                (false, true) => "disjoint footprints",
+                (false, false) => "disjoint live ranges",
+            };
+            cx.remark(
+                "merge",
+                Some(m.victim),
+                RemarkKind::BlocksMerged,
+                format!("merged block {} into {} ({how})", m.victim, m.host),
+            );
+        }
+        for &(v, why) in &rep.rejected {
+            cx.remark(
+                "merge",
+                Some(v),
+                RemarkKind::MergeRejected(why),
+                format!("block {v} keeps its own allocation ({why:?})"),
+            );
+        }
+        cx.report.merges = rep.records;
+        Ok(())
+    }
+}
+
 /// Dead-allocation elimination, as a stage.
 struct CleanupPass;
 
@@ -395,9 +439,9 @@ pub struct Pipeline {
 }
 
 impl Pipeline {
-    /// The standard middle-end:
-    /// `introduce → antiunify → hoist → short_circuit → cleanup → release`
-    /// (`hoist` and `short_circuit` subject to their [`Options`] switches).
+    /// The standard middle-end: `introduce → antiunify → hoist →
+    /// short_circuit → merge → cleanup → release` (`hoist`,
+    /// `short_circuit` and `merge` subject to their [`Options`] switches).
     pub fn standard() -> Pipeline {
         Pipeline {
             passes: vec![
@@ -405,6 +449,7 @@ impl Pipeline {
                 Box::new(AntiunifyPass),
                 Box::new(HoistPass),
                 Box::new(ShortCircuitPass),
+                Box::new(MergePass),
                 Box::new(CleanupPass),
                 Box::new(ReleasePass),
             ],
@@ -433,6 +478,7 @@ impl Pipeline {
             .collect();
         parts.push(format!("mapnest_in_place={}", opts.mapnest_in_place));
         parts.push(format!("force_unsafe={}", opts.force_unsafe_short_circuit));
+        parts.push(format!("force_unsafe_merge={}", opts.force_unsafe_merge));
         crate::fingerprint::fingerprint_items(&parts)
     }
 

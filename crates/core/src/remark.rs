@@ -49,6 +49,27 @@ pub enum RejectReason {
     UnsupportedDefinition,
 }
 
+/// Why the merge pass kept a block's own allocation instead of moving it
+/// into an earlier block — the closed reject-reason taxonomy of the
+/// merge pass, mirroring [`RejectReason`] for short-circuiting. The
+/// precedence (interference over size over element type) reports the
+/// reason closest to an actual merge.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MergeReject {
+    /// The block's variable is consumed by an expression (a loop's
+    /// existential-memory initializer), backs a non-top-level binding, or
+    /// is a program result: its liveness exceeds what top-level intervals
+    /// capture.
+    Escapes,
+    /// Every candidate host holds a different element type.
+    ElemMismatch,
+    /// The block's size could not be proved to fit any candidate host.
+    SizeNotProvable,
+    /// Live ranges overlap and footprints are not provably disjoint for
+    /// every candidate host.
+    Interference,
+}
+
 /// What a remark reports.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RemarkKind {
@@ -65,6 +86,10 @@ pub enum RemarkKind {
     NormalizationCopy,
     /// `hoist`: allocations (and their size scalars) moved upward.
     Hoisted,
+    /// `merge`: a block's tenants were moved into another allocation.
+    BlocksMerged,
+    /// `merge`: a block kept its own allocation for the named reason.
+    MergeRejected(MergeReject),
     /// `cleanup`: a dead allocation was removed.
     DeadAllocRemoved,
     /// `release`: early release points were scheduled.

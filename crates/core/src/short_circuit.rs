@@ -105,10 +105,16 @@ pub struct CircuitCheck {
     pub uses: Vec<Lmad>,
 }
 
-/// Aggregate report of a short-circuiting run.
+/// Aggregate report of a short-circuiting run. The merge pass appends its
+/// own records here, so one report carries every runtime obligation the
+/// optimizer took on ([`Report::checks`] and [`Report::merges`]).
 #[derive(Clone, Debug, Default)]
 pub struct Report {
     pub candidates: Vec<CandidateOutcome>,
+    /// Blocks the merge pass folded together
+    /// ([`crate::merge::merge_blocks`]); footprint-justified records carry
+    /// the pairs checked mode re-proves at runtime.
+    pub merges: Vec<crate::merge::MergeRecord>,
     /// Number of kernel maps whose rows are constructed in place.
     pub in_place_maps: usize,
     /// The result variables of those maps, anchoring the remarks.

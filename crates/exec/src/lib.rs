@@ -35,7 +35,7 @@ pub mod view;
 pub mod vm;
 
 pub use kernel::{KernelCtx, KernelRegistry};
-pub use plan::{lower_plan, lower_plan_with, ExecPlan, Slot};
+pub use plan::{lower_plan, lower_plan_full, lower_plan_with, ExecPlan, Slot};
 pub use stats::{Diagnostic, Stats};
 pub use store::{CellState, MemStore};
 pub use value::{ArrayRef, InputValue, OutputValue, Value};

@@ -28,7 +28,7 @@
 
 use crate::kernel::KernelRegistry;
 use crate::value::Value;
-use arraymem_core::{CircuitCheck, ReleasePlan};
+use arraymem_core::{CircuitCheck, MergeRecord, ReleasePlan};
 use arraymem_ir::{
     Block, Constant, ElemType, Exp, MapBody, PatElem, Program, ScalarExp, SliceSpec, Stm, Type,
     UpdateSrc, Var,
@@ -219,6 +219,19 @@ pub(crate) struct LoweredCheck {
     pub vars: SlotVars,
 }
 
+/// A checked-mode merge cross-check with its footprint symbols resolved:
+/// every (victim-tenant, resident) pair a footprint-justified merge
+/// recorded, re-proved disjoint by enumeration after the body runs. The
+/// symbols resolve in the top-level scope (merge candidates are top-level
+/// allocations), so the checks lower once per plan, not per block.
+#[derive(Clone, Debug)]
+pub(crate) struct LoweredMergeCheck {
+    pub host: String,
+    pub victim: String,
+    pub pairs: Vec<(Lmad, Lmad)>,
+    pub vars: SlotVars,
+}
+
 /// One lowered instruction.
 #[derive(Clone, Debug)]
 pub(crate) enum Instr {
@@ -332,6 +345,11 @@ pub struct ExecPlan {
     pub(crate) results: Vec<(Slot, Var)>,
     pub(crate) num_slots: u32,
     pub(crate) num_releases: usize,
+    /// Merge records lowered into this plan (count stamped onto
+    /// [`crate::Stats::blocks_merged`] per run).
+    pub(crate) blocks_merged: u64,
+    /// Checked mode: footprint pairs of the footprint-justified merges.
+    pub(crate) merge_checks: Vec<LoweredMergeCheck>,
 }
 
 impl ExecPlan {
@@ -364,8 +382,20 @@ pub fn lower_plan(
     kernels: &KernelRegistry,
     checks: &[CircuitCheck],
 ) -> Result<ExecPlan, String> {
+    lower_plan_full(prog, kernels, checks, &[])
+}
+
+/// [`lower_plan`] additionally lowering the compile report's
+/// [`MergeRecord`]s: checked-mode runs of the plan re-prove every
+/// footprint-justified merge concretely.
+pub fn lower_plan_full(
+    prog: &Program,
+    kernels: &KernelRegistry,
+    checks: &[CircuitCheck],
+    merges: &[MergeRecord],
+) -> Result<ExecPlan, String> {
     let release = ReleasePlan::compute(prog);
-    lower_plan_with(prog, kernels, checks, &release)
+    build_plan(prog, kernels, checks, merges, &release)
 }
 
 /// [`lower_plan`] with a caller-supplied release plan (the test-only
@@ -377,12 +407,25 @@ pub fn lower_plan_with(
     checks: &[CircuitCheck],
     release: &ReleasePlan,
 ) -> Result<ExecPlan, String> {
+    build_plan(prog, kernels, checks, &[], release)
+}
+
+fn build_plan(
+    prog: &Program,
+    kernels: &KernelRegistry,
+    checks: &[CircuitCheck],
+    merges: &[MergeRecord],
+    release: &ReleasePlan,
+) -> Result<ExecPlan, String> {
     let mut lw = Lowerer {
         scope: Scope::default(),
         release,
         checks,
+        merges,
         kernels,
         num_releases: 0,
+        depth: 0,
+        merge_checks: Vec::new(),
     };
     let mut params = Vec::with_capacity(prog.params.len());
     for (v, ty) in &prog.params {
@@ -419,6 +462,8 @@ pub fn lower_plan_with(
         results,
         num_slots: lw.scope.next,
         num_releases: lw.num_releases,
+        blocks_merged: merges.len() as u64,
+        merge_checks: lw.merge_checks,
     })
 }
 
@@ -478,8 +523,14 @@ struct Lowerer<'a> {
     scope: Scope,
     release: &'a ReleasePlan,
     checks: &'a [CircuitCheck],
+    merges: &'a [MergeRecord],
     kernels: &'a KernelRegistry,
     num_releases: usize,
+    /// Block nesting depth; merge checks resolve against the top-level
+    /// scope, so they lower when the depth-1 block finishes (before its
+    /// scope entries are undone).
+    depth: usize,
+    merge_checks: Vec<LoweredMergeCheck>,
 }
 
 impl Lowerer<'_> {
@@ -582,6 +633,7 @@ impl Lowerer<'_> {
     /// result-variable slots; the scope is restored before returning.
     fn lower_block(&mut self, block: &Block, out: &mut Stream) -> Result<Vec<Slot>, String> {
         let mark = self.scope.mark();
+        self.depth += 1;
         for (k, stm) in block.stms.iter().enumerate() {
             self.lower_stm(stm, out)?;
             let site = stm.pat.first().map(|p| p.var);
@@ -623,11 +675,32 @@ impl Lowerer<'_> {
                 out.push(Instr::VerifyChecks { checks: lowered }, blame);
             }
         }
+        // Merge footprints reference top-level scalars only; resolve them
+        // while the top-level bindings are still in scope.
+        if self.depth == 1 {
+            for r in self.merges {
+                if r.pairs.is_empty() {
+                    continue; // lifetime-justified: nothing to re-prove
+                }
+                let syms: Vec<Sym> = r
+                    .pairs
+                    .iter()
+                    .flat_map(|(a, b)| a.vars().into_iter().chain(b.vars()))
+                    .collect();
+                self.merge_checks.push(LoweredMergeCheck {
+                    host: r.host.to_string(),
+                    victim: r.victim.to_string(),
+                    pairs: r.pairs.clone(),
+                    vars: self.slot_vars(syms),
+                });
+            }
+        }
         let slots = block
             .result
             .iter()
             .map(|v| self.resolve(*v))
             .collect::<Result<Vec<_>, _>>()?;
+        self.depth -= 1;
         self.scope.reset(mark);
         Ok(slots)
     }
@@ -1017,6 +1090,13 @@ impl ExecPlan {
             self.body.instrs.len(),
             self.num_releases
         ));
+        if self.blocks_merged > 0 {
+            s.push_str(&format!(
+                "merged blocks: {} ({} footprint-checked)\n",
+                self.blocks_merged,
+                self.merge_checks.len()
+            ));
+        }
         s.push_str("params:\n");
         for p in &self.params {
             let mem = match p.mem_slot {

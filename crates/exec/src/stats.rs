@@ -43,6 +43,21 @@ pub enum Diagnostic {
         /// Index function of the map's result.
         ixfn: String,
     },
+    /// Two arrays sharing one merged memory block have concretely
+    /// intersecting footprints — the merge pass's symbolic non-overlap
+    /// verdict was wrong (or forced).
+    MergeOverlap {
+        /// The surviving block of the merge.
+        host: String,
+        /// The block whose tenants were moved into `host`.
+        victim: String,
+        /// Smallest flat offset common to both footprints.
+        offset: i64,
+        /// Concrete LMAD of the victim-tenant footprint.
+        victim_ixfn: String,
+        /// Concrete LMAD of the resident footprint it intersects.
+        resident_ixfn: String,
+    },
     /// A short-circuited construction's concrete write footprint
     /// intersects a recorded later-use footprint of the destination
     /// memory — the symbolic non-overlap verdict was wrong (or forced).
@@ -96,6 +111,17 @@ impl std::fmt::Display for Diagnostic {
                 "map race: iterations {iter_a} and {iter_b} of {stm} both write cell \
                  {offset} of block #{block} (result index function {ixfn})"
             ),
+            Diagnostic::MergeOverlap {
+                host,
+                victim,
+                offset,
+                victim_ixfn,
+                resident_ixfn,
+            } => write!(
+                f,
+                "merge overlap: block {victim} merged into {host}, but tenant footprint \
+                 {victim_ixfn} intersects resident footprint {resident_ixfn} at offset {offset}"
+            ),
             Diagnostic::CircuitOverlap {
                 root,
                 stm,
@@ -125,6 +151,13 @@ pub struct Stats {
     pub blocks_reused: u64,
     /// Bytes of zero-fill skipped because the block was recycled.
     pub bytes_zeroing_elided: u64,
+    /// High-water mark of bytes simultaneously live in the store during
+    /// the program body (inputs included) — the quantity block merging
+    /// reduces.
+    pub peak_bytes_live: u64,
+    /// Memory blocks the merge pass folded into another allocation (a
+    /// compile-time property of the executed plan).
+    pub blocks_merged: u64,
     /// Map statements that went through the persistent worker pool
     /// (small trip counts run inline and are not counted).
     pub pool_dispatches: u64,
@@ -150,6 +183,9 @@ pub struct Stats {
     /// recorded no later uses). Counted per execution of the circuit
     /// statement's block, so loop-scoped circuits count per iteration.
     pub circuits_verified: u64,
+    /// Checked mode: footprint-justified merges whose recorded pairs all
+    /// evaluated concretely and came out disjoint.
+    pub merges_verified: u64,
     /// Checked mode: sanitizer findings (empty on a clean run).
     pub diagnostics: Vec<Diagnostic>,
     /// Diagnostics dropped beyond the per-run cap.
@@ -184,6 +220,11 @@ impl std::fmt::Display for Stats {
             f,
             "reused: {} blocks | zeroing elided: {} B | pool dispatches: {}",
             self.blocks_reused, self.bytes_zeroing_elided, self.pool_dispatches
+        )?;
+        writeln!(
+            f,
+            "peak live: {} B | merged blocks: {}",
+            self.peak_bytes_live, self.blocks_merged
         )?;
         write!(
             f,

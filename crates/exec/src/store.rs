@@ -192,6 +192,15 @@ pub struct MemStore {
     pub blocks_reused: u64,
     /// Bytes of `vec![0; len]` zero-fill skipped thanks to reuse.
     pub bytes_zeroing_elided: u64,
+    /// Bytes charged per live block (the *requested* length, so the
+    /// figure is comparable whether an allocation was fresh or recycled
+    /// into a larger buffer); zero while the block sits in a free list.
+    charged: Vec<u64>,
+    /// Total bytes currently charged to live blocks.
+    bytes_live: u64,
+    /// High-water mark of [`bytes_live`](Self::bytes_live) since the last
+    /// [`reset_peak`](MemStore::reset_peak).
+    pub peak_bytes_live: u64,
     /// Checked-mode shadow layer: one [`ShadowBlock`] per block while
     /// enabled, `None` otherwise (the fast modes pay nothing for it).
     shadow: Option<Vec<ShadowBlock>>,
@@ -213,8 +222,28 @@ impl MemStore {
             num_allocs: 0,
             blocks_reused: 0,
             bytes_zeroing_elided: 0,
+            charged: Vec::new(),
+            bytes_live: 0,
+            peak_bytes_live: 0,
             shadow: None,
         }
+    }
+
+    /// Restart the peak-liveness high-water mark from the current live
+    /// set. Called at the start of a run body, after inputs are loaded:
+    /// inputs are charged identically under every pass configuration, so
+    /// per-run peaks stay comparable across a session.
+    pub fn reset_peak(&mut self) {
+        self.peak_bytes_live = self.bytes_live;
+    }
+
+    fn charge(&mut self, block: usize, bytes: u64) {
+        if self.charged.len() <= block {
+            self.charged.resize(block + 1, 0);
+        }
+        self.charged[block] = bytes;
+        self.bytes_live += bytes;
+        self.peak_bytes_live = self.peak_bytes_live.max(self.bytes_live);
     }
 
     /// Turn on the shadow layer. Pre-existing blocks (recycled across
@@ -260,7 +289,8 @@ impl MemStore {
     }
 
     fn fresh(&mut self, b: Buffer) -> usize {
-        self.bytes_allocated += (b.len() * b.elem().size_bytes()) as u64;
+        let bytes = (b.len() * b.elem().size_bytes()) as u64;
+        self.bytes_allocated += bytes;
         self.num_allocs += 1;
         if let Some(sh) = &mut self.shadow {
             sh.push(ShadowBlock {
@@ -270,7 +300,9 @@ impl MemStore {
         }
         self.blocks.push(b);
         self.live.push(true);
-        self.blocks.len() - 1
+        let id = self.blocks.len() - 1;
+        self.charge(id, bytes);
+        id
     }
 
     /// Pop a released block of storage class `class` with capacity `>= len`,
@@ -305,6 +337,7 @@ impl MemStore {
             self.blocks_reused += 1;
             self.bytes_zeroing_elided += (kept * elem.size_bytes()) as u64;
             self.live[id] = true;
+            self.charge(id, (len * elem.size_bytes()) as u64);
             if let Some(sh) = &mut self.shadow {
                 // The surviving prefix is stale garbage; only the grown
                 // tail was freshly zeroed by `recycle_to`.
@@ -358,6 +391,8 @@ impl MemStore {
             return;
         }
         self.live[block] = false;
+        self.bytes_live -= self.charged[block];
+        self.charged[block] = 0;
         if let Some(sh) = &mut self.shadow {
             let s = &mut sh[block];
             s.released_by = site;

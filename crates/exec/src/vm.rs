@@ -34,7 +34,7 @@
 
 use crate::kernel::{KernelCtx, KernelRegistry};
 use crate::plan::{
-    lower_plan, lower_plan_with, slot_lookup, Dest, ExecPlan, Instr, LExp, LSlice, LUpdateSrc,
+    lower_plan_full, lower_plan_with, slot_lookup, Dest, ExecPlan, Instr, LExp, LSlice, LUpdateSrc,
     ParamSpec, Stream,
 };
 use crate::pool::parallel_for_worker;
@@ -42,7 +42,7 @@ use crate::stats::{Diagnostic, Stats};
 use crate::store::{CellState, MemStore};
 use crate::value::{ArrayRef, InputValue, OutputValue, Value};
 use crate::view::{copy_view, fix_outer, View, ViewMut};
-use arraymem_core::{CircuitCheck, ReleasePlan};
+use arraymem_core::{CircuitCheck, MergeRecord, ReleasePlan};
 use arraymem_ir::validate::lmad_slice_is_injective;
 use arraymem_ir::{BinOp, ElemType, Program, Type, UnOp};
 use arraymem_lmad::{
@@ -143,14 +143,29 @@ impl Session {
         kernels: &KernelRegistry,
         checks: &[CircuitCheck],
     ) -> Result<PlanHandle, String> {
-        let key = cache_key(prog, kernels, checks);
+        self.prepare_full(prog, kernels, checks, &[])
+    }
+
+    /// [`prepare_with_checks`](Session::prepare_with_checks) additionally
+    /// lowering the compile report's [`MergeRecord`]s (`Report::merges`)
+    /// into the plan: checked-mode runs re-prove every footprint pair a
+    /// footprint-justified merge relied on, and the plan stamps
+    /// `Stats::blocks_merged`. Part of the cache key.
+    pub fn prepare_full(
+        &mut self,
+        prog: &Program,
+        kernels: &KernelRegistry,
+        checks: &[CircuitCheck],
+        merges: &[MergeRecord],
+    ) -> Result<PlanHandle, String> {
+        let key = cache_key(prog, kernels, checks, merges);
         if let Some(&i) = self.cache.get(&key) {
             self.plan_stats.cache_hits += 1;
             self.last_prepare = (true, Duration::ZERO);
             return Ok(PlanHandle(i));
         }
         let t0 = Instant::now();
-        let plan = lower_plan(prog, kernels, checks)?;
+        let plan = lower_plan_full(prog, kernels, checks, merges)?;
         let dt = t0.elapsed();
         self.plan_stats.builds += 1;
         self.plan_stats.build_time += dt;
@@ -227,7 +242,24 @@ impl Session {
         threads: usize,
         checks: &[CircuitCheck],
     ) -> Result<(Vec<OutputValue>, Stats), String> {
-        let h = self.prepare_with_checks(prog, kernels, checks)?;
+        self.run_full(prog, inputs, kernels, mode, threads, checks, &[])
+    }
+
+    /// [`run_with_checks`](Session::run_with_checks) additionally carrying
+    /// the compile report's merge records (`Report::merges`) — the full
+    /// set of runtime obligations the optimizer took on.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_full(
+        &mut self,
+        prog: &Program,
+        inputs: &[InputValue],
+        kernels: &KernelRegistry,
+        mode: Mode,
+        threads: usize,
+        checks: &[CircuitCheck],
+        merges: &[MergeRecord],
+    ) -> Result<(Vec<OutputValue>, Stats), String> {
+        let h = self.prepare_full(prog, kernels, checks, merges)?;
         self.run_plan(h, inputs, kernels, mode, threads)
     }
 
@@ -253,13 +285,20 @@ impl Session {
 }
 
 /// Cache key: the program's structural fingerprint, the kernel
-/// registry's name table, and the circuit-check set.
-fn cache_key(prog: &Program, kernels: &KernelRegistry, checks: &[CircuitCheck]) -> u64 {
+/// registry's name table, the circuit-check set, and the merge-record
+/// set.
+fn cache_key(
+    prog: &Program,
+    kernels: &KernelRegistry,
+    checks: &[CircuitCheck],
+    merges: &[MergeRecord],
+) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for part in [
         arraymem_core::fingerprint(prog),
         kernels.fingerprint(),
         arraymem_core::fingerprint_items(checks),
+        arraymem_core::fingerprint_items(merges),
     ] {
         for b in part.to_le_bytes() {
             h ^= b as u64;
@@ -319,13 +358,19 @@ fn exec_plan(
     m.store.num_allocs = 0;
     m.store.blocks_reused = 0;
     m.store.bytes_zeroing_elided = 0;
+    m.store.reset_peak();
     let t0 = Instant::now();
     m.exec_stream(&plan.body)?;
     m.stats.total_time = t0.elapsed();
+    if m.checked() {
+        m.verify_merges(&plan.merge_checks);
+    }
     m.stats.bytes_allocated = m.store.bytes_allocated;
     m.stats.num_allocs = m.store.num_allocs;
     m.stats.blocks_reused = m.store.blocks_reused;
     m.stats.bytes_zeroing_elided = m.store.bytes_zeroing_elided;
+    m.stats.peak_bytes_live = m.store.peak_bytes_live;
+    m.stats.blocks_merged = plan.blocks_merged;
     let mut out = Vec::with_capacity(plan.results.len());
     for (slot, v) in &plan.results {
         m.cur_stm = Some(*v);
@@ -1018,6 +1063,49 @@ impl Machine<'_> {
             }
             if confirmed {
                 self.stats.circuits_verified += 1;
+            }
+        }
+    }
+
+    /// Re-prove every footprint-justified merge: each recorded
+    /// (victim-tenant, resident) pair is evaluated to concrete LMADs
+    /// against the final register file (merge footprints reference
+    /// top-level scalars, which stay bound for the whole run) and
+    /// enumerated for disjointness — the merge-pass analogue of
+    /// [`verify_checks`](Machine::verify_checks).
+    fn verify_merges(&mut self, checks: &[crate::plan::LoweredMergeCheck]) {
+        for c in checks {
+            let pairs: Vec<(Option<ConcreteLmad>, Option<ConcreteLmad>)> = {
+                let lookup = slot_lookup(&c.vars, &self.regs);
+                c.pairs
+                    .iter()
+                    .map(|(a, b)| (a.eval(&lookup), b.eval(&lookup)))
+                    .collect()
+            };
+            let mut confirmed = true;
+            for pair in &pairs {
+                let (Some(v), Some(r)) = pair else {
+                    confirmed = false;
+                    continue;
+                };
+                match footprint_check(v, r, FOOTPRINT_CAP) {
+                    FootprintCheck::Disjoint => {}
+                    FootprintCheck::TooLarge => confirmed = false,
+                    FootprintCheck::Overlap(off) => {
+                        confirmed = false;
+                        let d = Diagnostic::MergeOverlap {
+                            host: c.host.clone(),
+                            victim: c.victim.clone(),
+                            offset: off,
+                            victim_ixfn: format!("{v:?}"),
+                            resident_ixfn: format!("{r:?}"),
+                        };
+                        self.diag(d);
+                    }
+                }
+            }
+            if confirmed {
+                self.stats.merges_verified += 1;
             }
         }
     }

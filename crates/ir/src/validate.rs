@@ -3,9 +3,9 @@
 //! for updates (the "old" array must not be used after an update — §II-C).
 
 use crate::exp::*;
-use crate::types::Type;
+use crate::types::{ElemType, Type};
 use arraymem_symbolic::Poly;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Validate a program; `Err` carries a description of the first violation.
 pub fn validate(prog: &Program) -> Result<(), String> {
@@ -169,26 +169,32 @@ fn validate_exp(
 pub fn validate_memory(prog: &Program) -> Result<(), String> {
     let mut scope: HashSet<Var> = prog.params.iter().map(|(v, _)| *v).collect();
     let mut mems: HashSet<Var> = HashSet::new();
+    let mut elems: HashMap<Var, ElemType> = HashMap::new();
     for (v, ty) in &prog.params {
         if ty.is_array() {
             let m = crate::param_block_sym(*v);
             scope.insert(m);
             mems.insert(m);
+            if let Some(e) = ty.elem() {
+                elems.insert(m, e);
+            }
         }
     }
     // Structural validation, with the synthetic parameter blocks in scope:
     // annotated programs legitimately name them (e.g. as the memory
     // initializer of a loop's existential-memory merge parameter).
     validate_block(&prog.body, &mut scope.clone())?;
-    validate_mem_block(&prog.body, &mut scope, &mut mems)
+    validate_mem_block(&prog.body, &mut scope, &mut mems, &mut elems)
 }
 
 fn check_binding(
     mb: &MemBinding,
     owner: Var,
+    owner_ty: &Type,
     k: usize,
     scope: &HashSet<Var>,
     mems: &HashSet<Var>,
+    elems: &HashMap<Var, ElemType>,
 ) -> Result<(), String> {
     if !scope.contains(&mb.block) {
         return Err(format!(
@@ -209,6 +215,17 @@ fn check_binding(
             ));
         }
     }
+    // Several arrays may legitimately share one block (aliasing after an
+    // elided update; distinct tenants after block merging) — but never at
+    // different element widths: the block's buffer has one element type.
+    if let (Some(be), Some(oe)) = (elems.get(&mb.block), owner_ty.elem()) {
+        if *be != oe {
+            return Err(format!(
+                "stm {k}: {owner} ({oe}) bound in block {} allocated as {be}",
+                mb.block
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -216,6 +233,7 @@ fn validate_mem_block(
     block: &Block,
     scope: &mut HashSet<Var>,
     mems: &mut HashSet<Var>,
+    elems: &mut HashMap<Var, ElemType>,
 ) -> Result<(), String> {
     for (k, stm) in block.stms.iter().enumerate() {
         // Pattern vars enter scope before the bindings are checked:
@@ -227,9 +245,12 @@ fn validate_mem_block(
                 mems.insert(pe.var);
             }
         }
+        if let Exp::Alloc { elem, .. } = &stm.exp {
+            elems.insert(stm.pat[0].var, *elem);
+        }
         for pe in &stm.pat {
             if let Some(mb) = &pe.mem {
-                check_binding(mb, pe.var, k, scope, mems)?;
+                check_binding(mb, pe.var, &pe.ty, k, scope, mems, elems)?;
             }
         }
         match &stm.exp {
@@ -238,8 +259,18 @@ fn validate_mem_block(
                 // from a pre-pattern snapshot is overkill — the pattern
                 // vars are fresh, a branch referencing them would already
                 // fail plain `validate`'s scoping.
-                validate_mem_block(then_b, &mut scope.clone(), &mut mems.clone())?;
-                validate_mem_block(else_b, &mut scope.clone(), &mut mems.clone())?;
+                validate_mem_block(
+                    then_b,
+                    &mut scope.clone(),
+                    &mut mems.clone(),
+                    &mut elems.clone(),
+                )?;
+                validate_mem_block(
+                    else_b,
+                    &mut scope.clone(),
+                    &mut mems.clone(),
+                    &mut elems.clone(),
+                )?;
             }
             Exp::Loop {
                 params,
@@ -258,10 +289,10 @@ fn validate_mem_block(
                 }
                 for pp in params {
                     if let Some(mb) = &pp.mem {
-                        check_binding(mb, pp.var, k, &inner, &inner_mems)?;
+                        check_binding(mb, pp.var, &pp.ty, k, &inner, &inner_mems, elems)?;
                     }
                 }
-                validate_mem_block(body, &mut inner, &mut inner_mems)?;
+                validate_mem_block(body, &mut inner, &mut inner_mems, &mut elems.clone())?;
             }
             Exp::Map(m) => {
                 if let MapBody::Lambda { params, body } = &m.body {
@@ -269,7 +300,7 @@ fn validate_mem_block(
                     for (p, _) in params {
                         inner.insert(*p);
                     }
-                    validate_mem_block(body, &mut inner, &mut mems.clone())?;
+                    validate_mem_block(body, &mut inner, &mut mems.clone(), &mut elems.clone())?;
                 }
             }
             _ => {}

@@ -276,10 +276,15 @@ fn check(i1: &SumOfInts, i2: &SumOfInts, env: &Env, depth: usize, trace: &mut Ve
     for a in &v1 {
         for b in &v2 {
             // Splits can unbalance the stride sets; re-match before
-            // recursing.
+            // recursing. Matching inserts padding intervals by the
+            // *syntactic* stride key, which can break the provably
+            // ascending order `dims_nonoverlapping` relies on — restore
+            // it under the env, exactly as `run` does after its match.
             let mut a = a.clone();
             let mut b = b.clone();
             SumOfInts::match_strides(&mut a, &mut b);
+            a.sort_by_env(env);
+            b.sort_by_env(env);
             if !check(&a, &b, env, depth - 1, trace) {
                 return false;
             }
@@ -368,6 +373,130 @@ mod soundness_oracle {
         )
     }
 
+    /// A sampled assumption environment together with a concrete variable
+    /// assignment that satisfies every assumption. Ground truth concretizes
+    /// under the assignment; the symbolic test only sees the env, so any
+    /// "disjoint" verdict must hold for this assignment in particular.
+    struct Scenario {
+        env: Env,
+        vars: Vec<(arraymem_symbolic::Sym, i64)>,
+    }
+
+    fn random_scenario(rng: &mut Rng64) -> Scenario {
+        let n = rng.i64_incl(1, 3) as usize;
+        let mut env = Env::default();
+        let mut vars = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = arraymem_symbolic::Sym::fresh("o");
+            let x = rng.i64_incl(1, 6);
+            // Always lower-bounded (the case-split machinery keys off
+            // lower bounds); sometimes tight, sometimes slack.
+            env.assume_ge(v, rng.i64_incl(0, x));
+            if rng.chance(0.4) {
+                env.assume_le(v, Poly::constant(rng.i64_incl(x, x + 4)));
+            }
+            if rng.chance(0.2) {
+                env.define(v, Poly::constant(x));
+            }
+            vars.push((v, x));
+        }
+        Scenario { env, vars }
+    }
+
+    /// A small polynomial over the scenario's variables whose concrete
+    /// value under the assignment lands in `[lo, hi]`.
+    fn random_poly(rng: &mut Rng64, sc: &Scenario, lo: i64, hi: i64) -> Poly {
+        loop {
+            let (v, x) = sc.vars[rng.usize_in(sc.vars.len())];
+            let (p, val) = match rng.usize_in(4) {
+                0 => {
+                    let c = rng.i64_incl(lo, hi);
+                    (Poly::constant(c), c)
+                }
+                1 => (Poly::var(v), x),
+                2 => {
+                    let c = rng.i64_incl(-3, 3);
+                    (Poly::var(v) + Poly::constant(c), x + c)
+                }
+                _ => {
+                    let k = rng.i64_incl(-2, 3);
+                    let c = rng.i64_incl(-2, 4);
+                    (Poly::var(v).scale(k) + Poly::constant(c), k * x + c)
+                }
+            };
+            if (lo..=hi).contains(&val) {
+                return p;
+            }
+        }
+    }
+
+    fn random_symbolic(rng: &mut Rng64, sc: &Scenario) -> Lmad {
+        let rank = rng.i64_incl(1, 3) as usize;
+        let dims = (0..rank)
+            .map(|_| {
+                let card = random_poly(rng, sc, 1, 6);
+                let stride = random_poly(rng, sc, -9, 9);
+                Dim::new(card, stride)
+            })
+            .collect();
+        Lmad::new(random_poly(rng, sc, 0, 30), dims)
+    }
+
+    /// As [`symbolic_disjoint_implies_concrete_disjoint`], but over LMADs
+    /// with symbolic offsets, cardinalities and strides under a random
+    /// assumption environment — this drives the case-split path
+    /// (`run_with_splits`) and the prover-backed stride sort, which
+    /// constant LMADs under an empty env never reach.
+    #[test]
+    fn symbolic_env_disjoint_implies_concrete_disjoint() {
+        let iters = if std::env::var("ARRAYMEM_SLOW").ok().as_deref() == Some("1") {
+            20_000
+        } else {
+            4_000
+        };
+        let mut rng = Rng64::new(0x5EED0AC1);
+        let mut truly_disjoint = 0u64;
+        let mut proved = 0u64;
+        for i in 0..iters {
+            let sc = random_scenario(&mut rng);
+            let (la, lb) = (
+                random_symbolic(&mut rng, &sc),
+                random_symbolic(&mut rng, &sc),
+            );
+            let lookup = |s| sc.vars.iter().find(|&&(v, _)| v == s).map(|&(_, x)| x);
+            let (ca, cb) = (
+                la.eval(&lookup).expect("closed under assignment"),
+                lb.eval(&lookup).expect("closed under assignment"),
+            );
+            let really = match footprint_check(&ca, &cb, 1 << 16) {
+                FootprintCheck::Disjoint => true,
+                FootprintCheck::Overlap(_) => false,
+                FootprintCheck::TooLarge => continue,
+            };
+            let symbolic = non_overlap(&la, &lb, &sc.env);
+            assert!(
+                really || !symbolic,
+                "iteration {i}: symbolic test claims disjoint but footprints \
+                 intersect under a satisfying assignment\n  a = {la:?}\n  b = {lb:?}\n  \
+                 env = {:?}\n  assignment: {:?}\n  a@ = {ca:?}\n  b@ = {cb:?}",
+                sc.env,
+                sc.vars,
+            );
+            if really {
+                truly_disjoint += 1;
+                if symbolic {
+                    proved += 1;
+                }
+            }
+        }
+        eprintln!(
+            "symbolic overlap oracle: {proved}/{truly_disjoint} truly-disjoint pairs \
+             proved ({:.1}% complete)",
+            100.0 * proved as f64 / truly_disjoint.max(1) as f64
+        );
+        assert!(truly_disjoint > 0, "oracle generated no disjoint pairs");
+    }
+
     #[test]
     fn symbolic_disjoint_implies_concrete_disjoint() {
         let iters = if std::env::var("ARRAYMEM_SLOW").ok().as_deref() == Some("1") {
@@ -407,5 +536,83 @@ mod soundness_oracle {
             100.0 * proved as f64 / truly_disjoint.max(1) as f64
         );
         assert!(truly_disjoint > 0, "oracle generated no disjoint pairs");
+    }
+}
+
+#[cfg(test)]
+mod sort_regression {
+    //! Regression for the post-split recursion of [`check`]: after
+    //! `match_strides` the sums must be re-sorted under the env (as `run`
+    //! does), because `dims_nonoverlapping` relies on provably ascending
+    //! stride order and the syntactic `stride_key` order can differ from
+    //! the env-proved one.
+
+    use super::*;
+    use arraymem_symbolic::Sym;
+
+    /// A pair whose env-proved stride order (`b` before `n`, since the env
+    /// defines `n = b²`) is the *reverse* of the syntactic `stride_key`
+    /// order (`n` interned first, so `Monomial(n) < Monomial(b)`). The
+    /// outer sums are listed syntactically — the state
+    /// `from_normalized_dims` produces — so the first interval pair that
+    /// needs a split ([0..1]·n) only proves once the recursion re-sorts:
+    /// without the `sort_by_env` after the recursion's `match_strides`,
+    /// the "last point" variant `[1..1]·n + [0..b-2]·b` is stuck in
+    /// descending order, `dims_nonoverlapping` keeps failing, and the
+    /// (truly disjoint) pair is rejected.
+    #[test]
+    fn post_split_recursion_resorts_under_env() {
+        // Intern `n` before `b`: syntactic order puts `n` first.
+        let sn = Sym::fresh("n");
+        let sb = Sym::fresh("b");
+        let n = Poly::var(sn);
+        let b = Poly::var(sb);
+        let mut env = Env::default();
+        env.define(sn, b.clone() * b.clone()); // n = b²
+        env.assume_ge(sb, 3);
+        // Env-proved order is b ≤ n, the reverse of the syntactic key.
+        assert!(env.prove_le(&b, &n) && !env.prove_le(&n, &b));
+
+        let iv = |lo: Poly, hi: Poly, stride: &Poly| Interval {
+            lo,
+            hi,
+            stride: stride.clone(),
+        };
+        // I1 = [0..1]·n + [0..b-2]·b, listed in syntactic order.
+        let i1 = SumOfInts {
+            intervals: vec![
+                iv(Poly::zero(), Poly::constant(1), &n),
+                iv(Poly::zero(), b.clone() - Poly::constant(2), &b),
+            ],
+        };
+        // I2 = [0..0]·n + [b-1..b-1]·b: the single point (b-1)·b, wedged
+        // between I1's two b-runs ({y·b} and {b² + y·b}, y ≤ b-2).
+        let i2 = SumOfInts {
+            intervals: vec![
+                iv(Poly::zero(), Poly::zero(), &n),
+                iv(
+                    b.clone() - Poly::constant(1),
+                    b.clone() - Poly::constant(1),
+                    &b,
+                ),
+            ],
+        };
+        // Ground truth at b = 4 (n = 16): disjoint.
+        let lookup = |s| match s {
+            s if s == sb => Some(4i64),
+            s if s == sn => Some(16i64),
+            _ => None,
+        };
+        let p1 = i1.eval_points(&lookup).unwrap();
+        let p2 = i2.eval_points(&lookup).unwrap();
+        assert!(p1.iter().all(|p| !p2.contains(p)), "sets must be disjoint");
+
+        let mut trace = Vec::new();
+        assert!(
+            check(&i1, &i2, &env, MAX_SPLIT_DEPTH, &mut trace),
+            "disjoint pair rejected; the split recursion lost the \
+             env-sorted stride order:\n{}",
+            trace.join("\n")
+        );
     }
 }

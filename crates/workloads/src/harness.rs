@@ -50,7 +50,12 @@ impl Case {
     /// from the cache.
     pub fn run_in(&self, session: &mut Session, compiled: &Compiled) -> (Vec<OutputValue>, Stats) {
         let h = session
-            .prepare(&compiled.program, &self.kernels)
+            .prepare_full(
+                &compiled.program,
+                &self.kernels,
+                &[],
+                &compiled.report.merges,
+            )
             .unwrap_or_else(|e| panic!("{}/{}: prepare failed: {e}", self.name, self.dataset));
         session
             .run_plan(
@@ -104,7 +109,12 @@ impl Case {
     ) -> (Vec<OutputValue>, Stats) {
         let checks: Vec<_> = compiled.report.checks().cloned().collect();
         let h = session
-            .prepare_with_checks(&compiled.program, &self.kernels, &checks)
+            .prepare_full(
+                &compiled.program,
+                &self.kernels,
+                &checks,
+                &compiled.report.merges,
+            )
             .unwrap_or_else(|e| panic!("{}/{}: prepare failed: {e}", self.name, self.dataset));
         session
             .run_plan(h, &self.inputs, &self.kernels, Mode::Checked, 1)

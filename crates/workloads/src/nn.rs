@@ -57,12 +57,22 @@ pub fn reference(lats: &[f32], lngs: &[f32], lat0: f32, lng0: f32, k: usize) -> 
 }
 
 pub fn register_kernels(reg: &mut KernelRegistry) {
-    reg.register("nn_dist", |ctx| {
+    // Stage 1: squared coordinate deltas, one (Δlat², Δlng²) pair per
+    // point — the staging buffer a naive functional formulation writes.
+    reg.register("nn_delta_sq", |ctx| {
         let lat0 = ctx.arg_f32(0);
         let lng0 = ctx.arg_f32(1);
         let lat = ctx.inputs[0].get_f32(&[ctx.i]);
         let lng = ctx.inputs[1].get_f32(&[ctx.i]);
-        ctx.out.set_f32(&[], dist(lat, lng, lat0, lng0));
+        ctx.out.set_f32(&[0], (lat - lat0) * (lat - lat0));
+        ctx.out.set_f32(&[1], (lng - lng0) * (lng - lng0));
+    });
+    // Stage 2: Euclidean norm of each pair. Identical arithmetic to
+    // `dist` above, split across the two launches.
+    reg.register("nn_norm", |ctx| {
+        let a = ctx.inputs[0].get_f32(&[ctx.i, 0]);
+        let b = ctx.inputs[0].get_f32(&[ctx.i, 1]);
+        ctx.out.set_f32(&[], (a + b).sqrt());
     });
     // The "reduction": a single instance scanning for the minimum
     // (value, index) pair.
@@ -97,14 +107,26 @@ pub fn program() -> (Program, Env) {
     let lngs = bld.array_param("nn_lngs", ElemType::F32, vec![p(n)]);
     let mut body = bld.block();
 
-    let dists0 = body.map_kernel(
-        "dists",
-        "nn_dist",
+    // Staged distance computation: squared deltas first, then the norm.
+    // The [n][2] delta buffer dies once the norms are taken, so the merge
+    // pass can put the [k][2] result scratch inside it (k ≤ n).
+    let d2 = body.map_kernel(
+        "d2",
+        "nn_delta_sq",
         p(n),
-        vec![],
+        vec![c(2)],
         ElemType::F32,
         vec![lats, lngs],
         vec![ScalarExp::var(lat0), ScalarExp::var(lng0)],
+    );
+    let dists0 = body.map_kernel(
+        "dists",
+        "nn_norm",
+        p(n),
+        vec![],
+        ElemType::F32,
+        vec![d2],
+        vec![],
     );
     let res0 = body.scratch("res0", ElemType::F32, vec![p(k), c(2)]);
 
@@ -161,6 +183,9 @@ pub fn program() -> (Program, Env) {
     let mut env = Env::new();
     env.assume_ge(n, 1);
     env.assume_ge(k, 1);
+    // k nearest of n points: k never exceeds n (lets the merge pass
+    // prove the 2k-element result scratch fits the 2n-element deltas).
+    env.assume_le(k, p(n));
     (bld.finish(blk), env)
 }
 

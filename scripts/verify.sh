@@ -33,6 +33,13 @@ cargo run --release --offline -p arraymem-bench --bin tables -- --smoke --check
 echo "== checked fuzz smoke (500 random programs under the sanitizer) =="
 cargo test --release --offline -p arraymem-bench --test differential_fuzz -q
 
+echo "== merge tier (block merging: workload peaks + on/off toggle fuzz) =="
+# Every workload runs merge-on and merge-off through one session with
+# bit-identical outputs and a strictly lower peak wherever a merge fired;
+# the differential fuzzer then toggles the pass per random program.
+cargo test --release --offline -p arraymem-bench --test merge_workloads -q
+cargo test --release --offline -p arraymem-bench --test differential_fuzz -q merge_toggle_equivalence
+
 echo "== per-pass IR snapshots (NW, interleaved IR validation forced on) =="
 # ARRAYMEM_VERIFY_IR re-runs the full structural+memory validator after
 # every pipeline stage even in this release build; a violation panics

@@ -274,3 +274,91 @@ fn overlapping_map_result_layout_is_a_map_race() {
     );
     assert!(ia != ib, "the two colliding iterations must differ");
 }
+
+/// Two same-size arrays read together by a `concat`: their live ranges
+/// and footprints both overlap, so the merge pass must reject the pair —
+/// and when the test-only `force_unsafe_merge` hook folds them into one
+/// block anyway, the checked VM's merge cross-check must refute the
+/// recorded footprint pairs concretely.
+fn interfering_blocks_program() -> Program {
+    let bld = Builder::new("forced_merge");
+    let mut b = bld.block();
+    let xs = b.replicate_typed("xs", ElemType::I64, vec![c(6)], ScalarExp::i64(1));
+    let ys = b.replicate_typed("ys", ElemType::I64, vec![c(6)], ScalarExp::i64(7));
+    let z = b.concat("z", vec![xs, ys]);
+    bld.finish(b.finish(vec![z]))
+}
+
+#[test]
+fn merge_pass_rejects_the_interfering_pair() {
+    let prog = interfering_blocks_program();
+    // Short-circuiting off, so the concat arguments keep their own blocks
+    // and reach the merge pass as live, overlapping candidates.
+    let normal = compile(
+        &prog,
+        &Options {
+            merge: true,
+            ..Options::default()
+        },
+    )
+    .expect("compile");
+    assert!(
+        normal.report.merges.is_empty(),
+        "interfering blocks must not merge: {:?}",
+        normal.report.merges
+    );
+}
+
+#[test]
+fn forced_illegal_merge_is_caught_by_the_merge_cross_check() {
+    let prog = interfering_blocks_program();
+    let forced = compile(
+        &prog,
+        &Options {
+            merge: true,
+            force_unsafe_merge: true,
+            ..Options::default()
+        },
+    )
+    .expect("compile");
+    assert_eq!(forced.report.merges.len(), 1, "the hook must force a merge");
+    assert!(
+        !forced.report.merges[0].pairs.is_empty(),
+        "a forced merge must carry footprint pairs for the VM to refute"
+    );
+    let kernels = KernelRegistry::new();
+    let (_, stats) = Session::new()
+        .run_full(
+            &forced.program,
+            &[],
+            &kernels,
+            Mode::Checked,
+            1,
+            &[],
+            &forced.report.merges,
+        )
+        .expect("checked run");
+    let hit = stats.diagnostics.iter().find_map(|d| match d {
+        Diagnostic::MergeOverlap { host, victim, .. } => Some((host.clone(), victim.clone())),
+        _ => None,
+    });
+    let (host, victim) = hit.unwrap_or_else(|| {
+        panic!(
+            "expected a MergeOverlap diagnostic; got {:?}",
+            stats.diagnostics
+        )
+    });
+    assert_ne!(host, victim);
+    // The rendered finding names both blocks, the footprints and the
+    // first clashing offset.
+    let shown = stats
+        .diagnostics
+        .iter()
+        .map(|d| format!("{d}"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(
+        shown.contains("merge overlap") && shown.contains("offset"),
+        "{shown}"
+    );
+}

@@ -457,7 +457,15 @@ fn run_all_modes(
     // cross-checked concretely.
     let checks: Vec<_> = opt.report.checks().cloned().collect();
     let (c_out, c_stats) = checked_session
-        .run_with_checks(&opt.program, &[], &kernels, Mode::Checked, 1, &checks)
+        .run_full(
+            &opt.program,
+            &[],
+            &kernels,
+            Mode::Checked,
+            1,
+            &checks,
+            &opt.report.merges,
+        )
         .expect("checked");
     assert_eq!(o_out, c_out, "checked mode changed the output ({label})");
     assert!(
@@ -527,5 +535,62 @@ fn seeded_sweep() {
     assert!(
         elisions > n / 10,
         "only {elisions}/{n} random programs exercised short-circuiting"
+    );
+}
+
+/// Toggling the block-merging pass must never change results. Each random
+/// program is compiled with and without merging and both variants run
+/// through ONE session (so the merged variant reuses blocks the unmerged
+/// variant released), with bit-identical outputs. The corpus must
+/// actually exercise the pass — at least one program has to merge — or
+/// the sweep proves nothing. (Peak memory is deliberately *not* asserted
+/// here: folding a small victim into a larger host extends the host's
+/// lifetime, so on adversarial size mixes a merge can trade a small peak
+/// for a longer-lived large block — the workload suite asserts the peak
+/// reductions where they are claimed.)
+#[test]
+fn merge_toggle_equivalence() {
+    let kernels = KernelRegistry::new();
+    let mut session = Session::new();
+    let mut merged_programs = 0u64;
+    let n = scale(150, 500) as u64;
+    for seed in 5000..5000 + n {
+        let Some(prog) = random_program(seed, 10) else {
+            continue;
+        };
+        let on = compile(&prog, &Options::optimized()).expect("merge-on compile");
+        let off = compile(
+            &prog,
+            &Options {
+                merge: false,
+                ..Options::optimized()
+            },
+        )
+        .expect("merge-off compile");
+        let (off_out, _off_stats) = session
+            .run_full(&off.program, &[], &kernels, Mode::Memory, 1, &[], &[])
+            .expect("merge-off run");
+        let (on_out, on_stats) = session
+            .run_full(
+                &on.program,
+                &[],
+                &kernels,
+                Mode::Memory,
+                1,
+                &[],
+                &on.report.merges,
+            )
+            .expect("merge-on run");
+        assert_eq!(
+            off_out, on_out,
+            "merge toggle changed results (seed {seed})"
+        );
+        if on_stats.blocks_merged > 0 {
+            merged_programs += 1;
+        }
+    }
+    assert!(
+        merged_programs > 0,
+        "no random program exercised the merge pass across {n} seeds"
     );
 }

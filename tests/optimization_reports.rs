@@ -121,6 +121,7 @@ fn compile_report_lists_stages_in_order_with_timings() {
             "antiunify",
             "hoist",
             "short_circuit",
+            "merge",
             "cleanup",
             "release"
         ],

@@ -32,6 +32,7 @@ fn nw_ir_snapshots_per_pass() {
             "antiunify",
             "hoist",
             "short_circuit",
+            "merge",
             "cleanup",
             "release"
         ],

@@ -168,6 +168,61 @@ fn pass_configuration_is_part_of_the_cache_key() {
     assert_eq!((stats.builds, stats.cache_hits), (4, 4));
 }
 
+/// The merge toggle alone separates cache entries: the same source
+/// compiled with and without block merging must lower two distinct
+/// plans — even for a program the pass leaves untouched, where only the
+/// pipeline fingerprint tells the variants apart. A stale plan served
+/// across the toggle would silently execute the wrong allocation layout.
+#[test]
+fn merge_toggle_is_part_of_the_cache_key() {
+    use arraymem_core::{compile, Options};
+    use arraymem_ir::{Builder, ElemType};
+    use arraymem_symbolic::Poly;
+
+    let mut b = Builder::new("trivial_merge");
+    let n = b.scalar_param("n", ElemType::I64);
+    let mut body = b.block();
+    let a = body.iota("a", Poly::var(n));
+    let blk = body.finish(vec![a]);
+    let prog = b.finish(blk);
+
+    let on = compile(&prog, &Options::optimized()).expect("merge-on compile");
+    let off = compile(
+        &prog,
+        &arraymem_core::Options {
+            merge: false,
+            ..Options::optimized()
+        },
+    )
+    .expect("merge-off compile");
+    // One `iota` gives the merge pass nothing to do: the optimized IR is
+    // identical either way…
+    let scrubbed = |p: &arraymem_ir::Program| {
+        arraymem_ir::pretty::scrub_uniques(&arraymem_ir::pretty::program_to_string(p))
+    };
+    assert_eq!(
+        scrubbed(&on.program),
+        scrubbed(&off.program),
+        "trivial program must be merge-invariant"
+    );
+    assert!(on.report.merges.is_empty());
+    // …yet each toggle state lowers its own plan, and re-preparing
+    // either is a pure hit.
+    let kernels = arraymem_exec::KernelRegistry::default();
+    let mut session = Session::new();
+    let h_on = session.prepare(&on.program, &kernels).expect("prepare on");
+    let h_off = session
+        .prepare(&off.program, &kernels)
+        .expect("prepare off");
+    assert_ne!(h_on, h_off, "merge toggle must miss the plan cache");
+    assert_eq!(
+        session.prepare(&on.program, &kernels).expect("re-prepare"),
+        h_on
+    );
+    let stats = session.plan_stats();
+    assert_eq!((stats.builds, stats.cache_hits), (2, 1));
+}
+
 /// Golden snapshot of the lowered NW plan (tiny dataset, optimized
 /// pipeline). Catches unintended lowering changes; regenerate with
 /// `ARRAYMEM_BLESS=1 cargo test -p arraymem-bench --test plan_cache`.
