@@ -9,26 +9,36 @@
 //! tables --check         # run cases under the checked-mode sanitizer
 //!                        # instead of measuring; exit 1 on any finding
 //! tables --json PATH     # also write timing + mechanism rows as JSON
+//! tables --threads LIST  # measure each table at every thread count in
+//!                        # the comma-separated LIST, e.g. 1,2,4,8
 //! ```
 
 use arraymem_bench::tables::{
-    all_tables, check_table, measure_table, render_json, render_mechanism, render_table, RunMode,
+    all_tables, check_table, measure_table_at, render_json, render_mechanism, render_table, RunMode,
 };
 use arraymem_workloads::Measurement;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     for (i, a) in args.iter().enumerate() {
-        let is_value_arg = i > 0 && (args[i - 1] == "--table" || args[i - 1] == "--json");
+        let is_value_arg = i > 0
+            && (args[i - 1] == "--table" || args[i - 1] == "--json" || args[i - 1] == "--threads");
         if !is_value_arg
             && !matches!(
                 a.as_str(),
-                "--quick" | "--smoke" | "--figures" | "--table" | "--check" | "--json"
+                "--quick"
+                    | "--smoke"
+                    | "--figures"
+                    | "--table"
+                    | "--check"
+                    | "--json"
+                    | "--threads"
             )
         {
             eprintln!("error: unknown argument {a:?}");
             eprintln!(
-                "usage: tables [--quick] [--smoke] [--table N] [--figures] [--check] [--json PATH]"
+                "usage: tables [--quick] [--smoke] [--table N] [--figures] [--check] \
+                 [--json PATH] [--threads LIST]"
             );
             std::process::exit(2);
         }
@@ -66,6 +76,31 @@ fn main() {
         eprintln!("error: --json requires a path");
         std::process::exit(2);
     }
+    // Thread counts to measure at: the default pool width, or a sweep.
+    let thread_counts: Vec<usize> = match args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(list) => {
+            let parsed: Result<Vec<usize>, _> =
+                list.split(',').map(|s| s.trim().parse::<usize>()).collect();
+            match parsed {
+                Ok(ts) if !ts.is_empty() && ts.iter().all(|&t| t > 0) => ts,
+                _ => {
+                    eprintln!("error: --threads takes a comma-separated list of positive counts");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => {
+            if args.iter().any(|a| a == "--threads") {
+                eprintln!("error: --threads requires a list, e.g. --threads 1,2,4,8");
+                std::process::exit(2);
+            }
+            vec![arraymem_exec::default_threads()]
+        }
+    };
     let check = args.iter().any(|a| a == "--check");
     let mut total_findings = 0u64;
     let mut measured: Vec<(arraymem_bench::tables::TableSpec, Vec<Measurement>)> = Vec::new();
@@ -87,16 +122,18 @@ fn main() {
                 }
             }
         } else {
-            match measure_table(&spec, mode) {
-                Ok(rows) => {
-                    println!("{}{}", render_table(&spec, &rows), render_mechanism(&rows));
-                    measured.push((spec, rows));
-                }
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    std::process::exit(2);
+            let mut rows = Vec::new();
+            for &t in &thread_counts {
+                match measure_table_at(&spec, mode, t) {
+                    Ok(mut r) => rows.append(&mut r),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    }
                 }
             }
+            println!("{}{}", render_table(&spec, &rows), render_mechanism(&rows));
+            measured.push((spec, rows));
         }
     }
     if let Some(path) = json_path {

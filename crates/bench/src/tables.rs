@@ -1,6 +1,6 @@
 //! Table definitions and rendering in the paper's format.
 
-use arraymem_workloads::{measure_case, Case, Measurement};
+use arraymem_workloads::{measure_case_at, Case, Measurement};
 
 /// One paper table: its number, benchmark, and dataset builder.
 pub struct TableSpec {
@@ -165,13 +165,14 @@ pub fn render_table(spec: &TableSpec, rows: &[Measurement]) -> String {
         spec.paper_runs
     ));
     s.push_str(&format!(
-        "{:<10} {:>12} {:>16} {:>14} {:>12}\n",
-        "Dataset", "Ref.", "Unopt. Futhark", "Opt. Futhark", "Opt. Impact"
+        "{:<10} {:>4} {:>12} {:>16} {:>14} {:>12}\n",
+        "Dataset", "Thr", "Ref.", "Unopt. Futhark", "Opt. Futhark", "Opt. Impact"
     ));
     for m in rows {
         s.push_str(&format!(
-            "{:<10} {:>10.2}ms {:>15.2}x {:>13.2}x {:>11.2}x\n",
+            "{:<10} {:>4} {:>10.2}ms {:>15.2}x {:>13.2}x {:>11.2}x\n",
             m.dataset,
+            m.threads,
             m.reference.as_secs_f64() * 1e3,
             m.unopt_rel(),
             m.opt_rel(),
@@ -203,6 +204,21 @@ pub fn render_mechanism(rows: &[Measurement]) -> String {
                 st.blocks_reused,
                 st.bytes_zeroing_elided,
                 st.pool_dispatches
+            ));
+        }
+        // Parallel mechanism: which maps ran parallel-and-in-place, and
+        // how the work-stealing pool's chunks and workers were used.
+        for (label, st) in [("unopt", &m.unopt_stats), ("opt", &m.opt_stats)] {
+            s.push_str(&format!(
+                "  {:<10} {:<5} threads {:>3} | maps_par_inplace {:>4} | chunks {:>6} ({:>5} stolen) | workers {:>4}/{:<4}\n",
+                m.dataset,
+                label,
+                m.threads,
+                st.maps_parallel_in_place,
+                st.par_chunks,
+                st.par_chunks_stolen,
+                st.par_workers_engaged,
+                st.par_workers_offered
             ));
         }
         // Peak-memory mechanism: what block merging bought, per variant.
@@ -256,15 +272,25 @@ pub enum RunMode {
 }
 
 /// Measure one table's rows (the shared engine behind the rendered and
-/// JSON outputs).
+/// JSON outputs) at the default worker-pool thread count.
 pub fn measure_table(spec: &TableSpec, mode: RunMode) -> Result<Vec<Measurement>, String> {
+    measure_table_at(spec, mode, arraymem_exec::default_threads())
+}
+
+/// [`measure_table`] at an explicit thread count — `tables --threads
+/// 1,2,4,8` calls this once per count to chart the scaling trajectory.
+pub fn measure_table_at(
+    spec: &TableSpec,
+    mode: RunMode,
+    threads: usize,
+) -> Result<Vec<Measurement>, String> {
     let mut cases = table_cases(spec.benchmark, mode != RunMode::Full)?;
     if mode == RunMode::Smoke {
         for c in &mut cases {
             c.runs = 1;
         }
     }
-    Ok(cases.iter().map(measure_case).collect())
+    Ok(cases.iter().map(|c| measure_case_at(c, threads)).collect())
 }
 
 /// Measure and render one table end to end.
@@ -305,10 +331,12 @@ pub fn render_json(results: &[(TableSpec, Vec<Measurement>)]) -> String {
         ));
         for (ri, m) in rows.iter().enumerate() {
             s.push_str(&format!(
-                "      {{\"dataset\": \"{}\", \"reference_ms\": {:.6}, \"unopt_ms\": {:.6}, \
+                "      {{\"dataset\": \"{}\", \"threads\": {}, \"reference_ms\": {:.6}, \
+                 \"unopt_ms\": {:.6}, \
                  \"opt_ms\": {:.6}, \"unopt_rel\": {:.4}, \"opt_rel\": {:.4}, \
                  \"impact\": {:.4}, \"variants\": {{",
                 json_escape(&m.dataset),
+                m.threads,
                 m.reference.as_secs_f64() * 1e3,
                 m.unopt.as_secs_f64() * 1e3,
                 m.opt.as_secs_f64() * 1e3,
@@ -327,6 +355,9 @@ pub fn render_json(results: &[(TableSpec, Vec<Measurement>)]) -> String {
                     "\"{label}\": {{\"bytes_copied\": {}, \"bytes_elided\": {}, \
                      \"num_allocs\": {}, \"blocks_reused\": {}, \
                      \"bytes_zeroing_elided\": {}, \"pool_dispatches\": {}, \
+                     \"maps_parallel_in_place\": {}, \"par_chunks\": {}, \
+                     \"par_chunks_stolen\": {}, \"par_workers_engaged\": {}, \
+                     \"par_workers_offered\": {}, \
                      \"peak_bytes_live\": {}, \"blocks_merged\": {}, \
                      \"plan_builds\": {}, \"plan_cache_hits\": {}, \
                      \"plan_build_ms\": {:.6}, \"passes\": [",
@@ -336,6 +367,11 @@ pub fn render_json(results: &[(TableSpec, Vec<Measurement>)]) -> String {
                     st.blocks_reused,
                     st.bytes_zeroing_elided,
                     st.pool_dispatches,
+                    st.maps_parallel_in_place,
+                    st.par_chunks,
+                    st.par_chunks_stolen,
+                    st.par_workers_engaged,
+                    st.par_workers_offered,
                     st.peak_bytes_live,
                     st.blocks_merged,
                     pl.builds,
@@ -429,6 +465,7 @@ mod tests {
         let m = Measurement {
             name: "nw".into(),
             dataset: "256\"x\\2".into(), // exercises string escaping
+            threads: 4,
             reference: Duration::from_millis(10),
             unopt: Duration::from_millis(8),
             opt: Duration::from_millis(4),
@@ -474,6 +511,12 @@ mod tests {
         assert!(!in_str, "unterminated string:\n{json}");
         assert!(json.contains("\"plan_cache_hits\": 41"), "{json}");
         assert!(json.contains("\"plan_builds\": 1"), "{json}");
+        assert!(json.contains("\"threads\": 4"), "{json}");
+        assert!(json.contains("\"maps_parallel_in_place\": 0"), "{json}");
+        assert!(json.contains("\"par_chunks\": 0"), "{json}");
+        assert!(json.contains("\"par_chunks_stolen\": 0"), "{json}");
+        assert!(json.contains("\"par_workers_engaged\": 0"), "{json}");
+        assert!(json.contains("\"par_workers_offered\": 0"), "{json}");
         assert!(json.contains("\"peak_bytes_live\": 0"), "{json}");
         assert!(json.contains("\"blocks_merged\": 0"), "{json}");
         assert!(json.contains("256\\\"x\\\\2"), "{json}");

@@ -22,7 +22,12 @@
 //!    place.
 //! 5. `cleanup` ([`cleanup`]) — remove allocations whose memory became
 //!    unreferenced.
-//! 6. `release` ([`release`]) — schedule early block releases (the plan
+//! 6. `par_safety` ([`par_safety`]) — prove, per kernel mapnest, that the
+//!    per-iteration write LMADs are chunk-wise disjoint (via the same
+//!    `non_overlap` test as §V-C), so the executor may run the map in
+//!    place and in parallel; each verdict travels to the runtime as a
+//!    [`ParSafetyRecord`].
+//! 7. `release` ([`release`]) — schedule early block releases (the plan
 //!    itself is recomputed at lowering time; the stage records its size).
 //!
 //! [`compile`] runs the standard pipeline and returns the optimized
@@ -39,6 +44,7 @@ pub mod hoist;
 pub mod introduce;
 pub mod memtable;
 pub mod merge;
+pub mod par_safety;
 pub mod pipeline;
 pub mod release;
 pub mod remark;
@@ -47,9 +53,10 @@ pub mod short_circuit;
 pub use fingerprint::{fingerprint, fingerprint_items};
 pub use memtable::MemTable;
 pub use merge::{MergeOutcome, MergeRecord, MergeReport};
+pub use par_safety::{ParLevel, ParSafetyRecord};
 pub use pipeline::{CompileReport, IrStats, Pass, PassCx, PassRun, Pipeline};
 pub use release::ReleasePlan;
-pub use remark::{MergeReject, RejectReason, Remark, RemarkKind};
+pub use remark::{MergeReject, ParReject, RejectReason, Remark, RemarkKind};
 pub use short_circuit::{CandidateOutcome, CircuitCheck, Rejection, Report};
 
 use arraymem_ir::Program;
@@ -76,6 +83,12 @@ pub struct Options {
     /// allocations (disjoint live ranges, or provably disjoint LMAD
     /// footprints) share one block, cutting peak allocation.
     pub merge: bool,
+    /// Run the parallel-safety analysis ([`par_safety`]): prove per
+    /// kernel mapnest that iterations write disjoint rows, so the
+    /// executor can dispatch them in parallel without private-row
+    /// buffers. Disabling keeps the legacy schedule (parallel through
+    /// buffers, direct writes trusted unverified).
+    pub par_safety: bool,
     /// **Test-only mutation hook.** Approve short-circuit candidates past
     /// a failing write check, producing deliberately illegal elisions;
     /// the checked VM's sanitizer must catch them (see
@@ -85,6 +98,11 @@ pub struct Options {
     /// candidates into a host block anyway; the checked VM's merge
     /// cross-check must catch the resulting footprint overlaps.
     pub force_unsafe_merge: bool,
+    /// **Test-only mutation hook.** Mark every kernel mapnest
+    /// parallel-safe regardless of proof; the checked VM's pre-dispatch
+    /// enumeration must catch the resulting overlaps (as
+    /// `Diagnostic::ParOverlap`) and serialize the map.
+    pub force_unsafe_parallel: bool,
 }
 
 impl Default for Options {
@@ -95,8 +113,10 @@ impl Default for Options {
             hoist: true,
             mapnest_in_place: true,
             merge: false,
+            par_safety: true,
             force_unsafe_short_circuit: false,
             force_unsafe_merge: false,
+            force_unsafe_parallel: false,
         }
     }
 }

@@ -391,6 +391,65 @@ impl Pass for CleanupPass {
     }
 }
 
+/// Parallel-safety analysis ([`crate::par_safety`]), as a stage. Runs
+/// after merging and cleanup (so verdicts are about the final memory
+/// layout) and before release scheduling. Its records — the executor
+/// obligations behind every parallel in-place dispatch — travel in
+/// [`Report::par_safety`] next to the circuit checks and merge records.
+struct ParSafetyPass;
+
+impl Pass for ParSafetyPass {
+    fn name(&self) -> &'static str {
+        "par_safety"
+    }
+
+    fn enabled(&self, opts: &Options) -> bool {
+        opts.par_safety
+    }
+
+    fn run(&self, prog: &mut Program, cx: &mut PassCx) -> Result<(), String> {
+        let records =
+            crate::par_safety::par_safety(prog, &cx.opts.env, cx.opts.force_unsafe_parallel);
+        for r in &records {
+            let (kind, message) = match (r.level, r.forced) {
+                (crate::par_safety::ParLevel::Safe, false) => (
+                    RemarkKind::MapParallelSafe,
+                    format!(
+                        "mapnest {} proven parallel-safe: runs in place, in parallel",
+                        r.stm
+                    ),
+                ),
+                (crate::par_safety::ParLevel::Safe, true) => (
+                    RemarkKind::MapParallelSafe,
+                    format!(
+                        "mapnest {} FORCED parallel-safe past {:?}",
+                        r.stm,
+                        r.reject.expect("forced record keeps the genuine reject")
+                    ),
+                ),
+                (level, _) => {
+                    let why = r
+                        .reject
+                        .expect("non-safe verdict must carry a structured reject");
+                    let how = match level {
+                        crate::par_safety::ParLevel::NeedsBuffer => {
+                            "runs parallel through private row buffers"
+                        }
+                        _ => "is serialized",
+                    };
+                    (
+                        RemarkKind::MapParRejected(why),
+                        format!("mapnest {} {how} ({why:?})", r.stm),
+                    )
+                }
+            };
+            cx.remark("par_safety", Some(r.stm), kind, message);
+        }
+        cx.report.par_safety = records;
+        Ok(())
+    }
+}
+
 /// Release scheduling, as a stage. The [`ReleasePlan`] itself is keyed by
 /// block addresses and cannot outlive the program move into [`Compiled`]
 /// (`crate::Compiled`); the stage computes it for its timing row and
@@ -440,8 +499,9 @@ pub struct Pipeline {
 
 impl Pipeline {
     /// The standard middle-end: `introduce → antiunify → hoist →
-    /// short_circuit → merge → cleanup → release` (`hoist`,
-    /// `short_circuit` and `merge` subject to their [`Options`] switches).
+    /// short_circuit → merge → cleanup → par_safety → release` (`hoist`,
+    /// `short_circuit`, `merge` and `par_safety` subject to their
+    /// [`Options`] switches).
     pub fn standard() -> Pipeline {
         Pipeline {
             passes: vec![
@@ -451,6 +511,7 @@ impl Pipeline {
                 Box::new(ShortCircuitPass),
                 Box::new(MergePass),
                 Box::new(CleanupPass),
+                Box::new(ParSafetyPass),
                 Box::new(ReleasePass),
             ],
         }
@@ -479,6 +540,10 @@ impl Pipeline {
         parts.push(format!("mapnest_in_place={}", opts.mapnest_in_place));
         parts.push(format!("force_unsafe={}", opts.force_unsafe_short_circuit));
         parts.push(format!("force_unsafe_merge={}", opts.force_unsafe_merge));
+        parts.push(format!(
+            "force_unsafe_parallel={}",
+            opts.force_unsafe_parallel
+        ));
         crate::fingerprint::fingerprint_items(&parts)
     }
 

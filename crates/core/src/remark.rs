@@ -70,6 +70,32 @@ pub enum MergeReject {
     Interference,
 }
 
+/// Why the parallel-safety stage stopped short of the strongest verdict
+/// for a kernel mapnest — the closed reject-reason taxonomy of the
+/// `par_safety` pass, mirroring [`RejectReason`] and [`MergeReject`].
+/// `NeedsBuffer`-level records carry the reason direct writes were not
+/// proven safe; `Serial`-level records carry the reason even the map's
+/// existing direct-write schedule could not be proven race-free.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ParReject {
+    /// The map's result has no memory annotation to derive a write LMAD
+    /// from.
+    NoMemBinding,
+    /// The per-iteration write footprint is not expressible as a slice of
+    /// the result's index function (e.g. the outer dimension cannot be
+    /// fixed symbolically).
+    RowNotExtractable,
+    /// `non_overlap` could not prove the write rows of two distinct
+    /// iterations disjoint.
+    WriteOverlapNotProven,
+    /// An input view aliases the result's memory block and neither full
+    /// disjointness nor row-wise disjointness is provable.
+    InputInterference,
+    /// Every proof succeeded, but the pass did not mark the map in-place:
+    /// it keeps the private-row buffers and runs parallel through them.
+    PrivateBuffer,
+}
+
 /// What a remark reports.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RemarkKind {
@@ -92,6 +118,12 @@ pub enum RemarkKind {
     MergeRejected(MergeReject),
     /// `cleanup`: a dead allocation was removed.
     DeadAllocRemoved,
+    /// `par_safety`: a kernel mapnest's per-iteration write LMADs were
+    /// proven chunk-wise disjoint — it runs parallel and in place.
+    MapParallelSafe,
+    /// `par_safety`: a kernel mapnest fell short of the `Safe` verdict
+    /// for the named reason (it runs buffered-parallel or serial).
+    MapParRejected(ParReject),
     /// `release`: early release points were scheduled.
     ReleaseScheduled,
 }

@@ -119,6 +119,10 @@ pub struct Report {
     pub in_place_maps: usize,
     /// The result variables of those maps, anchoring the remarks.
     pub in_place_stms: Vec<Var>,
+    /// Per-mapnest parallel-safety verdicts recorded by the `par_safety`
+    /// stage ([`crate::par_safety`]) — like [`Report::merges`], these are
+    /// runtime obligations lowering threads into the execution plan.
+    pub par_safety: Vec<crate::par_safety::ParSafetyRecord>,
 }
 
 impl Report {
@@ -368,7 +372,7 @@ fn scalar_to_poly(e: &ScalarExp) -> Option<Poly> {
 
 /// The abstract set of memory locations addressed by an index function
 /// (footnote 26: multi-LMAD compositions are over-approximated to Top).
-fn ixfn_set(ixfn: &IndexFn) -> Summary {
+pub(crate) fn ixfn_set(ixfn: &IndexFn) -> Summary {
     match ixfn.as_single() {
         Some(l) => {
             let mut s = Summary::empty();
@@ -1362,7 +1366,12 @@ fn analyze_loop_body(
 /// iteration `j ≠ i` (iterations execute out of order, §V-B). Same-row
 /// overlap is fine: instance `i` reads its own inputs before/while writing
 /// its own row, with no cross-instance interference.
-fn rowwise_map_disjoint(out_ixfn: &IndexFn, in_ixfn: &IndexFn, width: &Poly, env: &Env) -> bool {
+pub(crate) fn rowwise_map_disjoint(
+    out_ixfn: &IndexFn,
+    in_ixfn: &IndexFn,
+    width: &Poly,
+    env: &Env,
+) -> bool {
     let i = Sym::fresh("map_i");
     let d = Sym::fresh("map_d");
     let row = |ixfn: &IndexFn, at: Poly| -> Option<Lmad> {

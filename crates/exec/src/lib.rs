@@ -9,9 +9,10 @@
 //!   of index functions, with contiguous fast paths;
 //! - [`kernel`]: the registry of native kernels a `map` may invoke (the
 //!   moral equivalent of generated device code);
-//! - [`pool`]: a persistent worker pool with a chunked parallel-for
-//!   (parked workers reused across every map of every run, degrading
-//!   gracefully to inline execution on one core or small trip counts);
+//! - [`pool`]: a persistent work-stealing worker pool (parked workers
+//!   reused across every map of every run, chunks claimed off a shared
+//!   atomic counter, degrading gracefully to inline execution on small
+//!   trip counts) with per-dispatch utilization accounting;
 //! - [`vm`]: the machine executing compiled programs. It runs in three
 //!   modes: `Memory` (obeying the compiler's memory annotations — allocs,
 //!   rebased index functions, elided copies), `Pure` (direct value
@@ -36,6 +37,7 @@ pub mod vm;
 
 pub use kernel::{KernelCtx, KernelRegistry};
 pub use plan::{lower_plan, lower_plan_full, lower_plan_with, ExecPlan, Slot};
+pub use pool::{default_threads, DispatchInfo};
 pub use stats::{Diagnostic, Stats};
 pub use store::{CellState, MemStore};
 pub use value::{ArrayRef, InputValue, OutputValue, Value};

@@ -28,7 +28,7 @@
 
 use crate::kernel::KernelRegistry;
 use crate::value::Value;
-use arraymem_core::{CircuitCheck, MergeRecord, ReleasePlan};
+use arraymem_core::{CircuitCheck, MergeRecord, ParLevel, ParSafetyRecord, ReleasePlan};
 use arraymem_ir::{
     Block, Constant, ElemType, Exp, MapBody, PatElem, Program, ScalarExp, SliceSpec, Stm, Type,
     UpdateSrc, Var,
@@ -167,6 +167,9 @@ pub(crate) struct MapKernelInstr {
     pub inputs: Vec<Slot>,
     pub args: Vec<LExp>,
     pub in_place: bool,
+    /// The `par_safety` stage's verdict for this mapnest, when records
+    /// were lowered into the plan (`None` = legacy schedule).
+    pub par: Option<ParLevel>,
 }
 
 #[derive(Clone, Debug)]
@@ -382,20 +385,23 @@ pub fn lower_plan(
     kernels: &KernelRegistry,
     checks: &[CircuitCheck],
 ) -> Result<ExecPlan, String> {
-    lower_plan_full(prog, kernels, checks, &[])
+    lower_plan_full(prog, kernels, checks, &[], &[])
 }
 
 /// [`lower_plan`] additionally lowering the compile report's
-/// [`MergeRecord`]s: checked-mode runs of the plan re-prove every
-/// footprint-justified merge concretely.
+/// [`MergeRecord`]s — checked-mode runs of the plan re-prove every
+/// footprint-justified merge concretely — and its [`ParSafetyRecord`]s,
+/// which pick each kernel map's dispatch schedule (parallel in-place,
+/// buffered, or serial).
 pub fn lower_plan_full(
     prog: &Program,
     kernels: &KernelRegistry,
     checks: &[CircuitCheck],
     merges: &[MergeRecord],
+    par: &[ParSafetyRecord],
 ) -> Result<ExecPlan, String> {
     let release = ReleasePlan::compute(prog);
-    build_plan(prog, kernels, checks, merges, &release)
+    build_plan(prog, kernels, checks, merges, par, &release)
 }
 
 /// [`lower_plan`] with a caller-supplied release plan (the test-only
@@ -407,7 +413,7 @@ pub fn lower_plan_with(
     checks: &[CircuitCheck],
     release: &ReleasePlan,
 ) -> Result<ExecPlan, String> {
-    build_plan(prog, kernels, checks, &[], release)
+    build_plan(prog, kernels, checks, &[], &[], release)
 }
 
 fn build_plan(
@@ -415,6 +421,7 @@ fn build_plan(
     kernels: &KernelRegistry,
     checks: &[CircuitCheck],
     merges: &[MergeRecord],
+    par: &[ParSafetyRecord],
     release: &ReleasePlan,
 ) -> Result<ExecPlan, String> {
     let mut lw = Lowerer {
@@ -422,6 +429,7 @@ fn build_plan(
         release,
         checks,
         merges,
+        par: par.iter().map(|r| (r.stm, r.level)).collect(),
         kernels,
         num_releases: 0,
         depth: 0,
@@ -524,6 +532,8 @@ struct Lowerer<'a> {
     release: &'a ReleasePlan,
     checks: &'a [CircuitCheck],
     merges: &'a [MergeRecord],
+    /// Parallel-safety verdicts keyed by the map statement's variable.
+    par: HashMap<Var, ParLevel>,
     kernels: &'a KernelRegistry,
     num_releases: usize,
     /// Block nesting depth; merge checks resolve against the top-level
@@ -985,6 +995,7 @@ impl Lowerer<'_> {
                         inputs,
                         args,
                         in_place: m.in_place_result,
+                        par: self.par.get(&stm.pat[0].var).copied(),
                     })),
                     blame,
                 );
@@ -1211,7 +1222,15 @@ fn fmt_instr(i: &Instr) -> String {
             mk.width.poly,
             fmt_slots(&mk.inputs),
             mk.args.iter().map(fmt_exp).collect::<Vec<_>>().join(", "),
-            if mk.in_place { " in-place" } else { "" }
+            match (mk.in_place, mk.par) {
+                (true, Some(ParLevel::Safe)) => " in-place par-safe",
+                (true, Some(ParLevel::Serial)) => " in-place par-serial",
+                (true, _) => " in-place",
+                (false, Some(ParLevel::Safe)) => " par-safe",
+                (false, Some(ParLevel::Serial)) => " par-serial",
+                (false, Some(ParLevel::NeedsBuffer)) => " par-buffered",
+                (false, _) => "",
+            }
         ),
         Instr::MapLambda(ml) => format!(
             "[{}] <- map_lambda width {:?} inputs [{}] params [{}]",

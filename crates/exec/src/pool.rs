@@ -1,41 +1,123 @@
-//! A persistent worker pool with a chunked parallel-for.
+//! A persistent worker pool with a work-stealing chunked parallel-for.
 //!
 //! The paper's GPU runtime launches kernels onto an already-running
 //! device; spawning OS threads per `map` statement would be a substrate
 //! cost the measured memory traffic never contains. This pool plays the
-//! device's role on the CPU: `available_parallelism() - 1` workers are
-//! spawned once (lazily, on first parallel dispatch), parked on a condvar
-//! between jobs, and reused across every map statement of every run.
+//! device's role on the CPU: workers are spawned once (lazily, growing on
+//! demand up to the largest thread count any dispatch requests, capped at
+//! [`MAX_THREADS`]), parked on a condvar between jobs, and reused across
+//! every map statement of every run.
 //!
-//! Dispatch is statically chunked (GPU thread-block style): worker `t`
-//! executes indices `[t·chunk, (t+1)·chunk)`, with the caller
-//! participating as worker 0 so a dispatch never context-switches for
-//! small worker counts. With one hardware thread (or small trip counts)
-//! the loop runs inline — the memory-traffic behaviour the benchmarks
-//! measure is identical either way.
+//! Dispatch is **work-stealing over an atomic chunk counter**: the index
+//! space `0..n` is cut into chunks of `max(MIN_SEQ, n / (workers · 4))`
+//! iterations, and every participant — the caller runs as slot 0 —
+//! repeatedly claims the next chunk with a `fetch_add` until the range is
+//! exhausted. Skewed iterations therefore never leave workers idle the
+//! way a static per-worker split does: whoever finishes early steals the
+//! remaining chunks. Trip counts below `2 · MIN_SEQ` run inline on the
+//! caller; the memory-traffic behaviour the benchmarks measure is
+//! identical either way. Each dispatch reports a [`DispatchInfo`] —
+//! chunks issued, chunks stolen by non-caller slots, workers engaged vs
+//! offered — which the VM surfaces as `Stats` mechanism counters.
 //!
-//! Worker panics are caught (keeping the pool alive) and re-raised on the
-//! dispatching thread after every worker has finished the job, so the
-//! borrowed closure never outlives its frame.
+//! The requested thread count is honored even beyond the hardware
+//! parallelism (oversubscription), so thread-scaling sweeps behave
+//! uniformly on any host; `ARRAYMEM_THREADS` overrides the default
+//! request ([`default_threads`]).
+//!
+//! Concurrent dispatches (e.g. parallel test threads sharing the global
+//! pool) are serialized by a dispatch lock. Worker panics are caught
+//! (keeping the pool alive), the surviving participants drain the
+//! remaining chunks, and the panic is re-raised exactly once on the
+//! dispatching thread after the job completes, so the borrowed closure
+//! never outlives its frame.
 
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 
-/// Number of available hardware threads.
+/// Hard cap on worker slots (caller included) a dispatch may request —
+/// a backstop against pathological thread counts, far above any sensible
+/// oversubscription.
+pub const MAX_THREADS: usize = 64;
+
+/// The default per-dispatch thread budget: `ARRAYMEM_THREADS` when set
+/// (a number, or `max` for the hardware parallelism), else the number of
+/// available hardware threads. Read once.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        match std::env::var("ARRAYMEM_THREADS") {
+            Ok(v) if v.trim().eq_ignore_ascii_case("max") => hw,
+            Ok(v) => v
+                .trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .map(|n| n.min(MAX_THREADS))
+                .unwrap_or(hw),
+            Err(_) => hw,
+        }
+    })
 }
 
-/// Minimum iterations per thread before parallelism pays for itself.
-const MIN_CHUNK: i64 = 256;
+/// Minimum iterations a chunk must hold before parallelism pays for the
+/// claim's `fetch_add`; trip counts below `2 * MIN_SEQ` run inline.
+const MIN_SEQ: i64 = 128;
 
-/// A type-erased borrow of the dispatched closure. The dispatcher blocks
-/// until every participating worker has finished the job, so the borrow
-/// never escapes the `parallel_for_worker` frame.
+/// Target number of chunks per participating worker: small enough that
+/// claiming stays cheap, large enough that early finishers find work to
+/// steal when iterations are skewed.
+const CHUNKS_PER_WORKER: i64 = 4;
+
+/// How one `parallel_for` call was executed — the per-dispatch
+/// work-stealing accounting the VM aggregates into `Stats`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DispatchInfo {
+    /// Whether the job went through the worker pool (vs inline).
+    pub dispatched: bool,
+    /// Worker slots offered to the job (caller included).
+    pub workers_offered: usize,
+    /// Participants that claimed at least one chunk.
+    pub workers_engaged: usize,
+    /// Chunks claimed in total.
+    pub chunks: u64,
+    /// Chunks claimed by a slot other than the calling thread.
+    pub chunks_stolen: u64,
+}
+
+impl DispatchInfo {
+    fn inline() -> DispatchInfo {
+        DispatchInfo {
+            dispatched: false,
+            workers_offered: 1,
+            workers_engaged: 1,
+            chunks: 1,
+            chunks_stolen: 0,
+        }
+    }
+}
+
+/// Shared per-job state, stack-allocated in the dispatcher's frame: the
+/// atomic chunk cursor every participant claims from, plus the steal
+/// accounting behind [`DispatchInfo`].
+#[derive(Default)]
+struct JobCtl {
+    next: AtomicI64,
+    chunks: AtomicU64,
+    stolen: AtomicU64,
+    engaged: AtomicUsize,
+}
+
+/// A type-erased borrow of the dispatched closure and its [`JobCtl`].
+/// The dispatcher blocks until every participating worker has finished
+/// the job, so neither borrow escapes the `dispatch` frame.
 #[derive(Clone, Copy)]
 struct Job {
     f: *const (dyn Fn(i64, usize) + Sync),
+    ctl: *const JobCtl,
     n: i64,
     chunk: i64,
     /// Worker slots participating in this job (caller is slot 0).
@@ -51,7 +133,7 @@ struct Ctrl {
     job: Option<Job>,
     /// Background workers still running the current job.
     remaining: usize,
-    /// Set when any worker's chunk panicked during the current job.
+    /// Set when any worker's steal loop panicked during the current job.
     panicked: bool,
 }
 
@@ -61,47 +143,58 @@ struct Shared {
     work: Condvar,
     /// The dispatcher parks here until `remaining == 0`.
     done: Condvar,
+    /// Serializes dispatches and guards the count of spawned background
+    /// workers (the pool grows on demand under this lock).
+    dispatch: Mutex<usize>,
 }
 
 /// The persistent pool: worker slot 0 is whichever thread dispatches; the
-/// background threads own slots `1..slots`.
+/// background threads own slots `1..`.
 pub struct WorkerPool {
     shared: &'static Shared,
-    slots: usize,
 }
 
 impl WorkerPool {
     fn start() -> WorkerPool {
-        let slots = default_threads();
         let shared: &'static Shared = Box::leak(Box::new(Shared {
             ctrl: Mutex::new(Ctrl::default()),
             work: Condvar::new(),
             done: Condvar::new(),
+            dispatch: Mutex::new(0),
         }));
-        for slot in 1..slots {
+        WorkerPool { shared }
+    }
+
+    /// Worker slots currently alive, including the caller's slot 0. Grows
+    /// with the largest `usable` any dispatch has requested.
+    pub fn slots(&self) -> usize {
+        *self.shared.dispatch.lock().unwrap() + 1
+    }
+
+    /// Dispatch `f(i, worker)` over `0..n` across `usable` slots (the
+    /// caller steals as slot 0). Blocks until the job completes; panics
+    /// from any participant propagate (once) after completion, leaving
+    /// the pool reusable.
+    fn dispatch<F>(&self, usable: usize, n: i64, f: &F) -> DispatchInfo
+    where
+        F: Fn(i64, usize) + Sync,
+    {
+        debug_assert!((2..=MAX_THREADS).contains(&usable));
+        // One dispatch at a time: the job slot in `Ctrl` is singular, and
+        // growing the pool must not race another dispatch's publication.
+        let mut spawned = self.shared.dispatch.lock().unwrap();
+        let shared = self.shared;
+        while *spawned + 1 < usable {
+            let slot = *spawned + 1;
             std::thread::Builder::new()
                 .name(format!("arraymem-worker-{slot}"))
                 .spawn(move || worker_loop(shared, slot))
                 .expect("spawning pool worker");
+            *spawned += 1;
         }
-        WorkerPool { shared, slots }
-    }
-
-    /// Worker slots including the caller.
-    pub fn slots(&self) -> usize {
-        self.slots
-    }
-
-    /// Dispatch `f(i, worker)` over `0..n` across up to `usable` slots
-    /// (the caller runs slot 0 inline). Blocks until the job completes;
-    /// panics from any worker (or the caller's own chunk) propagate after
-    /// completion, leaving the pool reusable.
-    fn dispatch<F>(&self, usable: usize, n: i64, chunk: i64, f: &F)
-    where
-        F: Fn(i64, usize) + Sync,
-    {
-        debug_assert!(usable >= 2 && usable <= self.slots);
-        // Erase the closure's lifetime: the job cannot outlive this frame
+        let chunk = (n / (usable as i64 * CHUNKS_PER_WORKER)).max(MIN_SEQ);
+        let ctl = JobCtl::default();
+        // Erase the borrows' lifetimes: the job cannot outlive this frame
         // because we do not return until `remaining == 0` below.
         let erased: *const (dyn Fn(i64, usize) + Sync) = unsafe {
             std::mem::transmute::<&(dyn Fn(i64, usize) + Sync), &'static (dyn Fn(i64, usize) + Sync)>(
@@ -114,17 +207,20 @@ impl WorkerPool {
             ctrl.epoch += 1;
             ctrl.job = Some(Job {
                 f: erased,
+                ctl: &ctl,
                 n,
                 chunk,
                 usable,
             });
+            // Every spawned worker checks in (non-participants only to
+            // bump the epoch), but only participants hold up completion.
             ctrl.remaining = usable - 1;
             ctrl.panicked = false;
             self.shared.work.notify_all();
         }
-        // The caller is worker 0.
+        // The caller is worker 0: it steals chunks like everyone else.
         let own = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_chunk(f, 0, n, chunk);
+            steal_loop(f, &ctl, n, chunk, 0);
         }));
         let workers_panicked = {
             let mut ctrl = self.shared.ctrl.lock().unwrap();
@@ -134,20 +230,46 @@ impl WorkerPool {
             ctrl.job = None;
             ctrl.panicked
         };
+        let info = DispatchInfo {
+            dispatched: true,
+            workers_offered: usable,
+            workers_engaged: ctl.engaged.load(Ordering::Relaxed),
+            chunks: ctl.chunks.load(Ordering::Relaxed),
+            chunks_stolen: ctl.stolen.load(Ordering::Relaxed),
+        };
+        drop(spawned);
         if let Err(payload) = own {
             std::panic::resume_unwind(payload);
         }
         if workers_panicked {
             panic!("worker panicked");
         }
+        info
     }
 }
 
-fn run_chunk<F: Fn(i64, usize) + ?Sized>(f: &F, slot: usize, n: i64, chunk: i64) {
-    let lo = slot as i64 * chunk;
-    let hi = ((slot as i64 + 1) * chunk).min(n);
-    for i in lo..hi {
-        f(i, slot);
+/// Claim chunks off the shared cursor until the range is exhausted. A
+/// panic inside `f` aborts only this participant's stealing; the other
+/// participants drain the remaining chunks.
+fn steal_loop<F: Fn(i64, usize) + ?Sized>(f: &F, ctl: &JobCtl, n: i64, chunk: i64, slot: usize) {
+    let mut engaged = false;
+    loop {
+        let start = ctl.next.fetch_add(chunk, Ordering::Relaxed);
+        if start >= n {
+            return;
+        }
+        if !engaged {
+            engaged = true;
+            ctl.engaged.fetch_add(1, Ordering::Relaxed);
+        }
+        ctl.chunks.fetch_add(1, Ordering::Relaxed);
+        if slot != 0 {
+            ctl.stolen.fetch_add(1, Ordering::Relaxed);
+        }
+        let end = (start + chunk).min(n);
+        for i in start..end {
+            f(i, slot);
+        }
     }
 }
 
@@ -165,8 +287,9 @@ fn worker_loop(shared: &'static Shared, slot: usize) {
         }
         drop(ctrl);
         let f = unsafe { &*job.f };
+        let ctl = unsafe { &*job.ctl };
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_chunk(f, slot, job.n, job.chunk);
+            steal_loop(f, ctl, job.n, job.chunk, slot);
         }));
         ctrl = shared.ctrl.lock().unwrap();
         if result.is_err() {
@@ -186,8 +309,7 @@ pub fn global() -> &'static WorkerPool {
 }
 
 /// Run `f(i)` for every `i` in `0..n`, using up to `threads` workers.
-/// Returns `true` when the job went through the worker pool (vs inline).
-pub fn parallel_for<F>(threads: usize, n: i64, f: F) -> bool
+pub fn parallel_for<F>(threads: usize, n: i64, f: F) -> DispatchInfo
 where
     F: Fn(i64) + Sync,
 {
@@ -197,66 +319,95 @@ where
 /// As [`parallel_for`], additionally passing the worker id (for private
 /// per-worker scratch, like GPU private memory). The worker id is always
 /// `< threads`.
-pub fn parallel_for_worker<F>(threads: usize, n: i64, f: F) -> bool
+pub fn parallel_for_worker<F>(threads: usize, n: i64, f: F) -> DispatchInfo
 where
     F: Fn(i64, usize) + Sync,
 {
     if n <= 0 {
-        return false;
+        return DispatchInfo {
+            chunks: 0,
+            workers_engaged: 0,
+            ..DispatchInfo::inline()
+        };
     }
-    let by_trip = ((n + MIN_CHUNK - 1) / MIN_CHUNK).max(1) as usize;
-    let mut usable = threads.min(by_trip);
-    if usable > 1 {
-        usable = usable.min(global().slots());
-    }
+    let by_trip = (n / MIN_SEQ).max(1) as usize;
+    let usable = threads.clamp(1, MAX_THREADS).min(by_trip);
     if usable <= 1 {
         for i in 0..n {
             f(i, 0);
         }
-        return false;
+        return DispatchInfo::inline();
     }
-    let chunk = (n + usable as i64 - 1) / usable as i64;
-    global().dispatch(usable, n, chunk, &f);
-    true
+    global().dispatch(usable, n, &f)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+    use std::time::Duration;
 
     #[test]
     fn covers_all_indices_sequential() {
         let sum = AtomicI64::new(0);
-        let dispatched = parallel_for(1, 100, |i| {
+        let info = parallel_for(1, 100, |i| {
             sum.fetch_add(i, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), 4950);
-        assert!(!dispatched, "one thread must run inline");
+        assert!(!info.dispatched, "one thread must run inline");
     }
 
     #[test]
     fn covers_all_indices_parallel() {
         let sum = AtomicI64::new(0);
-        parallel_for(8, 10_000, |i| {
+        let info = parallel_for(8, 10_000, |i| {
             sum.fetch_add(i, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), 10_000 * 9_999 / 2);
+        assert!(info.dispatched);
+        assert!(info.workers_offered <= 8);
+        assert!(info.workers_engaged >= 1);
+        assert!(info.chunks >= info.chunks_stolen);
     }
 
     #[test]
     fn empty_range_is_noop() {
-        parallel_for(4, 0, |_| panic!("must not run"));
+        let info = parallel_for(4, 0, |_| panic!("must not run"));
+        assert!(!info.dispatched);
+        assert_eq!(info.chunks, 0);
     }
 
     #[test]
     fn small_trip_counts_run_inline() {
         let hits = AtomicI64::new(0);
-        let dispatched = parallel_for(8, MIN_CHUNK / 2, |_| {
+        let info = parallel_for(8, MIN_SEQ, |_| {
             hits.fetch_add(1, Ordering::Relaxed);
         });
-        assert!(!dispatched);
-        assert_eq!(hits.load(Ordering::Relaxed), MIN_CHUNK / 2);
+        assert!(!info.dispatched, "below 2*MIN_SEQ must run inline");
+        assert_eq!(hits.load(Ordering::Relaxed), MIN_SEQ);
+    }
+
+    /// The inline path and a parallel dispatch must produce bit-identical
+    /// results for the same trip count — the regression the VM relies on
+    /// when a map falls under the inline threshold on one machine but
+    /// dispatches on another.
+    #[test]
+    fn inline_and_parallel_runs_are_bit_identical() {
+        let n = 8 * MIN_SEQ;
+        let run = |threads: usize| -> (Vec<i64>, bool) {
+            let out: Vec<AtomicI64> = (0..n).map(|_| AtomicI64::new(0)).collect();
+            let info = parallel_for(threads, n, |i| {
+                out[i as usize].store(i * 31 + 7, Ordering::Relaxed);
+            });
+            (
+                out.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                info.dispatched,
+            )
+        };
+        let (seq, seq_disp) = run(1);
+        let (par, par_disp) = run(6);
+        assert!(!seq_disp && par_disp);
+        assert_eq!(seq, par, "parallel dispatch diverged from inline");
     }
 
     #[test]
@@ -295,6 +446,30 @@ mod tests {
         assert_eq!(total.load(Ordering::Relaxed), 200 * 2048);
     }
 
+    /// A skewed dispatch where the caller's first chunk is slow: the
+    /// background workers must steal the remaining chunks off the shared
+    /// cursor instead of idling behind a static split.
+    #[test]
+    fn skewed_iterations_are_stolen() {
+        let n = 16 * MIN_SEQ;
+        let done = AtomicI64::new(0);
+        let info = parallel_for_worker(4, n, |i, _| {
+            if i == 0 {
+                // Park the caller inside its first chunk long enough for
+                // the workers to wake and drain the cursor.
+                std::thread::sleep(Duration::from_millis(150));
+            }
+            done.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(done.load(Ordering::Relaxed), n);
+        assert!(info.dispatched);
+        assert!(
+            info.chunks_stolen >= 1,
+            "workers must steal chunks while the caller is stuck: {info:?}"
+        );
+        assert!(info.workers_engaged >= 2, "{info:?}");
+    }
+
     #[test]
     fn worker_panic_propagates_and_pool_stays_usable() {
         let r = std::panic::catch_unwind(|| {
@@ -311,5 +486,64 @@ mod tests {
             sum.fetch_add(i, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), 2048 * 2047 / 2);
+    }
+
+    /// Stress the panic path *during stealing*: a worker dies mid-job
+    /// while other participants are still claiming chunks. Every
+    /// dispatch must re-raise exactly once (the catch_unwind below), the
+    /// surviving participants must drain the cursor, and the pool must
+    /// stay fully usable across many such failures.
+    #[test]
+    fn panic_during_steal_stress() {
+        let n = 32 * MIN_SEQ;
+        for round in 0..25 {
+            let poison = (round * 997) % n; // a different chunk each round
+            let r = std::panic::catch_unwind(|| {
+                parallel_for(6, n, |i| {
+                    if i == poison {
+                        panic!("poisoned index");
+                    }
+                });
+            });
+            assert!(r.is_err(), "round {round}: panic must propagate");
+            // A clean dispatch right after must succeed and cover the
+            // whole range.
+            let sum = AtomicI64::new(0);
+            let info = parallel_for(6, n, |i| {
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+            assert!(info.dispatched);
+            assert_eq!(
+                sum.load(Ordering::Relaxed),
+                n * (n - 1) / 2,
+                "round {round}"
+            );
+        }
+    }
+
+    /// Concurrent dispatches from several threads are serialized by the
+    /// dispatch lock — each job still covers its whole range.
+    #[test]
+    fn concurrent_dispatches_are_serialized() {
+        let flag = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..20 {
+                        let sum = AtomicI64::new(0);
+                        parallel_for(4, 4096, |i| {
+                            sum.fetch_add(i, Ordering::Relaxed);
+                        });
+                        if sum.load(Ordering::Relaxed) != 4096 * 4095 / 2 {
+                            flag.store(true, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(
+            !flag.load(Ordering::Relaxed),
+            "a concurrent job lost indices"
+        );
     }
 }

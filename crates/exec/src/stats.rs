@@ -43,6 +43,20 @@ pub enum Diagnostic {
         /// Index function of the map's result.
         ixfn: String,
     },
+    /// The pre-dispatch re-proof of a `par_safety`-approved map found two
+    /// iterations whose concrete write footprints share a cell: the
+    /// symbolic chunk-disjointness verdict was wrong (or forced). The map
+    /// was executed serially instead.
+    ParOverlap {
+        /// Name bound by the map statement.
+        stm: String,
+        block: usize,
+        offset: i64,
+        iter_a: i64,
+        iter_b: i64,
+        /// Index function of the map's result.
+        ixfn: String,
+    },
     /// Two arrays sharing one merged memory block have concretely
     /// intersecting footprints — the merge pass's symbolic non-overlap
     /// verdict was wrong (or forced).
@@ -111,6 +125,19 @@ impl std::fmt::Display for Diagnostic {
                 "map race: iterations {iter_a} and {iter_b} of {stm} both write cell \
                  {offset} of block #{block} (result index function {ixfn})"
             ),
+            Diagnostic::ParOverlap {
+                stm,
+                block,
+                offset,
+                iter_a,
+                iter_b,
+                ixfn,
+            } => write!(
+                f,
+                "parallel overlap: iterations {iter_a} and {iter_b} of {stm} would both write \
+                 cell {offset} of block #{block} (result index function {ixfn}); the \
+                 parallel-safety verdict was wrong and the map ran serially"
+            ),
             Diagnostic::MergeOverlap {
                 host,
                 victim,
@@ -161,6 +188,22 @@ pub struct Stats {
     /// Map statements that went through the persistent worker pool
     /// (small trip counts run inline and are not counted).
     pub pool_dispatches: u64,
+    /// Kernel mapnests that executed **parallel and in place**: dispatched
+    /// to the pool writing their result memory directly, under a
+    /// `par_safety` proof, with no private-row buffer.
+    pub maps_parallel_in_place: u64,
+    /// Work-stealing chunks claimed across all pool dispatches.
+    pub par_chunks: u64,
+    /// Chunks claimed by a worker other than the dispatching thread.
+    pub par_chunks_stolen: u64,
+    /// Per-dispatch worker utilization, summed: participants that claimed
+    /// at least one chunk…
+    pub par_workers_engaged: u64,
+    /// …out of the worker slots offered to those dispatches.
+    pub par_workers_offered: u64,
+    /// Checked mode: `par_safety`-approved maps whose pre-dispatch
+    /// concrete enumeration confirmed chunk-wise disjoint writes.
+    pub par_checks_verified: u64,
     /// Bytes moved by update/concat copies and mapnest result copies.
     pub bytes_copied: u64,
     pub num_copies: u64,
@@ -226,6 +269,15 @@ impl std::fmt::Display for Stats {
             "peak live: {} B | merged blocks: {}",
             self.peak_bytes_live, self.blocks_merged
         )?;
+        writeln!(
+            f,
+            "parallel in-place maps: {} | chunks: {} ({} stolen) | workers engaged/offered: {}/{}",
+            self.maps_parallel_in_place,
+            self.par_chunks,
+            self.par_chunks_stolen,
+            self.par_workers_engaged,
+            self.par_workers_offered
+        )?;
         write!(
             f,
             "kernel: {:?} ({} launches) | copy: {:?} | total: {:?}",
@@ -234,9 +286,11 @@ impl std::fmt::Display for Stats {
         if self.cells_checked > 0 || !self.diagnostics.is_empty() {
             write!(
                 f,
-                "\nchecked: {} cells | {} circuit checks verified | {} diagnostics",
+                "\nchecked: {} cells | {} circuit checks verified | {} parallel maps verified \
+                 | {} diagnostics",
                 self.cells_checked,
                 self.circuits_verified,
+                self.par_checks_verified,
                 self.diagnostics.len() as u64 + self.diagnostics_suppressed
             )?;
             for d in &self.diagnostics {

@@ -14,7 +14,12 @@
 //!   statements create blocks, fresh arrays are constructed through their
 //!   (possibly rebased) index functions, elided updates/concats are
 //!   no-ops, and non-in-place mapnests pay the per-instance private-row
-//!   copy (the implicit copy of §V-A(e)).
+//!   copy (the implicit copy of §V-A(e)). Kernel mapnests dispatch onto
+//!   the work-stealing pool ([`crate::pool`]) under the `par_safety`
+//!   stage's verdict: `Safe` maps run parallel writing their result
+//!   memory directly, `NeedsBuffer` maps run parallel through private
+//!   row buffers, and `Serial` maps (direct writes with unproven
+//!   disjointness) are serialized.
 //! - [`Mode::Pure`]: direct functional value semantics — every operation
 //!   materializes a fresh dense array and annotations are ignored. This is
 //!   the semantic ground truth: the paper's invariant that deleting memory
@@ -28,9 +33,14 @@
 //!   (the in-place mapnest's obligation), and — via
 //!   [`Session::run_with_checks`] — concrete disjointness of every
 //!   footprint pair a short-circuit's symbolic non-overlap test approved.
-//!   Maps run serially for deterministic diagnostics; findings land in
-//!   [`Stats::diagnostics`] rather than aborting, so one run reports all.
-//!   Diagnostics name source statements via the plan's blame side table.
+//!   Mapnests the `par_safety` stage proved safe are **not** serialized:
+//!   their chunk disjointness is re-proved concretely by enumeration
+//!   before each dispatch, and only a failed re-proof (reported as
+//!   [`Diagnostic::ParOverlap`]) falls back to serial execution; maps
+//!   without a proof run serially for deterministic diagnostics.
+//!   Findings land in [`Stats::diagnostics`] rather than aborting, so one
+//!   run reports all. Diagnostics name source statements via the plan's
+//!   blame side table.
 
 use crate::kernel::{KernelCtx, KernelRegistry};
 use crate::plan::{
@@ -43,6 +53,7 @@ use crate::store::{CellState, MemStore};
 use crate::value::{ArrayRef, InputValue, OutputValue, Value};
 use crate::view::{copy_view, fix_outer, View, ViewMut};
 use arraymem_core::{CircuitCheck, MergeRecord, ReleasePlan};
+use arraymem_core::{ParLevel, ParSafetyRecord};
 use arraymem_ir::validate::lmad_slice_is_injective;
 use arraymem_ir::{BinOp, ElemType, Program, Type, UnOp};
 use arraymem_lmad::{
@@ -61,8 +72,10 @@ pub enum Mode {
     /// Direct value semantics (works on any validated program).
     Pure,
     /// `Memory` semantics under the shadow-memory sanitizer (see the
-    /// module docs). Maps run serially; expect an order-of-magnitude
-    /// slowdown — this mode exists for tests and fuzzing, not benchmarks.
+    /// module docs). Mapnests with a `par_safety` proof run parallel
+    /// after a concrete pre-dispatch re-proof; everything else runs
+    /// serially under per-cell shadow tracking — expect a substantial
+    /// slowdown. This mode exists for tests and fuzzing, not benchmarks.
     Checked,
 }
 
@@ -143,29 +156,32 @@ impl Session {
         kernels: &KernelRegistry,
         checks: &[CircuitCheck],
     ) -> Result<PlanHandle, String> {
-        self.prepare_full(prog, kernels, checks, &[])
+        self.prepare_full(prog, kernels, checks, &[], &[])
     }
 
     /// [`prepare_with_checks`](Session::prepare_with_checks) additionally
     /// lowering the compile report's [`MergeRecord`]s (`Report::merges`)
-    /// into the plan: checked-mode runs re-prove every footprint pair a
-    /// footprint-justified merge relied on, and the plan stamps
-    /// `Stats::blocks_merged`. Part of the cache key.
+    /// and [`ParSafetyRecord`]s (`Report::par_safety`) into the plan:
+    /// checked-mode runs re-prove every footprint pair a
+    /// footprint-justified merge relied on and every chunk-disjointness
+    /// verdict a parallel map relied on, and the plan stamps
+    /// `Stats::blocks_merged`. All record sets are part of the cache key.
     pub fn prepare_full(
         &mut self,
         prog: &Program,
         kernels: &KernelRegistry,
         checks: &[CircuitCheck],
         merges: &[MergeRecord],
+        par: &[ParSafetyRecord],
     ) -> Result<PlanHandle, String> {
-        let key = cache_key(prog, kernels, checks, merges);
+        let key = cache_key(prog, kernels, checks, merges, par);
         if let Some(&i) = self.cache.get(&key) {
             self.plan_stats.cache_hits += 1;
             self.last_prepare = (true, Duration::ZERO);
             return Ok(PlanHandle(i));
         }
         let t0 = Instant::now();
-        let plan = lower_plan_full(prog, kernels, checks, merges)?;
+        let plan = lower_plan_full(prog, kernels, checks, merges, par)?;
         let dt = t0.elapsed();
         self.plan_stats.builds += 1;
         self.plan_stats.build_time += dt;
@@ -242,12 +258,13 @@ impl Session {
         threads: usize,
         checks: &[CircuitCheck],
     ) -> Result<(Vec<OutputValue>, Stats), String> {
-        self.run_full(prog, inputs, kernels, mode, threads, checks, &[])
+        self.run_full(prog, inputs, kernels, mode, threads, checks, &[], &[])
     }
 
     /// [`run_with_checks`](Session::run_with_checks) additionally carrying
-    /// the compile report's merge records (`Report::merges`) — the full
-    /// set of runtime obligations the optimizer took on.
+    /// the compile report's merge records (`Report::merges`) and
+    /// parallel-safety records (`Report::par_safety`) — the full set of
+    /// runtime obligations the optimizer took on.
     #[allow(clippy::too_many_arguments)]
     pub fn run_full(
         &mut self,
@@ -258,8 +275,9 @@ impl Session {
         threads: usize,
         checks: &[CircuitCheck],
         merges: &[MergeRecord],
+        par: &[ParSafetyRecord],
     ) -> Result<(Vec<OutputValue>, Stats), String> {
-        let h = self.prepare_full(prog, kernels, checks, merges)?;
+        let h = self.prepare_full(prog, kernels, checks, merges, par)?;
         self.run_plan(h, inputs, kernels, mode, threads)
     }
 
@@ -285,13 +303,15 @@ impl Session {
 }
 
 /// Cache key: the program's structural fingerprint, the kernel
-/// registry's name table, the circuit-check set, and the merge-record
-/// set.
+/// registry's name table, the circuit-check set, the merge-record set,
+/// and the parallel-safety record set. Thread count is deliberately
+/// *not* part of the key — plans are thread-agnostic.
 fn cache_key(
     prog: &Program,
     kernels: &KernelRegistry,
     checks: &[CircuitCheck],
     merges: &[MergeRecord],
+    par: &[ParSafetyRecord],
 ) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for part in [
@@ -299,6 +319,7 @@ fn cache_key(
         kernels.fingerprint(),
         arraymem_core::fingerprint_items(checks),
         arraymem_core::fingerprint_items(merges),
+        arraymem_core::fingerprint_items(par),
     ] {
         for b in part.to_le_bytes() {
             h ^= b as u64;
@@ -592,6 +613,45 @@ impl Machine<'_> {
         }
     }
 
+    /// Checked mode's pre-dispatch re-proof for a `par_safety`-approved
+    /// map: concretely enumerate each iteration's write footprint and
+    /// confirm chunk-wise disjointness. Returns `true` when the symbolic
+    /// verdict holds (the map may run parallel under the sanitizer); an
+    /// overlap reports [`Diagnostic::ParOverlap`] and the caller runs the
+    /// map serially. The enumeration is thread-count independent, so a
+    /// verdict at one thread count transfers to any other.
+    fn par_precheck(&mut self, block: usize, ixfn: &ConcreteIxFn, width: i64) -> bool {
+        if ixfn.rank() == 0 {
+            // A rank-0 result cannot be split into per-iteration rows;
+            // fall back to serial without claiming a verification.
+            return false;
+        }
+        let mut owner: HashMap<i64, i64> = HashMap::new();
+        for i in 0..width.max(0) {
+            let row = fix_outer(ixfn, i);
+            for off in row.all_offsets() {
+                self.stats.cells_checked += 1;
+                match owner.insert(off, i) {
+                    Some(prev) if prev != i => {
+                        let d = Diagnostic::ParOverlap {
+                            stm: self.stm_name(),
+                            block,
+                            offset: off,
+                            iter_a: prev,
+                            iter_b: i,
+                            ixfn: format!("{ixfn:?}"),
+                        };
+                        self.diag(d);
+                        return false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.stats.par_checks_verified += 1;
+        true
+    }
+
     /// Execute a (linear, jump-threaded) instruction stream.
     fn exec_stream(&mut self, s: &Stream) -> Result<(), String> {
         let mut pc = 0usize;
@@ -786,15 +846,38 @@ impl Machine<'_> {
                     .collect::<Result<_, _>>()?;
                 let row_elems: i64 = row_shape_c.iter().product();
                 let scalar_rows = row_shape_c.is_empty();
+                let par_proven = matches!(mk.par, Some(ParLevel::Safe));
+                // Checked mode re-proves a `Safe` verdict concretely before
+                // dispatching: enumerate every iteration's write footprint
+                // and confirm no cell is written twice. A failed re-proof
+                // reports [`Diagnostic::ParOverlap`] and the map falls back
+                // to serial execution.
+                let precheck_ran = par_proven && self.checked();
+                let prechecked = precheck_ran && self.par_precheck(dst.block, &dst.ixfn, width);
                 // Pure mode writes rows directly (fresh dense memory never
-                // aliases inputs); Memory mode honours the pass's decision.
-                let direct = scalar_rows || mk.in_place || self.mode == Mode::Pure;
+                // aliases inputs); Memory mode honours the pass's verdicts:
+                // `Safe` writes result memory directly, `Serial` means
+                // direct writes with *unproven* disjointness.
+                let direct = scalar_rows || mk.in_place || self.mode == Mode::Pure || par_proven;
                 let out_view = self.view_mut(&dst);
                 // Private per-worker row buffers for the non-in-place case:
-                // the mapnest's implicit result copy (§V-A(e)). Checked
-                // mode runs serially: diagnostics stay deterministic and
-                // the race detector (below) subsumes parallel scheduling.
-                let workers = if self.checked() { 1 } else { self.threads };
+                // the mapnest's implicit result copy (§V-A(e)). The copy-out
+                // targets a worker-private row, so buffered maps parallelize
+                // freely; `Serial` maps never dispatch in parallel.
+                let workers = match self.mode {
+                    Mode::Pure => self.threads,
+                    Mode::Memory if matches!(mk.par, Some(ParLevel::Serial)) => 1,
+                    Mode::Memory => self.threads,
+                    // Under the sanitizer, only maps the pre-dispatch
+                    // re-proof cleared may run parallel.
+                    Mode::Checked => {
+                        if prechecked {
+                            self.threads
+                        } else {
+                            1
+                        }
+                    }
+                };
                 let temp_block = if direct {
                     None
                 } else {
@@ -805,7 +888,7 @@ impl Machine<'_> {
                 };
                 let temp_raw = temp_block.map(|b| self.store.raw(b));
                 let t0 = Instant::now();
-                let dispatched = parallel_for_worker(workers, width, |i, w| {
+                let info = parallel_for_worker(workers, width, |i, w| {
                     let row = out_view.row(i);
                     if direct {
                         let ctx = KernelCtx {
@@ -833,7 +916,16 @@ impl Machine<'_> {
                 });
                 self.stats.kernel_time += t0.elapsed();
                 self.stats.kernel_launches += width.max(0) as u64;
-                self.stats.pool_dispatches += dispatched as u64;
+                self.stats.pool_dispatches += info.dispatched as u64;
+                if info.dispatched {
+                    self.stats.par_chunks += info.chunks;
+                    self.stats.par_chunks_stolen += info.chunks_stolen;
+                    self.stats.par_workers_engaged += info.workers_engaged as u64;
+                    self.stats.par_workers_offered += info.workers_offered as u64;
+                    if par_proven && direct && self.mem_like() {
+                        self.stats.maps_parallel_in_place += 1;
+                    }
+                }
                 // The private-row scratch dies with the dispatch; recycle
                 // it so the next non-in-place map pays no fresh alloc.
                 if let Some(b) = temp_block {
@@ -851,8 +943,13 @@ impl Machine<'_> {
                 // Dynamic race detector: no two iterations of the map may
                 // write one cell. The kernel writes each row through the
                 // result's index function with the outer dim fixed, so
-                // enumerating those footprints covers its stores.
-                self.race_check(dst.block, &dst.ixfn, width);
+                // enumerating those footprints covers its stores. For
+                // `par_safety`-approved maps the pre-dispatch re-proof
+                // already enumerated exactly these footprints (and reported
+                // any overlap as `ParOverlap`), so skip the post-hoc pass.
+                if !precheck_ran {
+                    self.race_check(dst.block, &dst.ixfn, width);
+                }
                 self.mark_write(dst.block, &dst.ixfn);
                 self.regs[mk.dest.slot as usize] = Value::Array(dst);
             }

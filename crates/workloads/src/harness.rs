@@ -49,22 +49,28 @@ impl Case {
     /// is lowered once, on the session's first `prepare`, then replayed
     /// from the cache.
     pub fn run_in(&self, session: &mut Session, compiled: &Compiled) -> (Vec<OutputValue>, Stats) {
+        self.run_in_at(session, compiled, arraymem_exec::pool::default_threads())
+    }
+
+    /// [`run_in`](Case::run_in) at an explicit thread count — the scaling
+    /// benchmark sweeps this while reusing one session per thread count.
+    pub fn run_in_at(
+        &self,
+        session: &mut Session,
+        compiled: &Compiled,
+        threads: usize,
+    ) -> (Vec<OutputValue>, Stats) {
         let h = session
             .prepare_full(
                 &compiled.program,
                 &self.kernels,
                 &[],
                 &compiled.report.merges,
+                &compiled.report.par_safety,
             )
             .unwrap_or_else(|e| panic!("{}/{}: prepare failed: {e}", self.name, self.dataset));
         session
-            .run_plan(
-                h,
-                &self.inputs,
-                &self.kernels,
-                Mode::Memory,
-                arraymem_exec::pool::default_threads(),
-            )
+            .run_plan(h, &self.inputs, &self.kernels, Mode::Memory, threads)
             .unwrap_or_else(|e| panic!("{}/{}: run failed: {e}", self.name, self.dataset))
     }
 
@@ -107,6 +113,19 @@ impl Case {
         session: &mut Session,
         compiled: &Compiled,
     ) -> (Vec<OutputValue>, Stats) {
+        self.run_checked_in_at(session, compiled, arraymem_exec::pool::default_threads())
+    }
+
+    /// [`run_checked_in`](Case::run_checked_in) at an explicit thread
+    /// count. `par_safety`-proven maps run parallel under the sanitizer
+    /// (after the concrete pre-dispatch re-proof); unproven maps still
+    /// serialize regardless of `threads`.
+    pub fn run_checked_in_at(
+        &self,
+        session: &mut Session,
+        compiled: &Compiled,
+        threads: usize,
+    ) -> (Vec<OutputValue>, Stats) {
         let checks: Vec<_> = compiled.report.checks().cloned().collect();
         let h = session
             .prepare_full(
@@ -114,10 +133,11 @@ impl Case {
                 &self.kernels,
                 &checks,
                 &compiled.report.merges,
+                &compiled.report.par_safety,
             )
             .unwrap_or_else(|e| panic!("{}/{}: prepare failed: {e}", self.name, self.dataset));
         session
-            .run_plan(h, &self.inputs, &self.kernels, Mode::Checked, 1)
+            .run_plan(h, &self.inputs, &self.kernels, Mode::Checked, threads)
             .unwrap_or_else(|e| panic!("{}/{}: checked run failed: {e}", self.name, self.dataset))
     }
 
@@ -154,6 +174,8 @@ impl Case {
 pub struct Measurement {
     pub name: String,
     pub dataset: String,
+    /// Worker-pool thread count the variants were executed at.
+    pub threads: usize,
     pub reference: Duration,
     pub unopt: Duration,
     pub opt: Duration,
@@ -207,6 +229,14 @@ fn average_body_time<F: FnMut() -> Duration>(runs: usize, mut f: F) -> Duration 
 /// allocations are served from the blocks the previous run released. The
 /// reported stats are those of the final (steady-state) run.
 pub fn measure_case(case: &Case) -> Measurement {
+    measure_case_at(case, arraymem_exec::pool::default_threads())
+}
+
+/// [`measure_case`] at an explicit worker-pool thread count. The plan
+/// cache is keyed on the program and its obligation records, not the
+/// thread count, so per-thread-count sessions keep the one-build
+/// invariant.
+pub fn measure_case_at(case: &Case, threads: usize) -> Measurement {
     let unopt = case.compile(false);
     let opt = case.compile(true);
     let reference = average_body_time(case.runs, || {
@@ -218,7 +248,7 @@ pub fn measure_case(case: &Case) -> Measurement {
         let mut session = Session::new();
         let mut last_stats: Option<Stats> = None;
         let t = average_body_time(case.runs, || {
-            let (out, stats) = case.run_in(&mut session, compiled);
+            let (out, stats) = case.run_in_at(&mut session, compiled, threads);
             std::hint::black_box(out);
             let t = stats.total_time;
             last_stats = Some(stats);
@@ -242,6 +272,7 @@ pub fn measure_case(case: &Case) -> Measurement {
     Measurement {
         name: case.name.clone(),
         dataset: case.dataset.clone(),
+        threads,
         reference,
         unopt: unopt_t,
         opt: opt_t,

@@ -40,6 +40,15 @@ echo "== merge tier (block merging: workload peaks + on/off toggle fuzz) =="
 cargo test --release --offline -p arraymem-bench --test merge_workloads -q
 cargo test --release --offline -p arraymem-bench --test differential_fuzz -q merge_toggle_equivalence
 
+echo "== threads tier (suite at 1 worker and at 8 workers) =="
+# ARRAYMEM_THREADS pins the worker pool's default width: the whole test
+# suite must pass with parallel dispatch disabled (1) and with maps
+# oversubscribed onto 8 workers — proven-parallel maps must be
+# bit-identical either way (the par_safety/differential suites assert
+# this explicitly, but every other test also runs under both schedules).
+ARRAYMEM_THREADS=1 cargo test --release --offline --workspace -q
+ARRAYMEM_THREADS=8 cargo test --release --offline --workspace -q
+
 echo "== per-pass IR snapshots (NW, interleaved IR validation forced on) =="
 # ARRAYMEM_VERIFY_IR re-runs the full structural+memory validator after
 # every pipeline stage even in this release build; a violation panics

@@ -336,6 +336,7 @@ fn forced_illegal_merge_is_caught_by_the_merge_cross_check() {
             1,
             &[],
             &forced.report.merges,
+            &[],
         )
         .expect("checked run");
     let hit = stats.diagnostics.iter().find_map(|d| match d {
@@ -360,5 +361,187 @@ fn forced_illegal_merge_is_caught_by_the_merge_cross_check() {
     assert!(
         shown.contains("merge overlap") && shown.contains("offset"),
         "{shown}"
+    );
+}
+
+/// A map whose result layout collapses every iteration onto one cell:
+/// the `par_safety` analysis must reject it (`WriteOverlapNotProven`),
+/// the test-only `force_unsafe_parallel` hook must promote the rejected
+/// map to `Safe` anyway, and the checked VM's pre-dispatch re-proof must
+/// refute the forced verdict as a [`Diagnostic::ParOverlap`] and run the
+/// map serially.
+#[test]
+fn forced_parallel_verdict_is_refuted_as_par_overlap() {
+    use arraymem_core::par_safety::par_safety;
+    use arraymem_core::{ParLevel, ParReject};
+    let bld = Builder::new("forced_par");
+    let mut b = bld.block();
+    let src = b.iota("src", c(512));
+    let m = b.map_kernel(
+        "m",
+        "bump",
+        c(512),
+        vec![],
+        ElemType::I64,
+        vec![src],
+        vec![],
+    );
+    let prog = bld.finish(b.finish(vec![m]));
+    let mut compiled = compile(&prog, &opts(true)).expect("compile");
+    // The honest compile proves the fresh row-major result parallel-safe.
+    assert!(
+        compiled
+            .report
+            .par_safety
+            .iter()
+            .any(|r| r.level == ParLevel::Safe),
+        "{:?}",
+        compiled.report.par_safety
+    );
+    // Sabotage the compiled program: a zero-stride outer dimension makes
+    // every iteration write cell 0.
+    let mut sabotaged = false;
+    for stm in &mut compiled.program.body.stms {
+        if let Exp::Map(_) = stm.exp {
+            let mb = stm.pat[0].mem.as_mut().expect("compiled map has memory");
+            mb.ixfn = IndexFn {
+                lmads: vec![Lmad::new(c(0), vec![Dim::new(c(512), c(0))])],
+            };
+            sabotaged = true;
+        }
+    }
+    assert!(sabotaged, "test must find the map statement");
+    // Re-analysing the sabotaged program rejects the map...
+    let env = arraymem_symbolic::Env::default();
+    let honest = par_safety(&compiled.program, &env, false);
+    assert!(
+        honest
+            .iter()
+            .any(|r| r.level == ParLevel::Serial
+                && r.reject == Some(ParReject::WriteOverlapNotProven)),
+        "{honest:?}"
+    );
+    // ...and the mutation hook forces it through, keeping the genuine
+    // rejection reason for the remark.
+    let forced = par_safety(&compiled.program, &env, true);
+    let fr = forced
+        .iter()
+        .find(|r| r.forced)
+        .expect("the hook must force the rejected map");
+    assert_eq!(fr.level, ParLevel::Safe);
+    assert_eq!(fr.reject, Some(ParReject::WriteOverlapNotProven));
+    let mut kernels = KernelRegistry::new();
+    kernels.register("bump", |ctx| {
+        let v = ctx.inputs[0].get_i64(&[ctx.i]);
+        ctx.out.set_i64(&[], v + 1);
+    });
+    let (_, stats) = Session::new()
+        .run_full(
+            &compiled.program,
+            &[],
+            &kernels,
+            Mode::Checked,
+            4,
+            &[],
+            &[],
+            &forced,
+        )
+        .expect("checked run");
+    let hit = stats.diagnostics.iter().find_map(|d| match d {
+        Diagnostic::ParOverlap {
+            stm,
+            iter_a,
+            iter_b,
+            ..
+        } => Some((stm.clone(), *iter_a, *iter_b)),
+        _ => None,
+    });
+    let (stm, ia, ib) = hit.unwrap_or_else(|| {
+        panic!(
+            "expected a ParOverlap diagnostic; got {:?}",
+            stats.diagnostics
+        )
+    });
+    assert!(stm.contains('m'), "diagnostic must name the map: {stm}");
+    assert_ne!(ia, ib, "the two colliding iterations must differ");
+    assert_eq!(
+        stats.par_checks_verified, 0,
+        "a refuted verdict must not count as verified"
+    );
+    let shown = stats
+        .diagnostics
+        .iter()
+        .map(|d| format!("{d}"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(
+        shown.contains("parallel overlap") && shown.contains("ran serially"),
+        "{shown}"
+    );
+}
+
+/// `force_unsafe_parallel` flows through [`Options`] into the pipeline:
+/// NW's diagonal mapnest — which the analysis genuinely rejects — is
+/// promoted to `Safe`, and the checked VM re-proves the promoted verdict
+/// concretely before dispatching. NW's per-iteration writes *are*
+/// disjoint (only the symbolic proof is out of reach), so the re-proof
+/// verifies the promotion and the outputs stay identical.
+#[test]
+fn options_force_unsafe_parallel_promotes_rejected_maps() {
+    use arraymem_core::ParLevel;
+    let case = arraymem_workloads::nw::case("forced", 16, 16, 2);
+    let honest = compile(
+        &case.program,
+        &Options::optimized().with_env(case.env.clone()),
+    )
+    .expect("compile");
+    assert!(
+        honest
+            .report
+            .par_safety
+            .iter()
+            .any(|r| r.level == ParLevel::Serial),
+        "{:?}",
+        honest.report.par_safety
+    );
+    assert!(honest.report.par_safety.iter().all(|r| !r.forced));
+    let forced = compile(
+        &case.program,
+        &Options {
+            force_unsafe_parallel: true,
+            ..Options::optimized().with_env(case.env.clone())
+        },
+    )
+    .expect("compile");
+    let promoted: Vec<_> = forced
+        .report
+        .par_safety
+        .iter()
+        .filter(|r| r.forced)
+        .collect();
+    assert!(
+        !promoted.is_empty(),
+        "the hook must promote NW's rejected map"
+    );
+    assert!(promoted.iter().all(|r| r.level == ParLevel::Safe));
+    let mut s1 = Session::new();
+    let (honest_out, honest_stats) = case.run_checked_in_at(&mut s1, &honest, 4);
+    let mut s2 = Session::new();
+    let (forced_out, forced_stats) = case.run_checked_in_at(&mut s2, &forced, 4);
+    assert_eq!(
+        format!("{honest_out:?}"),
+        format!("{forced_out:?}"),
+        "the forced promotion must not change outputs"
+    );
+    assert!(
+        forced_stats.par_checks_verified > honest_stats.par_checks_verified,
+        "the promoted map must be re-proved per dispatch: {} vs {}",
+        forced_stats.par_checks_verified,
+        honest_stats.par_checks_verified
+    );
+    assert!(
+        forced_stats.diagnostics.is_empty(),
+        "{:?}",
+        forced_stats.diagnostics
     );
 }

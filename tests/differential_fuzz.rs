@@ -435,6 +435,7 @@ fn random_program(seed: u64, len: usize) -> Option<Program> {
 fn run_all_modes(
     prog: &Program,
     checked_session: &mut Session,
+    par_session: &mut Session,
     label: &str,
 ) -> (
     Vec<OutputValue>,
@@ -465,6 +466,7 @@ fn run_all_modes(
             1,
             &checks,
             &opt.report.merges,
+            &opt.report.par_safety,
         )
         .expect("checked");
     assert_eq!(o_out, c_out, "checked mode changed the output ({label})");
@@ -472,6 +474,28 @@ fn run_all_modes(
         c_stats.diagnostics.is_empty() && c_stats.diagnostics_suppressed == 0,
         "sanitizer fired on {label}:\n{c_stats}"
     );
+    // Fifth leg: thread-count sweep. The optimized program runs at one
+    // worker and at max workers through one shared session (same cached
+    // plan, recycled blocks) — work-stealing dispatch of `par_safety`-
+    // proven maps must be bit-identical to serial execution.
+    for threads in [1usize, 8] {
+        let (p_out, _) = par_session
+            .run_full(
+                &opt.program,
+                &[],
+                &kernels,
+                Mode::Memory,
+                threads,
+                &[],
+                &opt.report.merges,
+                &opt.report.par_safety,
+            )
+            .unwrap_or_else(|e| panic!("par sweep at {threads} threads failed ({label}): {e}"));
+        assert_eq!(
+            o_out, p_out,
+            "{threads}-worker run diverged from the serial leg ({label})"
+        );
+    }
     (
         pure_out,
         u_out,
@@ -490,6 +514,7 @@ fn run_all_modes(
 fn prop_three_way_equivalence() {
     let mut meta = Rng64::new(0xD1FF);
     let mut checked = Session::new();
+    let mut par_sweep = Session::new();
     for _ in 0..scale(200, 1000) {
         let seed = meta.next_u64();
         let len = meta.usize_in(13) + 3;
@@ -499,7 +524,7 @@ fn prop_three_way_equivalence() {
         arraymem_ir::validate::validate(&prog).expect("generator must produce valid programs");
         let label = format!("seed {seed}, len {len}");
         let (pure_out, u_out, o_out, u_copied, o_copied) =
-            run_all_modes(&prog, &mut checked, &label);
+            run_all_modes(&prog, &mut checked, &mut par_sweep, &label);
         assert_eq!(pure_out, u_out, "pure vs unopt (seed {seed}, len {len})");
         assert_eq!(pure_out, o_out, "pure vs opt (seed {seed}, len {len})");
         assert!(
@@ -516,13 +541,14 @@ fn seeded_sweep() {
     let n = scale(300, 1000) as u64;
     let mut elisions = 0u64;
     let mut checked = Session::new();
+    let mut par_sweep = Session::new();
     for seed in 0..n {
         let Some(prog) = random_program(seed, 10) else {
             continue;
         };
         let label = format!("seed {seed}");
         let (pure_out, u_out, o_out, u_copied, o_copied) =
-            run_all_modes(&prog, &mut checked, &label);
+            run_all_modes(&prog, &mut checked, &mut par_sweep, &label);
         assert_eq!(pure_out, u_out, "seed {seed}");
         assert_eq!(pure_out, o_out, "seed {seed}");
         assert!(o_copied <= u_copied, "seed {seed}");
@@ -568,7 +594,7 @@ fn merge_toggle_equivalence() {
         )
         .expect("merge-off compile");
         let (off_out, _off_stats) = session
-            .run_full(&off.program, &[], &kernels, Mode::Memory, 1, &[], &[])
+            .run_full(&off.program, &[], &kernels, Mode::Memory, 1, &[], &[], &[])
             .expect("merge-off run");
         let (on_out, on_stats) = session
             .run_full(
@@ -579,6 +605,7 @@ fn merge_toggle_equivalence() {
                 1,
                 &[],
                 &on.report.merges,
+                &[],
             )
             .expect("merge-on run");
         assert_eq!(

@@ -37,6 +37,7 @@ fn run(case: &Case, session: &mut Session, merge: bool, mode: Mode) -> (Vec<Outp
             &case.kernels,
             &checks,
             &compiled.report.merges,
+            &compiled.report.par_safety,
         )
         .unwrap_or_else(|e| panic!("{}: prepare failed: {e}", case.name));
     let threads = if mode == Mode::Checked { 1 } else { 2 };

@@ -123,6 +123,7 @@ fn compile_report_lists_stages_in_order_with_timings() {
             "short_circuit",
             "merge",
             "cleanup",
+            "par_safety",
             "release"
         ],
         "standard pipeline stage order"

@@ -34,6 +34,7 @@ fn nw_ir_snapshots_per_pass() {
             "short_circuit",
             "merge",
             "cleanup",
+            "par_safety",
             "release"
         ],
         "observed stage sequence"

@@ -223,6 +223,66 @@ fn merge_toggle_is_part_of_the_cache_key() {
     assert_eq!((stats.builds, stats.cache_hits), (2, 1));
 }
 
+/// The `par_safety` toggle alone separates cache entries: the same
+/// source compiled with and without the parallel-safety stage must lower
+/// two distinct plans — a stale plan served across the toggle would
+/// execute the wrong map schedule (parallel where the legacy schedule
+/// was requested, or vice versa). Identical pipelines still hit.
+#[test]
+fn par_safety_toggle_is_part_of_the_cache_key() {
+    use arraymem_core::{compile, Options};
+    use arraymem_ir::{Builder, ElemType};
+    use arraymem_symbolic::Poly;
+
+    let mut b = Builder::new("trivial_par");
+    let n = b.scalar_param("n", ElemType::I64);
+    let mut body = b.block();
+    let a = body.iota("a", Poly::var(n));
+    let blk = body.finish(vec![a]);
+    let prog = b.finish(blk);
+
+    let on = compile(&prog, &Options::optimized()).expect("par-on compile");
+    let off = compile(
+        &prog,
+        &Options {
+            par_safety: false,
+            ..Options::optimized()
+        },
+    )
+    .expect("par-off compile");
+    // A lone `iota` carries no kernel map, so the stage records nothing
+    // and the optimized IR is identical either way…
+    let scrubbed = |p: &arraymem_ir::Program| {
+        arraymem_ir::pretty::scrub_uniques(&arraymem_ir::pretty::program_to_string(p))
+    };
+    assert_eq!(
+        scrubbed(&on.program),
+        scrubbed(&off.program),
+        "trivial program must be par_safety-invariant"
+    );
+    assert!(on.report.par_safety.is_empty());
+    assert!(off.report.par_safety.is_empty());
+    // …yet each toggle state lowers its own plan, and re-preparing
+    // either is a pure hit.
+    let kernels = arraymem_exec::KernelRegistry::default();
+    let mut session = Session::new();
+    let h_on = session.prepare(&on.program, &kernels).expect("prepare on");
+    let h_off = session
+        .prepare(&off.program, &kernels)
+        .expect("prepare off");
+    assert_ne!(h_on, h_off, "par_safety toggle must miss the plan cache");
+    assert_eq!(
+        session.prepare(&on.program, &kernels).expect("re-prepare"),
+        h_on
+    );
+    assert_eq!(
+        session.prepare(&off.program, &kernels).expect("re-prepare"),
+        h_off
+    );
+    let stats = session.plan_stats();
+    assert_eq!((stats.builds, stats.cache_hits), (2, 2));
+}
+
 /// Golden snapshot of the lowered NW plan (tiny dataset, optimized
 /// pipeline). Catches unintended lowering changes; regenerate with
 /// `ARRAYMEM_BLESS=1 cargo test -p arraymem-bench --test plan_cache`.
