@@ -1,7 +1,8 @@
 //! Regenerate the paper's tables and figure artifacts.
 //!
 //! ```text
-//! tables                 # all seven tables, full (scaled) datasets
+//! tables                 # all tables (paper I-VII + irregular VIII-X),
+//!                        # full (scaled) datasets
 //! tables --quick         # tiny datasets, normal run counts
 //! tables --smoke         # tiny datasets, one measured run each (CI)
 //! tables --table N       # one table
@@ -63,8 +64,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok());
     if let Some(t) = only {
-        if !(1..=7).contains(&t) {
-            eprintln!("error: no table {t}; the paper has tables 1-7");
+        if !(1..=10).contains(&t) {
+            eprintln!(
+                "error: no table {t}; the paper has tables 1-7, plus 8-10 for the \
+                 irregular-access family"
+            );
             std::process::exit(2);
         }
     }

@@ -10,7 +10,8 @@ pub struct TableSpec {
     pub paper_runs: usize,
 }
 
-/// All seven tables of the paper's §VI.
+/// The seven tables of the paper's §VI, plus the three irregular-access
+/// workloads (tables VIII–X, ours).
 pub fn all_tables() -> Vec<TableSpec> {
     vec![
         TableSpec {
@@ -55,11 +56,32 @@ pub fn all_tables() -> Vec<TableSpec> {
             benchmark: "nn",
             paper_runs: 100,
         },
+        // Tables VIII–X are not in the paper: the irregular-access family
+        // exercises sound degradation of the affine analyses on
+        // runtime-indexed (gather/scatter) dataflow.
+        TableSpec {
+            number: 8,
+            title: "SpMV (CSR) performance",
+            benchmark: "spmv",
+            paper_runs: 10,
+        },
+        TableSpec {
+            number: 9,
+            title: "Histogram performance",
+            benchmark: "histogram",
+            paper_runs: 10,
+        },
+        TableSpec {
+            number: 10,
+            title: "Permutation performance",
+            benchmark: "permutation",
+            paper_runs: 10,
+        },
     ]
 }
 
 /// The benchmark names [`table_cases`] accepts, in table order.
-pub const KNOWN_BENCHMARKS: [&str; 7] = [
+pub const KNOWN_BENCHMARKS: [&str; 10] = [
     "nw",
     "lud",
     "hotspot",
@@ -67,6 +89,9 @@ pub const KNOWN_BENCHMARKS: [&str; 7] = [
     "optionpricing",
     "locvolcalib",
     "nn",
+    "spmv",
+    "histogram",
+    "permutation",
 ];
 
 /// Build the cases (all datasets) for one table. `quick` shrinks datasets
@@ -142,6 +167,36 @@ pub fn table_cases(benchmark: &str, quick: bool) -> Result<Vec<Case>, String> {
                 w::nn::datasets()
                     .into_iter()
                     .map(|(l, n, k, r)| w::nn::case(l, n, k, r))
+                    .collect()
+            }
+        }
+        "spmv" => {
+            if quick {
+                vec![w::irregular::spmv_case("2k×2k", 2_000, 2_000, 8, 2)]
+            } else {
+                w::irregular::spmv_datasets()
+                    .into_iter()
+                    .map(|(l, nr, nc, z, r)| w::irregular::spmv_case(l, nr, nc, z, r))
+                    .collect()
+            }
+        }
+        "histogram" => {
+            if quick {
+                vec![w::irregular::histogram_case("10k/64", 10_000, 64, 2)]
+            } else {
+                w::irregular::histogram_datasets()
+                    .into_iter()
+                    .map(|(l, n, b, r)| w::irregular::histogram_case(l, n, b, r))
+                    .collect()
+            }
+        }
+        "permutation" => {
+            if quick {
+                vec![w::irregular::permutation_case("10k", 10_000, 2)]
+            } else {
+                w::irregular::permutation_datasets()
+                    .into_iter()
+                    .map(|(l, n, r)| w::irregular::permutation_case(l, n, r))
                     .collect()
             }
         }
@@ -257,7 +312,9 @@ pub fn render_mechanism(rows: &[Measurement]) -> String {
 }
 
 fn roman(n: usize) -> &'static str {
-    ["", "I", "II", "III", "IV", "V", "VI", "VII"][n]
+    [
+        "", "I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X",
+    ][n]
 }
 
 /// How much of a table to measure.

@@ -82,6 +82,7 @@ fn introduce_stm(
         | Exp::Replicate { .. }
         | Exp::Copy(_)
         | Exp::Concat { .. }
+        | Exp::Gather { .. }
         | Exp::Map(_) => {
             if let Exp::Map(m) = &mut stm.exp {
                 if let MapBody::Lambda { body, .. } = &mut m.body {

@@ -32,7 +32,7 @@
 
 use crate::introduce::collect_bindings;
 use crate::remark::MergeReject;
-use arraymem_ir::{Block, ElemType, Exp, MapBody, MemBinding, Program, Type, Var};
+use arraymem_ir::{Block, ElemType, Exp, MapBody, MemBinding, Program, SliceSpec, Type, Var};
 use arraymem_lmad::overlap::non_overlap;
 use arraymem_lmad::Lmad;
 use arraymem_symbolic::{Env, Poly};
@@ -127,6 +127,36 @@ impl MemAliases {
                 }
                 _ => {}
             }
+        }
+    }
+}
+
+/// Array variables read or written through **runtime indices** — a
+/// gather's source, a scatter's destination — at every nesting depth.
+/// The blocks backing these arrays have no affine footprint summary (see
+/// [`arraymem_lmad::OpaqueIxFn`]): a runtime index may land anywhere
+/// within the extent, so footprint-justified sharing is off the table for
+/// them and only disjoint lifetimes can let them share a block.
+fn runtime_indexed_arrays(block: &Block, out: &mut Vec<Var>) {
+    for stm in &block.stms {
+        match &stm.exp {
+            Exp::Gather { src, .. } => out.push(*src),
+            Exp::Update {
+                dst,
+                slice: SliceSpec::Scatter(_),
+                ..
+            } => out.push(*dst),
+            Exp::If { then_b, else_b, .. } => {
+                runtime_indexed_arrays(then_b, out);
+                runtime_indexed_arrays(else_b, out);
+            }
+            Exp::Loop { body, .. } => runtime_indexed_arrays(body, out),
+            Exp::Map(m) => {
+                if let MapBody::Lambda { body, .. } = &m.body {
+                    runtime_indexed_arrays(body, out);
+                }
+            }
+            _ => {}
         }
     }
 }
@@ -366,6 +396,22 @@ pub fn merge_blocks(prog: &mut Program, env: &Env, force_unsafe: bool) -> MergeR
         }
     }
 
+    // Blocks accessed through runtime indices join the opaque set: their
+    // footprints cannot be enumerated, so they can share only by disjoint
+    // lifetimes — and when overlapping lifetimes sink them, the reject is
+    // reported as `RuntimeIndexed` rather than a generic interference.
+    let mut runtime_indexed: HashSet<Var> = HashSet::new();
+    let mut ri_arrays = Vec::new();
+    runtime_indexed_arrays(&prog.body, &mut ri_arrays);
+    for a in ri_arrays {
+        if let Some(mb) = bindings.get(&a) {
+            for c in resolve(mb.block) {
+                runtime_indexed.insert(c);
+                opaque.insert(c);
+            }
+        }
+    }
+
     // Greedy first-fit coloring in first-use order (allocation statements
     // are hoisted, so their textual order says nothing about liveness;
     // first-use order lets each block try the blocks whose tenants came
@@ -495,7 +541,9 @@ pub fn merge_blocks(prog: &mut Program, env: &Env, force_unsafe: bool) -> MergeR
             continue;
         }
         if hosts_tried > 0 {
-            let why = if saw_interference {
+            let why = if saw_interference && runtime_indexed.contains(m) {
+                MergeReject::RuntimeIndexed
+            } else if saw_interference {
                 MergeReject::Interference
             } else if saw_size_fail {
                 MergeReject::SizeNotProvable

@@ -39,7 +39,7 @@
 
 use crate::remark::ParReject;
 use crate::short_circuit::{ixfn_set, rowwise_map_disjoint};
-use arraymem_ir::{Block, Exp, MapBody, MapExp, MemBinding, Program, Var};
+use arraymem_ir::{Block, Exp, MapBody, MapExp, MemBinding, Program, SliceSpec, Var};
 use arraymem_lmad::overlap::non_overlap;
 use arraymem_lmad::{IndexFn, Lmad, Transform, TripletSlice};
 use arraymem_symbolic::{Env, Poly, Sym};
@@ -113,6 +113,25 @@ fn walk(
                         forced,
                     });
                 }
+            }
+            Exp::Update {
+                slice: SliceSpec::Scatter(_),
+                ..
+            } => {
+                // A scatter's written positions are data: per-iteration
+                // write disjointness is unprovable, not merely unproven
+                // (see `arraymem_lmad::OpaqueIxFn`). The record pins the
+                // serial schedule — and enters the plan-cache key — so
+                // the give-up is observable, never silent. The
+                // `force_unsafe_parallel` hook deliberately does not
+                // apply: the executor has no parallel schedule for a
+                // scatter to be forced onto.
+                out.push(ParSafetyRecord {
+                    stm: stm.pat[0].var,
+                    level: ParLevel::Serial,
+                    reject: Some(ParReject::RuntimeIndexedWrite),
+                    forced: false,
+                });
             }
             Exp::If { then_b, else_b, .. } => {
                 walk(then_b, env, bindings, force, out);

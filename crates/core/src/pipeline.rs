@@ -437,9 +437,14 @@ impl Pass for ParSafetyPass {
                         }
                         _ => "is serialized",
                     };
+                    let what = if why == crate::remark::ParReject::RuntimeIndexedWrite {
+                        "scatter"
+                    } else {
+                        "mapnest"
+                    };
                     (
                         RemarkKind::MapParRejected(why),
-                        format!("mapnest {} {how} ({why:?})", r.stm),
+                        format!("{what} {} {how} ({why:?})", r.stm),
                     )
                 }
             };

@@ -47,6 +47,31 @@ pub enum RejectReason {
     /// A web member is defined by an expression the analysis does not
     /// handle (scalar, alloc).
     UnsupportedDefinition,
+    /// The candidate writes through a **runtime-indexed** (scatter)
+    /// slice: the written positions are read from an index array at
+    /// execution time, so no affine rebased index function exists and
+    /// the non-overlap test has nothing to reason about (see
+    /// `arraymem_lmad::OpaqueIxFn`). The copy is kept; bounds are
+    /// enforced dynamically instead.
+    RuntimeIndexedWrite,
+}
+
+impl RejectReason {
+    /// Every variant, for taxonomy-completeness tests.
+    pub const ALL: [RejectReason; 12] = [
+        RejectReason::NotLastUse,
+        RejectReason::AliasingConcatArg,
+        RejectReason::DestinationVacated,
+        RejectReason::DestinationNotAllocated,
+        RejectReason::SliceNotExpressible,
+        RejectReason::IxfnNotInScope,
+        RejectReason::OverlapTestFailed,
+        RejectReason::FreshDefNotFound,
+        RejectReason::MergeParamOrder,
+        RejectReason::NonInvertibleTransform,
+        RejectReason::UnsupportedDefinition,
+        RejectReason::RuntimeIndexedWrite,
+    ];
 }
 
 /// Why the merge pass kept a block's own allocation instead of moving it
@@ -68,6 +93,23 @@ pub enum MergeReject {
     /// Live ranges overlap and footprints are not provably disjoint for
     /// every candidate host.
     Interference,
+    /// The block is accessed through runtime indices (a gather read or a
+    /// scatter write), so it has no affine footprint summary to prove
+    /// disjointness with: footprint-justified merging is off the table
+    /// for it, and only fully disjoint lifetimes could have let it share
+    /// a block (see `arraymem_lmad::OpaqueIxFn`).
+    RuntimeIndexed,
+}
+
+impl MergeReject {
+    /// Every variant, for taxonomy-completeness tests.
+    pub const ALL: [MergeReject; 5] = [
+        MergeReject::Escapes,
+        MergeReject::ElemMismatch,
+        MergeReject::SizeNotProvable,
+        MergeReject::Interference,
+        MergeReject::RuntimeIndexed,
+    ];
 }
 
 /// Why the parallel-safety stage stopped short of the strongest verdict
@@ -94,6 +136,24 @@ pub enum ParReject {
     /// Every proof succeeded, but the pass did not mark the map in-place:
     /// it keeps the private-row buffers and runs parallel through them.
     PrivateBuffer,
+    /// The statement writes through a **runtime-indexed** (scatter)
+    /// footprint: per-iteration write disjointness is not just unproven
+    /// but unprovable — the written positions are data (see
+    /// `arraymem_lmad::OpaqueIxFn`). The executor keeps the serial
+    /// schedule; checked mode validates every index against its extent.
+    RuntimeIndexedWrite,
+}
+
+impl ParReject {
+    /// Every variant, for taxonomy-completeness tests.
+    pub const ALL: [ParReject; 6] = [
+        ParReject::NoMemBinding,
+        ParReject::RowNotExtractable,
+        ParReject::WriteOverlapNotProven,
+        ParReject::InputInterference,
+        ParReject::PrivateBuffer,
+        ParReject::RuntimeIndexedWrite,
+    ];
 }
 
 /// What a remark reports.

@@ -347,6 +347,9 @@ fn slice_transform(slice: &SliceSpec) -> Option<Transform> {
                 .collect::<Option<Vec<_>>>()?;
             Some(Transform::Slice(ts))
         }
+        // A scatter's written positions are runtime data: no static
+        // transform describes them (see `arraymem_lmad::OpaqueIxFn`).
+        SliceSpec::Scatter(_) => None,
     }
 }
 
@@ -595,6 +598,26 @@ fn create_candidates(
                         forced: false,
                     });
                 };
+            if let SliceSpec::Scatter(_) = slice {
+                // Runtime-indexed write: the written positions are data, so
+                // no affine rebased index function exists for the source.
+                // Recorded as a rejection (not skipped silently) so remarks
+                // prove the pass saw — and gave up on — the scatter.
+                let dst_block = ctx
+                    .binding(*dst)
+                    .map(|mb| mb.block)
+                    .unwrap_or_else(|| Sym::fresh("none"));
+                cand_or_fail(
+                    Some(Rejection::new(
+                        RejectReason::RuntimeIndexedWrite,
+                        "scatter writes through runtime indices: the copy is \
+                         kept and bounds are enforced dynamically",
+                    )),
+                    HashMap::new(),
+                    dst_block,
+                );
+                return;
+            }
             if ctx.am.same_class(*src, *dst) {
                 return; // not a circuit point: src aliases dst
             }
@@ -963,6 +986,17 @@ fn process_web_def(
         Exp::Update {
             dst, slice, src, ..
         } => {
+            if let SliceSpec::Scatter(_) = slice {
+                // The web flows through a scatter: its write footprint is
+                // runtime data, so there is no region to run the
+                // non-overlap test against (see `arraymem_lmad::OpaqueIxFn`).
+                cand.fail(
+                    RejectReason::RuntimeIndexedWrite,
+                    "web flows through a scatter whose write footprint is \
+                     runtime data",
+                );
+                return;
+            }
             // The web flows through the update: dst joins the web.
             cand.rebased.insert(*dst, translated.clone());
             let region = slice_region(&translated.ixfn, slice);
@@ -1013,6 +1047,36 @@ fn process_web_def(
                             RejectReason::OverlapTestFailed,
                             "copy source overlaps the rebased destination region",
                         );
+                    }
+                }
+            }
+            finalize(cand);
+        }
+        Exp::Gather { src, idx } => {
+            // A gather's *result* is written densely (affine), so eliding
+            // the copy is sound like any fresh fill — but its reads of
+            // `src` land at runtime positions, covered conservatively by
+            // the whole of `src`'s index function (the `OpaqueIxFn` cover).
+            let region = ixfn_set(&translated.ixfn);
+            check_write(cand, &region, env, "a gather result", ctx.force_unsafe);
+            for v in [src, idx] {
+                if cand.rebased.contains_key(v) {
+                    cand.fail(
+                        RejectReason::OverlapTestFailed,
+                        "gather operand is itself the rebased region",
+                    );
+                    return;
+                }
+                if let Some(mb) = ctx.binding(*v) {
+                    if mb.block == cand.dst_block {
+                        let reads = ixfn_set(&mb.ixfn);
+                        if !reads.disjoint_from(&region, env) {
+                            cand.fail(
+                                RejectReason::OverlapTestFailed,
+                                "gather operand may overlap the rebased \
+                                 destination region",
+                            );
+                        }
                     }
                 }
             }

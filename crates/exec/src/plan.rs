@@ -193,6 +193,9 @@ pub(crate) enum LSlice {
     Tr { tr: Transform, vars: SlotVars },
     /// Point indexing: the coordinates are scalar expressions.
     Point(Vec<LExp>),
+    /// Scatter: the slot holds the runtime index array; element `k` of
+    /// the source lands at flat position `idx[k]` of the destination.
+    Scatter(Slot),
 }
 
 #[derive(Clone, Debug)]
@@ -272,6 +275,14 @@ pub(crate) enum Instr {
         src: Slot,
         tr: Transform,
         vars: SlotVars,
+    },
+    /// Runtime-indexed read: `dest[k] = src[idx[k]]` over the index
+    /// array's length, with every index bounds-checked against `src`'s
+    /// element count at execution time.
+    Gather {
+        dest: Dest,
+        src: Slot,
+        idx: Slot,
     },
     MapKernel(Box<MapKernelInstr>),
     MapLambda(Box<MapLambdaInstr>),
@@ -785,6 +796,12 @@ impl Lowerer<'_> {
                     blame,
                 );
             }
+            Exp::Gather { src, idx } => {
+                let src = self.resolve(*src)?;
+                let idx = self.resolve(*idx)?;
+                let dest = self.lower_dest(&stm.pat[0])?;
+                out.push(Instr::Gather { dest, src, idx }, blame);
+            }
             Exp::Map(m) => self.lower_map(stm, m, out, blame)?,
             Exp::Update {
                 dst,
@@ -812,6 +829,7 @@ impl Lowerer<'_> {
                         ),
                         false,
                     ),
+                    SliceSpec::Scatter(idx) => (LSlice::Scatter(self.resolve(*idx)?), false),
                 };
                 let src_l = match src {
                     UpdateSrc::Array(s) => LUpdateSrc::Array(self.resolve(*s)?),
@@ -1212,6 +1230,9 @@ fn fmt_instr(i: &Instr) -> String {
         Instr::Transform { dest, src, tr, .. } => {
             format!("{} <- transform %{src} {tr:?}", fmt_dest(dest))
         }
+        Instr::Gather { dest, src, idx } => {
+            format!("{} <- gather %{src} [%{idx}]", fmt_dest(dest))
+        }
         Instr::MapKernel(mk) => format!(
             "{} <- map_kernel {}#{} width {:?} inputs [{}] args [{}]{}",
             fmt_dest(&mk.dest),
@@ -1246,6 +1267,7 @@ fn fmt_instr(i: &Instr) -> String {
                     "point[{}]",
                     es.iter().map(fmt_exp).collect::<Vec<_>>().join(", ")
                 ),
+                LSlice::Scatter(idx) => format!("scatter[%{idx}]"),
             };
             let src = match &u.src {
                 LUpdateSrc::Array(s) => format!("%{s}"),

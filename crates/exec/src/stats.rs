@@ -72,6 +72,20 @@ pub enum Diagnostic {
         /// Concrete LMAD of the resident footprint it intersects.
         resident_ixfn: String,
     },
+    /// A gather read or scatter write presented a runtime index outside
+    /// the addressed array's extent. Checked mode records the finding and
+    /// continues (the access is skipped); the unchecked evaluators abort
+    /// with an error instead.
+    IndexOutOfBounds {
+        /// Name bound by the gather/scatter statement.
+        stm: String,
+        /// Position in the index array holding the offending index.
+        lane: i64,
+        /// The out-of-range index value that was read.
+        index: i64,
+        /// Number of addressable elements in the array the index targets.
+        extent: i64,
+    },
     /// A short-circuited construction's concrete write footprint
     /// intersects a recorded later-use footprint of the destination
     /// memory — the symbolic non-overlap verdict was wrong (or forced).
@@ -148,6 +162,16 @@ impl std::fmt::Display for Diagnostic {
                 f,
                 "merge overlap: block {victim} merged into {host}, but tenant footprint \
                  {victim_ixfn} intersects resident footprint {resident_ixfn} at offset {offset}"
+            ),
+            Diagnostic::IndexOutOfBounds {
+                stm,
+                lane,
+                index,
+                extent,
+            } => write!(
+                f,
+                "index out of bounds: {stm} read runtime index {index} (lane {lane}) against \
+                 an extent of {extent} elements; the access was skipped"
             ),
             Diagnostic::CircuitOverlap {
                 root,

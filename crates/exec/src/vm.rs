@@ -567,6 +567,21 @@ impl Machine<'_> {
         }
     }
 
+    /// Shadow-mark a single cell as written by the executing statement —
+    /// the per-lane variant of [`mark_write`](Machine::mark_write) for
+    /// runtime-indexed (scatter) writes, where only the lanes that passed
+    /// the bounds check were actually written. No-op outside checked mode.
+    fn mark_cell(&mut self, block: usize, off: i64) {
+        if !self.store.shadow_enabled() {
+            return;
+        }
+        let Some(writer) = self.cur_stm else { return };
+        self.stats.cells_checked += 1;
+        if off >= 0 && (off as usize) < self.store.len(block) {
+            self.store.shadow_mark(block, off as usize, writer);
+        }
+    }
+
     /// Check every cell of a read footprint; stops at the first finding
     /// (one diagnostic per read site keeps reports legible). No-op outside
     /// checked mode.
@@ -815,6 +830,59 @@ impl Machine<'_> {
                         Value::Array(ArrayRef::new(src_a.block, src_a.elem, ixfn));
                 }
             }
+            Instr::Gather { dest, src, idx } => {
+                let src_a = self.regs[*src as usize].as_array().clone();
+                let idx_a = self.regs[*idx as usize].as_array().clone();
+                if idx_a.elem != ElemType::I64 {
+                    return Err("gather index array must be i64".into());
+                }
+                self.check_read(idx_a.block, &idx_a.ixfn);
+                let dst = self.fresh_dest(dest)?;
+                let iv = self.view(&idx_a);
+                let sv = self.view(&src_a);
+                let dv = self.view_mut(&dst);
+                let n = iv.num_elems();
+                let extent = src_a.ixfn.num_elems();
+                let src_shape = sv.shape();
+                let dst_shape = dv.shape();
+                let t = Instant::now();
+                for k in 0..n.max(0) {
+                    let j = iv.get_i64_flat(k);
+                    if j < 0 || j >= extent {
+                        // Checked mode records the finding and skips the
+                        // lane; the unchecked evaluators abort.
+                        if self.checked() {
+                            let d = Diagnostic::IndexOutOfBounds {
+                                stm: self.stm_name(),
+                                lane: k,
+                                index: j,
+                                extent,
+                            };
+                            self.diag(d);
+                            continue;
+                        }
+                        return Err(format!(
+                            "gather index {j} out of bounds for {extent} elements (lane {k})"
+                        ));
+                    }
+                    if self.store.shadow_enabled() {
+                        let off = src_a.ixfn.index(&unflat(&src_shape, j));
+                        self.check_cell(src_a.block, off, &src_a.ixfn);
+                    }
+                    match dst.elem {
+                        ElemType::F32 => dv.set_f32_flat(k, sv.get_f32_flat(j)),
+                        ElemType::F64 => {
+                            dv.set_f64(&unflat(&dst_shape, k), sv.get_f64(&unflat(&src_shape, j)))
+                        }
+                        ElemType::I64 | ElemType::Bool => dv.set_i64_flat(k, sv.get_i64_flat(j)),
+                    }
+                }
+                self.stats.copy_time += t.elapsed();
+                self.stats.bytes_copied += n.max(0) as u64 * dst.elem.size_bytes() as u64;
+                self.stats.num_copies += 1;
+                self.mark_write(dst.block, &dst.ixfn);
+                self.regs[dest.slot as usize] = Value::Array(dst);
+            }
             Instr::MapKernel(mk) => {
                 let width = mk.width.eval(&self.regs).ok_or("unresolved map width")?;
                 let dst = self.fresh_dest(&mk.dest)?;
@@ -1020,6 +1088,78 @@ impl Machine<'_> {
                 } else {
                     dst_a.clone()
                 };
+                if let LSlice::Scatter(idx_slot) = &u.slice {
+                    // Runtime-indexed write: element `k` of the source
+                    // lands at flat position `idx[k]` of the destination.
+                    // Lanes run in ascending order serially, so duplicate
+                    // indices are legal and the last write wins — the
+                    // schedule `par_safety` pinned with
+                    // `ParReject::RuntimeIndexedWrite`.
+                    let idx_a = self.regs[*idx_slot as usize].as_array().clone();
+                    if idx_a.elem != ElemType::I64 {
+                        return Err("scatter index array must be i64".into());
+                    }
+                    let LUpdateSrc::Array(s) = &u.src else {
+                        return Err("scatter requires an array source".into());
+                    };
+                    let src_a = self.regs[*s as usize].as_array().clone();
+                    self.check_read(idx_a.block, &idx_a.ixfn);
+                    self.check_read(src_a.block, &src_a.ixfn);
+                    let iv = self.view(&idx_a);
+                    let sv = self.view(&src_a);
+                    let dview = self.view_mut(&result);
+                    let n = iv.num_elems();
+                    if sv.num_elems() != n {
+                        return Err(format!(
+                            "scatter source holds {} elements for {} indices",
+                            sv.num_elems(),
+                            n
+                        ));
+                    }
+                    let extent = result.ixfn.num_elems();
+                    let src_shape = sv.shape();
+                    let dst_shape = dview.shape();
+                    let t = Instant::now();
+                    let mut lanes_written = 0u64;
+                    for k in 0..n.max(0) {
+                        let j = iv.get_i64_flat(k);
+                        if j < 0 || j >= extent {
+                            if self.checked() {
+                                let d = Diagnostic::IndexOutOfBounds {
+                                    stm: self.stm_name(),
+                                    lane: k,
+                                    index: j,
+                                    extent,
+                                };
+                                self.diag(d);
+                                continue;
+                            }
+                            return Err(format!(
+                                "scatter index {j} out of bounds for {extent} elements (lane {k})"
+                            ));
+                        }
+                        match result.elem {
+                            ElemType::F32 => dview.set_f32_flat(j, sv.get_f32_flat(k)),
+                            ElemType::F64 => dview.set_f64(
+                                &unflat(&dst_shape, j),
+                                sv.get_f64(&unflat(&src_shape, k)),
+                            ),
+                            ElemType::I64 | ElemType::Bool => {
+                                dview.set_i64_flat(j, sv.get_i64_flat(k))
+                            }
+                        }
+                        lanes_written += 1;
+                        if self.store.shadow_enabled() {
+                            let off = result.ixfn.index(&unflat(&dst_shape, j));
+                            self.mark_cell(result.block, off);
+                        }
+                    }
+                    self.stats.copy_time += t.elapsed();
+                    self.stats.bytes_copied += lanes_written * result.elem.size_bytes() as u64;
+                    self.stats.num_copies += 1;
+                    self.regs[u.dest.slot as usize] = Value::Array(result);
+                    return Ok(());
+                }
                 let slice_ixfn = match &u.slice {
                     LSlice::Tr { tr, vars } => {
                         let lookup = slot_lookup(vars, &self.regs);
@@ -1033,6 +1173,7 @@ impl Machine<'_> {
                         }
                         apply_transform_concrete(&result.ixfn, &Transform::Slice(fixed), &|_| None)
                     }
+                    LSlice::Scatter(_) => unreachable!("scatter handled above"),
                 }
                 .ok_or_else(|| "bad slice".to_string())?;
                 // The language's dynamic legality check for LMAD-slice

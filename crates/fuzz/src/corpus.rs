@@ -1,0 +1,183 @@
+//! The on-disk corpus: decision traces as human-readable text files.
+//!
+//! Layout (committed to the repository, under this crate):
+//!
+//! ```text
+//! crates/fuzz/corpus/
+//!   seeds/        curated coverage-diverse traces; replayed by the
+//!                 differential tests and scripts/verify.sh
+//!   regressions/  minimized traces distilled from historical bug
+//!                 classes; each must keep firing its target remark
+//! ```
+//!
+//! Entry format, one op per line (blank lines and `#` comments ignored):
+//!
+//! ```text
+//! # free-form provenance comment
+//! note: <one-line description, optional>
+//! op <kind> <sel> <sel2> <seed>
+//! ```
+//!
+//! `sel`/`sel2` are signed decimal, `seed` unsigned decimal — exactly the
+//! four fields of [`GenOp`]. The format has no version header to bump:
+//! unknown lines are an error, and totality of the interpreter means old
+//! traces stay valid as the generator grows new kinds.
+
+use crate::gen::GenOp;
+use std::path::{Path, PathBuf};
+
+/// One corpus entry: a named trace plus an optional one-line note.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorpusEntry {
+    /// File stem, e.g. `"seed-0007"`.
+    pub name: String,
+    /// One-line description (serialized as `note: ...`).
+    pub note: String,
+    pub ops: Vec<GenOp>,
+}
+
+/// Root of the committed corpus (resolved from this crate's manifest, so
+/// tests find it regardless of the working directory).
+pub fn corpus_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+pub fn seeds_dir() -> PathBuf {
+    corpus_root().join("seeds")
+}
+
+pub fn regressions_dir() -> PathBuf {
+    corpus_root().join("regressions")
+}
+
+/// Serialize an entry to the text format.
+pub fn format_entry(entry: &CorpusEntry) -> String {
+    let mut s = String::new();
+    if !entry.note.is_empty() {
+        s.push_str(&format!("note: {}\n", entry.note));
+    }
+    for op in &entry.ops {
+        s.push_str(&format!(
+            "op {} {} {} {}\n",
+            op.kind, op.sel, op.sel2, op.seed
+        ));
+    }
+    s
+}
+
+/// Parse the text format. `name` is the caller-supplied entry name (file
+/// stem); the text supplies the note and ops.
+pub fn parse_entry(name: &str, text: &str) -> Result<CorpusEntry, String> {
+    let mut note = String::new();
+    let mut ops = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(n) = line.strip_prefix("note:") {
+            note = n.trim().to_string();
+            continue;
+        }
+        let Some(rest) = line.strip_prefix("op ") else {
+            return Err(format!("{name}:{}: unrecognized line {line:?}", ln + 1));
+        };
+        let fields: Vec<&str> = rest.split_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(format!(
+                "{name}:{}: expected `op <kind> <sel> <sel2> <seed>`, got {line:?}",
+                ln + 1
+            ));
+        }
+        let parse = |what: &str, s: &str| -> Result<i64, String> {
+            s.parse()
+                .map_err(|e| format!("{name}:{}: bad {what} {s:?}: {e}", ln + 1))
+        };
+        ops.push(GenOp {
+            kind: parse("kind", fields[0])? as u8,
+            sel: parse("sel", fields[1])?,
+            sel2: parse("sel2", fields[2])?,
+            seed: fields[3]
+                .parse()
+                .map_err(|e| format!("{name}:{}: bad seed {:?}: {e}", ln + 1, fields[3]))?,
+        });
+    }
+    if ops.is_empty() {
+        return Err(format!("{name}: entry has no ops"));
+    }
+    Ok(CorpusEntry {
+        name: name.to_string(),
+        note,
+        ops,
+    })
+}
+
+/// Load every `.txt` entry of a corpus directory, sorted by name so
+/// replay order is deterministic. A missing directory is an empty corpus.
+pub fn load_dir(dir: &Path) -> Result<Vec<CorpusEntry>, String> {
+    let mut entries = Vec::new();
+    let rd = match std::fs::read_dir(dir) {
+        Ok(rd) => rd,
+        Err(_) => return Ok(entries),
+    };
+    for de in rd {
+        let de = de.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = de.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("txt") {
+            continue;
+        }
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("entry")
+            .to_string();
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        entries.push(parse_entry(&name, &text)?);
+    }
+    entries.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(entries)
+}
+
+/// Write an entry as `<dir>/<name>.txt`, creating the directory.
+pub fn save(dir: &Path, entry: &CorpusEntry) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let path = dir.join(format!("{}.txt", entry.name));
+    std::fs::write(&path, format_entry(entry)).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_round_trips_through_text() {
+        let e = CorpusEntry {
+            name: "t".into(),
+            note: "a note".into(),
+            ops: vec![
+                GenOp {
+                    kind: 12,
+                    sel: -3,
+                    sel2: 99,
+                    seed: 7,
+                },
+                GenOp {
+                    kind: 0,
+                    sel: 0,
+                    sel2: 0,
+                    seed: u64::MAX,
+                },
+            ],
+        };
+        let text = format_entry(&e);
+        assert_eq!(parse_entry("t", &text).unwrap(), e);
+    }
+
+    #[test]
+    fn junk_lines_are_rejected_with_location() {
+        let err = parse_entry("bad", "op 1 2 3 4\nwat\n").unwrap_err();
+        assert!(err.contains("bad:2"), "{err}");
+    }
+}

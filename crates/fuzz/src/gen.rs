@@ -1,0 +1,516 @@
+//! The decision-trace program generator.
+//!
+//! A trace is a sequence of [`GenOp`]s. Each op names a statement kind
+//! plus three raw integers: two operand selectors (interpreted modulo
+//! whatever the live array pool holds when the op executes) and a local
+//! seed driving the op's fine-grained choices (shapes, slice bounds,
+//! constants) through its own `Rng64`. Interpretation is **total**:
+//! selectors never go out of range and an op whose preconditions are
+//! unmet (e.g. "permute a rank-2 array" with none in the pool) is a
+//! no-op. Totality is the property the minimizer leans on — deleting any
+//! subset of ops still yields a well-formed program.
+//!
+//! Kinds 12 (gather) and 13 (scatter) produce the runtime-indexed
+//! programs the affine passes must degrade soundly on. Their index
+//! arrays are constructed *in bounds* by arithmetic (`|x·k₁+k₂| mod n`),
+//! so every semantics agrees and the differential check stays
+//! meaningful; out-of-bounds behavior is probed by dedicated tests, not
+//! the corpus.
+
+use arraymem_ir::{BinOp, Builder, ElemType, Program, ScalarExp, SliceSpec, UnOp, Var};
+use arraymem_lmad::{Transform, TripletSlice};
+use arraymem_symbolic::{Poly, Rng64};
+
+fn c(x: i64) -> Poly {
+    Poly::constant(x)
+}
+
+/// One generator decision. `kind` is taken modulo [`GenOp::NUM_KINDS`];
+/// `sel`/`sel2` select pool operands (modulo pool size at execution
+/// time); `seed` drives the op's local `Rng64` for every other choice.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GenOp {
+    pub kind: u8,
+    pub sel: i64,
+    pub sel2: i64,
+    pub seed: u64,
+}
+
+impl GenOp {
+    /// Statement kinds the interpreter knows:
+    /// 0 replicate, 1 iota, 2 copy, 3 permute, 4 reverse, 5 slice,
+    /// 6 flatten, 7 map, 8 update, 9 concat, 10 rotate, 11 nested map,
+    /// 12 gather, 13 scatter.
+    pub const NUM_KINDS: u8 = 14;
+}
+
+/// A uniformly random op (any field value is meaningful, so sampling is
+/// unconstrained).
+pub fn random_op(rng: &mut Rng64) -> GenOp {
+    GenOp {
+        kind: (rng.next_u64() % GenOp::NUM_KINDS as u64) as u8,
+        sel: rng.next_u64() as i64,
+        sel2: rng.next_u64() as i64,
+        seed: rng.next_u64(),
+    }
+}
+
+/// A random trace of `len` ops from one seed.
+pub fn random_ops(seed: u64, len: usize) -> Vec<GenOp> {
+    let mut rng = Rng64::new(seed);
+    (0..len).map(|_| random_op(&mut rng)).collect()
+}
+
+#[derive(Clone)]
+struct GenArray {
+    var: Var,
+    shape: Vec<i64>,
+    /// Alias class; consumed together when any member is updated.
+    class: usize,
+}
+
+struct Interp {
+    body: arraymem_ir::builder::BlockBuilder,
+    pool: Vec<GenArray>,
+    next_class: usize,
+    fill: i64,
+}
+
+impl Interp {
+    fn fresh_class(&mut self) -> usize {
+        self.next_class += 1;
+        self.next_class
+    }
+
+    fn pick(&self, sel: i64) -> Option<GenArray> {
+        if self.pool.is_empty() {
+            return None;
+        }
+        Some(self.pool[sel.unsigned_abs() as usize % self.pool.len()].clone())
+    }
+
+    fn pick_rank(&self, sel: i64, rank: usize) -> Option<GenArray> {
+        let cands: Vec<&GenArray> = self.pool.iter().filter(|a| a.shape.len() == rank).collect();
+        if cands.is_empty() {
+            return None;
+        }
+        Some(cands[sel.unsigned_abs() as usize % cands.len()].clone())
+    }
+
+    fn replicate(&mut self, shape: Vec<i64>) -> GenArray {
+        self.fill += 1;
+        let v = self.body.replicate_typed(
+            "g_rep",
+            ElemType::I64,
+            shape.iter().map(|&d| c(d)).collect(),
+            ScalarExp::i64(self.fill * 7),
+        );
+        let class = self.fresh_class();
+        GenArray {
+            var: v,
+            shape,
+            class,
+        }
+    }
+
+    /// A rank-1 `i64` index array of length `m`, every element in
+    /// `[0, extent)`: `|i·k₁ + k₂| mod extent` over an iota.
+    fn bounded_indices(&mut self, m: i64, extent: i64, r: &mut Rng64) -> Var {
+        let base = self.body.iota("g_idx_base", c(m));
+        let k1 = r.i64_incl(1, 7);
+        let k2 = r.i64_in(0, extent.max(1) * 2);
+        self.body
+            .map_lambda("g_idx", c(m), vec![base], ElemType::I64, |lb, ps| {
+                let t = lb.scalar(
+                    "g_ix",
+                    ElemType::I64,
+                    ScalarExp::bin(
+                        BinOp::Rem,
+                        ScalarExp::un(
+                            UnOp::Abs,
+                            ScalarExp::bin(
+                                BinOp::Add,
+                                ScalarExp::bin(
+                                    BinOp::Mul,
+                                    ScalarExp::var(ps[0]),
+                                    ScalarExp::i64(k1),
+                                ),
+                                ScalarExp::i64(k2),
+                            ),
+                        ),
+                        ScalarExp::i64(extent.max(1)),
+                    ),
+                );
+                vec![t]
+            })
+    }
+
+    /// Execute one op (possibly a no-op when preconditions fail).
+    fn step(&mut self, op: &GenOp) {
+        let mut r = Rng64::new(op.seed);
+        match op.kind % GenOp::NUM_KINDS {
+            0 => {
+                let rank = r.i64_incl(1, 2);
+                let shape: Vec<i64> = (0..rank).map(|_| r.i64_incl(1, 5)).collect();
+                let a = self.replicate(shape);
+                self.pool.push(a);
+            }
+            1 => {
+                let n = r.i64_incl(1, 8);
+                let v = self.body.iota("g_iota", c(n));
+                let class = self.fresh_class();
+                self.pool.push(GenArray {
+                    var: v,
+                    shape: vec![n],
+                    class,
+                });
+            }
+            2 => {
+                if let Some(src) = self.pick(op.sel) {
+                    let v = self.body.copy("g_copy", src.var);
+                    let class = self.fresh_class();
+                    self.pool.push(GenArray {
+                        var: v,
+                        shape: src.shape,
+                        class,
+                    });
+                }
+            }
+            3 => {
+                if let Some(src) = self.pick_rank(op.sel, 2) {
+                    let v = self
+                        .body
+                        .transform("g_perm", src.var, Transform::Permute(vec![1, 0]));
+                    self.pool.push(GenArray {
+                        var: v,
+                        shape: vec![src.shape[1], src.shape[0]],
+                        class: src.class,
+                    });
+                }
+            }
+            4 => {
+                if let Some(src) = self.pick(op.sel) {
+                    let d = r.usize_in(src.shape.len());
+                    let v = self.body.transform("g_rev", src.var, Transform::Reverse(d));
+                    self.pool.push(GenArray {
+                        var: v,
+                        shape: src.shape,
+                        class: src.class,
+                    });
+                }
+            }
+            5 => {
+                // Triplet slice (step 1 or 2 when it fits).
+                if let Some(src) = self.pick(op.sel) {
+                    let mut ts = Vec::new();
+                    let mut shape = Vec::new();
+                    for &d in &src.shape {
+                        let start = r.i64_in(0, d);
+                        let step = if d - start >= 3 && r.chance(0.3) {
+                            2
+                        } else {
+                            1
+                        };
+                        let max_len = (d - start + step - 1) / step;
+                        let len = r.i64_incl(1, max_len);
+                        ts.push(TripletSlice::range(c(start), c(len), c(step)));
+                        shape.push(len);
+                    }
+                    let v = self
+                        .body
+                        .transform("g_slice", src.var, Transform::Slice(ts));
+                    self.pool.push(GenArray {
+                        var: v,
+                        shape,
+                        class: src.class,
+                    });
+                }
+            }
+            6 => {
+                // Flatten a rank-2 array.
+                if let Some(src) = self.pick_rank(op.sel, 2) {
+                    let total = src.shape[0] * src.shape[1];
+                    let v =
+                        self.body
+                            .transform("g_flat", src.var, Transform::Reshape(vec![c(total)]));
+                    self.pool.push(GenArray {
+                        var: v,
+                        shape: vec![total],
+                        class: src.class,
+                    });
+                }
+            }
+            7 => {
+                // Lambda map over a rank-1 array: x*3 + 1.
+                if let Some(src) = self.pick_rank(op.sel, 1) {
+                    let v = self.body.map_lambda(
+                        "g_map",
+                        c(src.shape[0]),
+                        vec![src.var],
+                        ElemType::I64,
+                        |lb, ps| {
+                            let t = lb.scalar(
+                                "g_t",
+                                ElemType::I64,
+                                ScalarExp::bin(
+                                    BinOp::Add,
+                                    ScalarExp::bin(
+                                        BinOp::Mul,
+                                        ScalarExp::var(ps[0]),
+                                        ScalarExp::i64(3),
+                                    ),
+                                    ScalarExp::i64(1),
+                                ),
+                            );
+                            vec![t]
+                        },
+                    );
+                    let class = self.fresh_class();
+                    self.pool.push(GenArray {
+                        var: v,
+                        shape: src.shape,
+                        class,
+                    });
+                }
+            }
+            8 => {
+                // In-place update of a random sub-slice with a fresh (or
+                // fresh-through-a-transform) source — the circuit-point
+                // shape the optimizer hunts for.
+                let Some(dst) = self.pick(op.sel) else { return };
+                let mut ts = Vec::new();
+                let mut sshape = Vec::new();
+                for &d in &dst.shape {
+                    let start = r.i64_in(0, d);
+                    let len = r.i64_incl(1, d - start);
+                    ts.push(TripletSlice::range(c(start), c(len), c(1)));
+                    sshape.push(len);
+                }
+                let src = self.replicate(sshape.clone());
+                let src_var = if sshape.len() == 1 && r.chance(0.4) {
+                    // A layout transform between the fresh array and the
+                    // circuit point exercises web rebasing.
+                    self.body
+                        .transform("g_src_rev", src.var, Transform::Reverse(0))
+                } else {
+                    src.var
+                };
+                // Occasionally keep the source visible afterwards so the
+                // last-use condition sometimes fails.
+                if r.chance(0.25) {
+                    self.pool.push(GenArray {
+                        var: src_var,
+                        shape: sshape,
+                        class: src.class,
+                    });
+                }
+                let v = self
+                    .body
+                    .update("g_upd", dst.var, SliceSpec::Triplet(ts), src_var);
+                // The destination's whole alias class is consumed.
+                self.pool.retain(|a| a.class != dst.class);
+                self.pool.push(GenArray {
+                    var: v,
+                    shape: dst.shape,
+                    class: dst.class,
+                });
+            }
+            9 => {
+                // Concat along the outer dimension. When the optimizer
+                // proves an argument's last use, it constructs it directly
+                // in the destination slot.
+                let Some(first) = self.pick(op.sel) else {
+                    return;
+                };
+                let mut args = vec![first.var];
+                let mut outer = first.shape[0];
+                let compatible: Vec<GenArray> = self
+                    .pool
+                    .iter()
+                    .filter(|a| {
+                        a.shape.len() == first.shape.len() && a.shape[1..] == first.shape[1..]
+                    })
+                    .cloned()
+                    .collect();
+                let extra = r.i64_incl(1, 2);
+                for k in 0..extra {
+                    let sel =
+                        (op.sel2.unsigned_abs() as usize + k as usize * 31) % compatible.len();
+                    let pickd = &compatible[sel];
+                    args.push(pickd.var);
+                    outer += pickd.shape[0];
+                }
+                let v = self.body.concat("g_cat", args);
+                let mut shape = first.shape.clone();
+                shape[0] = outer;
+                let class = self.fresh_class();
+                self.pool.push(GenArray {
+                    var: v,
+                    shape,
+                    class,
+                });
+            }
+            10 => {
+                // Rotate a rank-1 array by k: concat of its two halves.
+                // Both arguments alias the same source memory, which the
+                // elision analysis must treat soundly.
+                let Some(src) = self.pick_rank(op.sel, 1) else {
+                    return;
+                };
+                let d = src.shape[0];
+                if d < 2 {
+                    return;
+                }
+                let k = r.i64_in(1, d);
+                let hi = self.body.transform(
+                    "g_rot_hi",
+                    src.var,
+                    Transform::Slice(vec![TripletSlice::range(c(k), c(d - k), c(1))]),
+                );
+                let lo = self.body.transform(
+                    "g_rot_lo",
+                    src.var,
+                    Transform::Slice(vec![TripletSlice::range(c(0), c(k), c(1))]),
+                );
+                let v = self.body.concat("g_rot", vec![hi, lo]);
+                let class = self.fresh_class();
+                self.pool.push(GenArray {
+                    var: v,
+                    shape: vec![d],
+                    class,
+                });
+            }
+            11 => {
+                // Nested mapnest: the outer lambda body runs an inner map
+                // over a second (outer-scope) array and combines one of
+                // its elements with the outer element.
+                let Some(src) = self.pick_rank(op.sel, 1) else {
+                    return;
+                };
+                let Some(other) = self.pick_rank(op.sel2, 1) else {
+                    return;
+                };
+                let m = other.shape[0];
+                let j = r.i64_in(0, m);
+                let other_var = other.var;
+                let v = self.body.map_lambda(
+                    "g_nest",
+                    c(src.shape[0]),
+                    vec![src.var],
+                    ElemType::I64,
+                    |lb, ps| {
+                        let inner = lb.map_lambda(
+                            "g_nest_in",
+                            c(m),
+                            vec![other_var],
+                            ElemType::I64,
+                            |ib, ips| {
+                                let t = ib.scalar(
+                                    "g_nt",
+                                    ElemType::I64,
+                                    ScalarExp::bin(
+                                        BinOp::Mul,
+                                        ScalarExp::var(ips[0]),
+                                        ScalarExp::i64(2),
+                                    ),
+                                );
+                                vec![t]
+                            },
+                        );
+                        let t = lb.scalar(
+                            "g_gather",
+                            ElemType::I64,
+                            ScalarExp::bin(
+                                BinOp::Add,
+                                ScalarExp::Index(inner, vec![ScalarExp::i64(j)]),
+                                ScalarExp::var(ps[0]),
+                            ),
+                        );
+                        vec![t]
+                    },
+                );
+                let class = self.fresh_class();
+                self.pool.push(GenArray {
+                    var: v,
+                    shape: src.shape,
+                    class,
+                });
+            }
+            12 => {
+                // Gather through runtime (but in-bounds) indices: the
+                // result is a fresh dense array; the source read is
+                // opaque to every affine analysis.
+                let Some(src) = self.pick_rank(op.sel, 1) else {
+                    return;
+                };
+                let m = r.i64_incl(1, 8);
+                let idx = self.bounded_indices(m, src.shape[0], &mut r);
+                let v = self.body.gather("g_gat", src.var, idx);
+                let class = self.fresh_class();
+                self.pool.push(GenArray {
+                    var: v,
+                    shape: vec![m],
+                    class,
+                });
+            }
+            13 => {
+                // Scatter through runtime indices (possibly duplicated —
+                // last write wins under the serial ascending-k contract).
+                // Consumes the destination's alias class like any update.
+                let Some(dst) = self.pick_rank(op.sel, 1) else {
+                    return;
+                };
+                let d = dst.shape[0];
+                let m = r.i64_incl(1, d.min(8));
+                let idx = self.bounded_indices(m, d, &mut r);
+                let src = self.replicate(vec![m]);
+                let v = self.body.scatter("g_sct", dst.var, idx, src.var);
+                self.pool.retain(|a| a.class != dst.class);
+                self.pool.push(GenArray {
+                    var: v,
+                    shape: dst.shape,
+                    class: dst.class,
+                });
+            }
+            _ => unreachable!("kind is taken modulo NUM_KINDS"),
+        }
+    }
+}
+
+/// Interpret a trace into a program. Returns `None` when the trace ends
+/// with an empty pool (nothing to return).
+pub fn build_program(ops: &[GenOp]) -> Option<Program> {
+    let bld = Builder::new("fuzz");
+    let mut g = Interp {
+        body: bld.block(),
+        pool: Vec::new(),
+        next_class: 0,
+        fill: 0,
+    };
+    // Seed the pool so early ops have operands.
+    let a = g.replicate(vec![4, 3]);
+    g.pool.push(a);
+    let b = g.replicate(vec![6]);
+    g.pool.push(b);
+    for op in ops {
+        g.step(op);
+    }
+    if g.pool.is_empty() {
+        return None;
+    }
+    // Return up to two distinct arrays (one per alias class).
+    let mut results: Vec<Var> = Vec::new();
+    let mut seen_classes = Vec::new();
+    for entry in g.pool.iter().rev() {
+        if results.len() == 2 {
+            break;
+        }
+        if seen_classes.contains(&entry.class) {
+            continue;
+        }
+        seen_classes.push(entry.class);
+        results.push(entry.var);
+    }
+    let block = g.body.finish(results);
+    Some(bld.finish(block))
+}

@@ -1,0 +1,33 @@
+//! Corpus-driven differential fuzzing of the memory pipeline.
+//!
+//! The fuzzer's unit of currency is a **decision trace** ([`GenOp`]
+//! sequence), not a program: every op is interpreted *totally* (operand
+//! selectors are taken modulo the live pool, inapplicable ops become
+//! no-ops), so any subsequence of any trace is still a well-formed
+//! program. That property is what makes the pieces compose:
+//!
+//! - [`gen`] interprets traces into IR programs (including
+//!   gather/scatter ops whose index arrays are constructed in-bounds by
+//!   arithmetic);
+//! - [`corpus`] persists traces as human-readable text files under
+//!   `crates/fuzz/corpus/{seeds,regressions}`;
+//! - [`coverage`] turns a compile report and run stats into a
+//!   (pass × remark-kind) bitmap plus mechanism counters — the signal
+//!   deciding whether a trace earns a place in the corpus;
+//! - [`diff`] runs one program through every semantics
+//!   (Value / Memory unopt / Memory opt / Checked / thread sweep) and
+//!   reports the first divergence instead of panicking;
+//! - [`minimize`] delta-debugs a failing trace down to a minimal one
+//!   that still fails, ready to be committed as a regression entry.
+
+pub mod corpus;
+pub mod coverage;
+pub mod diff;
+pub mod gen;
+pub mod minimize;
+
+pub use corpus::CorpusEntry;
+pub use coverage::Coverage;
+pub use diff::{run_all_modes, DiffReport};
+pub use gen::{build_program, random_ops, GenOp};
+pub use minimize::minimize;

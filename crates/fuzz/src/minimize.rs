@@ -1,0 +1,80 @@
+//! Delta-debugging minimizer for failing traces.
+//!
+//! Because trace interpretation is total (see [`crate::gen`]), *any*
+//! subsequence of a failing trace is still a valid program — so
+//! minimization is pure list shrinking: remove chunks while the caller's
+//! predicate still reports the interesting behavior, halving the chunk
+//! size down to single ops. The result is what gets committed under
+//! `corpus/regressions/`.
+
+use crate::gen::GenOp;
+
+/// Shrink `ops` while `still_fails` keeps returning `true` on the
+/// candidate. The input must itself satisfy the predicate; the result is
+/// 1-minimal (no single op can be removed without losing the failure).
+pub fn minimize<F: FnMut(&[GenOp]) -> bool>(ops: &[GenOp], mut still_fails: F) -> Vec<GenOp> {
+    debug_assert!(still_fails(ops), "minimize() needs a failing input");
+    let mut cur: Vec<GenOp> = ops.to_vec();
+    let mut chunk = (cur.len() / 2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < cur.len() && cur.len() > 1 {
+            let end = (start + chunk).min(cur.len());
+            let mut candidate = Vec::with_capacity(cur.len() - (end - start));
+            candidate.extend_from_slice(&cur[..start]);
+            candidate.extend_from_slice(&cur[end..]);
+            if !candidate.is_empty() && still_fails(&candidate) {
+                cur = candidate;
+                progressed = true;
+                // Same start: the next chunk slid into this position.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !progressed {
+            return cur;
+        }
+        if !progressed {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(kind: u8) -> GenOp {
+        GenOp {
+            kind,
+            sel: 0,
+            sel2: 0,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        // "Fails" iff kind 13 is present.
+        let ops: Vec<GenOp> = (0..20).map(|k| op(k as u8 % 14)).collect();
+        let min = minimize(&ops, |c| c.iter().any(|o| o.kind == 13));
+        assert_eq!(min.len(), 1);
+        assert_eq!(min[0].kind, 13);
+    }
+
+    #[test]
+    fn keeps_a_required_pair_in_order() {
+        // "Fails" iff a kind-2 op appears somewhere after a kind-1 op.
+        let ops: Vec<GenOp> = vec![op(5), op(1), op(9), op(9), op(2), op(7)];
+        let fails = |c: &[GenOp]| {
+            let first1 = c.iter().position(|o| o.kind == 1);
+            match first1 {
+                Some(i) => c[i..].iter().any(|o| o.kind == 2),
+                None => false,
+            }
+        };
+        let min = minimize(&ops, fails);
+        assert_eq!(min.iter().map(|o| o.kind).collect::<Vec<_>>(), vec![1, 2]);
+    }
+}

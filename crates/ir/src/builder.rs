@@ -309,6 +309,22 @@ impl BlockBuilder {
         )
     }
 
+    /// `let g = gather src [idx]` — a fresh rank-1 array with
+    /// `g[i] = src[idx[i]]`. `idx` must be a rank-1 `i64` array; its
+    /// length is the result's length.
+    pub fn gather(&mut self, name: &str, src: Var, idx: Var) -> Var {
+        let elem = self.ty(src).elem().unwrap();
+        let len = self.shape(idx)[0].clone();
+        self.bind(name, Type::array(elem, vec![len]), Exp::Gather { src, idx })
+    }
+
+    /// `let dst' = dst with [scatter idx] = src` —
+    /// `dst[idx[k]] = src[k]` for `k` ascending. `dst`, `idx` and `src`
+    /// must all be rank-1; `idx` and `src` have one length.
+    pub fn scatter(&mut self, name: &str, dst: Var, idx: Var, src: Var) -> Var {
+        self.update(name, dst, SliceSpec::Scatter(idx), src)
+    }
+
     /// `let dst' = dst with [slice] = src`.
     pub fn update(&mut self, name: &str, dst: Var, slice: SliceSpec, src: Var) -> Var {
         self.bind(

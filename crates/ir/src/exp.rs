@@ -114,6 +114,14 @@ pub enum SliceSpec {
     Lmad(Lmad),
     /// A single element.
     Point(Vec<ScalarExp>),
+    /// A **scatter** slice: the named rank-1 `i64` array holds the
+    /// positions written, so `dst with [scatter idx] = src` performs
+    /// `dst[idx[k]] = src[k]` for `k` ascending (duplicate indices are
+    /// legal; the last write wins). The written footprint is
+    /// runtime-indexed — no affine summary exists (see
+    /// `arraymem_lmad::OpaqueIxFn`) — so the affine passes must degrade
+    /// soundly around it.
+    Scatter(Var),
 }
 
 impl SliceSpec {
@@ -138,6 +146,7 @@ impl SliceSpec {
                     e.free_vars(out);
                 }
             }
+            SliceSpec::Scatter(idx) => out.push(*idx),
         }
     }
 }
@@ -225,6 +234,16 @@ pub enum Exp {
     Transform {
         src: Var,
         tr: Transform,
+    },
+    /// `gather src idx` — a fresh rank-1 array with
+    /// `out[i] = src[idx[i]]` for every `i` below the index array's
+    /// length. The read footprint over `src` is runtime-indexed (opaque
+    /// to the affine analyses); the *write* footprint of the result is a
+    /// plain dense row-major array, so downstream affine reasoning about
+    /// the result itself stays fully enabled.
+    Gather {
+        src: Var,
+        idx: Var,
     },
     Map(MapExp),
     /// `let dst[slice] = src` — in-place by the uniqueness discipline; the
@@ -329,6 +348,10 @@ impl Exp {
             Exp::Copy(v) => out.push(*v),
             Exp::Concat { args, .. } => out.extend(args.iter().copied()),
             Exp::Transform { src, .. } => out.push(*src),
+            Exp::Gather { src, idx } => {
+                out.push(*src);
+                out.push(*idx);
+            }
             Exp::Map(m) => {
                 out.extend(m.width.vars());
                 out.extend(m.inputs.iter().copied());

@@ -90,6 +90,7 @@ fn exp_to_string(e: &Exp, level: usize, s: &mut String) {
             }
         }
         Exp::Transform { src, tr } => write!(s, "{tr:?} {src}").unwrap(),
+        Exp::Gather { src, idx } => write!(s, "gather {src} [{idx}]").unwrap(),
         Exp::Map(m) => {
             let ip = if m.in_place_result { " (in-place)" } else { "" };
             match &m.body {
@@ -170,6 +171,7 @@ fn slice_str(sl: &SliceSpec) -> String {
             .join(", "),
         SliceSpec::Lmad(l) => format!("{l:?}"),
         SliceSpec::Point(es) => es.iter().map(scalar_str).collect::<Vec<_>>().join(", "),
+        SliceSpec::Scatter(idx) => format!("scatter {idx}"),
     }
 }
 

@@ -71,6 +71,7 @@ fn validate_exp(
         | Exp::Replicate { .. }
         | Exp::Copy(_)
         | Exp::Transform { .. }
+        | Exp::Gather { .. }
         | Exp::Update { .. } => {
             if pat.len() != 1 {
                 return arity_err(1);

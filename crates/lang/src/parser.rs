@@ -362,7 +362,9 @@ impl Parser {
                 let tr = match slice {
                     SliceSpec::Triplet(ts) => Transform::Slice(ts),
                     SliceSpec::Lmad(l) => Transform::LmadSlice(l),
-                    SliceSpec::Point(_) => unreachable!("array slice has a range"),
+                    SliceSpec::Point(_) | SliceSpec::Scatter(_) => {
+                        unreachable!("array slice has a range")
+                    }
                 };
                 Ok(vec![bb.transform(name0, src, tr)])
             }

@@ -92,6 +92,58 @@ impl Transform {
     }
 }
 
+/// The footprint of a **runtime-indexed** (gather/scatter) access: the
+/// element positions are read from an index array at execution time, so
+/// no affine LMAD summary of the touched cells exists. The only static
+/// knowledge is cardinality (`count` accesses happen) and the `extent`
+/// the indices are bounds-checked against.
+///
+/// Every affine reasoning engine in the pipeline must treat an opaque
+/// footprint as *potentially overlapping everything inside its extent*:
+/// `non_overlap`-style disjointness is never provable against it, and
+/// the passes degrade soundly by rejecting (with a remark) instead of
+/// optimizing. Lifetime-based reasoning (release scheduling, liveness,
+/// lifetime-only block sharing) stays valid — [`OpaqueIxFn::may_touch`]
+/// is the conservative affine cover those analyses may use.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpaqueIxFn {
+    /// Number of runtime-indexed element accesses (the index array's
+    /// length).
+    pub count: Poly,
+    /// The region the runtime indices select within: every access lands
+    /// in `[0, extent)` of the underlying array, enforced dynamically
+    /// (checked mode reports violations as structured diagnostics; the
+    /// other modes fail the run).
+    pub extent: Poly,
+}
+
+impl OpaqueIxFn {
+    pub fn new(count: impl Into<Poly>, extent: impl Into<Poly>) -> OpaqueIxFn {
+        OpaqueIxFn {
+            count: count.into(),
+            extent: extent.into(),
+        }
+    }
+
+    /// The conservative affine cover: a unit-stride stripe over the whole
+    /// extent. Sound for may-touch (liveness) reasoning; useless for
+    /// disjointness — never feed it to a non-overlap test expecting the
+    /// footprint of the cells actually accessed.
+    pub fn may_touch(&self) -> IndexFn {
+        IndexFn::row_major(std::slice::from_ref(&self.extent))
+    }
+}
+
+impl std::fmt::Display for OpaqueIxFn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "opaque[{:?} runtime-indexed accesses within extent {:?}]",
+            self.count, self.extent
+        )
+    }
+}
+
 /// An index function: a non-empty chain of LMADs (paper §IV-B).
 ///
 /// Application (Fig. 3): apply the **last** LMAD to the logical index,

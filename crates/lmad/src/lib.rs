@@ -30,7 +30,7 @@ mod lmad;
 pub mod overlap;
 
 pub use concrete::{footprint_check, ConcreteIxFn, ConcreteLmad, FootprintCheck};
-pub use ixfn::{IndexFn, Transform, TripletSlice};
+pub use ixfn::{IndexFn, OpaqueIxFn, Transform, TripletSlice};
 pub use lmad::{Dim, Lmad};
 
 #[cfg(test)]

@@ -11,6 +11,15 @@ use std::time::Duration;
 /// outputs (for validation).
 pub type RefFn = Box<dyn Fn(&[InputValue]) -> (Duration, Vec<OutputValue>)>;
 
+/// Iteration scale shared by the fuzzers and property tests: the default
+/// keeps CI fast; `ARRAYMEM_SLOW=1` opts into the deeper sweep.
+pub fn scale(fast: usize, slow: usize) -> usize {
+    match std::env::var("ARRAYMEM_SLOW") {
+        Ok(v) if v == "1" => slow,
+        _ => fast,
+    }
+}
+
 /// One benchmark × dataset instance.
 pub struct Case {
     /// Benchmark name, e.g. `"nw"`.

@@ -15,6 +15,7 @@
 pub mod data;
 pub mod harness;
 pub mod hotspot;
+pub mod irregular;
 pub mod lbm;
 pub mod locvolcalib;
 pub mod lud;

@@ -1,4 +1,5 @@
-use crate::nw;
+use crate::{irregular, nw};
+use arraymem_core::{MergeReject, ParReject, RejectReason, RemarkKind};
 
 #[test]
 fn nw_small_validates_and_circuits() {
@@ -69,6 +70,187 @@ fn locvolcalib_small_validates() {
     assert_eq!(opt.bytes_copied, 0, "{opt}");
 }
 
+/// The three irregular cases at test scale.
+fn irregular_cases() -> Vec<crate::Case> {
+    vec![
+        irregular::spmv_case("tiny", 64, 48, 4, 2),
+        irregular::histogram_case("tiny", 512, 32, 2),
+        irregular::permutation_case("tiny", 256, 2),
+    ]
+}
+
+/// Value, Memory and Checked semantics agree **bit-exactly** on every
+/// irregular workload, at 1, 2 and 8 worker threads. Value semantics
+/// interprets the memory-free source program; Memory/Checked run the
+/// fully optimized compile, so this is the differential test that the
+/// sound-degradation story preserves meaning.
+#[test]
+fn irregular_three_way_equivalence_across_threads() {
+    for case in irregular_cases() {
+        let opt = case.compile(true);
+        let (_, expect) = (case.reference)(&case.inputs);
+        for threads in [1usize, 2, 8] {
+            let (pure_out, _) = arraymem_exec::run_program(
+                &case.program,
+                &case.inputs,
+                &case.kernels,
+                arraymem_exec::Mode::Pure,
+                threads,
+            )
+            .unwrap_or_else(|e| panic!("{}: pure run failed: {e}", case.name));
+            let mut session = arraymem_exec::Session::new();
+            let (mem_out, _) = case.run_in_at(&mut session, &opt, threads);
+            let mut csession = arraymem_exec::Session::new();
+            let (chk_out, chk_stats) = case.run_checked_in_at(&mut csession, &opt, threads);
+            assert_eq!(
+                pure_out, mem_out,
+                "{}@{threads}: Value vs Memory outputs differ",
+                case.name
+            );
+            assert_eq!(
+                pure_out, chk_out,
+                "{}@{threads}: Value vs Checked outputs differ",
+                case.name
+            );
+            assert!(
+                chk_stats.diagnostics.is_empty(),
+                "{}@{threads}: sanitizer fired:\n{chk_stats}",
+                case.name
+            );
+            // And all three agree with the hand-written reference.
+            for (k, (e, o)) in expect.iter().zip(&pure_out).enumerate() {
+                assert!(
+                    e.approx_eq(o, case.tol),
+                    "{}@{threads}: output {k} differs from reference",
+                    case.name
+                );
+            }
+        }
+    }
+}
+
+/// The affine-only passes must **reject** runtime-indexed accesses with
+/// their closed-enum reasons — a remark is the receipt that the pass saw
+/// the construct and declined, rather than silently skipping it.
+#[test]
+fn irregular_passes_reject_opaque_accesses_with_remarks() {
+    // Permutation fires all three rejections at once.
+    let case = irregular::permutation_case("tiny", 256, 1);
+    let report = case.compile(true).compile_report;
+    assert!(
+        report.remarks.iter().any(|r| matches!(
+            r.kind,
+            RemarkKind::CircuitRejected(RejectReason::RuntimeIndexedWrite)
+        )),
+        "permutation: no short-circuit rejection for the scatter:\n{:#?}",
+        report.remarks
+    );
+    assert!(
+        report.remarks.iter().any(|r| matches!(
+            r.kind,
+            RemarkKind::MergeRejected(MergeReject::RuntimeIndexed)
+        )),
+        "permutation: no merge rejection for the runtime-indexed block:\n{:#?}",
+        report.remarks
+    );
+    assert!(
+        report.remarks.iter().any(|r| matches!(
+            r.kind,
+            RemarkKind::MapParRejected(ParReject::RuntimeIndexedWrite)
+        )),
+        "permutation: no parallel-safety rejection for the scatter:\n{:#?}",
+        report.remarks
+    );
+
+    // Histogram: the gather-read histogram block coexists with `wsq`, so
+    // the merge attempt must fail for the runtime-index reason.
+    let case = irregular::histogram_case("tiny", 512, 32, 1);
+    let report = case.compile(true).compile_report;
+    assert!(
+        report.remarks.iter().any(|r| matches!(
+            r.kind,
+            RemarkKind::MergeRejected(MergeReject::RuntimeIndexed)
+        )),
+        "histogram: no merge rejection for the runtime-indexed block:\n{:#?}",
+        report.remarks
+    );
+
+    // Spmv is the positive control: the affine row-sum mapnest around the
+    // gather still earns its parallel-safety proof.
+    let case = irregular::spmv_case("tiny", 64, 48, 4, 1);
+    let report = case.compile(true).compile_report;
+    assert!(
+        report
+            .remarks
+            .iter()
+            .any(|r| matches!(r.kind, RemarkKind::MapParallelSafe)),
+        "spmv: the row-sum mapnest lost its parallel-safety proof:\n{:#?}",
+        report.remarks
+    );
+}
+
+/// An out-of-range runtime index is an `Err` under Value and Memory
+/// semantics, and a structured [`Diagnostic::IndexOutOfBounds`] (with the
+/// lane skipped) under Checked semantics.
+///
+/// [`Diagnostic::IndexOutOfBounds`]: arraymem_exec::Diagnostic
+#[test]
+fn irregular_checked_mode_flags_out_of_bounds_indices() {
+    use arraymem_exec::{Diagnostic, InputValue, KernelRegistry, Mode};
+
+    let mut bld = arraymem_ir::Builder::new("oob_gather");
+    let n = bld.scalar_param("n", arraymem_ir::ElemType::I64);
+    let src = bld.array_param(
+        "src",
+        arraymem_ir::ElemType::F32,
+        vec![arraymem_symbolic::Poly::var(n)],
+    );
+    let idx = bld.array_param(
+        "idx",
+        arraymem_ir::ElemType::I64,
+        vec![arraymem_symbolic::Poly::var(n)],
+    );
+    let mut body = bld.block();
+    let g = body.gather("g", src, idx);
+    let blk = body.finish(vec![g]);
+    let prog = bld.finish(blk);
+
+    let inputs = vec![
+        InputValue::I64(4),
+        InputValue::ArrayF32(vec![1.0, 2.0, 3.0, 4.0]),
+        InputValue::ArrayI64(vec![2, 7, 0, -1]), // 7 and -1 are out of range
+    ];
+    let kernels = KernelRegistry::new();
+
+    for mode in [Mode::Pure, Mode::Memory] {
+        let r = arraymem_exec::run_program(&prog, &inputs, &kernels, mode, 1);
+        assert!(
+            r.is_err(),
+            "{mode:?}: out-of-bounds gather index must abort, got {r:?}"
+        );
+    }
+
+    // Checked mode interprets memory annotations, so compile first.
+    let compiled = arraymem_core::compile(&prog, &arraymem_core::Options::default())
+        .expect("oob probe compiles");
+    let (out, stats) =
+        arraymem_exec::run_program(&compiled.program, &inputs, &kernels, Mode::Checked, 1)
+            .expect("checked mode records the finding and continues");
+    let oob: Vec<_> = stats
+        .diagnostics
+        .iter()
+        .filter(|d| matches!(d, Diagnostic::IndexOutOfBounds { .. }))
+        .collect();
+    assert_eq!(oob.len(), 2, "two poisoned lanes, two findings: {stats}");
+    // In-range lanes still executed.
+    let got = match &out[0] {
+        arraymem_exec::OutputValue::ArrayF32(v) => v.clone(),
+        other => panic!("unexpected output {other:?}"),
+    };
+    assert_eq!(got[0], 3.0);
+    assert_eq!(got[2], 1.0);
+}
+
 /// Every workload, fully optimized, twice through one session under the
 /// shadow-memory sanitizer: no uninitialized reads of recycled blocks, no
 /// use-after-release, no map races, and every short-circuited footprint
@@ -83,6 +265,9 @@ fn all_workloads_run_clean_under_checked_mode() {
         crate::lbm::case("tiny", (8, 8, 4), 3, 2),
         crate::optionpricing::case("tiny", 512, 16, 2),
         crate::locvolcalib::case("tiny", 8, 32, 8, 2),
+        irregular::spmv_case("tiny", 64, 48, 4, 2),
+        irregular::histogram_case("tiny", 512, 32, 2),
+        irregular::permutation_case("tiny", 256, 2),
     ];
     let mut circuits_verified = 0;
     for case in cases {

@@ -33,6 +33,13 @@ cargo run --release --offline -p arraymem-bench --bin tables -- --smoke --check
 echo "== checked fuzz smoke (500 random programs under the sanitizer) =="
 cargo test --release --offline -p arraymem-bench --test differential_fuzz -q
 
+echo "== corpus tier (committed fuzz corpus: all modes, 1 and 8 workers) =="
+# Every committed seed replays through pure, unoptimized, optimized,
+# checked (shared session, silent sanitizer) and a 1/8-worker sweep;
+# every committed regression must keep firing the structured rejection
+# named in its `note: expects=...` header.
+cargo test --release --offline -p arraymem-bench --test differential_fuzz -q corpus_
+
 echo "== merge tier (block merging: workload peaks + on/off toggle fuzz) =="
 # Every workload runs merge-on and merge-off through one session with
 # bit-identical outputs and a strictly lower peak wherever a merge fired;
