@@ -12,10 +12,14 @@
 //! tables --json PATH     # also write timing + mechanism rows as JSON
 //! tables --threads LIST  # measure each table at every thread count in
 //!                        # the comma-separated LIST, e.g. 1,2,4,8
+//! tables --server N      # also run the multi-tenant server sweep: N
+//!                        # concurrent clients round-robin over tenants
+//! tables --tenants M     # tenant count for --server (default 4)
 //! ```
 
 use arraymem_bench::tables::{
-    all_tables, check_table, measure_table_at, render_json, render_mechanism, render_table, RunMode,
+    all_tables, check_table, measure_table_at, render_json, render_mechanism, render_server,
+    render_table, run_server_bench, RunMode, ServerBenchRow, TableSpec,
 };
 use arraymem_workloads::Measurement;
 
@@ -23,7 +27,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     for (i, a) in args.iter().enumerate() {
         let is_value_arg = i > 0
-            && (args[i - 1] == "--table" || args[i - 1] == "--json" || args[i - 1] == "--threads");
+            && (args[i - 1] == "--table"
+                || args[i - 1] == "--json"
+                || args[i - 1] == "--threads"
+                || args[i - 1] == "--server"
+                || args[i - 1] == "--tenants");
         if !is_value_arg
             && !matches!(
                 a.as_str(),
@@ -34,12 +42,14 @@ fn main() {
                     | "--check"
                     | "--json"
                     | "--threads"
+                    | "--server"
+                    | "--tenants"
             )
         {
             eprintln!("error: unknown argument {a:?}");
             eprintln!(
                 "usage: tables [--quick] [--smoke] [--table N] [--figures] [--check] \
-                 [--json PATH] [--threads LIST]"
+                 [--json PATH] [--threads LIST] [--server N_CLIENTS] [--tenants M]"
             );
             std::process::exit(2);
         }
@@ -105,9 +115,45 @@ fn main() {
             vec![arraymem_exec::default_threads()]
         }
     };
+    // Server sweep: client count (0 = off) and tenant fan-out.
+    let server_clients: usize = match args
+        .iter()
+        .position(|a| a == "--server")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(n) => match n.parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("error: --server takes a positive client count");
+                std::process::exit(2);
+            }
+        },
+        None => {
+            if args.iter().any(|a| a == "--server") {
+                eprintln!("error: --server requires a client count, e.g. --server 16");
+                std::process::exit(2);
+            }
+            0
+        }
+    };
+    let server_tenants: usize = match args
+        .iter()
+        .position(|a| a == "--tenants")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(n) => match n.parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("error: --tenants takes a positive tenant count");
+                std::process::exit(2);
+            }
+        },
+        None => 4,
+    };
     let check = args.iter().any(|a| a == "--check");
     let mut total_findings = 0u64;
-    let mut measured: Vec<(arraymem_bench::tables::TableSpec, Vec<Measurement>)> = Vec::new();
+    let mut measured: Vec<(TableSpec, Vec<Measurement>)> = Vec::new();
+    let mut server_specs: Vec<TableSpec> = Vec::new();
     for spec in all_tables() {
         if let Some(t) = only {
             if spec.number != t {
@@ -138,14 +184,29 @@ fn main() {
             }
             println!("{}{}", render_table(&spec, &rows), render_mechanism(&rows));
             measured.push((spec, rows));
+            server_specs.push(spec);
         }
     }
+    let server_rows: Vec<ServerBenchRow> = if server_clients > 0 && !check {
+        match run_server_bench(&server_specs, mode, server_clients, server_tenants) {
+            Ok(rows) => {
+                println!("{}", render_server(&rows));
+                rows
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        Vec::new()
+    };
     if let Some(path) = json_path {
         if check {
             eprintln!("error: --json is for measurement runs, not --check");
             std::process::exit(2);
         }
-        if let Err(e) = std::fs::write(path, render_json(&measured)) {
+        if let Err(e) = std::fs::write(path, render_json(&measured, &server_rows)) {
             eprintln!("error: cannot write {path}: {e}");
             std::process::exit(2);
         }

@@ -50,6 +50,22 @@ pub fn fingerprint_items<T: std::fmt::Debug>(items: &[T]) -> u64 {
     h
 }
 
+/// Fold several component fingerprints into one cache key. Order matters
+/// (the components are positional: program, kernels, checks, …) and the
+/// byte-wise FNV fold keeps single-bit differences in any component from
+/// cancelling out — the plan cache shards by this key, so a program
+/// prepared with checks and the same program prepared without must land
+/// on different slots with overwhelming probability.
+pub fn combine_fingerprints(parts: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for part in parts {
+        for b in part.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,5 +101,14 @@ mod tests {
         let a = fingerprint_items::<u32>(&[]);
         let b = fingerprint_items(&[1u32]);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn combined_keys_are_order_and_component_sensitive() {
+        let k = combine_fingerprints(&[1, 2, 3]);
+        assert_eq!(combine_fingerprints(&[1, 2, 3]), k);
+        assert_ne!(combine_fingerprints(&[3, 2, 1]), k);
+        assert_ne!(combine_fingerprints(&[1, 2]), k);
+        assert_ne!(combine_fingerprints(&[1, 2, 4]), k);
     }
 }

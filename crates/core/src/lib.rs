@@ -50,7 +50,7 @@ pub mod release;
 pub mod remark;
 pub mod short_circuit;
 
-pub use fingerprint::{fingerprint, fingerprint_items};
+pub use fingerprint::{combine_fingerprints, fingerprint, fingerprint_items};
 pub use memtable::MemTable;
 pub use merge::{MergeOutcome, MergeRecord, MergeReport};
 pub use par_safety::{ParLevel, ParSafetyRecord};

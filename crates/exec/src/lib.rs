@@ -26,6 +26,7 @@
 //!   and copy time, checked-mode diagnostics — from which the benchmark
 //!   tables are built.
 
+pub mod cache;
 pub mod kernel;
 pub mod plan;
 pub mod pool;
@@ -35,14 +36,15 @@ pub mod value;
 pub mod view;
 pub mod vm;
 
+pub use cache::{PlanCache, PlanStats, PrepareOutcome};
 pub use kernel::{KernelCtx, KernelRegistry};
 pub use plan::{lower_plan, lower_plan_full, lower_plan_with, ExecPlan, Slot};
 pub use pool::{default_threads, DispatchInfo};
 pub use stats::{Diagnostic, Stats};
-pub use store::{CellState, MemStore};
+pub use store::{ArenaStats, CellState, MemStore, SharedArena};
 pub use value::{ArrayRef, InputValue, OutputValue, Value};
 pub use view::{View, ViewMut};
-pub use vm::{run_program, Mode, PlanHandle, PlanStats, Session};
+pub use vm::{execute_plan, run_program, Mode, PlanHandle, Session};
 
 #[cfg(test)]
 mod tests;

@@ -202,6 +202,13 @@ pub struct Stats {
     pub blocks_reused: u64,
     /// Bytes of zero-fill skipped because the block was recycled.
     pub bytes_zeroing_elided: u64,
+    /// Allocations served by adopting a block from the shared
+    /// cross-tenant arena (a subset of `blocks_reused`).
+    pub arena_blocks_adopted: u64,
+    /// Bytes zeroed on cross-tenant adoption: recycled contents never
+    /// cross a tenant boundary, so the zero-fill elision is forfeited
+    /// there and the scrub cost counted here instead.
+    pub bytes_cross_tenant_scrubbed: u64,
     /// High-water mark of bytes simultaneously live in the store during
     /// the program body (inputs included) — the quantity block merging
     /// reduces.
@@ -269,6 +276,81 @@ impl Stats {
     pub fn reset(&mut self) {
         *self = Stats::default();
     }
+
+    /// Fold another run's figures into this accumulator — the server's
+    /// per-tenant and global aggregation. Counters and durations sum;
+    /// `peak_bytes_live` takes the max (runs against one store are
+    /// sequential, so the peak-of-peaks is the store's true high-water
+    /// mark); diagnostics append; `plan_cache_hit` ANDs (true only if
+    /// *every* merged run was answered from the cache).
+    ///
+    /// `other` is destructured exhaustively, with no `..` rest pattern:
+    /// adding a field to `Stats` without deciding how it aggregates is a
+    /// compile error at this site (and in the mirror-image unit test).
+    pub fn merge(&mut self, other: &Stats) {
+        let Stats {
+            bytes_allocated,
+            num_allocs,
+            blocks_reused,
+            bytes_zeroing_elided,
+            arena_blocks_adopted,
+            bytes_cross_tenant_scrubbed,
+            peak_bytes_live,
+            blocks_merged,
+            pool_dispatches,
+            maps_parallel_in_place,
+            par_chunks,
+            par_chunks_stolen,
+            par_workers_engaged,
+            par_workers_offered,
+            par_checks_verified,
+            bytes_copied,
+            num_copies,
+            bytes_elided,
+            num_elided,
+            kernel_launches,
+            kernel_time,
+            copy_time,
+            total_time,
+            cells_checked,
+            circuits_verified,
+            merges_verified,
+            diagnostics,
+            diagnostics_suppressed,
+            plan_cache_hit,
+            plan_build_time,
+        } = other;
+        self.bytes_allocated += bytes_allocated;
+        self.num_allocs += num_allocs;
+        self.blocks_reused += blocks_reused;
+        self.bytes_zeroing_elided += bytes_zeroing_elided;
+        self.arena_blocks_adopted += arena_blocks_adopted;
+        self.bytes_cross_tenant_scrubbed += bytes_cross_tenant_scrubbed;
+        self.peak_bytes_live = self.peak_bytes_live.max(*peak_bytes_live);
+        self.blocks_merged += blocks_merged;
+        self.pool_dispatches += pool_dispatches;
+        self.maps_parallel_in_place += maps_parallel_in_place;
+        self.par_chunks += par_chunks;
+        self.par_chunks_stolen += par_chunks_stolen;
+        self.par_workers_engaged += par_workers_engaged;
+        self.par_workers_offered += par_workers_offered;
+        self.par_checks_verified += par_checks_verified;
+        self.bytes_copied += bytes_copied;
+        self.num_copies += num_copies;
+        self.bytes_elided += bytes_elided;
+        self.num_elided += num_elided;
+        self.kernel_launches += kernel_launches;
+        self.kernel_time += *kernel_time;
+        self.copy_time += *copy_time;
+        self.total_time += *total_time;
+        self.cells_checked += cells_checked;
+        self.circuits_verified += circuits_verified;
+        self.merges_verified += merges_verified;
+        self.diagnostics.extend(diagnostics.iter().cloned());
+        self.diagnostics_suppressed += diagnostics_suppressed;
+        self.plan_cache_hit = self.plan_cache_hit && *plan_cache_hit;
+        self.plan_build_time += *plan_build_time;
+    }
 }
 
 impl std::fmt::Display for Stats {
@@ -288,6 +370,13 @@ impl std::fmt::Display for Stats {
             "reused: {} blocks | zeroing elided: {} B | pool dispatches: {}",
             self.blocks_reused, self.bytes_zeroing_elided, self.pool_dispatches
         )?;
+        if self.arena_blocks_adopted > 0 {
+            writeln!(
+                f,
+                "arena adopted: {} blocks | cross-tenant scrubbed: {} B",
+                self.arena_blocks_adopted, self.bytes_cross_tenant_scrubbed
+            )?;
+        }
         writeln!(
             f,
             "peak live: {} B | merged blocks: {}",

@@ -13,6 +13,7 @@
 
 use arraymem_ir::ElemType;
 use arraymem_symbolic::Sym;
+use std::sync::{Arc, Mutex};
 
 /// Per-cell shadow state, tracked only while the store's shadow layer is
 /// enabled (checked mode). One entry per *element* of each block.
@@ -120,6 +121,18 @@ impl Buffer {
         };
     }
 
+    /// Zero the first `n` elements. Cross-tenant adoption pays this on
+    /// the surviving prefix: recycled bytes never cross a tenant
+    /// boundary. (The grown tail past the prefix was freshly zeroed by
+    /// [`recycle_to`](Buffer::recycle_to) already.)
+    fn zero_prefix(&mut self, n: usize) {
+        match self {
+            Buffer::F32(v) => v[..n].fill(0.0),
+            Buffer::F64(v) => v[..n].fill(0.0),
+            Buffer::I64(v) | Buffer::Bool(v) => v[..n].fill(0),
+        }
+    }
+
     /// Resize a recycled buffer to `len` elements without re-zeroing what
     /// is already there. Returns the number of *elements* whose zero-fill
     /// was elided (the surviving prefix).
@@ -175,6 +188,129 @@ fn size_bucket(cap: usize) -> usize {
     (usize::BITS - cap.max(1).leading_zeros() - 1) as usize
 }
 
+/// A buffer parked in the shared arena, tagged with the tenant that
+/// donated it — adoption policy and scrubbing depend on the tag.
+struct Parked {
+    buf: Buffer,
+    owner: u64,
+}
+
+/// Counters for one [`SharedArena`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Buffers currently parked across all free lists.
+    pub parked: usize,
+    /// Buffers ever donated by a store.
+    pub donated: u64,
+    /// Adoptions where the requester was the donor (contents survive;
+    /// zero-fill elision applies as with a local free list).
+    pub adopted_same_tenant: u64,
+    /// Adoptions across a tenant boundary (contents scrubbed).
+    pub adopted_cross_tenant: u64,
+}
+
+struct ArenaInner {
+    /// `free[storage class][size bucket]` → parked buffers.
+    free: Vec<Vec<Vec<Parked>>>,
+    parked: usize,
+    donated: u64,
+    adopted_same: u64,
+    adopted_cross: u64,
+}
+
+/// A cross-tenant free-list arena: stores attached to one arena donate
+/// their recycled buffers and adopt each other's, so block recycling and
+/// zero-fill elision work across tenants without sharing a store.
+///
+/// Isolation contract: a buffer adopted by the tenant that donated it
+/// keeps its contents (same gamble as a local free list — the compiler
+/// promises a full write before any read). A buffer crossing a tenant
+/// boundary has its surviving prefix **zeroed** ("scrubbed") before the
+/// adopter can build a view over it, so one tenant can never observe
+/// another's recycled bytes. The adopting store still marks the prefix
+/// [`CellState::Stale`] in shadow memory: checked mode's provenance
+/// diagnostics fire identically whether a recycled block came from the
+/// local free list, a same-tenant donation, or a scrubbed cross-tenant
+/// one — reading a recycled cell before writing it is the bug, zeroed
+/// or not.
+#[derive(Clone, Default)]
+pub struct SharedArena {
+    inner: Arc<Mutex<ArenaInner>>,
+}
+
+impl Default for ArenaInner {
+    fn default() -> ArenaInner {
+        ArenaInner {
+            free: (0..NUM_CLASSES)
+                .map(|_| (0..NUM_BUCKETS).map(|_| Vec::new()).collect())
+                .collect(),
+            parked: 0,
+            donated: 0,
+            adopted_same: 0,
+            adopted_cross: 0,
+        }
+    }
+}
+
+impl SharedArena {
+    pub fn new() -> SharedArena {
+        SharedArena::default()
+    }
+
+    pub fn stats(&self) -> ArenaStats {
+        let g = self.inner.lock().unwrap();
+        ArenaStats {
+            parked: g.parked,
+            donated: g.donated,
+            adopted_same_tenant: g.adopted_same,
+            adopted_cross_tenant: g.adopted_cross,
+        }
+    }
+
+    fn donate(&self, buf: Buffer, owner: u64) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let class = storage_class(buf.elem());
+        let bucket = size_bucket(buf.capacity());
+        let mut g = self.inner.lock().unwrap();
+        g.free[class][bucket].push(Parked { buf, owner });
+        g.parked += 1;
+        g.donated += 1;
+    }
+
+    /// Take a parked buffer of storage class `class` with capacity
+    /// `>= len`, preferring one the requester donated itself. Returns the
+    /// buffer and whether it crossed a tenant boundary (the caller must
+    /// scrub if so).
+    fn adopt(&self, class: usize, len: usize, owner: u64) -> Option<(Buffer, bool)> {
+        let start = size_bucket(len);
+        let mut g = self.inner.lock().unwrap();
+        // First pass: a same-owner fit anywhere (keeps elision alive);
+        // second pass: any fit, paying the scrub.
+        for same_only in [true, false] {
+            for bucket in start..NUM_BUCKETS {
+                let list = &mut g.free[class][bucket];
+                let pos = list
+                    .iter()
+                    .position(|p| p.buf.capacity() >= len && (!same_only || p.owner == owner));
+                if let Some(pos) = pos {
+                    let p = list.swap_remove(pos);
+                    let cross = p.owner != owner;
+                    g.parked -= 1;
+                    if cross {
+                        g.adopted_cross += 1;
+                    } else {
+                        g.adopted_same += 1;
+                    }
+                    return Some((p.buf, cross));
+                }
+            }
+        }
+        None
+    }
+}
+
 /// The store of memory blocks. Released blocks park in per-class
 /// free lists and are recycled by later allocations; everything else
 /// is arena-style — block ids stay valid until the store drops.
@@ -204,6 +340,18 @@ pub struct MemStore {
     /// Checked-mode shadow layer: one [`ShadowBlock`] per block while
     /// enabled, `None` otherwise (the fast modes pay nothing for it).
     shadow: Option<Vec<ShadowBlock>>,
+    /// Cross-tenant recycling arena, with this store's tenant tag.
+    arena: Option<(SharedArena, u64)>,
+    /// Block ids whose buffers were donated to the arena; reused by the
+    /// next adoption or fresh allocation so ids don't grow without bound
+    /// over a server's lifetime.
+    vacant: Vec<usize>,
+    /// Allocations served by adopting an arena buffer (subset of
+    /// [`blocks_reused`](Self::blocks_reused)).
+    pub arena_blocks_adopted: u64,
+    /// Bytes zeroed because an adopted buffer crossed a tenant boundary
+    /// (elision forfeited for isolation).
+    pub bytes_cross_tenant_scrubbed: u64,
 }
 
 impl Default for MemStore {
@@ -226,7 +374,45 @@ impl MemStore {
             bytes_live: 0,
             peak_bytes_live: 0,
             shadow: None,
+            arena: None,
+            vacant: Vec::new(),
+            arena_blocks_adopted: 0,
+            bytes_cross_tenant_scrubbed: 0,
         }
+    }
+
+    /// Join a cross-tenant recycling arena under tenant tag `tenant`.
+    /// From here on, allocations that miss the local free lists try the
+    /// arena before the heap, and [`donate_free_blocks`]
+    /// (MemStore::donate_free_blocks) hands parked blocks back.
+    pub fn attach_arena(&mut self, arena: SharedArena, tenant: u64) {
+        self.arena = Some((arena, tenant));
+    }
+
+    /// Drain every block parked in the local free lists into the shared
+    /// arena (no-op without an attached arena); returns the number
+    /// donated. Servers call this after each execution so one tenant's
+    /// end-of-run blocks can feed another tenant's next allocation.
+    pub fn donate_free_blocks(&mut self) -> usize {
+        let Some((arena, tenant)) = self.arena.clone() else {
+            return 0;
+        };
+        let mut donated = 0;
+        for class in 0..NUM_CLASSES {
+            for bucket in 0..NUM_BUCKETS {
+                while let Some(id) = self.free[class][bucket].pop() {
+                    let buf = std::mem::replace(&mut self.blocks[id], Buffer::I64(Vec::new()));
+                    if let Some(sh) = &mut self.shadow {
+                        sh[id].cells.clear();
+                        sh[id].released_by = None;
+                    }
+                    self.vacant.push(id);
+                    arena.donate(buf, tenant);
+                    donated += 1;
+                }
+            }
+        }
+        donated
     }
 
     /// Restart the peak-liveness high-water mark from the current live
@@ -288,19 +474,42 @@ impl MemStore {
         self.shadow.as_ref().and_then(|sh| sh[block].released_by)
     }
 
+    /// Install a buffer as a live block, reusing a vacated id (one whose
+    /// buffer was donated to the arena) when available. The shadow entry
+    /// starts all-`Zeroed`; callers refine it.
+    fn install(&mut self, b: Buffer) -> usize {
+        let cells = vec![CellState::Zeroed; b.len()];
+        match self.vacant.pop() {
+            Some(id) => {
+                if let Some(sh) = &mut self.shadow {
+                    sh[id] = ShadowBlock {
+                        cells,
+                        released_by: None,
+                    };
+                }
+                self.blocks[id] = b;
+                self.live[id] = true;
+                id
+            }
+            None => {
+                if let Some(sh) = &mut self.shadow {
+                    sh.push(ShadowBlock {
+                        cells,
+                        released_by: None,
+                    });
+                }
+                self.blocks.push(b);
+                self.live.push(true);
+                self.blocks.len() - 1
+            }
+        }
+    }
+
     fn fresh(&mut self, b: Buffer) -> usize {
         let bytes = (b.len() * b.elem().size_bytes()) as u64;
         self.bytes_allocated += bytes;
         self.num_allocs += 1;
-        if let Some(sh) = &mut self.shadow {
-            sh.push(ShadowBlock {
-                cells: vec![CellState::Zeroed; b.len()],
-                released_by: None,
-            });
-        }
-        self.blocks.push(b);
-        self.live.push(true);
-        let id = self.blocks.len() - 1;
+        let id = self.install(b);
         self.charge(id, bytes);
         id
     }
@@ -348,6 +557,32 @@ impl MemStore {
                 s.cells[..kept].fill(CellState::Stale);
             }
             return id;
+        }
+        if let Some((arena, tenant)) = self.arena.clone() {
+            if let Some((mut buf, cross)) = arena.adopt(storage_class(elem), len, tenant) {
+                buf.retag(elem);
+                let kept = buf.recycle_to(len);
+                if cross {
+                    buf.zero_prefix(kept);
+                    self.bytes_cross_tenant_scrubbed += (kept * elem.size_bytes()) as u64;
+                } else {
+                    self.bytes_zeroing_elided += (kept * elem.size_bytes()) as u64;
+                }
+                self.blocks_reused += 1;
+                self.arena_blocks_adopted += 1;
+                let id = self.install(buf);
+                self.charge(id, (len * elem.size_bytes()) as u64);
+                if let Some(sh) = &mut self.shadow {
+                    // Same provenance rule as the local free list: the
+                    // surviving prefix is a recycled region the program
+                    // must fully write before reading — `Stale` even when
+                    // a cross-tenant scrub zeroed the bytes, so checked
+                    // mode fires identically on either side of a tenant
+                    // boundary.
+                    sh[id].cells[..kept].fill(CellState::Stale);
+                }
+                return id;
+            }
         }
         self.fresh(Buffer::new(elem, len))
     }
@@ -560,6 +795,100 @@ mod tests {
         // Re-enabling marks every pre-existing block stale.
         s.enable_shadow();
         assert_eq!(s.shadow_cell(d, 0), Some(CellState::Stale));
+    }
+
+    fn fill_i64(s: &mut MemStore, block: usize, x: i64) {
+        let r = s.raw(block);
+        let sl = unsafe { std::slice::from_raw_parts_mut(r.ptr as *mut i64, r.len) };
+        sl.fill(x);
+    }
+
+    fn read_i64(s: &mut MemStore, block: usize) -> Vec<i64> {
+        let r = s.raw(block);
+        unsafe { std::slice::from_raw_parts(r.ptr as *const i64, r.len) }.to_vec()
+    }
+
+    #[test]
+    fn arena_same_tenant_adoption_keeps_contents() {
+        let arena = SharedArena::new();
+        let mut s = MemStore::new();
+        s.attach_arena(arena.clone(), 1);
+        let a = s.alloc(ElemType::I64, 64);
+        fill_i64(&mut s, a, 7);
+        s.release(a);
+        assert_eq!(s.donate_free_blocks(), 1);
+        assert_eq!(arena.stats().parked, 1);
+        // The same tenant gets its own bytes back: elision preserved.
+        let b = s.alloc(ElemType::I64, 64);
+        assert_eq!(read_i64(&mut s, b), vec![7; 64]);
+        assert_eq!(s.arena_blocks_adopted, 1);
+        assert_eq!(s.bytes_cross_tenant_scrubbed, 0);
+        assert_eq!(s.bytes_zeroing_elided, 64 * 8);
+        assert_eq!(s.num_allocs, 1, "adoption must not count as an alloc");
+        assert_eq!(arena.stats().adopted_same_tenant, 1);
+    }
+
+    #[test]
+    fn arena_cross_tenant_adoption_scrubs_but_stays_stale() {
+        let arena = SharedArena::new();
+        let mut a_store = MemStore::new();
+        a_store.attach_arena(arena.clone(), 1);
+        let mut b_store = MemStore::new();
+        b_store.attach_arena(arena.clone(), 2);
+        b_store.enable_shadow();
+        let a = a_store.alloc(ElemType::I64, 64);
+        fill_i64(&mut a_store, a, 7);
+        a_store.release(a);
+        a_store.donate_free_blocks();
+        // Tenant 2 adopts tenant 1's block: bytes scrubbed to zero, but
+        // the shadow prefix stays Stale — provenance still fires on a
+        // read-before-write, zeroed or not.
+        let b = b_store.alloc(ElemType::I64, 64);
+        assert_eq!(read_i64(&mut b_store, b), vec![0; 64]);
+        assert_eq!(b_store.bytes_cross_tenant_scrubbed, 64 * 8);
+        assert_eq!(b_store.bytes_zeroing_elided, 0);
+        assert_eq!(b_store.arena_blocks_adopted, 1);
+        assert!((0..64).all(|i| b_store.shadow_cell(b, i) == Some(CellState::Stale)));
+        assert_eq!(arena.stats().adopted_cross_tenant, 1);
+    }
+
+    #[test]
+    fn arena_prefers_the_requesters_own_donation() {
+        let arena = SharedArena::new();
+        let mut a_store = MemStore::new();
+        a_store.attach_arena(arena.clone(), 1);
+        let mut b_store = MemStore::new();
+        b_store.attach_arena(arena.clone(), 2);
+        // Both tenants donate a fitting block (allocated while the arena
+        // is still empty); tenant 2's own donation must win even though
+        // tenant 1's was parked first.
+        let a = a_store.alloc(ElemType::I64, 64);
+        fill_i64(&mut a_store, a, 1);
+        let b = b_store.alloc(ElemType::I64, 64);
+        fill_i64(&mut b_store, b, 2);
+        a_store.release(a);
+        a_store.donate_free_blocks();
+        b_store.release(b);
+        b_store.donate_free_blocks();
+        let c = b_store.alloc(ElemType::I64, 64);
+        assert_eq!(read_i64(&mut b_store, c), vec![2; 64]);
+        assert_eq!(arena.stats().adopted_same_tenant, 1);
+        assert_eq!(arena.stats().adopted_cross_tenant, 0);
+    }
+
+    #[test]
+    fn donated_ids_are_vacated_and_reused() {
+        let arena = SharedArena::new();
+        let mut s = MemStore::new();
+        s.attach_arena(arena.clone(), 1);
+        let a = s.alloc(ElemType::I64, 32);
+        s.release(a);
+        s.donate_free_blocks();
+        let n = s.num_blocks();
+        // Adoption reinstalls into the vacated id: no growth.
+        let b = s.alloc(ElemType::I64, 32);
+        assert_eq!(b, a);
+        assert_eq!(s.num_blocks(), n);
     }
 
     #[test]

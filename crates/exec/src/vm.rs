@@ -42,10 +42,11 @@
 //!   run reports all. Diagnostics name source statements via the plan's
 //!   blame side table.
 
+use crate::cache::PlanCache;
 use crate::kernel::{KernelCtx, KernelRegistry};
 use crate::plan::{
-    lower_plan_full, lower_plan_with, slot_lookup, Dest, ExecPlan, Instr, LExp, LSlice, LUpdateSrc,
-    ParamSpec, Stream,
+    lower_plan_with, slot_lookup, Dest, ExecPlan, Instr, LExp, LSlice, LUpdateSrc, ParamSpec,
+    Stream,
 };
 use crate::pool::parallel_for_worker;
 use crate::stats::{Diagnostic, Stats};
@@ -62,6 +63,7 @@ use arraymem_lmad::{
 };
 use arraymem_symbolic::Poly;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Execution mode.
@@ -91,16 +93,7 @@ const FOOTPRINT_CAP: i64 = 1 << 20;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PlanHandle(usize);
 
-/// Cumulative plan-preparation accounting for a session.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct PlanStats {
-    /// Plans actually lowered (cache misses).
-    pub builds: u64,
-    /// `prepare` calls answered from the cache.
-    pub cache_hits: u64,
-    /// Total time spent lowering (cache misses only).
-    pub build_time: Duration,
-}
+pub use crate::cache::PlanStats;
 
 struct Machine<'a> {
     store: &'a mut MemStore,
@@ -115,25 +108,63 @@ struct Machine<'a> {
     cur_stm: Option<arraymem_ir::Var>,
 }
 
-/// A reusable execution context owning the memory store **and the plan
-/// cache**. Running several programs (or the same program repeatedly, as
-/// the benchmark harness does) through one session recycles every block
-/// of run *n* into the allocations of run *n+1* via the store's free
-/// lists, and compiles + lowers each distinct program exactly once.
-#[derive(Default)]
+/// A reusable execution context owning the memory store and a view onto
+/// a plan cache. Running several programs (or the same program
+/// repeatedly, as the benchmark harness does) through one session
+/// recycles every block of run *n* into the allocations of run *n+1* via
+/// the store's free lists, and compiles + lowers each distinct program
+/// exactly once.
+///
+/// A session is the single-tenant special case of the server layering:
+/// [`Session::new`] owns a private single-shard [`PlanCache`];
+/// [`Session::with_cache`] shares a (typically global) one, in which
+/// case [`plan_stats`](Session::plan_stats) reports the shared cache's
+/// accounting across every client.
 pub struct Session {
     store: MemStore,
-    plans: Vec<ExecPlan>,
-    cache: HashMap<u64, usize>,
-    plan_stats: PlanStats,
-    /// Outcome of the most recent `prepare`: (was a cache hit, lowering
-    /// time if it was a miss). Stamped onto the next run's [`Stats`].
+    cache: Arc<PlanCache>,
+    /// Session-local handle table: `PlanHandle(i)` indexes here, so
+    /// handles stay dense and session-scoped even over a shared cache.
+    handles: Vec<Arc<ExecPlan>>,
+    by_key: HashMap<u64, usize>,
+    /// Outcome of the most recent `prepare`: (was answered without
+    /// lowering, lowering time if not). Stamped onto the next run's
+    /// [`Stats`].
     last_prepare: (bool, Duration),
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session::new()
+    }
 }
 
 impl Session {
     pub fn new() -> Session {
-        Session::default()
+        Session::with_cache(Arc::new(PlanCache::new(1)))
+    }
+
+    /// A session over a shared plan cache: programs another client of
+    /// `cache` already prepared are answered without lowering here.
+    pub fn with_cache(cache: Arc<PlanCache>) -> Session {
+        Session {
+            store: MemStore::new(),
+            cache,
+            handles: Vec::new(),
+            by_key: HashMap::new(),
+            last_prepare: (true, Duration::ZERO),
+        }
+    }
+
+    /// The plan cache this session prepares against (share it with
+    /// [`Session::with_cache`]).
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// The session's memory store (tests attach arenas through this).
+    pub fn store_mut(&mut self) -> &mut MemStore {
+        &mut self.store
     }
 
     /// Lower `prog` into an executable plan, or return the cached handle
@@ -174,33 +205,31 @@ impl Session {
         merges: &[MergeRecord],
         par: &[ParSafetyRecord],
     ) -> Result<PlanHandle, String> {
-        let key = cache_key(prog, kernels, checks, merges, par);
-        if let Some(&i) = self.cache.get(&key) {
-            self.plan_stats.cache_hits += 1;
-            self.last_prepare = (true, Duration::ZERO);
-            return Ok(PlanHandle(i));
-        }
-        let t0 = Instant::now();
-        let plan = lower_plan_full(prog, kernels, checks, merges, par)?;
-        let dt = t0.elapsed();
-        self.plan_stats.builds += 1;
-        self.plan_stats.build_time += dt;
-        self.last_prepare = (false, dt);
-        let i = self.plans.len();
-        self.plans.push(plan);
-        self.cache.insert(key, i);
+        let (plan, outcome) = self
+            .cache
+            .prepare_full(prog, kernels, checks, merges, par)?;
+        self.last_prepare = (outcome.hit, outcome.build_time);
+        let i = match self.by_key.get(&outcome.key) {
+            Some(&i) => i,
+            None => {
+                self.handles.push(plan);
+                self.by_key.insert(outcome.key, self.handles.len() - 1);
+                self.handles.len() - 1
+            }
+        };
         Ok(PlanHandle(i))
     }
 
-    /// Cumulative prepare accounting (the harness asserts
-    /// `cache_hits == runs - builds` per benchmarked case).
+    /// Cumulative prepare accounting of the session's cache (the harness
+    /// asserts `cache_hits == runs - builds` per benchmarked case). Over
+    /// a shared cache this aggregates every sharing client.
     pub fn plan_stats(&self) -> PlanStats {
-        self.plan_stats
+        self.cache.stats()
     }
 
     /// The prepared plan behind a handle (pretty-printing, inspection).
     pub fn plan(&self, h: PlanHandle) -> &ExecPlan {
-        &self.plans[h.0]
+        &self.handles[h.0]
     }
 
     /// Execute a prepared plan. `inputs` must match the parameter list.
@@ -215,14 +244,8 @@ impl Session {
         threads: usize,
     ) -> Result<(Vec<OutputValue>, Stats), String> {
         let (hit, build) = self.last_prepare;
-        let r = exec_plan(
-            &mut self.store,
-            &self.plans[h.0],
-            inputs,
-            kernels,
-            mode,
-            threads,
-        );
+        let plan = Arc::clone(&self.handles[h.0]);
+        let r = execute_plan(&mut self.store, &plan, inputs, kernels, mode, threads);
         r.map(|(out, mut stats)| {
             stats.plan_cache_hit = hit;
             stats.plan_build_time = build;
@@ -298,35 +321,8 @@ impl Session {
         plan: &ReleasePlan,
     ) -> Result<(Vec<OutputValue>, Stats), String> {
         let lowered = lower_plan_with(prog, kernels, checks, plan)?;
-        exec_plan(&mut self.store, &lowered, inputs, kernels, mode, threads)
+        execute_plan(&mut self.store, &lowered, inputs, kernels, mode, threads)
     }
-}
-
-/// Cache key: the program's structural fingerprint, the kernel
-/// registry's name table, the circuit-check set, the merge-record set,
-/// and the parallel-safety record set. Thread count is deliberately
-/// *not* part of the key — plans are thread-agnostic.
-fn cache_key(
-    prog: &Program,
-    kernels: &KernelRegistry,
-    checks: &[CircuitCheck],
-    merges: &[MergeRecord],
-    par: &[ParSafetyRecord],
-) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for part in [
-        arraymem_core::fingerprint(prog),
-        kernels.fingerprint(),
-        arraymem_core::fingerprint_items(checks),
-        arraymem_core::fingerprint_items(merges),
-        arraymem_core::fingerprint_items(par),
-    ] {
-        for b in part.to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
-    }
-    h
 }
 
 /// Execute a program in a one-shot [`Session`].
@@ -341,8 +337,10 @@ pub fn run_program(
 }
 
 /// Run one plan against a store: load inputs, execute the stream, extract
-/// results, release everything still live back to the free lists.
-fn exec_plan(
+/// results, release everything still live back to the free lists. This is
+/// the layer below [`Session`]: the server executes shared
+/// `Arc<ExecPlan>`s against per-tenant stores through this entry point.
+pub fn execute_plan(
     store: &mut MemStore,
     plan: &ExecPlan,
     inputs: &[InputValue],
@@ -379,6 +377,8 @@ fn exec_plan(
     m.store.num_allocs = 0;
     m.store.blocks_reused = 0;
     m.store.bytes_zeroing_elided = 0;
+    m.store.arena_blocks_adopted = 0;
+    m.store.bytes_cross_tenant_scrubbed = 0;
     m.store.reset_peak();
     let t0 = Instant::now();
     m.exec_stream(&plan.body)?;
@@ -390,6 +390,8 @@ fn exec_plan(
     m.stats.num_allocs = m.store.num_allocs;
     m.stats.blocks_reused = m.store.blocks_reused;
     m.stats.bytes_zeroing_elided = m.store.bytes_zeroing_elided;
+    m.stats.arena_blocks_adopted = m.store.arena_blocks_adopted;
+    m.stats.bytes_cross_tenant_scrubbed = m.store.bytes_cross_tenant_scrubbed;
     m.stats.peak_bytes_live = m.store.peak_bytes_live;
     m.stats.blocks_merged = plan.blocks_merged;
     let mut out = Vec::with_capacity(plan.results.len());

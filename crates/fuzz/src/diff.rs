@@ -12,12 +12,20 @@
 //!    the sanitizer required to stay silent;
 //! 5. a thread sweep (1 and 8 workers) of the optimized program through
 //!    a second shared session — work-stealing dispatch must be
-//!    bit-identical to serial execution.
+//!    bit-identical to serial execution;
+//! 6. a multi-tenant leg: two tenants run the optimized program
+//!    *concurrently* through one process-shared [`Server`] (one in
+//!    `Memory` mode, one in `Checked`), so corpus replay exercises the
+//!    sharded plan cache, stampede coalescing, and cross-tenant arena
+//!    recycling across every seed — both tenants must reproduce the
+//!    single-tenant oracle bit-for-bit, with the sanitizer silent.
 
 use crate::gen::GenOp;
 use arraymem_core::{compile, CompileReport, Options};
 use arraymem_exec::{run_program, KernelRegistry, Mode, OutputValue, Session, Stats};
 use arraymem_ir::Program;
+use arraymem_server::{ExecRequest, Server, ServerConfig};
+use std::sync::OnceLock;
 
 /// Everything a caller might want to assert on after a clean run.
 pub struct DiffReport {
@@ -34,6 +42,22 @@ pub struct DiffReport {
 
 fn differ(a: &[OutputValue], b: &[OutputValue]) -> bool {
     a != b
+}
+
+/// The process-wide server every fuzz run's multi-tenant leg goes
+/// through: sharing it across seeds means tenant stores keep recycling
+/// blocks from *earlier programs* through the arena — exactly the
+/// cross-program contamination surface the leg exists to test.
+fn shared_server() -> &'static Server {
+    static SERVER: OnceLock<Server> = OnceLock::new();
+    SERVER.get_or_init(|| {
+        Server::new(ServerConfig {
+            cache_shards: 4,
+            max_in_flight: 2,
+            queue_depth: 8,
+            threads: 1,
+        })
+    })
 }
 
 /// Run every leg; `Err` describes the first divergence, sanitizer
@@ -100,6 +124,38 @@ pub fn run_all_modes(
             .map_err(|e| format!("par sweep at {threads} threads: {e}"))?;
         if differ(&o_out, &p_out) {
             return Err(format!("{threads}-worker run diverged from the serial leg"));
+        }
+    }
+    // Multi-tenant leg: two tenants, one server, concurrently. Tenant A
+    // replays in memory mode, tenant B under the sanitizer — cross-tenant
+    // arena adoptions must neither leak bytes (outputs would change) nor
+    // trip provenance (the program fully writes before reading).
+    let server = shared_server();
+    let tenant_results = std::thread::scope(|scope| {
+        let legs = [("mt-a", Mode::Memory), ("mt-b", Mode::Checked)];
+        let handles = legs.map(|(tenant, mode)| {
+            let opt = &opt;
+            let checks = &checks;
+            let kernels = &kernels;
+            scope.spawn(move || {
+                let req = ExecRequest::from_compiled(opt, kernels, checks, &[], mode);
+                (tenant, mode, server.execute(tenant, req))
+            })
+        });
+        handles.map(|h| h.join().expect("tenant thread panicked"))
+    });
+    for (tenant, mode, result) in tenant_results {
+        let (t_out, t_stats) =
+            result.map_err(|e| format!("multi-tenant leg ({tenant}, {mode:?}): {e}"))?;
+        if differ(&o_out, &t_out) {
+            return Err(format!(
+                "multi-tenant leg: tenant {tenant} ({mode:?}) diverged from the oracle"
+            ));
+        }
+        if !t_stats.diagnostics.is_empty() || t_stats.diagnostics_suppressed > 0 {
+            return Err(format!(
+                "multi-tenant leg: sanitizer fired for tenant {tenant}:\n{t_stats}"
+            ));
         }
     }
     Ok(DiffReport {

@@ -1,0 +1,213 @@
+//! Admission control: a bounded in-flight limit with a bounded FIFO
+//! overflow queue.
+//!
+//! A request first tries for one of `max_in_flight` execution permits.
+//! When none is free it takes a FIFO ticket and parks — unless the queue
+//! already holds `queue_depth` waiters, in which case the request is
+//! rejected immediately (the caller gets a typed error and can shed the
+//! load upstream). Permits release on drop, so a panicking execution
+//! still frees its slot.
+//!
+//! Everything is a plain `Mutex` + `Condvar` over two integers and a
+//! ticket deque: admission decisions are O(1) and the metrics come from
+//! the same critical section that made the decision.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Counters exported by [`Server::admission_metrics`]
+/// (crate::Server::admission_metrics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionMetrics {
+    /// Requests granted an execution permit (immediately or after
+    /// queueing).
+    pub admitted: u64,
+    /// Requests rejected because the overflow queue was full.
+    pub rejected: u64,
+    /// Requests that had to wait in the overflow queue before admission.
+    pub queued: u64,
+    /// Highest simultaneous queue occupancy observed.
+    pub peak_queue_depth: usize,
+    /// Highest simultaneous in-flight count observed.
+    pub peak_in_flight: usize,
+    /// Total time admitted requests spent waiting in the queue.
+    pub total_queue_wait: Duration,
+}
+
+impl AdmissionMetrics {
+    /// Mean queue wait over the requests that queued (zero if none did).
+    pub fn avg_queue_wait(&self) -> Duration {
+        if self.queued == 0 {
+            Duration::ZERO
+        } else {
+            self.total_queue_wait / self.queued as u32
+        }
+    }
+}
+
+struct AdmState {
+    in_flight: usize,
+    /// FIFO tickets of parked requests (front is next to admit).
+    queue: VecDeque<u64>,
+    next_ticket: u64,
+    metrics: AdmissionMetrics,
+}
+
+pub(crate) struct Admission {
+    max_in_flight: usize,
+    queue_depth: usize,
+    state: Mutex<AdmState>,
+    turn: Condvar,
+}
+
+/// An execution permit; dropping it frees the slot and wakes the queue.
+pub(crate) struct Permit<'a> {
+    admission: &'a Admission,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.admission.state.lock().unwrap();
+        st.in_flight -= 1;
+        drop(st);
+        self.admission.turn.notify_all();
+    }
+}
+
+/// Rejection detail: the load observed at the moment of rejection.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Overloaded {
+    pub in_flight: usize,
+    pub queued: usize,
+}
+
+impl Admission {
+    pub fn new(max_in_flight: usize, queue_depth: usize) -> Admission {
+        Admission {
+            max_in_flight: max_in_flight.max(1),
+            queue_depth,
+            state: Mutex::new(AdmState {
+                in_flight: 0,
+                queue: VecDeque::new(),
+                next_ticket: 0,
+                metrics: AdmissionMetrics::default(),
+            }),
+            turn: Condvar::new(),
+        }
+    }
+
+    pub fn metrics(&self) -> AdmissionMetrics {
+        self.state.lock().unwrap().metrics
+    }
+
+    /// Current load: (in-flight, queued). For introspection/tests.
+    pub fn load(&self) -> (usize, usize) {
+        let st = self.state.lock().unwrap();
+        (st.in_flight, st.queue.len())
+    }
+
+    pub fn acquire(&self) -> Result<Permit<'_>, Overloaded> {
+        let mut st = self.state.lock().unwrap();
+        // Fast path: a free slot and nobody queued ahead of us.
+        if st.in_flight < self.max_in_flight && st.queue.is_empty() {
+            st.in_flight += 1;
+            st.metrics.admitted += 1;
+            st.metrics.peak_in_flight = st.metrics.peak_in_flight.max(st.in_flight);
+            return Ok(Permit { admission: self });
+        }
+        if st.queue.len() >= self.queue_depth {
+            st.metrics.rejected += 1;
+            return Err(Overloaded {
+                in_flight: st.in_flight,
+                queued: st.queue.len(),
+            });
+        }
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.queue.push_back(ticket);
+        st.metrics.queued += 1;
+        st.metrics.peak_queue_depth = st.metrics.peak_queue_depth.max(st.queue.len());
+        let t0 = Instant::now();
+        while st.queue.front() != Some(&ticket) || st.in_flight >= self.max_in_flight {
+            st = self.turn.wait(st).unwrap();
+        }
+        st.queue.pop_front();
+        st.in_flight += 1;
+        st.metrics.admitted += 1;
+        st.metrics.peak_in_flight = st.metrics.peak_in_flight.max(st.in_flight);
+        st.metrics.total_queue_wait += t0.elapsed();
+        drop(st);
+        // The next ticket may also be admittable (several permits can
+        // free while the queue head sleeps).
+        self.turn.notify_all();
+        Ok(Permit { admission: self })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fast_path_admits_up_to_the_limit() {
+        let adm = Admission::new(2, 4);
+        let p1 = adm.acquire().expect("admit");
+        let p2 = adm.acquire().expect("admit");
+        assert_eq!(adm.load(), (2, 0));
+        drop(p1);
+        drop(p2);
+        assert_eq!(adm.load(), (0, 0));
+        let m = adm.metrics();
+        assert_eq!((m.admitted, m.rejected, m.queued), (2, 0, 0));
+        assert_eq!(m.peak_in_flight, 2);
+    }
+
+    #[test]
+    fn zero_queue_depth_rejects_at_the_limit() {
+        let adm = Admission::new(1, 0);
+        let _p = adm.acquire().expect("admit");
+        let err = match adm.acquire() {
+            Err(o) => o,
+            Ok(_) => panic!("must reject"),
+        };
+        assert_eq!((err.in_flight, err.queued), (1, 0));
+        assert_eq!(adm.metrics().rejected, 1);
+    }
+
+    #[test]
+    fn queued_requests_admit_in_fifo_order() {
+        let adm = Arc::new(Admission::new(1, 8));
+        let first = adm.acquire().expect("admit");
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let adm = Arc::clone(&adm);
+            let order = Arc::clone(&order);
+            handles.push(std::thread::spawn(move || {
+                // Stagger arrivals so queue order is deterministic.
+                std::thread::sleep(Duration::from_millis(20 * (i as u64 + 1)));
+                let p = adm.acquire().expect("admit");
+                order.lock().unwrap().push(i);
+                std::thread::sleep(Duration::from_millis(5));
+                drop(p);
+            }));
+        }
+        // Hold the permit until all four are queued.
+        while adm.load().1 < 4 {
+            std::thread::yield_now();
+        }
+        drop(first);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3]);
+        let m = adm.metrics();
+        assert_eq!(m.admitted, 5);
+        assert_eq!(m.queued, 4);
+        assert_eq!(m.peak_queue_depth, 4);
+        assert!(m.total_queue_wait > Duration::ZERO);
+        assert!(m.avg_queue_wait() > Duration::ZERO);
+    }
+}

@@ -56,6 +56,13 @@ echo "== threads tier (suite at 1 worker and at 8 workers) =="
 ARRAYMEM_THREADS=1 cargo test --release --offline --workspace -q
 ARRAYMEM_THREADS=8 cargo test --release --offline --workspace -q
 
+echo "== server tier (multi-tenant concurrency under an 8-wide pool) =="
+# Single-flight stampede coalescing, options-toggle key races,
+# cross-tenant arena isolation under the sanitizer, admission-control
+# queueing/rejection, and four tenants running distinct workloads
+# concurrently through one server.
+ARRAYMEM_THREADS=8 cargo test --release --offline -p arraymem-bench --test server -q
+
 echo "== per-pass IR snapshots (NW, interleaved IR validation forced on) =="
 # ARRAYMEM_VERIFY_IR re-runs the full structural+memory validator after
 # every pipeline stage even in this release build; a violation panics

@@ -1,0 +1,533 @@
+//! Multi-tenant server correctness: the concurrency tier.
+//!
+//! These tests pin the server layer's three contended mechanisms under
+//! real thread interleavings:
+//!
+//! - the sharded plan cache's **single-flight** guarantee (a stampede of
+//!   identical requests lowers once; an options-toggle race never
+//!   collides keys);
+//! - **tenant isolation** over the shared arena (recycling keeps its
+//!   zero-fill elision inside a tenant, scrubs across tenants, and the
+//!   checked-mode shadow keeps firing on either side of the boundary);
+//! - **admission control** (bounded in-flight, FIFO overflow queue,
+//!   typed rejection, and truthful metrics).
+//!
+//! Run with `ARRAYMEM_THREADS=8` (scripts/verify.sh does) so the
+//! work-stealing pool is wide enough to interleave for real.
+
+use arraymem_bench::tables::table_cases;
+use arraymem_core::{compile, Options};
+use arraymem_exec::{Diagnostic, KernelRegistry, Mode, OutputValue, PlanCache, Stats};
+use arraymem_ir::{Builder, ElemType, Program, ScalarExp};
+use arraymem_server::{ExecRequest, Server, ServerConfig, ServerError};
+use arraymem_symbolic::Poly;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Condvar, Mutex};
+use std::time::Duration;
+
+fn c(x: i64) -> Poly {
+    Poly::constant(x)
+}
+
+/// Two `replicate [4] 7` blocks — nonzero i64 cells, so a cross-tenant
+/// byte leak is distinguishable from a correct scrub-to-zero. Two blocks
+/// because the reader below allocates twice (scratch + copy target) and
+/// both allocations must find a stale donation to adopt.
+fn writer_program() -> Program {
+    let bld = Builder::new("writer");
+    let mut b = bld.block();
+    let xs = b.replicate_typed("xs", ElemType::I64, vec![c(4)], ScalarExp::i64(7));
+    let ys = b.replicate_typed("ys", ElemType::I64, vec![c(4)], ScalarExp::i64(7));
+    bld.finish(b.finish(vec![xs, ys]))
+}
+
+/// `y = copy s` of an unwritten scratch array: whatever bytes the
+/// allocator handed out escape to the caller. The one legal program
+/// whose output *is* the recycled block's content.
+fn scratch_reader_program() -> Program {
+    let bld = Builder::new("reader");
+    let mut b = bld.block();
+    let s = b.scratch("s", ElemType::I64, vec![c(4)]);
+    let y = b.copy("y", s);
+    bld.finish(b.finish(vec![y]))
+}
+
+/// Every `Stats` counter must aggregate, and must aggregate correctly.
+/// The struct literals below carry no `..Default::default()` rest, so
+/// adding a field to `Stats` breaks this test (and `Stats::merge`'s own
+/// destructuring) until its aggregation semantics are decided.
+#[test]
+fn stats_merge_aggregates_every_field() {
+    let ms = Duration::from_millis;
+    let a = Stats {
+        bytes_allocated: 1,
+        num_allocs: 2,
+        blocks_reused: 3,
+        bytes_zeroing_elided: 4,
+        arena_blocks_adopted: 5,
+        bytes_cross_tenant_scrubbed: 6,
+        peak_bytes_live: 700,
+        blocks_merged: 8,
+        pool_dispatches: 9,
+        maps_parallel_in_place: 10,
+        par_chunks: 11,
+        par_chunks_stolen: 12,
+        par_workers_engaged: 13,
+        par_workers_offered: 14,
+        par_checks_verified: 15,
+        bytes_copied: 16,
+        num_copies: 17,
+        bytes_elided: 18,
+        num_elided: 19,
+        kernel_launches: 20,
+        kernel_time: ms(21),
+        copy_time: ms(22),
+        total_time: ms(23),
+        cells_checked: 24,
+        circuits_verified: 25,
+        merges_verified: 26,
+        diagnostics: vec![Diagnostic::UninitRead {
+            stm: "a".into(),
+            block: 1,
+            offset: 2,
+            ixfn: "ix".into(),
+        }],
+        diagnostics_suppressed: 27,
+        plan_cache_hit: true,
+        plan_build_time: ms(28),
+    };
+    let b = Stats {
+        bytes_allocated: 100,
+        num_allocs: 200,
+        blocks_reused: 300,
+        bytes_zeroing_elided: 400,
+        arena_blocks_adopted: 500,
+        bytes_cross_tenant_scrubbed: 600,
+        peak_bytes_live: 70, // smaller than a's: max must keep 700
+        blocks_merged: 800,
+        pool_dispatches: 900,
+        maps_parallel_in_place: 1000,
+        par_chunks: 1100,
+        par_chunks_stolen: 1200,
+        par_workers_engaged: 1300,
+        par_workers_offered: 1400,
+        par_checks_verified: 1500,
+        bytes_copied: 1600,
+        num_copies: 1700,
+        bytes_elided: 1800,
+        num_elided: 1900,
+        kernel_launches: 2000,
+        kernel_time: ms(2100),
+        copy_time: ms(2200),
+        total_time: ms(2300),
+        cells_checked: 2400,
+        circuits_verified: 2500,
+        merges_verified: 2600,
+        diagnostics: vec![
+            Diagnostic::UninitRead {
+                stm: "b1".into(),
+                block: 3,
+                offset: 4,
+                ixfn: "ix".into(),
+            },
+            Diagnostic::UninitRead {
+                stm: "b2".into(),
+                block: 5,
+                offset: 6,
+                ixfn: "ix".into(),
+            },
+        ],
+        diagnostics_suppressed: 2700,
+        plan_cache_hit: false,
+        plan_build_time: ms(2800),
+    };
+    let mut m = a.clone();
+    m.merge(&b);
+    assert_eq!(m.bytes_allocated, 101);
+    assert_eq!(m.num_allocs, 202);
+    assert_eq!(m.blocks_reused, 303);
+    assert_eq!(m.bytes_zeroing_elided, 404);
+    assert_eq!(m.arena_blocks_adopted, 505);
+    assert_eq!(m.bytes_cross_tenant_scrubbed, 606);
+    assert_eq!(m.peak_bytes_live, 700, "peak is a max, not a sum");
+    assert_eq!(m.blocks_merged, 808);
+    assert_eq!(m.pool_dispatches, 909);
+    assert_eq!(m.maps_parallel_in_place, 1010);
+    assert_eq!(m.par_chunks, 1111);
+    assert_eq!(m.par_chunks_stolen, 1212);
+    assert_eq!(m.par_workers_engaged, 1313);
+    assert_eq!(m.par_workers_offered, 1414);
+    assert_eq!(m.par_checks_verified, 1515);
+    assert_eq!(m.bytes_copied, 1616);
+    assert_eq!(m.num_copies, 1717);
+    assert_eq!(m.bytes_elided, 1818);
+    assert_eq!(m.num_elided, 1919);
+    assert_eq!(m.kernel_launches, 2020);
+    assert_eq!(m.kernel_time, ms(2121));
+    assert_eq!(m.copy_time, ms(2222));
+    assert_eq!(m.total_time, ms(2323));
+    assert_eq!(m.cells_checked, 2424);
+    assert_eq!(m.circuits_verified, 2525);
+    assert_eq!(m.merges_verified, 2626);
+    assert_eq!(m.diagnostics.len(), 3, "diagnostics append");
+    assert_eq!(m.diagnostics_suppressed, 2727);
+    assert!(!m.plan_cache_hit, "one miss poisons the AND");
+    assert_eq!(m.plan_build_time, ms(2828));
+    // AND of two hits stays a hit.
+    let mut both = a.clone();
+    both.merge(&a);
+    assert!(both.plan_cache_hit);
+}
+
+/// K identical concurrent prepares lower exactly once. The build hook
+/// holds the winning build open until every other thread has parked on
+/// the in-flight key, so all K-1 are *forced* through the coalescing
+/// path — no scheduling luck involved.
+#[test]
+fn stampede_of_identical_prepares_lowers_once() {
+    const K: usize = 8;
+    let release = Arc::new(AtomicBool::new(false));
+    let mut cache = PlanCache::new(4);
+    let gate = Arc::clone(&release);
+    cache.build_hook = Some(Box::new(move || {
+        while !gate.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+    }));
+    let cache = Arc::new(cache);
+    let kernels = KernelRegistry::new();
+    let prog = writer_program();
+    let barrier = Barrier::new(K);
+    let plans = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..K)
+            .map(|_| {
+                let cache = &cache;
+                let kernels = &kernels;
+                let prog = &prog;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    cache
+                        .prepare_full(prog, kernels, &[], &[], &[])
+                        .expect("prepare")
+                })
+            })
+            .collect();
+        // The builder is parked in the hook; everyone else must reach the
+        // wait before the build can publish.
+        while cache.stats().stampedes_coalesced < (K - 1) as u64 {
+            std::thread::yield_now();
+        }
+        release.store(true, Ordering::Release);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("prepare thread panicked"))
+            .collect::<Vec<_>>()
+    });
+    let s = cache.stats();
+    assert_eq!(s.builds, 1, "single-flight: one lowering for K requests");
+    assert_eq!(s.cache_hits, (K - 1) as u64);
+    assert_eq!(s.stampedes_coalesced, (K - 1) as u64);
+    assert_eq!(cache.len(), 1);
+    let (first, _) = &plans[0];
+    let mut built = 0;
+    for (plan, outcome) in &plans {
+        assert!(Arc::ptr_eq(first, plan), "every caller adopts one plan");
+        if !outcome.hit {
+            built += 1;
+        } else {
+            assert!(outcome.coalesced, "all non-builders were forced to park");
+        }
+    }
+    assert_eq!(built, 1);
+}
+
+/// Checked-mode and memory-mode prepares of the *same program* race on
+/// the same cache: the circuit-check records are part of the key, so the
+/// two must never collide — a collision would hand the sanitizer a plan
+/// with no shadow bookkeeping (or tax memory mode with it).
+#[test]
+fn options_toggle_race_never_collides_keys() {
+    let case = &table_cases("nw", true).expect("nw cases")[0];
+    let compiled = case.compile(true);
+    let kernels = &case.kernels;
+    let checks: Vec<_> = compiled.report.checks().cloned().collect();
+    assert!(!checks.is_empty(), "nw must record circuit checks");
+    let memory_key = PlanCache::key(
+        &compiled.program,
+        kernels,
+        &[],
+        &compiled.report.merges,
+        &compiled.report.par_safety,
+    );
+    let checked_key = PlanCache::key(
+        &compiled.program,
+        kernels,
+        &checks,
+        &compiled.report.merges,
+        &compiled.report.par_safety,
+    );
+    assert_ne!(memory_key, checked_key, "check records must key the plan");
+    for _ in 0..20 {
+        // Single shard: both keys contend on the same single-flight lock.
+        let cache = PlanCache::new(1);
+        let barrier = Barrier::new(2);
+        let (mem, chk) = std::thread::scope(|scope| {
+            let mem = scope.spawn(|| {
+                barrier.wait();
+                cache
+                    .prepare_full(
+                        &compiled.program,
+                        kernels,
+                        &[],
+                        &compiled.report.merges,
+                        &compiled.report.par_safety,
+                    )
+                    .expect("memory prepare")
+            });
+            let chk = scope.spawn(|| {
+                barrier.wait();
+                cache
+                    .prepare_full(
+                        &compiled.program,
+                        kernels,
+                        &checks,
+                        &compiled.report.merges,
+                        &compiled.report.par_safety,
+                    )
+                    .expect("checked prepare")
+            });
+            (mem.join().expect("memory"), chk.join().expect("checked"))
+        });
+        assert_eq!(mem.1.key, memory_key);
+        assert_eq!(chk.1.key, checked_key);
+        assert!(
+            !Arc::ptr_eq(&mem.0, &chk.0),
+            "distinct options must lower distinct plans"
+        );
+        let s = cache.stats();
+        assert_eq!(
+            (s.builds, s.cache_hits, s.stampedes_coalesced),
+            (2, 0, 0),
+            "two keys, two builds, nothing coalesced"
+        );
+        assert_eq!(cache.len(), 2);
+    }
+}
+
+/// The shared arena's tenant boundary, end to end through the server:
+/// recycling inside a tenant keeps the zero-fill elision (stale bytes
+/// stay visible), recycling across tenants scrubs (the other tenant's
+/// bytes never appear) — and the checked-mode shadow calls the read
+/// uninitialized in *both* cases.
+#[test]
+fn cross_tenant_recycling_scrubs_but_same_tenant_elides() {
+    let writer = compile(&writer_program(), &Options::default()).expect("compile writer");
+    let reader = compile(&scratch_reader_program(), &Options::default()).expect("compile reader");
+    let kernels = KernelRegistry::new();
+    let server = Server::new(ServerConfig {
+        threads: 1,
+        ..ServerConfig::default()
+    });
+
+    // Tenant A fills a block with 7s; the server donates it to the arena.
+    let write_req = ExecRequest::from_compiled(&writer, &kernels, &[], &[], Mode::Memory);
+    let (out, _) = server.execute("a", write_req).expect("writer run");
+    assert_eq!(
+        out,
+        vec![
+            OutputValue::ArrayI64(vec![7, 7, 7, 7]),
+            OutputValue::ArrayI64(vec![7, 7, 7, 7]),
+        ]
+    );
+
+    // Same tenant reads scratch: its own donation comes back *unscrubbed*
+    // — zero-fill elision across runs, the optimization being protected.
+    let read_req = ExecRequest::from_compiled(&reader, &kernels, &[], &[], Mode::Memory);
+    let (out, stats) = server.execute("a", read_req).expect("same-tenant read");
+    assert_eq!(
+        out,
+        vec![OutputValue::ArrayI64(vec![7, 7, 7, 7])],
+        "same-tenant recycling must keep the stale bytes (elided zero-fill)"
+    );
+    assert_eq!(stats.arena_blocks_adopted, 2);
+    assert_eq!(stats.bytes_cross_tenant_scrubbed, 0);
+    assert!(
+        stats.bytes_zeroing_elided >= 64,
+        "2 × 4 × i64 elided: {stats}"
+    );
+
+    // Tenant B runs the same scratch-reader: it adopts A's donated bytes,
+    // which must arrive scrubbed — and under the sanitizer the read must
+    // still be flagged uninitialized (adoption never launders provenance).
+    let checked_req = ExecRequest::from_compiled(&reader, &kernels, &[], &[], Mode::Checked);
+    let (out, stats) = server.execute("b", checked_req).expect("cross-tenant read");
+    assert_eq!(
+        out,
+        vec![OutputValue::ArrayI64(vec![0, 0, 0, 0])],
+        "tenant B must never observe tenant A's bytes"
+    );
+    assert!(stats.arena_blocks_adopted >= 1, "{stats}");
+    assert!(
+        stats.bytes_cross_tenant_scrubbed >= 32,
+        "the adopted block must be scrubbed: {stats}"
+    );
+    assert!(
+        stats
+            .diagnostics
+            .iter()
+            .any(|d| matches!(d, Diagnostic::UninitRead { .. })),
+        "shadow provenance must keep firing across the tenant boundary: {stats}"
+    );
+
+    let arena = server.arena_stats();
+    assert!(arena.adopted_same_tenant >= 1, "{arena:?}");
+    assert!(arena.adopted_cross_tenant >= 1, "{arena:?}");
+    assert_eq!(server.tenant_stats("a").expect("tenant a").runs, 2);
+    assert_eq!(server.tenant_stats("b").expect("tenant b").runs, 1);
+    assert_eq!(server.global_stats().runs, 3);
+}
+
+/// Admission control under a held execution slot: with one permit and a
+/// one-deep queue, the second request queues, the third is rejected with
+/// a typed error naming the load, and the metrics record all of it.
+#[test]
+fn admission_queues_then_rejects_under_load() {
+    let mut kernels = KernelRegistry::new();
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let g = Arc::clone(&gate);
+    kernels.register("block_until_released", move |ctx| {
+        let (lock, cv) = &*g;
+        let mut released = lock.lock().unwrap();
+        while !*released {
+            released = cv.wait(released).unwrap();
+        }
+        ctx.out.set_f32(&[], 1.0);
+    });
+    let bld = Builder::new("blocker");
+    let mut b = bld.block();
+    let xs = b.map_kernel(
+        "xs",
+        "block_until_released",
+        c(2),
+        vec![],
+        ElemType::F32,
+        vec![],
+        vec![],
+    );
+    let prog = bld.finish(b.finish(vec![xs]));
+    let compiled = compile(&prog, &Options::default()).expect("compile blocker");
+    let server = Server::new(ServerConfig {
+        max_in_flight: 1,
+        queue_depth: 1,
+        threads: 1,
+        ..ServerConfig::default()
+    });
+    let req = ExecRequest::from_compiled(&compiled, &kernels, &[], &[], Mode::Memory);
+
+    std::thread::scope(|scope| {
+        let t1 = scope.spawn(|| server.execute("t1", req).expect("first request runs"));
+        // Wait until the first request holds the only permit…
+        while server.load().0 < 1 {
+            std::thread::yield_now();
+        }
+        let t2 = scope.spawn(|| server.execute("t2", req).expect("queued request runs"));
+        // …and the second is parked in the overflow queue.
+        while server.load().1 < 1 {
+            std::thread::yield_now();
+        }
+        // The third finds slot and queue full: typed rejection.
+        match server.execute("t3", req) {
+            Err(ServerError::Overloaded { in_flight, queued }) => {
+                assert_eq!((in_flight, queued), (1, 1));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // Release the kernel; both held requests complete.
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        let (out1, _) = t1.join().expect("t1 panicked");
+        let (out2, _) = t2.join().expect("t2 panicked");
+        assert_eq!(out1, vec![OutputValue::ArrayF32(vec![1.0, 1.0])]);
+        assert_eq!(out1, out2);
+    });
+
+    let m = server.admission_metrics();
+    assert_eq!(m.admitted, 2, "{m:?}");
+    assert_eq!(m.rejected, 1, "{m:?}");
+    assert_eq!(m.queued, 1, "{m:?}");
+    assert_eq!(m.peak_in_flight, 1, "{m:?}");
+    assert_eq!(m.peak_queue_depth, 1, "{m:?}");
+    assert!(m.total_queue_wait > Duration::ZERO, "{m:?}");
+    assert!(m.avg_queue_wait() > Duration::ZERO, "{m:?}");
+    assert_eq!(server.load(), (0, 0), "permits all returned");
+}
+
+/// Four tenants run four *different* real workloads through one server
+/// concurrently, twice each: every output matches the workload's
+/// reference implementation, the shared cache lowers one plan per
+/// program, and the per-tenant aggregates sum to the global view.
+#[test]
+fn four_tenants_run_distinct_workloads_concurrently() {
+    let benchmarks = ["nw", "hotspot", "lud", "nn"];
+    let prepared: Vec<_> = benchmarks
+        .iter()
+        .map(|b| {
+            let mut cases = table_cases(b, true).expect("known benchmark");
+            let case = cases.remove(0);
+            let compiled = case.compile(true);
+            let (_, expect) = (case.reference)(&case.inputs);
+            (case, compiled, expect)
+        })
+        .collect();
+    let server = Server::new(ServerConfig {
+        max_in_flight: 4,
+        threads: 2,
+        ..ServerConfig::default()
+    });
+    std::thread::scope(|scope| {
+        for (i, (case, compiled, expect)) in prepared.iter().enumerate() {
+            let server = &server;
+            // Only the Sync parts of the case cross the thread boundary.
+            let kernels = &case.kernels;
+            let inputs = &case.inputs;
+            let (name, tol) = (&case.name, case.tol);
+            scope.spawn(move || {
+                let tenant = format!("tenant-{i}");
+                let req = ExecRequest::from_compiled(compiled, kernels, &[], inputs, Mode::Memory);
+                for run in 0..2 {
+                    let (out, _) = server
+                        .execute(&tenant, req)
+                        .unwrap_or_else(|e| panic!("{name} run {run}: {e}"));
+                    assert_eq!(out.len(), expect.len(), "{name}: arity");
+                    for (k, (e, o)) in expect.iter().zip(&out).enumerate() {
+                        assert!(
+                            e.approx_eq(o, tol),
+                            "{name} run {run}: output {k} diverged from the reference"
+                        );
+                    }
+                }
+            });
+        }
+    });
+    let plan = server.plan_stats();
+    assert_eq!(plan.builds, 4, "one lowering per distinct program");
+    assert_eq!(plan.cache_hits, 4, "each tenant's second run hits");
+    let global = server.global_stats();
+    assert_eq!(global.runs, 8);
+    let names = server.tenant_names();
+    assert_eq!(names.len(), 4);
+    let per_tenant: u64 = names
+        .iter()
+        .map(|n| server.tenant_stats(n).expect("ran").runs)
+        .sum();
+    assert_eq!(per_tenant, global.runs, "tenant aggregates sum to global");
+    assert_eq!(
+        global.stats.kernel_launches,
+        names
+            .iter()
+            .map(|n| server.tenant_stats(n).expect("ran").stats.kernel_launches)
+            .sum::<u64>()
+    );
+}
