@@ -281,8 +281,13 @@ pub fn render_mechanism(rows: &[Measurement]) -> String {
         // Peak-memory mechanism: what block merging bought, per variant.
         for (label, st) in [("unopt", &m.unopt_stats), ("opt", &m.opt_stats)] {
             s.push_str(&format!(
-                "  {:<10} {:<5} peak_bytes_live {:>12} B | blocks_merged {:>3}\n",
-                m.dataset, label, st.peak_bytes_live, st.blocks_merged
+                "  {:<10} {:<5} peak_bytes_live {:>12} B | blocks_merged {:>3} | carried_releases {:>4} | color_slab_hits {:>4}\n",
+                m.dataset,
+                label,
+                st.peak_bytes_live,
+                st.blocks_merged,
+                st.carried_releases,
+                st.color_slab_hits
             ));
         }
         for (label, pl) in [("unopt", &m.unopt_plan), ("opt", &m.opt_plan)] {
@@ -401,6 +406,12 @@ pub struct ServerBenchRow {
     pub avg_queue_wait_ms: f64,
     pub arena_blocks_adopted: u64,
     pub bytes_cross_tenant_scrubbed: u64,
+    /// The largest single tenant's `peak_bytes_live` (what
+    /// `Stats::merge` reports for the fleet aggregate).
+    pub tenant_peak_max_bytes: u64,
+    /// The shared arena's high-water across all tenants *concurrently*
+    /// — ≥ the per-tenant max whenever tenants peak together.
+    pub arena_peak_bytes_live: u64,
     /// Checked-mode sanitizer findings across every tenant (must be 0:
     /// cross-tenant recycling may never trip provenance on a correct
     /// program).
@@ -605,6 +616,8 @@ pub fn measure_server_table(
         avg_queue_wait_ms: adm.avg_queue_wait().as_secs_f64() * 1e3,
         arena_blocks_adopted: global.stats.arena_blocks_adopted,
         bytes_cross_tenant_scrubbed: global.stats.bytes_cross_tenant_scrubbed,
+        tenant_peak_max_bytes: global.stats.peak_bytes_live,
+        arena_peak_bytes_live: global.arena_peak_bytes_live,
         checked_diagnostics: global.stats.diagnostics.len() as u64
             + global.stats.diagnostics_suppressed,
         tenant_rows,
@@ -682,6 +695,10 @@ pub fn render_server(rows: &[ServerBenchRow]) -> String {
             r.peak_queue_depth,
             r.avg_queue_wait_ms
         ));
+        s.push_str(&format!(
+            "  {:<12} peak live: tenant max {:>12} B | arena high-water {:>12} B\n",
+            r.benchmark, r.tenant_peak_max_bytes, r.arena_peak_bytes_live
+        ));
         for t in &r.tenant_rows {
             s.push_str(&format!(
                 "  {:<12} {:<10} runs {:>4} | allocs {:>6} | reused {:>6} | arena adopted {:>5} | scrubbed {:>10} B | zeroing elided {:>10} B\n",
@@ -757,6 +774,7 @@ pub fn render_json(results: &[(TableSpec, Vec<Measurement>)], server: &[ServerBe
                      \"par_chunks_stolen\": {}, \"par_workers_engaged\": {}, \
                      \"par_workers_offered\": {}, \
                      \"peak_bytes_live\": {}, \"blocks_merged\": {}, \
+                     \"carried_releases\": {}, \"color_slab_hits\": {}, \
                      \"plan_builds\": {}, \"plan_cache_hits\": {}, \
                      \"stampedes_coalesced\": {}, \
                      \"plan_build_ms\": {:.6}, \"passes\": [",
@@ -773,6 +791,8 @@ pub fn render_json(results: &[(TableSpec, Vec<Measurement>)], server: &[ServerBe
                     st.par_workers_offered,
                     st.peak_bytes_live,
                     st.blocks_merged,
+                    st.carried_releases,
+                    st.color_slab_hits,
                     pl.builds,
                     pl.cache_hits,
                     pl.stampedes_coalesced,
@@ -813,7 +833,8 @@ pub fn render_json(results: &[(TableSpec, Vec<Measurement>)], server: &[ServerBe
              \"stampedes_coalesced\": {}, \"admitted\": {}, \"rejected\": {}, \
              \"queued\": {}, \"peak_queue_depth\": {}, \"peak_in_flight\": {}, \
              \"avg_queue_wait_ms\": {:.6}, \"arena_blocks_adopted\": {}, \
-             \"bytes_cross_tenant_scrubbed\": {}, \"checked_diagnostics\": {}, \
+             \"bytes_cross_tenant_scrubbed\": {}, \"tenant_peak_max_bytes\": {}, \
+             \"arena_peak_bytes_live\": {}, \"checked_diagnostics\": {}, \
              \"tenant_rows\": [",
             json_escape(&r.benchmark),
             json_escape(&r.dataset),
@@ -834,6 +855,8 @@ pub fn render_json(results: &[(TableSpec, Vec<Measurement>)], server: &[ServerBe
             r.avg_queue_wait_ms,
             r.arena_blocks_adopted,
             r.bytes_cross_tenant_scrubbed,
+            r.tenant_peak_max_bytes,
+            r.arena_peak_bytes_live,
             r.checked_diagnostics
         ));
         for (ti, t) in r.tenant_rows.iter().enumerate() {
@@ -962,6 +985,8 @@ mod tests {
             avg_queue_wait_ms: 0.25,
             arena_blocks_adopted: 40,
             bytes_cross_tenant_scrubbed: 4096,
+            tenant_peak_max_bytes: 8192,
+            arena_peak_bytes_live: 12288,
             checked_diagnostics: 0,
             tenant_rows: vec![TenantRow {
                 tenant: "tenant-0".into(),
@@ -1004,6 +1029,8 @@ mod tests {
         assert!(json.contains("\"par_workers_offered\": 0"), "{json}");
         assert!(json.contains("\"peak_bytes_live\": 0"), "{json}");
         assert!(json.contains("\"blocks_merged\": 0"), "{json}");
+        assert!(json.contains("\"carried_releases\": 0"), "{json}");
+        assert!(json.contains("\"color_slab_hits\": 0"), "{json}");
         assert!(json.contains("256\\\"x\\\\2"), "{json}");
         assert!(json.contains("\"passes\": []"), "{json}");
         assert!(
@@ -1016,6 +1043,8 @@ mod tests {
         assert!(json.contains("\"distinct_plans\": 2"), "{json}");
         assert!(json.contains("\"stampedes_coalesced\": 3"), "{json}");
         assert!(json.contains("\"peak_queue_depth\": 11"), "{json}");
+        assert!(json.contains("\"tenant_peak_max_bytes\": 8192"), "{json}");
+        assert!(json.contains("\"arena_peak_bytes_live\": 12288"), "{json}");
         assert!(json.contains("\"avg_queue_wait_ms\": 0.250000"), "{json}");
         assert!(
             json.contains("\"bytes_cross_tenant_scrubbed\": 4096"),

@@ -52,7 +52,7 @@ pub mod short_circuit;
 
 pub use fingerprint::{combine_fingerprints, fingerprint, fingerprint_items};
 pub use memtable::MemTable;
-pub use merge::{MergeOutcome, MergeRecord, MergeReport};
+pub use merge::{HostGrowth, MergeOutcome, MergeRecord, MergeReport};
 pub use par_safety::{ParLevel, ParSafetyRecord};
 pub use pipeline::{CompileReport, IrStats, Pass, PassCx, PassRun, Pipeline};
 pub use release::ReleasePlan;
@@ -83,6 +83,14 @@ pub struct Options {
     /// allocations (disjoint live ranges, or provably disjoint LMAD
     /// footprints) share one block, cutting peak allocation.
     pub merge: bool,
+    /// Whole-program coloring inside the merge pass: build the full
+    /// interference graph over the candidate allocations, color it so
+    /// *k* allocations share the chromatic number's worth of blocks
+    /// (growing a host block when a later member is provably larger),
+    /// and release dead loop-carried ping-pong blocks per iteration
+    /// ([`merge::MergeRecord::CarriedRelease`]). Off, the pass degrades
+    /// to the legacy greedy pairwise first-fit.
+    pub coloring: bool,
     /// Run the parallel-safety analysis ([`par_safety`]): prove per
     /// kernel mapnest that iterations write disjoint rows, so the
     /// executor can dispatch them in parallel without private-row
@@ -113,6 +121,7 @@ impl Default for Options {
             hoist: true,
             mapnest_in_place: true,
             merge: false,
+            coloring: false,
             par_safety: true,
             force_unsafe_short_circuit: false,
             force_unsafe_merge: false,
@@ -121,15 +130,32 @@ impl Default for Options {
     }
 }
 
+/// Whether [`Options::optimized`] defaults to whole-program coloring:
+/// `true` unless the `ARRAYMEM_COLORING` environment variable is set to
+/// `0`/`off`/`false` (the CI toggle sweep runs the whole suite in both
+/// positions). Read once.
+pub fn coloring_default() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| match std::env::var("ARRAYMEM_COLORING") {
+        Ok(v) => {
+            let v = v.trim();
+            !(v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false"))
+        }
+        Err(_) => true,
+    })
+}
+
 impl Options {
     /// The standard optimized configuration: short-circuiting and block
     /// merging on, with every supporting ingredient (hoisting, in-place
     /// mapnests) at its default. `Options::default()` is the unoptimized
-    /// baseline.
+    /// baseline. Coloring follows [`coloring_default`] (on unless
+    /// `ARRAYMEM_COLORING=0`).
     pub fn optimized() -> Options {
         Options {
             short_circuit: true,
             merge: true,
+            coloring: coloring_default(),
             ..Options::default()
         }
     }

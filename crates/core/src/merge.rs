@@ -1,4 +1,5 @@
-//! Memory block merging: non-interfering allocations share one block.
+//! Memory block merging: whole-program coloring of the allocation
+//! interference graph.
 //!
 //! Short-circuiting removes copies by constructing an array *inside* its
 //! destination's memory; this pass removes whole allocations by letting
@@ -8,23 +9,41 @@
 //!
 //! Two blocks **interfere** when their live ranges overlap *and* their
 //! LMAD footprints are not provably disjoint
-//! ([`arraymem_lmad::overlap::non_overlap`]). The pass builds the
-//! interference relation over the top-level allocations, then greedily
-//! colors it first-fit in program order: each block tries to move into the
-//! earliest surviving compatible block (the *host*); on success every
-//! memory binding naming the victim is rewritten onto the host, and the
-//! victim's `alloc` goes dead for `cleanup` to collect.
+//! ([`arraymem_lmad::overlap::non_overlap`]). The pass builds the **full
+//! interference graph** over the top-level allocations (every candidate
+//! pair compared once, refined by the symbolic footprint test under
+//! `Env`), then linear-scans it in first-use order, assigning each block
+//! the first *color* none of whose members it interferes with. All
+//! members of a color share one allocation — the color's representative —
+//! so *k* allocations collapse to the number of colors the scan needs.
+//! Under `coloring` the representative's allocation may also be **grown**
+//! to a later member's provably larger size (when that size is in scope
+//! at the representative's `alloc`), so a smaller-first program order no
+//! longer blocks sharing.
 //!
 //! Legality is two-tiered, and the tier is observable:
 //!
 //! - **Lifetime-justified** merges (disjoint live ranges at top-level
 //!   statement granularity) need no runtime support; their
-//!   [`MergeRecord::pairs`] is empty.
+//!   [`MergeRecord::Share`] pairs list is empty.
 //! - **Footprint-justified** merges (overlapping live ranges, symbolically
 //!   disjoint footprints) record every footprint pair whose disjointness
 //!   the symbolic test approved; the checked-mode VM re-proves each pair
 //!   concretely at runtime, the way `CircuitCheck` footprints are
 //!   re-proved.
+//!
+//! **Loop-carried existential memory** gets its own treatment instead of
+//! the historical bail to lifetime-only merging: a top-level loop that
+//! ping-pongs its carried block (each iteration allocates a fresh yield
+//! block, making the incoming block dead at the yield) is assigned a
+//! *color* whose blocks the executor recycles per iteration — a
+//! [`MergeRecord::CarriedRelease`] instructs the plan to release the
+//! incoming block into the color's slab once its last in-body use has
+//! passed, and the yield `alloc` draws from the same slab. Peak usage
+//! drops from one block per iteration to the ping-pong pair. Checked mode
+//! re-proves the assignment concretely: the released block's shadow cells
+//! flip to `Released`, so any read the static last-use analysis missed
+//! surfaces as a `UseAfterRelease` diagnostic.
 //!
 //! Ordering: after `short_circuit` (so rebased webs are seen in their
 //! final blocks), before `cleanup` (which deletes the vacated `alloc`s)
@@ -196,21 +215,45 @@ fn deep_blocks(exp: &Exp, out: &mut Vec<Var>) {
     }
 }
 
-/// One executed merge, in the transport form the executor consumes: the
-/// surviving block, the vacated one, and the footprint pairs whose
-/// symbolic disjointness justified sharing despite overlapping live
-/// ranges. Empty `pairs` means the merge is lifetime-justified and needs
-/// no runtime re-proof.
+/// One coloring decision, in the transport form the executor consumes.
 #[derive(Clone, Debug)]
-pub struct MergeRecord {
-    /// The block that survives and absorbs the victim's tenants.
-    pub host: Var,
-    /// The block whose bindings were rewritten onto `host`.
-    pub victim: Var,
-    /// (victim-tenant, resident-tenant) footprint pairs the symbolic
-    /// non-overlap test approved; checked mode enumerates each pair
-    /// concretely.
-    pub pairs: Vec<(Lmad, Lmad)>,
+pub enum MergeRecord {
+    /// Compile-time sharing: `victim`'s bindings were rewritten onto
+    /// `host`, and its `alloc` went dead. Empty `pairs` means the merge is
+    /// lifetime-justified and needs no runtime re-proof.
+    Share {
+        /// The block that survives and absorbs the victim's tenants.
+        host: Var,
+        /// The block whose bindings were rewritten onto `host`.
+        victim: Var,
+        /// (victim-tenant, resident-tenant) footprint pairs the symbolic
+        /// non-overlap test approved; checked mode enumerates each pair
+        /// concretely.
+        pairs: Vec<(Lmad, Lmad)>,
+    },
+    /// Runtime recycling of loop-carried ping-pong memory: inside the
+    /// top-level loop carrying mem parameter `loop_mem`, the incoming
+    /// block is dead once the statement binding `after_stm` has executed
+    /// (its last in-body use, and the yield block `yield_mem` is already
+    /// allocated so the executor's identity guard has both ends). The
+    /// plan releases it into color `color`'s slab there, and `yield_mem`'s
+    /// `alloc` draws from the same slab — a two-block ping-pong instead of
+    /// one live block per iteration. Checked mode re-proves the
+    /// assignment: the released block's shadow flips to `Released`, so a
+    /// read past the analyzed last use raises `UseAfterRelease`.
+    CarriedRelease {
+        /// The loop's mem merge parameter (the per-iteration incoming
+        /// block).
+        loop_mem: Var,
+        /// The body-local `alloc` yielded as the iteration's carried
+        /// block.
+        yield_mem: Var,
+        /// First pattern variable of the body statement after which the
+        /// incoming block may be released.
+        after_stm: Var,
+        /// The runtime slab this loop's blocks cycle through.
+        color: u32,
+    },
 }
 
 /// One merge decision, for remarks and tests.
@@ -225,16 +268,29 @@ pub struct MergeOutcome {
     pub forced: bool,
 }
 
+/// A host allocation grown to a later color member's provably larger
+/// size (the member's size was in scope at the host's `alloc`).
+#[derive(Clone, Debug)]
+pub struct HostGrowth {
+    pub host: Var,
+    /// The member whose size the host grew to.
+    pub member: Var,
+    pub from: Poly,
+    pub to: Poly,
+}
+
 /// Everything the merge pass decided, for the pipeline to turn into
 /// remarks and for the executor to verify.
 #[derive(Clone, Debug, Default)]
 pub struct MergeReport {
     pub merged: Vec<MergeOutcome>,
+    /// Host allocations grown under `coloring`.
+    pub grown: Vec<HostGrowth>,
     /// Blocks that kept their own allocation, with the reason the closed
     /// taxonomy assigns (precedence: interference over size over element
     /// type — the reason closest to an actual merge wins).
     pub rejected: Vec<(Var, MergeReject)>,
-    /// Executor-facing records, one per merge.
+    /// Executor-facing records, one per merge or carried release.
     pub records: Vec<MergeRecord>,
 }
 
@@ -252,19 +308,31 @@ struct Occupancy {
     lmads: Option<Vec<Lmad>>,
 }
 
-/// A surviving allocation during coloring.
-struct Rep {
+/// One candidate allocation, in linear-scan order.
+struct Cand {
     var: Var,
     elem: ElemType,
     size: Poly,
-    /// Top-level index of the `alloc` statement: a host must be allocated
-    /// before any merged tenant first writes it.
+    /// Top-level index of the `alloc` statement: a color's representative
+    /// must be allocated before any merged member first writes it.
     alloc_idx: usize,
-    occs: Vec<Occupancy>,
-    merged_away: bool,
+    occ: Occupancy,
 }
 
-/// How one victim/host occupancy comparison came out.
+/// One color of the interference graph: the representative allocation
+/// that survives, and the scan indices of every member sharing it.
+struct Color {
+    rep: Var,
+    elem: ElemType,
+    /// Current size of the representative's allocation — grows under
+    /// `coloring` when a provably larger member joins.
+    size: Poly,
+    alloc_idx: usize,
+    members: Vec<usize>,
+}
+
+/// How one victim/resident occupancy comparison came out — one edge (or
+/// non-edge) of the interference graph.
 enum Fit {
     /// Disjoint live ranges: compatible with no runtime obligation.
     Lifetimes,
@@ -274,12 +342,34 @@ enum Fit {
     Interferes,
 }
 
-/// Run block merging over a memory-annotated program. `force_unsafe`
-/// (test-only) pushes interference-rejected candidates into a host
-/// anyway, so the checked VM's merge cross-check can be shown to fire.
-pub fn merge_blocks(prog: &mut Program, env: &Env, force_unsafe: bool) -> MergeReport {
+/// Run block merging over a memory-annotated program. `coloring` enables
+/// the whole-program extensions (host growth, carried-release coloring of
+/// loop ping-pong memory); off, the pass degrades to the legacy behavior.
+/// `force_unsafe` (test-only) pushes interference-rejected candidates
+/// into a host anyway, so the checked VM's merge cross-check can be shown
+/// to fire.
+pub fn merge_blocks(
+    prog: &mut Program,
+    env: &Env,
+    coloring: bool,
+    force_unsafe: bool,
+) -> MergeReport {
     let mut report = MergeReport::default();
+    color_toplevel(prog, env, coloring, force_unsafe, &mut report);
+    if coloring {
+        schedule_carried_releases(prog, &mut report);
+    }
+    report
+}
 
+/// Phase 1: whole-program coloring of the top-level allocations.
+fn color_toplevel(
+    prog: &mut Program,
+    env: &Env,
+    coloring: bool,
+    force_unsafe: bool,
+    report: &mut MergeReport,
+) {
     // Candidate allocations: top-level `alloc` statements, in order.
     let allocs: Vec<(usize, Var, ElemType, Poly)> = prog
         .body
@@ -292,7 +382,7 @@ pub fn merge_blocks(prog: &mut Program, env: &Env, force_unsafe: bool) -> MergeR
         })
         .collect();
     if allocs.len() < 2 {
-        return report;
+        return;
     }
 
     // A block *escapes* only when its variable is itself a program
@@ -300,16 +390,18 @@ pub fn merge_blocks(prog: &mut Program, env: &Env, force_unsafe: bool) -> MergeR
     // it would change the interface. Loop-carried blocks are handled by
     // the alias classes below instead of escaping wholesale.
     let escaping: HashSet<Var> = prog.body.result.iter().copied().collect();
-    let cand_set: HashSet<Var> = allocs.iter().map(|(_, m, _, _)| *m).collect();
 
     // Bindings at every depth (for resolving uses to blocks), and alias
     // classes (for resolving loop-carried memory back to the candidate
-    // allocations it may name at runtime).
+    // allocations it may name at runtime). Class member lists are built
+    // from the ordered candidate list — never from a hash set — so the
+    // liveness scan, the coloring, the remark stream and the golden
+    // snapshots are identical across runs.
     let mut bindings: HashMap<Var, MemBinding> = HashMap::new();
     collect_bindings(&prog.body, &mut bindings);
     let mut aliases = MemAliases::build(&prog.body);
     let mut class: HashMap<Var, Vec<Var>> = HashMap::new();
-    for m in &cand_set {
+    for (_, m, _, _) in &allocs {
         class.entry(aliases.find(*m)).or_default().push(*m);
     }
     let mut resolve = |b: Var| -> Vec<Var> {
@@ -412,29 +504,40 @@ pub fn merge_blocks(prog: &mut Program, env: &Env, force_unsafe: bool) -> MergeR
         }
     }
 
-    // Greedy first-fit coloring in first-use order (allocation statements
-    // are hoisted, so their textual order says nothing about liveness;
-    // first-use order lets each block try the blocks whose tenants came
-    // before it).
+    // Where each top-level scalar is bound, for the growth legality check:
+    // a host may only grow to a size whose every variable is in scope at
+    // the host's `alloc` (a program parameter, or bound strictly before).
+    let param_vars: HashSet<Var> = prog.params.iter().map(|(v, _)| *v).collect();
+    let mut bound_at: HashMap<Var, usize> = HashMap::new();
+    for (i, stm) in prog.body.stms.iter().enumerate() {
+        for pe in &stm.pat {
+            bound_at.entry(pe.var).or_insert(i);
+        }
+    }
+    let growable = |size: &Poly, host_alloc_idx: usize| -> bool {
+        size.vars()
+            .iter()
+            .all(|v| param_vars.contains(v) || bound_at.get(v).is_some_and(|&i| i < host_alloc_idx))
+    };
+
+    // Linear-scan order: first use (allocation statements are hoisted, so
+    // their textual order says nothing about liveness; first-use order
+    // lets each block try the colors whose tenants came before it).
     let mut ordered = allocs.clone();
     ordered.sort_by_key(|(idx, m, _, _)| (first.get(m).copied().unwrap_or(usize::MAX), *idx));
-    let mut reps: Vec<Rep> = Vec::new();
-    let mut rename: HashMap<Var, Var> = HashMap::new();
+
+    // Scan-ordered candidates, with occupancies. Escaping or dead blocks
+    // take no part in the graph.
+    let mut cands: Vec<Option<Cand>> = Vec::with_capacity(ordered.len());
     for (alloc_idx, m, elem, size) in &ordered {
         if escaping.contains(m) {
             report.rejected.push((*m, MergeReject::Escapes));
-            reps.push(Rep {
-                var: *m,
-                elem: *elem,
-                size: size.clone(),
-                alloc_idx: *alloc_idx,
-                occs: Vec::new(),
-                merged_away: true, // not a host either: liveness unknown
-            });
+            cands.push(None);
             continue;
         }
         if !first.contains_key(m) {
-            continue; // dead block; cleanup removes it
+            cands.push(None); // dead block; cleanup removes it
+            continue;
         }
         let ts = tenants.get(m).map(Vec::as_slice).unwrap_or(&[]);
         let lmads = if opaque.contains(m) || ts.is_empty() {
@@ -444,104 +547,163 @@ pub fn merge_blocks(prog: &mut Program, env: &Env, force_unsafe: bool) -> MergeR
                 .map(|(_, mb)| mb.ixfn.as_single().cloned())
                 .collect()
         };
-        let occ = Occupancy {
-            first: first.get(m).copied().unwrap_or(usize::MAX),
-            last: last.get(m).copied().unwrap_or(0),
-            lmads,
-        };
+        cands.push(Some(Cand {
+            var: *m,
+            elem: *elem,
+            size: size.clone(),
+            alloc_idx: *alloc_idx,
+            occ: Occupancy {
+                first: first.get(m).copied().unwrap_or(usize::MAX),
+                last: last.get(m).copied().unwrap_or(0),
+                lmads,
+            },
+        }));
+    }
+
+    // The full interference graph: every candidate pair compared once,
+    // `fits[i][j]` holding the edge between scan-later `i` (as victim)
+    // and scan-earlier `j` (as resident).
+    let fits: Vec<Vec<Fit>> = (0..cands.len())
+        .map(|i| {
+            (0..i)
+                .map(|j| match (&cands[i], &cands[j]) {
+                    (Some(v), Some(r)) => occupancy_fit(&v.occ, &r.occ, env),
+                    _ => Fit::Interferes,
+                })
+                .collect()
+        })
+        .collect();
+
+    // Assign each candidate the first color it does not interfere with.
+    // A placement is (color index, footprint pairs owed to checked mode,
+    // provably-larger member size forcing host growth).
+    type Placement = (usize, Vec<(Lmad, Lmad)>, Option<Poly>);
+    let mut colors: Vec<Color> = Vec::new();
+    let mut rename: HashMap<Var, Var> = HashMap::new();
+    for i in 0..cands.len() {
+        let Some(cand) = &cands[i] else { continue };
         let mut saw_interference = false;
         let mut saw_size_fail = false;
-        let mut hosts_tried = 0usize;
-        let mut chosen: Option<(usize, Vec<(Lmad, Lmad)>)> = None;
-        let mut forced_host: Option<usize> = None;
-        for (ri, rep) in reps.iter().enumerate() {
-            if rep.merged_away {
+        let mut colors_tried = 0usize;
+        let mut chosen: Option<Placement> = None;
+        let mut forced_color: Option<usize> = None;
+        for (ci, color) in colors.iter().enumerate() {
+            colors_tried += 1;
+            if color.elem != cand.elem {
                 continue;
             }
-            hosts_tried += 1;
-            if rep.elem != *elem {
-                continue;
-            }
-            // The host's `alloc` must execute before the victim's tenants
+            // The color's `alloc` must execute before the member's tenants
             // first write into it.
-            if rep.alloc_idx > occ.first {
+            if color.alloc_idx > cand.occ.first {
                 saw_interference = true;
                 continue;
             }
-            // The victim's footprints must fit inside the host block.
-            if !env.prove_le(size, &rep.size) {
+            // The member's footprints must fit inside the color's block —
+            // or, under `coloring`, the block grows to the member's
+            // provably larger size when that size is in scope at the
+            // representative's `alloc`.
+            let grow = if env.prove_le(&cand.size, &color.size) {
+                None
+            } else if coloring
+                && env.prove_le(&color.size, &cand.size)
+                && growable(&cand.size, color.alloc_idx)
+            {
+                Some(cand.size.clone())
+            } else {
                 saw_size_fail = true;
                 continue;
-            }
+            };
             let mut pairs: Vec<(Lmad, Lmad)> = Vec::new();
-            let mut fits = true;
-            for resident in &rep.occs {
-                match occupancy_fit(&occ, resident, env) {
+            let mut compatible = true;
+            for &j in &color.members {
+                match &fits[i][j] {
                     Fit::Lifetimes => {}
-                    Fit::Footprints(mut p) => pairs.append(&mut p),
+                    Fit::Footprints(p) => pairs.extend(p.iter().cloned()),
                     Fit::Interferes => {
-                        fits = false;
+                        compatible = false;
                         break;
                     }
                 }
             }
-            if fits {
-                chosen = Some((ri, pairs));
+            if compatible {
+                chosen = Some((ci, pairs, grow));
                 break;
             }
             saw_interference = true;
-            if forced_host.is_none() && force_unsafe {
+            if forced_color.is_none() && force_unsafe {
                 // Forcing needs enumerable footprints on both sides, so
                 // the checked VM has pairs to refute.
-                let enumerable = occ.lmads.is_some() && rep.occs.iter().all(|o| o.lmads.is_some());
+                let enumerable = cand.occ.lmads.is_some()
+                    && color
+                        .members
+                        .iter()
+                        .all(|&j| cands[j].as_ref().is_some_and(|c| c.occ.lmads.is_some()));
                 if enumerable {
-                    forced_host = Some(ri);
+                    forced_color = Some(ci);
                 }
             }
         }
-        if let Some((ri, pairs)) = chosen {
-            let host = reps[ri].var;
+        if let Some((ci, pairs, grow)) = chosen {
+            let host = colors[ci].rep;
+            if let Some(to) = grow {
+                report.grown.push(HostGrowth {
+                    host,
+                    member: cand.var,
+                    from: colors[ci].size.clone(),
+                    to: to.clone(),
+                });
+                colors[ci].size = to;
+            }
             report.merged.push(MergeOutcome {
                 host,
-                victim: *m,
+                victim: cand.var,
                 by_footprint: !pairs.is_empty(),
                 forced: false,
             });
-            report.records.push(MergeRecord {
+            report.records.push(MergeRecord::Share {
                 host,
-                victim: *m,
+                victim: cand.var,
                 pairs,
             });
-            rename.insert(*m, host);
-            reps[ri].occs.push(occ);
+            rename.insert(cand.var, host);
+            colors[ci].members.push(i);
             continue;
         }
-        if let Some(ri) = forced_host {
-            let host = reps[ri].var;
-            let victim_lmads = occ.lmads.clone().expect("forced occupancy is enumerable");
-            let pairs: Vec<(Lmad, Lmad)> = reps[ri]
-                .occs
+        if let Some(ci) = forced_color {
+            let host = colors[ci].rep;
+            let victim_lmads = cand
+                .occ
+                .lmads
+                .clone()
+                .expect("forced occupancy is enumerable");
+            let pairs: Vec<(Lmad, Lmad)> = colors[ci]
+                .members
                 .iter()
-                .flat_map(|o| o.lmads.as_ref().expect("forced host is enumerable"))
+                .flat_map(|&j| {
+                    cands[j]
+                        .as_ref()
+                        .and_then(|c| c.occ.lmads.as_ref())
+                        .expect("forced host is enumerable")
+                })
                 .flat_map(|rl| victim_lmads.iter().map(move |vl| (vl.clone(), rl.clone())))
                 .collect();
             report.merged.push(MergeOutcome {
                 host,
-                victim: *m,
+                victim: cand.var,
                 by_footprint: true,
                 forced: true,
             });
-            report.records.push(MergeRecord {
+            report.records.push(MergeRecord::Share {
                 host,
-                victim: *m,
+                victim: cand.var,
                 pairs,
             });
-            rename.insert(*m, host);
-            reps[ri].occs.push(occ);
+            rename.insert(cand.var, host);
+            colors[ci].members.push(i);
             continue;
         }
-        if hosts_tried > 0 {
-            let why = if saw_interference && runtime_indexed.contains(m) {
+        if colors_tried > 0 {
+            let why = if saw_interference && runtime_indexed.contains(&cand.var) {
                 MergeReject::RuntimeIndexed
             } else if saw_interference {
                 MergeReject::Interference
@@ -550,22 +712,185 @@ pub fn merge_blocks(prog: &mut Program, env: &Env, force_unsafe: bool) -> MergeR
             } else {
                 MergeReject::ElemMismatch
             };
-            report.rejected.push((*m, why));
+            report.rejected.push((cand.var, why));
         }
-        reps.push(Rep {
-            var: *m,
-            elem: *elem,
-            size: size.clone(),
-            alloc_idx: *alloc_idx,
-            occs: vec![occ],
-            merged_away: false,
+        colors.push(Color {
+            rep: cand.var,
+            elem: cand.elem,
+            size: cand.size.clone(),
+            alloc_idx: cand.alloc_idx,
+            members: vec![i],
         });
+    }
+
+    // Apply host growths to the IR: the representative's `alloc` takes the
+    // color's final (largest) size.
+    for color in &colors {
+        if let Exp::Alloc { size, .. } = &mut prog.body.stms[color.alloc_idx].exp {
+            if *size != color.size {
+                *size = color.size.clone();
+            }
+        }
     }
 
     if !rename.is_empty() {
         rewrite_blocks(prog, &rename);
     }
-    report
+}
+
+/// Phase 2 (under `coloring`): color loop-carried ping-pong memory. For
+/// every top-level loop mem parameter whose body yields a fresh in-body
+/// allocation, the incoming block is dead once its last in-body use has
+/// passed — provided nothing outside the iteration can still reach the
+/// blocks the parameter cycles through. Each qualifying parameter gets a
+/// [`MergeRecord::CarriedRelease`] with its own runtime color.
+fn schedule_carried_releases(prog: &Program, report: &mut MergeReport) {
+    let mut bindings: HashMap<Var, MemBinding> = HashMap::new();
+    collect_bindings(&prog.body, &mut bindings);
+    let mut next_color: u32 = 0;
+    for (loop_idx, stm) in prog.body.stms.iter().enumerate() {
+        let Exp::Loop {
+            params,
+            inits,
+            body,
+            ..
+        } = &stm.exp
+        else {
+            continue;
+        };
+        let mut body_bindings: HashMap<Var, MemBinding> = HashMap::new();
+        collect_bindings(body, &mut body_bindings);
+        for (k, pp) in params.iter().enumerate() {
+            if !matches!(pp.ty, Type::Mem) {
+                continue;
+            }
+            let m = pp.var;
+            let Some(&y) = body.result.get(k) else {
+                continue;
+            };
+            if y == m {
+                continue; // the block survives the iteration unchanged
+            }
+            // The yield block must be a fresh allocation of the body
+            // itself — the ping-pong shape. Nested existential results
+            // keep the historical conservative treatment.
+            let Some(a_idx) = body.stms.iter().position(|s| {
+                matches!(s.exp, Exp::Alloc { .. }) && s.pat.first().map(|pe| pe.var) == Some(y)
+            }) else {
+                continue;
+            };
+            let Some(&init_m) = inits.get(k) else {
+                continue;
+            };
+
+            // Arrays living in the carried block inside one iteration: the
+            // loop's own array parameters annotated `@ m`, plus any body
+            // binding into `m`.
+            let mut carried: HashSet<Var> = HashSet::new();
+            carried.insert(m);
+            for pp2 in params {
+                if pp2.mem.as_ref().is_some_and(|mb| mb.block == m) {
+                    carried.insert(pp2.var);
+                }
+            }
+            for s in &body.stms {
+                for pe in &s.pat {
+                    if pe.mem.as_ref().is_some_and(|mb| mb.block == m) {
+                        carried.insert(pe.var);
+                    }
+                }
+            }
+            // The carried block must be dead at the yield: no other body
+            // result may still live in it.
+            if body
+                .result
+                .iter()
+                .enumerate()
+                .any(|(k2, r)| k2 != k && (carried.contains(r) || *r == m))
+            {
+                continue;
+            }
+            // Iteration 0 frees the *initial* block, so nothing bound in
+            // it may outlive the loop's first iteration: no in-body or
+            // parameter binding may name it directly…
+            if body_bindings.values().any(|mb| mb.block == init_m)
+                || params
+                    .iter()
+                    .any(|pp2| pp2.mem.as_ref().is_some_and(|mb| mb.block == init_m))
+            {
+                continue;
+            }
+            // …no outer array living in it may be read inside the body…
+            let outer: Vec<Var> = {
+                let mut vs: Vec<Var> = bindings
+                    .iter()
+                    .filter(|(v, mb)| mb.block == init_m && !body_bindings.contains_key(*v))
+                    .map(|(v, _)| *v)
+                    .collect();
+                vs.sort();
+                vs
+            };
+            let body_reads_init = body.stms.iter().any(|s| {
+                let mut deep = Vec::new();
+                deep_blocks(&s.exp, &mut deep);
+                s.exp
+                    .free_vars()
+                    .iter()
+                    .any(|v| *v == init_m || outer.binary_search(v).is_ok())
+                    || deep.contains(&init_m)
+            });
+            if body_reads_init {
+                continue;
+            }
+            // …and nothing after the loop may reach it.
+            let used_later = prog.body.stms.iter().skip(loop_idx + 1).any(|s| {
+                let mut deep = Vec::new();
+                deep_blocks(&s.exp, &mut deep);
+                s.exp
+                    .free_vars()
+                    .iter()
+                    .any(|v| *v == init_m || outer.binary_search(v).is_ok())
+                    || deep.contains(&init_m)
+                    || s.pat
+                        .iter()
+                        .any(|pe| pe.mem.as_ref().is_some_and(|mb| mb.block == init_m))
+            }) || prog
+                .body
+                .result
+                .iter()
+                .any(|r| *r == init_m || outer.binary_search(r).is_ok());
+            if used_later {
+                continue;
+            }
+
+            // Release point: after the last body statement touching the
+            // carried block or its arrays — and no earlier than the yield
+            // `alloc`, whose block the executor's identity guard reads.
+            let mut release_after = a_idx;
+            for (i, s) in body.stms.iter().enumerate() {
+                let mut deep = Vec::new();
+                deep_blocks(&s.exp, &mut deep);
+                let touched = s.exp.free_vars().iter().any(|v| carried.contains(v))
+                    || deep.contains(&m)
+                    || s.pat
+                        .iter()
+                        .any(|pe| pe.mem.as_ref().is_some_and(|mb| mb.block == m));
+                if touched {
+                    release_after = release_after.max(i);
+                }
+            }
+            let Some(anchor) = body.stms[release_after].pat.first().map(|pe| pe.var) else {
+                continue;
+            };
+            report.records.push(MergeRecord::CarriedRelease {
+                loop_mem: m,
+                yield_mem: y,
+                after_stm: anchor,
+                color: next_color,
+            });
+            next_color += 1;
+        }
+    }
 }
 
 /// Compare a victim occupancy against one resident occupancy of a host.
@@ -668,6 +993,17 @@ mod tests {
             .count()
     }
 
+    fn share(rec: &MergeRecord) -> (&Var, &Var, &Vec<(Lmad, Lmad)>) {
+        match rec {
+            MergeRecord::Share {
+                host,
+                victim,
+                pairs,
+            } => (host, victim, pairs),
+            other => panic!("expected a Share record, got {other:?}"),
+        }
+    }
+
     /// A three-stage chain `a = iota n; b = copy a; c = copy b` gives the
     /// last allocation a live range disjoint from the first's: `c` merges
     /// into `a`'s block with no footprint obligations (empty pairs).
@@ -694,12 +1030,12 @@ mod tests {
         let compiled = compile(&prog, &opts).expect("compile");
 
         assert_eq!(compiled.report.merges.len(), 1, "exactly one merge");
-        let rec = &compiled.report.merges[0];
+        let (host, victim, pairs) = share(&compiled.report.merges[0]);
         assert!(
-            rec.pairs.is_empty(),
+            pairs.is_empty(),
             "lifetime-justified merge carries no footprint pairs"
         );
-        assert_ne!(rec.host, rec.victim);
+        assert_ne!(host, victim);
         // Cleanup collected the vacated alloc: 2 blocks serve 3 arrays.
         assert_eq!(count_allocs(&compiled.program.body), 2);
     }
@@ -771,15 +1107,15 @@ mod tests {
         let mut env = Env::new();
         env.assume_ge(n, 1);
 
-        let report = merge_blocks(&mut prog, &env, false);
+        let report = merge_blocks(&mut prog, &env, false, false);
         assert_eq!(report.merged.len(), 1);
         assert!(report.merged[0].by_footprint);
         assert!(!report.merged[0].forced);
         assert_eq!(report.records.len(), 1);
-        let rec = &report.records[0];
-        assert_eq!(rec.host, blk_a);
-        assert_eq!(rec.victim, blk_b);
-        assert_eq!(rec.pairs.len(), 1, "one (victim, resident) pair");
+        let (host, victim, pairs) = share(&report.records[0]);
+        assert_eq!(*host, blk_a);
+        assert_eq!(*victim, blk_b);
+        assert_eq!(pairs.len(), 1, "one (victim, resident) pair");
         // The rewrite moved y's binding onto the host block.
         let y_mb = prog.body.stms[3].pat[0].mem.as_ref().expect("y has mem");
         assert_eq!(y_mb.block, blk_a);
@@ -834,5 +1170,356 @@ mod tests {
                 .any(|w| matches!(w, MergeReject::ElemMismatch)),
             "expected an ElemMismatch reject, got {rejects:?}"
         );
+    }
+
+    /// Under `coloring`, a small-then-large allocation order no longer
+    /// blocks sharing: the host's `alloc` grows to the later member's
+    /// provably larger size (which is in scope at the host's `alloc`) and
+    /// the rewritten IR carries the grown size.
+    #[test]
+    fn host_grows_to_larger_member() {
+        let mut bld = Builder::new("grow");
+        let n = bld.scalar_param("gr_n", ElemType::I64);
+        let mut body = bld.block();
+        // a: n elements; b: 2n elements, live only after `a` is dead.
+        let a = body.iota("gr_a", p(n));
+        let s = body.scalar(
+            "gr_s",
+            ElemType::I64,
+            ScalarExp::Index(a, vec![ScalarExp::i64(0)]),
+        );
+        let b = body.iota("gr_b", p(n) * Poly::constant(2));
+        let t = body.scalar(
+            "gr_t",
+            ElemType::I64,
+            ScalarExp::Index(b, vec![ScalarExp::var(s)]),
+        );
+        let blk = body.finish(vec![t]);
+        let prog = bld.finish(blk);
+
+        let mut env = Env::new();
+        env.assume_ge(n, 1);
+
+        // Legacy greedy: the larger block cannot fit into the earlier
+        // smaller host — no merge.
+        let opts_off = Options {
+            merge: true,
+            coloring: false,
+            ..Options::default()
+        }
+        .with_env(env.clone());
+        let off = compile(&prog, &opts_off).expect("compile");
+        assert!(
+            off.report.merges.is_empty(),
+            "greedy first-fit cannot host a larger member"
+        );
+
+        // Coloring: the host grows.
+        let opts_on = Options {
+            merge: true,
+            coloring: true,
+            ..Options::default()
+        }
+        .with_env(env);
+        let on = compile(&prog, &opts_on).expect("compile");
+        assert_eq!(on.report.merges.len(), 1, "coloring merges via growth");
+        assert_eq!(count_allocs(&on.program.body), 1, "one block serves both");
+        let grown = on
+            .compile_report
+            .remarks
+            .iter()
+            .any(|r| matches!(r.kind, crate::remark::RemarkKind::HostGrown));
+        assert!(grown, "a HostGrown remark is emitted");
+        // The surviving alloc carries the grown (2n) size.
+        let alloc_size = on
+            .program
+            .body
+            .stms
+            .iter()
+            .find_map(|s| match &s.exp {
+                Exp::Alloc { size, .. } => Some(size.clone()),
+                _ => None,
+            })
+            .expect("surviving alloc");
+        assert_eq!(alloc_size, p(n) * Poly::constant(2));
+    }
+
+    /// Hand-built top-level loop that ping-pongs its carried block (the
+    /// body allocates a fresh yield block every iteration): coloring
+    /// schedules a per-iteration release of the incoming block; without
+    /// coloring the record is absent.
+    #[test]
+    fn carried_pingpong_gets_release_record() {
+        let n = sym("cr_n");
+        let steps = sym("cr_steps");
+        let blk0 = sym("cr_blk0"); // initial carried block
+        let t0 = sym("cr_t0"); // array living in blk0
+        let m = sym("cr_m"); // loop mem param
+        let t = sym("cr_t"); // loop array param @ m
+        let y = sym("cr_y"); // per-iteration yield block
+        let t1 = sym("cr_t1"); // fresh array @ y
+        let out_m = sym("cr_om");
+        let out_t = sym("cr_ot");
+        let idx = sym("cr_i");
+        let sr = sym("cr_sr");
+
+        let arr_ty = Type::array(ElemType::F32, vec![Poly::var(n)]);
+        let lmad = Lmad::new(0, vec![Dim::new(Poly::var(n), 1)]);
+        let mem_pat = |v: Var| PatElem::new(v, Type::Mem);
+        let arr_pat = |v: Var, blk: Var| PatElem {
+            var: v,
+            ty: arr_ty.clone(),
+            mem: Some(MemBinding {
+                block: blk,
+                ixfn: IndexFn::from_lmad(lmad.clone()),
+            }),
+        };
+
+        let body = Block {
+            stms: vec![
+                Stm {
+                    pat: vec![mem_pat(y)],
+                    exp: Exp::Alloc {
+                        elem: ElemType::F32,
+                        size: Poly::var(n),
+                    },
+                },
+                Stm {
+                    pat: vec![arr_pat(t1, y)],
+                    exp: Exp::Copy(t),
+                },
+                // A read of the carried array *after* t1 is built: the
+                // release must anchor here, not at the copy.
+                Stm {
+                    pat: vec![PatElem::new(sr, Type::Scalar(ElemType::F32))],
+                    exp: Exp::Scalar(ScalarExp::Index(t, vec![ScalarExp::i64(0)])),
+                },
+            ],
+            result: vec![y, t1],
+        };
+        let prog_body = Block {
+            stms: vec![
+                Stm {
+                    pat: vec![mem_pat(blk0)],
+                    exp: Exp::Alloc {
+                        elem: ElemType::F32,
+                        size: Poly::var(n),
+                    },
+                },
+                Stm {
+                    pat: vec![arr_pat(t0, blk0)],
+                    exp: Exp::Scratch {
+                        elem: ElemType::F32,
+                        shape: vec![Poly::var(n)],
+                    },
+                },
+                Stm {
+                    pat: vec![mem_pat(out_m), arr_pat(out_t, out_m)],
+                    exp: Exp::Loop {
+                        params: vec![mem_pat(m), arr_pat(t, m)],
+                        inits: vec![blk0, t0],
+                        index: idx,
+                        count: Poly::var(steps),
+                        body,
+                    },
+                },
+            ],
+            result: vec![out_t],
+        };
+        let prog = Program {
+            name: "pingpong".into(),
+            params: vec![
+                (n, Type::Scalar(ElemType::I64)),
+                (steps, Type::Scalar(ElemType::I64)),
+            ],
+            pipeline_fingerprint: 0,
+            body: prog_body,
+        };
+        let mut env = Env::new();
+        env.assume_ge(n, 1);
+
+        let mut off = prog.clone();
+        let rep_off = merge_blocks(&mut off, &env, false, false);
+        assert!(
+            !rep_off
+                .records
+                .iter()
+                .any(|r| matches!(r, MergeRecord::CarriedRelease { .. })),
+            "no carried release without coloring"
+        );
+
+        let mut on = prog.clone();
+        let rep_on = merge_blocks(&mut on, &env, true, false);
+        let carried: Vec<_> = rep_on
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                MergeRecord::CarriedRelease {
+                    loop_mem,
+                    yield_mem,
+                    after_stm,
+                    color,
+                } => Some((*loop_mem, *yield_mem, *after_stm, *color)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(carried.len(), 1, "one carried release: {rep_on:?}");
+        let (lm, ym, anchor, color) = carried[0];
+        assert_eq!(lm, m);
+        assert_eq!(ym, y);
+        assert_eq!(anchor, sr, "release anchors after the last carried read");
+        assert_eq!(color, 0);
+    }
+
+    /// The ping-pong analysis bails when the iteration still yields an
+    /// array living in the incoming block.
+    #[test]
+    fn carried_release_bails_when_block_still_yielded() {
+        let n = sym("cb_n");
+        let steps = sym("cb_steps");
+        let blk0 = sym("cb_blk0");
+        let t0 = sym("cb_t0");
+        let m = sym("cb_m");
+        let t = sym("cb_t");
+        let y = sym("cb_y");
+        let t1 = sym("cb_t1");
+        let out_m = sym("cb_om");
+        let out_t = sym("cb_ot");
+        let out_m2 = sym("cb_om2");
+        let out_t2 = sym("cb_ot2");
+        let idx = sym("cb_i");
+
+        let arr_ty = Type::array(ElemType::F32, vec![Poly::var(n)]);
+        let lmad = Lmad::new(0, vec![Dim::new(Poly::var(n), 1)]);
+        let mem_pat = |v: Var| PatElem::new(v, Type::Mem);
+        let arr_pat = |v: Var, blk: Var| PatElem {
+            var: v,
+            ty: arr_ty.clone(),
+            mem: Some(MemBinding {
+                block: blk,
+                ixfn: IndexFn::from_lmad(lmad.clone()),
+            }),
+        };
+
+        // The loop yields the *old* array (still @ m) in a second merge
+        // slot: the incoming block is not dead at the yield.
+        let body = Block {
+            stms: vec![
+                Stm {
+                    pat: vec![mem_pat(y)],
+                    exp: Exp::Alloc {
+                        elem: ElemType::F32,
+                        size: Poly::var(n),
+                    },
+                },
+                Stm {
+                    pat: vec![arr_pat(t1, y)],
+                    exp: Exp::Copy(t),
+                },
+            ],
+            result: vec![y, t1, t],
+        };
+        let prog_body = Block {
+            stms: vec![
+                Stm {
+                    pat: vec![mem_pat(blk0)],
+                    exp: Exp::Alloc {
+                        elem: ElemType::F32,
+                        size: Poly::var(n),
+                    },
+                },
+                Stm {
+                    pat: vec![arr_pat(t0, blk0)],
+                    exp: Exp::Scratch {
+                        elem: ElemType::F32,
+                        shape: vec![Poly::var(n)],
+                    },
+                },
+                Stm {
+                    pat: vec![
+                        mem_pat(out_m),
+                        arr_pat(out_t, out_m),
+                        arr_pat(out_t2, out_m2),
+                    ],
+                    exp: Exp::Loop {
+                        params: vec![mem_pat(m), arr_pat(t, m), arr_pat(out_t2, m)],
+                        inits: vec![blk0, t0, t0],
+                        index: idx,
+                        count: Poly::var(steps),
+                        body,
+                    },
+                },
+            ],
+            result: vec![out_t],
+        };
+        let prog = Program {
+            name: "pingpong_bail".into(),
+            params: vec![
+                (n, Type::Scalar(ElemType::I64)),
+                (steps, Type::Scalar(ElemType::I64)),
+            ],
+            pipeline_fingerprint: 0,
+            body: prog_body,
+        };
+        let mut env = Env::new();
+        env.assume_ge(n, 1);
+
+        let mut on = prog.clone();
+        let rep = merge_blocks(&mut on, &env, true, false);
+        assert!(
+            !rep.records
+                .iter()
+                .any(|r| matches!(r, MergeRecord::CarriedRelease { .. })),
+            "carried release must bail while the block is still yielded: {rep:?}"
+        );
+    }
+
+    /// Satellite: the coloring's decisions (records, remark-visible
+    /// outcomes, rejects) are bit-identical across repeated runs — no
+    /// hash-map iteration order leaks into the scan.
+    #[test]
+    fn coloring_is_deterministic_across_runs() {
+        let mut bld = Builder::new("det");
+        let n = bld.scalar_param("dt_n", ElemType::I64);
+        let mut body = bld.block();
+        // A chain of six blocks with staggered, partly overlapping live
+        // ranges: several legal colorings exist, so any order instability
+        // would surface as a different decision stream.
+        let a = body.iota("dt_a", p(n));
+        let b = body.copy("dt_b", a);
+        let c = body.copy("dt_c", b);
+        let d = body.copy("dt_d", c);
+        let e = body.copy("dt_e", d);
+        let f = body.copy("dt_f", e);
+        let blk = body.finish(vec![f]);
+        let prog = bld.finish(blk);
+
+        let mut env = Env::new();
+        env.assume_ge(n, 1);
+
+        let mut streams: Vec<String> = Vec::new();
+        for _ in 0..5 {
+            let opts = Options {
+                merge: true,
+                coloring: true,
+                ..Options::default()
+            }
+            .with_env(env.clone());
+            let compiled = compile(&prog, &opts).expect("compile");
+            let mut s = String::new();
+            for r in &compiled.compile_report.remarks {
+                s.push_str(&format!("{r}\n"));
+            }
+            for rec in &compiled.report.merges {
+                s.push_str(&format!("{rec:?}\n"));
+            }
+            // Each compile mints fresh `#N` suffixes for the memory
+            // variables it introduces; scrub them so the comparison is
+            // about *decisions*, not interner state.
+            streams.push(arraymem_ir::pretty::scrub_uniques(&s));
+        }
+        for w in streams.windows(2) {
+            assert_eq!(w[0], w[1], "merge decisions drifted across runs");
+        }
     }
 }

@@ -343,7 +343,12 @@ impl Pass for MergePass {
     }
 
     fn run(&self, prog: &mut Program, cx: &mut PassCx) -> Result<(), String> {
-        let rep = crate::merge::merge_blocks(prog, &cx.opts.env, cx.opts.force_unsafe_merge);
+        let rep = crate::merge::merge_blocks(
+            prog,
+            &cx.opts.env,
+            cx.opts.coloring,
+            cx.opts.force_unsafe_merge,
+        );
         for m in &rep.merged {
             let how = match (m.forced, m.by_footprint) {
                 (true, _) => "forced past interference",
@@ -357,6 +362,17 @@ impl Pass for MergePass {
                 format!("merged block {} into {} ({how})", m.victim, m.host),
             );
         }
+        for g in &rep.grown {
+            cx.remark(
+                "merge",
+                Some(g.host),
+                RemarkKind::HostGrown,
+                format!(
+                    "grew host block {} to fit {} ({} -> {})",
+                    g.host, g.member, g.from, g.to
+                ),
+            );
+        }
         for &(v, why) in &rep.rejected {
             cx.remark(
                 "merge",
@@ -364,6 +380,23 @@ impl Pass for MergePass {
                 RemarkKind::MergeRejected(why),
                 format!("block {v} keeps its own allocation ({why:?})"),
             );
+        }
+        for r in &rep.records {
+            if let crate::merge::MergeRecord::CarriedRelease {
+                loop_mem,
+                yield_mem,
+                ..
+            } = r
+            {
+                cx.remark(
+                    "merge",
+                    Some(*loop_mem),
+                    RemarkKind::CarriedRelease,
+                    format!(
+                        "carried block {loop_mem} released in-body once {yield_mem} replaces it"
+                    ),
+                );
+            }
         }
         cx.report.merges = rep.records;
         Ok(())
@@ -543,6 +576,7 @@ impl Pipeline {
             .map(|s| s.to_string())
             .collect();
         parts.push(format!("mapnest_in_place={}", opts.mapnest_in_place));
+        parts.push(format!("coloring={}", opts.coloring));
         parts.push(format!("force_unsafe={}", opts.force_unsafe_short_circuit));
         parts.push(format!("force_unsafe_merge={}", opts.force_unsafe_merge));
         parts.push(format!(

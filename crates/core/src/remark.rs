@@ -174,6 +174,13 @@ pub enum RemarkKind {
     Hoisted,
     /// `merge`: a block's tenants were moved into another allocation.
     BlocksMerged,
+    /// `merge` (coloring): a host allocation's size was grown so a
+    /// provably larger later member could share its color.
+    HostGrown,
+    /// `merge` (coloring): a loop's dead carried ping-pong block is
+    /// released inside the body each iteration instead of surviving to
+    /// the end-of-run sweep.
+    CarriedRelease,
     /// `merge`: a block kept its own allocation for the named reason.
     MergeRejected(MergeReject),
     /// `cleanup`: a dead allocation was removed.

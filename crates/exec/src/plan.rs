@@ -251,6 +251,11 @@ pub(crate) enum Instr {
         dst: Slot,
         elem: ElemType,
         size: SlotPoly,
+        /// When the allocation belongs to a carried-release color, the
+        /// store serves it from that color's slab (the ping-pong block
+        /// parked by the matching `ReleaseCarried`) before falling back
+        /// to the free lists.
+        color: Option<u32>,
     },
     Iota {
         dest: Dest,
@@ -292,6 +297,23 @@ pub(crate) enum Instr {
     /// the plan freed it — checked-mode blame for use-after-release.
     Release {
         slot: Slot,
+        site: Option<Var>,
+    },
+    /// Release a loop's incoming carried block into its color's slab (a
+    /// lowered [`MergeRecord::CarriedRelease`]): executed each iteration
+    /// after the incoming block's last use, once the yield block exists.
+    /// The identity guard skips the release when the incoming block *is*
+    /// the outgoing one, or is still carried by another merge parameter
+    /// (`guards`) — the static analysis proved the common case, the guard
+    /// covers block identities only runtime can see.
+    ReleaseCarried {
+        /// Slot of the loop's mem merge parameter (the incoming block).
+        incoming: Slot,
+        /// Slot of the body's yield allocation (the outgoing block).
+        outgoing: Slot,
+        /// Slots of the loop's other mem merge parameters.
+        guards: Vec<Slot>,
+        color: u32,
         site: Option<Var>,
     },
     /// Read all sources, then write all destinations (loop merge
@@ -359,9 +381,12 @@ pub struct ExecPlan {
     pub(crate) results: Vec<(Slot, Var)>,
     pub(crate) num_slots: u32,
     pub(crate) num_releases: usize,
-    /// Merge records lowered into this plan (count stamped onto
-    /// [`crate::Stats::blocks_merged`] per run).
+    /// Share-type merge records lowered into this plan (count stamped
+    /// onto [`crate::Stats::blocks_merged`] per run).
     pub(crate) blocks_merged: u64,
+    /// Carried-release colors the store must provision slabs for
+    /// (`MemStore::begin_colors` per run).
+    pub(crate) num_colors: u32,
     /// Checked mode: footprint pairs of the footprint-justified merges.
     pub(crate) merge_checks: Vec<LoweredMergeCheck>,
 }
@@ -424,7 +449,24 @@ pub fn lower_plan_with(
     checks: &[CircuitCheck],
     release: &ReleasePlan,
 ) -> Result<ExecPlan, String> {
-    build_plan(prog, kernels, checks, &[], &[], release)
+    build_plan_inner(prog, kernels, checks, &[], &[], release, false)
+}
+
+/// [`lower_plan_full`] with every carried release **skewed early** — the
+/// test-only mutation hook for the coloring pass: the incoming block is
+/// released right after the yield `alloc`, *before* its analyzed last
+/// use, so a checked-mode run must surface the premature release as a
+/// `UseAfterRelease` diagnostic (proving the carried-release re-proof
+/// actually fires).
+pub fn lower_plan_carried_skewed(
+    prog: &Program,
+    kernels: &KernelRegistry,
+    checks: &[CircuitCheck],
+    merges: &[MergeRecord],
+    par: &[ParSafetyRecord],
+) -> Result<ExecPlan, String> {
+    let release = ReleasePlan::compute(prog);
+    build_plan_inner(prog, kernels, checks, merges, par, &release, true)
 }
 
 fn build_plan(
@@ -434,6 +476,18 @@ fn build_plan(
     merges: &[MergeRecord],
     par: &[ParSafetyRecord],
     release: &ReleasePlan,
+) -> Result<ExecPlan, String> {
+    build_plan_inner(prog, kernels, checks, merges, par, release, false)
+}
+
+fn build_plan_inner(
+    prog: &Program,
+    kernels: &KernelRegistry,
+    checks: &[CircuitCheck],
+    merges: &[MergeRecord],
+    par: &[ParSafetyRecord],
+    release: &ReleasePlan,
+    skew_carried: bool,
 ) -> Result<ExecPlan, String> {
     let mut lw = Lowerer {
         scope: Scope::default(),
@@ -445,6 +499,8 @@ fn build_plan(
         num_releases: 0,
         depth: 0,
         merge_checks: Vec::new(),
+        pending_carried: Vec::new(),
+        skew_carried,
     };
     let mut params = Vec::with_capacity(prog.params.len());
     for (v, ty) in &prog.params {
@@ -474,6 +530,18 @@ fn build_plan(
         .zip(&prog.body.result)
         .map(|(s, v)| (s, *v))
         .collect();
+    let blocks_merged = merges
+        .iter()
+        .filter(|r| matches!(r, MergeRecord::Share { .. }))
+        .count() as u64;
+    let num_colors = merges
+        .iter()
+        .filter_map(|r| match r {
+            MergeRecord::CarriedRelease { color, .. } => Some(color + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
     Ok(ExecPlan {
         name: prog.name.clone(),
         params,
@@ -481,7 +549,8 @@ fn build_plan(
         results,
         num_slots: lw.scope.next,
         num_releases: lw.num_releases,
-        blocks_merged: merges.len() as u64,
+        blocks_merged,
+        num_colors,
         merge_checks: lw.merge_checks,
     })
 }
@@ -552,6 +621,29 @@ struct Lowerer<'a> {
     /// scope entries are undone).
     depth: usize,
     merge_checks: Vec<LoweredMergeCheck>,
+    /// Carried releases of the loop body currently being lowered: the
+    /// `Loop` arm stages them (resolving the incoming/guard parameter
+    /// slots), and the statement loop emits each one after its anchor
+    /// statement.
+    pending_carried: Vec<PendingCarried>,
+    /// Test-only: anchor every carried release at the yield `alloc`
+    /// instead of the analyzed last use, so checked mode can be shown to
+    /// catch a premature release.
+    skew_carried: bool,
+}
+
+/// One carried release staged for the loop body being lowered.
+struct PendingCarried {
+    /// First pattern variable of the body statement to release after.
+    anchor: Var,
+    /// Slot of the loop's mem merge parameter.
+    incoming: Slot,
+    /// The body's yield allocation (resolved to a slot at emission, when
+    /// it is in scope).
+    yield_mem: Var,
+    /// Slots of the loop's other mem merge parameters.
+    guards: Vec<Slot>,
+    color: u32,
 }
 
 impl Lowerer<'_> {
@@ -663,6 +755,31 @@ impl Lowerer<'_> {
                 out.push(Instr::Release { slot, site }, site);
                 self.num_releases += 1;
             }
+            if !self.pending_carried.is_empty() {
+                let pat0 = stm.pat.first().map(|p| p.var);
+                for i in 0..self.pending_carried.len() {
+                    let anchor = if self.skew_carried {
+                        self.pending_carried[i].yield_mem
+                    } else {
+                        self.pending_carried[i].anchor
+                    };
+                    if pat0 != Some(anchor) {
+                        continue;
+                    }
+                    let outgoing = self.resolve(self.pending_carried[i].yield_mem)?;
+                    let pc = &self.pending_carried[i];
+                    out.push(
+                        Instr::ReleaseCarried {
+                            incoming: pc.incoming,
+                            outgoing,
+                            guards: pc.guards.clone(),
+                            color: pc.color,
+                            site,
+                        },
+                        site,
+                    );
+                }
+            }
         }
         if !self.checks.is_empty() {
             let names: Vec<String> = block
@@ -700,18 +817,25 @@ impl Lowerer<'_> {
         // while the top-level bindings are still in scope.
         if self.depth == 1 {
             for r in self.merges {
-                if r.pairs.is_empty() {
+                let MergeRecord::Share {
+                    host,
+                    victim,
+                    pairs,
+                } = r
+                else {
+                    continue; // carried releases re-prove via shadow cells
+                };
+                if pairs.is_empty() {
                     continue; // lifetime-justified: nothing to re-prove
                 }
-                let syms: Vec<Sym> = r
-                    .pairs
+                let syms: Vec<Sym> = pairs
                     .iter()
                     .flat_map(|(a, b)| a.vars().into_iter().chain(b.vars()))
                     .collect();
                 self.merge_checks.push(LoweredMergeCheck {
-                    host: r.host.to_string(),
-                    victim: r.victim.to_string(),
-                    pairs: r.pairs.clone(),
+                    host: host.to_string(),
+                    victim: victim.to_string(),
+                    pairs: pairs.clone(),
                     vars: self.slot_vars(syms),
                 });
             }
@@ -740,12 +864,18 @@ impl Lowerer<'_> {
             }
             Exp::Alloc { elem, size } => {
                 let size = self.slot_poly(size);
+                let color = self
+                    .pending_carried
+                    .iter()
+                    .find(|pc| pc.yield_mem == stm.pat[0].var)
+                    .map(|pc| pc.color);
                 let dst = self.scope.bind(stm.pat[0].var);
                 out.push(
                     Instr::Alloc {
                         dst,
                         elem: *elem,
                         size,
+                        color,
                     },
                     blame,
                 );
@@ -934,7 +1064,40 @@ impl Lowerer<'_> {
                     },
                     blame,
                 );
+                // Stage this loop's carried releases for the body: resolve
+                // the incoming/guard parameter slots now, emit after each
+                // anchor statement inside `lower_block`.
+                let mut pending: Vec<PendingCarried> = Vec::new();
+                for r in self.merges {
+                    let MergeRecord::CarriedRelease {
+                        loop_mem,
+                        yield_mem,
+                        after_stm,
+                        color,
+                    } = r
+                    else {
+                        continue;
+                    };
+                    let Some(k) = params.iter().position(|pp| pp.var == *loop_mem) else {
+                        continue;
+                    };
+                    let guards: Vec<Slot> = params
+                        .iter()
+                        .enumerate()
+                        .filter(|(k2, pp)| *k2 != k && matches!(pp.ty, Type::Mem))
+                        .map(|(k2, _)| param_slots[k2])
+                        .collect();
+                    pending.push(PendingCarried {
+                        anchor: *after_stm,
+                        incoming: param_slots[k],
+                        yield_mem: *yield_mem,
+                        guards,
+                        color: *color,
+                    });
+                }
+                let saved = std::mem::replace(&mut self.pending_carried, pending);
                 let body_res = self.lower_block(body, out)?;
+                self.pending_carried = saved;
                 out.push(
                     Instr::CopySlots {
                         pairs: body_res
@@ -1126,6 +1289,9 @@ impl ExecPlan {
                 self.merge_checks.len()
             ));
         }
+        if self.num_colors > 0 {
+            s.push_str(&format!("carried colors: {}\n", self.num_colors));
+        }
         s.push_str("params:\n");
         for p in &self.params {
             let mem = match p.mem_slot {
@@ -1210,8 +1376,14 @@ fn fmt_slots(slots: &[Slot]) -> String {
 fn fmt_instr(i: &Instr) -> String {
     match i {
         Instr::Scalar { dst, exp, .. } => format!("%{dst} <- {}", fmt_exp(exp)),
-        Instr::Alloc { dst, elem, size } => {
-            format!("%{dst} <- alloc {elem:?} x {:?}", size.poly)
+        Instr::Alloc {
+            dst,
+            elem,
+            size,
+            color,
+        } => {
+            let c = color.map(|c| format!(" color {c}")).unwrap_or_default();
+            format!("%{dst} <- alloc {elem:?} x {:?}{c}", size.poly)
         }
         Instr::Iota { dest } => format!("{} <- iota", fmt_dest(dest)),
         Instr::Scratch { dest } => format!("{} <- scratch", fmt_dest(dest)),
@@ -1283,6 +1455,21 @@ fn fmt_instr(i: &Instr) -> String {
         Instr::Release { slot, site } => format!(
             "release %{slot}{}",
             site.map(|v| format!(" (after {v})")).unwrap_or_default()
+        ),
+        Instr::ReleaseCarried {
+            incoming,
+            outgoing,
+            guards,
+            color,
+            site,
+        } => format!(
+            "release-carried %{incoming} (color {color}, unless %{outgoing}{}{})",
+            if guards.is_empty() {
+                String::new()
+            } else {
+                format!(" or {}", fmt_slots(guards))
+            },
+            site.map(|v| format!("; after {v}")).unwrap_or_default()
         ),
         Instr::CopySlots { pairs } => format!(
             "copy-slots [{}]",

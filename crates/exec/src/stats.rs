@@ -216,6 +216,15 @@ pub struct Stats {
     /// Memory blocks the merge pass folded into another allocation (a
     /// compile-time property of the executed plan).
     pub blocks_merged: u64,
+    /// Carried releases that fired: a loop's dead ping-pong block was
+    /// returned to its color's slab inside the body instead of living to
+    /// the end-of-run sweep (the coloring pass's `CarriedRelease`
+    /// records, guarded concretely per iteration).
+    pub carried_releases: u64,
+    /// Colored allocations served from their color's slab (a subset of
+    /// `blocks_reused`): the previous iteration's carried release coming
+    /// straight back.
+    pub color_slab_hits: u64,
     /// Map statements that went through the persistent worker pool
     /// (small trip counts run inline and are not counted).
     pub pool_dispatches: u64,
@@ -297,6 +306,8 @@ impl Stats {
             bytes_cross_tenant_scrubbed,
             peak_bytes_live,
             blocks_merged,
+            carried_releases,
+            color_slab_hits,
             pool_dispatches,
             maps_parallel_in_place,
             par_chunks,
@@ -328,6 +339,8 @@ impl Stats {
         self.bytes_cross_tenant_scrubbed += bytes_cross_tenant_scrubbed;
         self.peak_bytes_live = self.peak_bytes_live.max(*peak_bytes_live);
         self.blocks_merged += blocks_merged;
+        self.carried_releases += carried_releases;
+        self.color_slab_hits += color_slab_hits;
         self.pool_dispatches += pool_dispatches;
         self.maps_parallel_in_place += maps_parallel_in_place;
         self.par_chunks += par_chunks;
@@ -382,6 +395,13 @@ impl std::fmt::Display for Stats {
             "peak live: {} B | merged blocks: {}",
             self.peak_bytes_live, self.blocks_merged
         )?;
+        if self.carried_releases > 0 {
+            writeln!(
+                f,
+                "carried releases: {} | color slab hits: {}",
+                self.carried_releases, self.color_slab_hits
+            )?;
+        }
         writeln!(
             f,
             "parallel in-place maps: {} | chunks: {} ({} stolen) | workers engaged/offered: {}/{}",

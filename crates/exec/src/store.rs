@@ -13,6 +13,7 @@
 
 use arraymem_ir::ElemType;
 use arraymem_symbolic::Sym;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Per-cell shadow state, tracked only while the store's shadow layer is
@@ -207,6 +208,36 @@ pub struct ArenaStats {
     pub adopted_same_tenant: u64,
     /// Adoptions across a tenant boundary (contents scrubbed).
     pub adopted_cross_tenant: u64,
+    /// Bytes currently charged to live blocks across *every* attached
+    /// store.
+    pub live_bytes: u64,
+    /// High-water of [`live_bytes`](ArenaStats::live_bytes) over the
+    /// arena's lifetime. Tenants overlap in time, so this is the
+    /// arena-level peak — it can exceed any single tenant's
+    /// `peak_bytes_live`, and the per-tenant *max* understates it
+    /// whenever two tenants peak together.
+    pub peak_bytes_live: u64,
+}
+
+/// Shared live/peak byte meter for one arena: every attached store
+/// charges and uncharges it alongside its own `bytes_live`, so the
+/// arena-level high-water reflects tenants that peak *concurrently*
+/// (which a max over per-tenant peaks cannot).
+#[derive(Clone, Default)]
+struct ArenaMeter {
+    live: Arc<AtomicU64>,
+    peak: Arc<AtomicU64>,
+}
+
+impl ArenaMeter {
+    fn charge(&self, bytes: u64) {
+        let live = self.live.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn uncharge(&self, bytes: u64) {
+        self.live.fetch_sub(bytes, Ordering::Relaxed);
+    }
 }
 
 struct ArenaInner {
@@ -236,6 +267,7 @@ struct ArenaInner {
 #[derive(Clone, Default)]
 pub struct SharedArena {
     inner: Arc<Mutex<ArenaInner>>,
+    meter: ArenaMeter,
 }
 
 impl Default for ArenaInner {
@@ -264,6 +296,8 @@ impl SharedArena {
             donated: g.donated,
             adopted_same_tenant: g.adopted_same,
             adopted_cross_tenant: g.adopted_cross,
+            live_bytes: self.meter.live.load(Ordering::Relaxed),
+            peak_bytes_live: self.meter.peak.load(Ordering::Relaxed),
         }
     }
 
@@ -342,6 +376,10 @@ pub struct MemStore {
     shadow: Option<Vec<ShadowBlock>>,
     /// Cross-tenant recycling arena, with this store's tenant tag.
     arena: Option<(SharedArena, u64)>,
+    /// The attached arena's shared live/peak meter (cloned Arcs), updated
+    /// on every charge/uncharge so the arena-level high-water sees
+    /// concurrent tenants.
+    arena_meter: Option<ArenaMeter>,
     /// Block ids whose buffers were donated to the arena; reused by the
     /// next adoption or fresh allocation so ids don't grow without bound
     /// over a server's lifetime.
@@ -352,6 +390,19 @@ pub struct MemStore {
     /// Bytes zeroed because an adopted buffer crossed a tenant boundary
     /// (elision forfeited for isolation).
     pub bytes_cross_tenant_scrubbed: u64,
+    /// Per-color slabs backing the merge pass's coloring
+    /// (`arraymem_core::merge`): `color_slots[c]` parks the block a
+    /// carried release returned to color `c`, and the next allocation
+    /// colored `c` pops it back — one slab-resident block per color in
+    /// steady state instead of one per loop iteration.
+    color_slots: Vec<Vec<usize>>,
+    /// `ReleaseCarried` instructions that actually fired (the incoming
+    /// block was proven distinct from the outgoing block and every
+    /// guard).
+    pub carried_releases: u64,
+    /// Colored allocations served from their color's slab (subset of
+    /// [`blocks_reused`](Self::blocks_reused)).
+    pub color_slab_hits: u64,
 }
 
 impl Default for MemStore {
@@ -375,9 +426,13 @@ impl MemStore {
             peak_bytes_live: 0,
             shadow: None,
             arena: None,
+            arena_meter: None,
             vacant: Vec::new(),
             arena_blocks_adopted: 0,
             bytes_cross_tenant_scrubbed: 0,
+            color_slots: Vec::new(),
+            carried_releases: 0,
+            color_slab_hits: 0,
         }
     }
 
@@ -386,6 +441,7 @@ impl MemStore {
     /// arena before the heap, and [`donate_free_blocks`]
     /// (MemStore::donate_free_blocks) hands parked blocks back.
     pub fn attach_arena(&mut self, arena: SharedArena, tenant: u64) {
+        self.arena_meter = Some(arena.meter.clone());
         self.arena = Some((arena, tenant));
     }
 
@@ -430,6 +486,18 @@ impl MemStore {
         self.charged[block] = bytes;
         self.bytes_live += bytes;
         self.peak_bytes_live = self.peak_bytes_live.max(self.bytes_live);
+        if let Some(m) = &self.arena_meter {
+            m.charge(bytes);
+        }
+    }
+
+    fn uncharge(&mut self, block: usize) {
+        let bytes = self.charged[block];
+        self.bytes_live -= bytes;
+        self.charged[block] = 0;
+        if let Some(m) = &self.arena_meter {
+            m.uncharge(bytes);
+        }
     }
 
     /// Turn on the shadow layer. Pre-existing blocks (recycled across
@@ -626,8 +694,7 @@ impl MemStore {
             return;
         }
         self.live[block] = false;
-        self.bytes_live -= self.charged[block];
-        self.charged[block] = 0;
+        self.uncharge(block);
         if let Some(sh) = &mut self.shadow {
             let s = &mut sh[block];
             s.released_by = site;
@@ -636,6 +703,87 @@ impl MemStore {
         let class = storage_class(self.blocks[block].elem());
         let bucket = size_bucket(self.blocks[block].capacity());
         self.free[class][bucket].push(block);
+    }
+
+    /// Prepare per-color slabs for a plan lowered with `n` colors:
+    /// [`release_colored`](MemStore::release_colored) parks into them and
+    /// [`alloc_colored`](MemStore::alloc_colored) pops from them.
+    /// Clears any leftover slabs from an aborted run (parked ids are
+    /// simply forgotten — their blocks are not live, and
+    /// [`drain_colors`](MemStore::drain_colors) at the end of the
+    /// previous successful run already emptied the slots).
+    pub fn begin_colors(&mut self, n: u32) {
+        self.color_slots.clear();
+        self.color_slots.resize(n as usize, Vec::new());
+    }
+
+    /// Park a dead block in color `c`'s slab instead of the free lists:
+    /// the next allocation colored `c` (the loop's next-iteration
+    /// ping-pong block) takes it back. Same shadow poisoning as
+    /// [`release_at`](MemStore::release_at), so checked mode catches a
+    /// premature carried release exactly like a premature plan release.
+    pub fn release_colored(&mut self, block: usize, color: u32, site: Option<Sym>) {
+        if !self.live[block] {
+            return;
+        }
+        self.live[block] = false;
+        self.uncharge(block);
+        if let Some(sh) = &mut self.shadow {
+            let s = &mut sh[block];
+            s.released_by = site;
+            s.cells.fill(CellState::Released);
+        }
+        self.color_slots[color as usize].push(block);
+        self.carried_releases += 1;
+    }
+
+    /// Allocate a block colored `c`: pop a fitting block from the color's
+    /// slab if one is parked there (the previous iteration's carried
+    /// release), falling back to [`alloc`](MemStore::alloc) otherwise.
+    /// Slab hits follow the free-list recycling contract — stale prefix
+    /// kept (zeroing elided), grown tail zeroed, shadow prefix `Stale`.
+    pub fn alloc_colored(&mut self, elem: ElemType, len: usize, color: u32) -> usize {
+        let slot = &mut self.color_slots[color as usize];
+        let pos = slot.iter().position(|&id| {
+            storage_class(self.blocks[id].elem()) == storage_class(elem)
+                && self.blocks[id].capacity() >= len
+        });
+        let Some(pos) = pos else {
+            return self.alloc(elem, len);
+        };
+        let id = slot.swap_remove(pos);
+        let b = &mut self.blocks[id];
+        b.retag(elem);
+        let kept = b.recycle_to(len);
+        self.blocks_reused += 1;
+        self.color_slab_hits += 1;
+        self.bytes_zeroing_elided += (kept * elem.size_bytes()) as u64;
+        self.live[id] = true;
+        self.charge(id, (len * elem.size_bytes()) as u64);
+        if let Some(sh) = &mut self.shadow {
+            let s = &mut sh[id];
+            s.released_by = None;
+            s.cells.clear();
+            s.cells.resize(len, CellState::Zeroed);
+            s.cells[..kept].fill(CellState::Stale);
+        }
+        id
+    }
+
+    /// Move every block still parked in a color slab to the ordinary free
+    /// lists and drop the slabs. Called at the end of a run, before
+    /// [`release_all_live`](MemStore::release_all_live), so slab
+    /// residents recycle across runs and feed
+    /// [`donate_free_blocks`](MemStore::donate_free_blocks) exactly like
+    /// plan-released blocks.
+    pub fn drain_colors(&mut self) {
+        for slot in std::mem::take(&mut self.color_slots) {
+            for id in slot {
+                let class = storage_class(self.blocks[id].elem());
+                let bucket = size_bucket(self.blocks[id].capacity());
+                self.free[class][bucket].push(id);
+            }
+        }
     }
 
     /// Release every live block — end-of-run recycling, so a store reused
@@ -889,6 +1037,139 @@ mod tests {
         let b = s.alloc(ElemType::I64, 32);
         assert_eq!(b, a);
         assert_eq!(s.num_blocks(), n);
+    }
+
+    #[test]
+    fn colored_release_parks_in_slab_and_colored_alloc_pops_it() {
+        let mut s = MemStore::new();
+        s.begin_colors(2);
+        let a = s.alloc_colored(ElemType::I64, 64, 0);
+        fill_i64(&mut s, a, 7);
+        s.release_colored(a, 0, None);
+        assert_eq!(s.carried_releases, 1);
+        // An uncolored allocation must not raid the slab.
+        let other = s.alloc(ElemType::I64, 64);
+        assert_ne!(other, a);
+        // Nor an allocation of a different color.
+        let c1 = s.alloc_colored(ElemType::I64, 64, 1);
+        assert_ne!(c1, a);
+        // The matching color pops the parked block, elision intact.
+        let b = s.alloc_colored(ElemType::I64, 64, 0);
+        assert_eq!(b, a);
+        assert_eq!(read_i64(&mut s, b), vec![7; 64]);
+        assert_eq!(s.color_slab_hits, 1);
+        assert_eq!(s.num_allocs, 3, "a slab hit must not count as an alloc");
+    }
+
+    #[test]
+    fn colored_release_uncharges_liveness() {
+        let mut s = MemStore::new();
+        s.begin_colors(1);
+        let a = s.alloc_colored(ElemType::I64, 64, 0);
+        assert_eq!(s.peak_bytes_live, 512);
+        s.release_colored(a, 0, None);
+        let b = s.alloc_colored(ElemType::I64, 64, 0);
+        assert_eq!(b, a);
+        // Ping-pong through the slab: peak stays one block, not two.
+        assert_eq!(s.peak_bytes_live, 512);
+    }
+
+    #[test]
+    fn drain_colors_moves_slab_residents_to_free_lists() {
+        let mut s = MemStore::new();
+        s.begin_colors(1);
+        let a = s.alloc_colored(ElemType::I64, 64, 0);
+        s.release_colored(a, 0, None);
+        s.drain_colors();
+        let b = s.alloc(ElemType::I64, 64);
+        assert_eq!(b, a, "drained slab blocks must recycle normally");
+        assert_eq!(s.blocks_reused, 1);
+    }
+
+    #[test]
+    fn colored_release_poisons_shadow_cells() {
+        use arraymem_symbolic::sym;
+        let mut s = MemStore::new();
+        s.enable_shadow();
+        s.begin_colors(1);
+        let a = s.alloc_colored(ElemType::I64, 4, 0);
+        let site = sym("carried_site");
+        s.release_colored(a, 0, Some(site));
+        assert_eq!(s.shadow_cell(a, 0), Some(CellState::Released));
+        assert_eq!(s.shadow_released_by(a), Some(site));
+        let b = s.alloc_colored(ElemType::I64, 4, 0);
+        assert_eq!(b, a);
+        assert_eq!(s.shadow_released_by(b), None);
+        assert_eq!(s.shadow_cell(b, 0), Some(CellState::Stale));
+    }
+
+    #[test]
+    fn arena_meter_sees_concurrent_tenant_peaks() {
+        let arena = SharedArena::new();
+        let mut a_store = MemStore::new();
+        a_store.attach_arena(arena.clone(), 1);
+        let mut b_store = MemStore::new();
+        b_store.attach_arena(arena.clone(), 2);
+        // Both tenants live at once: the arena peak is their *sum*,
+        // which the max over per-tenant peaks (512) understates.
+        let a = a_store.alloc(ElemType::I64, 64);
+        let b = b_store.alloc(ElemType::I64, 64);
+        assert_eq!(arena.stats().live_bytes, 1024);
+        assert_eq!(arena.stats().peak_bytes_live, 1024);
+        assert_eq!(a_store.peak_bytes_live.max(b_store.peak_bytes_live), 512);
+        a_store.release(a);
+        b_store.release(b);
+        assert_eq!(arena.stats().live_bytes, 0);
+        assert_eq!(arena.stats().peak_bytes_live, 1024);
+    }
+
+    /// Adversarial oversized donation: the donor parks a block strictly
+    /// larger than the cross-tenant request. The adopter must see exactly
+    /// the requested length, every visible *byte* scrubbed to zero, the
+    /// shadow prefix still `Stale` — and the donor's bytes past the kept
+    /// prefix must never resurface, even when the adopter later grows the
+    /// block back to the donor's full size within the retained capacity.
+    #[test]
+    fn oversized_cross_tenant_adoption_leaks_no_donor_byte() {
+        let arena = SharedArena::new();
+        let mut donor = MemStore::new();
+        donor.attach_arena(arena.clone(), 1);
+        let mut adopter = MemStore::new();
+        adopter.attach_arena(arena.clone(), 2);
+        adopter.enable_shadow();
+        // 96 sentinel elements donated; 40 requested across the boundary.
+        let a = donor.alloc(ElemType::I64, 96);
+        fill_i64(&mut donor, a, 0x5A5A_5A5A_5A5A_5A5A_u64 as i64);
+        donor.release(a);
+        donor.donate_free_blocks();
+        let b = adopter.alloc(ElemType::I64, 40);
+        assert_eq!(arena.stats().adopted_cross_tenant, 1);
+        assert_eq!(
+            adopter.len(b),
+            40,
+            "adoption must not over-expose the donor"
+        );
+        // Byte-level inspection: no sentinel byte anywhere in the view.
+        let r = adopter.raw(b);
+        let bytes = unsafe { std::slice::from_raw_parts(r.ptr as *const u8, r.len * 8) };
+        assert!(
+            bytes.iter().all(|&x| x == 0),
+            "a donor byte survived the cross-tenant scrub"
+        );
+        assert_eq!(adopter.bytes_cross_tenant_scrubbed, 40 * 8);
+        // Scrubbed is not initialized: provenance still says Stale.
+        assert!((0..40).all(|i| adopter.shadow_cell(b, i) == Some(CellState::Stale)));
+        // Grow back to the donor's size inside the retained capacity: the
+        // regrown tail must be zeros, not the donor's parked bytes.
+        adopter.release(b);
+        let c = adopter.alloc(ElemType::I64, 96);
+        assert_eq!(c, b, "regrowth within capacity must recycle in place");
+        let r = adopter.raw(c);
+        let bytes = unsafe { std::slice::from_raw_parts(r.ptr as *const u8, r.len * 8) };
+        assert!(
+            bytes[40 * 8..].iter().all(|&x| x == 0),
+            "donor bytes past the kept prefix resurfaced on regrowth"
+        );
     }
 
     #[test]

@@ -323,6 +323,29 @@ impl Session {
         let lowered = lower_plan_with(prog, kernels, checks, plan)?;
         execute_plan(&mut self.store, &lowered, inputs, kernels, mode, threads)
     }
+
+    /// [`run_full`](Session::run_full) lowered fresh and uncached with
+    /// every carried release **skewed early**
+    /// ([`crate::plan::lower_plan_carried_skewed`]): the coloring pass's
+    /// mutation hook. The incoming ping-pong block is released right
+    /// after its replacement's `alloc`, before the body's analyzed last
+    /// use of it, so a checked-mode run must report the premature
+    /// release as a [`crate::Diagnostic::UseAfterRelease`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_carried_skewed(
+        &mut self,
+        prog: &Program,
+        inputs: &[InputValue],
+        kernels: &KernelRegistry,
+        mode: Mode,
+        threads: usize,
+        checks: &[CircuitCheck],
+        merges: &[MergeRecord],
+        par: &[ParSafetyRecord],
+    ) -> Result<(Vec<OutputValue>, Stats), String> {
+        let lowered = crate::plan::lower_plan_carried_skewed(prog, kernels, checks, merges, par)?;
+        execute_plan(&mut self.store, &lowered, inputs, kernels, mode, threads)
+    }
 }
 
 /// Execute a program in a one-shot [`Session`].
@@ -379,6 +402,9 @@ pub fn execute_plan(
     m.store.bytes_zeroing_elided = 0;
     m.store.arena_blocks_adopted = 0;
     m.store.bytes_cross_tenant_scrubbed = 0;
+    m.store.carried_releases = 0;
+    m.store.color_slab_hits = 0;
+    m.store.begin_colors(plan.num_colors);
     m.store.reset_peak();
     let t0 = Instant::now();
     m.exec_stream(&plan.body)?;
@@ -392,6 +418,8 @@ pub fn execute_plan(
     m.stats.bytes_zeroing_elided = m.store.bytes_zeroing_elided;
     m.stats.arena_blocks_adopted = m.store.arena_blocks_adopted;
     m.stats.bytes_cross_tenant_scrubbed = m.store.bytes_cross_tenant_scrubbed;
+    m.stats.carried_releases = m.store.carried_releases;
+    m.stats.color_slab_hits = m.store.color_slab_hits;
     m.stats.peak_bytes_live = m.store.peak_bytes_live;
     m.stats.blocks_merged = plan.blocks_merged;
     let mut out = Vec::with_capacity(plan.results.len());
@@ -402,7 +430,9 @@ pub fn execute_plan(
     }
     let stats = m.stats;
     // Results are extracted (deep-copied) above; everything the run
-    // allocated can feed the next run's allocations.
+    // allocated can feed the next run's allocations — including blocks
+    // still parked in color slabs.
+    store.drain_colors();
     store.release_all_live();
     Ok((out, stats))
 }
@@ -707,9 +737,18 @@ impl Machine<'_> {
                 let v = self.eval_lexp(exp)?;
                 self.regs[*dst as usize] = coerce(v, *elem);
             }
-            Instr::Alloc { dst, elem, size } => {
+            Instr::Alloc {
+                dst,
+                elem,
+                size,
+                color,
+            } => {
                 let n = size.eval(&self.regs).ok_or("unresolved alloc size")?;
-                let block = self.store.alloc(*elem, n.max(0) as usize);
+                let n = n.max(0) as usize;
+                let block = match color {
+                    Some(c) => self.store.alloc_colored(*elem, n, *c),
+                    None => self.store.alloc(*elem, n),
+                };
                 self.regs[*dst as usize] = Value::Mem(block);
             }
             Instr::Iota { dest } => {
@@ -1239,6 +1278,35 @@ impl Machine<'_> {
                 if let Value::Mem(id) = self.regs[*slot as usize] {
                     let site = if self.checked() { *site } else { None };
                     self.store.release_at(id, site);
+                }
+            }
+            Instr::ReleaseCarried {
+                incoming,
+                outgoing,
+                guards,
+                color,
+                site,
+            } => {
+                // Release a loop's dead carried ping-pong block into its
+                // color's slab, so the next iteration's colored `alloc`
+                // takes it back. Guarded concretely: when the body
+                // yielded the incoming block itself (or it backs another
+                // carried slot), it is still live and stays put.
+                let incoming_id = match self.regs[*incoming as usize] {
+                    Value::Mem(id) => id,
+                    _ => return Err("release-carried on a non-mem slot".into()),
+                };
+                let outgoing_id = match self.regs[*outgoing as usize] {
+                    Value::Mem(id) => id,
+                    _ => return Err("release-carried outgoing is not a mem slot".into()),
+                };
+                let aliased = incoming_id == outgoing_id
+                    || guards.iter().any(
+                        |g| matches!(self.regs[*g as usize], Value::Mem(id) if id == incoming_id),
+                    );
+                if !aliased {
+                    let site = if self.checked() { *site } else { None };
+                    self.store.release_colored(incoming_id, *color, site);
                 }
             }
             Instr::CopySlots { pairs } => {

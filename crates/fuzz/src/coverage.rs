@@ -27,6 +27,8 @@ pub fn kind_bit(kind: &RemarkKind) -> u16 {
         RemarkKind::DeadAllocRemoved => 6,
         RemarkKind::MapParallelSafe => 7,
         RemarkKind::ReleaseScheduled => 8,
+        RemarkKind::HostGrown => 9,
+        RemarkKind::CarriedRelease => 10,
         RemarkKind::CircuitRejected(r) => 16 + pos(RejectReason::ALL.iter().position(|x| x == r)),
         RemarkKind::MergeRejected(m) => 48 + pos(MergeReject::ALL.iter().position(|x| x == m)),
         RemarkKind::MapParRejected(p) => 64 + pos(ParReject::ALL.iter().position(|x| x == p)),
@@ -88,6 +90,8 @@ impl Coverage {
         };
         mark("bytes_elided", stats.bytes_elided > 0);
         mark("blocks_merged", stats.blocks_merged > 0);
+        mark("carried_releases", stats.carried_releases > 0);
+        mark("color_slab_hits", stats.color_slab_hits > 0);
         mark("blocks_reused", stats.blocks_reused > 0);
         mark("bytes_zeroing_elided", stats.bytes_zeroing_elided > 0);
         mark("maps_parallel_in_place", stats.maps_parallel_in_place > 0);

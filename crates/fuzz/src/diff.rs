@@ -1,19 +1,23 @@
 //! The differential oracle: one program, every semantics.
 //!
-//! [`run_all_modes`] executes five legs and reports the first divergence
+//! [`run_all_modes`] executes seven legs and reports the first divergence
 //! as an `Err` (rather than panicking) so the minimizer can use it as a
 //! predicate:
 //!
 //! 1. pure value semantics on the source program;
 //! 2. the unoptimized compile under `Mode::Memory`;
-//! 3. the fully optimized compile under `Mode::Memory`;
-//! 4. the optimized compile under `Mode::Checked` in a caller-shared
+//! 3. the fully optimized compile (whole-program coloring on) under
+//!    `Mode::Memory`;
+//! 4. the coloring toggle: the same optimization pipeline with the merge
+//!    pass held to greedy pairwise (coloring off) — both positions of
+//!    the toggle must agree with the oracle;
+//! 5. the optimized compile under `Mode::Checked` in a caller-shared
 //!    session (so corpus replay recycles blocks across programs), with
 //!    the sanitizer required to stay silent;
-//! 5. a thread sweep (1 and 8 workers) of the optimized program through
+//! 6. a thread sweep (1 and 8 workers) of the optimized program through
 //!    a second shared session — work-stealing dispatch must be
 //!    bit-identical to serial execution;
-//! 6. a multi-tenant leg: two tenants run the optimized program
+//! 7. a multi-tenant leg: two tenants run the optimized program
 //!    *concurrently* through one process-shared [`Server`] (one in
 //!    `Memory` mode, one in `Checked`), so corpus replay exercises the
 //!    sharded plan cache, stampede coalescing, and cross-tenant arena
@@ -87,6 +91,21 @@ pub fn run_all_modes(
             "optimizer increased copies ({} -> {})",
             u_stats.bytes_copied, o_stats.bytes_copied
         ));
+    }
+    // Coloring toggle leg: the merge pass held to greedy pairwise must
+    // agree with the oracle too. (No peak comparison here: on adversarial
+    // random shapes the two algorithms can pick different share hosts and
+    // trade a handful of bytes either way; the curated workload suite is
+    // where coloring must dominate.)
+    let greedy_opts = Options {
+        coloring: false,
+        ..Options::optimized()
+    };
+    let greedy = compile(prog, &greedy_opts).map_err(|e| format!("greedy compile: {e}"))?;
+    let (g_out, _) = run_program(&greedy.program, &[], &kernels, Mode::Memory, 1)
+        .map_err(|e| format!("greedy run: {e}"))?;
+    if differ(&pure_out, &g_out) {
+        return Err("pure vs greedy-merge outputs differ".into());
     }
     // Checked leg in the shared session: recycled blocks, silent sanitizer.
     let checks: Vec<_> = opt.report.checks().cloned().collect();

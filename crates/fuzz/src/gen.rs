@@ -40,8 +40,8 @@ impl GenOp {
     /// Statement kinds the interpreter knows:
     /// 0 replicate, 1 iota, 2 copy, 3 permute, 4 reverse, 5 slice,
     /// 6 flatten, 7 map, 8 update, 9 concat, 10 rotate, 11 nested map,
-    /// 12 gather, 13 scatter.
-    pub const NUM_KINDS: u8 = 14;
+    /// 12 gather, 13 scatter, 14 carried loop.
+    pub const NUM_KINDS: u8 = 15;
 }
 
 /// A uniformly random op (any field value is meaningful, so sampling is
@@ -70,6 +70,7 @@ struct GenArray {
 }
 
 struct Interp {
+    bld: Builder,
     body: arraymem_ir::builder::BlockBuilder,
     pool: Vec<GenArray>,
     next_class: usize,
@@ -472,6 +473,56 @@ impl Interp {
                     class: dst.class,
                 });
             }
+            14 => {
+                // Loop-carried ping-pong: map the carried rank-1 array
+                // into a fresh allocation each iteration and yield it —
+                // the shape whose per-iteration garbage only the coloring
+                // pass's carried-release scheduling reclaims.
+                let Some(init) = self.pick_rank(op.sel, 1) else {
+                    return;
+                };
+                let steps = r.i64_incl(2, 4);
+                let delta = r.i64_incl(1, 5);
+                let param = self.body.loop_param("g_T", init.var);
+                let it = self.body.loop_index("g_it");
+                let mut lb = self.bld.block();
+                let next = lb.map_lambda(
+                    "g_Tn",
+                    c(init.shape[0]),
+                    vec![param],
+                    ElemType::I64,
+                    |ib, ps| {
+                        let t = ib.scalar(
+                            "g_step",
+                            ElemType::I64,
+                            ScalarExp::bin(
+                                BinOp::Add,
+                                ScalarExp::var(ps[0]),
+                                ScalarExp::i64(delta),
+                            ),
+                        );
+                        vec![t]
+                    },
+                );
+                let lbody = lb.finish(vec![next]);
+                let v = self.body.loop_(
+                    vec!["g_loop"],
+                    vec![(param, self.bld.ty(init.var))],
+                    vec![init.var],
+                    it,
+                    c(steps),
+                    lbody,
+                )[0];
+                // The initializer's memory becomes the loop's existential
+                // memory: its whole alias class is consumed.
+                self.pool.retain(|a| a.class != init.class);
+                let class = self.fresh_class();
+                self.pool.push(GenArray {
+                    var: v,
+                    shape: init.shape,
+                    class,
+                });
+            }
             _ => unreachable!("kind is taken modulo NUM_KINDS"),
         }
     }
@@ -481,8 +532,10 @@ impl Interp {
 /// with an empty pool (nothing to return).
 pub fn build_program(ops: &[GenOp]) -> Option<Program> {
     let bld = Builder::new("fuzz");
+    let body = bld.block();
     let mut g = Interp {
-        body: bld.block(),
+        bld,
+        body,
         pool: Vec::new(),
         next_class: 0,
         fill: 0,
@@ -511,6 +564,7 @@ pub fn build_program(ops: &[GenOp]) -> Option<Program> {
         seen_classes.push(entry.class);
         results.push(entry.var);
     }
-    let block = g.body.finish(results);
+    let Interp { bld, body, .. } = g;
+    let block = body.finish(results);
     Some(bld.finish(block))
 }

@@ -182,6 +182,13 @@ pub struct TenantStats {
     /// Their merged [`Stats`] (see [`Stats::merge`] for the semantics of
     /// each field under aggregation).
     pub stats: Stats,
+    /// The shared arena's byte high-water across **every** tenant
+    /// ([`ArenaStats::peak_bytes_live`]). Populated by
+    /// [`Server::global_stats`] only (per-tenant views report 0).
+    /// Tenants execute concurrently against one arena, so this can
+    /// exceed `stats.peak_bytes_live` — which is a *max over tenants*
+    /// and blind to tenants peaking together.
+    pub arena_peak_bytes_live: u64,
 }
 
 struct Tenant {
@@ -319,6 +326,7 @@ impl Server {
                 plan_cache_hit: true,
                 ..Stats::default()
             },
+            arena_peak_bytes_live: self.arena.stats().peak_bytes_live,
         };
         for t in tenants.values() {
             let st = t.state.lock().unwrap();

@@ -323,7 +323,10 @@ fn forced_illegal_merge_is_caught_by_the_merge_cross_check() {
     .expect("compile");
     assert_eq!(forced.report.merges.len(), 1, "the hook must force a merge");
     assert!(
-        !forced.report.merges[0].pairs.is_empty(),
+        matches!(
+            &forced.report.merges[0],
+            arraymem_core::MergeRecord::Share { pairs, .. } if !pairs.is_empty()
+        ),
         "a forced merge must carry footprint pairs for the VM to refute"
     );
     let kernels = KernelRegistry::new();
@@ -543,5 +546,71 @@ fn options_force_unsafe_parallel_promotes_rejected_maps() {
         forced_stats.diagnostics.is_empty(),
         "{:?}",
         forced_stats.diagnostics
+    );
+}
+
+/// The coloring pass's carried-release records are real claims about
+/// loop-carried lifetimes, and checked mode must re-prove them: the
+/// test-only skewed lowering anchors each `ReleaseCarried` at the yield
+/// allocation — *before* the loop body has finished reading the carried
+/// block — and the sanitizer must catch the resulting read.
+#[test]
+fn skewed_carried_release_triggers_use_after_release() {
+    let case = arraymem_workloads::hotspot::case("64", 64, 6, 2);
+    let opts = Options {
+        coloring: true,
+        ..Options::optimized()
+    }
+    .with_env(case.env.clone());
+    let compiled = compile(&case.program, &opts).expect("compile");
+    assert!(
+        compiled
+            .report
+            .merges
+            .iter()
+            .any(|r| matches!(r, arraymem_core::MergeRecord::CarriedRelease { .. })),
+        "hotspot's ping-pong loop must produce a carried-release record"
+    );
+    let checks: Vec<_> = compiled.report.checks().cloned().collect();
+    // The honest lowering is clean under the sanitizer…
+    let mut honest = Session::new();
+    let h = honest
+        .prepare_full(
+            &compiled.program,
+            &case.kernels,
+            &checks,
+            &compiled.report.merges,
+            &compiled.report.par_safety,
+        )
+        .expect("prepare");
+    let (_, honest_stats) = honest
+        .run_plan(h, &case.inputs, &case.kernels, Mode::Checked, 1)
+        .expect("honest run");
+    assert!(honest_stats.diagnostics.is_empty(), "{honest_stats}");
+    assert!(
+        honest_stats.carried_releases > 0,
+        "the honest run must actually exercise the carried release"
+    );
+    // …the skewed one is not: the carried block is parked in its color
+    // slab while the stencil still reads it.
+    let (_, skewed) = Session::new()
+        .run_carried_skewed(
+            &compiled.program,
+            &case.inputs,
+            &case.kernels,
+            Mode::Checked,
+            1,
+            &checks,
+            &compiled.report.merges,
+            &compiled.report.par_safety,
+        )
+        .expect("skewed run");
+    assert!(
+        skewed
+            .diagnostics
+            .iter()
+            .any(|d| matches!(d, Diagnostic::UseAfterRelease { .. })),
+        "expected a UseAfterRelease from the premature carried release; got {:?}",
+        skewed.diagnostics
     );
 }

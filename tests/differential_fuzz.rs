@@ -193,18 +193,32 @@ fn corpus_replays_clean_in_every_mode() {
     );
     let mut checked = Session::new();
     let mut par = Session::new();
+    let mut carried = 0usize;
     for entry in seeds.iter().chain(regressions.iter()) {
         let prog = build_program(&entry.ops)
             .unwrap_or_else(|| panic!("corpus entry {} builds no program", entry.name));
-        if let Err(e) = run_all_modes(&prog, &mut checked, &mut par) {
-            fail_with_repro(
+        match run_all_modes(&prog, &mut checked, &mut par) {
+            Ok(r) => {
+                if r.opt_report
+                    .remarks
+                    .iter()
+                    .any(|rm| matches!(rm.kind, RemarkKind::CarriedRelease))
+                {
+                    carried += 1;
+                }
+            }
+            Err(e) => fail_with_repro(
                 &e,
                 &format!("corpus entry {}", entry.name),
                 &entry.ops,
                 &prog,
-            );
+            ),
         }
     }
+    assert!(
+        carried > 0 || !arraymem_core::coloring_default(),
+        "no corpus entry exercises the coloring pass's carried-release scheduling"
+    );
 }
 
 /// Which structured rejection a regression entry was minimized for,
@@ -861,7 +875,7 @@ fn direct_pass_constructions(cov: &mut Coverage) {
         .find_map(|s| matches!(s.exp, Exp::Alloc { .. }).then(|| s.pat[0].var))
         .expect("compiled program has an alloc");
     compiled.program.body.result.push(block_var);
-    let report = merge_blocks(&mut compiled.program, &env, false);
+    let report = merge_blocks(&mut compiled.program, &env, true, false);
     for (_, why) in &report.rejected {
         cov.merge_rejects.insert(*why);
     }
@@ -987,4 +1001,3 @@ fn regen_corpus() {
         println!("wrote regression {} ({} ops)", entry.name, entry.ops.len());
     }
 }
-// temporary probe appended to the test file

@@ -1,9 +1,10 @@
-//! Satellite: the merge pass on every workload — bit-identical outputs,
-//! lower peak memory, no sanitizer findings.
+//! The merge pass (greedy and whole-program coloring) on every workload
+//! — bit-identical outputs, lower peak memory, no sanitizer findings.
 //!
-//! One persistent [`Session`] runs every workload twice (merge off, then
-//! merge on) in both `Memory` and `Checked` mode, so merged plans prove
-//! themselves against block recycling from *other* programs' runs too.
+//! One persistent [`Session`] runs every workload three ways (merge off;
+//! greedy merge; merge with coloring) in both `Memory` and `Checked`
+//! mode, so merged plans prove themselves against block recycling from
+//! *other* programs' runs too.
 
 use arraymem_core::{compile, Options};
 use arraymem_exec::{Mode, OutputValue, Session, Stats};
@@ -22,9 +23,16 @@ fn smoke_cases() -> Vec<Case> {
     ]
 }
 
-fn run(case: &Case, session: &mut Session, merge: bool, mode: Mode) -> (Vec<OutputValue>, Stats) {
+fn run(
+    case: &Case,
+    session: &mut Session,
+    merge: bool,
+    coloring: bool,
+    mode: Mode,
+) -> (Vec<OutputValue>, Stats) {
     let opts = Options {
         merge,
+        coloring,
         ..Options::optimized()
     }
     .with_env(case.env.clone());
@@ -58,61 +66,90 @@ fn assert_bit_identical(case: &Case, off: &[OutputValue], on: &[OutputValue]) {
 }
 
 /// Merging is invisible in outputs, visible in the peak-live ledger: never
-/// higher, strictly lower wherever blocks actually merged — and blocks
-/// must actually merge on a meaningful share of the suite.
+/// higher, strictly lower wherever the pass actually engaged (a Share
+/// merge or a carried release) — and the pass must engage on a
+/// meaningful share of the suite.
 #[test]
 fn merge_reduces_peak_memory_with_identical_outputs() {
     let mut session = Session::new();
     let mut fired = Vec::new();
     for case in smoke_cases() {
         for mode in [Mode::Memory, Mode::Checked] {
-            let (out_off, stats_off) = run(&case, &mut session, false, mode);
-            let (out_on, stats_on) = run(&case, &mut session, true, mode);
+            let (out_off, stats_off) = run(&case, &mut session, false, false, mode);
+            let (out_greedy, stats_greedy) = run(&case, &mut session, true, false, mode);
+            let (out_on, stats_on) = run(&case, &mut session, true, true, mode);
+            assert_bit_identical(&case, &out_off, &out_greedy);
             assert_bit_identical(&case, &out_off, &out_on);
             assert_eq!(
                 stats_off.blocks_merged, 0,
                 "{}: unmerged baseline",
                 case.name
             );
+            assert_eq!(
+                stats_greedy.carried_releases, 0,
+                "{}: carried releases are a coloring-only mechanism",
+                case.name
+            );
             assert!(
-                stats_on.peak_bytes_live <= stats_off.peak_bytes_live,
-                "{}/{mode:?}: merging raised peak live bytes ({} -> {})",
+                stats_greedy.peak_bytes_live <= stats_off.peak_bytes_live,
+                "{}/{mode:?}: greedy merging raised peak live bytes ({} -> {})",
                 case.name,
                 stats_off.peak_bytes_live,
+                stats_greedy.peak_bytes_live
+            );
+            // Coloring subsumes the greedy pass: never worse than it.
+            assert!(
+                stats_on.peak_bytes_live <= stats_greedy.peak_bytes_live,
+                "{}/{mode:?}: coloring raised peak over greedy ({} -> {})",
+                case.name,
+                stats_greedy.peak_bytes_live,
                 stats_on.peak_bytes_live
             );
-            if stats_on.blocks_merged > 0 {
+            let engaged = stats_on.blocks_merged > 0 || stats_on.carried_releases > 0;
+            if engaged {
                 assert!(
                     stats_on.peak_bytes_live < stats_off.peak_bytes_live,
-                    "{}/{mode:?}: {} blocks merged but peak unchanged ({} B)",
+                    "{}/{mode:?}: pass engaged ({} merged, {} carried) but peak unchanged ({} B)",
                     case.name,
                     stats_on.blocks_merged,
+                    stats_on.carried_releases,
                     stats_off.peak_bytes_live
                 );
             }
-            assert!(
-                stats_on.diagnostics.is_empty(),
-                "{}/{mode:?}: sanitizer findings under merging: {:?}",
-                case.name,
-                stats_on.diagnostics
-            );
+            if stats_on.carried_releases > 0 {
+                assert!(
+                    stats_on.color_slab_hits > 0,
+                    "{}/{mode:?}: carried releases never recycled through the slab",
+                    case.name
+                );
+            }
+            for stats in [&stats_greedy, &stats_on] {
+                assert!(
+                    stats.diagnostics.is_empty(),
+                    "{}/{mode:?}: sanitizer findings under merging: {:?}",
+                    case.name,
+                    stats.diagnostics
+                );
+            }
             if mode == Mode::Memory {
                 println!(
-                    "{:>14}: merged {} blocks, peak {} -> {} B",
+                    "{:>14}: merged {} blocks, {} carried releases, peak {} -> {} (greedy) -> {} B",
                     case.name,
                     stats_on.blocks_merged,
+                    stats_on.carried_releases,
                     stats_off.peak_bytes_live,
+                    stats_greedy.peak_bytes_live,
                     stats_on.peak_bytes_live
                 );
-                if stats_on.blocks_merged > 0 {
+                if engaged {
                     fired.push(case.name.clone());
                 }
             }
         }
     }
     assert!(
-        fired.len() >= 3,
-        "merge pass fired on only {} of 7 workloads: {fired:?}",
+        fired.len() >= 5,
+        "merge pass engaged on only {} of 7 workloads: {fired:?}",
         fired.len()
     );
 }

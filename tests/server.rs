@@ -68,6 +68,8 @@ fn stats_merge_aggregates_every_field() {
         bytes_cross_tenant_scrubbed: 6,
         peak_bytes_live: 700,
         blocks_merged: 8,
+        carried_releases: 29,
+        color_slab_hits: 30,
         pool_dispatches: 9,
         maps_parallel_in_place: 10,
         par_chunks: 11,
@@ -105,6 +107,8 @@ fn stats_merge_aggregates_every_field() {
         bytes_cross_tenant_scrubbed: 600,
         peak_bytes_live: 70, // smaller than a's: max must keep 700
         blocks_merged: 800,
+        carried_releases: 2900,
+        color_slab_hits: 3000,
         pool_dispatches: 900,
         maps_parallel_in_place: 1000,
         par_chunks: 1100,
@@ -151,6 +155,8 @@ fn stats_merge_aggregates_every_field() {
     assert_eq!(m.bytes_cross_tenant_scrubbed, 606);
     assert_eq!(m.peak_bytes_live, 700, "peak is a max, not a sum");
     assert_eq!(m.blocks_merged, 808);
+    assert_eq!(m.carried_releases, 2929);
+    assert_eq!(m.color_slab_hits, 3030);
     assert_eq!(m.pool_dispatches, 909);
     assert_eq!(m.maps_parallel_in_place, 1010);
     assert_eq!(m.par_chunks, 1111);
@@ -388,6 +394,62 @@ fn cross_tenant_recycling_scrubs_but_same_tenant_elides() {
     assert_eq!(server.global_stats().runs, 3);
 }
 
+/// Adversarial oversized donation through the server: tenant A donates a
+/// block strictly larger than tenant B's request, so the adoption keeps a
+/// capacity tail beyond the kept prefix. Tenant B's scratch read must
+/// come back all zeros (never A's bytes), and the sanitizer must still
+/// flag the read — scrubbing is isolation, not initialization.
+#[test]
+fn oversized_cross_tenant_donation_never_leaks() {
+    let bld = Builder::new("big_writer");
+    let mut b = bld.block();
+    let xs = b.replicate_typed("xs", ElemType::I64, vec![c(16)], ScalarExp::i64(7));
+    let ys = b.replicate_typed("ys", ElemType::I64, vec![c(16)], ScalarExp::i64(7));
+    let big_writer = bld.finish(b.finish(vec![xs, ys]));
+    let writer = compile(&big_writer, &Options::default()).expect("compile writer");
+    let reader = compile(&scratch_reader_program(), &Options::default()).expect("compile reader");
+    let kernels = KernelRegistry::new();
+    let server = Server::new(ServerConfig {
+        threads: 1,
+        ..ServerConfig::default()
+    });
+
+    // Tenant A parks two 16-element blocks of 7s in the arena.
+    let write_req = ExecRequest::from_compiled(&writer, &kernels, &[], &[], Mode::Memory);
+    let (out, _) = server.execute("a", write_req).expect("writer run");
+    assert_eq!(
+        out,
+        vec![
+            OutputValue::ArrayI64(vec![7; 16]),
+            OutputValue::ArrayI64(vec![7; 16]),
+        ]
+    );
+
+    // Tenant B asks for 4 elements: the only parked blocks are A's 16s,
+    // strictly larger cross-tenant fits.
+    let checked_req = ExecRequest::from_compiled(&reader, &kernels, &[], &[], Mode::Checked);
+    let (out, stats) = server.execute("b", checked_req).expect("cross-tenant read");
+    assert_eq!(
+        out,
+        vec![OutputValue::ArrayI64(vec![0, 0, 0, 0])],
+        "tenant B must never observe tenant A's bytes"
+    );
+    assert!(stats.arena_blocks_adopted >= 1, "{stats}");
+    assert!(
+        stats.bytes_cross_tenant_scrubbed >= 32,
+        "the kept prefix must be scrubbed: {stats}"
+    );
+    assert!(
+        stats
+            .diagnostics
+            .iter()
+            .any(|d| matches!(d, Diagnostic::UninitRead { .. })),
+        "a scrubbed-but-unwritten read must still be flagged: {stats}"
+    );
+    let arena = server.arena_stats();
+    assert!(arena.adopted_cross_tenant >= 1, "{arena:?}");
+}
+
 /// Admission control under a held execution slot: with one permit and a
 /// one-deep queue, the second request queues, the third is rejected with
 /// a typed error naming the load, and the metrics record all of it.
@@ -523,6 +585,25 @@ fn four_tenants_run_distinct_workloads_concurrently() {
         .map(|n| server.tenant_stats(n).expect("ran").runs)
         .sum();
     assert_eq!(per_tenant, global.runs, "tenant aggregates sum to global");
+    // The arena-level high-water sees every tenant's live bytes at once;
+    // the per-tenant max (what `Stats::merge` reports) is only a lower
+    // bound on it.
+    let arena = server.arena_stats();
+    assert_eq!(global.arena_peak_bytes_live, arena.peak_bytes_live);
+    assert!(
+        arena.peak_bytes_live >= global.stats.peak_bytes_live,
+        "arena high-water {} below the per-tenant max {}",
+        arena.peak_bytes_live,
+        global.stats.peak_bytes_live
+    );
+    assert!(arena.peak_bytes_live > 0);
+    for n in &names {
+        assert_eq!(
+            server.tenant_stats(n).expect("ran").arena_peak_bytes_live,
+            0,
+            "per-tenant views must not claim the arena-wide figure"
+        );
+    }
     assert_eq!(
         global.stats.kernel_launches,
         names
